@@ -1,0 +1,26 @@
+//! Criterion benchmarks for the end-to-end PRE algorithms (analysis +
+//! placement + rewriting) on every workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lcm_core::{optimize, PreAlgorithm};
+
+fn bench_algorithms(c: &mut Criterion) {
+    for (name, f) in lcm_bench::workloads() {
+        let mut group = c.benchmark_group(format!("optimize/{name}"));
+        for alg in PreAlgorithm::ALL {
+            group.bench_function(alg.name(), |b| b.iter(|| optimize(&f, alg)));
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the individual dataflow analyses (the paper's
+//! four unidirectional passes) across the workload suite.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lcm_core::{
+    anticipability, availability, lazy_edge_plan, partial_availability, ExprUniverse,
+    GlobalAnalyses, LocalPredicates,
+};
+
+fn bench_analyses(c: &mut Criterion) {
+    for (name, f) in lcm_bench::workloads() {
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+
+        let mut group = c.benchmark_group(format!("analyses/{name}"));
+        group.bench_function("local_predicates", |b| {
+            b.iter(|| LocalPredicates::compute(&f, &uni))
+        });
+        group.bench_function("availability", |b| {
+            b.iter(|| availability(&f, &uni, &local))
+        });
+        group.bench_function("anticipability", |b| {
+            b.iter(|| anticipability(&f, &uni, &local))
+        });
+        group.bench_function("partial_availability", |b| {
+            b.iter(|| partial_availability(&f, &uni, &local))
+        });
+        group.bench_function("later", |b| {
+            b.iter_batched(
+                || GlobalAnalyses::compute(&f, &uni, &local),
+                |ga| lazy_edge_plan(&f, &uni, &local, &ga),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_analyses
+}
+criterion_main!(benches);

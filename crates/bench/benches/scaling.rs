@@ -1,0 +1,41 @@
+//! Scaling benchmark (experiment C1's wall-clock side): LCM's
+//! unidirectional analysis stack vs Morel–Renvoise's bidirectional system
+//! as program size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lcm_bench::{lcm_analysis_cost, mr_analysis_cost, sized_corpus};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    for size in [25usize, 50, 100, 200, 400] {
+        let programs = sized_corpus(size, 3);
+        let blocks: usize = programs.iter().map(|f| f.num_blocks()).sum();
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(BenchmarkId::new("lcm", size), &programs, |b, ps| {
+            b.iter(|| {
+                ps.iter()
+                    .map(lcm_analysis_cost)
+                    .fold(0u64, |acc, s| acc + s.word_ops)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("morel_renvoise", size), &programs, |b, ps| {
+            b.iter(|| {
+                ps.iter()
+                    .map(mr_analysis_cost)
+                    .fold(0u64, |acc, s| acc + s.word_ops)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Free-form CFG generation: arbitrary (possibly irreducible, possibly
+//! divergent) graphs and acyclic DAGs.
+
+use rand::Rng;
+
+use lcm_ir::{BlockData, Function, Instr, Operand, Terminator};
+
+use crate::{GenOptions, Pool};
+
+/// Generates an arbitrary CFG with `opts.size` interior blocks.
+///
+/// The skeleton is a chain `entry → b0 → … → b(n-1) → exit`, which
+/// guarantees that every block is reachable and reaches the exit; on top of
+/// that, blocks randomly become branches whose second target is *any*
+/// interior block or the exit — so the result may contain loops (including
+/// irreducible ones) and executions that diverge. Use with fuel-bounded
+/// interpretation.
+pub fn arbitrary(seed: u64, opts: &GenOptions) -> Function {
+    build(seed, opts, /* dag: */ false)
+}
+
+/// Generates an **acyclic** CFG with `opts.size` interior blocks: the same
+/// chain skeleton, but extra branch targets only point forward. Every
+/// entry→exit path can be enumerated, so the optimality theorems can be
+/// checked path by path.
+pub fn random_dag(seed: u64, opts: &GenOptions) -> Function {
+    build(seed, opts, /* dag: */ true)
+}
+
+fn build(seed: u64, opts: &GenOptions, dag: bool) -> Function {
+    let mut rng = crate::seeded(seed);
+    let kind = if dag { "dag" } else { "arb" };
+    let mut f = Function::new(format!("{kind}{seed}"));
+    let pool = Pool::for_function(&mut f, &mut rng, opts);
+    let n = opts.size.max(1);
+    let interior: Vec<_> = (0..n)
+        .map(|i| f.add_block(BlockData::new(format!("b{i}"))))
+        .collect();
+    let exit = f.exit();
+    let entry = f.entry();
+    f.block_mut(entry).term = Terminator::Jump(interior[0]);
+
+    for (i, &b) in interior.iter().enumerate() {
+        // Straight-line contents.
+        let instr_count = rng.gen_range(0..4);
+        for _ in 0..instr_count {
+            let dst = pool.random_var(&mut rng);
+            let rv = pool.random_rvalue(&mut rng, opts);
+            f.block_mut(b).instrs.push(Instr::Assign { dst, rv });
+        }
+        if rng.gen_bool(opts.obs_prob) {
+            let v = pool.random_var(&mut rng);
+            f.block_mut(b).instrs.push(Instr::Observe(Operand::Var(v)));
+        }
+        // Terminator: continue the chain, possibly with an extra edge.
+        let next = interior.get(i + 1).copied().unwrap_or(exit);
+        let term = if rng.gen_bool(0.45) {
+            let extra = if dag {
+                // Forward targets only: i+1..n, or the exit.
+                let lo = i + 1;
+                let pick = rng.gen_range(lo..=n);
+                interior.get(pick).copied().unwrap_or(exit)
+            } else {
+                let pick = rng.gen_range(0..=n);
+                interior.get(pick).copied().unwrap_or(exit)
+            };
+            let cond = Operand::Var(pool.random_var(&mut rng));
+            if rng.gen_bool(0.5) {
+                Terminator::Branch {
+                    cond,
+                    then_to: next,
+                    else_to: extra,
+                }
+            } else {
+                Terminator::Branch {
+                    cond,
+                    then_to: extra,
+                    else_to: next,
+                }
+            }
+        } else {
+            Terminator::Jump(next)
+        };
+        f.block_mut(b).term = term;
+    }
+    debug_assert!(lcm_ir::verify(&f).is_ok(), "generator produced invalid CFG");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::graph;
+
+    #[test]
+    fn arbitrary_is_wellformed_and_deterministic() {
+        for seed in 0..30 {
+            let f = arbitrary(seed, &GenOptions::sized(12));
+            lcm_ir::verify(&f).unwrap();
+            assert_eq!(
+                f.to_string(),
+                arbitrary(seed, &GenOptions::sized(12)).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn dags_are_acyclic() {
+        for seed in 0..30 {
+            let f = random_dag(seed, &GenOptions::sized(10));
+            lcm_ir::verify(&f).unwrap();
+            // Path enumeration succeeds only on acyclic graphs.
+            assert!(
+                graph::for_each_path(&f, 1_000_000, |_| {}).is_some(),
+                "seed {seed} produced a cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_sometimes_has_loops() {
+        let any_loop = (0..20).any(|seed| {
+            let f = arbitrary(seed, &GenOptions::sized(12));
+            graph::for_each_path(&f, 1_000_000, |_| {}).is_none()
+        });
+        assert!(any_loop, "no loops in 20 arbitrary CFGs is implausible");
+    }
+
+    #[test]
+    fn size_is_respected() {
+        let f = arbitrary(3, &GenOptions::sized(25));
+        assert_eq!(f.num_blocks(), 27); // entry + 25 + exit
+    }
+}

@@ -1,0 +1,221 @@
+//! Seeded random program generators for testing and benchmarking.
+//!
+//! The Lazy Code Motion paper proves its theorems over *all* flow graphs;
+//! validating them empirically needs a corpus far larger than hand-written
+//! examples. This crate generates three families of programs, all
+//! deterministic in their seed:
+//!
+//! * [`structured`] — reducible, **always-terminating** programs built from
+//!   sequences, if/else and counter-bounded loops. Safe for exact
+//!   observational-equivalence checks.
+//! * [`arbitrary`] — free-form CFGs (possibly irreducible, possibly
+//!   divergent) for stress-testing analyses and transformations under fuel.
+//! * [`random_dag`] — acyclic CFGs whose entry→exit paths can be enumerated
+//!   exhaustively, for path-by-path optimality checks.
+//!
+//! Plus deterministic workload [`shapes`] used by the benchmarks.
+//!
+//! Generated programs intentionally draw their expressions from a small
+//! per-function *menu* so that partial redundancies actually occur.
+//!
+//! ```
+//! use lcm_cfggen::{structured, GenOptions};
+//!
+//! let f = structured(42, &GenOptions::default());
+//! lcm_ir::verify(&f)?;
+//! // Same seed, same program.
+//! assert_eq!(f.to_string(), structured(42, &GenOptions::default()).to_string());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod arbitrary;
+pub mod shapes;
+mod structured;
+
+pub use arbitrary::{arbitrary, random_dag};
+pub use structured::structured;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lcm_ir::{BinOp, Expr, Function, Operand, Var};
+
+/// Tuning knobs shared by the generators.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GenOptions {
+    /// Approximate number of statements (structured) or exact number of
+    /// interior blocks (arbitrary/dag).
+    pub size: usize,
+    /// Number of named variables in the pool (`a`, `b`, `c`, …).
+    pub num_vars: usize,
+    /// Number of distinct candidate expressions in the per-function menu.
+    /// Small menus create many partial redundancies.
+    pub menu: usize,
+    /// Probability that a generated assignment draws from the menu rather
+    /// than inventing a fresh expression or a copy.
+    pub menu_bias: f64,
+    /// Probability of emitting an observation after a statement.
+    pub obs_prob: f64,
+    /// Maximum nesting depth for the structured generator.
+    pub max_depth: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            size: 30,
+            num_vars: 6,
+            menu: 5,
+            menu_bias: 0.7,
+            obs_prob: 0.3,
+            max_depth: 4,
+        }
+    }
+}
+
+impl GenOptions {
+    /// Options scaled for benchmark-sized programs with `blocks` blocks.
+    pub fn sized(size: usize) -> Self {
+        GenOptions {
+            size,
+            ..Self::default()
+        }
+    }
+}
+
+/// Operators the generators draw from. Comparisons and divisions included:
+/// totality of the semantics makes them as safe to hoist as additions.
+const OP_POOL: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Lt,
+    BinOp::Eq,
+    BinOp::Div,
+    BinOp::Shl,
+];
+
+/// Shared generator state: the variable pool and expression menu.
+pub(crate) struct Pool {
+    vars: Vec<Var>,
+    menu: Vec<Expr>,
+}
+
+impl Pool {
+    /// Builds a pool from pre-interned variables (see [`Pool::for_function`]).
+    pub(crate) fn from_vars(vars: Vec<Var>, rng: &mut StdRng, opts: &GenOptions) -> Pool {
+        let mut menu = Vec::with_capacity(opts.menu);
+        for _ in 0..opts.menu {
+            let a = Operand::Var(vars[rng.gen_range(0..vars.len())]);
+            // A slice of the menu is multiplication-by-constant, so the
+            // strength-reduction extension has material to work on.
+            if rng.gen_bool(0.2) {
+                menu.push(Expr::Bin(BinOp::Mul, a, Operand::Const(rng.gen_range(2..=9))));
+                continue;
+            }
+            let op = OP_POOL[rng.gen_range(0..OP_POOL.len())];
+            let b = if rng.gen_bool(0.8) {
+                Operand::Var(vars[rng.gen_range(0..vars.len())])
+            } else {
+                Operand::Const(rng.gen_range(-4..=4))
+            };
+            menu.push(Expr::Bin(op, a, b));
+        }
+        Pool { vars, menu }
+    }
+
+    /// Interns the variable pool into `f` and builds the expression menu.
+    pub(crate) fn for_function(f: &mut Function, rng: &mut StdRng, opts: &GenOptions) -> Pool {
+        let vars: Vec<Var> = (0..opts.num_vars.max(2))
+            .map(|i| f.var(var_name(i)))
+            .collect();
+        Pool::from_vars(vars, rng, opts)
+    }
+
+    pub(crate) fn random_var(&self, rng: &mut StdRng) -> Var {
+        self.vars[rng.gen_range(0..self.vars.len())]
+    }
+
+    /// A random *injury*: `v = v ± d` for a pool variable — fodder for
+    /// strength reduction.
+    pub(crate) fn random_injury(&self, rng: &mut StdRng) -> lcm_ir::Instr {
+        let v = self.random_var(rng);
+        let d = rng.gen_range(1..=5);
+        let op = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Sub };
+        lcm_ir::Instr::Assign {
+            dst: v,
+            rv: lcm_ir::Rvalue::Expr(Expr::Bin(op, Operand::Var(v), Operand::Const(d))),
+        }
+    }
+
+    /// A random assignment right-hand side, biased towards the menu.
+    pub(crate) fn random_rvalue(&self, rng: &mut StdRng, opts: &GenOptions) -> lcm_ir::Rvalue {
+        if !self.menu.is_empty() && rng.gen_bool(opts.menu_bias) {
+            lcm_ir::Rvalue::Expr(self.menu[rng.gen_range(0..self.menu.len())])
+        } else if rng.gen_bool(0.5) {
+            let op = OP_POOL[rng.gen_range(0..OP_POOL.len())];
+            let a = Operand::Var(self.random_var(rng));
+            let b = Operand::Var(self.random_var(rng));
+            lcm_ir::Rvalue::Expr(Expr::Bin(op, a, b))
+        } else if rng.gen_bool(0.5) {
+            lcm_ir::Rvalue::Operand(Operand::Var(self.random_var(rng)))
+        } else {
+            lcm_ir::Rvalue::Operand(Operand::Const(rng.gen_range(-8..=8)))
+        }
+    }
+}
+
+pub(crate) fn var_name(i: usize) -> String {
+    // a, b, …, z, v26, v27, …
+    if i < 26 {
+        char::from(b'a' + i as u8).to_string()
+    } else {
+        format!("v{i}")
+    }
+}
+
+pub(crate) fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Convenience: a deterministic corpus of `count` terminating programs.
+pub fn corpus(seed: u64, count: usize, opts: &GenOptions) -> Vec<Function> {
+    (0..count)
+        .map(|i| structured(seed.wrapping_add(i as u64), opts))
+        .collect()
+}
+
+/// Convenience: a deterministic corpus of `count` acyclic programs.
+pub fn corpus_dags(seed: u64, count: usize, opts: &GenOptions) -> Vec<Function> {
+    (0..count)
+        .map(|i| random_dag(seed.wrapping_add(i as u64), opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_wellformed() {
+        let opts = GenOptions::default();
+        let c1 = corpus(7, 10, &opts);
+        let c2 = corpus(7, 10, &opts);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert_eq!(a.to_string(), b.to_string());
+            lcm_ir::verify(a).unwrap();
+        }
+        // Different seeds give different programs (overwhelmingly likely).
+        assert_ne!(c1[0].to_string(), corpus(8, 1, &opts)[0].to_string());
+    }
+
+    #[test]
+    fn var_names_extend_past_alphabet() {
+        assert_eq!(var_name(0), "a");
+        assert_eq!(var_name(25), "z");
+        assert_eq!(var_name(26), "v26");
+    }
+}

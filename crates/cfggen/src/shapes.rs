@@ -1,0 +1,301 @@
+//! Deterministic workload shapes used by benchmarks and examples.
+//!
+//! Each shape isolates one phenomenon from the paper:
+//!
+//! * [`diamond_chain`] — repeated one-armed diamonds: the canonical partial
+//!   redundancy (an expression computed on one branch arm and again after
+//!   the join).
+//! * [`pressure_chain`] — like `diamond_chain` but with a fresh expression
+//!   per diamond: the register-pressure stressor separating busy from lazy.
+//! * [`one_armed_chain`] — the redundancy sits behind **critical edges**:
+//!   the shape Morel–Renvoise cannot serve but edge/node placement can.
+//! * [`loop_invariant`] — nested do-while counter loops with an invariant
+//!   expression in the innermost body: LCM subsumes loop-invariant code
+//!   motion (where hoisting is safe).
+//! * [`ladder`] — alternating compute/kill rungs: stresses transparency
+//!   handling and re-insertion.
+//! * [`wide_expression_soup`] — a single huge block pair with many distinct
+//!   expressions: stresses bit-vector width rather than CFG shape.
+
+use lcm_ir::{BinOp, Function, FunctionBuilder};
+
+/// `n` consecutive one-armed diamonds, each computing `a + b` on the then
+/// arm and unconditionally after the join. Every join computation is
+/// partially redundant; LCM inserts on each empty arm and deletes `n`
+/// computations.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn diamond_chain(n: usize) -> Function {
+    assert!(n > 0, "need at least one diamond");
+    let mut b = FunctionBuilder::new(format!("diamond_chain_{n}"));
+    b.var("a");
+    b.var("b");
+    for i in 0..n {
+        let then_bb = b.create_block(format!("then{i}"));
+        let else_bb = b.create_block(format!("else{i}"));
+        let join_bb = b.create_block(format!("join{i}"));
+        b.branch("c", then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.bin(format!("x{i}"), BinOp::Add, "a", "b");
+        b.jump(join_bb);
+        b.switch_to(else_bb);
+        b.jump(join_bb);
+        b.switch_to(join_bb);
+        b.bin(format!("y{i}"), BinOp::Add, "a", "b");
+        b.observe(format!("y{i}").as_str());
+    }
+    b.jump_exit();
+    b.finish()
+}
+
+/// `depth` nested **do-while** loops (each running `trips` iterations)
+/// with the loop-invariant `a * b` computed in the innermost body. The
+/// bodies always execute, so the invariant is anticipated at the function
+/// entry and LCM hoists it in front of the outermost loop. (A zero-trip
+/// `while` nest would — correctly — see no hoisting at all: classic PRE's
+/// safety requirement forbids evaluating the expression on executions that
+/// skip the loop.)
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `trips == 0`.
+pub fn loop_invariant(depth: usize, trips: i64) -> Function {
+    assert!(depth > 0 && trips > 0, "need a real loop nest");
+    let mut b = FunctionBuilder::new(format!("loop_invariant_{depth}x{trips}"));
+    b.var("a");
+    b.var("b");
+    // Open the do-while nest outside-in.
+    let mut bodies = Vec::new();
+    let mut dones = Vec::new();
+    for d in 0..depth {
+        let body = b.create_block(format!("body{d}"));
+        let done = b.create_block(format!("done{d}"));
+        b.assign(format!("i{d}"), trips);
+        b.jump(body);
+        b.switch_to(body);
+        bodies.push(body);
+        dones.push(done);
+    }
+    // Innermost body: the invariant computation plus observable effect.
+    b.bin("inv", BinOp::Mul, "a", "b");
+    b.bin("acc", BinOp::Add, "acc", "inv");
+    b.observe("acc");
+    // Close the loops inside-out: decrement, test, loop back.
+    for d in (0..depth).rev() {
+        b.bin(format!("i{d}"), BinOp::Sub, format!("i{d}").as_str(), 1);
+        b.branch(format!("i{d}").as_str(), bodies[d], dones[d]);
+        b.switch_to(dones[d]);
+    }
+    b.observe("acc");
+    b.jump_exit();
+    b.finish()
+}
+
+/// `n` consecutive diamonds, each with its **own** expression
+/// (`s(i) + s(i+1)`) computed on the then arm and after the join. Busy code
+/// motion hoists every one of them to the top of the function, so all `n`
+/// temporaries are live simultaneously; lazy code motion keeps each local
+/// to its diamond. The canonical register-pressure stressor.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn pressure_chain(n: usize) -> Function {
+    assert!(n > 0, "need at least one diamond");
+    let mut b = FunctionBuilder::new(format!("pressure_chain_{n}"));
+    for i in 0..=n {
+        b.var(format!("s{i}"));
+    }
+    for i in 0..n {
+        let then_bb = b.create_block(format!("then{i}"));
+        let else_bb = b.create_block(format!("else{i}"));
+        let join_bb = b.create_block(format!("join{i}"));
+        b.branch("c", then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.bin(
+            format!("x{i}"),
+            BinOp::Add,
+            format!("s{i}").as_str(),
+            format!("s{}", i + 1).as_str(),
+        );
+        b.jump(join_bb);
+        b.switch_to(else_bb);
+        b.jump(join_bb);
+        b.switch_to(join_bb);
+        b.bin(
+            format!("y{i}"),
+            BinOp::Add,
+            format!("s{i}").as_str(),
+            format!("s{}", i + 1).as_str(),
+        );
+        b.observe(format!("y{i}").as_str());
+        // Kill the expression so the next diamond cannot reuse it.
+        b.assign(format!("s{i}"), 0);
+    }
+    b.jump_exit();
+    b.finish()
+}
+
+/// `n` chained one-armed diamonds built from **critical edges**: each stage
+/// is `br c, work, join` with `work` computing `a + b` and `join` computing
+/// it again. Every insertion that could cover the join lies on the critical
+/// `branch → join` edge, so Morel–Renvoise (block-end insertion only)
+/// eliminates nothing here while edge/node LCM eliminates all `n` join
+/// computations. The paper's headline advantage over the 1979 baseline.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn one_armed_chain(n: usize) -> Function {
+    assert!(n > 0, "need at least one stage");
+    let mut b = FunctionBuilder::new(format!("one_armed_chain_{n}"));
+    b.var("a");
+    b.var("b");
+    for i in 0..n {
+        let work = b.create_block(format!("work{i}"));
+        let join = b.create_block(format!("join{i}"));
+        b.branch("c", work, join);
+        b.switch_to(work);
+        b.bin(format!("x{i}"), BinOp::Add, "a", "b");
+        b.observe(format!("x{i}").as_str());
+        b.jump(join);
+        b.switch_to(join);
+        b.bin(format!("y{i}"), BinOp::Add, "a", "b");
+        b.observe(format!("y{i}").as_str());
+        // Kill so each stage is independent.
+        b.bin("a", BinOp::Add, "a", 1);
+    }
+    b.jump_exit();
+    b.finish()
+}
+
+/// A ladder of `n` rungs alternating between computing `a + b` and killing
+/// it (`a = a + 1`), connected by diamonds. Exercises transparency and
+/// repeated re-insertion.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ladder(n: usize) -> Function {
+    assert!(n > 0, "need at least one rung");
+    let mut b = FunctionBuilder::new(format!("ladder_{n}"));
+    b.var("a");
+    b.var("b");
+    for i in 0..n {
+        let l = b.create_block(format!("l{i}"));
+        let r = b.create_block(format!("r{i}"));
+        let j = b.create_block(format!("j{i}"));
+        b.branch("c", l, r);
+        b.switch_to(l);
+        b.bin(format!("x{i}"), BinOp::Add, "a", "b");
+        b.jump(j);
+        b.switch_to(r);
+        if i % 2 == 0 {
+            b.bin("a", BinOp::Add, "a", 1); // kill a + b
+        }
+        b.jump(j);
+        b.switch_to(j);
+        b.bin(format!("y{i}"), BinOp::Add, "a", "b");
+        b.observe(format!("y{i}").as_str());
+    }
+    b.jump_exit();
+    b.finish()
+}
+
+/// Two blocks computing `width` distinct expressions each, the second block
+/// recomputing all of the first block's expressions (fully redundant).
+/// CFG-trivial but bit-vector-wide.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn wide_expression_soup(width: usize) -> Function {
+    assert!(width > 0, "need at least one expression");
+    let mut b = FunctionBuilder::new(format!("soup_{width}"));
+    let second = b.create_block("second");
+    for i in 0..width {
+        b.var(format!("s{i}"));
+    }
+    for i in 0..width {
+        b.bin(
+            format!("p{i}"),
+            BinOp::Add,
+            format!("s{i}").as_str(),
+            format!("s{}", (i + 1) % width).as_str(),
+        );
+    }
+    b.jump(second);
+    b.switch_to(second);
+    for i in 0..width {
+        b.bin(
+            format!("q{i}"),
+            BinOp::Add,
+            format!("s{i}").as_str(),
+            format!("s{}", (i + 1) % width).as_str(),
+        );
+    }
+    b.observe(format!("q{}", width - 1).as_str());
+    b.jump_exit();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_chain_shape() {
+        let f = diamond_chain(3);
+        lcm_ir::verify(&f).unwrap();
+        assert_eq!(f.num_blocks(), 2 + 3 * 3);
+        assert_eq!(f.expr_universe().len(), 1); // only a + b
+        assert_eq!(f.expr_occurrences().count(), 6);
+    }
+
+    #[test]
+    fn loop_invariant_runs_and_hoists_target_exists() {
+        let f = loop_invariant(2, 3);
+        lcm_ir::verify(&f).unwrap();
+        let out = lcm_interp::run(
+            &f,
+            &lcm_interp::Inputs::new().set("a", 2).set("b", 5),
+            100_000,
+        );
+        assert!(out.completed());
+        // 3 × 3 iterations, acc += 10 each: final observation is 90.
+        assert_eq!(*out.trace.last().unwrap(), 90);
+    }
+
+    #[test]
+    fn pressure_chain_has_one_expression_per_diamond() {
+        let f = pressure_chain(4);
+        lcm_ir::verify(&f).unwrap();
+        assert_eq!(f.expr_universe().len(), 4);
+        assert_eq!(f.expr_occurrences().count(), 8);
+    }
+
+    #[test]
+    fn one_armed_chain_has_critical_edges() {
+        let f = one_armed_chain(3);
+        lcm_ir::verify(&f).unwrap();
+        assert_eq!(lcm_ir::graph::critical_edges(&f).len(), 3);
+    }
+
+    #[test]
+    fn ladder_kills_alternate() {
+        let f = ladder(4);
+        lcm_ir::verify(&f).unwrap();
+        let out = lcm_interp::run(&f, &lcm_interp::Inputs::new().set("b", 1), 10_000);
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn soup_width() {
+        let f = wide_expression_soup(100);
+        lcm_ir::verify(&f).unwrap();
+        assert_eq!(f.expr_universe().len(), 100);
+        assert_eq!(f.expr_occurrences().count(), 200);
+    }
+}

@@ -1,0 +1,197 @@
+//! Reducible, always-terminating program generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use lcm_ir::{Function, FunctionBuilder, Instr, Operand, Rvalue};
+
+use crate::{GenOptions, Pool};
+
+/// Generates a structured, **terminating** program: straight-line code,
+/// if/else regions and counter-bounded loops (each loop decrements its own
+/// fresh counter from a small constant, so every execution finishes).
+///
+/// The result is verified well-formed and reducible by construction.
+pub fn structured(seed: u64, opts: &GenOptions) -> Function {
+    let mut rng = crate::seeded(seed);
+    let mut b = FunctionBuilder::new(format!("gen{seed}"));
+    let vars = (0..opts.num_vars.max(2))
+        .map(|i| b.var(crate::var_name(i)))
+        .collect();
+    let mut pool = Pool::from_vars(vars, &mut rng, opts);
+    let mut budget = opts.size as i64;
+    let mut loop_count = 0usize;
+    emit_seq(&mut b, &mut pool, &mut rng, opts, opts.max_depth, &mut budget, &mut loop_count);
+    // Observe a handful of pool variables at the end so the whole
+    // computation is live and transformations cannot cheat via dead code.
+    for i in 0..3.min(opts.num_vars) {
+        let v = b.var(crate::var_name(i));
+        b.observe(v);
+    }
+    b.jump_exit();
+    let f = b.finish();
+    debug_assert!(lcm_ir::verify(&f).is_ok());
+    f
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_seq(
+    b: &mut FunctionBuilder,
+    pool: &mut Pool,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+    budget: &mut i64,
+    loop_count: &mut usize,
+) {
+    while *budget > 0 {
+        *budget -= 1;
+        let roll: f64 = rng.gen();
+        if roll < 0.55 || depth == 0 {
+            emit_assign(b, pool, rng, opts);
+        } else if roll < 0.75 {
+            emit_if(b, pool, rng, opts, depth, budget, loop_count);
+        } else {
+            emit_loop(b, pool, rng, opts, depth, budget, loop_count);
+        }
+        if rng.gen_bool(opts.obs_prob) {
+            let v = pool.random_var(rng);
+            b.observe(v);
+        }
+        // Occasionally stop early so sequence lengths vary.
+        if rng.gen_bool(0.08) {
+            break;
+        }
+    }
+}
+
+fn emit_assign(b: &mut FunctionBuilder, pool: &mut Pool, rng: &mut StdRng, opts: &GenOptions) {
+    if rng.gen_bool(0.12) {
+        // An injury (`v = v ± d`): transparent-with-update for strength
+        // reduction, an ordinary kill for plain code motion.
+        let instr = pool.random_injury(rng);
+        b.push(instr);
+        return;
+    }
+    let dst = pool.random_var(rng);
+    let rv = pool.random_rvalue(rng, opts);
+    b.push(Instr::Assign { dst, rv });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_if(
+    b: &mut FunctionBuilder,
+    pool: &mut Pool,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+    budget: &mut i64,
+    loop_count: &mut usize,
+) {
+    let then_bb = b.create_block("then");
+    let join_bb = b.create_block("join");
+    let cond = pool.random_var(rng);
+    if rng.gen_bool(0.35) {
+        // One-armed if: branch straight to the join, creating a critical
+        // edge — the shape Morel–Renvoise cannot serve but edge/node
+        // placement can.
+        b.branch(cond, then_bb, join_bb);
+        b.switch_to(then_bb);
+        emit_seq(b, pool, rng, opts, depth - 1, budget, loop_count);
+        b.jump(join_bb);
+    } else {
+        let else_bb = b.create_block("else");
+        b.branch(cond, then_bb, else_bb);
+
+        b.switch_to(then_bb);
+        emit_seq(b, pool, rng, opts, depth - 1, budget, loop_count);
+        b.jump(join_bb);
+
+        b.switch_to(else_bb);
+        // Sometimes an empty else arm (pure diamond with one-sided
+        // computation: the canonical partial redundancy shape).
+        if rng.gen_bool(0.6) {
+            emit_seq(b, pool, rng, opts, depth - 1, budget, loop_count);
+        }
+        b.jump(join_bb);
+    }
+
+    b.switch_to(join_bb);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_loop(
+    b: &mut FunctionBuilder,
+    pool: &mut Pool,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+    depth: usize,
+    budget: &mut i64,
+    loop_count: &mut usize,
+) {
+    let id = *loop_count;
+    *loop_count += 1;
+    let ctr = b.var(format!("ctr{id}"));
+    let head = b.create_block(format!("head{id}"));
+    let body = b.create_block(format!("body{id}"));
+    let done = b.create_block(format!("done{id}"));
+
+    let bound = rng.gen_range(1..=3);
+    b.push(Instr::Assign {
+        dst: ctr,
+        rv: Rvalue::Operand(Operand::Const(bound)),
+    });
+    b.jump(head);
+
+    b.switch_to(head);
+    b.branch(ctr, body, done);
+
+    b.switch_to(body);
+    emit_seq(b, pool, rng, opts, depth - 1, budget, loop_count);
+    let dec = lcm_ir::Expr::Bin(lcm_ir::BinOp::Sub, Operand::Var(ctr), Operand::Const(1));
+    b.push(Instr::Assign {
+        dst: ctr,
+        rv: Rvalue::Expr(dec),
+    });
+    b.jump(head);
+
+    b.switch_to(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_terminates() {
+        for seed in 0..30 {
+            let f = structured(seed, &GenOptions::default());
+            lcm_ir::verify(&f).unwrap();
+            let out = lcm_interp::run(&f, &lcm_interp::Inputs::new(), 2_000_000);
+            assert!(out.completed(), "seed {seed} did not terminate");
+        }
+    }
+
+    #[test]
+    fn produces_partial_redundancies() {
+        // At least some generated programs must contain repeated menu
+        // expressions (the whole point of the menu bias).
+        let mut any_repeat = false;
+        for seed in 0..10 {
+            let f = structured(seed, &GenOptions::default());
+            let occurrences = f.expr_occurrences().count();
+            let distinct = f.expr_universe().len();
+            if occurrences > distinct {
+                any_repeat = true;
+            }
+        }
+        assert!(any_repeat);
+    }
+
+    #[test]
+    fn size_knob_scales_output() {
+        let small = structured(1, &GenOptions::sized(5));
+        let large = structured(1, &GenOptions::sized(200));
+        assert!(large.num_instrs() > small.num_instrs());
+    }
+}

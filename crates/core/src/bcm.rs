@@ -1,0 +1,125 @@
+//! Busy Code Motion: the paper's computationally optimal strawman.
+//!
+//! BCM inserts at the **earliest** safe points. Every admissible placement
+//! must compute the expression somewhere on the region between earliest and
+//! latest; by choosing earliest, BCM already achieves the minimal number of
+//! computations on every path (Theorem T2) — but it stretches the
+//! temporary's live range as far as it can possibly reach, which is exactly
+//! the register-pressure problem Lazy Code Motion then fixes.
+
+use crate::analyses::GlobalAnalyses;
+use crate::predicates::LocalPredicates;
+use crate::transform::PlacementPlan;
+use crate::universe::ExprUniverse;
+use lcm_ir::Function;
+
+/// Computes the busy-code-motion placement: insertions on every earliest
+/// edge (plus the virtual entry edge).
+pub fn busy_plan(
+    f: &Function,
+    uni: &ExprUniverse,
+    _local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+) -> PlacementPlan {
+    let mut plan = PlacementPlan::empty("bcm", f, uni);
+    plan.edge_inserts = ga.earliest.clone();
+    plan.entry_insert = ga.earliest_entry.clone();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::apply_plan;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn bcm_hoists_to_the_top_of_the_diamond() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               x = a + b
+               jmp join
+             r:
+               jmp join
+             join:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let plan = busy_plan(&f, &uni, &local, &ga);
+        // The only insertion is at the very top of entry.
+        assert!(plan.entry_insert.contains(0));
+        assert!(plan.edge_inserts.iter().all(|s| s.is_empty()));
+        assert_eq!(plan.num_insertions(), 1);
+
+        let result = apply_plan(&f, &uni, &local, &plan);
+        lcm_ir::verify(&result.function).unwrap();
+        // Both original occurrences became temp reads.
+        assert_eq!(result.stats.deletions, 2);
+        assert_eq!(result.stats.retained_defs, 0);
+        // The transformed program computes a+b exactly once per execution.
+        let g = &result.function;
+        assert_eq!(g.expr_occurrences().count(), 1);
+        assert_eq!(g.block(g.entry()).exprs().count(), 1);
+    }
+
+    #[test]
+    fn bcm_does_not_touch_safe_free_code() {
+        // The expression is killed on one arm before use, so it is not
+        // anticipated at the branch: no hoisting above the kill is safe.
+        let f = parse_function(
+            "fn k {
+             entry:
+               br c, l, r
+             l:
+               a = 1
+               x = a + b
+               jmp join
+             r:
+               jmp join
+             join:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let plan = busy_plan(&f, &uni, &local, &ga);
+        let idx = uni
+            .iter()
+            .find(|(_, e)| f.display_expr(*e) == "a + b")
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(!plan.entry_insert.contains(idx));
+        // The earliest safe point for the r-side redundancy is the edge
+        // entry→r (moving above the branch would be unsafe: the l path
+        // kills a before using a + b).
+        let r = f.block_by_name("r").unwrap();
+        let inserted: Vec<_> = plan
+            .edges
+            .iter()
+            .filter(|(id, _)| plan.edge_inserts[id.index()].contains(idx))
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(inserted.len(), 1);
+        assert_eq!((inserted[0].from, inserted[0].to), (f.entry(), r));
+
+        let result = apply_plan(&f, &uni, &local, &plan);
+        lcm_ir::verify(&result.function).unwrap();
+        // join's occurrence is deleted; l's occurrence must now define the
+        // temp (it feeds the deleted one along the l path).
+        assert_eq!(result.stats.deletions, 1);
+        assert_eq!(result.stats.retained_defs, 1);
+    }
+}

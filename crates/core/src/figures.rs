@@ -1,0 +1,222 @@
+//! The paper's running example, reconstructed.
+//!
+//! The exact node numbering of the PLDI'92 hand-drawn figures is not
+//! recoverable from the paper's title alone, so [`running_example`] is a
+//! faithful reconstruction exhibiting every phenomenon the original
+//! figures illustrate (see DESIGN.md §3 and EXPERIMENTS.md F1–F5):
+//!
+//! * a **partially redundant** computation of `a + b`: computed on the
+//!   `compute` arm and unconditionally inside the loop — redundant along
+//!   one path, not the other, and loop-carried;
+//! * a **busy-vs-lazy lifetime gap**: BCM hoists `a + b` to the very top
+//!   of the function, LCM only to the `skip` arm (and reuses the `compute`
+//!   arm's existing computation);
+//! * a decrement `i - 1` that **cannot profitably move** (it is killed by
+//!   its own destination each iteration): BCM churns — inserting before the
+//!   loop and on the back edge — while LCM leaves it exactly in place;
+//! * an **isolated** computation of `c | d` in the tail: the naive lazy
+//!   placement (ALCM, no isolation analysis) inserts a useless
+//!   initialisation in front of it, which the ISOLATED analysis suppresses;
+//! * a **post-kill recomputation** of `a + b` in the tail that no safe
+//!   motion can touch.
+
+use lcm_ir::{BlockId, Function, FunctionBuilder};
+
+/// Builds the reconstructed running example. See the [module
+/// docs](self) for the phenomena it encodes.
+///
+/// ```text
+///        entry                i, a, b, c, d, p are inputs
+///          │
+///        cond ──p──► compute: x = a+b ─┐
+///          │                           │
+///          └────► skip ───────────────►▼
+///                                   preloop
+///                                      │
+///                                   loop:  y = a+b; i = i-1   ◄─┐
+///                                      │ └──────────────────────┘
+///                                      ▼
+///                                   tail:  a = a+1; z = a+b; w = c|d
+/// ```
+pub fn running_example() -> Function {
+    let mut b = FunctionBuilder::new("running_example");
+    let cond = b.create_block("cond");
+    let compute = b.create_block("compute");
+    let skip = b.create_block("skip");
+    let preloop = b.create_block("preloop");
+    let lop = b.create_block("loop");
+    let tail = b.create_block("tail");
+
+    b.jump(cond);
+
+    b.switch_to(cond);
+    b.branch("p", compute, skip);
+
+    b.switch_to(compute);
+    b.assign_bin("x", "+", "a", "b").expect("operator");
+    b.observe("x");
+    b.jump(preloop);
+
+    b.switch_to(skip);
+    b.jump(preloop);
+
+    b.switch_to(preloop);
+    b.jump(lop);
+
+    b.switch_to(lop);
+    b.assign_bin("y", "+", "a", "b").expect("operator");
+    b.observe("y");
+    b.assign_bin("i", "-", "i", 1).expect("operator");
+    b.branch("i", lop, tail);
+
+    b.switch_to(tail);
+    b.assign_bin("a", "+", "a", 1).expect("operator");
+    b.assign_bin("z", "+", "a", "b").expect("operator");
+    b.observe("z");
+    b.assign_bin("w", "|", "c", "d").expect("operator");
+    b.observe("w");
+    b.jump_exit();
+
+    let f = b.finish();
+    debug_assert!(lcm_ir::verify(&f).is_ok());
+    f
+}
+
+/// Block ids of the running example's named blocks, for assertions and
+/// table rendering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunningExampleBlocks {
+    /// The branch block.
+    pub cond: BlockId,
+    /// The arm computing `a + b`.
+    pub compute: BlockId,
+    /// The empty arm.
+    pub skip: BlockId,
+    /// The loop pre-header.
+    pub preloop: BlockId,
+    /// The loop (header and body in one block).
+    pub lop: BlockId,
+    /// The post-loop tail.
+    pub tail: BlockId,
+}
+
+impl RunningExampleBlocks {
+    /// Looks the blocks up by name in (a transformed copy of) the example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label is missing (i.e. `f` is not derived from
+    /// [`running_example`]).
+    pub fn of(f: &Function) -> Self {
+        let get = |n: &str| f.block_by_name(n).unwrap_or_else(|| panic!("no block {n}"));
+        RunningExampleBlocks {
+            cond: get("cond"),
+            compute: get("compute"),
+            skip: get("skip"),
+            preloop: get("preloop"),
+            lop: get("loop"),
+            tail: get("tail"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyses::GlobalAnalyses;
+    use crate::bcm::busy_plan;
+    use crate::lcm_edge::lazy_edge_plan;
+    use crate::lcm_node::lazy_node_plan;
+    use crate::metrics::live_points;
+    use crate::predicates::LocalPredicates;
+    use crate::transform::apply_plan;
+    use crate::universe::ExprUniverse;
+
+    fn expr_index(f: &Function, uni: &ExprUniverse, text: &str) -> usize {
+        uni.iter()
+            .find(|(_, e)| f.display_expr(*e) == text)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| panic!("no expression {text}"))
+    }
+
+    #[test]
+    fn the_example_exhibits_the_papers_phenomena() {
+        let f = running_example();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let blocks = RunningExampleBlocks::of(&f);
+        let ab = expr_index(&f, &uni, "a + b");
+        let dec = expr_index(&f, &uni, "i - 1");
+
+        // BCM hoists a+b to the entry top and churns on i-1.
+        let bcm = busy_plan(&f, &uni, &local, &ga);
+        assert!(bcm.entry_insert.contains(ab));
+        assert!(bcm.entry_insert.contains(dec));
+        let back_edge = ga
+            .edges
+            .iter()
+            .find(|(_, e)| e.from == blocks.lop && e.to == blocks.lop)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(bcm.edge_inserts[back_edge.index()].contains(dec));
+
+        // LCM inserts a+b only on the skip arm and leaves i-1 alone.
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        assert!(lazy.plan.entry_insert.is_empty());
+        let skip_out = ga.edges.outgoing(blocks.skip)[0];
+        assert!(lazy.plan.edge_inserts[skip_out.index()].contains(ab));
+        for (eid, _) in ga.edges.iter() {
+            assert!(
+                !lazy.plan.edge_inserts[eid.index()].contains(dec),
+                "LCM must not move i - 1"
+            );
+        }
+        // The in-loop computation of a+b is deleted, compute's stays.
+        assert!(lazy.delete[blocks.lop.index()].contains(ab));
+        assert!(!lazy.delete[blocks.compute.index()].contains(ab));
+        // The post-kill recomputation in the tail is untouched.
+        assert!(!lazy.delete[blocks.tail.index()].contains(ab));
+    }
+
+    #[test]
+    fn lazy_lifetimes_beat_busy_lifetimes_on_the_example() {
+        let f = running_example();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+
+        let busy = apply_plan(&f, &uni, &local, &busy_plan(&f, &uni, &local, &ga));
+        let lazy = apply_plan(
+            &f,
+            &uni,
+            &local,
+            &lazy_edge_plan(&f, &uni, &local, &ga).plan,
+        );
+        let busy_points = live_points(&busy.function, &busy.temp_vars());
+        let lazy_points = live_points(&lazy.function, &lazy.temp_vars());
+        assert!(
+            lazy_points < busy_points,
+            "lazy {lazy_points} must beat busy {busy_points}"
+        );
+    }
+
+    #[test]
+    fn isolation_suppresses_the_tail_insertion() {
+        let f = running_example();
+        let alcm = lazy_node_plan(&f, false);
+        let lcm = lazy_node_plan(&f, true);
+        let g = &lcm.function;
+        let uni = &lcm.universe;
+        let cd = expr_index(g, uni, "c | d");
+        let tail = g.block_by_name("tail").unwrap();
+        assert!(
+            alcm.plan.block_top_inserts[tail.index()].contains(cd),
+            "ALCM inserts uselessly in front of the isolated computation"
+        );
+        assert!(
+            !lcm.plan.block_top_inserts[tail.index()].contains(cd),
+            "ISOLATED must suppress the useless insertion"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! # lcm-core — Lazy Code Motion
+//!
+//! A complete implementation of **Lazy Code Motion** (Knoop, Rüthing &
+//! Steffen, PLDI 1992): partial redundancy elimination that is
+//!
+//! 1. **admissible** — it only inserts computations at safe (down-safe or
+//!    up-safe) program points, so no path ever evaluates an expression it
+//!    did not evaluate before;
+//! 2. **computationally optimal** — no admissible transformation achieves
+//!    fewer evaluations on any path; and
+//! 3. **lifetime optimal** — among the computationally optimal
+//!    transformations, the live ranges of the introduced temporaries are
+//!    minimal.
+//!
+//! The crate provides the paper's algorithm in both published forms
+//! ([`lazy_edge_plan`] — edge insertions; [`lazy_node_plan`] — the original
+//! node-insertion cascade DELAY/LATEST/ISOLATED after critical-edge
+//! splitting), the busy-code-motion strawman ([`busy_plan`]), the
+//! bidirectional Morel–Renvoise baseline ([`morel_renvoise_plan`]), a
+//! shared rewriting engine ([`transform`]), safety oracles ([`safety`]),
+//! optimality metrics ([`metrics`]) and the supporting scalar passes
+//! ([`passes`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcm_core::{optimize, PreAlgorithm};
+//! use lcm_ir::parse_function;
+//!
+//! let f = parse_function(
+//!     "fn demo {
+//!      entry:
+//!        br c, left, right
+//!      left:
+//!        x = a + b
+//!        jmp join
+//!      right:
+//!        jmp join
+//!      join:
+//!        y = a + b
+//!        obs y
+//!        ret
+//!      }",
+//! )?;
+//! let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+//! // One insertion (on the right arm), one deletion (at the join).
+//! assert_eq!(lazy.transform.stats.insertions, 1);
+//! assert_eq!(lazy.transform.stats.deletions, 1);
+//! lcm_ir::verify(&lazy.function)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analyses;
+mod bcm;
+mod lcm_edge;
+mod lcm_node;
+mod morel_renvoise;
+mod predicates;
+mod universe;
+
+pub mod figures;
+pub mod metrics;
+pub mod passes;
+pub mod report;
+pub mod safety;
+pub mod strength;
+pub mod transform;
+
+pub use analyses::{
+    anticipability, availability, partial_anticipability, partial_availability, GlobalAnalyses,
+};
+pub use bcm::busy_plan;
+pub use lcm_edge::{lazy_edge_plan, LazyEdgeResult};
+pub use lcm_node::{lazy_node_plan, LazyNodeResult};
+pub use morel_renvoise::{morel_renvoise_plan, MorelRenvoiseResult};
+pub use predicates::LocalPredicates;
+pub use transform::{apply_plan, PlacementPlan, TransformResult};
+pub use universe::ExprUniverse;
+
+use lcm_ir::Function;
+
+/// The PRE algorithms this crate implements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PreAlgorithm {
+    /// Busy code motion: earliest (safe) placement. Computationally
+    /// optimal; maximal temporary lifetimes.
+    Busy,
+    /// Lazy code motion, edge-insertion formulation (the production form).
+    LazyEdge,
+    /// Lazy code motion, node-insertion formulation (the paper's original
+    /// DELAY/LATEST/ISOLATED cascade after critical-edge splitting).
+    LazyNode,
+    /// Lazy code motion without the isolation pruning — the paper's "ALCM"
+    /// ablation. Computationally optimal but introduces useless temps
+    /// (which the rewriter's liveness pruning then refuses to materialise;
+    /// the placement difference is still observable in the plan).
+    AlmostLazyNode,
+    /// Morel–Renvoise (1979): the bidirectional baseline.
+    MorelRenvoise,
+    /// Classic global common-subexpression elimination: deletes only
+    /// **fully** redundant occurrences (available on every path), inserts
+    /// nothing. The weakest baseline — everything PRE adds over GCSE is
+    /// partial redundancy.
+    Gcse,
+}
+
+impl PreAlgorithm {
+    /// All algorithms, for sweep-style experiments.
+    pub const ALL: [PreAlgorithm; 6] = [
+        PreAlgorithm::Busy,
+        PreAlgorithm::LazyEdge,
+        PreAlgorithm::LazyNode,
+        PreAlgorithm::AlmostLazyNode,
+        PreAlgorithm::MorelRenvoise,
+        PreAlgorithm::Gcse,
+    ];
+
+    /// A short stable name (used in reports and benchmark ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            PreAlgorithm::Busy => "bcm",
+            PreAlgorithm::LazyEdge => "lcm-edge",
+            PreAlgorithm::LazyNode => "lcm-node",
+            PreAlgorithm::AlmostLazyNode => "alcm-node",
+            PreAlgorithm::MorelRenvoise => "morel-renvoise",
+            PreAlgorithm::Gcse => "gcse",
+        }
+    }
+}
+
+/// Everything `optimize` produces.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The transformed function.
+    pub function: Function,
+    /// The rewriting outcome (insertion/deletion counters, temps).
+    pub transform: TransformResult,
+    /// The input the plan was computed for — the original function, except
+    /// for the node algorithms where it is the critical-edge-split copy.
+    pub input: Function,
+    /// Which algorithm ran.
+    pub algorithm: PreAlgorithm,
+}
+
+/// Runs one PRE algorithm end to end: analyses → placement plan →
+/// rewriting. No clean-up passes are run; compose with
+/// [`passes::copy_propagation`] and [`passes::dce`] for a full pipeline
+/// (or use [`optimize_pipeline`]).
+pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Optimized {
+    match algorithm {
+        PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => {
+            let res = lazy_node_plan(f, algorithm == PreAlgorithm::LazyNode);
+            let transform = apply_plan(&res.function, &res.universe, &res.local, &res.plan);
+            Optimized {
+                function: transform.function.clone(),
+                transform,
+                input: res.function,
+                algorithm,
+            }
+        }
+        _ => {
+            let uni = ExprUniverse::of(f);
+            let local = LocalPredicates::compute(f, &uni);
+            let plan = match algorithm {
+                PreAlgorithm::Busy => {
+                    let ga = GlobalAnalyses::compute(f, &uni, &local);
+                    busy_plan(f, &uni, &local, &ga)
+                }
+                PreAlgorithm::LazyEdge => {
+                    let ga = GlobalAnalyses::compute(f, &uni, &local);
+                    lazy_edge_plan(f, &uni, &local, &ga).plan
+                }
+                PreAlgorithm::MorelRenvoise => morel_renvoise_plan(f, &uni, &local).plan,
+                // GCSE's "plan" is the empty plan: the shared transform
+                // machinery then deletes exactly the occurrences whose value
+                // is available from existing computations on all paths.
+                PreAlgorithm::Gcse => PlacementPlan::empty("gcse", f, &uni),
+                PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => unreachable!(),
+            };
+            let transform = apply_plan(f, &uni, &local, &plan);
+            Optimized {
+                function: transform.function.clone(),
+                transform,
+                input: f.clone(),
+                algorithm,
+            }
+        }
+    }
+}
+
+/// The full pipeline a compiler would run: LCSE, the chosen PRE algorithm,
+/// copy propagation, dead-code elimination, CFG simplification. Returns
+/// the final function.
+pub fn optimize_pipeline(f: &Function, algorithm: PreAlgorithm) -> Function {
+    let mut pre = f.clone();
+    passes::lcse(&mut pre);
+    let mut optimized = optimize(&pre, algorithm).function;
+    passes::copy_propagation(&mut optimized);
+    passes::dce(&mut optimized);
+    lcm_ir::simplify_cfg(&mut optimized);
+    optimized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    const DIAMOND: &str = "fn d {
+        entry:
+          br c, l, r
+        l:
+          x = a + b
+          jmp join
+        r:
+          jmp join
+        join:
+          y = a + b
+          obs y
+          ret
+        }";
+
+    #[test]
+    fn every_algorithm_produces_a_valid_function() {
+        let f = parse_function(DIAMOND).unwrap();
+        for alg in PreAlgorithm::ALL {
+            let o = optimize(&f, alg);
+            lcm_ir::verify(&o.function).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            assert_eq!(o.algorithm, alg);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_is_clean_and_equivalent() {
+        let f = parse_function(DIAMOND).unwrap();
+        let g = optimize_pipeline(&f, PreAlgorithm::LazyEdge);
+        lcm_ir::verify(&g).unwrap();
+        for c in [0, 1] {
+            let inputs = lcm_interp::Inputs::new().set("a", 3).set("b", 4).set("c", c);
+            assert!(lcm_interp::observationally_equivalent(&f, &g, &inputs, 10_000));
+        }
+        // The join no longer computes a + b.
+        let join = g.block_by_name("join").unwrap();
+        assert!(g.block(join).exprs().next().is_none());
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        assert_eq!(PreAlgorithm::Busy.name(), "bcm");
+        assert_eq!(PreAlgorithm::ALL.len(), 6);
+    }
+}

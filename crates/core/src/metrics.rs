@@ -1,0 +1,274 @@
+//! Optimality metrics: per-path evaluation counts (Theorem T2) and static
+//! live-range sizes of the introduced temporaries (Theorem T3).
+
+use std::collections::HashMap;
+
+use lcm_dataflow::{analyses, BitSet};
+use lcm_ir::{graph, Expr, Function, Instr, Rvalue, Var};
+
+/// For an **acyclic** function, the number of evaluations of each tracked
+/// expression summed per entry→exit path, in path-enumeration order.
+///
+/// Temp initialisations `t := e` count as evaluations of `e`; temp reads
+/// `v := t` do not — exactly the cost model of the paper's computational
+/// optimality theorem. Returns `None` if the function has a cycle or more
+/// than `max_paths` paths.
+pub fn path_eval_counts(f: &Function, exprs: &[Expr], max_paths: usize) -> Option<Vec<u64>> {
+    let tracked: HashMap<Expr, ()> = exprs.iter().map(|&e| (e, ())).collect();
+    let per_block: Vec<u64> = f
+        .block_ids()
+        .map(|b| {
+            f.block(b)
+                .instrs
+                .iter()
+                .filter(|i| match i {
+                    Instr::Assign { rv: Rvalue::Expr(e), .. } => tracked.contains_key(e),
+                    _ => false,
+                })
+                .count() as u64
+        })
+        .collect();
+    let mut counts = Vec::new();
+    graph::for_each_path(f, max_paths, |path| {
+        counts.push(path.iter().map(|b| per_block[b.index()]).sum());
+    })?;
+    Some(counts)
+}
+
+/// Static liveness of a set of variables, at instruction granularity.
+///
+/// Returns the number of *(program point, variable)* pairs at which one of
+/// `vars` is live: the classical register-pressure contribution of the PRE
+/// temporaries. Program points are the positions before each instruction
+/// and before the terminator of every block.
+///
+/// ```
+/// use lcm_core::metrics::live_points;
+/// let f = lcm_ir::parse_function(
+///     "fn m {\nentry:\n  t = a + b\n  pad = 0\n  obs t\n  ret\n}",
+/// )?;
+/// let t = f.symbols.get("t").unwrap();
+/// assert_eq!(live_points(&f, &[t]), 2); // before `pad = 0` and `obs t`
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn live_points(f: &Function, vars: &[Var]) -> u64 {
+    if vars.is_empty() {
+        return 0;
+    }
+    let nvars = f.symbols.len();
+    let mut tracked = BitSet::new(nvars);
+    for &v in vars {
+        tracked.insert(v.index());
+    }
+
+    // Block-level liveness, then an in-block backward walk per point.
+    let solution = analyses::var_liveness(f);
+
+    // In-block backward walk counting live tracked vars at each point.
+    let mut total = 0u64;
+    for b in f.block_ids() {
+        let mut live = solution.outs[b.index()].clone();
+        let data = f.block(b);
+        // Point just before the terminator.
+        if let Some(c) = data.term.use_var() {
+            live.insert(c.index());
+        }
+        let mut count_point = |live: &BitSet| {
+            let mut overlap = live.clone();
+            overlap.intersect_with(&tracked);
+            total += overlap.count() as u64;
+        };
+        count_point(&live);
+        for instr in data.instrs.iter().rev() {
+            if let Some(dst) = instr.def() {
+                live.remove(dst.index());
+            }
+            for u in instr.uses() {
+                live.insert(u.index());
+            }
+            count_point(&live);
+        }
+    }
+    total
+}
+
+/// Total static occurrences of the given expressions in `f` (each
+/// `v := e` or `t := e` instruction counts once).
+pub fn static_eval_sites(f: &Function, exprs: &[Expr]) -> usize {
+    let tracked: HashMap<Expr, ()> = exprs.iter().map(|&e| (e, ())).collect();
+    f.expr_occurrences()
+        .filter(|(_, _, e)| tracked.contains_key(e))
+        .count()
+}
+
+/// The loop-nesting depth of every block: the number of natural loops whose
+/// body contains it.
+pub fn loop_depths(f: &Function) -> Vec<usize> {
+    let mut depth = vec![0usize; f.num_blocks()];
+    for l in graph::natural_loops(f) {
+        for &b in &l.body {
+            depth[b.index()] += 1;
+        }
+    }
+    depth
+}
+
+/// Static evaluation sites weighted by `10^depth` — the classical static
+/// estimate of dynamic cost ("a loop runs ten times"). A hoisting that
+/// moves one site out of a doubly nested loop drops the estimate by 99.
+pub fn weighted_eval_sites(f: &Function, exprs: &[Expr]) -> u64 {
+    let tracked: HashMap<Expr, ()> = exprs.iter().map(|&e| (e, ())).collect();
+    let depth = loop_depths(f);
+    f.expr_occurrences()
+        .filter(|(_, _, e)| tracked.contains_key(e))
+        .map(|(b, _, _)| 10u64.saturating_pow(depth[b.index()].min(9) as u32))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn path_counts_on_a_diamond() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               x = a + b
+               jmp j
+             r:
+               jmp j
+             j:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let e = f.expr_universe()[0];
+        let counts = path_eval_counts(&f, &[e], 100).unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]); // r path: 1, l path: 2
+    }
+
+    #[test]
+    fn path_counts_reject_cycles() {
+        let f = parse_function(
+            "fn c {
+             entry:
+               jmp h
+             h:
+               br c, h, d
+             d:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(path_eval_counts(&f, &[], 100), None);
+    }
+
+    #[test]
+    fn live_points_measures_def_to_use_distance() {
+        let near = parse_function(
+            "fn near {
+             entry:
+               t = a + b
+               obs t
+               pad0 = 0
+               pad1 = 0
+               ret
+             }",
+        )
+        .unwrap();
+        let far = parse_function(
+            "fn far {
+             entry:
+               t = a + b
+               pad0 = 0
+               pad1 = 0
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        let t_near = near.symbols.get("t").unwrap();
+        let t_far = far.symbols.get("t").unwrap();
+        assert!(live_points(&far, &[t_far]) > live_points(&near, &[t_near]));
+        assert_eq!(live_points(&near, &[]), 0);
+    }
+
+    #[test]
+    fn live_points_follow_cross_block_ranges() {
+        let f = parse_function(
+            "fn x {
+             entry:
+               t = a + b
+               jmp mid
+             mid:
+               pad = 0
+               jmp last
+             last:
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        let t = f.symbols.get("t").unwrap();
+        // Live at: before jmp(entry), before pad, before jmp(mid),
+        // before obs. (Not after obs.)
+        assert_eq!(live_points(&f, &[t]), 4);
+    }
+
+    #[test]
+    fn loop_depths_and_weighted_sites() {
+        let f = parse_function(
+            "fn w {
+             entry:
+               x = a + b
+               jmp outer
+             outer:
+               y = a + b
+               br c, inner, done
+             inner:
+               z = a + b
+               br d, inner, outer_latch
+             outer_latch:
+               jmp outer
+             done:
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        let depth = loop_depths(&f);
+        let get = |n: &str| f.block_by_name(n).unwrap().index();
+        assert_eq!(depth[f.entry().index()], 0);
+        assert_eq!(depth[get("outer")], 1);
+        assert_eq!(depth[get("inner")], 2);
+        assert_eq!(depth[get("done")], 0);
+        let e = f.expr_universe();
+        // 1 (entry) + 10 (outer) + 100 (inner).
+        assert_eq!(weighted_eval_sites(&f, &e), 111);
+    }
+
+    #[test]
+    fn static_sites_count_occurrences() {
+        let f = parse_function(
+            "fn s {
+             entry:
+               x = a + b
+               y = a + b
+               z = a * b
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = f.expr_universe();
+        assert_eq!(static_eval_sites(&f, &uni), 3);
+        assert_eq!(static_eval_sites(&f, &uni[..1]), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Morel–Renvoise (1979) partial-redundancy elimination — the
+//! **bidirectional** baseline that Lazy Code Motion was designed to
+//! replace.
+//!
+//! The placement predicates `PPIN`/`PPOUT` ("placement possible at
+//! entry/exit") satisfy a mutually recursive system that mixes forward and
+//! backward dependences and therefore cannot be staged into independent
+//! unidirectional sweeps:
+//!
+//! ```text
+//! PPIN[b]  = PAVIN[b] ∩ (ANTLOC[b] ∪ (TRANSP[b] ∩ PPOUT[b]))
+//!                      ∩ ⋂ over preds p of (PPOUT[p] ∪ AVOUT[p])
+//!            (∅ at the entry block)
+//! PPOUT[b] = ⋂ over succs s of PPIN[s]          (∅ at the exit block)
+//!
+//! INSERT[b] = PPOUT[b] ∩ ¬AVOUT[b] ∩ (¬PPIN[b] ∪ ¬TRANSP[b])   (at b's end)
+//! DELETE[b] = ANTLOC[b] ∩ PPIN[b]
+//! ```
+//!
+//! Besides being harder to reason about, the bidirectional system is
+//! weaker: insertions happen only at block *ends*, so redundancies whose
+//! optimal insertion point is a critical edge are missed — the situation
+//! the paper's edge/node placement handles. The complexity experiment (C1)
+//! additionally measures its costlier convergence.
+
+use lcm_dataflow::{BitSet, SolveStats};
+use lcm_ir::{graph, Function};
+
+use crate::analyses;
+use crate::predicates::LocalPredicates;
+use crate::transform::PlacementPlan;
+use crate::universe::ExprUniverse;
+
+/// The Morel–Renvoise fixpoint and derived placement.
+#[derive(Clone, Debug)]
+pub struct MorelRenvoiseResult {
+    /// `PPIN[b]`.
+    pub ppin: Vec<BitSet>,
+    /// `PPOUT[b]`.
+    pub ppout: Vec<BitSet>,
+    /// Placement plan: insertions at block bottoms only.
+    pub plan: PlacementPlan,
+    /// `DELETE[b] = ANTLOC[b] ∩ PPIN[b]` — the deletions the equations
+    /// promise; the transform layer re-derives them from availability and
+    /// the tests assert agreement.
+    pub delete: Vec<BitSet>,
+    /// Bidirectional sweeps needed to converge plus the word ops spent
+    /// (including the prerequisite availability / partial-availability
+    /// passes).
+    pub stats: SolveStats,
+}
+
+/// Runs Morel–Renvoise PRE on `f`.
+pub fn morel_renvoise_plan(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> MorelRenvoiseResult {
+    let avail = analyses::availability(f, uni, local);
+    let pavail = analyses::partial_availability(f, uni, local);
+    let mut stats = avail.stats;
+    stats += pavail.stats;
+
+    let n = f.num_blocks();
+    let preds = f.preds();
+    let order = graph::reverse_postorder(f);
+    let words = uni.empty_set().num_words() as u64;
+
+    // Greatest fixpoint: start from the full set everywhere except the
+    // boundaries and shrink.
+    let mut ppin = vec![uni.full_set(); n];
+    let mut ppout = vec![uni.full_set(); n];
+    ppin[f.entry().index()] = uni.empty_set();
+    ppout[f.exit().index()] = uni.empty_set();
+
+    loop {
+        stats.iterations += 1;
+        let mut changed = false;
+        for &b in &order {
+            let bi = b.index();
+            stats.node_visits += 1;
+            // PPOUT first (it feeds PPIN of the same block).
+            if b != f.exit() {
+                let mut acc = uni.full_set();
+                for s in f.succs(b) {
+                    acc.intersect_with(&ppin[s.index()]);
+                    stats.word_ops += words;
+                }
+                if acc != ppout[bi] {
+                    ppout[bi] = acc;
+                    changed = true;
+                }
+            }
+            if b != f.entry() {
+                // PAVIN ∩ (ANTLOC ∪ (TRANSP ∩ PPOUT)) ∩ ⋂(PPOUT[p] ∪ AVOUT[p])
+                let mut v = local.transp[bi].clone();
+                v.intersect_with(&ppout[bi]);
+                v.union_with(&local.antloc[bi]);
+                v.intersect_with(&pavail.ins[bi]);
+                stats.word_ops += 3 * words;
+                for &p in &preds[bi] {
+                    let mut from_pred = ppout[p.index()].clone();
+                    from_pred.union_with(&avail.outs[p.index()]);
+                    v.intersect_with(&from_pred);
+                    stats.word_ops += 3 * words;
+                }
+                if v != ppin[bi] {
+                    ppin[bi] = v;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // INSERT at block bottoms; DELETE as promised by the equations.
+    let mut plan = PlacementPlan::empty("morel-renvoise", f, uni);
+    let mut delete = Vec::with_capacity(n);
+    for b in f.block_ids() {
+        let bi = b.index();
+        let mut ins = local.transp[bi].clone();
+        ins.intersect_with(&ppin[bi]);
+        ins.complement(); // ¬PPIN ∪ ¬TRANSP
+        ins.intersect_with(&ppout[bi]);
+        ins.difference_with(&avail.outs[bi]);
+        plan.block_bottom_inserts[bi] = ins;
+
+        let mut d = local.antloc[bi].clone();
+        d.intersect_with(&ppin[bi]);
+        delete.push(d);
+    }
+
+    MorelRenvoiseResult {
+        ppin,
+        ppout,
+        plan,
+        delete,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyses::GlobalAnalyses;
+    use crate::lcm_edge::lazy_edge_plan;
+    use crate::transform::{apply_plan, deletions, temp_availability};
+    use lcm_ir::parse_function;
+
+    fn setup(text: &str) -> (Function, ExprUniverse, LocalPredicates) {
+        let f = parse_function(text).unwrap();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        (f, uni, local)
+    }
+
+    const DIAMOND: &str = "fn d {
+        entry:
+          br c, l, r
+        l:
+          x = a + b
+          jmp join
+        r:
+          jmp join
+        join:
+          y = a + b
+          obs y
+          ret
+        }";
+
+    #[test]
+    fn mr_handles_the_plain_diamond() {
+        let (f, uni, local) = setup(DIAMOND);
+        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let r = f.block_by_name("r").unwrap();
+        let join = f.block_by_name("join").unwrap();
+        // Insertion at the end of the empty arm; join occurrence deleted.
+        assert!(mr.plan.block_bottom_inserts[r.index()].contains(0));
+        assert!(mr.delete[join.index()].contains(0));
+        let result = apply_plan(&f, &uni, &local, &mr.plan);
+        lcm_ir::verify(&result.function).unwrap();
+        assert_eq!(result.stats.deletions, 1);
+    }
+
+    #[test]
+    fn mr_promised_deletes_match_availability_deletes() {
+        for text in [
+            DIAMOND,
+            "fn loopy {
+             entry:
+               i = 9
+               jmp body
+             body:
+               x = a + b
+               obs x
+               i = i - 1
+               br i, body, done
+             done:
+               obs x
+               ret
+             }",
+        ] {
+            let (f, uni, local) = setup(text);
+            let mr = morel_renvoise_plan(&f, &uni, &local);
+            let tav = temp_availability(&f, &uni, &local, &mr.plan);
+            let from_tav = deletions(&f, &uni, &local, &mr.plan, &tav);
+            assert_eq!(from_tav, mr.delete, "mismatch for {}", f.name);
+        }
+    }
+
+    #[test]
+    fn mr_misses_the_critical_edge_case_lcm_handles() {
+        // The partially redundant computation sits behind a critical edge:
+        // inserting at the end of `top` would be unsafe (the l path kills
+        // b first… no: would be *unprofitable* — it recomputes on the l
+        // path), and there is no block whose end covers only the r path.
+        // MR therefore cannot delete; LCM splits the edge and can.
+        let text = "fn crit {
+            entry:
+              br c, mid, join
+            mid:
+              x = a + b
+              jmp join
+            join:
+              y = a + b
+              obs y
+              ret
+            }";
+        let (f, uni, local) = setup(text);
+        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let join = f.block_by_name("join").unwrap();
+        assert!(
+            !mr.delete[join.index()].contains(0),
+            "MR should not handle the critical-edge diamond"
+        );
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        assert!(
+            lazy.delete[join.index()].contains(0),
+            "LCM must handle it by edge splitting"
+        );
+        let result = apply_plan(&f, &uni, &local, &lazy.plan);
+        assert!(result.stats.edges_split > 0);
+        lcm_ir::verify(&result.function).unwrap();
+    }
+
+    #[test]
+    fn mr_takes_more_sweeps_than_unidirectional_passes() {
+        // Not a theorem, but on a ladder of diamonds the bidirectional
+        // system predictably needs several sweeps.
+        let f = lcm_cfggen::shapes::ladder(6);
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let mr = morel_renvoise_plan(&f, &uni, &local);
+        assert!(mr.stats.iterations >= 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Global copy propagation (available-copies analysis).
+//!
+//! A use of `u` is replaced by `s` when the copy `u = s` is *available*:
+//! it was executed on every path to the use and neither `u` nor `s` has
+//! been redefined since. The analysis is a forward must-problem over the
+//! function's copy *sites*; within blocks a local walk keeps the
+//! substitution map exact. Chained copies (`t = x; u = t; … u …`)
+//! collapse to the original source when all links are simultaneously
+//! available.
+//!
+//! This is the clean-up that dissolves the `t := e; v := t` pairs the PRE
+//! rewriter leaves at retained occurrences.
+
+use std::collections::HashMap;
+
+use lcm_dataflow::{BitSet, Confluence, Direction, Problem, Transfer};
+use lcm_ir::{Expr, Function, Instr, Operand, Rvalue, Terminator, Var};
+
+/// A var-to-var copy site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Site {
+    dst: Var,
+    src: Var,
+}
+
+fn copy_of(instr: Instr) -> Option<Site> {
+    match instr {
+        Instr::Assign {
+            dst,
+            rv: Rvalue::Operand(Operand::Var(src)),
+        } if dst != src => Some(Site { dst, src }),
+        _ => None,
+    }
+}
+
+/// Runs global copy propagation on `f`; returns the number of operand
+/// uses rewritten.
+///
+/// ```
+/// use lcm_core::passes::copy_propagation;
+/// let mut f = lcm_ir::parse_function(
+///     "fn c {\nentry:\n  t = x\n  jmp next\nnext:\n  obs t\n  ret\n}",
+/// )?;
+/// assert_eq!(copy_propagation(&mut f), 1);
+/// assert!(f.to_string().contains("obs x"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn copy_propagation(f: &mut Function) -> usize {
+    // Collect the copy sites (deduplicated: identical (dst, src) pairs
+    // share availability).
+    let mut sites: Vec<Site> = Vec::new();
+    let mut site_index: HashMap<(Var, Var), usize> = HashMap::new();
+    for b in f.block_ids() {
+        for &instr in &f.block(b).instrs {
+            if let Some(site) = copy_of(instr) {
+                site_index.entry((site.dst, site.src)).or_insert_with(|| {
+                    sites.push(site);
+                    sites.len() - 1
+                });
+            }
+        }
+    }
+    if sites.is_empty() {
+        return 0;
+    }
+    let nsites = sites.len();
+    // Which sites a definition of `v` invalidates.
+    let mut killed_by: HashMap<Var, Vec<usize>> = HashMap::new();
+    for (i, s) in sites.iter().enumerate() {
+        killed_by.entry(s.dst).or_default().push(i);
+        if s.src != s.dst {
+            killed_by.entry(s.src).or_default().push(i);
+        }
+    }
+
+    // Per-block gen/kill by a local forward walk.
+    let transfer: Vec<Transfer> = f
+        .block_ids()
+        .map(|b| {
+            let mut t = Transfer::identity(nsites);
+            for &instr in &f.block(b).instrs {
+                if let Some(dst) = instr.def() {
+                    for &i in killed_by.get(&dst).map_or(&[][..], |v| v.as_slice()) {
+                        t.gen.remove(i);
+                        t.kill.insert(i);
+                    }
+                }
+                if let Some(site) = copy_of(instr) {
+                    let i = site_index[&(site.dst, site.src)];
+                    t.gen.insert(i);
+                    t.kill.remove(i);
+                }
+            }
+            t
+        })
+        .collect();
+    let avail = Problem::new(f, nsites, Direction::Forward, Confluence::Must, transfer).solve();
+
+    // Rewrite, tracking the exact available set through each block.
+    let mut rewrites = 0usize;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut live: BitSet = avail.ins[b.index()].clone();
+        // var → source under the current available set. Consistent: two
+        // available copies with the same dst would require the later one's
+        // def to kill the earlier.
+        let mut map: HashMap<Var, Var> = HashMap::new();
+        for i in live.iter() {
+            map.insert(sites[i].dst, sites[i].src);
+        }
+        let resolve = |map: &HashMap<Var, Var>, mut v: Var| -> Var {
+            let mut hops = 0;
+            while let Some(&s) = map.get(&v) {
+                v = s;
+                hops += 1;
+                if hops > map.len() {
+                    break; // defensive: cyclic copies cannot be available, but cap anyway
+                }
+            }
+            v
+        };
+        let subst = |map: &HashMap<Var, Var>, op: Operand, rewrites: &mut usize| -> Operand {
+            if let Operand::Var(v) = op {
+                let r = resolve(map, v);
+                if r != v {
+                    *rewrites += 1;
+                    return Operand::Var(r);
+                }
+            }
+            op
+        };
+
+        let instrs = f.block(b).instrs.clone();
+        let mut rewritten = Vec::with_capacity(instrs.len());
+        for instr in instrs {
+            let new_instr = match instr {
+                Instr::Assign { dst, rv } => {
+                    let rv = match rv {
+                        Rvalue::Operand(o) => Rvalue::Operand(subst(&map, o, &mut rewrites)),
+                        Rvalue::Expr(Expr::Un(op, a)) => {
+                            Rvalue::Expr(Expr::Un(op, subst(&map, a, &mut rewrites)))
+                        }
+                        Rvalue::Expr(Expr::Bin(op, a, c)) => Rvalue::Expr(Expr::Bin(
+                            op,
+                            subst(&map, a, &mut rewrites),
+                            subst(&map, c, &mut rewrites),
+                        )),
+                    };
+                    Instr::Assign { dst, rv }
+                }
+                Instr::Observe(o) => Instr::Observe(subst(&map, o, &mut rewrites)),
+            };
+            rewritten.push(new_instr);
+            if let Instr::Assign { dst, .. } = new_instr {
+                map.retain(|k, v| *k != dst && *v != dst);
+                for &i in killed_by.get(&dst).map_or(&[][..], |v| v.as_slice()) {
+                    live.remove(i);
+                }
+                if let Some(site) = copy_of(new_instr) {
+                    map.insert(site.dst, site.src);
+                }
+            }
+        }
+        // Branch conditions read the block-exit state.
+        if let Terminator::Branch { cond, then_to, else_to } = f.block(b).term {
+            let new_cond = subst(&map, cond, &mut rewrites);
+            f.block_mut(b).term = Terminator::Branch {
+                cond: new_cond,
+                then_to,
+                else_to,
+            };
+        }
+        f.block_mut(b).instrs = rewritten;
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn propagates_within_a_block() {
+        let mut f = parse_function(
+            "fn p {
+             entry:
+               t = x
+               y = t + 1
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 2);
+        let text = f.to_string();
+        assert!(text.contains("y = x + 1"));
+        assert!(text.contains("obs x"));
+    }
+
+    #[test]
+    fn propagates_across_blocks() {
+        let mut f = parse_function(
+            "fn g {
+             entry:
+               t = x
+               jmp mid
+             mid:
+               y = t + 1
+               jmp last
+             last:
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 2);
+        assert!(f.to_string().contains("y = x + 1"));
+        assert!(f.to_string().contains("obs x"));
+    }
+
+    #[test]
+    fn must_hold_on_all_paths() {
+        // The copy exists on only one arm: the join must not propagate.
+        let mut f = parse_function(
+            "fn m {
+             entry:
+               br c, l, r
+             l:
+               t = x
+               jmp j
+             r:
+               t = y
+               jmp j
+             j:
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 0);
+    }
+
+    #[test]
+    fn source_redefinition_blocks_propagation() {
+        let mut f = parse_function(
+            "fn s {
+             entry:
+               t = x
+               jmp mid
+             mid:
+               x = 0
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 0);
+    }
+
+    #[test]
+    fn chains_collapse_globally() {
+        let mut f = parse_function(
+            "fn ch {
+             entry:
+               t = x
+               u = t
+               jmp mid
+             mid:
+               obs u
+               ret
+             }",
+        )
+        .unwrap();
+        // u = t becomes u = x; obs u becomes obs x.
+        assert!(copy_propagation(&mut f) >= 2);
+        assert!(f.to_string().contains("obs x"));
+    }
+
+    #[test]
+    fn branch_conditions_are_propagated() {
+        let mut f = parse_function(
+            "fn b {
+             entry:
+               t = c
+               br t, l, r
+             l:
+               jmp r
+             r:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 1);
+        assert!(f.to_string().contains("br c, l, r"));
+    }
+
+    #[test]
+    fn copies_survive_loops_when_untouched() {
+        let mut f = parse_function(
+            "fn l {
+             entry:
+               t = x
+               i = 3
+               jmp head
+             head:
+               br i, body, done
+             body:
+               y = t + 1
+               obs y
+               i = i - 1
+               jmp head
+             done:
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(copy_propagation(&mut f), 2);
+        assert!(f.to_string().contains("y = x + 1"));
+    }
+
+    #[test]
+    fn loop_carried_redefinition_blocks() {
+        let mut f = parse_function(
+            "fn lc {
+             entry:
+               t = x
+               i = 3
+               jmp head
+             head:
+               br i, body, done
+             body:
+               obs t
+               x = x + 1
+               i = i - 1
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        // x changes inside the loop, so `t = x` is not available at the
+        // loop head (around the back edge) and `obs t` must stay.
+        assert_eq!(copy_propagation(&mut f), 0);
+    }
+
+    #[test]
+    fn self_copy_is_ignored() {
+        let mut f = parse_function("fn s {\nentry:\n  x = x\n  obs x\n  ret\n}").unwrap();
+        assert_eq!(copy_propagation(&mut f), 0);
+    }
+}

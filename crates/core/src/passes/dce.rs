@@ -1,0 +1,149 @@
+//! Dead-code elimination.
+//!
+//! Removes assignments whose destination is never subsequently read
+//! (observations and branch conditions are the liveness roots). This is
+//! what dissolves the useless temporaries that a non-isolation-aware PRE
+//! (the paper's ALCM strawman) leaves behind.
+
+use lcm_dataflow::{analyses, BitSet};
+use lcm_ir::{Function, Instr};
+
+/// Repeatedly removes dead assignments until a fixpoint; returns the total
+/// number of instructions removed.
+///
+/// All assignments are pure in this IR, so removal is always sound for
+/// dead destinations.
+///
+/// ```
+/// use lcm_core::passes::dce;
+/// let mut f = lcm_ir::parse_function(
+///     "fn d {\nentry:\n  a = 1\n  b = a + 2\n  obs a\n  ret\n}",
+/// )?;
+/// assert_eq!(dce(&mut f), 1); // b is never read
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn dce(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let removed = dce_round(f);
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+fn dce_round(f: &mut Function) -> usize {
+    if f.symbols.is_empty() {
+        return 0;
+    }
+    let liveness = analyses::var_liveness(f);
+
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut live: BitSet = liveness.outs[b.index()].clone();
+        if let Some(c) = f.block(b).term.use_var() {
+            live.insert(c.index());
+        }
+        let instrs = f.block(b).instrs.clone();
+        let mut kept_rev = Vec::with_capacity(instrs.len());
+        for instr in instrs.iter().rev() {
+            let dead = match instr {
+                Instr::Assign { dst, .. } => !live.contains(dst.index()),
+                Instr::Observe(_) => false,
+            };
+            if dead {
+                removed += 1;
+                continue;
+            }
+            kept_rev.push(*instr);
+            if let Some(dst) = instr.def() {
+                live.remove(dst.index());
+            }
+            for u in instr.uses() {
+                live.insert(u.index());
+            }
+        }
+        kept_rev.reverse();
+        f.block_mut(b).instrs = kept_rev;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut f = parse_function(
+            "fn d {
+             entry:
+               a = 1
+               b = a + 2
+               c = b + 3
+               obs a
+               ret
+             }",
+        )
+        .unwrap();
+        // c is dead; after removing c, b is dead; a stays (observed).
+        assert_eq!(dce(&mut f), 2);
+        assert_eq!(f.num_instrs(), 2);
+    }
+
+    #[test]
+    fn keeps_branch_condition_roots() {
+        let mut f = parse_function(
+            "fn b {
+             entry:
+               c = x < 5
+               br c, l, r
+             l:
+               jmp r
+             r:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn keeps_loop_carried_variables() {
+        let mut f = parse_function(
+            "fn l {
+             entry:
+               i = 3
+               jmp head
+             head:
+               br i, body, done
+             body:
+               i = i - 1
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn removes_redefined_before_use() {
+        let mut f = parse_function(
+            "fn r {
+             entry:
+               x = 1
+               x = 2
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut f), 1);
+        assert!(f.to_string().contains("x = 2"));
+        assert!(!f.to_string().contains("x = 1"));
+    }
+}

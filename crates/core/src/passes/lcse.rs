@@ -1,0 +1,236 @@
+//! Local common-subexpression elimination (block-scoped value reuse).
+//!
+//! Within one basic block, a recomputation of an expression whose operands
+//! are unchanged is replaced by a copy of the previously computed value.
+//! When the variable that held the value has itself been overwritten, a
+//! fresh temporary is introduced at the first computation
+//! (`t = e; v = t; …; w = t`), so the pass always leaves blocks in the
+//! *canonical* form the paper assumes: per expression, at most one
+//! evaluation between consecutive kills — equivalently, at most one
+//! upward-exposed and one downward-exposed evaluation per block.
+
+use std::collections::HashMap;
+
+use lcm_ir::{Expr, Function, Instr, Operand, Rvalue, Var};
+
+/// Runs LCSE on every block of `f`; returns the number of re-computations
+/// replaced by copies.
+///
+/// ```
+/// use lcm_core::passes::lcse;
+/// let mut f = lcm_ir::parse_function(
+///     "fn l {\nentry:\n  x = a + b\n  y = a + b\n  obs y\n  ret\n}",
+/// )?;
+/// assert_eq!(lcse(&mut f), 1);
+/// assert_eq!(f.expr_occurrences().count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lcse(f: &mut Function) -> usize {
+    let mut replaced = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let instrs = f.block(b).instrs.clone();
+
+        // Backward prescan: `reused_later[i]` — the value computed by the
+        // occurrence at `i` is recomputed later in the same kill-free
+        // segment (so it is worth pinning in a temporary).
+        let mut reused_later = vec![false; instrs.len()];
+        let mut pending: HashMap<Expr, bool> = HashMap::new();
+        for (i, instr) in instrs.iter().enumerate().rev() {
+            // The destination kill happens after the rhs, so process it
+            // first when walking backwards.
+            if let Some(dst) = instr.def() {
+                pending.retain(|e, _| !e.mentions(dst));
+            }
+            if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+                reused_later[i] = pending.contains_key(e);
+                pending.insert(*e, true);
+            }
+        }
+
+        // Forward rewrite: `holder[e]` is a variable currently carrying
+        // `e`'s value (a fresh temp, so it can never be clobbered by the
+        // original code).
+        let mut holder: HashMap<Expr, Var> = HashMap::new();
+        let mut rewritten = Vec::with_capacity(instrs.len() + 4);
+        for (i, instr) in instrs.iter().enumerate() {
+            match *instr {
+                Instr::Assign { dst, rv: Rvalue::Expr(e) } => {
+                    if let Some(&h) = holder.get(&e) {
+                        replaced += 1;
+                        rewritten.push(Instr::Assign {
+                            dst,
+                            rv: Rvalue::Operand(Operand::Var(h)),
+                        });
+                    } else if reused_later[i] && !e.mentions(dst) {
+                        let t = f.fresh_temp();
+                        rewritten.push(Instr::Assign { dst: t, rv: Rvalue::Expr(e) });
+                        rewritten.push(Instr::Assign {
+                            dst,
+                            rv: Rvalue::Operand(Operand::Var(t)),
+                        });
+                        holder.insert(e, t);
+                    } else {
+                        rewritten.push(*instr);
+                    }
+                }
+                _ => rewritten.push(*instr),
+            }
+            if let Some(dst) = instr.def() {
+                holder.retain(|e, _| !e.mentions(dst));
+            }
+        }
+        f.block_mut(b).instrs = rewritten;
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn reuses_within_a_block() {
+        let mut f = parse_function(
+            "fn l {
+             entry:
+               x = a + b
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 1);
+        assert_eq!(f.expr_occurrences().count(), 1);
+        // Semantics preserved.
+        let out = lcm_interp::run(
+            &f,
+            &lcm_interp::Inputs::new().set("a", 2).set("b", 5),
+            100,
+        );
+        assert_eq!(out.trace, vec![7]);
+    }
+
+    #[test]
+    fn survives_holder_clobbering_via_a_temp() {
+        // e (the holder of d ^ c) is overwritten before the recomputation;
+        // the pass must pin the value in a temp.
+        let mut f = parse_function(
+            "fn h {
+             entry:
+               e = d ^ c
+               e = a
+               g = d ^ c
+               obs e
+               obs g
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 1);
+        assert_eq!(f.expr_occurrences().count(), 1);
+        let out = lcm_interp::run(
+            &f,
+            &lcm_interp::Inputs::new().set("d", 6).set("c", 3).set("a", -1),
+            100,
+        );
+        assert_eq!(out.trace, vec![-1, 5]);
+    }
+
+    #[test]
+    fn kill_invalidates_reuse() {
+        let mut f = parse_function(
+            "fn k {
+             entry:
+               x = a + b
+               a = 1
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 0);
+        assert_eq!(f.expr_occurrences().count(), 2);
+    }
+
+    #[test]
+    fn self_killing_computation_is_not_reused() {
+        // a = a + b kills its own expression; the next occurrence computes
+        // a different value.
+        let mut f = parse_function(
+            "fn s {
+             entry:
+               a = a + b
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 0);
+    }
+
+    #[test]
+    fn canonicalises_triple_occurrences() {
+        let mut f = parse_function(
+            "fn t {
+             entry:
+               x = a + b
+               x = 0
+               y = a + b
+               z = a + b
+               obs x
+               obs y
+               obs z
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 2);
+        assert_eq!(f.expr_occurrences().count(), 1);
+        let out = lcm_interp::run(
+            &f,
+            &lcm_interp::Inputs::new().set("a", 1).set("b", 2),
+            100,
+        );
+        assert_eq!(out.trace, vec![0, 3, 3]);
+    }
+
+    #[test]
+    fn does_not_cross_blocks() {
+        let mut f = parse_function(
+            "fn c {
+             entry:
+               x = a + b
+               jmp next
+             next:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut f = parse_function(
+            "fn i {
+             entry:
+               e = d ^ c
+               e = a
+               g = d ^ c
+               obs g
+               ret
+             }",
+        )
+        .unwrap();
+        lcse(&mut f);
+        let once = f.to_string();
+        assert_eq!(lcse(&mut f), 0);
+        assert_eq!(f.to_string(), once);
+    }
+}

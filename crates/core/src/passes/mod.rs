@@ -1,0 +1,15 @@
+//! Supporting scalar optimisations.
+//!
+//! The paper assumes local common-subexpression elimination has run before
+//! code motion ([`lcse`]); [`copy_propagation`] and [`dce`] are the
+//! clean-up passes production compilers schedule after PRE to dissolve the
+//! copies and dead temporaries the rewriting leaves behind. Together they
+//! form the pipeline exposed by [`crate::optimize`].
+
+mod copyprop;
+mod dce;
+mod lcse;
+
+pub use copyprop::copy_propagation;
+pub use dce::dce;
+pub use lcse::lcse;

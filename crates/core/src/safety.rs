@@ -1,0 +1,273 @@
+//! Safety oracles: checks that transformations only do what classic PRE is
+//! allowed to do.
+//!
+//! Two independent checks back the paper's admissibility theorem (T1):
+//!
+//! * [`check_definite_assignment`] — in the *transformed* program, every
+//!   read of an introduced temporary is dominated by assignments on **all**
+//!   paths (no path can observe an uninitialised temp).
+//! * [`check_plan_safety`] — in the *original* program, every planned
+//!   insertion point is safe (down-safe or up-safe): the inserted
+//!   computation cannot be one that some path never executed before.
+
+use std::error::Error;
+use std::fmt;
+
+use lcm_dataflow::{analyses, BitSet};
+use lcm_ir::{BlockId, Function, Var};
+
+use crate::analyses::GlobalAnalyses;
+use crate::predicates::LocalPredicates;
+use crate::transform::PlacementPlan;
+use crate::universe::ExprUniverse;
+
+/// A violation found by one of the safety checks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SafetyError {
+    /// A tracked variable may be read before any assignment.
+    MaybeUnassigned {
+        /// Block containing the offending read.
+        block: BlockId,
+        /// Instruction index within the block (`usize::MAX` for the
+        /// terminator).
+        instr: usize,
+        /// The variable read.
+        var: Var,
+    },
+    /// An insertion is planned at a point that is neither down-safe nor
+    /// up-safe.
+    UnsafeInsertion {
+        /// Description of the insertion point.
+        at: String,
+        /// Universe index of the offending expression.
+        expr: usize,
+    },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::MaybeUnassigned { block, instr, var } => {
+                write!(
+                    f,
+                    "variable {var:?} may be read unassigned at {block}[{instr}]"
+                )
+            }
+            SafetyError::UnsafeInsertion { at, expr } => {
+                write!(f, "insertion of expression #{expr} at {at} is unsafe")
+            }
+        }
+    }
+}
+
+impl Error for SafetyError {}
+
+/// Checks that every read of a variable in `tracked` is preceded by
+/// assignments to it on **every** path from the entry.
+///
+/// # Errors
+///
+/// Returns the first potentially-unassigned read found.
+pub fn check_definite_assignment(f: &Function, tracked: &[Var]) -> Result<(), SafetyError> {
+    if tracked.is_empty() {
+        return Ok(());
+    }
+    let mut is_tracked = vec![false; f.symbols.len()];
+    for &v in tracked {
+        is_tracked[v.index()] = true;
+    }
+    let solution = analyses::definitely_assigned(f);
+
+    for b in f.block_ids() {
+        let mut assigned = solution.ins[b.index()].clone();
+        let data = f.block(b);
+        for (i, instr) in data.instrs.iter().enumerate() {
+            for used in instr.uses() {
+                if is_tracked[used.index()] && !assigned.contains(used.index()) {
+                    return Err(SafetyError::MaybeUnassigned {
+                        block: b,
+                        instr: i,
+                        var: used,
+                    });
+                }
+            }
+            if let Some(dst) = instr.def() {
+                assigned.insert(dst.index());
+            }
+        }
+        if let Some(cond) = data.term.use_var() {
+            if is_tracked[cond.index()] && !assigned.contains(cond.index()) {
+                return Err(SafetyError::MaybeUnassigned {
+                    block: b,
+                    instr: usize::MAX,
+                    var: cond,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every insertion in `plan` sits at a safe point of the
+/// function the plan was computed for: down-safe (the expression is
+/// anticipated there) or up-safe (it is available there). Classic PRE
+/// forbids anything else.
+///
+/// # Errors
+///
+/// Returns the first unsafe insertion found.
+pub fn check_plan_safety(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+    plan: &PlacementPlan,
+) -> Result<(), SafetyError> {
+    let _ = (uni, local);
+    let safe_between = |avail_before: &BitSet, antic_after: &BitSet, set: &BitSet, at: String| {
+        for e in set.iter() {
+            if !antic_after.contains(e) && !avail_before.contains(e) {
+                return Err(SafetyError::UnsafeInsertion { at, expr: e });
+            }
+        }
+        Ok(())
+    };
+
+    // Virtual entry edge: nothing is available above the entry.
+    for e in plan.entry_insert.iter() {
+        if !ga.antic.ins[f.entry().index()].contains(e) {
+            return Err(SafetyError::UnsafeInsertion {
+                at: "entry".to_string(),
+                expr: e,
+            });
+        }
+    }
+    for (eid, edge) in plan.edges.iter() {
+        safe_between(
+            &ga.avail.outs[edge.from.index()],
+            &ga.antic.ins[edge.to.index()],
+            &plan.edge_inserts[eid.index()],
+            edge.to_string(),
+        )?;
+    }
+    for b in f.block_ids() {
+        let bi = b.index();
+        safe_between(
+            &ga.avail.ins[bi],
+            &ga.antic.ins[bi],
+            &plan.block_top_inserts[bi],
+            format!("top of {b}"),
+        )?;
+        safe_between(
+            &ga.avail.outs[bi],
+            &ga.antic.outs[bi],
+            &plan.block_bottom_inserts[bi],
+            format!("bottom of {b}"),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn definite_assignment_accepts_dominating_defs() {
+        let f = parse_function(
+            "fn ok {
+             entry:
+               t = a + b
+               br c, l, r
+             l:
+               x = t
+               jmp j
+             r:
+               y = t
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let t = f.symbols.get("t").unwrap();
+        check_definite_assignment(&f, &[t]).unwrap();
+    }
+
+    #[test]
+    fn definite_assignment_rejects_one_sided_defs() {
+        let f = parse_function(
+            "fn bad {
+             entry:
+               br c, l, r
+             l:
+               t = a + b
+               jmp j
+             r:
+               jmp j
+             j:
+               x = t
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        let t = f.symbols.get("t").unwrap();
+        let err = check_definite_assignment(&f, &[t]).unwrap_err();
+        match err {
+            SafetyError::MaybeUnassigned { var, .. } => assert_eq!(var, t),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Untracked variables are not reported.
+        check_definite_assignment(&f, &[]).unwrap();
+    }
+
+    #[test]
+    fn definite_assignment_checks_branch_conditions() {
+        let f = parse_function(
+            "fn cond {
+             entry:
+               br t, l, l
+             l:
+               t = 1
+               ret
+             }",
+        )
+        .unwrap();
+        let t = f.symbols.get("t").unwrap();
+        let err = check_definite_assignment(&f, &[t]).unwrap_err();
+        assert!(matches!(err, SafetyError::MaybeUnassigned { instr, .. } if instr == usize::MAX));
+    }
+
+    #[test]
+    fn plan_safety_flags_non_anticipated_insertions() {
+        use crate::transform::PlacementPlan;
+        let f = parse_function(
+            "fn p {
+             entry:
+               br c, l, r
+             l:
+               a = 1
+               x = a + b
+               jmp j
+             r:
+               jmp j
+             j:
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let mut plan = PlacementPlan::empty("test", &f, &uni);
+        // Inserting a + b at the entry is unsafe: the l path kills a before
+        // ever computing a + b with its entry value.
+        plan.entry_insert.insert(0);
+        let err = check_plan_safety(&f, &uni, &local, &ga, &plan).unwrap_err();
+        assert!(matches!(err, SafetyError::UnsafeInsertion { .. }));
+        assert!(err.to_string().contains("unsafe"));
+    }
+}

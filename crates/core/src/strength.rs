@@ -1,0 +1,710 @@
+//! Lazy strength reduction — the authors' companion extension of lazy code
+//! motion (Knoop, Rüthing & Steffen, *Lazy Strength Reduction*, Journal of
+//! Programming Languages 1(1), 1993).
+//!
+//! Strength reduction rewrites multiplications by loop-updated variables
+//! into additions: once `t = v * c` is established, a definition
+//! `v = v + d` (an *injury* in the paper's terminology) does not force a
+//! recomputation — the temporary can be *updated* in step,
+//! `t = t + d·c`, because distributivity holds exactly in wrapping
+//! arithmetic: `(v + d)·c = v·c + d·c`.
+//!
+//! The beauty of the lazy formulation is that **no new machinery is
+//! needed**: the candidate universe is restricted to `v * c` (variable
+//! times constant, either operand order), the local predicates treat
+//! injuries as transparent (only *opaque* definitions of `v` kill the
+//! candidate), and then the ordinary LCM cascade — availability,
+//! anticipability, EARLIEST, LATER — runs unchanged and yields the
+//! insertion points. The rewriter differs from plain code motion in one
+//! clause: wherever the temporary is active across an injury, it appends
+//! the update assignment.
+//!
+//! Guarantees (validated by the test-suite oracles exactly like the main
+//! algorithm): observational equivalence, and on every executed path the
+//! number of *multiplications* never increases — typically it collapses to
+//! one per loop entry — at the cost of one addition per injury.
+
+use std::collections::HashMap;
+
+use lcm_dataflow::BitSet;
+use lcm_ir::{
+    BinOp, BlockId, Expr, Function, Instr, Operand, Rvalue, Var,
+};
+
+use crate::analyses::GlobalAnalyses;
+use crate::lcm_edge::lazy_edge_plan;
+use crate::predicates::LocalPredicates;
+use crate::transform::{deletions, temp_availability, temp_liveness, PlacementPlan};
+use crate::universe::ExprUniverse;
+
+/// A strength-reduction candidate: `var * coeff` in either operand order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Candidate {
+    /// The (possibly injured) variable.
+    pub var: Var,
+    /// The constant coefficient.
+    pub coeff: i64,
+}
+
+impl Candidate {
+    /// The canonical expression form used in the universe.
+    pub fn repr(self) -> Expr {
+        Expr::Bin(
+            BinOp::Mul,
+            Operand::Var(self.var),
+            Operand::Const(self.coeff),
+        )
+    }
+
+    /// Matches an expression against this candidate (either operand
+    /// order).
+    pub fn matches(self, e: Expr) -> bool {
+        match e {
+            Expr::Bin(BinOp::Mul, Operand::Var(v), Operand::Const(c))
+            | Expr::Bin(BinOp::Mul, Operand::Const(c), Operand::Var(v)) => {
+                v == self.var && c == self.coeff
+            }
+            _ => false,
+        }
+    }
+
+    /// Extracts a candidate from an expression, if it has the right shape.
+    pub fn of_expr(e: Expr) -> Option<Candidate> {
+        match e {
+            Expr::Bin(BinOp::Mul, Operand::Var(v), Operand::Const(c))
+            | Expr::Bin(BinOp::Mul, Operand::Const(c), Operand::Var(v)) => {
+                Some(Candidate { var: v, coeff: c })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Classifies an instruction's effect on a candidate's variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Effect {
+    /// Does not define the variable.
+    None,
+    /// `v = v + d` / `v = d + v` / `v = v - d`: the temp can be updated by
+    /// the given (signed) delta times the coefficient.
+    Injury(i64),
+    /// Any other definition of the variable.
+    Kill,
+}
+
+fn effect_on(instr: Instr, var: Var) -> Effect {
+    let Instr::Assign { dst, rv } = instr else {
+        return Effect::None;
+    };
+    if dst != var {
+        return Effect::None;
+    }
+    match rv {
+        Rvalue::Expr(Expr::Bin(BinOp::Add, Operand::Var(v), Operand::Const(d)))
+        | Rvalue::Expr(Expr::Bin(BinOp::Add, Operand::Const(d), Operand::Var(v)))
+            if v == var =>
+        {
+            Effect::Injury(d)
+        }
+        Rvalue::Expr(Expr::Bin(BinOp::Sub, Operand::Var(v), Operand::Const(d))) if v == var => {
+            Effect::Injury(d.wrapping_neg())
+        }
+        _ => Effect::Kill,
+    }
+}
+
+/// What [`strength_reduce`] did.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StrengthStats {
+    /// Strength-reduction candidates found (`v * c` expressions).
+    pub candidates: usize,
+    /// `t = v * c` initialisations inserted.
+    pub insertions: usize,
+    /// Multiplication occurrences replaced by temp reads.
+    pub deletions: usize,
+    /// Occurrences retained as temp definitions.
+    pub retained_defs: usize,
+    /// `t = t + d·c` updates appended after injuries.
+    pub updates: usize,
+}
+
+/// The outcome of strength reduction.
+#[derive(Clone, Debug)]
+pub struct StrengthResult {
+    /// The transformed function (symbol table extends the input's).
+    pub function: Function,
+    /// The candidates, in universe order.
+    pub candidates: Vec<Candidate>,
+    /// `(universe index, temp)` for the materialised temporaries.
+    pub temps: Vec<(usize, Var)>,
+    /// Counters.
+    pub stats: StrengthStats,
+}
+
+impl StrengthResult {
+    /// The temporaries introduced.
+    pub fn temp_vars(&self) -> Vec<Var> {
+        self.temps.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+/// Collects the strength-reduction universe of `f`: distinct `v * c`
+/// candidates in first-occurrence order.
+pub fn candidates_of(f: &Function) -> Vec<Candidate> {
+    let mut seen: HashMap<(Var, i64), ()> = HashMap::new();
+    let mut out = Vec::new();
+    for (_, _, e) in f.expr_occurrences() {
+        if let Some(c) = Candidate::of_expr(e) {
+            if seen.insert((c.var, c.coeff), ()).is_none() {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// The injury-transparent local predicates plus, per candidate, whether
+/// some block re-evaluates it in the same opaque-kill-free segment — a
+/// *local* reuse opportunity (bridged by updates) that the global plan
+/// cannot see, analogous to what LCSE handles for plain code motion.
+struct SrLocals {
+    preds: LocalPredicates,
+    local_reuse: BitSet,
+}
+
+/// Computes the injury-transparent local predicates: an occurrence is
+/// upward/downward exposed unless an **opaque** definition of its variable
+/// intervenes; injuries do not kill.
+fn sr_local_predicates(f: &Function, cands: &[Candidate]) -> SrLocals {
+    let n = f.num_blocks();
+    let width = cands.len();
+    let mut antloc = vec![BitSet::new(width); n];
+    let mut comp = vec![BitSet::new(width); n];
+    let mut transp = vec![BitSet::full(width); n];
+    let mut local_reuse = BitSet::new(width);
+    for b in f.block_ids() {
+        let bi = b.index();
+        let mut killed_so_far = BitSet::new(width);
+        let mut avail_now = BitSet::new(width);
+        for &instr in &f.block(b).instrs {
+            if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+                for (idx, cand) in cands.iter().enumerate() {
+                    if !cand.matches(e) {
+                        continue;
+                    }
+                    if !killed_so_far.contains(idx) {
+                        antloc[bi].insert(idx);
+                    }
+                    if avail_now.contains(idx) {
+                        local_reuse.insert(idx);
+                    }
+                    avail_now.insert(idx);
+                }
+            }
+            for (idx, cand) in cands.iter().enumerate() {
+                if effect_on(instr, cand.var) == Effect::Kill {
+                    killed_so_far.insert(idx);
+                    avail_now.remove(idx);
+                    transp[bi].remove(idx);
+                }
+            }
+        }
+        comp[bi] = avail_now;
+    }
+    let kill = transp
+        .iter()
+        .map(|t| {
+            let mut k = t.clone();
+            k.complement();
+            k
+        })
+        .collect();
+    SrLocals {
+        preds: LocalPredicates {
+            antloc,
+            comp,
+            transp,
+            kill,
+        },
+        local_reuse,
+    }
+}
+
+/// Runs lazy strength reduction on `f`.
+///
+/// The analysis stage is literally lazy code motion over the restricted,
+/// injury-transparent universe; the rewriting stage is code motion plus
+/// update insertion after injuries.
+///
+/// ```
+/// use lcm_core::strength::strength_reduce;
+/// let f = lcm_ir::parse_function(
+///     "fn s {\nentry:\n  x = i * 4\n  obs x\n  i = i + 1\n  y = i * 4\n  obs y\n  ret\n}",
+/// )?;
+/// let res = strength_reduce(&f);
+/// assert_eq!(res.stats.updates, 1); // y is derived by t = t + 4
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn strength_reduce(f: &Function) -> StrengthResult {
+    let cands = candidates_of(f);
+    let uni = ExprUniverse::from_exprs(cands.iter().map(|c| c.repr()));
+    let locals = sr_local_predicates(f, &cands);
+    let ga = GlobalAnalyses::compute(f, &uni, &locals.preds);
+    let lazy = lazy_edge_plan(f, &uni, &locals.preds, &ga);
+    apply_sr_plan(f, &cands, &uni, &locals, &lazy.plan)
+}
+
+/// Applies a placement plan under strength-reduction semantics.
+fn apply_sr_plan(
+    f: &Function,
+    cands: &[Candidate],
+    uni: &ExprUniverse,
+    locals: &SrLocals,
+    plan: &PlacementPlan,
+) -> StrengthResult {
+    let local = &locals.preds;
+    let tav = temp_availability(f, uni, local, plan);
+    let delete = deletions(f, uni, local, plan, &tav);
+    let tlive = temp_liveness(f, uni, local, plan, &delete);
+
+    let mut out = f.clone();
+    let mut stats = StrengthStats {
+        candidates: cands.len(),
+        ..StrengthStats::default()
+    };
+
+    // Materialise temps for candidates with any activity — or with an
+    // injury crossing (a block where the temp flows through an injury):
+    // those need the temp too, but only when something downstream uses it,
+    // which is exactly "some insert or delete exists".
+    let mut active = plan.inserted_exprs(uni);
+    for d in &delete {
+        active.union_with(d);
+    }
+    active.union_with(&locals.local_reuse);
+    let mut temp_of: Vec<Option<Var>> = vec![None; cands.len()];
+    let mut temps = Vec::new();
+    for idx in active.iter() {
+        let t = out.fresh_temp();
+        temp_of[idx] = Some(t);
+        temps.push((idx, t));
+    }
+
+    // Rewrite blocks.
+    for b in f.block_ids() {
+        rewrite_sr_block(
+            &mut out,
+            cands,
+            b,
+            &tav.ins[b.index()],
+            &delete[b.index()],
+            &tlive.outs[b.index()],
+            &temp_of,
+            &mut stats,
+        );
+    }
+
+    // Insertions (entry + edges; the lazy edge plan uses nothing else).
+    let make_init = |idx: usize| Instr::Assign {
+        dst: temp_of[idx].expect("active candidate has a temp"),
+        rv: Rvalue::Expr(cands[idx].repr()),
+    };
+    {
+        let entry = out.entry();
+        let mut init: Vec<Instr> = plan.entry_insert.iter().map(make_init).collect();
+        stats.insertions += init.len();
+        let body = &mut out.block_mut(entry).instrs;
+        init.extend(body.iter().copied());
+        *body = init;
+    }
+    let preds = out.preds();
+    for (eid, edge) in plan.edges.iter() {
+        let instrs: Vec<Instr> = plan.edge_inserts[eid.index()]
+            .iter()
+            .map(make_init)
+            .collect();
+        if instrs.is_empty() {
+            continue;
+        }
+        stats.insertions += instrs.len();
+        out.insert_on_edge(&preds, edge.from, edge.succ_index, &instrs);
+    }
+
+    StrengthResult {
+        function: out,
+        candidates: cands.to_vec(),
+        temps,
+        stats,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_sr_block(
+    out: &mut Function,
+    cands: &[Candidate],
+    b: BlockId,
+    tavin: &BitSet,
+    delete: &BitSet,
+    tliveout: &BitSet,
+    temp_of: &[Option<Var>],
+    stats: &mut StrengthStats,
+) {
+    let instrs = out.block(b).instrs.clone();
+
+    // Backward prescan: is the value produced at position i consumed later
+    // (another occurrence in the same opaque-kill-free segment, or
+    // live-out)? Injuries do not break the segment — the update bridges
+    // them.
+    let mut needs_def = vec![false; instrs.len()];
+    let mut later_use = tliveout.clone();
+    for (i, &instr) in instrs.iter().enumerate().rev() {
+        for (idx, cand) in cands.iter().enumerate() {
+            if effect_on(instr, cand.var) == Effect::Kill {
+                later_use.remove(idx);
+            }
+        }
+        if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+            for (idx, cand) in cands.iter().enumerate() {
+                if cand.matches(e) && temp_of[idx].is_some() {
+                    needs_def[i] = needs_def[i] || later_use.contains(idx);
+                    later_use.insert(idx);
+                }
+            }
+        }
+    }
+
+    // Forward rewrite. `have_temp` starts from full temp availability (not
+    // just deletions): injury blocks without occurrences still need their
+    // updates emitted so the availability claim stays true downstream.
+    let mut have_temp = tavin.clone();
+    let _ = delete;
+    let mut rewritten = Vec::with_capacity(instrs.len() + 4);
+    for (i, &instr) in instrs.iter().enumerate() {
+        // Occurrence handling.
+        let mut replaced = false;
+        if let Instr::Assign { dst, rv: Rvalue::Expr(e) } = instr {
+            for (idx, cand) in cands.iter().enumerate() {
+                let Some(t) = temp_of[idx] else { continue };
+                if !cand.matches(e) {
+                    continue;
+                }
+                if have_temp.contains(idx) {
+                    rewritten.push(Instr::Assign {
+                        dst,
+                        rv: Rvalue::Operand(Operand::Var(t)),
+                    });
+                    stats.deletions += 1;
+                } else if needs_def[i] {
+                    rewritten.push(Instr::Assign {
+                        dst: t,
+                        rv: Rvalue::Expr(e),
+                    });
+                    rewritten.push(Instr::Assign {
+                        dst,
+                        rv: Rvalue::Operand(Operand::Var(t)),
+                    });
+                    have_temp.insert(idx);
+                    stats.retained_defs += 1;
+                } else {
+                    rewritten.push(instr);
+                }
+                replaced = true;
+                break;
+            }
+        }
+        if !replaced {
+            rewritten.push(instr);
+        }
+        // Effects: updates after injuries, clearing after opaque kills.
+        for (idx, cand) in cands.iter().enumerate() {
+            match effect_on(instr, cand.var) {
+                Effect::None => {}
+                Effect::Injury(d) => {
+                    if let Some(t) = temp_of[idx] {
+                        if have_temp.contains(idx) {
+                            let delta = d.wrapping_mul(cand.coeff);
+                            rewritten.push(Instr::Assign {
+                                dst: t,
+                                rv: Rvalue::Expr(Expr::Bin(
+                                    BinOp::Add,
+                                    Operand::Var(t),
+                                    Operand::Const(delta),
+                                )),
+                            });
+                            stats.updates += 1;
+                        }
+                    }
+                }
+                Effect::Kill => {
+                    have_temp.remove(idx);
+                }
+            }
+        }
+    }
+    out.block_mut(b).instrs = rewritten;
+}
+
+/// Counts the dynamic multiplications of the candidate expressions in an
+/// execution — the quantity strength reduction minimises.
+pub fn candidate_mults(
+    exec: &lcm_interp::Execution,
+    cands: &[Candidate],
+) -> u64 {
+    cands
+        .iter()
+        .flat_map(|c| {
+            [
+                Expr::Bin(BinOp::Mul, Operand::Var(c.var), Operand::Const(c.coeff)),
+                Expr::Bin(BinOp::Mul, Operand::Const(c.coeff), Operand::Var(c.var)),
+            ]
+        })
+        .map(|e| exec.eval_count(e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_interp::{observationally_equivalent, run, Inputs};
+    use lcm_ir::parse_function;
+
+    fn dowhile_loop() -> Function {
+        parse_function(
+            "fn sr {
+             entry:
+               i = 1
+               n = 10
+               jmp body
+             body:
+               x = i * 12
+               obs x
+               i = i + 1
+               c = i < n
+               br c, body, done
+             done:
+               ret
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reduces_the_classic_induction_loop() {
+        let f = dowhile_loop();
+        let res = strength_reduce(&f);
+        lcm_ir::verify(&res.function).unwrap();
+        assert_eq!(res.stats.candidates, 1);
+        assert!(res.stats.updates >= 1, "injury must get an update");
+        assert!(res.stats.deletions >= 1);
+
+        let inputs = Inputs::new();
+        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        let before = run(&f, &inputs, 100_000);
+        let after = run(&res.function, &inputs, 100_000);
+        let mb = candidate_mults(&before, &res.candidates);
+        let ma = candidate_mults(&after, &res.candidates);
+        assert_eq!(mb, 9, "9 iterations each multiply");
+        assert_eq!(ma, 1, "one initialisation multiply remains");
+        // The trace is the arithmetic progression 12, 24, …
+        assert_eq!(after.trace[0], 12);
+        assert_eq!(after.trace[1], 24);
+        assert_eq!(after.trace, before.trace);
+    }
+
+    #[test]
+    fn zero_trip_loop_is_left_alone() {
+        // The multiplication is not anticipated at the entry (the loop may
+        // run zero times), so no insertion is safe — like plain LCM.
+        let f = parse_function(
+            "fn z {
+             entry:
+               jmp head
+             head:
+               br n, body, done
+             body:
+               x = i * 8
+               obs x
+               i = i + 1
+               n = n - 1
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let res = strength_reduce(&f);
+        assert_eq!(res.stats.insertions, 0);
+        // In-loop the occurrence is partially redundant modulo injury via
+        // the back edge, but with no safe pre-loop insertion the occurrence
+        // stays (it may become the definition for later iterations —
+        // which is still a win: updates bridge the back edge).
+        let inputs = Inputs::new().set("n", 5);
+        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        let before = run(&f, &inputs, 100_000);
+        let after = run(&res.function, &inputs, 100_000);
+        assert!(
+            candidate_mults(&after, &res.candidates)
+                <= candidate_mults(&before, &res.candidates)
+        );
+    }
+
+    #[test]
+    fn subtraction_injuries_update_downward() {
+        let f = parse_function(
+            "fn down {
+             entry:
+               i = 10
+               jmp body
+             body:
+               x = 3 * i
+               obs x
+               i = i - 2
+               br i, body, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let res = strength_reduce(&f);
+        let inputs = Inputs::new();
+        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        let after = run(&res.function, &inputs, 100_000);
+        assert_eq!(candidate_mults(&after, &res.candidates), 1);
+        assert_eq!(after.trace, vec![30, 24, 18, 12, 6]);
+    }
+
+    #[test]
+    fn opaque_redefinitions_still_kill() {
+        // i = i * 2 is not an injury; the candidate must be re-established.
+        let f = parse_function(
+            "fn opaque {
+             entry:
+               i = 3
+               x = i * 5
+               obs x
+               i = i * 2
+               y = i * 5
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let res = strength_reduce(&f);
+        let inputs = Inputs::new();
+        assert!(observationally_equivalent(&f, &res.function, &inputs, 1_000));
+        let after = run(&res.function, &inputs, 1_000);
+        assert_eq!(after.trace, vec![15, 30]);
+        // All three multiplications must still happen (no update can
+        // bridge *2, and `i = i * 2` is itself the candidate (i, 2)).
+        assert_eq!(res.candidates.len(), 2);
+        assert_eq!(candidate_mults(&after, &res.candidates), 3);
+    }
+
+    #[test]
+    fn straightline_injury_chain_collapses_to_one_multiply() {
+        let f = parse_function(
+            "fn chain {
+             entry:
+               a = i * 4
+               obs a
+               i = i + 1
+               b = i * 4
+               obs b
+               i = i + 3
+               c = i * 4
+               obs c
+               ret
+             }",
+        )
+        .unwrap();
+        let res = strength_reduce(&f);
+        let inputs = Inputs::new().set("i", 2);
+        assert!(observationally_equivalent(&f, &res.function, &inputs, 1_000));
+        let after = run(&res.function, &inputs, 1_000);
+        assert_eq!(after.trace, vec![8, 12, 24]);
+        assert_eq!(candidate_mults(&after, &res.candidates), 1);
+        assert_eq!(res.stats.updates, 2);
+    }
+
+    #[test]
+    fn candidate_matching_handles_both_orders() {
+        let c = Candidate { var: Var(3), coeff: 7 };
+        assert!(c.matches(Expr::Bin(
+            BinOp::Mul,
+            Operand::Var(Var(3)),
+            Operand::Const(7)
+        )));
+        assert!(c.matches(Expr::Bin(
+            BinOp::Mul,
+            Operand::Const(7),
+            Operand::Var(Var(3))
+        )));
+        assert!(!c.matches(Expr::Bin(
+            BinOp::Mul,
+            Operand::Var(Var(3)),
+            Operand::Const(8)
+        )));
+        assert!(!c.matches(Expr::Bin(
+            BinOp::Add,
+            Operand::Var(Var(3)),
+            Operand::Const(7)
+        )));
+        assert_eq!(
+            Candidate::of_expr(Expr::Bin(
+                BinOp::Mul,
+                Operand::Const(7),
+                Operand::Var(Var(3))
+            )),
+            Some(c)
+        );
+    }
+
+    #[test]
+    fn effects_are_classified_correctly() {
+        let v = Var(0);
+        let mk = |rv| Instr::Assign { dst: v, rv };
+        assert_eq!(
+            effect_on(
+                mk(Rvalue::Expr(Expr::Bin(
+                    BinOp::Add,
+                    Operand::Var(v),
+                    Operand::Const(4)
+                ))),
+                v
+            ),
+            Effect::Injury(4)
+        );
+        assert_eq!(
+            effect_on(
+                mk(Rvalue::Expr(Expr::Bin(
+                    BinOp::Sub,
+                    Operand::Var(v),
+                    Operand::Const(4)
+                ))),
+                v
+            ),
+            Effect::Injury(-4)
+        );
+        // d - v is not an injury.
+        assert_eq!(
+            effect_on(
+                mk(Rvalue::Expr(Expr::Bin(
+                    BinOp::Sub,
+                    Operand::Const(4),
+                    Operand::Var(v)
+                ))),
+                v
+            ),
+            Effect::Kill
+        );
+        assert_eq!(
+            effect_on(mk(Rvalue::Operand(Operand::Const(1))), v),
+            Effect::Kill
+        );
+        assert_eq!(
+            effect_on(mk(Rvalue::Operand(Operand::Const(1))), Var(9)),
+            Effect::None
+        );
+        assert_eq!(effect_on(Instr::Observe(Operand::Var(v)), v), Effect::None);
+    }
+}

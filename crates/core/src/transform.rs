@@ -1,0 +1,470 @@
+//! Turning placement decisions into rewritten IR.
+//!
+//! Every PRE algorithm in this crate reduces to a [`PlacementPlan`]: a set
+//! of program points (edges, block tops, block bottoms) at which `t := e`
+//! initialisations are inserted. This module derives everything else
+//! soundly and uniformly from the plan:
+//!
+//! 1. **Temp availability** (`TAVIN`/`TAVOUT`) — a forward must-analysis
+//!    over the *planned* program determines at which block entries the
+//!    temporary provably holds the expression's current value.
+//! 2. **Deletion** — an upward-exposed occurrence is replaced by the
+//!    temporary exactly when the temp is available at its block's entry:
+//!    `DELETE[b] = ANTLOC[b] ∩ TAVIN[b]`. This is sound for *any* plan, so
+//!    busy code motion, lazy code motion and Morel–Renvoise all share it.
+//! 3. **Retention** (`TLIVE`) — a backward may-analysis decides which
+//!    surviving occurrences must also *define* the temporary
+//!    (`t := e; v := t`) because a replaced occurrence downstream consumes
+//!    it; occurrences whose value is not needed stay untouched. This
+//!    realises the paper's isolation reasoning: an insertion or definition
+//!    that would only feed itself is never materialised.
+//!
+//! The result is verified by [`crate::safety`]'s definite-assignment check
+//! in the test suite and by interpreter equivalence in the integration
+//! tests.
+
+use lcm_dataflow::BitSet;
+use lcm_ir::{graph, BlockId, EdgeId, EdgeList, Expr, Function, Instr, Rvalue, Var};
+
+use crate::predicates::LocalPredicates;
+use crate::universe::ExprUniverse;
+
+/// Where a PRE algorithm wants `t := e` initialisations.
+///
+/// All bit sets are indexed by universe position. Unused placement kinds
+/// stay empty (the edge-based algorithms use `edge_inserts` +
+/// `entry_insert`; the node-based formulation uses `block_top_inserts`;
+/// Morel–Renvoise uses `block_bottom_inserts`).
+#[derive(Clone, Debug)]
+pub struct PlacementPlan {
+    /// Name of the producing algorithm (for reports).
+    pub algorithm: &'static str,
+    /// The edge numbering `edge_inserts` is indexed by. Must be a snapshot
+    /// of the same function the plan is applied to.
+    pub edges: EdgeList,
+    /// Insertions on control-flow edges.
+    pub edge_inserts: Vec<BitSet>,
+    /// Insertions on the virtual entry edge (the very top of the entry
+    /// block, before any instruction).
+    pub entry_insert: BitSet,
+    /// Insertions at the top of a block.
+    pub block_top_inserts: Vec<BitSet>,
+    /// Insertions at the bottom of a block (before its terminator).
+    pub block_bottom_inserts: Vec<BitSet>,
+}
+
+impl PlacementPlan {
+    /// An empty plan (no insertions) for `f` over `uni`.
+    pub fn empty(algorithm: &'static str, f: &Function, uni: &ExprUniverse) -> Self {
+        let edges = EdgeList::new(f);
+        let nb = f.num_blocks();
+        PlacementPlan {
+            algorithm,
+            edge_inserts: vec![uni.empty_set(); edges.len()],
+            edges,
+            entry_insert: uni.empty_set(),
+            block_top_inserts: vec![uni.empty_set(); nb],
+            block_bottom_inserts: vec![uni.empty_set(); nb],
+        }
+    }
+
+    /// Total number of planned `t := e` initialisations.
+    pub fn num_insertions(&self) -> usize {
+        self.edge_inserts
+            .iter()
+            .chain(self.block_top_inserts.iter())
+            .chain(self.block_bottom_inserts.iter())
+            .chain(std::iter::once(&self.entry_insert))
+            .map(BitSet::count)
+            .sum()
+    }
+
+    /// The set of expressions this plan inserts anywhere.
+    pub fn inserted_exprs(&self, uni: &ExprUniverse) -> BitSet {
+        let mut all = uni.empty_set();
+        for s in self
+            .edge_inserts
+            .iter()
+            .chain(self.block_top_inserts.iter())
+            .chain(self.block_bottom_inserts.iter())
+        {
+            all.union_with(s);
+        }
+        all.union_with(&self.entry_insert);
+        all
+    }
+}
+
+/// Temp availability at block entries/exits under a plan.
+#[derive(Clone, Debug)]
+pub struct TempAvailability {
+    /// `TAVIN[b]`: at `b`'s entry (before top insertions) the temp holds
+    /// `e`'s current value on every path.
+    pub ins: Vec<BitSet>,
+    /// `TAVOUT[b]`: ditto at `b`'s exit (after bottom insertions).
+    pub outs: Vec<BitSet>,
+}
+
+/// Computes temp availability for `plan` (forward, must, round-robin over
+/// reverse postorder).
+pub fn temp_availability(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    plan: &PlacementPlan,
+) -> TempAvailability {
+    let n = f.num_blocks();
+    let mut ins = vec![uni.full_set(); n];
+    let mut outs = vec![uni.full_set(); n];
+    ins[f.entry().index()] = plan.entry_insert.clone();
+    let order = graph::reverse_postorder(f);
+    loop {
+        let mut changed = false;
+        for &b in &order {
+            let bi = b.index();
+            if b != f.entry() {
+                let mut acc = uni.full_set();
+                for &eid in plan.edges.incoming(b) {
+                    let e = plan.edges.edge(eid);
+                    let mut v = outs[e.from.index()].clone();
+                    v.union_with(&plan.edge_inserts[eid.index()]);
+                    acc.intersect_with(&v);
+                }
+                ins[bi] = acc;
+            }
+            // out = bottom ∪ comp ∪ ((in ∪ top) − kill)
+            let mut out = ins[bi].clone();
+            out.union_with(&plan.block_top_inserts[bi]);
+            out.difference_with(&local.kill[bi]);
+            out.union_with(&local.comp[bi]);
+            out.union_with(&plan.block_bottom_inserts[bi]);
+            if out != outs[bi] {
+                outs[bi] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    TempAvailability { ins, outs }
+}
+
+/// The replaced occurrences implied by a plan: `DELETE[b] = ANTLOC[b] ∩
+/// (TAVIN[b] ∪ block-top inserts)`.
+pub fn deletions(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    plan: &PlacementPlan,
+    tav: &TempAvailability,
+) -> Vec<BitSet> {
+    let _ = uni;
+    f.block_ids()
+        .map(|b| {
+            let bi = b.index();
+            let mut d = tav.ins[bi].clone();
+            d.union_with(&plan.block_top_inserts[bi]);
+            d.intersect_with(&local.antloc[bi]);
+            d
+        })
+        .collect()
+}
+
+/// Backward liveness of the temporaries: `TLIVEIN[b]` holds where the
+/// temp's value at `b`'s entry is consumed by a replaced occurrence before
+/// any redefinition.
+pub fn temp_liveness(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    plan: &PlacementPlan,
+    delete: &[BitSet],
+) -> TempLiveness {
+    let n = f.num_blocks();
+    let mut ins = vec![uni.empty_set(); n];
+    let mut outs = vec![uni.empty_set(); n];
+    // DEF[b]: a definition point of t inside b covering the entry-to-exit
+    // span: top/bottom inserts or a downward-exposed occurrence.
+    let defs: Vec<BitSet> = f
+        .block_ids()
+        .map(|b| {
+            let bi = b.index();
+            let mut d = local.comp[bi].clone();
+            d.union_with(&plan.block_top_inserts[bi]);
+            d.union_with(&plan.block_bottom_inserts[bi]);
+            d
+        })
+        .collect();
+    let order = graph::postorder(f);
+    loop {
+        let mut changed = false;
+        for &b in &order {
+            let bi = b.index();
+            let mut out = uni.empty_set();
+            for &eid in plan.edges.outgoing(b) {
+                let e = plan.edges.edge(eid);
+                let mut v = ins[e.to.index()].clone();
+                v.difference_with(&plan.edge_inserts[eid.index()]);
+                out.union_with(&v);
+            }
+            outs[bi] = out;
+            let mut inn = outs[bi].clone();
+            inn.difference_with(&defs[bi]);
+            inn.union_with(&delete[bi]);
+            if inn != ins[bi] {
+                ins[bi] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    TempLiveness { ins, outs }
+}
+
+/// Result of [`temp_liveness`].
+#[derive(Clone, Debug)]
+pub struct TempLiveness {
+    /// Live at block entry.
+    pub ins: Vec<BitSet>,
+    /// Live at block exit.
+    pub outs: Vec<BitSet>,
+}
+
+/// Counters describing what [`apply_plan`] did.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TransformStats {
+    /// `t := e` instructions inserted (edges + tops + bottoms + entry).
+    pub insertions: usize,
+    /// Occurrences rewritten to a plain `v := t` (computations removed).
+    pub deletions: usize,
+    /// Occurrences that now also define the temporary (`t := e; v := t`).
+    pub retained_defs: usize,
+    /// Critical edges split to host insertions.
+    pub edges_split: usize,
+    /// Temporaries created (one per expression with activity).
+    pub temps: usize,
+}
+
+/// The rewritten function plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TransformResult {
+    /// The transformed function. Its symbol table extends the original's,
+    /// so `Var`/`Expr` values remain comparable across the pair.
+    pub function: Function,
+    /// `(universe index, temp)` for every materialised temporary.
+    pub temps: Vec<(usize, Var)>,
+    /// What happened.
+    pub stats: TransformStats,
+    /// Which algorithm produced the plan.
+    pub algorithm: &'static str,
+}
+
+impl TransformResult {
+    /// The temporary variables introduced, in universe order.
+    pub fn temp_vars(&self) -> Vec<Var> {
+        self.temps.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+/// Applies `plan` to (a clone of) `f`, returning the transformed function.
+///
+/// The plan's [`EdgeList`] must be a snapshot of `f` as passed here; the
+/// local predicates must likewise describe `f`.
+///
+/// # Panics
+///
+/// Panics if the plan's edge list disagrees with `f`'s current edges.
+pub fn apply_plan(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    plan: &PlacementPlan,
+) -> TransformResult {
+    assert_eq!(
+        plan.edges,
+        EdgeList::new(f),
+        "plan edge snapshot is stale for this function"
+    );
+    let tav = temp_availability(f, uni, local, plan);
+    let delete = deletions(f, uni, local, plan, &tav);
+    let tlive = temp_liveness(f, uni, local, plan, &delete);
+
+    let mut out = f.clone();
+    let mut stats = TransformStats::default();
+
+    // Materialise a temp for every expression the plan touches.
+    let mut active = plan.inserted_exprs(uni);
+    for d in &delete {
+        active.union_with(d);
+    }
+    let mut temp_of: Vec<Option<Var>> = vec![None; uni.len()];
+    let mut temps = Vec::new();
+    for idx in active.iter() {
+        let t = out.fresh_temp();
+        temp_of[idx] = Some(t);
+        temps.push((idx, t));
+        stats.temps += 1;
+    }
+
+    // 1. Rewrite block bodies (pure instruction-list surgery).
+    for b in f.block_ids() {
+        rewrite_block(
+            &mut out, uni, b, &delete[b.index()], &tlive.outs[b.index()], &temp_of, &mut stats,
+        );
+    }
+
+    // 2. Entry / block-top / block-bottom insertions.
+    let make_init = |idx: usize, temp_of: &[Option<Var>]| Instr::Assign {
+        dst: temp_of[idx].expect("active expression has a temp"),
+        rv: Rvalue::Expr(uni.expr(idx)),
+    };
+    for b in f.block_ids() {
+        let bi = b.index();
+        let mut tops: Vec<Instr> = Vec::new();
+        if b == f.entry() {
+            tops.extend(plan.entry_insert.iter().map(|idx| make_init(idx, &temp_of)));
+        }
+        tops.extend(
+            plan.block_top_inserts[bi]
+                .iter()
+                .map(|idx| make_init(idx, &temp_of)),
+        );
+        if !tops.is_empty() {
+            stats.insertions += tops.len();
+            let body = &mut out.block_mut(b).instrs;
+            tops.extend(body.iter().copied());
+            *body = tops;
+        }
+        let bottoms: Vec<Instr> = plan.block_bottom_inserts[bi]
+            .iter()
+            .map(|idx| make_init(idx, &temp_of))
+            .collect();
+        stats.insertions += bottoms.len();
+        out.block_mut(b).instrs.extend(bottoms);
+    }
+
+    // 3. Edge insertions (may split critical edges; done last so the block
+    //    ids used above stay valid).
+    let preds = out.preds();
+    let blocks_before = out.num_blocks();
+    for (eid, edge) in plan.edges.iter() {
+        let instrs: Vec<Instr> = plan.edge_inserts[eid.index()]
+            .iter()
+            .map(|idx| make_init(idx, &temp_of))
+            .collect();
+        if instrs.is_empty() {
+            continue;
+        }
+        stats.insertions += instrs.len();
+        out.insert_on_edge(&preds, edge.from, edge.succ_index, &instrs);
+    }
+    stats.edges_split = out.num_blocks() - blocks_before;
+
+    TransformResult {
+        function: out,
+        temps,
+        stats,
+        algorithm: plan.algorithm,
+    }
+}
+
+/// Rewrites one block's occurrences of active expressions.
+#[allow(clippy::too_many_arguments)]
+fn rewrite_block(
+    out: &mut Function,
+    uni: &ExprUniverse,
+    b: BlockId,
+    delete: &BitSet,
+    tliveout: &BitSet,
+    temp_of: &[Option<Var>],
+    stats: &mut TransformStats,
+) {
+    let instrs = out.block(b).instrs.clone();
+
+    // Backward prescan: does the value produced by the occurrence at
+    // position `i` have a consumer below it (later occurrence in the same
+    // kill-free segment, or live-out of the block)?
+    let mut needs_def = vec![false; instrs.len()];
+    let mut later_use: BitSet = tliveout.clone();
+    for (i, instr) in instrs.iter().enumerate().rev() {
+        // The destination kill applies *after* the right-hand side, so in
+        // the backward direction it is processed first.
+        if let Some(dst) = instr.def() {
+            for &idx in uni.killed_by(dst) {
+                later_use.remove(idx);
+            }
+        }
+        if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+            if let Some(idx) = uni.index_of(*e) {
+                if temp_of[idx].is_some() {
+                    needs_def[i] = later_use.contains(idx);
+                    later_use.insert(idx);
+                }
+            }
+        }
+    }
+
+    // Forward rewrite.
+    let mut have_temp = delete.clone();
+    let mut rewritten = Vec::with_capacity(instrs.len() + 4);
+    for (i, instr) in instrs.iter().enumerate() {
+        match *instr {
+            Instr::Assign { dst, rv: Rvalue::Expr(e) } => {
+                match uni.index_of(e).and_then(|idx| temp_of[idx].map(|t| (idx, t))) {
+                    Some((idx, t)) => {
+                        if have_temp.contains(idx) {
+                            // Fully redundant here: use the temp.
+                            rewritten.push(Instr::Assign {
+                                dst,
+                                rv: Rvalue::Operand(t.into()),
+                            });
+                            stats.deletions += 1;
+                        } else if needs_def[i] {
+                            // Keep the computation but let it define the temp.
+                            rewritten.push(Instr::Assign {
+                                dst: t,
+                                rv: Rvalue::Expr(e),
+                            });
+                            rewritten.push(Instr::Assign {
+                                dst,
+                                rv: Rvalue::Operand(t.into()),
+                            });
+                            have_temp.insert(idx);
+                            stats.retained_defs += 1;
+                        } else {
+                            // Isolated: nothing downstream wants the value.
+                            rewritten.push(*instr);
+                        }
+                    }
+                    None => rewritten.push(*instr),
+                }
+            }
+            _ => rewritten.push(*instr),
+        }
+        if let Some(dst) = instr.def() {
+            for &idx in uni.killed_by(dst) {
+                have_temp.remove(idx);
+            }
+        }
+    }
+    out.block_mut(b).instrs = rewritten;
+}
+
+/// Convenience wrapper bundling the edge id with the insertion set, for
+/// reporting.
+pub fn insertions_by_edge(plan: &PlacementPlan) -> Vec<(EdgeId, &BitSet)> {
+    plan.edges
+        .iter()
+        .map(|(id, _)| (id, &plan.edge_inserts[id.index()]))
+        .filter(|(_, s)| !s.is_empty())
+        .collect()
+}
+
+/// The full expression `e` as rewritten IR would initialise it (for tests
+/// and debugging).
+pub fn init_instr_for(uni: &ExprUniverse, idx: usize, t: Var) -> (Var, Expr) {
+    (t, uni.expr(idx))
+}

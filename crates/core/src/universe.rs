@@ -1,0 +1,191 @@
+//! The expression universe: a dense numbering of the candidate expressions
+//! of one function.
+
+use std::collections::HashMap;
+
+use lcm_dataflow::BitSet;
+use lcm_ir::{Expr, Function, Var};
+
+/// A dense numbering of the distinct candidate (single-operator)
+/// expressions occurring in a function. All bit vectors produced by the
+/// analyses in this crate are indexed by universe position.
+///
+/// ```
+/// use lcm_core::ExprUniverse;
+/// use lcm_ir::parse_function;
+///
+/// let f = parse_function(
+///     "fn u {
+///      entry:
+///        x = a + b
+///        y = a + b
+///        z = a * b
+///        ret
+///      }",
+/// )?;
+/// let uni = ExprUniverse::of(&f);
+/// assert_eq!(uni.len(), 2);
+/// let a_plus_b = f.block(f.entry()).exprs().next().unwrap();
+/// assert_eq!(uni.index_of(a_plus_b), Some(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExprUniverse {
+    exprs: Vec<Expr>,
+    index: HashMap<Expr, usize>,
+    /// For each variable, the indices of expressions it is an operand of
+    /// (so a definition of the variable kills exactly these expressions).
+    killed_by: HashMap<Var, Vec<usize>>,
+}
+
+impl ExprUniverse {
+    /// Collects the universe of `f`, in first-occurrence order.
+    pub fn of(f: &Function) -> Self {
+        Self::from_exprs(f.expr_universe())
+    }
+
+    /// Builds a universe from an explicit expression list (deduplicated,
+    /// order preserved).
+    pub fn from_exprs(exprs: impl IntoIterator<Item = Expr>) -> Self {
+        let mut dedup = Vec::new();
+        let mut index = HashMap::new();
+        for e in exprs {
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(e) {
+                slot.insert(dedup.len());
+                dedup.push(e);
+            }
+        }
+        let mut killed_by: HashMap<Var, Vec<usize>> = HashMap::new();
+        for (i, e) in dedup.iter().enumerate() {
+            for v in e.vars() {
+                let list = killed_by.entry(v).or_default();
+                if list.last() != Some(&i) {
+                    list.push(i);
+                }
+            }
+        }
+        ExprUniverse {
+            exprs: dedup,
+            index,
+            killed_by,
+        }
+    }
+
+    /// Number of distinct candidate expressions.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Returns `true` if the function has no candidate expressions.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// The expression at universe position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn expr(&self, i: usize) -> Expr {
+        self.exprs[i]
+    }
+
+    /// The universe position of `e`, if it is a member.
+    pub fn index_of(&self, e: Expr) -> Option<usize> {
+        self.index.get(&e).copied()
+    }
+
+    /// Iterates over `(index, expr)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Expr)> + '_ {
+        self.exprs.iter().copied().enumerate()
+    }
+
+    /// All expressions, in universe order.
+    pub fn exprs(&self) -> &[Expr] {
+        &self.exprs
+    }
+
+    /// The universe positions of expressions killed by a definition of `v`.
+    pub fn killed_by(&self, v: Var) -> &[usize] {
+        self.killed_by.get(&v).map_or(&[], |v| v.as_slice())
+    }
+
+    /// An empty bit set sized to this universe.
+    pub fn empty_set(&self) -> BitSet {
+        BitSet::new(self.len())
+    }
+
+    /// A full bit set sized to this universe.
+    pub fn full_set(&self) -> BitSet {
+        BitSet::full(self.len())
+    }
+
+    /// Renders the members of `set` (e.g. `{a + b, a * b}`) using `f`'s
+    /// variable names.
+    pub fn display_set(&self, f: &Function, set: &BitSet) -> String {
+        let mut out = String::from("{");
+        for (n, i) in set.iter().enumerate() {
+            if n > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&f.display_expr(self.exprs[i]));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn kill_map_is_complete() {
+        let f = parse_function(
+            "fn k {
+             entry:
+               x = a + b
+               y = a * a
+               z = -b
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        assert_eq!(uni.len(), 3);
+        let a = f.symbols.get("a").unwrap();
+        let b = f.symbols.get("b").unwrap();
+        let x = f.symbols.get("x").unwrap();
+        assert_eq!(uni.killed_by(a), &[0, 1]); // a+b, a*a
+        assert_eq!(uni.killed_by(b), &[0, 2]); // a+b, -b
+        assert!(uni.killed_by(x).is_empty());
+    }
+
+    #[test]
+    fn display_set_names_expressions() {
+        let f = parse_function("fn d {\nentry:\n  x = a + b\n  y = a * b\n  ret\n}").unwrap();
+        let uni = ExprUniverse::of(&f);
+        let mut set = uni.empty_set();
+        set.insert(0);
+        set.insert(1);
+        assert_eq!(uni.display_set(&f, &set), "{a + b, a * b}");
+        assert_eq!(uni.display_set(&f, &uni.empty_set()), "{}");
+    }
+
+    #[test]
+    fn duplicate_operand_killed_once() {
+        let f = parse_function("fn s {\nentry:\n  y = a * a\n  ret\n}").unwrap();
+        let uni = ExprUniverse::of(&f);
+        let a = f.symbols.get("a").unwrap();
+        assert_eq!(uni.killed_by(a), &[0]); // listed once despite two operands
+    }
+
+    #[test]
+    fn empty_universe() {
+        let f = parse_function("fn e {\nentry:\n  x = 5\n  obs x\n  ret\n}").unwrap();
+        let uni = ExprUniverse::of(&f);
+        assert!(uni.is_empty());
+        assert_eq!(uni.empty_set().capacity(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Canned **variable-level** analyses (one bit per symbol).
+//!
+//! The expression-level analyses of lazy code motion live in `lcm-core`
+//! (they need the expression universe); the two variable-level problems
+//! below are shared by dead-code elimination, the register-pressure
+//! metrics and the definite-assignment safety oracle, so they are provided
+//! here once.
+
+use lcm_ir::Function;
+
+use crate::problem::{Confluence, Direction, Problem, Solution, Transfer};
+
+/// Variable liveness: backward may-analysis over all symbols.
+///
+/// `gen` holds the block's upward-exposed uses (including the branch
+/// condition), `kill` its definitions; `ins[b]` / `outs[b]` are the
+/// variables live at block entry / exit.
+///
+/// ```
+/// use lcm_dataflow::analyses::var_liveness;
+/// use lcm_ir::parse_function;
+///
+/// let f = parse_function(
+///     "fn l {
+///      entry:
+///        x = a + b
+///        obs x
+///        ret
+///      }",
+/// )?;
+/// let live = var_liveness(&f);
+/// let a = f.symbols.get("a").unwrap();
+/// let x = f.symbols.get("x").unwrap();
+/// assert!(live.ins[f.entry().index()].contains(a.index()));
+/// assert!(!live.ins[f.entry().index()].contains(x.index()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn var_liveness(f: &Function) -> Solution {
+    let nvars = f.symbols.len();
+    let transfer: Vec<Transfer> = f
+        .block_ids()
+        .map(|b| {
+            let mut t = Transfer::identity(nvars);
+            let data = f.block(b);
+            if let Some(c) = data.term.use_var() {
+                t.gen.insert(c.index());
+            }
+            for instr in data.instrs.iter().rev() {
+                if let Some(dst) = instr.def() {
+                    t.gen.remove(dst.index());
+                    t.kill.insert(dst.index());
+                }
+                for u in instr.uses() {
+                    t.gen.insert(u.index());
+                    t.kill.remove(u.index());
+                }
+            }
+            t
+        })
+        .collect();
+    Problem::new(f, nvars, Direction::Backward, Confluence::May, transfer).solve()
+}
+
+/// Definite assignment: forward must-analysis over all symbols.
+///
+/// `ins[b]` are the variables assigned on **every** path from the entry to
+/// `b`'s entry. Used to prove that introduced temporaries are never read
+/// before being written.
+pub fn definitely_assigned(f: &Function) -> Solution {
+    let nvars = f.symbols.len();
+    let transfer: Vec<Transfer> = f
+        .block_ids()
+        .map(|b| {
+            let mut t = Transfer::identity(nvars);
+            for instr in &f.block(b).instrs {
+                if let Some(dst) = instr.def() {
+                    t.gen.insert(dst.index());
+                }
+            }
+            t
+        })
+        .collect();
+    Problem::new(f, nvars, Direction::Forward, Confluence::Must, transfer).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn liveness_through_a_loop() {
+        let f = parse_function(
+            "fn l {
+             entry:
+               i = 3
+               jmp head
+             head:
+               br i, body, done
+             body:
+               s = s + i
+               i = i - 1
+               jmp head
+             done:
+               obs s
+               ret
+             }",
+        )
+        .unwrap();
+        let live = var_liveness(&f);
+        let i = f.symbols.get("i").unwrap();
+        let s = f.symbols.get("s").unwrap();
+        let head = f.block_by_name("head").unwrap();
+        assert!(live.ins[head.index()].contains(i.index()));
+        assert!(live.ins[head.index()].contains(s.index()));
+        assert!(live.ins[f.entry().index()].contains(s.index()));
+        assert!(!live.ins[f.entry().index()].contains(i.index())); // defined first
+        assert!(live.outs[f.exit().index()].is_empty());
+    }
+
+    #[test]
+    fn definite_assignment_requires_all_paths() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               t = 1
+               jmp j
+             r:
+               u = 2
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let assigned = definitely_assigned(&f);
+        let t = f.symbols.get("t").unwrap();
+        let u = f.symbols.get("u").unwrap();
+        let c = f.symbols.get("c").unwrap();
+        let j = f.block_by_name("j").unwrap();
+        assert!(!assigned.ins[j.index()].contains(t.index()));
+        assert!(!assigned.ins[j.index()].contains(u.index()));
+        assert!(!assigned.ins[j.index()].contains(c.index())); // never assigned
+        let l = f.block_by_name("l").unwrap();
+        assert!(assigned.outs[l.index()].contains(t.index()));
+    }
+}

@@ -1,0 +1,384 @@
+//! A dense, fixed-capacity bit set packed into 64-bit words.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of small integers, stored one bit each.
+///
+/// All binary operations require both operands to have the same capacity
+/// (the analyses always operate within one universe of expressions), and
+/// mutating operations report whether they changed the set so fixpoint
+/// solvers can detect convergence.
+///
+/// ```
+/// use lcm_dataflow::BitSet;
+///
+/// let mut a = BitSet::new(130);
+/// a.insert(0);
+/// a.insert(129);
+/// let mut b = BitSet::new(130);
+/// b.insert(129);
+/// assert!(a.is_superset(&b));
+/// a.intersect_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![129]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for bits `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(WORD_BITS)],
+            nbits,
+        }
+    }
+
+    /// Creates a full set (all of `0..nbits` present).
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::new(nbits);
+        s.insert_all();
+        s
+    }
+
+    /// The capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// The number of backing words (the unit of the complexity counters).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Tests membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= capacity`.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        assert!(bit < self.nbits, "bit {bit} out of range {}", self.nbits);
+        self.words[bit / WORD_BITS] & (1 << (bit % WORD_BITS)) != 0
+    }
+
+    /// Inserts a bit; returns `true` if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        assert!(bit < self.nbits, "bit {bit} out of range {}", self.nbits);
+        let word = &mut self.words[bit / WORD_BITS];
+        let mask = 1 << (bit % WORD_BITS);
+        let was_absent = *word & mask == 0;
+        *word |= mask;
+        was_absent
+    }
+
+    /// Removes a bit; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        assert!(bit < self.nbits, "bit {bit} out of range {}", self.nbits);
+        let word = &mut self.words[bit / WORD_BITS];
+        let mask = 1 << (bit % WORD_BITS);
+        let was_present = *word & mask != 0;
+        *word &= !mask;
+        was_present
+    }
+
+    /// Inserts every bit in `0..capacity`.
+    pub fn insert_all(&mut self) {
+        for w in &mut self.words {
+            *w = !0;
+        }
+        self.trim();
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Counts the set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ∪= other`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        self.check(other);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        self.check(other);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self −= other` (clears every bit present in `other`); returns
+    /// `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        self.check(other);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Overwrites `self` with `other`'s contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.check(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Flips every bit in `0..capacity`.
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Returns `true` if every bit of `other` is in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| b & !a == 0)
+    }
+
+    /// Returns `true` if the sets share no bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates over the set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+
+    #[inline]
+    fn check(&self, other: &BitSet) {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "bit-set capacity mismatch: {} vs {}",
+            self.nbits, other.nbits
+        );
+    }
+
+    /// Clears padding bits beyond `nbits` in the last word.
+    fn trim(&mut self) {
+        let used = self.nbits % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet{{")?;
+        for (i, bit) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{bit}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects bits into a set sized to the largest element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let bits: Vec<usize> = iter.into_iter().collect();
+        let nbits = bits.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(nbits);
+        for b in bits {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(64));
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        BitSet::new(10).contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn lattice_ops_report_changes() {
+        let mut a = BitSet::new(70);
+        a.insert(1);
+        let mut b = BitSet::new(70);
+        b.insert(1);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+        let only_one = [1usize].into_iter().collect::<BitSet>().resized(70);
+        assert!(a.intersect_with(&only_one));
+        assert!(!a.intersect_with(&only_one));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    impl BitSet {
+        /// Test helper: returns a copy resized to `nbits`.
+        fn resized(&self, nbits: usize) -> BitSet {
+            let mut s = BitSet::new(nbits);
+            for b in self.iter() {
+                s.insert(b);
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn full_and_complement_respect_capacity() {
+        let mut s = BitSet::full(67);
+        assert_eq!(s.count(), 67);
+        s.complement();
+        assert!(s.is_empty());
+        s.complement();
+        assert_eq!(s.count(), 67);
+        assert_eq!(s.iter().last(), Some(66));
+    }
+
+    #[test]
+    fn difference_superset_disjoint() {
+        let a: BitSet = [1usize, 2, 3].into_iter().collect::<BitSet>().resized(10);
+        let b: BitSet = [2usize].into_iter().collect::<BitSet>().resized(10);
+        assert!(a.is_superset(&b));
+        assert!(!b.is_superset(&a));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(d.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for b in [0, 63, 64, 127, 128, 199] {
+            s.insert(b);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.insert(7);
+        assert_eq!(format!("{s:?}"), "BitSet{3, 7}");
+        assert_eq!(format!("{:?}", BitSet::new(4)), "BitSet{}");
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = BitSet::full(20);
+        let b = BitSet::new(20);
+        a.copy_from(&b);
+        assert!(a.is_empty());
+    }
+}

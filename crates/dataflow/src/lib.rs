@@ -1,0 +1,60 @@
+//! A dense bit-vector dataflow framework.
+//!
+//! Lazy Code Motion's defining property is that it needs only
+//! **unidirectional bit-vector** analyses — the cheapest class of dataflow
+//! problems. This crate provides exactly that machinery:
+//!
+//! * [`BitSet`] — a dense, word-packed bit set with the usual lattice
+//!   operations;
+//! * [`Problem`] — a gen/kill dataflow problem over a
+//!   [`Function`](lcm_ir::Function)'s CFG, forward or backward, with
+//!   intersection ([`Confluence::Must`]) or union ([`Confluence::May`])
+//!   confluence, plus optional per-edge gen sets (needed by the LATER
+//!   analysis of lazy code motion);
+//! * two solvers — round-robin over a depth-first ordering
+//!   ([`Problem::solve`]) and a worklist solver
+//!   ([`Problem::solve_worklist`]) — which produce identical fixpoints;
+//! * [`SolveStats`] — iteration / visit / word-operation counters used by
+//!   the complexity experiments (LCM vs. the bidirectional Morel–Renvoise
+//!   system);
+//! * [`analyses`] — canned variable-level problems (liveness, definite
+//!   assignment) shared across the workspace.
+//!
+//! # Example: reaching "taint" as a forward may-problem
+//!
+//! ```
+//! use lcm_dataflow::{Confluence, Direction, Problem, Transfer};
+//! use lcm_ir::parse_function;
+//!
+//! let f = parse_function(
+//!     "fn g {
+//!      entry:
+//!        jmp mid
+//!      mid:
+//!        br c, mid, end
+//!      end:
+//!        ret
+//!      }",
+//! )?;
+//! // One bit, generated in `mid`, never killed.
+//! let mid = f.block_by_name("mid").unwrap();
+//! let mut transfer = vec![Transfer::identity(1); f.num_blocks()];
+//! transfer[mid.index()].gen.insert(0);
+//! let problem = Problem::new(&f, 1, Direction::Forward, Confluence::May, transfer);
+//! let solution = problem.solve();
+//! assert!(solution.ins[mid.index()].contains(0)); // reaches around the loop
+//! assert!(!solution.ins[f.entry().index()].contains(0));
+//! assert!(solution.ins[f.exit().index()].contains(0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bitset;
+mod problem;
+mod solver;
+mod stats;
+
+pub mod analyses;
+
+pub use bitset::BitSet;
+pub use problem::{Confluence, Direction, Problem, Solution, Transfer};
+pub use stats::SolveStats;

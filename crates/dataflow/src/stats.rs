@@ -1,0 +1,70 @@
+//! Cost counters for dataflow solving.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while solving a dataflow problem.
+///
+/// `word_ops` counts 64-bit word operations performed on bit vectors during
+/// confluence and transfer — the classical cost measure for bit-vector
+/// dataflow, used by the complexity experiment (C1) to compare Lazy Code
+/// Motion's four unidirectional passes against the bidirectional
+/// Morel–Renvoise system.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SolveStats {
+    /// Full sweeps over the block order (round-robin solver) or `1` for
+    /// worklist solving.
+    pub iterations: usize,
+    /// Individual block evaluations (confluence + transfer applications).
+    pub node_visits: usize,
+    /// 64-bit word operations on bit vectors.
+    pub word_ops: u64,
+}
+
+impl SolveStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for SolveStats {
+    fn add_assign(&mut self, rhs: SolveStats) {
+        self.iterations += rhs.iterations;
+        self.node_visits += rhs.node_visits;
+        self.word_ops += rhs.word_ops;
+    }
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations, {} node visits, {} word ops",
+            self.iterations, self.node_visits, self.word_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut a = SolveStats {
+            iterations: 1,
+            node_visits: 2,
+            word_ops: 3,
+        };
+        a += SolveStats {
+            iterations: 10,
+            node_visits: 20,
+            word_ops: 30,
+        };
+        assert_eq!(a.iterations, 11);
+        assert_eq!(a.node_visits, 22);
+        assert_eq!(a.word_ops, 33);
+        assert!(a.to_string().contains("11 iterations"));
+    }
+}

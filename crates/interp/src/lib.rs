@@ -1,0 +1,467 @@
+//! A reference interpreter for the `lcm` IR.
+//!
+//! The interpreter is the ground truth for every semantic claim in the
+//! workspace:
+//!
+//! * **Correctness (Theorem T1)** — a transformation is admissible only if
+//!   the original and transformed functions produce identical observation
+//!   traces on every input ([`Execution::trace`]).
+//! * **Computational optimality (Theorem T2)** — [`Execution::eval_count`]
+//!   counts how often each candidate expression is *dynamically* evaluated;
+//!   lazy code motion must never evaluate more than the original program
+//!   and must match busy code motion exactly.
+//! * **Lifetime optimality (Theorem T3)** — [`dynamic_occupancy`] measures,
+//!   over a recorded execution, for how many steps a set of variables
+//!   (the introduced temporaries) is holding a value that is still needed.
+//!
+//! Semantics are total (wrapping arithmetic, division by zero yields 0 —
+//! see [`BinOp::eval`](lcm_ir::BinOp::eval)), every variable starts at `0`
+//! unless overridden by [`Inputs`], and execution is bounded by fuel, so the
+//! interpreter never traps and never diverges.
+//!
+//! ```
+//! use lcm_interp::{run, Inputs};
+//! use lcm_ir::parse_function;
+//!
+//! let f = parse_function(
+//!     "fn f {
+//!      entry:
+//!        x = a + b
+//!        obs x
+//!        ret
+//!      }",
+//! )?;
+//! let out = run(&f, &Inputs::new().set("a", 2).set("b", 3), 1_000);
+//! assert_eq!(out.trace, vec![5]);
+//! assert!(out.completed());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+
+use lcm_ir::{BlockId, Expr, Function, Instr, Operand, Rvalue, Terminator, Var};
+
+/// Initial variable values, keyed by *name* so the same inputs can be fed to
+/// an original function and its transformed version (whose [`Var`] indices
+/// for temporaries differ). Unset variables start at `0`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Inputs {
+    values: HashMap<String, i64>,
+}
+
+impl Inputs {
+    /// No overrides: every variable starts at `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value` (builder style).
+    #[must_use]
+    pub fn set(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Iterates over the overrides.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, i64)> for Inputs {
+    fn from_iter<I: IntoIterator<Item = (String, i64)>>(iter: I) -> Self {
+        Inputs {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Why execution stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// The exit block's `ret` was reached.
+    Completed,
+    /// The fuel budget was exhausted first.
+    OutOfFuel,
+}
+
+/// The result of running a function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Execution {
+    /// Values observed by `obs` instructions, in order.
+    pub trace: Vec<i64>,
+    /// Why execution stopped.
+    pub status: Status,
+    /// Instructions executed (including terminators).
+    pub steps: u64,
+    /// Block visits, indexed by block.
+    pub block_visits: Vec<u64>,
+    /// Dynamic evaluation count per candidate expression.
+    eval_counts: HashMap<Expr, u64>,
+    /// Final variable values, indexed by `Var`.
+    env: Vec<i64>,
+}
+
+impl Execution {
+    /// Returns `true` if the run reached `ret`.
+    pub fn completed(&self) -> bool {
+        self.status == Status::Completed
+    }
+
+    /// How many times `e` was dynamically evaluated.
+    ///
+    /// Expression identity is structural over [`Var`] indices, so comparing
+    /// counts across two functions is meaningful when the transformed
+    /// function *extends* the original's symbol table (which every
+    /// transformation in this workspace does).
+    pub fn eval_count(&self, e: Expr) -> u64 {
+        self.eval_counts.get(&e).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic evaluations of all candidate expressions.
+    pub fn total_evals(&self) -> u64 {
+        self.eval_counts.values().sum()
+    }
+
+    /// Total dynamic evaluations of the given expressions only.
+    pub fn total_evals_of(&self, exprs: &[Expr]) -> u64 {
+        exprs.iter().map(|&e| self.eval_count(e)).sum()
+    }
+
+    /// The final value of `v` (0 if never written and not an input).
+    pub fn value(&self, v: Var) -> i64 {
+        self.env.get(v.index()).copied().unwrap_or(0)
+    }
+}
+
+fn initial_env(f: &Function, inputs: &Inputs) -> Vec<i64> {
+    let mut env = vec![0i64; f.symbols.len()];
+    for (name, value) in inputs.iter() {
+        if let Some(v) = f.symbols.get(name) {
+            env[v.index()] = value;
+        }
+    }
+    env
+}
+
+fn eval_operand(env: &[i64], op: Operand) -> i64 {
+    match op {
+        Operand::Var(v) => env[v.index()],
+        Operand::Const(c) => c,
+    }
+}
+
+fn eval_expr(env: &[i64], e: Expr) -> i64 {
+    match e {
+        Expr::Un(op, a) => op.eval(eval_operand(env, a)),
+        Expr::Bin(op, a, b) => op.eval(eval_operand(env, a), eval_operand(env, b)),
+    }
+}
+
+/// Runs `f` on `inputs` with at most `fuel` executed instructions.
+///
+/// Fuel counts every instruction and terminator, so a run over a
+/// non-terminating loop stops deterministically with [`Status::OutOfFuel`].
+pub fn run(f: &Function, inputs: &Inputs, fuel: u64) -> Execution {
+    let mut recorder = ();
+    run_with(f, inputs, fuel, &mut recorder)
+}
+
+/// An observer receiving every executed instruction, used by
+/// [`dynamic_occupancy`] and available for custom instrumentation.
+pub trait Recorder {
+    /// Called for each executed straight-line instruction.
+    fn instr(&mut self, block: BlockId, index: usize, instr: Instr);
+}
+
+impl Recorder for () {
+    fn instr(&mut self, _: BlockId, _: usize, _: Instr) {}
+}
+
+impl Recorder for Vec<Instr> {
+    fn instr(&mut self, _: BlockId, _: usize, instr: Instr) {
+        self.push(instr);
+    }
+}
+
+/// Like [`run`], additionally streaming every executed instruction into
+/// `recorder`.
+pub fn run_with(f: &Function, inputs: &Inputs, fuel: u64, recorder: &mut dyn Recorder) -> Execution {
+    let mut env = initial_env(f, inputs);
+    let mut trace = Vec::new();
+    let mut eval_counts: HashMap<Expr, u64> = HashMap::new();
+    let mut block_visits = vec![0u64; f.num_blocks()];
+    let mut steps = 0u64;
+    let mut block = f.entry();
+    let status = 'outer: loop {
+        block_visits[block.index()] += 1;
+        let data = f.block(block);
+        for (i, &instr) in data.instrs.iter().enumerate() {
+            if steps >= fuel {
+                break 'outer Status::OutOfFuel;
+            }
+            steps += 1;
+            recorder.instr(block, i, instr);
+            match instr {
+                Instr::Assign { dst, rv } => {
+                    let value = match rv {
+                        Rvalue::Operand(op) => eval_operand(&env, op),
+                        Rvalue::Expr(e) => {
+                            *eval_counts.entry(e).or_insert(0) += 1;
+                            eval_expr(&env, e)
+                        }
+                    };
+                    env[dst.index()] = value;
+                }
+                Instr::Observe(op) => trace.push(eval_operand(&env, op)),
+            }
+        }
+        if steps >= fuel {
+            break Status::OutOfFuel;
+        }
+        steps += 1;
+        match data.term {
+            Terminator::Jump(t) => block = t,
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                block = if eval_operand(&env, cond) != 0 {
+                    then_to
+                } else {
+                    else_to
+                };
+            }
+            Terminator::Exit => break Status::Completed,
+        }
+    };
+    Execution {
+        trace,
+        status,
+        steps,
+        block_visits,
+        eval_counts,
+        env,
+    }
+}
+
+/// Compares two functions on one input: their observation traces must agree
+/// on the longest prefix both produced, and if both complete they must agree
+/// exactly. This is the correctness oracle for Theorem T1: a sound
+/// transformation can change instruction counts but never what is observed.
+pub fn observationally_equivalent(f: &Function, g: &Function, inputs: &Inputs, fuel: u64) -> bool {
+    let a = run(f, inputs, fuel);
+    let b = run(g, inputs, fuel);
+    if a.completed() && b.completed() {
+        return a.trace == b.trace;
+    }
+    let n = a.trace.len().min(b.trace.len());
+    a.trace[..n] == b.trace[..n]
+}
+
+/// Measures the *dynamic occupancy* of the variables in `vars` during a run
+/// of `f`: the total number of executed instructions during which at least
+/// one of the variables holds a value with a future use in the same run.
+///
+/// This is the dynamic analogue of register pressure restricted to a set of
+/// temporaries; Theorem T3 (lifetime optimality) predicts that lazy code
+/// motion's temporaries occupy no more than busy code motion's.
+pub fn dynamic_occupancy(f: &Function, inputs: &Inputs, fuel: u64, vars: &[Var]) -> u64 {
+    let mut stream: Vec<Instr> = Vec::new();
+    let _ = run_with(f, inputs, fuel, &mut stream);
+    let interesting = |v: Var| vars.contains(&v);
+
+    // Walk the executed stream backwards, tracking which tracked variables
+    // are live (will be read before being overwritten).
+    let mut live: Vec<bool> = vec![false; f.symbols.len()];
+    let mut occupancy = 0u64;
+    for instr in stream.iter().rev() {
+        if let Some(dst) = instr.def() {
+            if interesting(dst) {
+                live[dst.index()] = false;
+            }
+        }
+        for used in instr.uses() {
+            if interesting(used) {
+                live[used.index()] = true;
+            }
+        }
+        if live.iter().any(|&l| l) {
+            occupancy += 1;
+        }
+    }
+    occupancy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    fn counting_loop() -> Function {
+        parse_function(
+            "fn l {
+             entry:
+               i = 3
+               jmp head
+             head:
+               br i, body, done
+             body:
+               x = a + b
+               obs x
+               i = i - 1
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loop_runs_to_completion() {
+        let f = counting_loop();
+        let out = run(&f, &Inputs::new().set("a", 4).set("b", 6), 1_000);
+        assert!(out.completed());
+        assert_eq!(out.trace, vec![10, 10, 10]);
+        let a_plus_b = f.expr_universe()[0];
+        assert_eq!(out.eval_count(a_plus_b), 3);
+        assert_eq!(out.total_evals(), 6); // 3× a+b, 3× i-1
+        let head = f.block_by_name("head").unwrap();
+        assert_eq!(out.block_visits[head.index()], 4);
+    }
+
+    #[test]
+    fn fuel_bounds_divergent_loops() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               jmp spin
+             spin:
+               obs x
+               br 1, spin, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let out = run(&f, &Inputs::new(), 100);
+        assert_eq!(out.status, Status::OutOfFuel);
+        assert_eq!(out.steps, 100);
+        assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn assignment_order_matches_paper_semantics() {
+        // `a = a + b` evaluates with the old `a`.
+        let f = parse_function(
+            "fn s {
+             entry:
+               a = a + b
+               obs a
+               a = a + b
+               obs a
+               ret
+             }",
+        )
+        .unwrap();
+        let out = run(&f, &Inputs::new().set("a", 1).set("b", 10), 100);
+        assert_eq!(out.trace, vec![11, 21]);
+    }
+
+    #[test]
+    fn inputs_default_to_zero() {
+        let f = parse_function("fn z {\nentry:\n  obs q\n  ret\n}").unwrap();
+        let out = run(&f, &Inputs::new(), 10);
+        assert_eq!(out.trace, vec![0]);
+        assert_eq!(out.value(f.symbols.get("q").unwrap()), 0);
+    }
+
+    #[test]
+    fn equivalence_oracle_accepts_itself_and_rejects_difference() {
+        let f = counting_loop();
+        let inputs = Inputs::new().set("a", 1).set("b", 2);
+        assert!(observationally_equivalent(&f, &f, &inputs, 1_000));
+        let g = parse_function(
+            "fn g {
+             entry:
+               obs a
+               ret
+             }",
+        )
+        .unwrap();
+        assert!(!observationally_equivalent(&f, &g, &inputs, 1_000));
+    }
+
+    #[test]
+    fn equivalence_compares_prefixes_under_fuel() {
+        // Same program, one padded with extra copies: same observations,
+        // different step counts. Must still be judged equivalent at any fuel.
+        let f = parse_function(
+            "fn f {
+             entry:
+               jmp spin
+             spin:
+               obs k
+               k = k + 1
+               br 1, spin, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let g = parse_function(
+            "fn g {
+             entry:
+               jmp spin
+             spin:
+               pad0 = 0
+               pad1 = 0
+               obs k
+               k = k + 1
+               br 1, spin, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        for fuel in [10, 100, 1000] {
+            assert!(observationally_equivalent(&f, &g, &Inputs::new(), fuel));
+        }
+    }
+
+    #[test]
+    fn occupancy_counts_def_to_last_use_spans() {
+        // t is defined, then two unrelated instructions, then used:
+        // live across 3 instructions (the def itself is not counted —
+        // liveness is evaluated after processing each instruction in the
+        // backward walk, with the use instruction included).
+        let f = parse_function(
+            "fn o {
+             entry:
+               t = a + b
+               u = 1
+               v = 2
+               x = t + 1
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        let t = f.symbols.get("t").unwrap();
+        let occ = dynamic_occupancy(&f, &Inputs::new(), 100, &[t]);
+        assert_eq!(occ, 3); // u=1, v=2, x=t+1
+        // A variable never used afterwards occupies nothing.
+        let v = f.symbols.get("v").unwrap();
+        assert_eq!(dynamic_occupancy(&f, &Inputs::new(), 100, &[v]), 0);
+    }
+
+    #[test]
+    fn occupancy_in_loops_accumulates() {
+        let f = counting_loop();
+        let a = f.symbols.get("a").unwrap();
+        let occ = dynamic_occupancy(&f, &Inputs::new(), 1_000, &[a]);
+        assert!(occ > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz (DOT) export, for visualising the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::function::{BlockId, Function};
+use crate::instr::Terminator;
+
+/// Renders `f` as a Graphviz digraph, one record-shaped node per block with
+/// its instructions, plus optional per-block annotations (e.g. predicate
+/// values) supplied by `annotate`.
+///
+/// ```
+/// use lcm_ir::{dot, parse_function};
+///
+/// let f = parse_function("fn g {\nentry:\n  x = a + b\n  ret\n}")?;
+/// let text = dot::render(&f, |_| None);
+/// assert!(text.starts_with("digraph g {"));
+/// assert!(text.contains("x = a + b"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render(f: &Function, mut annotate: impl FnMut(BlockId) -> Option<String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&f.name));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for b in f.block_ids() {
+        let data = f.block(b);
+        let mut label = format!("{}:", data.name);
+        for &i in &data.instrs {
+            label.push_str("\\l  ");
+            label.push_str(&escape(&f.display_instr(i)));
+        }
+        if let Some(note) = annotate(b) {
+            label.push_str("\\l  # ");
+            label.push_str(&escape(&note));
+        }
+        label.push_str("\\l");
+        let shape = if b == f.entry() || b == f.exit() {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {b} [label=\"{label}\"{shape}];");
+    }
+    for b in f.block_ids() {
+        match f.block(b).term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  {b} -> {t};");
+            }
+            Terminator::Branch { then_to, else_to, .. } => {
+                let _ = writeln!(out, "  {b} -> {then_to} [label=\"T\"];");
+                let _ = writeln!(out, "  {b} -> {else_to} [label=\"F\"];");
+            }
+            Terminator::Exit => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn renders_edges_and_annotations() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               jmp j
+             r:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let text = render(&f, |b| (b == f.entry()).then(|| "note".to_string()));
+        assert!(text.contains("[label=\"T\"]"));
+        assert!(text.contains("[label=\"F\"]"));
+        assert!(text.contains("# note"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("1bad name"), "g_1bad_name");
+        assert_eq!(sanitize("fine"), "fine");
+    }
+}

@@ -1,0 +1,162 @@
+//! Critical edges and critical-edge splitting.
+//!
+//! An edge `m → n` is *critical* when `m` has several successors and `n`
+//! several predecessors. Code cannot be inserted "on" such an edge without
+//! either duplicating it on other paths out of `m` or on other paths into
+//! `n`. The node-insertion formulation of lazy code motion (and the paper's
+//! optimality results) presuppose a graph without critical edges; the
+//! edge-insertion formulation splits them lazily, only where an insertion is
+//! actually required.
+
+use crate::function::{BlockId, Edge, Function};
+
+/// Lists the critical edges of `f` in deterministic (source, slot) order.
+pub fn critical_edges(f: &Function) -> Vec<Edge> {
+    let preds = f.preds();
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        let nsuccs = f.succs(b).count();
+        if nsuccs < 2 {
+            continue;
+        }
+        for (i, to) in f.succs(b).enumerate() {
+            if preds[to.index()].len() >= 2 {
+                out.push(Edge {
+                    from: b,
+                    to,
+                    succ_index: i as u8,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The result of [`split_critical_edges`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SplitOutcome {
+    /// For every split edge, the original edge and the synthetic block now
+    /// sitting on it.
+    pub splits: Vec<(Edge, BlockId)>,
+}
+
+impl SplitOutcome {
+    /// Number of edges that were split.
+    pub fn len(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// Returns `true` if the function had no critical edges.
+    pub fn is_empty(&self) -> bool {
+        self.splits.is_empty()
+    }
+}
+
+/// Splits every critical edge of `f` by inserting fresh empty blocks, and
+/// returns the mapping. Afterwards the function has no critical edges, and
+/// any [`EdgeList`](crate::EdgeList) snapshots are invalidated.
+pub fn split_critical_edges(f: &mut Function) -> SplitOutcome {
+    let edges = critical_edges(f);
+    let mut splits = Vec::with_capacity(edges.len());
+    for e in edges {
+        let mid = f.split_edge(e.from, e.succ_index);
+        splits.push((e, mid));
+    }
+    SplitOutcome { splits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn detects_and_splits_critical_edges() {
+        // entry branches to {a, join}; a jumps to join: (entry → join) is
+        // critical.
+        let mut f = parse_function(
+            "fn c {
+             entry:
+               br c, a, join
+             a:
+               jmp join
+             join:
+               ret
+             }",
+        )
+        .unwrap();
+        let crit = critical_edges(&f);
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].from, f.entry());
+        assert_eq!(crit[0].to, f.block_by_name("join").unwrap());
+        assert_eq!(crit[0].succ_index, 1);
+
+        let outcome = split_critical_edges(&mut f);
+        assert_eq!(outcome.len(), 1);
+        assert!(!outcome.is_empty());
+        assert!(critical_edges(&f).is_empty());
+        crate::verify(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_with_two_exits_has_critical_edges() {
+        let mut f = parse_function(
+            "fn l {
+             entry:
+               jmp head
+             head:
+               br c, body, done
+             body:
+               br d, head, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        // body → head is critical (body has 2 succs, head has 2 preds);
+        // both edges into done are critical.
+        let crit = critical_edges(&f);
+        assert_eq!(crit.len(), 3);
+        split_critical_edges(&mut f);
+        assert!(critical_edges(&f).is_empty());
+        crate::verify(&f).unwrap();
+    }
+
+    #[test]
+    fn diamond_has_no_critical_edges() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, a, b
+             a:
+               jmp join
+             b:
+               jmp join
+             join:
+               ret
+             }",
+        )
+        .unwrap();
+        assert!(critical_edges(&f).is_empty());
+    }
+
+    #[test]
+    fn parallel_branch_edges_are_critical() {
+        // Both branch targets are the same block with another pred: two
+        // critical edges with distinct succ indices.
+        let f = parse_function(
+            "fn p {
+             entry:
+               jmp top
+             top:
+               br c, join, join
+             join:
+               ret
+             }",
+        )
+        .unwrap();
+        let crit = critical_edges(&f);
+        assert_eq!(crit.len(), 2);
+        assert_ne!(crit[0].succ_index, crit[1].succ_index);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy algorithm).
+
+use crate::function::{BlockId, Function};
+use crate::graph::order::{postorder, rpo_index};
+
+/// An (immediate-)dominator tree.
+///
+/// The root's immediate dominator is itself; blocks unreachable from the
+/// root have no entry ([`DomTree::idom`] returns `None`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DomTree {
+    root: BlockId,
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// The tree's root (entry for dominators, exit for postdominators).
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// The immediate dominator of `b` (the root maps to itself), or `None`
+    /// if `b` is unreachable from the root.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Iterates over `b`'s dominators from `b` up to the root (inclusive).
+    pub fn ancestors(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        let mut cur = Some(b);
+        std::iter::from_fn(move || {
+            let this = cur?;
+            cur = match self.idom(this) {
+                Some(parent) if parent != this => Some(parent),
+                _ => None,
+            };
+            Some(this)
+        })
+    }
+}
+
+/// Core of Cooper–Harvey–Kennedy "A Simple, Fast Dominance Algorithm":
+/// generic over edge direction via closures producing predecessors.
+fn chk(
+    nblocks: usize,
+    root: BlockId,
+    order_po: &[BlockId],
+    po_index: &[usize],
+    preds: &[Vec<BlockId>],
+) -> Vec<Option<BlockId>> {
+    let mut idom: Vec<Option<BlockId>> = vec![None; nblocks];
+    idom[root.index()] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder (skip the root).
+        for &b in order_po.iter().rev() {
+            if b == root {
+                continue;
+            }
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // not yet processed / unreachable
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, po_index, cur, p),
+                });
+            }
+            if new_idom != idom[b.index()] && new_idom.is_some() {
+                idom[b.index()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    po_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while po_index[a.index()] < po_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while po_index[b.index()] < po_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// Computes the dominator tree rooted at the entry block.
+pub fn dominators(f: &Function) -> DomTree {
+    let po = postorder(f);
+    let po_index = rpo_index(f, &po);
+    let preds = f.preds();
+    let idom = chk(f.num_blocks(), f.entry(), &po, &po_index, &preds);
+    DomTree {
+        root: f.entry(),
+        idom,
+    }
+}
+
+/// Computes the postdominator tree rooted at the exit block.
+///
+/// Requires the function to be exit-reachable from every block (the
+/// [verifier](crate::verify)'s invariant); blocks violating that have no
+/// entry in the tree.
+pub fn postdominators(f: &Function) -> DomTree {
+    // Postorder of the reverse CFG, rooted at exit.
+    let n = f.num_blocks();
+    let preds = f.preds();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.exit(), 0)];
+    visited[f.exit().index()] = true;
+    while let Some(&mut (b, ref mut slot)) = stack.last_mut() {
+        match preds[b.index()].get(*slot).copied() {
+            Some(s) => {
+                *slot += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            }
+            None => {
+                order.push(b);
+                stack.pop();
+            }
+        }
+    }
+    let po_index = rpo_index(f, &order);
+    // "Predecessors" in the reverse graph are CFG successors.
+    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in f.block_ids() {
+        succs[b.index()] = f.succs(b).collect();
+    }
+    let idom = chk(n, f.exit(), &order, &po_index, &succs);
+    DomTree {
+        root: f.exit(),
+        idom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    fn example() -> crate::Function {
+        parse_function(
+            "fn d {
+             entry:
+               br c, a, b
+             a:
+               jmp join
+             b:
+               br c, join, b2
+             b2:
+               jmp join
+             join:
+               ret
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn idoms_of_diamond() {
+        let f = example();
+        let dom = dominators(&f);
+        let get = |n: &str| f.block_by_name(n).unwrap();
+        assert_eq!(dom.idom(get("a")), Some(f.entry()));
+        assert_eq!(dom.idom(get("b")), Some(f.entry()));
+        assert_eq!(dom.idom(get("b2")), Some(get("b")));
+        assert_eq!(dom.idom(get("join")), Some(f.entry()));
+        assert!(dom.dominates(f.entry(), get("join")));
+        assert!(!dom.dominates(get("a"), get("join")));
+        assert!(dom.dominates(get("b"), get("b2")));
+        assert_eq!(
+            dom.ancestors(get("b2")).collect::<Vec<_>>(),
+            vec![get("b2"), get("b"), f.entry()]
+        );
+    }
+
+    #[test]
+    fn postdominators_mirror() {
+        let f = example();
+        let pdom = postdominators(&f);
+        let get = |n: &str| f.block_by_name(n).unwrap();
+        assert_eq!(pdom.root(), f.exit());
+        assert_eq!(pdom.idom(get("a")), Some(get("join")));
+        assert_eq!(pdom.idom(get("b")), Some(get("join")));
+        assert!(pdom.dominates(get("join"), f.entry()));
+    }
+
+    #[test]
+    fn loop_idoms() {
+        let f = parse_function(
+            "fn l {
+             entry:
+               jmp head
+             head:
+               br c, body, done
+             body:
+               br d, head, latch
+             latch:
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let dom = dominators(&f);
+        let get = |n: &str| f.block_by_name(n).unwrap();
+        assert_eq!(dom.idom(get("head")), Some(f.entry()));
+        assert_eq!(dom.idom(get("body")), Some(get("head")));
+        assert_eq!(dom.idom(get("latch")), Some(get("body")));
+        assert_eq!(dom.idom(get("done")), Some(get("head")));
+    }
+}

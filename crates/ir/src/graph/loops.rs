@@ -1,0 +1,164 @@
+//! Natural-loop discovery from back edges.
+
+use crate::function::{BlockId, Function};
+use crate::graph::dom::{dominators, DomTree};
+
+/// A natural loop: a back edge `latch → header` where the header dominates
+/// the latch, together with the loop body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// All blocks in the loop, header first, otherwise in discovery order.
+    pub body: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Returns `true` if `b` belongs to the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// Number of blocks in the loop.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Natural loops are never empty (the header is always a member).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Finds all natural loops of `f`, one per back edge, in deterministic
+/// order. Two back edges sharing a header yield two loops (callers may merge
+/// them if they need per-header loops).
+///
+/// Irreducible cycles (cycles whose "entry" does not dominate the rest) have
+/// no back edge in the dominator sense and therefore produce no natural
+/// loop; this matches the classic definition.
+pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
+    let dom = dominators(f);
+    let preds = f.preds();
+    let mut loops = Vec::new();
+    for latch in f.block_ids() {
+        for header in f.succs(latch) {
+            if dom.idom(latch).is_some() && dom.dominates(header, latch) {
+                loops.push(collect_loop(f, &preds, &dom, header, latch));
+            }
+        }
+    }
+    loops
+}
+
+fn collect_loop(
+    f: &Function,
+    preds: &[Vec<BlockId>],
+    _dom: &DomTree,
+    header: BlockId,
+    latch: BlockId,
+) -> NaturalLoop {
+    let mut in_loop = vec![false; f.num_blocks()];
+    in_loop[header.index()] = true;
+    let mut body = vec![header];
+    let mut stack = Vec::new();
+    if !in_loop[latch.index()] {
+        in_loop[latch.index()] = true;
+        body.push(latch);
+        stack.push(latch);
+    }
+    while let Some(b) = stack.pop() {
+        for &p in &preds[b.index()] {
+            if !in_loop[p.index()] {
+                in_loop[p.index()] = true;
+                body.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    NaturalLoop {
+        header,
+        latch,
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn finds_simple_loop() {
+        let f = parse_function(
+            "fn l {
+             entry:
+               jmp head
+             head:
+               br c, body, done
+             body:
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        let get = |n: &str| f.block_by_name(n).unwrap();
+        assert_eq!(l.header, get("head"));
+        assert_eq!(l.latch, get("body"));
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(get("head")) && l.contains(get("body")));
+        assert!(!l.contains(f.entry()));
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let f = parse_function(
+            "fn n {
+             entry:
+               jmp outer
+             outer:
+               br c, inner, done
+             inner:
+               br d, inner, outer_latch
+             outer_latch:
+               jmp outer
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let get = |n: &str| f.block_by_name(n).unwrap();
+        let inner = loops.iter().find(|l| l.header == get("inner")).unwrap();
+        let outer = loops.iter().find(|l| l.header == get("outer")).unwrap();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(outer.len(), 3);
+        assert!(outer.contains(get("inner")));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_loops() {
+        let f = parse_function(
+            "fn a {
+             entry:
+               br c, l, r
+             l:
+               jmp j
+             r:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        assert!(natural_loops(&f).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Depth-first block orderings.
+
+use crate::function::{BlockId, Function};
+
+/// Computes a postorder of the blocks reachable from the entry.
+///
+/// Successors are visited in terminator order, so the result is
+/// deterministic. Unreachable blocks are absent.
+pub fn postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.num_blocks();
+    let mut out = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // (block, next successor slot to visit)
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    visited[f.entry().index()] = true;
+    while let Some(&mut (b, ref mut slot)) = stack.last_mut() {
+        match f.succs(b).nth(*slot) {
+            Some(s) => {
+                *slot += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            }
+            None => {
+                out.push(b);
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+/// Computes a reverse postorder (RPO) of the blocks reachable from the
+/// entry. The entry is always first.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut po = postorder(f);
+    po.reverse();
+    po
+}
+
+/// Builds the inverse map of an ordering: `index[b] = position of b`, or
+/// `usize::MAX` for blocks absent from the ordering.
+pub fn rpo_index(f: &Function, order: &[BlockId]) -> Vec<usize> {
+    let mut index = vec![usize::MAX; f.num_blocks()];
+    for (i, &b) in order.iter().enumerate() {
+        index[b.index()] = i;
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_structure() {
+        let f = parse_function(
+            "fn o {
+             entry:
+               br c, a, b
+             a:
+               jmp join
+             b:
+               jmp join
+             join:
+               ret
+             }",
+        )
+        .unwrap();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        // join must come after both a and b.
+        let idx = rpo_index(&f, &rpo);
+        let join = f.block_by_name("join").unwrap();
+        let a = f.block_by_name("a").unwrap();
+        let b = f.block_by_name("b").unwrap();
+        assert!(idx[join.index()] > idx[a.index()]);
+        assert!(idx[join.index()] > idx[b.index()]);
+    }
+
+    #[test]
+    fn postorder_handles_loops() {
+        let f = parse_function(
+            "fn l {
+             entry:
+               jmp head
+             head:
+               br c, body, done
+             body:
+               jmp head
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let po = postorder(&f);
+        assert_eq!(po.len(), 4);
+        assert_eq!(*po.last().unwrap(), f.entry());
+    }
+}

@@ -1,0 +1,145 @@
+//! Instructions and block terminators.
+
+use crate::expr::{Operand, Rvalue, Var};
+use crate::function::BlockId;
+
+/// A straight-line instruction inside a basic block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// An assignment `dst = rv`.
+    ///
+    /// The right-hand side is evaluated first, then the destination is
+    /// written, so `a = a + b` computes `a + b` with the *old* value of `a`
+    /// (and kills `a + b` afterwards) — exactly the paper's statement
+    /// semantics.
+    Assign {
+        /// Destination variable.
+        dst: Var,
+        /// Right-hand side.
+        rv: Rvalue,
+    },
+    /// An observation `obs x`: appends the operand's current value to the
+    /// program's observation trace.
+    ///
+    /// Observations are the IR's only side effect; two programs are
+    /// semantically equivalent iff they produce the same trace on every
+    /// input. They are opaque to the optimizer (never moved or removed).
+    Observe(Operand),
+}
+
+impl Instr {
+    /// Returns the variable this instruction writes, if any.
+    #[inline]
+    pub fn def(self) -> Option<Var> {
+        match self {
+            Instr::Assign { dst, .. } => Some(dst),
+            Instr::Observe(_) => None,
+        }
+    }
+
+    /// Iterates over the variables this instruction reads.
+    pub fn uses(self) -> impl Iterator<Item = Var> {
+        let vars: Vec<Var> = match self {
+            Instr::Assign { rv, .. } => rv.vars().collect(),
+            Instr::Observe(op) => op.as_var().into_iter().collect(),
+        };
+        vars.into_iter()
+    }
+}
+
+/// The control transfer ending a basic block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch: to `then_to` if `cond != 0`, else to
+    /// `else_to`. The two targets may coincide (two parallel CFG edges).
+    Branch {
+        /// Branch condition (non-zero means taken).
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_to: BlockId,
+        /// Target when the condition is zero.
+        else_to: BlockId,
+    },
+    /// Function exit. Exactly one block (the exit block) carries this.
+    Exit,
+}
+
+impl Terminator {
+    /// Returns the successor blocks in branch order (then before else).
+    pub fn successors(self) -> impl Iterator<Item = BlockId> {
+        let (a, b) = match self {
+            Terminator::Jump(t) => (Some(t), None),
+            Terminator::Branch { then_to, else_to, .. } => (Some(then_to), Some(else_to)),
+            Terminator::Exit => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Returns the branch condition variable, if this terminator reads one.
+    pub fn use_var(self) -> Option<Var> {
+        match self {
+            Terminator::Branch { cond, .. } => cond.as_var(),
+            Terminator::Jump(_) | Terminator::Exit => None,
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump(t) => {
+                if *t == from {
+                    *t = to;
+                }
+            }
+            Terminator::Branch { then_to, else_to, .. } => {
+                if *then_to == from {
+                    *then_to = to;
+                }
+                if *else_to == from {
+                    *else_to = to;
+                }
+            }
+            Terminator::Exit => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instr::Assign {
+            dst: Var(0),
+            rv: Rvalue::Expr(Expr::Bin(
+                BinOp::Add,
+                Operand::Var(Var(1)),
+                Operand::Var(Var(2)),
+            )),
+        };
+        assert_eq!(i.def(), Some(Var(0)));
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![Var(1), Var(2)]);
+
+        let o = Instr::Observe(Operand::Var(Var(5)));
+        assert_eq!(o.def(), None);
+        assert_eq!(o.uses().collect::<Vec<_>>(), vec![Var(5)]);
+    }
+
+    #[test]
+    fn terminator_successors_and_retarget() {
+        let mut t = Terminator::Branch {
+            cond: Operand::Var(Var(0)),
+            then_to: BlockId(1),
+            else_to: BlockId(2),
+        };
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        t.retarget(BlockId(2), BlockId(3));
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(3)]);
+        assert_eq!(t.use_var(), Some(Var(0)));
+        assert_eq!(Terminator::Exit.successors().count(), 0);
+    }
+}

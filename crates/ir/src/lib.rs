@@ -1,0 +1,106 @@
+//! CFG intermediate representation for the `lcm` workspace.
+//!
+//! The Lazy Code Motion paper (Knoop, Rüthing & Steffen, PLDI 1992) operates
+//! on flow graphs whose nodes hold assignment statements `v := e` over
+//! *single-operator* expressions. This crate provides that substrate:
+//!
+//! * [`Expr`], [`Operand`], [`Rvalue`] — single-operator expressions,
+//! * [`Instr`], [`Terminator`] — instructions and block terminators,
+//! * [`Function`] — a control-flow graph of basic blocks with a unique
+//!   entry and a unique exit,
+//! * [`FunctionBuilder`] — an ergonomic way to construct functions,
+//! * a textual format ([`parse_function`], `Display`),
+//! * graph algorithms ([`graph`]): orderings, dominators, natural loops,
+//!   critical edges and critical-edge splitting,
+//! * CFG simplification ([`simplify_cfg`]): merging chains and removing
+//!   forwarding blocks left behind by edge splitting,
+//! * a structural [`verify`]-er and [`dot`] (Graphviz) export.
+//!
+//! # Example
+//!
+//! ```
+//! use lcm_ir::parse_function;
+//!
+//! let f = parse_function(
+//!     "fn diamond {
+//!      entry:
+//!        br c, left, right
+//!      left:
+//!        x = a + b
+//!        jmp join
+//!      right:
+//!        jmp join
+//!      join:
+//!        y = a + b
+//!        obs y
+//!        ret
+//!      }",
+//! )?;
+//! assert_eq!(f.num_blocks(), 4);
+//! lcm_ir::verify(&f)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod builder;
+mod expr;
+mod function;
+mod instr;
+mod parse;
+mod print;
+mod simplify;
+mod verify;
+
+pub mod dot;
+pub mod graph;
+
+pub use builder::FunctionBuilder;
+pub use expr::{BinOp, Expr, Operand, Rvalue, UnOp, Var};
+pub use function::{BlockData, BlockId, Edge, EdgeId, EdgeList, Function, SymbolTable};
+pub use instr::{Instr, Terminator};
+pub use parse::{parse_function, ParseError};
+pub use simplify::{simplify_cfg, SimplifyStats};
+pub use verify::{verify, VerifyError};
+
+/// Defines a dense `u32` entity index newtype (block ids, edge ids, …).
+///
+/// The generated type is `Copy`, ordered, hashable, and prints as
+/// `"{prefix}{index}"`. Entities index into `Vec`s; they are never
+/// invalidated by the structures in this crate except where documented.
+#[macro_export]
+macro_rules! entity_id {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $name(pub u32);
+
+        impl $name {
+            /// Returns the index as a `usize`, for indexing into dense tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index overflow"))
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                ::std::fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}

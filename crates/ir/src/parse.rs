@@ -1,0 +1,512 @@
+//! A parser for the textual IR format.
+//!
+//! The grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! function  := "fn" NAME "{" block+ "}"
+//! block     := LABEL ":" instr* terminator
+//! instr     := "obs" operand
+//!            | IDENT "=" rhs
+//! rhs       := operand
+//!            | unop operand
+//!            | operand binop operand
+//! terminator:= "jmp" LABEL
+//!            | "br" operand "," LABEL "," LABEL
+//!            | "ret"
+//! operand   := IDENT | INT
+//! unop      := "-" | "~"
+//! binop     := "+" "-" "*" "/" "%" "&" "|" "^" "<<" ">>"
+//!              "==" "!=" "<" "<=" ">" ">="
+//! ```
+//!
+//! The first block is the entry; the unique block terminated by `ret` is the
+//! exit. Labels and variable names are identifiers (letters, digits, `_`,
+//! `.`, not starting with a digit).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{BinOp, Expr, Operand, Rvalue, UnOp};
+use crate::function::{BlockData, BlockId, Function, SymbolTable};
+use crate::instr::{Instr, Terminator};
+
+/// An error produced by [`parse_function`], with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line on which the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Sym(s) => write!(f, "`{s}`"),
+        }
+    }
+}
+
+const SYMBOLS: [&str; 22] = [
+    "<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=",
+    ",", ":", "{", "}", "~",
+];
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '#' {
+            break;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Ident(line[start..i].to_string()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let text = &line[start..i];
+            let value = text.parse::<i64>().map_err(|_| ParseError {
+                line: lineno,
+                message: format!("integer literal `{text}` out of range"),
+            })?;
+            toks.push(Tok::Int(value));
+            continue;
+        }
+        for sym in SYMBOLS {
+            if line[i..].starts_with(sym) {
+                toks.push(Tok::Sym(sym));
+                i += sym.len();
+                continue 'outer;
+            }
+        }
+        return Err(ParseError {
+            line: lineno,
+            message: format!("unexpected character `{c}`"),
+        });
+    }
+    Ok(toks)
+}
+
+struct Ctx {
+    symbols: SymbolTable,
+    labels: HashMap<String, BlockId>,
+}
+
+impl Ctx {
+    fn operand(&mut self, toks: &[Tok], at: &mut usize, lineno: usize) -> Result<Operand, ParseError> {
+        let err = |msg: String| ParseError {
+            line: lineno,
+            message: msg,
+        };
+        match toks.get(*at) {
+            Some(Tok::Ident(name)) => {
+                *at += 1;
+                Ok(Operand::Var(self.symbols.intern(name)))
+            }
+            Some(Tok::Int(i)) => {
+                *at += 1;
+                Ok(Operand::Const(*i))
+            }
+            Some(Tok::Sym("-")) => match toks.get(*at + 1) {
+                Some(Tok::Int(i)) => {
+                    *at += 2;
+                    Ok(Operand::Const(i.wrapping_neg()))
+                }
+                _ => Err(err("expected integer after unary `-`".into())),
+            },
+            other => Err(err(format!(
+                "expected operand, found {}",
+                other.map_or("end of line".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn label(&self, toks: &[Tok], at: &mut usize, lineno: usize) -> Result<BlockId, ParseError> {
+        match toks.get(*at) {
+            Some(Tok::Ident(name)) => {
+                *at += 1;
+                self.labels.get(name).copied().ok_or(ParseError {
+                    line: lineno,
+                    message: format!("unknown label `{name}`"),
+                })
+            }
+            other => Err(ParseError {
+                line: lineno,
+                message: format!(
+                    "expected label, found {}",
+                    other.map_or("end of line".to_string(), |t| t.to_string())
+                ),
+            }),
+        }
+    }
+}
+
+fn binop_from_sym(sym: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|o| o.symbol() == sym)
+}
+
+/// Parses the textual IR format into a [`Function`].
+///
+/// See the [module documentation](self) for the grammar. The parser does not
+/// run the [verifier](crate::verify); call it separately if the input is
+/// untrusted.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input, unknown
+/// labels, a missing/duplicate `ret` block, or instructions after a
+/// terminator.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    // Pass 1: tokenize every line; collect block labels in order.
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let toks = tokenize(raw, idx + 1)?;
+        if !toks.is_empty() {
+            lines.push((idx + 1, toks));
+        }
+    }
+    let err = |line: usize, message: String| ParseError { line, message };
+
+    let mut iter = lines.iter();
+    let (first_line, header) = iter
+        .next()
+        .ok_or_else(|| err(1, "empty input".into()))?;
+    let name = match header.as_slice() {
+        [Tok::Ident(kw), Tok::Ident(name), Tok::Sym("{")] if kw == "fn" => name.clone(),
+        _ => {
+            return Err(err(
+                *first_line,
+                "expected `fn NAME {` header".into(),
+            ))
+        }
+    };
+
+    let mut ctx = Ctx {
+        symbols: SymbolTable::new(),
+        labels: HashMap::new(),
+    };
+    let mut blocks: Vec<BlockData> = Vec::new();
+    for (lineno, toks) in lines.iter().skip(1) {
+        if let [Tok::Ident(label), Tok::Sym(":")] = toks.as_slice() {
+            if ctx.labels.contains_key(label) {
+                return Err(err(*lineno, format!("duplicate label `{label}`")));
+            }
+            ctx.labels
+                .insert(label.clone(), BlockId::from_index(blocks.len()));
+            blocks.push(BlockData::new(label.clone()));
+        }
+    }
+    if blocks.is_empty() {
+        return Err(err(*first_line, "function has no blocks".into()));
+    }
+
+    // Pass 2: fill in instructions and terminators.
+    let mut current: Option<usize> = None;
+    let mut terminated = vec![false; blocks.len()];
+    let mut exit: Option<BlockId> = None;
+    let mut closed = false;
+    for (lineno, toks) in lines.iter().skip(1) {
+        let lineno = *lineno;
+        if closed {
+            return Err(err(lineno, "content after closing `}`".into()));
+        }
+        match toks.as_slice() {
+            [Tok::Sym("}")] => {
+                closed = true;
+                continue;
+            }
+            [Tok::Ident(label), Tok::Sym(":")] => {
+                if let Some(cur) = current {
+                    if !terminated[cur] {
+                        return Err(err(
+                            lineno,
+                            format!("block `{}` lacks a terminator", blocks[cur].name),
+                        ));
+                    }
+                }
+                current = Some(ctx.labels[label].index());
+                continue;
+            }
+            _ => {}
+        }
+        let cur = current.ok_or_else(|| err(lineno, "instruction before first label".into()))?;
+        if terminated[cur] {
+            return Err(err(
+                lineno,
+                format!("instruction after terminator in block `{}`", blocks[cur].name),
+            ));
+        }
+        let mut at = 0;
+        match toks.first() {
+            Some(Tok::Ident(kw)) if kw == "obs" => {
+                at += 1;
+                let op = ctx.operand(toks, &mut at, lineno)?;
+                expect_end(toks, at, lineno)?;
+                blocks[cur].instrs.push(Instr::Observe(op));
+            }
+            Some(Tok::Ident(kw)) if kw == "jmp" => {
+                at += 1;
+                let target = ctx.label(toks, &mut at, lineno)?;
+                expect_end(toks, at, lineno)?;
+                blocks[cur].term = Terminator::Jump(target);
+                terminated[cur] = true;
+            }
+            Some(Tok::Ident(kw)) if kw == "br" => {
+                at += 1;
+                let cond = ctx.operand(toks, &mut at, lineno)?;
+                expect_sym(toks, &mut at, ",", lineno)?;
+                let then_to = ctx.label(toks, &mut at, lineno)?;
+                expect_sym(toks, &mut at, ",", lineno)?;
+                let else_to = ctx.label(toks, &mut at, lineno)?;
+                expect_end(toks, at, lineno)?;
+                blocks[cur].term = Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                };
+                terminated[cur] = true;
+            }
+            Some(Tok::Ident(kw)) if kw == "ret" && toks.len() == 1 => {
+                blocks[cur].term = Terminator::Exit;
+                terminated[cur] = true;
+                let this = BlockId::from_index(cur);
+                if let Some(prev) = exit {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "multiple `ret` blocks: `{}` and `{}`",
+                            blocks[prev.index()].name,
+                            blocks[this.index()].name
+                        ),
+                    ));
+                }
+                exit = Some(this);
+            }
+            Some(Tok::Ident(dst)) if matches!(toks.get(1), Some(Tok::Sym("="))) => {
+                let dst = ctx.symbols.intern(dst);
+                at = 2;
+                let rv = parse_rhs(&mut ctx, toks, &mut at, lineno)?;
+                expect_end(toks, at, lineno)?;
+                blocks[cur].instrs.push(Instr::Assign { dst, rv });
+            }
+            _ => {
+                return Err(err(lineno, "expected instruction or terminator".into()));
+            }
+        }
+    }
+    if !closed {
+        return Err(err(
+            lines.last().map_or(1, |(l, _)| *l),
+            "missing closing `}`".into(),
+        ));
+    }
+    if let Some(cur) = current {
+        if !terminated[cur] {
+            return Err(err(
+                lines.last().map_or(1, |(l, _)| *l),
+                format!("block `{}` lacks a terminator", blocks[cur].name),
+            ));
+        }
+    }
+    let exit = exit.ok_or_else(|| err(*first_line, "no `ret` block".into()))?;
+
+    Ok(Function {
+        name,
+        blocks,
+        entry: BlockId(0),
+        exit,
+        symbols: ctx.symbols,
+    })
+}
+
+fn parse_rhs(
+    ctx: &mut Ctx,
+    toks: &[Tok],
+    at: &mut usize,
+    lineno: usize,
+) -> Result<Rvalue, ParseError> {
+    // Unary: `-a`, `~a`, `~5` (but `-5` is the constant).
+    match (toks.get(*at), toks.get(*at + 1)) {
+        (Some(Tok::Sym("-")), Some(Tok::Ident(_))) => {
+            *at += 1;
+            let a = ctx.operand(toks, at, lineno)?;
+            return Ok(Rvalue::Expr(Expr::Un(UnOp::Neg, a)));
+        }
+        (Some(Tok::Sym("~")), _) => {
+            *at += 1;
+            let a = ctx.operand(toks, at, lineno)?;
+            return Ok(Rvalue::Expr(Expr::Un(UnOp::Not, a)));
+        }
+        _ => {}
+    }
+    let a = ctx.operand(toks, at, lineno)?;
+    match toks.get(*at) {
+        None => Ok(Rvalue::Operand(a)),
+        Some(Tok::Sym(sym)) => {
+            let op = binop_from_sym(sym).ok_or_else(|| ParseError {
+                line: lineno,
+                message: format!("unknown binary operator `{sym}`"),
+            })?;
+            *at += 1;
+            let b = ctx.operand(toks, at, lineno)?;
+            Ok(Rvalue::Expr(Expr::Bin(op, a, b)))
+        }
+        Some(other) => Err(ParseError {
+            line: lineno,
+            message: format!("expected operator or end of line, found {other}"),
+        }),
+    }
+}
+
+fn expect_sym(toks: &[Tok], at: &mut usize, sym: &str, lineno: usize) -> Result<(), ParseError> {
+    match toks.get(*at) {
+        Some(Tok::Sym(s)) if *s == sym => {
+            *at += 1;
+            Ok(())
+        }
+        other => Err(ParseError {
+            line: lineno,
+            message: format!(
+                "expected `{sym}`, found {}",
+                other.map_or("end of line".to_string(), |t| t.to_string())
+            ),
+        }),
+    }
+}
+
+fn expect_end(toks: &[Tok], at: usize, lineno: usize) -> Result<(), ParseError> {
+    if at == toks.len() {
+        Ok(())
+    } else {
+        Err(ParseError {
+            line: lineno,
+            message: format!("trailing tokens starting at {}", toks[at]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_diamond() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r   # branch on input
+             l:
+               x = a + b
+               jmp join
+             r:
+               x = a - -3
+               jmp join
+             join:
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.name, "d");
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.block(f.entry()).name, "entry");
+        assert_eq!(f.block(f.exit()).name, "join");
+        crate::verify(&f).unwrap();
+        // `a - -3` parses as binary sub with constant -3.
+        let l = f.block_by_name("l").unwrap();
+        let r = f.block_by_name("r").unwrap();
+        assert_eq!(f.block(l).instrs.len(), 1);
+        match f.block(r).instrs[0] {
+            Instr::Assign {
+                rv: Rvalue::Expr(Expr::Bin(BinOp::Sub, _, Operand::Const(-3))),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unary() {
+        let f = parse_function("fn u {\nentry:\n  x = -a\n  y = ~x\n  ret\n}").unwrap();
+        assert_eq!(f.expr_universe().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_function("fn b {\nentry:\n  x = a +\n  ret\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+
+        let e = parse_function("fn b {\nentry:\n  jmp nowhere\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn rejects_structural_problems() {
+        // No ret block.
+        assert!(parse_function("fn b {\nentry:\n  jmp entry\n}").is_err());
+        // Two ret blocks.
+        assert!(parse_function("fn b {\nentry:\n  ret\nother:\n  ret\n}").is_err());
+        // Instruction after terminator.
+        assert!(parse_function("fn b {\nentry:\n  ret\n  x = 1\n}").is_err());
+        // Missing terminator.
+        assert!(parse_function("fn b {\nentry:\n  x = 1\n}").is_err());
+        // Duplicate label.
+        assert!(parse_function("fn b {\nentry:\n  ret\nentry:\n  ret\n}").is_err());
+        // Missing closing brace.
+        assert!(parse_function("fn b {\nentry:\n  ret\n").is_err());
+    }
+
+    #[test]
+    fn parses_every_operator() {
+        for op in BinOp::ALL {
+            let text = format!("fn o {{\nentry:\n  x = a {} b\n  ret\n}}", op.symbol());
+            let f = parse_function(&text).unwrap();
+            match f.block(f.entry()).instrs[0] {
+                Instr::Assign {
+                    rv: Rvalue::Expr(Expr::Bin(parsed, _, _)),
+                    ..
+                } => assert_eq!(parsed, op),
+                ref other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

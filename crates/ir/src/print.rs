@@ -1,0 +1,145 @@
+//! Textual rendering of the IR ([`Display`] impls).
+//!
+//! The output round-trips through [`parse_function`](crate::parse_function):
+//! for every function `f`, `parse_function(&f.to_string())` succeeds and
+//! yields a structurally equal function (block order, labels, instructions
+//! and variable names are all preserved).
+
+use std::fmt;
+
+use crate::expr::{Expr, Operand, Rvalue};
+use crate::function::Function;
+use crate::instr::{Instr, Terminator};
+
+/// Helper pairing an IR entity with its function for name resolution.
+struct WithFn<'a, T> {
+    f: &'a Function,
+    item: T,
+}
+
+impl fmt::Display for WithFn<'_, Operand> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.item {
+            Operand::Var(v) => out.write_str(self.f.var_name(v)),
+            Operand::Const(c) => write!(out, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for WithFn<'_, Rvalue> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let f = self.f;
+        match self.item {
+            Rvalue::Operand(o) => write!(out, "{}", WithFn { f, item: o }),
+            Rvalue::Expr(Expr::Un(op, a)) => {
+                write!(out, "{}{}", op.symbol(), WithFn { f, item: a })
+            }
+            Rvalue::Expr(Expr::Bin(op, a, b)) => write!(
+                out,
+                "{} {} {}",
+                WithFn { f, item: a },
+                op.symbol(),
+                WithFn { f, item: b }
+            ),
+        }
+    }
+}
+
+impl Function {
+    /// Renders a single instruction using this function's variable names.
+    pub fn display_instr(&self, instr: Instr) -> String {
+        match instr {
+            Instr::Assign { dst, rv } => format!(
+                "{} = {}",
+                self.var_name(dst),
+                WithFn { f: self, item: rv }
+            ),
+            Instr::Observe(op) => format!("obs {}", WithFn { f: self, item: op }),
+        }
+    }
+
+    /// Renders an expression (e.g. `a + b`) using this function's variable
+    /// names.
+    pub fn display_expr(&self, e: Expr) -> String {
+        format!(
+            "{}",
+            WithFn {
+                f: self,
+                item: Rvalue::Expr(e)
+            }
+        )
+    }
+
+    /// Renders a terminator using this function's block labels.
+    pub fn display_term(&self, term: Terminator) -> String {
+        match term {
+            Terminator::Jump(t) => format!("jmp {}", self.block(t).name),
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => format!(
+                "br {}, {}, {}",
+                WithFn { f: self, item: cond },
+                self.block(then_to).name,
+                self.block(else_to).name
+            ),
+            Terminator::Exit => "ret".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(out, "fn {} {{", self.name)?;
+        for b in self.block_ids() {
+            let data = self.block(b);
+            writeln!(out, "{}:", data.name)?;
+            for &instr in &data.instrs {
+                writeln!(out, "  {}", self.display_instr(instr))?;
+            }
+            writeln!(out, "  {}", self.display_term(data.term))?;
+        }
+        write!(out, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::FunctionBuilder;
+
+    #[test]
+    fn prints_expected_shape() {
+        let mut b = FunctionBuilder::new("demo");
+        b.assign_bin("x", "+", "a", "b").unwrap();
+        b.observe("x");
+        b.jump_exit();
+        let f = b.finish();
+        let text = f.to_string();
+        assert!(text.contains("fn demo {"));
+        assert!(text.contains("entry:"));
+        assert!(text.contains("  x = a + b"));
+        assert!(text.contains("  obs x"));
+        assert!(text.contains("  jmp exit"));
+        assert!(text.contains("  ret"));
+    }
+
+    #[test]
+    fn roundtrips_through_parser() {
+        let mut b = FunctionBuilder::new("rt");
+        let l = b.create_block("l");
+        let r = b.create_block("r");
+        b.branch("c", l, r);
+        b.switch_to(l);
+        b.assign_bin("x", "<<", "a", 3).unwrap();
+        b.jump_exit();
+        b.switch_to(r);
+        b.un("y", crate::UnOp::Not, "a");
+        b.observe("y");
+        b.jump_exit();
+        let f = b.finish();
+        let reparsed = crate::parse_function(&f.to_string()).unwrap();
+        assert_eq!(f.to_string(), reparsed.to_string());
+        assert_eq!(f.num_blocks(), reparsed.num_blocks());
+    }
+}

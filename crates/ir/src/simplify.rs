@@ -1,0 +1,273 @@
+//! CFG simplification: merging straight-line chains and removing empty
+//! forwarding blocks.
+//!
+//! Edge splitting (and edge insertion) introduces small blocks; this pass
+//! is the standard clean-up that dissolves them again where they carry no
+//! code. It preserves observational behaviour exactly (property-tested in
+//! the workspace integration suite).
+
+use crate::function::{BlockData, BlockId, Function};
+use crate::instr::Terminator;
+
+/// What [`simplify_cfg`] did.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SimplifyStats {
+    /// Pairs of blocks merged (`a → b` with `a` the only pred and `b` the
+    /// only succ).
+    pub merged: usize,
+    /// Empty `jmp`-only blocks whose predecessors were retargeted past
+    /// them.
+    pub forwarded: usize,
+    /// Blocks removed from the function (after compaction).
+    pub removed: usize,
+}
+
+/// Simplifies `f`'s control flow to a fixpoint:
+///
+/// 1. a block with a single successor whose successor has it as single
+///    predecessor is merged with it;
+/// 2. an empty block that just jumps on is bypassed (its predecessors are
+///    retargeted), unless it is the entry;
+/// 3. unreachable blocks are dropped and ids are compacted.
+///
+/// Block ids are invalidated; labels of surviving blocks are kept. The
+/// entry keeps its role; if the exit is merged into a predecessor, that
+/// predecessor becomes the exit.
+pub fn simplify_cfg(f: &mut Function) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let changed_merge = merge_chains(f, &mut stats);
+        let changed_fwd = bypass_forwarders(f, &mut stats);
+        if !changed_merge && !changed_fwd {
+            break;
+        }
+    }
+    stats.removed = compact(f);
+    stats
+}
+
+fn merge_chains(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.preds();
+        let candidate = f.block_ids().find(|&b| {
+            if b == f.exit() {
+                return false;
+            }
+            let mut succs = f.succs(b);
+            let (first, second) = (succs.next(), succs.next());
+            match (first, second) {
+                (Some(s), None) => {
+                    s != b && s != f.entry() && preds[s.index()].len() == 1
+                }
+                _ => false,
+            }
+        });
+        let Some(b) = candidate else {
+            return changed;
+        };
+        let s = f.succs(b).next().expect("candidate has one successor");
+        let succ_data = std::mem::take(&mut f.block_mut(s).instrs);
+        let succ_term = f.block(s).term;
+        let body = f.block_mut(b);
+        body.instrs.extend(succ_data);
+        body.term = succ_term;
+        // Neutralise the husk: make it an unreachable self-loop; compaction
+        // removes it.
+        f.block_mut(s).term = Terminator::Jump(s);
+        if s == f.exit() {
+            f.exit = b;
+        }
+        stats.merged += 1;
+        changed = true;
+    }
+}
+
+fn bypass_forwarders(f: &mut Function, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.preds();
+        let candidate = f.block_ids().find(|&b| {
+            b != f.entry()
+                && f.block(b).instrs.is_empty()
+                && matches!(f.block(b).term, Terminator::Jump(t) if t != b)
+                && !preds[b.index()].is_empty()
+        });
+        let Some(b) = candidate else {
+            return changed;
+        };
+        let Terminator::Jump(target) = f.block(b).term else {
+            unreachable!("candidate is a forwarder");
+        };
+        let pred_list = preds[b.index()].clone();
+        for p in pred_list {
+            let term = &mut f.block_mut(p).term;
+            term.retarget(b, target);
+        }
+        stats.forwarded += 1;
+        changed = true;
+    }
+}
+
+/// Drops unreachable blocks and renumbers the survivors.
+fn compact(f: &mut Function) -> usize {
+    let reachable = crate::graph::reachable_from_entry(f);
+    if reachable.iter().all(|&r| r) {
+        return 0;
+    }
+    let mut remap: Vec<Option<BlockId>> = vec![None; f.num_blocks()];
+    let mut blocks: Vec<BlockData> = Vec::new();
+    for b in f.block_ids() {
+        if reachable[b.index()] {
+            remap[b.index()] = Some(BlockId::from_index(blocks.len()));
+            blocks.push(f.block(b).clone());
+        }
+    }
+    let removed = f.num_blocks() - blocks.len();
+    // Rewrite successors slot by slot — a sequence of `retarget` calls
+    // would alias when an old id coincides with another target's new id.
+    let map = |old: BlockId| remap[old.index()].expect("reachable block targets reachable block");
+    for data in &mut blocks {
+        data.term = match data.term {
+            Terminator::Jump(t) => Terminator::Jump(map(t)),
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => Terminator::Branch {
+                cond,
+                then_to: map(then_to),
+                else_to: map(else_to),
+            },
+            Terminator::Exit => Terminator::Exit,
+        };
+    }
+    f.blocks = blocks;
+    f.entry = remap[f.entry.index()].expect("entry is reachable");
+    f.exit = remap[f.exit.index()].expect("exit is reachable");
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_function, verify};
+
+    #[test]
+    fn merges_chains_and_drops_forwarders() {
+        let mut f = parse_function(
+            "fn chain {
+             entry:
+               x = 1
+               jmp a
+             a:
+               y = 2
+               jmp b
+             b:
+               jmp c
+             c:
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let stats = simplify_cfg(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(f.num_blocks(), 1);
+        assert!(stats.merged >= 2);
+        assert_eq!(f.entry(), f.exit());
+        assert_eq!(f.num_instrs(), 3);
+    }
+
+    #[test]
+    fn keeps_branch_structure() {
+        let mut f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               x = 1
+               jmp join
+             r:
+               jmp join
+             join:
+               obs x
+               ret
+             }",
+        )
+        .unwrap();
+        let before = f.num_blocks();
+        let stats = simplify_cfg(&mut f);
+        verify(&f).unwrap();
+        // r is an empty forwarder: bypassed. join has 2 preds: not merged.
+        assert_eq!(stats.forwarded, 1);
+        assert_eq!(f.num_blocks(), before - 1);
+        assert!(f.block_by_name("r").is_none());
+    }
+
+    #[test]
+    fn undoes_redundant_edge_splits() {
+        let mut f = parse_function(
+            "fn s {
+             entry:
+               br c, a, b
+             a:
+               jmp j
+             b:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        // Split both entry edges, then simplify: the synthetic blocks are
+        // empty forwarders and must disappear again.
+        f.split_edge(f.entry(), 0);
+        f.split_edge(f.entry(), 1);
+        assert_eq!(f.num_blocks(), 6);
+        simplify_cfg(&mut f);
+        verify(&f).unwrap();
+        assert_eq!(f.num_blocks(), 2); // a, b, j collapse via forwarding+merge
+    }
+
+    #[test]
+    fn entry_forwarder_is_kept() {
+        let mut f = parse_function(
+            "fn e {
+             entry:
+               jmp mid
+             mid:
+               br c, mid, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        // entry is empty but must not be bypassed (it is the entry);
+        // mid cannot merge into entry (mid has 2 preds).
+        simplify_cfg(&mut f);
+        verify(&f).unwrap();
+        assert!(f.block_by_name("mid").is_some());
+    }
+
+    #[test]
+    fn self_loop_is_untouched() {
+        let mut f = parse_function(
+            "fn l {
+             entry:
+               jmp spin
+             spin:
+               x = x + 1
+               br c, spin, out
+             out:
+               ret
+             }",
+        )
+        .unwrap();
+        let printed = f.to_string();
+        simplify_cfg(&mut f);
+        verify(&f).unwrap();
+        // entry→spin can't merge (spin has 2 preds); nothing else applies.
+        assert_eq!(f.to_string(), printed);
+    }
+}

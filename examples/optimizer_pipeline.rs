@@ -1,0 +1,71 @@
+//! A realistic pass pipeline over a generated workload: LCSE → PRE →
+//! copy propagation → DCE, comparing all five PRE algorithms on static and
+//! dynamic measures.
+//!
+//! ```sh
+//! cargo run --example optimizer_pipeline [seed]
+//! ```
+
+use lcm::cfggen::{structured, GenOptions};
+use lcm::core::{metrics, optimize, passes, PreAlgorithm};
+use lcm::interp::{run, Inputs};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let mut f = structured(seed, &GenOptions::sized(80));
+    let removed = passes::lcse(&mut f);
+    println!(
+        "workload: {} ({} blocks, {} instructions, {} candidate expressions, {} locally reused)\n",
+        f.name,
+        f.num_blocks(),
+        f.num_instrs(),
+        f.expr_universe().len(),
+        removed
+    );
+
+    let exprs = f.expr_universe();
+    let inputs = Inputs::new().set("a", 11).set("b", -3).set("c", 1).set("d", 5);
+    let baseline = run(&f, &inputs, 5_000_000);
+    assert!(baseline.completed());
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "algorithm", "inserts", "deletes", "temps", "dyn evals", "live points", "instrs"
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "original",
+        "-",
+        "-",
+        "-",
+        baseline.total_evals_of(&exprs),
+        0,
+        f.num_instrs()
+    );
+    for alg in PreAlgorithm::ALL {
+        let o = optimize(&f, alg);
+        let mut cleaned = o.function.clone();
+        passes::copy_propagation(&mut cleaned);
+        passes::dce(&mut cleaned);
+        let dynamic = run(&o.function, &inputs, 5_000_000);
+        assert_eq!(dynamic.trace, baseline.trace, "behaviour preserved");
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>10} {:>12} {:>12}",
+            alg.name(),
+            o.transform.stats.insertions,
+            o.transform.stats.deletions,
+            o.transform.stats.temps,
+            dynamic.total_evals_of(&exprs),
+            metrics::live_points(&o.function, &o.transform.temp_vars()),
+            cleaned.num_instrs(),
+        );
+    }
+    println!(
+        "\nReading: busy (bcm) and lazy agree on dynamic evaluations — both are\n\
+         computationally optimal — but lazy's temporaries occupy far fewer live\n\
+         points; morel-renvoise eliminates less (no edge placements)."
+    );
+}

@@ -1,0 +1,45 @@
+//! The paper's headline motivation, measured: busy code motion is as
+//! computationally optimal as lazy code motion but pays for it in
+//! register pressure. This example sweeps diamond-chain depth and prints
+//! the live-range sizes of the introduced temporaries for both.
+//!
+//! ```sh
+//! cargo run --example register_pressure
+//! ```
+
+use lcm::cfggen::shapes;
+use lcm::core::{metrics, optimize, PreAlgorithm};
+use lcm::interp::{run, Inputs};
+
+fn main() {
+    println!(
+        "pressure_chain (one fresh expression per diamond):\n{:>6} {:>14} {:>14} {:>14} {:>12}",
+        "chain", "busy live pts", "lazy live pts", "ratio", "evals (both)"
+    );
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let f = shapes::pressure_chain(n);
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
+        let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
+        let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);
+        let be = run(&busy.function, &inputs, 1_000_000).total_evals();
+        let le = run(&lazy.function, &inputs, 1_000_000).total_evals();
+        assert_eq!(be, le, "both are computationally optimal");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14.2} {:>12}",
+            n,
+            bp,
+            lp,
+            bp as f64 / lp.max(1) as f64,
+            be
+        );
+    }
+    println!(
+        "\nBusy code motion hoists every diamond's expression to the top of the\n\
+         function, so all the temporaries are live at once and pressure grows\n\
+         with the chain; lazy code motion keeps each temporary local to its\n\
+         diamond. Both evaluate exactly the same number of expressions — the\n\
+         entire difference is register pressure, which is the paper's point."
+    );
+}

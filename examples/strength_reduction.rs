@@ -1,0 +1,49 @@
+//! Lazy strength reduction (the companion extension of lazy code motion):
+//! multiplications by an induction variable collapse to one initialisation
+//! plus an addition per update.
+//!
+//! ```sh
+//! cargo run --example strength_reduction
+//! ```
+
+use lcm::core::strength::{candidate_mults, strength_reduce};
+use lcm::interp::{run, Inputs};
+use lcm::ir::parse_function;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Row-major address computation: addr = i * 12 each iteration.
+    let f = parse_function(
+        "fn addresses {
+         entry:
+           i = 0
+           n = 8
+           jmp body
+         body:
+           addr = i * 12
+           obs addr
+           i = i + 1
+           c = i < n
+           br c, body, done
+         done:
+           ret
+         }",
+    )?;
+
+    println!("== before ==\n{f}\n");
+    let res = strength_reduce(&f);
+    println!("== after lazy strength reduction ==\n{}\n", res.function);
+    println!(
+        "candidates: {}, insertions: {}, deletions: {}, updates: {}",
+        res.stats.candidates, res.stats.insertions, res.stats.deletions, res.stats.updates
+    );
+
+    let before = run(&f, &Inputs::new(), 100_000);
+    let after = run(&res.function, &Inputs::new(), 100_000);
+    assert_eq!(before.trace, after.trace);
+    println!(
+        "multiplications of i * 12: {} -> {} (additions do the rest)",
+        candidate_mults(&before, &res.candidates),
+        candidate_mults(&after, &res.candidates)
+    );
+    Ok(())
+}

@@ -1,0 +1,246 @@
+//! `lcmopt` — command-line driver for the lcm optimizer.
+//!
+//! ```text
+//! lcmopt [OPTIONS] [FILE]
+//!
+//! Reads a function in the textual IR format from FILE (or stdin when FILE
+//! is `-` or omitted) and processes it.
+//!
+//! OPTIONS:
+//!   -p, --passes LIST    comma-separated pass pipeline (default:
+//!                        lcse,lcm-edge,copyprop,dce,simplify). Passes:
+//!                        lcse, copyprop, dce, simplify, strength, and the
+//!                        PRE algorithms bcm, lcm-edge, lcm-node,
+//!                        alcm-node, morel-renvoise, gcse.
+//!   -e, --emit KIND      output: text (default), dot, stats, none
+//!       --run KEY=VAL    interpret before and after with the given inputs
+//!                        (repeatable) and print both observation traces
+//!       --fuel N         interpreter fuel (default 1000000)
+//!       --compare        print a comparison table over all PRE algorithms
+//!                        instead of running a pipeline
+//!   -h, --help           this help
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use lcm::core::{metrics, optimize, passes, PreAlgorithm};
+use lcm::interp::{run, Inputs};
+use lcm::ir::{dot, parse_function, simplify_cfg, verify, Function};
+
+struct Options {
+    file: Option<String>,
+    passes: Vec<String>,
+    emit: String,
+    inputs: Vec<(String, i64)>,
+    run: bool,
+    fuel: u64,
+    compare: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
+     [--run KEY=VAL]... [--fuel N] [--compare] [FILE|-]\n\
+     passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
+     lcm-node, alcm-node, morel-renvoise, gcse"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        file: None,
+        passes: vec![
+            "lcse".into(),
+            "lcm-edge".into(),
+            "copyprop".into(),
+            "dce".into(),
+            "simplify".into(),
+        ],
+        emit: "text".into(),
+        inputs: Vec::new(),
+        run: false,
+        fuel: 1_000_000,
+        compare: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(usage().to_string()),
+            "-p" | "--passes" => {
+                let list = args.next().ok_or("--passes needs an argument")?;
+                opts.passes = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "-e" | "--emit" => {
+                opts.emit = args.next().ok_or("--emit needs an argument")?;
+                if !["text", "dot", "stats", "none"].contains(&opts.emit.as_str()) {
+                    return Err(format!("unknown emit kind `{}`", opts.emit));
+                }
+            }
+            "--run" => {
+                let kv = args.next().ok_or("--run needs KEY=VAL")?;
+                let (k, v) = kv.split_once('=').ok_or("--run needs KEY=VAL")?;
+                let v: i64 = v.parse().map_err(|_| format!("bad value in `{kv}`"))?;
+                opts.inputs.push((k.to_string(), v));
+                opts.run = true;
+            }
+            "--fuel" => {
+                let n = args.next().ok_or("--fuel needs an argument")?;
+                opts.fuel = n.parse().map_err(|_| format!("bad fuel `{n}`"))?;
+            }
+            "--compare" => opts.compare = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            file => {
+                if opts.file.is_some() {
+                    return Err("more than one input file".to_string());
+                }
+                opts.file = Some(file.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn read_input(file: &Option<String>) -> Result<String, String> {
+    match file.as_deref() {
+        None | Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Option<PreAlgorithm> {
+    PreAlgorithm::ALL.into_iter().find(|a| a.name() == name)
+}
+
+fn run_pipeline(f: &Function, pass_names: &[String]) -> Result<Function, String> {
+    let mut g = f.clone();
+    for name in pass_names {
+        match name.as_str() {
+            "lcse" => {
+                passes::lcse(&mut g);
+            }
+            "copyprop" => {
+                passes::copy_propagation(&mut g);
+            }
+            "dce" => {
+                passes::dce(&mut g);
+            }
+            "simplify" => {
+                simplify_cfg(&mut g);
+            }
+            "strength" => {
+                g = lcm::core::strength::strength_reduce(&g).function;
+            }
+            other => match algorithm_by_name(other) {
+                Some(alg) => g = optimize(&g, alg).function,
+                None => return Err(format!("unknown pass `{other}`\n{}", usage())),
+            },
+        }
+        verify(&g).map_err(|e| format!("pass `{name}` produced invalid IR: {e}"))?;
+    }
+    Ok(g)
+}
+
+fn compare(f: &Function) {
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>12} {:>8}",
+        "algorithm", "inserts", "deletes", "temps", "live points", "instrs"
+    );
+    for alg in PreAlgorithm::ALL {
+        let o = optimize(f, alg);
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>12} {:>8}",
+            alg.name(),
+            o.transform.stats.insertions,
+            o.transform.stats.deletions,
+            o.transform.stats.temps,
+            metrics::live_points(&o.function, &o.transform.temp_vars()),
+            o.function.num_instrs(),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match read_input(&opts.file) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("lcmopt: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let f = match parse_function(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lcmopt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = verify(&f) {
+        eprintln!("lcmopt: input is not well-formed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.compare {
+        compare(&f);
+        return ExitCode::SUCCESS;
+    }
+
+    let g = match run_pipeline(&f, &opts.passes) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("lcmopt: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.emit.as_str() {
+        "text" => println!("{g}"),
+        "dot" => print!("{}", dot::render(&g, |_| None)),
+        "stats" => {
+            println!(
+                "blocks: {} -> {}",
+                f.num_blocks(),
+                g.num_blocks()
+            );
+            println!("instructions: {} -> {}", f.num_instrs(), g.num_instrs());
+            println!(
+                "candidate evaluation sites: {} -> {}",
+                f.expr_occurrences().count(),
+                g.expr_occurrences().count()
+            );
+        }
+        "none" => {}
+        _ => unreachable!("emit kind validated"),
+    }
+
+    if opts.run {
+        let inputs: Inputs = opts.inputs.into_iter().collect();
+        let before = run(&f, &inputs, opts.fuel);
+        let after = run(&g, &inputs, opts.fuel);
+        println!("trace before: {:?}", before.trace);
+        println!("trace after:  {:?}", after.trace);
+        println!(
+            "evaluations:  {} -> {}",
+            before.total_evals(),
+            after.total_evals()
+        );
+        if before.trace != after.trace {
+            eprintln!("lcmopt: BUG: traces differ!");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+//! # lcm — Lazy Code Motion
+//!
+//! A from-scratch, production-quality implementation of **Lazy Code Motion**
+//! (Knoop, Rüthing & Steffen, PLDI 1992): partial redundancy elimination
+//! that is computationally optimal *and* places computations as late as
+//! possible, minimising the live ranges of the temporaries it introduces.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — the CFG intermediate representation, textual format, graph
+//!   algorithms;
+//! * [`dataflow`] — the bit-vector dataflow framework;
+//! * [`core`] — the LCM/BCM/Morel–Renvoise analyses and transformations;
+//! * [`interp`] — a reference interpreter for validation;
+//! * [`cfggen`] — seeded random program generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcm::ir::parse_function;
+//! use lcm::core::{optimize, PreAlgorithm};
+//!
+//! // `a + b` is computed on one arm of the diamond and again at the join:
+//! // partially redundant. LCM inserts on the other arm and removes the
+//! // recomputation at the join.
+//! let f = parse_function(
+//!     "fn demo {
+//!      entry:
+//!        br c, left, right
+//!      left:
+//!        x = a + b
+//!        jmp join
+//!      right:
+//!        jmp join
+//!      join:
+//!        y = a + b
+//!        obs y
+//!        ret
+//!      }",
+//! )?;
+//! let optimized = optimize(&f, PreAlgorithm::LazyEdge).function;
+//! // The join block no longer recomputes a + b.
+//! let join = optimized.block_by_name("join").unwrap();
+//! assert!(optimized.block(join).exprs().next().is_none());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use lcm_cfggen as cfggen;
+pub use lcm_core as core;
+pub use lcm_dataflow as dataflow;
+pub use lcm_interp as interp;
+pub use lcm_ir as ir;

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `lcmopt` command-line driver.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const DIAMOND: &str = "fn d {
+entry:
+  br c, l, r
+l:
+  x = a + b
+  jmp join
+r:
+  jmp join
+join:
+  y = a + b
+  obs y
+  ret
+}
+";
+
+fn lcmopt(args: &[&str], stdin: &str) -> (bool, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcmopt"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lcmopt");
+    // The write may fail with BrokenPipe when lcmopt rejects its arguments
+    // and exits before reading stdin — that is expected for the error-path
+    // tests.
+    let write_result = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    if let Err(e) = write_result {
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe,
+            "unexpected stdin failure: {e}"
+        );
+    }
+    let out = child.wait_with_output().expect("wait for lcmopt");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn default_pipeline_optimizes_the_diamond() {
+    let (ok, stdout, stderr) = lcmopt(&[], DIAMOND);
+    assert!(ok, "stderr: {stderr}");
+    // After LCM + cleanup, the join must read a temp instead of
+    // recomputing.
+    assert!(stdout.contains("fn d {"), "{stdout}");
+    let join_and_after = stdout.split("join:").nth(1).expect("join block printed");
+    assert!(
+        !join_and_after.contains("a + b"),
+        "join still recomputes:\n{stdout}"
+    );
+}
+
+#[test]
+fn emit_stats_reports_site_reduction() {
+    // Full redundancy: the second site disappears without an insertion.
+    // (On the diamond the insertion is itself a site, so the static count
+    // stays at 2 there even though the dynamic count drops.)
+    let full = "fn full {
+        entry:
+          x = a + b
+          jmp next
+        next:
+          y = a + b
+          obs y
+          ret
+        }";
+    let (ok, stdout, _) = lcmopt(&["--emit", "stats"], full);
+    assert!(ok);
+    assert!(stdout.contains("candidate evaluation sites: 2 -> 1"), "{stdout}");
+}
+
+#[test]
+fn emit_dot_produces_graphviz() {
+    let (ok, stdout, _) = lcmopt(&["--emit", "dot", "--passes", "lcse"], DIAMOND);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("->"));
+}
+
+#[test]
+fn run_mode_checks_equivalence_and_counts() {
+    let (ok, stdout, _) = lcmopt(
+        &["--emit", "none", "--run", "a=20", "--run", "b=22", "--run", "c=1"],
+        DIAMOND,
+    );
+    assert!(ok);
+    assert!(stdout.contains("trace before: [42]"), "{stdout}");
+    assert!(stdout.contains("trace after:  [42]"), "{stdout}");
+    assert!(stdout.contains("evaluations:  2 -> 1"), "{stdout}");
+}
+
+#[test]
+fn compare_lists_all_algorithms() {
+    let (ok, stdout, _) = lcmopt(&["--compare"], DIAMOND);
+    assert!(ok);
+    for name in ["bcm", "lcm-edge", "lcm-node", "alcm-node", "morel-renvoise", "gcse"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn rejects_bad_input_with_diagnostics() {
+    let (ok, _, stderr) = lcmopt(&[], "fn broken {\nentry:\n  x = +\n  ret\n}");
+    assert!(!ok);
+    assert!(stderr.contains("line 3"), "{stderr}");
+
+    let (ok, _, stderr) = lcmopt(&["--passes", "nonsense"], DIAMOND);
+    assert!(!ok);
+    assert!(stderr.contains("unknown pass"), "{stderr}");
+
+    let (ok, _, stderr) = lcmopt(&["--emit", "pdf"], DIAMOND);
+    assert!(!ok);
+    assert!(stderr.contains("unknown emit kind"), "{stderr}");
+}
+
+#[test]
+fn custom_pipeline_order_is_respected() {
+    // GCSE alone cannot remove the partially redundant join computation.
+    let (ok, stdout, _) = lcmopt(&["--passes", "gcse", "--emit", "stats"], DIAMOND);
+    assert!(ok);
+    assert!(stdout.contains("candidate evaluation sites: 2 -> 2"), "{stdout}");
+}
+
+#[test]
+fn reads_from_file() {
+    let dir = std::env::temp_dir().join("lcmopt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("diamond.lcm");
+    std::fs::write(&path, DIAMOND).unwrap();
+    let (ok, stdout, stderr) = lcmopt(&[path.to_str().unwrap()], "");
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("fn d {"));
+}

@@ -1,0 +1,341 @@
+//! Deliberate corner cases, each end-to-end through the optimizers.
+
+use lcm::core::{optimize, optimize_pipeline, PreAlgorithm};
+use lcm::interp::{observationally_equivalent, run, Inputs};
+use lcm::ir::parse_function;
+
+fn preserved_by_all(text: &str, inputs: &[Inputs]) {
+    let f = parse_function(text).unwrap();
+    for alg in PreAlgorithm::ALL {
+        let o = optimize(&f, alg);
+        lcm::ir::verify(&o.function).unwrap();
+        for i in inputs {
+            assert!(
+                observationally_equivalent(&f, &o.function, i, 1_000_000),
+                "{} broke {} on {:?}",
+                alg.name(),
+                f.name,
+                i
+            );
+        }
+        let p = optimize_pipeline(&f, alg);
+        for i in inputs {
+            assert!(observationally_equivalent(&f, &p, i, 1_000_000));
+        }
+    }
+}
+
+#[test]
+fn no_candidates_at_all() {
+    // Copies, constants and observations only: every algorithm is a no-op
+    // up to representation.
+    let text = "fn nocand {
+        entry:
+          x = 5
+          y = x
+          obs y
+          ret
+        }";
+    preserved_by_all(text, &[Inputs::new()]);
+    let f = parse_function(text).unwrap();
+    for alg in PreAlgorithm::ALL {
+        let o = optimize(&f, alg);
+        assert_eq!(o.transform.stats.insertions, 0, "{}", alg.name());
+        assert_eq!(o.transform.stats.temps, 0, "{}", alg.name());
+    }
+}
+
+#[test]
+fn minimal_two_block_function() {
+    preserved_by_all(
+        "fn tiny {
+         entry:
+           ret
+         }",
+        &[Inputs::new()],
+    );
+}
+
+#[test]
+fn constant_only_expression_is_hoistable() {
+    // `3 + 4` has no operands to kill: transparent everywhere, anticipated
+    // wherever it is used downstream on all paths.
+    let text = "fn consts {
+        entry:
+          br c, l, r
+        l:
+          x = 3 + 4
+          obs x
+          jmp j
+        r:
+          jmp j
+        j:
+          y = 3 + 4
+          obs y
+          ret
+        }";
+    preserved_by_all(text, &[Inputs::new(), Inputs::new().set("c", 1)]);
+    let f = parse_function(text).unwrap();
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    assert_eq!(lazy.transform.stats.deletions, 1); // the join occurrence
+}
+
+#[test]
+fn constant_branch_conditions() {
+    preserved_by_all(
+        "fn constbr {
+         entry:
+           x = a + b
+           br 1, t, e
+         t:
+           y = a + b
+           obs y
+           jmp done
+         e:
+           obs x
+           jmp done
+         done:
+           ret
+         }",
+        &[Inputs::new().set("a", 2).set("b", 9)],
+    );
+}
+
+#[test]
+fn parallel_branch_edges() {
+    // Both targets identical: two parallel CFG edges into the same block.
+    preserved_by_all(
+        "fn par {
+         entry:
+           x = a + b
+           br c, j, j
+         j:
+           y = a + b
+           obs y
+           ret
+         }",
+        &[Inputs::new().set("a", 1), Inputs::new().set("c", 5)],
+    );
+    let f = parse_function(
+        "fn par {
+         entry:
+           x = a + b
+           br c, j, j
+         j:
+           y = a + b
+           obs y
+           ret
+         }",
+    )
+    .unwrap();
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    // Fully redundant across the parallel edges: deletable, no insertion.
+    assert_eq!(lazy.transform.stats.deletions, 1);
+    assert_eq!(lazy.transform.stats.insertions, 0);
+}
+
+#[test]
+fn self_loop_with_redundancy() {
+    preserved_by_all(
+        "fn selfloop {
+         entry:
+           i = 5
+           jmp spin
+         spin:
+           x = a + b
+           obs x
+           i = i - 1
+           br i, spin, out
+         out:
+           ret
+         }",
+        &[Inputs::new().set("a", 3).set("b", 4)],
+    );
+    let f = parse_function(
+        "fn selfloop {
+         entry:
+           i = 5
+           jmp spin
+         spin:
+           x = a + b
+           obs x
+           i = i - 1
+           br i, spin, out
+         out:
+           ret
+         }",
+    )
+    .unwrap();
+    // The loop-carried redundancy is removed: one evaluation total.
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let out = run(&lazy.function, &Inputs::new().set("a", 1).set("b", 1), 10_000);
+    let ab = f.expr_universe()[0];
+    assert_eq!(out.eval_count(ab), 1);
+}
+
+#[test]
+fn wide_universe_crosses_word_boundaries() {
+    // 130 expressions: three 64-bit words of bit-vector state.
+    let f = lcm::cfggen::shapes::wide_expression_soup(130);
+    let inputs = Inputs::new().set("s0", 3).set("s64", -5).set("s129", 11);
+    for alg in [PreAlgorithm::LazyEdge, PreAlgorithm::Busy, PreAlgorithm::Gcse] {
+        let o = optimize(&f, alg);
+        assert!(observationally_equivalent(&f, &o.function, &inputs, 100_000));
+        // All 130 second-block recomputations are fully redundant; busy
+        // code motion additionally hoists (and therefore deletes) the
+        // first block's occurrences too.
+        let expected = if alg == PreAlgorithm::Busy { 260 } else { 130 };
+        assert_eq!(o.transform.stats.deletions, expected, "{}", alg.name());
+    }
+}
+
+#[test]
+fn temp_names_do_not_collide_with_user_variables() {
+    // The program already uses t0/t1 as ordinary variables.
+    let f = parse_function(
+        "fn clash {
+         entry:
+           t0 = a + b
+           jmp next
+         next:
+           t1 = a + b
+           obs t0
+           obs t1
+           ret
+         }",
+    )
+    .unwrap();
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    lcm::ir::verify(&lazy.function).unwrap();
+    assert_eq!(lazy.transform.stats.deletions, 1);
+    let fresh = lazy.transform.temp_vars()[0];
+    let name = lazy.function.var_name(fresh);
+    assert!(name != "t0" && name != "t1", "collision: {name}");
+    assert!(observationally_equivalent(
+        &f,
+        &lazy.function,
+        &Inputs::new().set("a", 2).set("b", 2),
+        1_000
+    ));
+}
+
+#[test]
+fn unary_candidates_move_like_binary_ones() {
+    let f = parse_function(
+        "fn un {
+         entry:
+           br c, l, r
+         l:
+           x = -a
+           obs x
+           jmp j
+         r:
+           jmp j
+         j:
+           y = -a
+           z = ~a
+           obs y
+           obs z
+           ret
+         }",
+    )
+    .unwrap();
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    lcm::ir::verify(&lazy.function).unwrap();
+    // -a is partially redundant (deleted at the join); ~a is isolated.
+    assert_eq!(lazy.transform.stats.deletions, 1);
+    for a in [-7, 0, i64::MIN] {
+        assert!(observationally_equivalent(
+            &f,
+            &lazy.function,
+            &Inputs::new().set("a", a).set("c", 1),
+            1_000
+        ));
+    }
+}
+
+#[test]
+fn division_hoisting_is_safe_with_total_semantics() {
+    // The division is anticipated at the branch (both arms compute it), so
+    // LCM may hoist it above the branch — sound here because division is
+    // total (x/0 = 0 by definition in this IR).
+    let text = "fn div {
+        entry:
+          br c, l, r
+        l:
+          x = a / b
+          obs x
+          jmp j
+        r:
+          y = a / b
+          obs y
+          jmp j
+        j:
+          ret
+        }";
+    preserved_by_all(
+        text,
+        &[
+            Inputs::new().set("a", 10).set("b", 0), // division by zero
+            Inputs::new().set("a", 10).set("b", 3).set("c", 1),
+            Inputs::new().set("a", i64::MIN).set("b", -1), // overflow case
+        ],
+    );
+}
+
+#[test]
+fn extreme_values_survive_every_algorithm() {
+    preserved_by_all(
+        "fn extreme {
+         entry:
+           x = a + b
+           y = a * b
+           z = a << b
+           br c, l, r
+         l:
+           p = a + b
+           obs p
+           jmp j
+         r:
+           jmp j
+         j:
+           q = a * b
+           obs q
+           obs x
+           obs y
+           obs z
+           ret
+         }",
+        &[
+            Inputs::new().set("a", i64::MAX).set("b", i64::MAX).set("c", 1),
+            Inputs::new().set("a", i64::MIN).set("b", -1),
+            Inputs::new().set("a", -1).set("b", 127),
+        ],
+    );
+}
+
+#[test]
+fn chains_of_kills_and_recomputations() {
+    preserved_by_all(
+        "fn churn {
+         entry:
+           x = a + b
+           a = x
+           y = a + b
+           b = y
+           z = a + b
+           obs z
+           br c, again, done
+         again:
+           a = a + 1
+           w = a + b
+           obs w
+           jmp done
+         done:
+           v = a + b
+           obs v
+           ret
+         }",
+        &[Inputs::new().set("a", 3).set("b", 5).set("c", 1), Inputs::new()],
+    );
+}

@@ -1,0 +1,150 @@
+//! Theorem T1 (admissibility/correctness): every PRE algorithm preserves
+//! observational behaviour on every input, never leaves a temporary
+//! possibly-unassigned before a use, and only inserts at safe points.
+
+use lcm::cfggen::{arbitrary, corpus, random_dag, GenOptions};
+use lcm::core::{
+    optimize, optimize_pipeline, safety, ExprUniverse, GlobalAnalyses, LocalPredicates,
+    PreAlgorithm,
+};
+use lcm::interp::{observationally_equivalent, Inputs};
+use lcm::ir::Function;
+
+fn input_sets() -> Vec<Inputs> {
+    vec![
+        Inputs::new(),
+        Inputs::new().set("a", 3).set("b", -7).set("c", 1),
+        Inputs::new()
+            .set("a", -1)
+            .set("b", 100)
+            .set("c", 0)
+            .set("d", 5)
+            .set("e", 2)
+            .set("f", 13),
+        Inputs::new().set("a", i64::MAX).set("b", i64::MIN).set("c", 2),
+    ]
+}
+
+fn check_all_algorithms(f: &Function, fuel: u64) {
+    for alg in PreAlgorithm::ALL {
+        let o = optimize(f, alg);
+        lcm::ir::verify(&o.function)
+            .unwrap_or_else(|e| panic!("{} produced invalid IR on {}: {e}", alg.name(), f.name));
+        // Temps are definitely assigned before every use.
+        safety::check_definite_assignment(&o.function, &o.transform.temp_vars())
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), f.name));
+        // Observationally equivalent to the input of the plan (for the node
+        // algorithms that is the split function, itself trivially
+        // equivalent to f) — and to the original.
+        for inputs in input_sets() {
+            assert!(
+                observationally_equivalent(f, &o.function, &inputs, fuel),
+                "{} changed behaviour of {} on {:?}",
+                alg.name(),
+                f.name,
+                inputs
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_corpus_is_preserved() {
+    let opts = GenOptions::default();
+    for f in corpus(0xC0FFEE, 60, &opts) {
+        check_all_algorithms(&f, 500_000);
+    }
+}
+
+#[test]
+fn larger_structured_programs_are_preserved() {
+    let opts = GenOptions::sized(150);
+    for f in corpus(0xBEEF, 12, &opts) {
+        check_all_algorithms(&f, 2_000_000);
+    }
+}
+
+#[test]
+fn dag_corpus_is_preserved() {
+    let opts = GenOptions::sized(14);
+    for seed in 0..40 {
+        let f = random_dag(seed, &opts);
+        check_all_algorithms(&f, 100_000);
+    }
+}
+
+#[test]
+fn arbitrary_cfgs_including_irreducible_are_preserved() {
+    // These may diverge; the oracle compares observation prefixes under
+    // fuel, which is still a strong check because both programs follow the
+    // same branch decisions.
+    let opts = GenOptions::sized(16);
+    for seed in 0..40 {
+        let f = arbitrary(seed, &opts);
+        check_all_algorithms(&f, 30_000);
+    }
+}
+
+#[test]
+fn full_pipeline_preserves_behaviour() {
+    let opts = GenOptions::default();
+    for f in corpus(0xFEED, 40, &opts) {
+        for alg in PreAlgorithm::ALL {
+            let g = optimize_pipeline(&f, alg);
+            lcm::ir::verify(&g).unwrap();
+            for inputs in input_sets() {
+                assert!(
+                    observationally_equivalent(&f, &g, &inputs, 500_000),
+                    "pipeline({}) changed behaviour of {}",
+                    alg.name(),
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_insertions_are_safe_points() {
+    let opts = GenOptions::default();
+    for f in corpus(0xAB1E, 40, &opts) {
+        let uni = ExprUniverse::of(&f);
+        let local = LocalPredicates::compute(&f, &uni);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+
+        let busy = lcm::core::busy_plan(&f, &uni, &local, &ga);
+        safety::check_plan_safety(&f, &uni, &local, &ga, &busy).unwrap();
+
+        let lazy = lcm::core::lazy_edge_plan(&f, &uni, &local, &ga);
+        safety::check_plan_safety(&f, &uni, &local, &ga, &lazy.plan).unwrap();
+
+        let mr = lcm::core::morel_renvoise_plan(&f, &uni, &local);
+        safety::check_plan_safety(&f, &uni, &local, &ga, &mr.plan).unwrap();
+
+        // Node plans are for the split function.
+        let node = lcm::core::lazy_node_plan(&f, true);
+        let nga = GlobalAnalyses::compute(&node.function, &node.universe, &node.local);
+        safety::check_plan_safety(&node.function, &node.universe, &node.local, &nga, &node.plan)
+            .unwrap();
+    }
+}
+
+#[test]
+fn optimizing_twice_is_idempotent() {
+    // Re-running LCM on its own output finds nothing left to do.
+    let opts = GenOptions::default();
+    for f in corpus(0x1D, 30, &opts) {
+        let once = optimize(&f, PreAlgorithm::LazyEdge);
+        let twice = optimize(&once.function, PreAlgorithm::LazyEdge);
+        assert_eq!(
+            twice.transform.stats.insertions, 0,
+            "second LCM run inserted on {}",
+            f.name
+        );
+        assert_eq!(
+            twice.transform.stats.deletions, 0,
+            "second LCM run deleted on {}",
+            f.name
+        );
+    }
+}

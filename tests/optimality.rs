@@ -1,0 +1,247 @@
+//! Theorems T2 (computational optimality) and T3 (lifetime optimality),
+//! validated empirically.
+//!
+//! * T2, exhaustively on DAGs: per entry→exit path, lazy code motion never
+//!   evaluates a candidate expression more often than the original program,
+//!   matches busy code motion exactly, and is never beaten by
+//!   Morel–Renvoise.
+//! * T2, statistically on cyclic programs: dynamic evaluation counts via
+//!   the interpreter obey the same ordering on every tested input.
+//! * T3: the temporaries' static live ranges and dynamic occupancy satisfy
+//!   LCM ≤ BCM (and the edge form never loses to the node form on its own
+//!   graph shape).
+
+use lcm::cfggen::{corpus, random_dag, GenOptions};
+use lcm::core::{metrics, optimize, passes, PreAlgorithm};
+use lcm::interp::{dynamic_occupancy, run, Inputs};
+use lcm::ir::{Expr, Function};
+
+const MAX_PATHS: usize = 50_000;
+
+/// The paper states its optimality theorems for programs on which local
+/// common-subexpression elimination has already run (so a block holds at
+/// most one upward- and one downward-exposed occurrence per expression).
+/// Normalise generated programs accordingly before comparing algorithms.
+fn normalized(f: &Function) -> Function {
+    let mut g = f.clone();
+    passes::lcse(&mut g);
+    g
+}
+
+/// Per-path evaluation counts of the original universe, sorted by path
+/// order (the same enumeration order for all variants of the function,
+/// because insertions never change branch structure… except edge splits,
+/// which splice a block into the middle of a path without reordering the
+/// enumeration).
+fn path_counts(f: &Function, exprs: &[Expr]) -> Option<Vec<u64>> {
+    metrics::path_eval_counts(f, exprs, MAX_PATHS)
+}
+
+#[test]
+fn t2_pathwise_on_dags() {
+    let opts = GenOptions::sized(13);
+    let mut checked = 0;
+    for seed in 0..60 {
+        let f = normalized(&random_dag(seed, &opts));
+        let exprs = f.expr_universe();
+        let Some(original) = path_counts(&f, &exprs) else {
+            continue;
+        };
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let mr = optimize(&f, PreAlgorithm::MorelRenvoise);
+        let busy_counts = path_counts(&busy.function, &exprs).expect("still acyclic");
+        let lazy_counts = path_counts(&lazy.function, &exprs).expect("still acyclic");
+        let mr_counts = path_counts(&mr.function, &exprs).expect("still acyclic");
+        assert_eq!(original.len(), lazy_counts.len(), "seed {seed}");
+        for (i, (&orig, &lzy)) in original.iter().zip(&lazy_counts).enumerate() {
+            assert!(
+                lzy <= orig,
+                "seed {seed} path {i}: lazy {lzy} > original {orig}"
+            );
+        }
+        // Busy and lazy are both computationally optimal: identical counts.
+        assert_eq!(busy_counts, lazy_counts, "seed {seed}: busy != lazy");
+        // Morel–Renvoise is admissible, hence never better than optimal.
+        for (i, (&m, &l)) in mr_counts.iter().zip(&lazy_counts).enumerate() {
+            assert!(m >= l, "seed {seed} path {i}: MR {m} beat optimal {l}");
+            assert!(
+                m <= original[i],
+                "seed {seed} path {i}: MR worse than original"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 40, "too few DAGs were checkable: {checked}");
+}
+
+#[test]
+fn t2_node_and_edge_formulations_agree_pathwise() {
+    let opts = GenOptions::sized(12);
+    for seed in 100..140 {
+        let f = normalized(&random_dag(seed, &opts));
+        let exprs = f.expr_universe();
+        let edge = optimize(&f, PreAlgorithm::LazyEdge);
+        let node = optimize(&f, PreAlgorithm::LazyNode);
+        let (Some(ec), Some(nc)) = (
+            path_counts(&edge.function, &exprs),
+            path_counts(&node.function, &exprs),
+        ) else {
+            continue;
+        };
+        assert_eq!(ec, nc, "seed {seed}: node and edge LCM count differently");
+    }
+}
+
+#[test]
+fn t2_dynamic_counts_on_cyclic_programs() {
+    let opts = GenOptions::default();
+    let inputs = [
+        Inputs::new(),
+        Inputs::new().set("a", 5).set("b", 2).set("c", 1).set("d", -3),
+        Inputs::new().set("a", -9).set("b", 4).set("e", 7).set("f", 11),
+    ];
+    for f in corpus(0x7E57, 50, &opts) {
+        let f = normalized(&f);
+        let exprs = f.expr_universe();
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let node = optimize(&f, PreAlgorithm::LazyNode);
+        let alcm = optimize(&f, PreAlgorithm::AlmostLazyNode);
+        let mr = optimize(&f, PreAlgorithm::MorelRenvoise);
+        let gcse = optimize(&f, PreAlgorithm::Gcse);
+        for ins in &inputs {
+            let fuel = 2_000_000;
+            let orig = run(&f, ins, fuel);
+            assert!(orig.completed());
+            let count =
+                |g: &Function| -> u64 { run(g, ins, fuel).total_evals_of(&exprs) };
+            let o = orig.total_evals_of(&exprs);
+            let b = count(&busy.function);
+            let l = count(&lazy.function);
+            let n = count(&node.function);
+            let a = count(&alcm.function);
+            let m = count(&mr.function);
+            assert!(l <= o, "{}: lazy {l} > original {o}", f.name);
+            assert_eq!(b, l, "{}: busy {b} != lazy {l}", f.name);
+            assert_eq!(n, l, "{}: node {n} != edge {l}", f.name);
+            assert_eq!(a, l, "{}: alcm {a} != lcm {l}", f.name);
+            assert!(m >= l, "{}: MR {m} beat optimal {l}", f.name);
+            assert!(m <= o, "{}: MR {m} worse than original {o}", f.name);
+            // GCSE (full redundancies only) sits between original and LCM.
+            let g = count(&gcse.function);
+            assert!(g >= l, "{}: GCSE {g} beat optimal {l}", f.name);
+            assert!(g <= o, "{}: GCSE {g} worse than original {o}", f.name);
+        }
+    }
+}
+
+#[test]
+fn weighted_sites_capture_loop_hoisting() {
+    // The invariant sits three loops deep (static weight 10^3); LCM hoists
+    // it to the preheader (weight 1). The weighted-site estimate must
+    // collapse accordingly.
+    let f = lcm::cfggen::shapes::loop_invariant(3, 4);
+    let inv = f
+        .expr_universe()
+        .into_iter()
+        .find(|e| f.display_expr(*e) == "a * b")
+        .unwrap();
+    let before = metrics::weighted_eval_sites(&f, &[inv]);
+    assert_eq!(before, 1000);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let after = metrics::weighted_eval_sites(&lazy.function, &[inv]);
+    assert_eq!(after, 1);
+    // And the depths themselves are sane.
+    let depths = metrics::loop_depths(&f);
+    assert_eq!(depths.iter().copied().max(), Some(3));
+}
+
+#[test]
+fn gcse_handles_only_full_redundancy() {
+    // Partial redundancy (the diamond): GCSE must not touch it; LCM must.
+    let f = lcm::cfggen::shapes::diamond_chain(1);
+    let gcse = optimize(&f, PreAlgorithm::Gcse);
+    assert_eq!(gcse.transform.stats.deletions, 0);
+    assert_eq!(gcse.transform.stats.insertions, 0);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    assert_eq!(lazy.transform.stats.deletions, 1);
+
+    // Full redundancy: both handle it, GCSE without insertions.
+    let g = lcm::ir::parse_function(
+        "fn full {
+         entry:
+           x = a + b
+           jmp next
+         next:
+           y = a + b
+           obs y
+           ret
+         }",
+    )
+    .unwrap();
+    let gcse = optimize(&g, PreAlgorithm::Gcse);
+    assert_eq!(gcse.transform.stats.deletions, 1);
+    assert_eq!(gcse.transform.stats.insertions, 0);
+}
+
+#[test]
+fn t3_static_live_ranges_lazy_beats_busy() {
+    let opts = GenOptions::default();
+    let mut strict = 0;
+    for f in corpus(0x11FE, 60, &opts) {
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
+        let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
+        assert!(
+            lp <= bp,
+            "{}: lazy live range {lp} exceeds busy {bp}",
+            f.name
+        );
+        if lp < bp {
+            strict += 1;
+        }
+    }
+    assert!(
+        strict >= 10,
+        "lifetime optimality should bite on a fair share of programs ({strict})"
+    );
+}
+
+#[test]
+fn t3_dynamic_occupancy_lazy_beats_busy() {
+    let opts = GenOptions::default();
+    let inputs = Inputs::new().set("a", 2).set("b", 3).set("c", 1);
+    for f in corpus(0x0CC, 40, &opts) {
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let bo = dynamic_occupancy(&busy.function, &inputs, 2_000_000, &busy.transform.temp_vars());
+        let lo = dynamic_occupancy(&lazy.function, &inputs, 2_000_000, &lazy.transform.temp_vars());
+        assert!(
+            lo <= bo,
+            "{}: lazy occupancy {lo} exceeds busy {bo}",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn lcm_strictly_improves_where_redundancy_exists() {
+    // On the canonical shapes the gain must be real, not just non-negative.
+    let f = lcm::cfggen::shapes::diamond_chain(5);
+    let exprs = f.expr_universe();
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);
+    let before = run(&f, &inputs, 100_000).total_evals_of(&exprs);
+    let after = run(&lazy.function, &inputs, 100_000).total_evals_of(&exprs);
+    assert!(
+        after < before,
+        "no dynamic improvement on diamond chain: {after} vs {before}"
+    );
+    // Static sites shrink too.
+    assert!(
+        metrics::static_eval_sites(&lazy.function, &exprs)
+            < metrics::static_eval_sites(&f, &exprs)
+    );
+}

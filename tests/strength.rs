@@ -1,0 +1,113 @@
+//! Integration tests for the lazy-strength-reduction extension: semantic
+//! preservation and multiplication-count monotonicity on random corpora
+//! (the generated programs contain injuries `v = v ± d` and `v * c`
+//! candidates by construction).
+
+use lcm::cfggen::{corpus, GenOptions};
+use lcm::core::strength::{candidate_mults, strength_reduce};
+use lcm::core::{passes, safety};
+use lcm::interp::{observationally_equivalent, run, Inputs};
+
+fn input_sets() -> Vec<Inputs> {
+    vec![
+        Inputs::new(),
+        Inputs::new().set("a", 7).set("b", -2).set("c", 1).set("d", 100),
+        Inputs::new().set("a", i64::MAX / 3).set("b", 11).set("c", 0),
+    ]
+}
+
+#[test]
+fn strength_reduction_preserves_behaviour() {
+    let opts = GenOptions::default();
+    for f in corpus(0x57E6, 80, &opts) {
+        let res = strength_reduce(&f);
+        lcm::ir::verify(&res.function).unwrap();
+        safety::check_definite_assignment(&res.function, &res.temp_vars())
+            .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        for inputs in input_sets() {
+            assert!(
+                observationally_equivalent(&f, &res.function, &inputs, 1_000_000),
+                "{} diverged on {:?}",
+                f.name,
+                inputs
+            );
+        }
+    }
+}
+
+#[test]
+fn strength_reduction_never_adds_multiplications() {
+    let opts = GenOptions::default();
+    let mut reduced_on = 0usize;
+    let mut total_before = 0u64;
+    let mut total_after = 0u64;
+    for f in corpus(0x57E7, 80, &opts) {
+        let res = strength_reduce(&f);
+        for inputs in input_sets() {
+            let before = run(&f, &inputs, 1_000_000);
+            let after = run(&res.function, &inputs, 1_000_000);
+            assert!(before.completed() && after.completed());
+            let mb = candidate_mults(&before, &res.candidates);
+            let ma = candidate_mults(&after, &res.candidates);
+            assert!(
+                ma <= mb,
+                "{}: multiplications increased {mb} -> {ma}",
+                f.name
+            );
+            total_before += mb;
+            total_after += ma;
+            if ma < mb {
+                reduced_on += 1;
+            }
+        }
+    }
+    assert!(
+        reduced_on > 20,
+        "strength reduction should bite on a fair share of runs ({reduced_on})"
+    );
+    assert!(total_after < total_before);
+}
+
+#[test]
+fn strength_reduction_composes_with_cleanup() {
+    let opts = GenOptions::default();
+    for f in corpus(0x57E8, 30, &opts) {
+        let mut g = strength_reduce(&f).function;
+        passes::copy_propagation(&mut g);
+        passes::dce(&mut g);
+        lcm::ir::simplify_cfg(&mut g);
+        lcm::ir::verify(&g).unwrap();
+        for inputs in input_sets() {
+            assert!(
+                observationally_equivalent(&f, &g, &inputs, 1_000_000),
+                "{} diverged after cleanup",
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn strength_reduction_is_idempotent_on_counts() {
+    // A second application finds nothing new to reduce dynamically.
+    let opts = GenOptions::default();
+    let inputs = Inputs::new().set("a", 5).set("b", 3);
+    for f in corpus(0x57E9, 30, &opts) {
+        let once = strength_reduce(&f);
+        let twice = strength_reduce(&once.function);
+        let r1 = run(&once.function, &inputs, 1_000_000);
+        let r2 = run(&twice.function, &inputs, 1_000_000);
+        assert_eq!(
+            candidate_mults(&r1, &once.candidates),
+            candidate_mults(&r2, &once.candidates),
+            "{}",
+            f.name
+        );
+        assert!(observationally_equivalent(
+            &once.function,
+            &twice.function,
+            &inputs,
+            1_000_000
+        ));
+    }
+}
