@@ -1,0 +1,17 @@
+#!/bin/sh
+# Offline CI for the lcm workspace: formatting, release build, full tests.
+# Requires nothing beyond the Rust toolchain — no network, no registry.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci: OK"

@@ -2,12 +2,14 @@
 //!
 //! ```sh
 //! cargo run -p lcm-bench --bin experiments --release -- all
-//! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1
+//! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1 c2 e1 a1
 //! ```
 //!
 //! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3.
 
-use lcm_bench::{compare_algorithms, lcm_analysis_cost, mr_analysis_cost, sized_corpus};
+use lcm_bench::{
+    compare_algorithms, fused_analysis_cost, lcm_analysis_cost, mr_analysis_cost, sized_corpus,
+};
 use lcm_cfggen::{corpus, random_dag, shapes, GenOptions};
 use lcm_core::figures::running_example;
 use lcm_core::{
@@ -16,8 +18,21 @@ use lcm_core::{
 };
 use lcm_interp::{dynamic_occupancy, observationally_equivalent, run, Inputs};
 
+const IDS: &[&str] = &[
+    "f1", "f2", "f3", "f4", "f5", "t1", "t2", "t3", "c1", "c2", "e1", "a1",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if a != "all" && !IDS.contains(&a.as_str()) {
+            eprintln!(
+                "experiments: unknown id `{a}` (expected: all {})",
+                IDS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| run_all || args.iter().any(|a| a == id);
 
@@ -48,6 +63,9 @@ fn main() {
     if want("c1") {
         c1();
     }
+    if want("c2") {
+        c2();
+    }
     if want("e1") {
         e1();
     }
@@ -64,7 +82,10 @@ fn header(id: &str, title: &str) {
 
 /// F1 — the running example flow graph.
 fn f1() {
-    header("F1", "running example (reconstruction of the paper's figure)");
+    header(
+        "F1",
+        "running example (reconstruction of the paper's figure)",
+    );
     println!("{}", running_example());
 }
 
@@ -110,7 +131,10 @@ fn f5() {
     let ga = GlobalAnalyses::compute(&f, &uni, &local);
     let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
     print!("{}", lcm_core::report::plan_report(&f, &uni, &lazy.plan));
-    print!("{}", lcm_core::report::delete_report(&f, &uni, &lazy.delete));
+    print!(
+        "{}",
+        lcm_core::report::delete_report(&f, &uni, &lazy.delete)
+    );
     let out = optimize(&f, PreAlgorithm::LazyEdge);
     println!("\n{}", out.function);
     let busy = optimize(&f, PreAlgorithm::Busy);
@@ -151,7 +175,12 @@ fn t1() {
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars())
                 .expect("definite assignment");
             for inputs in &input_sets {
-                assert!(observationally_equivalent(f, &o.function, inputs, 1_000_000));
+                assert!(observationally_equivalent(
+                    f,
+                    &o.function,
+                    inputs,
+                    1_000_000
+                ));
                 checks += 1;
             }
         }
@@ -193,7 +222,11 @@ fn t2() {
     println!("DAG sweep: {dags} programs, {paths} paths: lazy == busy <= original on every path");
 
     // Aggregate dynamic counts incl. the Morel–Renvoise gap.
-    let inputs = Inputs::new().set("a", 5).set("b", -3).set("c", 1).set("d", 9);
+    let inputs = Inputs::new()
+        .set("a", 5)
+        .set("b", -3)
+        .set("c", 1)
+        .set("d", 9);
     let mut o_total = 0u64;
     let mut l_total = 0u64;
     let mut m_total = 0u64;
@@ -204,8 +237,12 @@ fn t2() {
         passes::lcse(&mut f);
         let exprs = f.expr_universe();
         let o = run(&f, &inputs, 2_000_000).total_evals_of(&exprs);
-        let l = run(&optimize(&f, PreAlgorithm::LazyEdge).function, &inputs, 2_000_000)
-            .total_evals_of(&exprs);
+        let l = run(
+            &optimize(&f, PreAlgorithm::LazyEdge).function,
+            &inputs,
+            2_000_000,
+        )
+        .total_evals_of(&exprs);
         let m = run(
             &optimize(&f, PreAlgorithm::MorelRenvoise).function,
             &inputs,
@@ -262,14 +299,21 @@ fn t2() {
 
     // The critical-edge chain: the shape MR cannot serve at all.
     println!("\none_armed_chain (all redundancy behind critical edges):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "n", "orig evals", "lazy evals", "mr evals");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "n", "orig evals", "lazy evals", "mr evals"
+    );
     for n in [4usize, 16, 64] {
         let f = shapes::one_armed_chain(n);
         let exprs = f.expr_universe();
         let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);
         let o = run(&f, &inputs, 1_000_000).total_evals_of(&exprs);
-        let l = run(&optimize(&f, PreAlgorithm::LazyEdge).function, &inputs, 1_000_000)
-            .total_evals_of(&exprs);
+        let l = run(
+            &optimize(&f, PreAlgorithm::LazyEdge).function,
+            &inputs,
+            1_000_000,
+        )
+        .total_evals_of(&exprs);
         let m = run(
             &optimize(&f, PreAlgorithm::MorelRenvoise).function,
             &inputs,
@@ -282,7 +326,10 @@ fn t2() {
 
 /// T3 — lifetime optimality.
 fn t3() {
-    header("T3", "lifetime optimality: temporary live ranges and occupancy");
+    header(
+        "T3",
+        "lifetime optimality: temporary live ranges and occupancy",
+    );
     println!("pressure_chain sweep (live points of the introduced temporaries):");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
@@ -322,8 +369,18 @@ fn t3() {
         }
         busy_pts += bp;
         lazy_pts += lp;
-        busy_occ += dynamic_occupancy(&busy.function, &inputs, 1_000_000, &busy.transform.temp_vars());
-        lazy_occ += dynamic_occupancy(&lazy.function, &inputs, 1_000_000, &lazy.transform.temp_vars());
+        busy_occ += dynamic_occupancy(
+            &busy.function,
+            &inputs,
+            1_000_000,
+            &busy.transform.temp_vars(),
+        );
+        lazy_occ += dynamic_occupancy(
+            &lazy.function,
+            &inputs,
+            1_000_000,
+            &lazy.transform.temp_vars(),
+        );
     }
     println!(
         "\nrandom sweep ({} programs): static live points busy {busy_pts} vs lazy {lazy_pts} ({:.2}x)",
@@ -344,8 +401,15 @@ fn c1() {
     );
     println!(
         "{:>8} {:>9} | {:>10} {:>12} {:>12} | {:>10} {:>12} {:>12} | {:>8}",
-        "blocks", "exprs", "lcm sweeps", "lcm visits", "lcm wordops", "mr sweeps", "mr visits",
-        "mr wordops", "ratio"
+        "blocks",
+        "exprs",
+        "lcm sweeps",
+        "lcm visits",
+        "lcm wordops",
+        "mr sweeps",
+        "mr visits",
+        "mr wordops",
+        "ratio"
     );
     for size in [20usize, 50, 100, 200, 400, 800] {
         let programs = sized_corpus(size, 10);
@@ -399,6 +463,79 @@ fn lcm_dataflow_zero() -> lcm_dataflow::SolveStats {
     lcm_dataflow::SolveStats::new()
 }
 
+/// C2 — the fused pipeline (shared CfgView + change-driven worklist) vs
+/// the seed per-analysis round-robin path, same three analyses.
+fn c2() {
+    header(
+        "C2",
+        "fused pipeline vs per-analysis round-robin (same fixpoints, fewer visits)",
+    );
+    println!(
+        "{:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>7} {:>7}",
+        "blocks",
+        "exprs",
+        "rr visits",
+        "rr wordops",
+        "fu visits",
+        "fu wordops",
+        "v-ratio",
+        "w-ratio"
+    );
+    for size in [20usize, 50, 100, 200, 400, 800] {
+        let programs = sized_corpus(size, 10);
+        let mut blocks = 0usize;
+        let mut exprs = 0usize;
+        let mut rr = lcm_dataflow_zero();
+        let mut fused = lcm_dataflow_zero();
+        for f in &programs {
+            blocks += f.num_blocks();
+            exprs += ExprUniverse::of(f).len();
+            rr += lcm_analysis_cost(f);
+            fused += fused_analysis_cost(f).total();
+        }
+        let n = programs.len();
+        println!(
+            "{:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>7.2} {:>7.2}",
+            blocks / n,
+            exprs / n,
+            rr.node_visits / n,
+            rr.word_ops / n as u64,
+            fused.node_visits / n,
+            fused.word_ops / n as u64,
+            rr.node_visits as f64 / fused.node_visits.max(1) as f64,
+            rr.word_ops as f64 / fused.word_ops.max(1) as f64,
+        );
+    }
+    println!("\nscaling shapes (single functions):");
+    println!(
+        "{:<20} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+        "workload", "blocks", "rr visits", "rr wordops", "fu visits", "fu wordops"
+    );
+    for (name, f) in lcm_bench::workloads() {
+        let rr = lcm_analysis_cost(&f);
+        let fu = fused_analysis_cost(&f).total();
+        assert!(
+            fu.node_visits <= rr.node_visits,
+            "{name}: worklist should never visit more nodes"
+        );
+        println!(
+            "{:<20} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+            name,
+            f.num_blocks(),
+            rr.node_visits,
+            rr.word_ops,
+            fu.node_visits,
+            fu.word_ops
+        );
+    }
+    println!(
+        "\n(rr = seed path: three independent round-robin solves, orderings and\n\
+         adjacency recomputed per solve. fu = fused: one CfgView, change-driven\n\
+         worklist. Fixpoints are identical — asserted per function in the\n\
+         solver-equivalence test suite.)"
+    );
+}
+
 /// E1 — the lazy strength reduction extension.
 fn e1() {
     use lcm_core::strength::{candidate_mults, strength_reduce};
@@ -408,7 +545,10 @@ fn e1() {
     );
     // The canonical induction loop, swept over trip counts.
     println!("induction loop `addr = i * 12` with n iterations:");
-    println!("{:>8} {:>12} {:>12} {:>10}", "n", "mults before", "mults after", "updates");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "n", "mults before", "mults after", "updates"
+    );
     for n in [4i64, 16, 64, 256] {
         let f = lcm_ir::parse_function(&format!(
             "fn addresses {{
@@ -467,7 +607,10 @@ fn e1() {
 
 /// A1 — ablations: isolation pruning and solver strategy.
 fn a1() {
-    header("A1", "ablations: isolation pruning; worklist vs round-robin solver");
+    header(
+        "A1",
+        "ablations: isolation pruning; worklist vs round-robin solver",
+    );
     // Isolation: plan sizes and temporary live ranges with/without.
     let programs = corpus(0xAB1A, 200, &GenOptions::default());
     let mut with_ins = 0usize;
@@ -480,8 +623,7 @@ fn a1() {
         with_ins += with.transform.stats.insertions;
         without_ins += without.transform.stats.insertions;
         with_points += metrics::live_points(&with.function, &with.transform.temp_vars());
-        without_points +=
-            metrics::live_points(&without.function, &without.transform.temp_vars());
+        without_points += metrics::live_points(&without.function, &without.transform.temp_vars());
     }
     println!(
         "isolation pruning over {} programs: insertions {} (with) vs {} (without, ALCM); temp live points {} vs {}",
@@ -508,7 +650,13 @@ fn a1() {
                 kill: k.clone(),
             })
             .collect();
-        let p = Problem::new(&f, uni.len(), Direction::Backward, Confluence::Must, transfer);
+        let p = Problem::new(
+            &f,
+            uni.len(),
+            Direction::Backward,
+            Confluence::Must,
+            transfer,
+        );
         let rr = p.solve();
         let wl = p.solve_worklist();
         assert_eq!(rr.ins, wl.ins);

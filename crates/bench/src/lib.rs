@@ -3,8 +3,8 @@
 
 use lcm_cfggen::{corpus, shapes, GenOptions};
 use lcm_core::{
-    lazy_edge_plan, morel_renvoise_plan, optimize, passes, ExprUniverse, GlobalAnalyses,
-    LocalPredicates, PreAlgorithm,
+    lazy_edge_plan, lcm, morel_renvoise_plan, optimize, passes, ExprUniverse, GlobalAnalyses,
+    LocalPredicates, PipelineStats, PreAlgorithm,
 };
 use lcm_dataflow::SolveStats;
 use lcm_ir::Function;
@@ -42,7 +42,7 @@ pub fn sized_corpus(size: usize, count: usize) -> Vec<Function> {
 }
 
 /// Cost of the full LCM analysis stack (availability, anticipability,
-/// LATER) in solver statistics.
+/// LATER) in solver statistics, on the seed round-robin path.
 pub fn lcm_analysis_cost(f: &Function) -> SolveStats {
     let uni = ExprUniverse::of(f);
     let local = LocalPredicates::compute(f, &uni);
@@ -51,6 +51,13 @@ pub fn lcm_analysis_cost(f: &Function) -> SolveStats {
     let mut stats = ga.stats;
     stats += lazy.stats;
     stats
+}
+
+/// Cost of the same analysis stack on the fused pipeline (shared
+/// [`CfgView`](lcm_dataflow::CfgView), change-driven worklist solver),
+/// broken out per analysis.
+pub fn fused_analysis_cost(f: &Function) -> PipelineStats {
+    lcm(f).stats
 }
 
 /// Cost of the Morel–Renvoise system (availability, partial availability,
@@ -87,10 +94,7 @@ pub fn compare_algorithms(f: &Function) -> Vec<ComparisonRow> {
                 insertions: o.transform.stats.insertions,
                 deletions: o.transform.stats.deletions,
                 temps: o.transform.stats.temps,
-                live_points: lcm_core::metrics::live_points(
-                    &o.function,
-                    &o.transform.temp_vars(),
-                ),
+                live_points: lcm_core::metrics::live_points(&o.function, &o.transform.temp_vars()),
             }
         })
         .collect()

@@ -1,8 +1,6 @@
 //! Free-form CFG generation: arbitrary (possibly irreducible, possibly
 //! divergent) graphs and acyclic DAGs.
 
-use rand::Rng;
-
 use lcm_ir::{BlockData, Function, Instr, Operand, Terminator};
 
 use crate::{GenOptions, Pool};
@@ -42,7 +40,7 @@ fn build(seed: u64, opts: &GenOptions, dag: bool) -> Function {
 
     for (i, &b) in interior.iter().enumerate() {
         // Straight-line contents.
-        let instr_count = rng.gen_range(0..4);
+        let instr_count = rng.gen_range(0..4usize);
         for _ in 0..instr_count {
             let dst = pool.random_var(&mut rng);
             let rv = pool.random_rvalue(&mut rng, opts);

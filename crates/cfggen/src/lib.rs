@@ -29,14 +29,13 @@
 //! ```
 
 mod arbitrary;
+mod rng;
 pub mod shapes;
 mod structured;
 
 pub use arbitrary::{arbitrary, random_dag};
+pub use rng::{Rng, SampleRange};
 pub use structured::structured;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use lcm_ir::{BinOp, Expr, Function, Operand, Var};
 
@@ -106,14 +105,18 @@ pub(crate) struct Pool {
 
 impl Pool {
     /// Builds a pool from pre-interned variables (see [`Pool::for_function`]).
-    pub(crate) fn from_vars(vars: Vec<Var>, rng: &mut StdRng, opts: &GenOptions) -> Pool {
+    pub(crate) fn from_vars(vars: Vec<Var>, rng: &mut Rng, opts: &GenOptions) -> Pool {
         let mut menu = Vec::with_capacity(opts.menu);
         for _ in 0..opts.menu {
             let a = Operand::Var(vars[rng.gen_range(0..vars.len())]);
             // A slice of the menu is multiplication-by-constant, so the
             // strength-reduction extension has material to work on.
             if rng.gen_bool(0.2) {
-                menu.push(Expr::Bin(BinOp::Mul, a, Operand::Const(rng.gen_range(2..=9))));
+                menu.push(Expr::Bin(
+                    BinOp::Mul,
+                    a,
+                    Operand::Const(rng.gen_range(2..=9)),
+                ));
                 continue;
             }
             let op = OP_POOL[rng.gen_range(0..OP_POOL.len())];
@@ -128,23 +131,27 @@ impl Pool {
     }
 
     /// Interns the variable pool into `f` and builds the expression menu.
-    pub(crate) fn for_function(f: &mut Function, rng: &mut StdRng, opts: &GenOptions) -> Pool {
+    pub(crate) fn for_function(f: &mut Function, rng: &mut Rng, opts: &GenOptions) -> Pool {
         let vars: Vec<Var> = (0..opts.num_vars.max(2))
             .map(|i| f.var(var_name(i)))
             .collect();
         Pool::from_vars(vars, rng, opts)
     }
 
-    pub(crate) fn random_var(&self, rng: &mut StdRng) -> Var {
+    pub(crate) fn random_var(&self, rng: &mut Rng) -> Var {
         self.vars[rng.gen_range(0..self.vars.len())]
     }
 
     /// A random *injury*: `v = v ± d` for a pool variable — fodder for
     /// strength reduction.
-    pub(crate) fn random_injury(&self, rng: &mut StdRng) -> lcm_ir::Instr {
+    pub(crate) fn random_injury(&self, rng: &mut Rng) -> lcm_ir::Instr {
         let v = self.random_var(rng);
         let d = rng.gen_range(1..=5);
-        let op = if rng.gen_bool(0.5) { BinOp::Add } else { BinOp::Sub };
+        let op = if rng.gen_bool(0.5) {
+            BinOp::Add
+        } else {
+            BinOp::Sub
+        };
         lcm_ir::Instr::Assign {
             dst: v,
             rv: lcm_ir::Rvalue::Expr(Expr::Bin(op, Operand::Var(v), Operand::Const(d))),
@@ -152,7 +159,7 @@ impl Pool {
     }
 
     /// A random assignment right-hand side, biased towards the menu.
-    pub(crate) fn random_rvalue(&self, rng: &mut StdRng, opts: &GenOptions) -> lcm_ir::Rvalue {
+    pub(crate) fn random_rvalue(&self, rng: &mut Rng, opts: &GenOptions) -> lcm_ir::Rvalue {
         if !self.menu.is_empty() && rng.gen_bool(opts.menu_bias) {
             lcm_ir::Rvalue::Expr(self.menu[rng.gen_range(0..self.menu.len())])
         } else if rng.gen_bool(0.5) {
@@ -177,8 +184,10 @@ pub(crate) fn var_name(i: usize) -> String {
     }
 }
 
-pub(crate) fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// The generator stream for `seed` — also handy for writing your own
+/// seeded tests and corpora without an external PRNG dependency.
+pub fn seeded(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Convenience: a deterministic corpus of `count` terminating programs.

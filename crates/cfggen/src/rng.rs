@@ -1,0 +1,203 @@
+//! A small, in-tree seeded pseudo-random number generator.
+//!
+//! The generators in this crate only need reproducible, reasonably
+//! well-mixed streams — not cryptographic quality — so instead of an
+//! external dependency the workspace carries its own splitmix64-seeded
+//! xoshiro256++ generator. Everything downstream (corpora, benchmarks,
+//! property tests) stays deterministic in the seed and builds fully
+//! offline.
+//!
+//! ```
+//! use lcm_cfggen::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(7);
+//! let mut b = Rng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! let x = a.gen_range(0usize..10);
+//! assert!(x < 10);
+//! ```
+
+/// A seeded xoshiro256++ PRNG (Blackman & Vigna), state-initialised with
+/// splitmix64 so that nearby seeds produce unrelated streams.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One step of splitmix64: used to expand a 64-bit seed into the 256-bit
+/// xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 raw bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in `range` (half-open or inclusive, `usize` or
+    /// `i64`), via rejection-free multiply-shift on the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform value in `0..span` (`span > 0`), using Lemire's
+    /// multiply-shift reduction (bias is negligible at these span sizes and
+    /// determinism is all the generators need).
+    fn below(&mut self, span: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from. The type parameter is the
+/// element type, so call sites can drive inference from how the result is
+/// used (e.g. `Operand::Const(rng.gen_range(-4..=4))` samples an `i64`).
+pub trait SampleRange<T> {
+    /// Draws a uniform element of the range from `rng`.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut Rng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange<i64> for std::ops::Range<i64> {
+    fn sample(self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        self.start
+            .wrapping_add(rng.below(self.end.abs_diff(self.start)) as i64)
+    }
+}
+
+impl SampleRange<i64> for std::ops::RangeInclusive<i64> {
+    fn sample(self, rng: &mut Rng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo.wrapping_add(rng.below(hi.abs_diff(lo) + 1) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&y));
+            let z = rng.gen_range(5usize..=5);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values within 1000 draws");
+    }
+
+    #[test]
+    fn floats_are_unit_interval_and_varied() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut below_half = 0;
+        for _ in 0..1_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            if f < 0.5 {
+                below_half += 1;
+            }
+        }
+        // Crude uniformity check: roughly half the mass on each side.
+        assert!((350..=650).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_edges() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let heads = (0..1_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((150..=350).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(4usize..4);
+    }
+}

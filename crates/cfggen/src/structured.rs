@@ -1,11 +1,8 @@
 //! Reducible, always-terminating program generation.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use lcm_ir::{Function, FunctionBuilder, Instr, Operand, Rvalue};
 
-use crate::{GenOptions, Pool};
+use crate::{GenOptions, Pool, Rng};
 
 /// Generates a structured, **terminating** program: straight-line code,
 /// if/else regions and counter-bounded loops (each loop decrements its own
@@ -21,7 +18,15 @@ pub fn structured(seed: u64, opts: &GenOptions) -> Function {
     let mut pool = Pool::from_vars(vars, &mut rng, opts);
     let mut budget = opts.size as i64;
     let mut loop_count = 0usize;
-    emit_seq(&mut b, &mut pool, &mut rng, opts, opts.max_depth, &mut budget, &mut loop_count);
+    emit_seq(
+        &mut b,
+        &mut pool,
+        &mut rng,
+        opts,
+        opts.max_depth,
+        &mut budget,
+        &mut loop_count,
+    );
     // Observe a handful of pool variables at the end so the whole
     // computation is live and transformations cannot cheat via dead code.
     for i in 0..3.min(opts.num_vars) {
@@ -38,7 +43,7 @@ pub fn structured(seed: u64, opts: &GenOptions) -> Function {
 fn emit_seq(
     b: &mut FunctionBuilder,
     pool: &mut Pool,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     opts: &GenOptions,
     depth: usize,
     budget: &mut i64,
@@ -46,7 +51,7 @@ fn emit_seq(
 ) {
     while *budget > 0 {
         *budget -= 1;
-        let roll: f64 = rng.gen();
+        let roll = rng.gen_f64();
         if roll < 0.55 || depth == 0 {
             emit_assign(b, pool, rng, opts);
         } else if roll < 0.75 {
@@ -65,7 +70,7 @@ fn emit_seq(
     }
 }
 
-fn emit_assign(b: &mut FunctionBuilder, pool: &mut Pool, rng: &mut StdRng, opts: &GenOptions) {
+fn emit_assign(b: &mut FunctionBuilder, pool: &mut Pool, rng: &mut Rng, opts: &GenOptions) {
     if rng.gen_bool(0.12) {
         // An injury (`v = v ± d`): transparent-with-update for strength
         // reduction, an ordinary kill for plain code motion.
@@ -82,7 +87,7 @@ fn emit_assign(b: &mut FunctionBuilder, pool: &mut Pool, rng: &mut StdRng, opts:
 fn emit_if(
     b: &mut FunctionBuilder,
     pool: &mut Pool,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     opts: &GenOptions,
     depth: usize,
     budget: &mut i64,
@@ -123,7 +128,7 @@ fn emit_if(
 fn emit_loop(
     b: &mut FunctionBuilder,
     pool: &mut Pool,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     opts: &GenOptions,
     depth: usize,
     budget: &mut i64,

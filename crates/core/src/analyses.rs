@@ -10,7 +10,9 @@
 //! introduce a computation on a path that never needed it, which classic
 //! PRE forbids.
 
-use lcm_dataflow::{BitSet, Confluence, Direction, Problem, Solution, SolveStats, Transfer};
+use lcm_dataflow::{
+    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, Transfer,
+};
 use lcm_ir::{Edge, EdgeList, Function};
 
 use crate::predicates::LocalPredicates;
@@ -28,12 +30,13 @@ fn transfers(gen: &[BitSet], local: &LocalPredicates) -> Vec<Transfer> {
         .collect()
 }
 
-/// Up-safety / availability. `AVIN[b]` / `AVOUT[b]`: `e` has been computed
-/// on **every** path reaching the point, and not killed since.
-///
-/// `AVOUT = COMP ∪ (AVIN ∩ TRANSP)`, `AVIN = ∩ AVOUT(preds)`,
-/// `AVIN[entry] = ∅`.
-pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
+/// The availability dataflow problem, for callers that pick their own
+/// solver (see [`availability`] for the equations).
+pub fn availability_problem<'f>(
+    f: &'f Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Problem<'f> {
     Problem::new(
         f,
         uni.len(),
@@ -41,7 +44,31 @@ pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -
         Confluence::Must,
         transfers(&local.comp, local),
     )
-    .solve()
+}
+
+/// The anticipability dataflow problem, for callers that pick their own
+/// solver (see [`anticipability`] for the equations).
+pub fn anticipability_problem<'f>(
+    f: &'f Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Problem<'f> {
+    Problem::new(
+        f,
+        uni.len(),
+        Direction::Backward,
+        Confluence::Must,
+        transfers(&local.antloc, local),
+    )
+}
+
+/// Up-safety / availability. `AVIN[b]` / `AVOUT[b]`: `e` has been computed
+/// on **every** path reaching the point, and not killed since.
+///
+/// `AVOUT = COMP ∪ (AVIN ∩ TRANSP)`, `AVIN = ∩ AVOUT(preds)`,
+/// `AVIN[entry] = ∅`.
+pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
+    availability_problem(f, uni, local).solve()
 }
 
 /// Down-safety / anticipability. `ANTIN[b]` / `ANTOUT[b]`: on **every**
@@ -50,14 +77,7 @@ pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -
 /// `ANTIN = ANTLOC ∪ (ANTOUT ∩ TRANSP)`, `ANTOUT = ∩ ANTIN(succs)`,
 /// `ANTOUT[exit] = ∅`.
 pub fn anticipability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
-    Problem::new(
-        f,
-        uni.len(),
-        Direction::Backward,
-        Confluence::Must,
-        transfers(&local.antloc, local),
-    )
-    .solve()
+    anticipability_problem(f, uni, local).solve()
 }
 
 /// Partial availability (may-variant of [`availability`]): computed on
@@ -125,9 +145,34 @@ impl GlobalAnalyses {
     /// EARLIEST(i,j) = ANTIN[j] ∩ ¬AVOUT[i] ∩ (¬TRANSP[i] ∪ ¬ANTOUT[i])
     /// ```
     pub fn compute(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Self {
-        let edges = EdgeList::new(f);
         let avail = availability(f, uni, local);
         let antic = anticipability(f, uni, local);
+        Self::derive(f, uni, local, avail, antic)
+    }
+
+    /// The fused-pipeline variant of [`compute`](Self::compute): both
+    /// analyses run on the change-driven worklist solver against a shared
+    /// [`CfgView`]. Reaches the same fixpoints (the framework is monotone),
+    /// typically with fewer node visits and word operations.
+    pub fn compute_in(
+        f: &Function,
+        uni: &ExprUniverse,
+        local: &LocalPredicates,
+        view: &CfgView,
+    ) -> Self {
+        let avail = availability_problem(f, uni, local).solve_worklist_in(view);
+        let antic = anticipability_problem(f, uni, local).solve_worklist_in(view);
+        Self::derive(f, uni, local, avail, antic)
+    }
+
+    fn derive(
+        f: &Function,
+        uni: &ExprUniverse,
+        local: &LocalPredicates,
+        avail: Solution,
+        antic: Solution,
+    ) -> Self {
+        let edges = EdgeList::new(f);
         let mut stats = avail.stats;
         stats += antic.stats;
 

@@ -28,7 +28,9 @@
 //! `DELETE` from first principles (temp availability); the equality of the
 //! two formulations is asserted in tests and validated on random corpora.
 
-use lcm_dataflow::{BitSet, Confluence, Direction, Problem, SolveStats, Transfer};
+use lcm_dataflow::{
+    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, Transfer,
+};
 use lcm_ir::Function;
 
 use crate::analyses::GlobalAnalyses;
@@ -53,15 +55,15 @@ pub struct LazyEdgeResult {
     pub stats: SolveStats,
 }
 
-/// Runs the delay analysis and derives the lazy placement.
-pub fn lazy_edge_plan(
-    f: &Function,
+/// The LATER/LATERIN dataflow problem — a forward must-problem with
+/// per-edge gen = EARLIEST and block transfer `in − ANTLOC` (gen = ∅,
+/// kill = ANTLOC) — for callers that pick their own solver.
+pub fn later_problem<'f>(
+    f: &'f Function,
     uni: &ExprUniverse,
     local: &LocalPredicates,
     ga: &GlobalAnalyses,
-) -> LazyEdgeResult {
-    // LATERIN as a forward must-problem with per-edge gen = EARLIEST and
-    // block transfer in − ANTLOC (gen = ∅, kill = ANTLOC).
+) -> Problem<'f> {
     let transfer: Vec<Transfer> = local
         .antloc
         .iter()
@@ -70,10 +72,43 @@ pub fn lazy_edge_plan(
             kill: antloc.clone(),
         })
         .collect();
-    let problem = Problem::new(f, uni.len(), Direction::Forward, Confluence::Must, transfer)
+    Problem::new(f, uni.len(), Direction::Forward, Confluence::Must, transfer)
         .with_boundary(ga.earliest_entry.clone())
-        .with_edge_gen(ga.edges.clone(), ga.earliest.clone());
-    let solution = problem.solve();
+        .with_edge_gen(ga.edges.clone(), ga.earliest.clone())
+}
+
+/// Runs the delay analysis and derives the lazy placement.
+pub fn lazy_edge_plan(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+) -> LazyEdgeResult {
+    let solution = later_problem(f, uni, local, ga).solve();
+    derive_placement(f, uni, local, ga, solution)
+}
+
+/// The fused-pipeline variant of [`lazy_edge_plan`]: the delay analysis
+/// runs on the change-driven worklist solver against a shared [`CfgView`].
+/// Same fixpoint, typically cheaper.
+pub fn lazy_edge_plan_in(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+    view: &CfgView,
+) -> LazyEdgeResult {
+    let solution = later_problem(f, uni, local, ga).solve_worklist_in(view);
+    derive_placement(f, uni, local, ga, solution)
+}
+
+fn derive_placement(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+    solution: Solution,
+) -> LazyEdgeResult {
     let laterin = solution.ins;
 
     // LATER(i,j) = EARLIEST(i,j) ∪ (LATERIN[i] ∩ ¬ANTLOC[i]); note the
@@ -118,7 +153,15 @@ mod tests {
     use crate::transform::{apply_plan, deletions, temp_availability};
     use lcm_ir::parse_function;
 
-    fn run(text: &str) -> (Function, ExprUniverse, LocalPredicates, GlobalAnalyses, LazyEdgeResult) {
+    fn run(
+        text: &str,
+    ) -> (
+        Function,
+        ExprUniverse,
+        LocalPredicates,
+        GlobalAnalyses,
+        LazyEdgeResult,
+    ) {
         let f = parse_function(text).unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
@@ -212,8 +255,7 @@ mod tests {
         // Classic LCM hoists a loop invariant exactly when it is
         // anticipated at the loop entry — a do-while body qualifies (a
         // zero-trip while loop would not: hoisting there would be unsafe).
-        let (f, uni, local, _ga, lazy) = run(
-            "fn loopy {
+        let (f, uni, local, _ga, lazy) = run("fn loopy {
              entry:
                i = 9
                jmp body
@@ -225,8 +267,7 @@ mod tests {
              done:
                obs x
                ret
-             }",
-        );
+             }");
         let idx = uni
             .iter()
             .find(|(_, e)| f.display_expr(*e) == "a + b")
@@ -250,10 +291,7 @@ mod tests {
         // The loop body no longer computes a + b.
         let g = &result.function;
         let gbody = g.block_by_name("body").unwrap();
-        assert!(g
-            .block(gbody)
-            .exprs()
-            .all(|e| g.display_expr(e) != "a + b"));
+        assert!(g.block(gbody).exprs().all(|e| g.display_expr(e) != "a + b"));
     }
 
     #[test]
@@ -262,8 +300,7 @@ mod tests {
         // with zero insertions (the first occurrence feeds the temp).
         // (A repeat *within* one block is LCSE's job, not LCM's — the paper
         // assumes local common-subexpression elimination has already run.)
-        let (f, uni, local, _ga, lazy) = run(
-            "fn s {
+        let (f, uni, local, _ga, lazy) = run("fn s {
              entry:
                x = a + b
                jmp next
@@ -271,8 +308,7 @@ mod tests {
                y = a + b
                obs y
                ret
-             }",
-        );
+             }");
         assert_eq!(lazy.plan.num_insertions(), 0);
         let result = apply_plan(&f, &uni, &local, &lazy.plan);
         let g = &result.function;
@@ -286,14 +322,12 @@ mod tests {
         // A single occurrence with no redundancy anywhere: the lazy plan
         // inserts nothing, deletes nothing, and the rewriter leaves the
         // instruction exactly as written (no pointless temp).
-        let (f, uni, local, _ga, lazy) = run(
-            "fn iso {
+        let (f, uni, local, _ga, lazy) = run("fn iso {
              entry:
                x = a + b
                obs x
                ret
-             }",
-        );
+             }");
         assert_eq!(lazy.plan.num_insertions(), 0);
         let result = apply_plan(&f, &uni, &local, &lazy.plan);
         assert_eq!(result.stats.retained_defs, 0);

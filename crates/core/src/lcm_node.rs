@@ -40,7 +40,7 @@
 //! computations (property-tested); the placements differ only in
 //! representation (block entry/exit vs. edge).
 
-use lcm_dataflow::BitSet;
+use lcm_dataflow::{BitSet, CfgView, SolveStats};
 use lcm_ir::{graph, Function};
 
 use crate::analyses::GlobalAnalyses;
@@ -70,6 +70,11 @@ pub struct LazyNodeResult {
     pub plan: PlacementPlan,
     /// Number of critical edges that were split.
     pub edges_split: usize,
+    /// Cost counters of the DELAY fixpoint sweep, in the same currency as
+    /// the framework solver's [`SolveStats`].
+    pub delay_stats: SolveStats,
+    /// Cost counters of the ISOLATED fixpoint sweep.
+    pub isolated_stats: SolveStats,
 }
 
 /// Runs the node-insertion LCM cascade on (a critical-edge-split clone of)
@@ -81,10 +86,13 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     let outcome = graph::split_critical_edges(&mut split);
     let universe = ExprUniverse::of(&split);
     let local = LocalPredicates::compute(&split, &universe);
-    let ga = GlobalAnalyses::compute(&split, &universe, &local);
-    let preds = split.preds();
+    // One shared view: orderings and adjacency for the framework solves
+    // (inside `compute_in`) and for the hand-rolled DELAY/ISOLATED sweeps.
+    let view = CfgView::new(&split);
+    let ga = GlobalAnalyses::compute_in(&split, &universe, &local, &view);
     let n = split.num_blocks();
     let entry = split.entry();
+    let words = universe.len().div_ceil(64) as u64;
 
     // EARLIEST.
     let mut earliest: Vec<(BitSet, BitSet)> = Vec::with_capacity(n);
@@ -95,7 +103,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
             if b == entry {
                 cond = universe.full_set();
             } else {
-                for &p in &preds[bi] {
+                for &p in view.preds(b) {
                     // ¬AVOUT[p] ∩ ¬ANTOUT[p]
                     let pi = p.index();
                     let mut c = ga.avail.outs[pi].clone();
@@ -122,20 +130,23 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     }
 
     // DELAY (mutual N/X fixpoint, greatest solution, forward sweeps).
-    let order = graph::reverse_postorder(&split);
-    let mut delay: Vec<(BitSet, BitSet)> =
-        vec![(universe.full_set(), universe.full_set()); n];
+    let mut delay_stats = SolveStats::new();
+    let mut delay: Vec<(BitSet, BitSet)> = vec![(universe.full_set(), universe.full_set()); n];
     delay[entry.index()].0 = earliest[entry.index()].0.clone();
     loop {
+        delay_stats.iterations += 1;
         let mut changed = false;
-        for &b in &order {
+        for &b in view.rpo() {
+            delay_stats.node_visits += 1;
             let bi = b.index();
             if b != entry {
                 let mut acc = universe.full_set();
-                for &p in &preds[bi] {
+                for &p in view.preds(b) {
                     acc.intersect_with(&delay[p.index()].1);
+                    delay_stats.word_ops += words;
                 }
                 acc.union_with(&earliest[bi].0);
+                delay_stats.word_ops += 2 * words; // union + compare
                 if acc != delay[bi].0 {
                     delay[bi].0 = acc;
                     changed = true;
@@ -144,6 +155,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
             let mut x = delay[bi].0.clone();
             x.difference_with(&local.antloc[bi]);
             x.union_with(&earliest[bi].1);
+            delay_stats.word_ops += 3 * words; // difference + union + compare
             if x != delay[bi].1 {
                 delay[bi].1 = x;
                 changed = true;
@@ -161,7 +173,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
         let mut n_l = delay[bi].0.clone();
         n_l.intersect_with(&local.antloc[bi]);
         let mut all_succs = universe.full_set();
-        for s in split.succs(b) {
+        for &s in view.succs(b) {
             all_succs.intersect_with(&delay[s.index()].0);
         }
         all_succs.complement();
@@ -171,14 +183,16 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     }
 
     // ISOLATED (backward greatest fixpoint for the X side; N side derived).
-    let border = graph::postorder(&split);
+    let mut isolated_stats = SolveStats::new();
     let mut x_iso = vec![universe.full_set(); n];
     loop {
+        isolated_stats.iterations += 1;
         let mut changed = false;
-        for &b in &border {
+        for &b in view.postorder() {
+            isolated_stats.node_visits += 1;
             let bi = b.index();
             let mut acc = universe.full_set();
-            for s in split.succs(b) {
+            for &s in view.succs(b) {
                 let si = s.index();
                 // ¬ANTLOC[s] ∩ (¬TRANSP[s] ∪ X-LATEST[s] ∪ X-ISO[s])
                 let mut through = local.transp[si].clone();
@@ -189,7 +203,9 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
                 // ∪ N-LATEST[s]
                 through.union_with(&latest[si].0);
                 acc.intersect_with(&through);
+                isolated_stats.word_ops += 6 * words;
             }
+            isolated_stats.word_ops += words; // compare
             if acc != x_iso[bi] {
                 x_iso[bi] = acc;
                 changed = true;
@@ -213,7 +229,11 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
         .collect();
 
     // INSERT.
-    let algorithm = if with_isolation { "lcm-node" } else { "alcm-node" };
+    let algorithm = if with_isolation {
+        "lcm-node"
+    } else {
+        "alcm-node"
+    };
     let mut plan = PlacementPlan::empty(algorithm, &split, &universe);
     for b in split.block_ids() {
         let bi = b.index();
@@ -241,6 +261,8 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
         isolated,
         plan,
         edges_split: outcome.len(),
+        delay_stats,
+        isolated_stats,
     }
 }
 

@@ -55,6 +55,7 @@ mod bcm;
 mod lcm_edge;
 mod lcm_node;
 mod morel_renvoise;
+mod pipeline;
 mod predicates;
 mod universe;
 
@@ -67,12 +68,14 @@ pub mod strength;
 pub mod transform;
 
 pub use analyses::{
-    anticipability, availability, partial_anticipability, partial_availability, GlobalAnalyses,
+    anticipability, anticipability_problem, availability, availability_problem,
+    partial_anticipability, partial_availability, GlobalAnalyses,
 };
 pub use bcm::busy_plan;
-pub use lcm_edge::{lazy_edge_plan, LazyEdgeResult};
+pub use lcm_edge::{later_problem, lazy_edge_plan, lazy_edge_plan_in, LazyEdgeResult};
 pub use lcm_node::{lazy_node_plan, LazyNodeResult};
 pub use morel_renvoise::{morel_renvoise_plan, MorelRenvoiseResult};
+pub use pipeline::{lcm, LcmPipeline, PipelineStats};
 pub use predicates::LocalPredicates;
 pub use transform::{apply_plan, PlacementPlan, TransformResult};
 pub use universe::ExprUniverse;
@@ -167,8 +170,12 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Optimized {
                     busy_plan(f, &uni, &local, &ga)
                 }
                 PreAlgorithm::LazyEdge => {
-                    let ga = GlobalAnalyses::compute(f, &uni, &local);
-                    lazy_edge_plan(f, &uni, &local, &ga).plan
+                    // The fused pipeline (shared CfgView + worklist solver)
+                    // reaches the same fixpoints as the per-analysis path;
+                    // see tests/solver_equivalence.rs.
+                    let view = lcm_dataflow::CfgView::new(f);
+                    let ga = GlobalAnalyses::compute_in(f, &uni, &local, &view);
+                    lazy_edge_plan_in(f, &uni, &local, &ga, &view).plan
                 }
                 PreAlgorithm::MorelRenvoise => morel_renvoise_plan(f, &uni, &local).plan,
                 // GCSE's "plan" is the empty plan: the shared transform
@@ -236,8 +243,13 @@ mod tests {
         let g = optimize_pipeline(&f, PreAlgorithm::LazyEdge);
         lcm_ir::verify(&g).unwrap();
         for c in [0, 1] {
-            let inputs = lcm_interp::Inputs::new().set("a", 3).set("b", 4).set("c", c);
-            assert!(lcm_interp::observationally_equivalent(&f, &g, &inputs, 10_000));
+            let inputs = lcm_interp::Inputs::new()
+                .set("a", 3)
+                .set("b", 4)
+                .set("c", c);
+            assert!(lcm_interp::observationally_equivalent(
+                &f, &g, &inputs, 10_000
+            ));
         }
         // The join no longer computes a + b.
         let join = g.block_by_name("join").unwrap();

@@ -22,7 +22,10 @@ pub fn path_eval_counts(f: &Function, exprs: &[Expr], max_paths: usize) -> Optio
                 .instrs
                 .iter()
                 .filter(|i| match i {
-                    Instr::Assign { rv: Rvalue::Expr(e), .. } => tracked.contains_key(e),
+                    Instr::Assign {
+                        rv: Rvalue::Expr(e),
+                        ..
+                    } => tracked.contains_key(e),
                     _ => false,
                 })
                 .count() as u64

@@ -161,7 +161,12 @@ pub fn copy_propagation(f: &mut Function) -> usize {
             }
         }
         // Branch conditions read the block-exit state.
-        if let Terminator::Branch { cond, then_to, else_to } = f.block(b).term {
+        if let Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } = f.block(b).term
+        {
             let new_cond = subst(&map, cond, &mut rewrites);
             f.block_mut(b).term = Terminator::Branch {
                 cond: new_cond,

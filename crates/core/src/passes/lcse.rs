@@ -41,7 +41,11 @@ pub fn lcse(f: &mut Function) -> usize {
             if let Some(dst) = instr.def() {
                 pending.retain(|e, _| !e.mentions(dst));
             }
-            if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+            if let Instr::Assign {
+                rv: Rvalue::Expr(e),
+                ..
+            } = instr
+            {
                 reused_later[i] = pending.contains_key(e);
                 pending.insert(*e, true);
             }
@@ -54,7 +58,10 @@ pub fn lcse(f: &mut Function) -> usize {
         let mut rewritten = Vec::with_capacity(instrs.len() + 4);
         for (i, instr) in instrs.iter().enumerate() {
             match *instr {
-                Instr::Assign { dst, rv: Rvalue::Expr(e) } => {
+                Instr::Assign {
+                    dst,
+                    rv: Rvalue::Expr(e),
+                } => {
                     if let Some(&h) = holder.get(&e) {
                         replaced += 1;
                         rewritten.push(Instr::Assign {
@@ -63,7 +70,10 @@ pub fn lcse(f: &mut Function) -> usize {
                         });
                     } else if reused_later[i] && !e.mentions(dst) {
                         let t = f.fresh_temp();
-                        rewritten.push(Instr::Assign { dst: t, rv: Rvalue::Expr(e) });
+                        rewritten.push(Instr::Assign {
+                            dst: t,
+                            rv: Rvalue::Expr(e),
+                        });
                         rewritten.push(Instr::Assign {
                             dst,
                             rv: Rvalue::Operand(Operand::Var(t)),
@@ -104,11 +114,7 @@ mod tests {
         assert_eq!(lcse(&mut f), 1);
         assert_eq!(f.expr_occurrences().count(), 1);
         // Semantics preserved.
-        let out = lcm_interp::run(
-            &f,
-            &lcm_interp::Inputs::new().set("a", 2).set("b", 5),
-            100,
-        );
+        let out = lcm_interp::run(&f, &lcm_interp::Inputs::new().set("a", 2).set("b", 5), 100);
         assert_eq!(out.trace, vec![7]);
     }
 
@@ -132,7 +138,10 @@ mod tests {
         assert_eq!(f.expr_occurrences().count(), 1);
         let out = lcm_interp::run(
             &f,
-            &lcm_interp::Inputs::new().set("d", 6).set("c", 3).set("a", -1),
+            &lcm_interp::Inputs::new()
+                .set("d", 6)
+                .set("c", 3)
+                .set("a", -1),
             100,
         );
         assert_eq!(out.trace, vec![-1, 5]);
@@ -190,11 +199,7 @@ mod tests {
         .unwrap();
         assert_eq!(lcse(&mut f), 2);
         assert_eq!(f.expr_occurrences().count(), 1);
-        let out = lcm_interp::run(
-            &f,
-            &lcm_interp::Inputs::new().set("a", 1).set("b", 2),
-            100,
-        );
+        let out = lcm_interp::run(&f, &lcm_interp::Inputs::new().set("a", 1).set("b", 2), 100);
         assert_eq!(out.trace, vec![0, 3, 3]);
     }
 

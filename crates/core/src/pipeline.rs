@@ -1,0 +1,163 @@
+//! The fused LCM pipeline: one CFG view, shared local predicates, and the
+//! change-driven worklist solver for all analyses.
+//!
+//! The paper's complexity claim is that lazy code motion costs no more than
+//! a constant number of *unidirectional bit-vector* analyses. Running each
+//! analysis as an isolated [`Problem`](lcm_dataflow::Problem) solve leaves
+//! easy savings on the table: every solve re-derives the depth-first
+//! orderings and adjacency tables, and the round-robin strategy revisits
+//! every block each sweep whether or not anything changed. [`lcm`] fuses
+//! the pipeline instead:
+//!
+//! 1. a [`CfgView`] (reverse postorder, postorder, predecessors,
+//!    successors) is computed **once** and shared by every solve;
+//! 2. the local predicates (`TRANSP`, `COMP`, `ANTLOC`) are computed for
+//!    the whole expression universe in a single packed-word sweep per block
+//!    and reused by every analysis;
+//! 3. each analysis runs on the change-driven worklist solver
+//!    ([`Problem::solve_worklist_in`](lcm_dataflow::Problem::solve_worklist_in)),
+//!    which only re-enqueues the neighbors of blocks whose output actually
+//!    changed (word-granular dirty detection);
+//! 4. the per-analysis [`SolveStats`] are collected into a
+//!    [`PipelineStats`] so the cost is observable from the CLI
+//!    (`lcmopt --emit stats`) and the experiment harness.
+//!
+//! The fixpoints — and therefore the insert/delete sets — are identical to
+//! the per-analysis round-robin path ([`GlobalAnalyses::compute`] +
+//! [`lazy_edge_plan`](crate::lazy_edge_plan)); the equivalence is asserted
+//! over the whole generator corpus in `tests/solver_equivalence.rs`.
+
+use std::fmt;
+
+use lcm_dataflow::{CfgView, SolveStats};
+use lcm_ir::Function;
+
+use crate::analyses::GlobalAnalyses;
+use crate::lcm_edge::{lazy_edge_plan_in, LazyEdgeResult};
+use crate::predicates::LocalPredicates;
+use crate::universe::ExprUniverse;
+
+/// Per-analysis solver statistics for one [`lcm`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PipelineStats {
+    /// Availability (up-safety) solve.
+    pub avail: SolveStats,
+    /// Anticipability (down-safety) solve.
+    pub antic: SolveStats,
+    /// Delay (LATER/LATERIN) solve.
+    pub later: SolveStats,
+}
+
+impl PipelineStats {
+    /// The sum over all analyses.
+    pub fn total(&self) -> SolveStats {
+        let mut t = self.avail;
+        t += self.antic;
+        t += self.later;
+        t
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avail: {}; antic: {}; later: {}",
+            self.avail, self.antic, self.later
+        )
+    }
+}
+
+/// Everything the fused pipeline computes for one function.
+#[derive(Clone, Debug)]
+pub struct LcmPipeline {
+    /// The candidate expression universe.
+    pub universe: ExprUniverse,
+    /// The per-block local predicates, computed once and shared.
+    pub local: LocalPredicates,
+    /// Availability, anticipability and earliestness.
+    pub analyses: GlobalAnalyses,
+    /// The delay analysis and the final insert/delete placement.
+    pub lazy: LazyEdgeResult,
+    /// Per-analysis solver statistics.
+    pub stats: PipelineStats,
+}
+
+/// Runs the full fused LCM analysis pipeline over `f` (see the module
+/// documentation). This is the default path [`optimize`](crate::optimize)
+/// takes for [`PreAlgorithm::LazyEdge`](crate::PreAlgorithm::LazyEdge).
+pub fn lcm(f: &Function) -> LcmPipeline {
+    let view = CfgView::new(f);
+    let universe = ExprUniverse::of(f);
+    let local = LocalPredicates::compute(f, &universe);
+    let analyses = GlobalAnalyses::compute_in(f, &universe, &local, &view);
+    let lazy = lazy_edge_plan_in(f, &universe, &local, &analyses, &view);
+    let stats = PipelineStats {
+        avail: analyses.avail.stats,
+        antic: analyses.antic.stats,
+        later: lazy.stats,
+    };
+    LcmPipeline {
+        universe,
+        local,
+        analyses,
+        lazy,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcm_edge::lazy_edge_plan;
+    use lcm_ir::parse_function;
+
+    const DIAMOND: &str = "fn d {
+        entry:
+          br c, l, r
+        l:
+          x = a + b
+          jmp join
+        r:
+          jmp join
+        join:
+          y = a + b
+          obs y
+          ret
+        }";
+
+    #[test]
+    fn fused_matches_seed_path() {
+        let f = parse_function(DIAMOND).unwrap();
+        let p = lcm(&f);
+        let ga = GlobalAnalyses::compute(&f, &p.universe, &p.local);
+        let lazy = lazy_edge_plan(&f, &p.universe, &p.local, &ga);
+        assert_eq!(p.analyses.avail.ins, ga.avail.ins);
+        assert_eq!(p.analyses.antic.ins, ga.antic.ins);
+        assert_eq!(p.analyses.earliest, ga.earliest);
+        assert_eq!(p.lazy.laterin, lazy.laterin);
+        assert_eq!(p.lazy.plan.edge_inserts, lazy.plan.edge_inserts);
+        assert_eq!(p.lazy.delete, lazy.delete);
+    }
+
+    #[test]
+    fn stats_cover_all_three_analyses() {
+        let f = parse_function(DIAMOND).unwrap();
+        let p = lcm(&f);
+        // Worklist solves leave `iterations` at zero but always visit nodes.
+        for s in [p.stats.avail, p.stats.antic, p.stats.later] {
+            assert_eq!(s.iterations, 0);
+            assert!(s.node_visits > 0);
+            assert!(s.word_ops > 0);
+        }
+        let total = p.stats.total();
+        assert_eq!(
+            total.node_visits,
+            p.stats.avail.node_visits + p.stats.antic.node_visits + p.stats.later.node_visits
+        );
+        assert_eq!(
+            total.word_ops,
+            p.stats.avail.word_ops + p.stats.antic.word_ops + p.stats.later.word_ops
+        );
+    }
+}

@@ -87,7 +87,11 @@ fn scan_block(
     // `avail_now[e]`: e was computed in the block and not killed since.
     let mut avail_now = universe.empty_set();
     for instr in &f.block(b).instrs {
-        if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+        if let Instr::Assign {
+            rv: Rvalue::Expr(e),
+            ..
+        } = instr
+        {
             if let Some(idx) = universe.index_of(*e) {
                 if !killed_so_far.contains(idx) {
                     antloc[i].insert(idx);
@@ -96,12 +100,14 @@ fn scan_block(
             }
         }
         // The destination (if any) kills every expression mentioning it —
-        // after the right-hand side has been evaluated.
+        // after the right-hand side has been evaluated. One packed mask per
+        // variable turns the kill into three word sweeps over the whole
+        // universe instead of a per-expression loop.
         if let Some(dst) = instr.def() {
-            for &idx in universe.killed_by(dst) {
-                killed_so_far.insert(idx);
-                avail_now.remove(idx);
-                transp[i].remove(idx);
+            if let Some(mask) = universe.kill_mask(dst) {
+                killed_so_far.union_with(mask);
+                avail_now.difference_with(mask);
+                transp[i].difference_with(mask);
             }
         }
     }

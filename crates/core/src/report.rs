@@ -25,6 +25,7 @@ use lcm_ir::Function;
 
 use crate::analyses::GlobalAnalyses;
 use crate::lcm_node::LazyNodeResult;
+use crate::pipeline::PipelineStats;
 use crate::predicates::LocalPredicates;
 use crate::transform::PlacementPlan;
 use crate::universe::ExprUniverse;
@@ -179,6 +180,31 @@ pub fn plan_report(f: &Function, uni: &ExprUniverse, plan: &PlacementPlan) -> St
     out
 }
 
+/// Renders the per-analysis solver cost of a fused [`lcm`](crate::lcm)
+/// run, one row per analysis plus their total. Worklist solves report `0`
+/// iterations (the column is only meaningful for round-robin sweeps).
+pub fn stats_table(stats: &PipelineStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>10} | {:>11} | {:>10}",
+        "analysis", "iterations", "node visits", "word ops"
+    );
+    for (name, s) in [
+        ("avail", stats.avail),
+        ("antic", stats.antic),
+        ("later", stats.later),
+        ("total", stats.total()),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>10} | {:>11} | {:>10}",
+            name, s.iterations, s.node_visits, s.word_ops
+        );
+    }
+    out
+}
+
 /// Renders deletion sets, one line per affected block.
 pub fn delete_report(f: &Function, uni: &ExprUniverse, delete: &[lcm_dataflow::BitSet]) -> String {
     let mut out = String::new();
@@ -249,6 +275,24 @@ mod tests {
         for b in res.function.block_ids() {
             assert!(table.contains(&res.function.block(b).name));
         }
+    }
+
+    #[test]
+    fn stats_table_totals_sum_the_analyses() {
+        let f = parse_function(DIAMOND).unwrap();
+        let p = crate::lcm(&f);
+        let table = stats_table(&p.stats);
+        assert!(table.contains("avail"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        let total = p.stats.total();
+        assert!(
+            table.contains(&total.word_ops.to_string()),
+            "total word ops missing: {table}"
+        );
+        assert_eq!(
+            total.node_visits,
+            p.stats.avail.node_visits + p.stats.antic.node_visits + p.stats.later.node_visits
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@
 use std::collections::HashMap;
 
 use lcm_dataflow::BitSet;
-use lcm_ir::{
-    BinOp, BlockId, Expr, Function, Instr, Operand, Rvalue, Var,
-};
+use lcm_ir::{BinOp, BlockId, Expr, Function, Instr, Operand, Rvalue, Var};
 
 use crate::analyses::GlobalAnalyses;
 use crate::lcm_edge::lazy_edge_plan;
@@ -187,7 +185,11 @@ fn sr_local_predicates(f: &Function, cands: &[Candidate]) -> SrLocals {
         let mut killed_so_far = BitSet::new(width);
         let mut avail_now = BitSet::new(width);
         for &instr in &f.block(b).instrs {
-            if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+            if let Instr::Assign {
+                rv: Rvalue::Expr(e),
+                ..
+            } = instr
+            {
                 for (idx, cand) in cands.iter().enumerate() {
                     if !cand.matches(e) {
                         continue;
@@ -363,7 +365,11 @@ fn rewrite_sr_block(
                 later_use.remove(idx);
             }
         }
-        if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+        if let Instr::Assign {
+            rv: Rvalue::Expr(e),
+            ..
+        } = instr
+        {
             for (idx, cand) in cands.iter().enumerate() {
                 if cand.matches(e) && temp_of[idx].is_some() {
                     needs_def[i] = needs_def[i] || later_use.contains(idx);
@@ -382,7 +388,11 @@ fn rewrite_sr_block(
     for (i, &instr) in instrs.iter().enumerate() {
         // Occurrence handling.
         let mut replaced = false;
-        if let Instr::Assign { dst, rv: Rvalue::Expr(e) } = instr {
+        if let Instr::Assign {
+            dst,
+            rv: Rvalue::Expr(e),
+        } = instr
+        {
             for (idx, cand) in cands.iter().enumerate() {
                 let Some(t) = temp_of[idx] else { continue };
                 if !cand.matches(e) {
@@ -446,10 +456,7 @@ fn rewrite_sr_block(
 
 /// Counts the dynamic multiplications of the candidate expressions in an
 /// execution — the quantity strength reduction minimises.
-pub fn candidate_mults(
-    exec: &lcm_interp::Execution,
-    cands: &[Candidate],
-) -> u64 {
+pub fn candidate_mults(exec: &lcm_interp::Execution, cands: &[Candidate]) -> u64 {
     cands
         .iter()
         .flat_map(|c| {
@@ -498,7 +505,12 @@ mod tests {
         assert!(res.stats.deletions >= 1);
 
         let inputs = Inputs::new();
-        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        assert!(observationally_equivalent(
+            &f,
+            &res.function,
+            &inputs,
+            100_000
+        ));
         let before = run(&f, &inputs, 100_000);
         let after = run(&res.function, &inputs, 100_000);
         let mb = candidate_mults(&before, &res.candidates);
@@ -539,12 +551,16 @@ mod tests {
         // stays (it may become the definition for later iterations —
         // which is still a win: updates bridge the back edge).
         let inputs = Inputs::new().set("n", 5);
-        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        assert!(observationally_equivalent(
+            &f,
+            &res.function,
+            &inputs,
+            100_000
+        ));
         let before = run(&f, &inputs, 100_000);
         let after = run(&res.function, &inputs, 100_000);
         assert!(
-            candidate_mults(&after, &res.candidates)
-                <= candidate_mults(&before, &res.candidates)
+            candidate_mults(&after, &res.candidates) <= candidate_mults(&before, &res.candidates)
         );
     }
 
@@ -567,7 +583,12 @@ mod tests {
         .unwrap();
         let res = strength_reduce(&f);
         let inputs = Inputs::new();
-        assert!(observationally_equivalent(&f, &res.function, &inputs, 100_000));
+        assert!(observationally_equivalent(
+            &f,
+            &res.function,
+            &inputs,
+            100_000
+        ));
         let after = run(&res.function, &inputs, 100_000);
         assert_eq!(candidate_mults(&after, &res.candidates), 1);
         assert_eq!(after.trace, vec![30, 24, 18, 12, 6]);
@@ -591,7 +612,12 @@ mod tests {
         .unwrap();
         let res = strength_reduce(&f);
         let inputs = Inputs::new();
-        assert!(observationally_equivalent(&f, &res.function, &inputs, 1_000));
+        assert!(observationally_equivalent(
+            &f,
+            &res.function,
+            &inputs,
+            1_000
+        ));
         let after = run(&res.function, &inputs, 1_000);
         assert_eq!(after.trace, vec![15, 30]);
         // All three multiplications must still happen (no update can
@@ -619,7 +645,12 @@ mod tests {
         .unwrap();
         let res = strength_reduce(&f);
         let inputs = Inputs::new().set("i", 2);
-        assert!(observationally_equivalent(&f, &res.function, &inputs, 1_000));
+        assert!(observationally_equivalent(
+            &f,
+            &res.function,
+            &inputs,
+            1_000
+        ));
         let after = run(&res.function, &inputs, 1_000);
         assert_eq!(after.trace, vec![8, 12, 24]);
         assert_eq!(candidate_mults(&after, &res.candidates), 1);
@@ -628,7 +659,10 @@ mod tests {
 
     #[test]
     fn candidate_matching_handles_both_orders() {
-        let c = Candidate { var: Var(3), coeff: 7 };
+        let c = Candidate {
+            var: Var(3),
+            coeff: 7,
+        };
         assert!(c.matches(Expr::Bin(
             BinOp::Mul,
             Operand::Var(Var(3)),

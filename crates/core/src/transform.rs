@@ -312,7 +312,13 @@ pub fn apply_plan(
     // 1. Rewrite block bodies (pure instruction-list surgery).
     for b in f.block_ids() {
         rewrite_block(
-            &mut out, uni, b, &delete[b.index()], &tlive.outs[b.index()], &temp_of, &mut stats,
+            &mut out,
+            uni,
+            b,
+            &delete[b.index()],
+            &tlive.outs[b.index()],
+            &temp_of,
+            &mut stats,
         );
     }
 
@@ -397,7 +403,11 @@ fn rewrite_block(
                 later_use.remove(idx);
             }
         }
-        if let Instr::Assign { rv: Rvalue::Expr(e), .. } = instr {
+        if let Instr::Assign {
+            rv: Rvalue::Expr(e),
+            ..
+        } = instr
+        {
             if let Some(idx) = uni.index_of(*e) {
                 if temp_of[idx].is_some() {
                     needs_def[i] = later_use.contains(idx);
@@ -412,8 +422,14 @@ fn rewrite_block(
     let mut rewritten = Vec::with_capacity(instrs.len() + 4);
     for (i, instr) in instrs.iter().enumerate() {
         match *instr {
-            Instr::Assign { dst, rv: Rvalue::Expr(e) } => {
-                match uni.index_of(e).and_then(|idx| temp_of[idx].map(|t| (idx, t))) {
+            Instr::Assign {
+                dst,
+                rv: Rvalue::Expr(e),
+            } => {
+                match uni
+                    .index_of(e)
+                    .and_then(|idx| temp_of[idx].map(|t| (idx, t)))
+                {
                     Some((idx, t)) => {
                         if have_temp.contains(idx) {
                             // Fully redundant here: use the temp.

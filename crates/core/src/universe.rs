@@ -36,6 +36,10 @@ pub struct ExprUniverse {
     /// For each variable, the indices of expressions it is an operand of
     /// (so a definition of the variable kills exactly these expressions).
     killed_by: HashMap<Var, Vec<usize>>,
+    /// The same information as packed bit masks, so a definition's effect
+    /// on a whole predicate vector is a handful of word operations instead
+    /// of a loop over indices.
+    kill_masks: HashMap<Var, BitSet>,
 }
 
 impl ExprUniverse {
@@ -64,10 +68,22 @@ impl ExprUniverse {
                 }
             }
         }
+        let nbits = dedup.len();
+        let kill_masks = killed_by
+            .iter()
+            .map(|(&v, indices)| {
+                let mut mask = BitSet::new(nbits);
+                for &i in indices {
+                    mask.insert(i);
+                }
+                (v, mask)
+            })
+            .collect();
         ExprUniverse {
             exprs: dedup,
             index,
             killed_by,
+            kill_masks,
         }
     }
 
@@ -108,6 +124,13 @@ impl ExprUniverse {
     /// The universe positions of expressions killed by a definition of `v`.
     pub fn killed_by(&self, v: Var) -> &[usize] {
         self.killed_by.get(&v).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The packed-mask form of [`killed_by`](Self::killed_by): `None` when
+    /// no expression mentions `v`, so callers can skip the word sweep
+    /// entirely for temp-only definitions.
+    pub fn kill_mask(&self, v: Var) -> Option<&BitSet> {
+        self.kill_masks.get(&v)
     }
 
     /// An empty bit set sized to this universe.
@@ -160,6 +183,29 @@ mod tests {
         assert_eq!(uni.killed_by(a), &[0, 1]); // a+b, a*a
         assert_eq!(uni.killed_by(b), &[0, 2]); // a+b, -b
         assert!(uni.killed_by(x).is_empty());
+    }
+
+    #[test]
+    fn kill_masks_mirror_killed_by() {
+        let f = parse_function(
+            "fn k {
+             entry:
+               x = a + b
+               y = a * a
+               z = -b
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        for name in ["a", "b"] {
+            let v = f.symbols.get(name).unwrap();
+            let mask = uni.kill_mask(v).unwrap();
+            assert_eq!(mask.iter().collect::<Vec<_>>(), uni.killed_by(v));
+            assert_eq!(mask.capacity(), uni.len());
+        }
+        let x = f.symbols.get("x").unwrap();
+        assert!(uni.kill_mask(x).is_none());
     }
 
     #[test]

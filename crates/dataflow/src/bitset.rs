@@ -182,6 +182,23 @@ impl BitSet {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// Overwrites `self` with `other`'s contents, reporting word-granular
+    /// whether anything actually changed — the dirty-detection primitive
+    /// the fused solver uses to skip transfers whose input is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn copy_from_changed(&mut self, other: &BitSet) -> bool {
+        self.check(other);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            changed |= *a != b;
+            *a = b;
+        }
+        changed
+    }
+
     /// Flips every bit in `0..capacity`.
     pub fn complement(&mut self) {
         for w in &mut self.words {
@@ -210,7 +227,10 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.check(other);
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
     }
 
     /// Iterates over the set bits in increasing order.
@@ -380,5 +400,17 @@ mod tests {
         let b = BitSet::new(20);
         a.copy_from(&b);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn copy_from_changed_detects_dirty_words() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        b.insert(129);
+        assert!(a.copy_from_changed(&b));
+        assert!(!a.copy_from_changed(&b)); // now identical
+        b.insert(0); // dirt in a different word
+        assert!(a.copy_from_changed(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 129]);
     }
 }

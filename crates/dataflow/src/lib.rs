@@ -12,8 +12,12 @@
 //!   confluence, plus optional per-edge gen sets (needed by the LATER
 //!   analysis of lazy code motion);
 //! * two solvers — round-robin over a depth-first ordering
-//!   ([`Problem::solve`]) and a worklist solver
+//!   ([`Problem::solve`]) and a change-driven worklist solver
 //!   ([`Problem::solve_worklist`]) — which produce identical fixpoints;
+//! * [`CfgView`] — precomputed traversal orders and adjacency, built once
+//!   per function and shared across solves via [`Problem::solve_in`] /
+//!   [`Problem::solve_worklist_in`] (how the fused LCM pipeline runs its
+//!   four analyses);
 //! * [`SolveStats`] — iteration / visit / word-operation counters used by
 //!   the complexity experiments (LCM vs. the bidirectional Morel–Renvoise
 //!   system);
@@ -52,9 +56,11 @@ mod bitset;
 mod problem;
 mod solver;
 mod stats;
+mod view;
 
 pub mod analyses;
 
 pub use bitset::BitSet;
 pub use problem::{Confluence, Direction, Problem, Solution, Transfer};
 pub use stats::SolveStats;
+pub use view::CfgView;

@@ -2,32 +2,46 @@
 
 use std::collections::VecDeque;
 
-use lcm_ir::{graph, BlockId};
+use lcm_ir::BlockId;
 
 use crate::bitset::BitSet;
 use crate::problem::{Confluence, Direction, Problem, Solution};
 use crate::stats::SolveStats;
+use crate::view::CfgView;
 
 impl Problem<'_> {
     /// Solves by round-robin iteration over reverse postorder (forward
     /// problems) or postorder (backward problems) until a full sweep changes
     /// nothing. `stats.iterations` counts the sweeps.
     ///
+    /// Computes a fresh [`CfgView`] for the function; when running several
+    /// analyses over one CFG, build the view once and use
+    /// [`solve_in`](Self::solve_in).
+    pub fn solve(&self) -> Solution {
+        self.solve_in(&CfgView::new(self.fun))
+    }
+
+    /// Like [`solve`](Self::solve), but reuses a precomputed [`CfgView`].
+    ///
     /// For rapid gen/kill frameworks like the ones here this converges in
     /// `d + 2` sweeps where `d` is the loop-connectedness of the CFG — the
     /// classical result underlying the paper's "as cheap as unidirectional
     /// analyses" complexity claim.
-    pub fn solve(&self) -> Solution {
-        let mut state = State::new(self);
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function.
+    pub fn solve_in(&self, view: &CfgView) -> Solution {
+        let mut state = State::new(self, view);
         let order = match self.direction {
-            Direction::Forward => graph::reverse_postorder(self.fun),
-            Direction::Backward => graph::postorder(self.fun),
+            Direction::Forward => view.rpo(),
+            Direction::Backward => view.postorder(),
         };
         loop {
             state.stats.iterations += 1;
             let mut changed = false;
-            for &b in &order {
-                changed |= state.update(self, b);
+            for &b in order {
+                changed |= state.update(self, view, b);
             }
             if !changed {
                 break;
@@ -40,24 +54,43 @@ impl Problem<'_> {
     /// same fixpoint as [`solve`](Self::solve) (the framework is monotone);
     /// `stats.node_visits` counts worklist pops and `stats.iterations` is
     /// left at zero.
+    ///
+    /// Computes a fresh [`CfgView`] for the function; when running several
+    /// analyses over one CFG, build the view once and use
+    /// [`solve_worklist_in`](Self::solve_worklist_in).
     pub fn solve_worklist(&self) -> Solution {
-        let mut state = State::new(self);
+        self.solve_worklist_in(&CfgView::new(self.fun))
+    }
+
+    /// Like [`solve_worklist`](Self::solve_worklist), but reuses a
+    /// precomputed [`CfgView`].
+    ///
+    /// Propagation is change-driven: a block's dependents (successors for
+    /// forward problems, predecessors for backward ones) are re-enqueued
+    /// only when its output side actually changed, detected word-granularly
+    /// by [`BitSet::copy_from_changed`], and a popped block whose meet is
+    /// unchanged skips its transfer entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function.
+    pub fn solve_worklist_in(&self, view: &CfgView) -> Solution {
+        let mut state = State::new(self, view);
         let order = match self.direction {
-            Direction::Forward => graph::reverse_postorder(self.fun),
-            Direction::Backward => graph::postorder(self.fun),
+            Direction::Forward => view.rpo(),
+            Direction::Backward => view.postorder(),
         };
-        let preds = self.fun.preds();
         let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
         let mut queued = vec![true; self.fun.num_blocks()];
         while let Some(b) = queue.pop_front() {
             queued[b.index()] = false;
-            if state.update(self, b) {
+            if state.update(self, view, b) {
                 // Push the blocks whose input depends on b.
-                let dependents: Vec<BlockId> = match self.direction {
-                    Direction::Forward => self.fun.succs(b).collect(),
-                    Direction::Backward => preds[b.index()].clone(),
+                let dependents: &[BlockId] = match self.direction {
+                    Direction::Forward => view.succs(b),
+                    Direction::Backward => view.preds(b),
                 };
-                for d in dependents {
+                for &d in dependents {
                     if !queued[d.index()] {
                         queued[d.index()] = true;
                         queue.push_back(d);
@@ -74,15 +107,25 @@ struct State {
     ins: Vec<BitSet>,
     outs: Vec<BitSet>,
     stats: SolveStats,
-    /// Predecessor table, computed once.
-    preds: Vec<Vec<BlockId>>,
     /// Scratch buffer for edge-gen augmented meets.
     scratch: BitSet,
+    /// Meet accumulator, doubling as the transfer buffer — values flow
+    /// meet → dirty-check → transfer → output without intermediate clones.
+    acc: BitSet,
+    /// Whether block `b`'s transfer has been applied at least once. Until it
+    /// has, an unchanged meet must not short-circuit the update (the initial
+    /// in/out values predate any transfer).
+    applied: Vec<bool>,
 }
 
 impl State {
-    fn new(p: &Problem<'_>) -> State {
+    fn new(p: &Problem<'_>, view: &CfgView) -> State {
         let n = p.fun.num_blocks();
+        assert_eq!(
+            view.num_blocks(),
+            n,
+            "CfgView built for a different function"
+        );
         let init = match p.confluence {
             Confluence::Must => BitSet::full(p.nbits),
             Confluence::May => BitSet::new(p.nbits),
@@ -97,90 +140,81 @@ impl State {
             ins,
             outs,
             stats: SolveStats::new(),
-            preds: p.fun.preds(),
             scratch: BitSet::new(p.nbits),
+            acc: BitSet::new(p.nbits),
+            applied: vec![false; n],
         }
     }
 
     /// Recomputes block `b`'s values; returns `true` if its *output side*
-    /// (the side other blocks read) changed.
-    fn update(&mut self, p: &Problem<'_>, b: BlockId) -> bool {
+    /// (the side other blocks read) changed. The meet lands in the `acc`
+    /// buffer; if it left the block's input side unchanged (word-granular
+    /// check) and the transfer has already been applied, the transfer and
+    /// output comparison are skipped entirely.
+    ///
+    /// Both directions share one body: `inp` is the block's meet destination
+    /// (`ins` forward, `outs` backward) and `outp` the side its neighbors
+    /// read — which is also the array the meet sources come from.
+    fn update(&mut self, p: &Problem<'_>, view: &CfgView, b: BlockId) -> bool {
         self.stats.node_visits += 1;
+        let i = b.index();
         let words = self.scratch.num_words() as u64;
-        match p.direction {
-            Direction::Forward => {
-                let boundary = b == p.fun.entry();
-                if !boundary {
-                    let meet = self.meet_incoming(p, b);
-                    self.ins[b.index()] = meet;
-                }
-                let mut out = self.ins[b.index()].clone();
-                self.stats.word_ops += words;
-                p.transfer[b.index()].apply(&mut out, &mut self.stats);
-                let changed = out != self.outs[b.index()];
-                self.outs[b.index()] = out;
-                changed
-            }
-            Direction::Backward => {
-                let boundary = b == p.fun.exit();
-                if !boundary {
-                    let meet = self.meet_outgoing(p, b);
-                    self.outs[b.index()] = meet;
-                }
-                let mut inn = self.outs[b.index()].clone();
-                self.stats.word_ops += words;
-                p.transfer[b.index()].apply(&mut inn, &mut self.stats);
-                let changed = inn != self.ins[b.index()];
-                self.ins[b.index()] = inn;
-                changed
-            }
-        }
-    }
-
-    fn meet_incoming(&mut self, p: &Problem<'_>, b: BlockId) -> BitSet {
-        let mut acc = match p.confluence {
-            Confluence::Must => BitSet::full(p.nbits),
-            Confluence::May => BitSet::new(p.nbits),
+        let (inp, outp) = match p.direction {
+            Direction::Forward => (&mut self.ins, &mut self.outs),
+            Direction::Backward => (&mut self.outs, &mut self.ins),
         };
-        let words = acc.num_words() as u64;
-        if let Some((edges, gens)) = &p.edge_gen {
-            for &eid in edges.incoming(b) {
-                let e = edges.edge(eid);
-                self.scratch.copy_from(&self.outs[e.from.index()]);
-                self.scratch.union_with(&gens[eid.index()]);
-                meet_into(&mut acc, &self.scratch, p.confluence);
-                self.stats.word_ops += 3 * words;
-            }
-        } else {
-            for &pred in &self.preds[b.index()] {
-                meet_into(&mut acc, &self.outs[pred.index()], p.confluence);
-                self.stats.word_ops += words;
-            }
-        }
-        acc
-    }
-
-    fn meet_outgoing(&mut self, p: &Problem<'_>, b: BlockId) -> BitSet {
-        let mut acc = match p.confluence {
-            Confluence::Must => BitSet::full(p.nbits),
-            Confluence::May => BitSet::new(p.nbits),
+        let boundary = match p.direction {
+            Direction::Forward => b == p.fun.entry(),
+            Direction::Backward => b == p.fun.exit(),
         };
-        let words = acc.num_words() as u64;
-        if let Some((edges, gens)) = &p.edge_gen {
-            for &eid in edges.outgoing(b) {
-                let e = edges.edge(eid);
-                self.scratch.copy_from(&self.ins[e.to.index()]);
-                self.scratch.union_with(&gens[eid.index()]);
-                meet_into(&mut acc, &self.scratch, p.confluence);
-                self.stats.word_ops += 3 * words;
-            }
+        let dirty = if boundary {
+            // The boundary value never changes, so the transfer needs to
+            // run exactly once.
+            self.acc.copy_from(&inp[i]);
+            !self.applied[i]
         } else {
-            for succ in p.fun.succs(b) {
-                meet_into(&mut acc, &self.ins[succ.index()], p.confluence);
-                self.stats.word_ops += words;
+            match p.confluence {
+                Confluence::Must => self.acc.insert_all(),
+                Confluence::May => self.acc.clear(),
             }
+            if let Some((edges, gens)) = &p.edge_gen {
+                let eids = match p.direction {
+                    Direction::Forward => edges.incoming(b),
+                    Direction::Backward => edges.outgoing(b),
+                };
+                for &eid in eids {
+                    let e = edges.edge(eid);
+                    let nb = match p.direction {
+                        Direction::Forward => e.from,
+                        Direction::Backward => e.to,
+                    };
+                    self.scratch.copy_from(&outp[nb.index()]);
+                    self.scratch.union_with(&gens[eid.index()]);
+                    meet_into(&mut self.acc, &self.scratch, p.confluence);
+                    self.stats.word_ops += 3 * words;
+                }
+            } else {
+                let neighbors = match p.direction {
+                    Direction::Forward => view.preds(b),
+                    Direction::Backward => view.succs(b),
+                };
+                for &nb in neighbors {
+                    meet_into(&mut self.acc, &outp[nb.index()], p.confluence);
+                    self.stats.word_ops += words;
+                }
+            }
+            let meet_changed = inp[i].copy_from_changed(&self.acc);
+            self.stats.word_ops += words;
+            meet_changed || !self.applied[i]
+        };
+        if !dirty {
+            return false;
         }
-        acc
+        p.transfer[i].apply(&mut self.acc, &mut self.stats);
+        self.applied[i] = true;
+        let changed = outp[i].copy_from_changed(&self.acc);
+        self.stats.word_ops += words;
+        changed
     }
 
     fn into_solution(self) -> Solution {
@@ -404,5 +438,63 @@ mod tests {
     fn wrong_transfer_count_panics() {
         let f = loop_fn();
         let _ = Problem::new(&f, 1, Direction::Forward, Confluence::May, vec![]);
+    }
+
+    #[test]
+    fn shared_view_matches_fresh_view() {
+        let f = loop_fn();
+        let view = CfgView::new(&f);
+        let body = f.block_by_name("body").unwrap();
+        for direction in [Direction::Forward, Direction::Backward] {
+            for confluence in [Confluence::Must, Confluence::May] {
+                let mut transfer = vec![Transfer::identity(4); f.num_blocks()];
+                transfer[body.index()].gen.insert(1);
+                transfer[body.index()].kill.insert(2);
+                let p = Problem::new(&f, 4, direction, confluence, transfer);
+                let fresh = p.solve();
+                let shared = p.solve_in(&view);
+                assert_eq!(fresh.ins, shared.ins);
+                assert_eq!(fresh.outs, shared.outs);
+                let wl = p.solve_worklist_in(&view);
+                assert_eq!(fresh.ins, wl.ins);
+                assert_eq!(fresh.outs, wl.outs);
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_skips_unchanged_blocks() {
+        // A long chain: the round-robin solver revisits every block each
+        // sweep, while the change-driven worklist visits each block only as
+        // its input actually changes — strictly fewer (or equal) visits.
+        let mut text = String::from("fn chain {\n entry:\n jmp b0\n");
+        for i in 0..20 {
+            text.push_str(&format!(" b{i}:\n jmp b{}\n", i + 1));
+        }
+        text.push_str(" b20:\n ret\n }");
+        let f = parse_function(&text).unwrap();
+        let mut transfer = vec![Transfer::identity(2); f.num_blocks()];
+        transfer[f.entry().index()].gen.insert(0);
+        let p = Problem::new(&f, 2, Direction::Forward, Confluence::May, transfer);
+        let rr = p.solve();
+        let wl = p.solve_worklist();
+        assert_eq!(rr.ins, wl.ins);
+        assert!(
+            wl.stats.node_visits <= rr.stats.node_visits,
+            "worklist {} vs round-robin {}",
+            wl.stats.node_visits,
+            rr.stats.node_visits
+        );
+        assert!(wl.stats.word_ops <= rr.stats.word_ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "different function")]
+    fn mismatched_view_panics() {
+        let f = loop_fn();
+        let g = parse_function("fn tiny {\n entry:\n ret\n }").unwrap();
+        let transfer = vec![Transfer::identity(1); f.num_blocks()];
+        let p = Problem::new(&f, 1, Direction::Forward, Confluence::May, transfer);
+        let _ = p.solve_in(&CfgView::new(&g));
     }
 }

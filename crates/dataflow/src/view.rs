@@ -1,0 +1,120 @@
+//! Cached CFG orderings and adjacency, shared across analyses.
+
+use lcm_ir::{graph, BlockId, Function};
+
+/// Precomputed traversal orders and adjacency for one function's CFG.
+///
+/// Every dataflow solve needs a depth-first ordering and the predecessor /
+/// successor lists; the four analyses of lazy code motion run over the
+/// *same* CFG, so recomputing them per solve (as
+/// [`Problem::solve`](crate::Problem::solve) does when called standalone) is
+/// pure waste. Build a `CfgView` once per function and pass it to
+/// [`Problem::solve_in`](crate::Problem::solve_in) /
+/// [`Problem::solve_worklist_in`](crate::Problem::solve_worklist_in).
+///
+/// The view is a snapshot: it must not be used after the function's CFG is
+/// mutated (block count and edges are what matter; instruction edits within
+/// blocks are fine).
+///
+/// ```
+/// use lcm_dataflow::CfgView;
+/// use lcm_ir::parse_function;
+///
+/// let f = parse_function(
+///     "fn g {
+///      entry:
+///        jmp b
+///      b:
+///        ret
+///      }",
+/// )?;
+/// let view = CfgView::new(&f);
+/// assert_eq!(view.rpo().first(), Some(&f.entry()));
+/// assert_eq!(view.preds(f.exit()), &[f.entry()]);
+/// assert_eq!(view.succs(f.entry()), &[f.exit()]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CfgView {
+    rpo: Vec<BlockId>,
+    postorder: Vec<BlockId>,
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    num_blocks: usize,
+}
+
+impl CfgView {
+    /// Computes the orderings and adjacency tables for `f`.
+    pub fn new(f: &Function) -> Self {
+        let postorder = graph::postorder(f);
+        let mut rpo = postorder.clone();
+        rpo.reverse();
+        let succs = f.block_ids().map(|b| f.succs(b).collect()).collect();
+        CfgView {
+            rpo,
+            postorder,
+            preds: f.preds(),
+            succs,
+            num_blocks: f.num_blocks(),
+        }
+    }
+
+    /// Reverse postorder (the iteration order for forward problems).
+    /// Unreachable blocks are absent.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Postorder (the iteration order for backward problems). Unreachable
+    /// blocks are absent.
+    pub fn postorder(&self) -> &[BlockId] {
+        &self.postorder
+    }
+
+    /// The predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// The successors of `b` (with duplicates if both branch arms target
+    /// the same block, mirroring [`Function::succs`]).
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// The number of blocks in the snapshotted function.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    #[test]
+    fn matches_fresh_graph_computations() {
+        let f = parse_function(
+            "fn m {
+             entry:
+               br c, a, b
+             a:
+               br d, a, j
+             b:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&f);
+        assert_eq!(view.rpo(), graph::reverse_postorder(&f).as_slice());
+        assert_eq!(view.postorder(), graph::postorder(&f).as_slice());
+        let preds = f.preds();
+        for b in f.block_ids() {
+            assert_eq!(view.preds(b), preds[b.index()].as_slice());
+            assert_eq!(view.succs(b), f.succs(b).collect::<Vec<_>>().as_slice());
+        }
+        assert_eq!(view.num_blocks(), f.num_blocks());
+    }
+}

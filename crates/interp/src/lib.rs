@@ -186,7 +186,12 @@ impl Recorder for Vec<Instr> {
 
 /// Like [`run`], additionally streaming every executed instruction into
 /// `recorder`.
-pub fn run_with(f: &Function, inputs: &Inputs, fuel: u64, recorder: &mut dyn Recorder) -> Execution {
+pub fn run_with(
+    f: &Function,
+    inputs: &Inputs,
+    fuel: u64,
+    recorder: &mut dyn Recorder,
+) -> Execution {
     let mut env = initial_env(f, inputs);
     let mut trace = Vec::new();
     let mut eval_counts: HashMap<Expr, u64> = HashMap::new();
@@ -452,7 +457,7 @@ mod tests {
         let t = f.symbols.get("t").unwrap();
         let occ = dynamic_occupancy(&f, &Inputs::new(), 100, &[t]);
         assert_eq!(occ, 3); // u=1, v=2, x=t+1
-        // A variable never used afterwards occupies nothing.
+                            // A variable never used afterwards occupies nothing.
         let v = f.symbols.get("v").unwrap();
         assert_eq!(dynamic_occupancy(&f, &Inputs::new(), 100, &[v]), 0);
     }

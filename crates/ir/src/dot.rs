@@ -46,7 +46,9 @@ pub fn render(f: &Function, mut annotate: impl FnMut(BlockId) -> Option<String>)
             Terminator::Jump(t) => {
                 let _ = writeln!(out, "  {b} -> {t};");
             }
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 let _ = writeln!(out, "  {b} -> {then_to} [label=\"T\"];");
                 let _ = writeln!(out, "  {b} -> {else_to} [label=\"F\"];");
             }

@@ -42,7 +42,10 @@ impl BlockData {
     /// instruction order.
     pub fn exprs(&self) -> impl Iterator<Item = Expr> + '_ {
         self.instrs.iter().filter_map(|i| match i {
-            Instr::Assign { rv: Rvalue::Expr(e), .. } => Some(*e),
+            Instr::Assign {
+                rv: Rvalue::Expr(e),
+                ..
+            } => Some(*e),
             _ => None,
         })
     }
@@ -369,7 +372,10 @@ impl Function {
                 .iter()
                 .enumerate()
                 .filter_map(move |(i, instr)| match instr {
-                    Instr::Assign { rv: Rvalue::Expr(e), .. } => Some((b, i, *e)),
+                    Instr::Assign {
+                        rv: Rvalue::Expr(e),
+                        ..
+                    } => Some((b, i, *e)),
                     _ => None,
                 })
         })
@@ -405,17 +411,15 @@ impl Function {
             .successors()
             .nth(succ_index as usize)
             .expect("invalid successor slot");
-        let name = format!(
-            "{}_{}.split",
-            self.block(from).name,
-            self.block(to).name
-        );
+        let name = format!("{}_{}.split", self.block(from).name, self.block(to).name);
         let mut data = BlockData::new(name);
         data.term = Terminator::Jump(to);
         let mid = self.add_block(data);
         match &mut self.blocks[from.index()].term {
             Terminator::Jump(t) => *t = mid,
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 if succ_index == 0 {
                     *then_to = mid;
                 } else {
@@ -466,15 +470,16 @@ impl Function {
     /// Convenience: pushes `dst = rv` at the end of `b` (before the
     /// terminator).
     pub fn push_assign(&mut self, b: BlockId, dst: Var, rv: impl Into<Rvalue>) {
-        self.blocks[b.index()].instrs.push(Instr::Assign {
-            dst,
-            rv: rv.into(),
-        });
+        self.blocks[b.index()]
+            .instrs
+            .push(Instr::Assign { dst, rv: rv.into() });
     }
 
     /// Convenience: pushes `obs op` at the end of `b`.
     pub fn push_observe(&mut self, b: BlockId, op: impl Into<Operand>) {
-        self.blocks[b.index()].instrs.push(Instr::Observe(op.into()));
+        self.blocks[b.index()]
+            .instrs
+            .push(Instr::Observe(op.into()));
     }
 }
 

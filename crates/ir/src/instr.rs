@@ -71,7 +71,9 @@ impl Terminator {
     pub fn successors(self) -> impl Iterator<Item = BlockId> {
         let (a, b) = match self {
             Terminator::Jump(t) => (Some(t), None),
-            Terminator::Branch { then_to, else_to, .. } => (Some(then_to), Some(else_to)),
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => (Some(then_to), Some(else_to)),
             Terminator::Exit => (None, None),
         };
         a.into_iter().chain(b)
@@ -93,7 +95,9 @@ impl Terminator {
                     *t = to;
                 }
             }
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 if *then_to == from {
                     *then_to = to;
                 }
@@ -136,9 +140,15 @@ mod tests {
             then_to: BlockId(1),
             else_to: BlockId(2),
         };
-        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
         t.retarget(BlockId(2), BlockId(3));
-        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(3)]);
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(3)]
+        );
         assert_eq!(t.use_var(), Some(Var(0)));
         assert_eq!(Terminator::Exit.successors().count(), 0);
     }

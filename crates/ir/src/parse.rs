@@ -66,8 +66,8 @@ impl fmt::Display for Tok {
 }
 
 const SYMBOLS: [&str; 22] = [
-    "<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=",
-    ",", ":", "{", "}", "~",
+    "<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", ",",
+    ":", "{", "}", "~",
 ];
 
 fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
@@ -130,7 +130,12 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn operand(&mut self, toks: &[Tok], at: &mut usize, lineno: usize) -> Result<Operand, ParseError> {
+    fn operand(
+        &mut self,
+        toks: &[Tok],
+        at: &mut usize,
+        lineno: usize,
+    ) -> Result<Operand, ParseError> {
         let err = |msg: String| ParseError {
             line: lineno,
             message: msg,
@@ -205,17 +210,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let err = |line: usize, message: String| ParseError { line, message };
 
     let mut iter = lines.iter();
-    let (first_line, header) = iter
-        .next()
-        .ok_or_else(|| err(1, "empty input".into()))?;
+    let (first_line, header) = iter.next().ok_or_else(|| err(1, "empty input".into()))?;
     let name = match header.as_slice() {
         [Tok::Ident(kw), Tok::Ident(name), Tok::Sym("{")] if kw == "fn" => name.clone(),
-        _ => {
-            return Err(err(
-                *first_line,
-                "expected `fn NAME {` header".into(),
-            ))
-        }
+        _ => return Err(err(*first_line, "expected `fn NAME {` header".into())),
     };
 
     let mut ctx = Ctx {
@@ -270,7 +268,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         if terminated[cur] {
             return Err(err(
                 lineno,
-                format!("instruction after terminator in block `{}`", blocks[cur].name),
+                format!(
+                    "instruction after terminator in block `{}`",
+                    blocks[cur].name
+                ),
             ));
         }
         let mut at = 0;

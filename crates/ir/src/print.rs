@@ -49,11 +49,9 @@ impl Function {
     /// Renders a single instruction using this function's variable names.
     pub fn display_instr(&self, instr: Instr) -> String {
         match instr {
-            Instr::Assign { dst, rv } => format!(
-                "{} = {}",
-                self.var_name(dst),
-                WithFn { f: self, item: rv }
-            ),
+            Instr::Assign { dst, rv } => {
+                format!("{} = {}", self.var_name(dst), WithFn { f: self, item: rv })
+            }
             Instr::Observe(op) => format!("obs {}", WithFn { f: self, item: op }),
         }
     }
@@ -80,7 +78,10 @@ impl Function {
                 else_to,
             } => format!(
                 "br {}, {}, {}",
-                WithFn { f: self, item: cond },
+                WithFn {
+                    f: self,
+                    item: cond
+                },
                 self.block(then_to).name,
                 self.block(else_to).name
             ),

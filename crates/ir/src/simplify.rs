@@ -57,9 +57,7 @@ fn merge_chains(f: &mut Function, stats: &mut SimplifyStats) -> bool {
             let mut succs = f.succs(b);
             let (first, second) = (succs.next(), succs.next());
             match (first, second) {
-                (Some(s), None) => {
-                    s != b && s != f.entry() && preds[s.index()].len() == 1
-                }
+                (Some(s), None) => s != b && s != f.entry() && preds[s.index()].len() == 1,
                 _ => false,
             }
         });

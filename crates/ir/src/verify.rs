@@ -45,7 +45,10 @@ impl fmt::Display for VerifyError {
             VerifyError::Unreachable(b) => write!(f, "block {b} is unreachable from entry"),
             VerifyError::CannotReachExit(b) => write!(f, "block {b} cannot reach the exit"),
             VerifyError::UnknownVar(b) => {
-                write!(f, "block {b} mentions a variable missing from the symbol table")
+                write!(
+                    f,
+                    "block {b} mentions a variable missing from the symbol table"
+                )
             }
         }
     }

@@ -27,7 +27,11 @@ fn main() {
     );
 
     let exprs = f.expr_universe();
-    let inputs = Inputs::new().set("a", 11).set("b", -3).set("c", 1).set("d", 5);
+    let inputs = Inputs::new()
+        .set("a", 11)
+        .set("b", -3)
+        .set("c", 1)
+        .set("d", 5);
     let baseline = run(&f, &inputs, 5_000_000);
     assert!(baseline.completed());
 

@@ -1,0 +1,3 @@
+//! Host package for the opt-in, network-requiring harnesses: the criterion
+//! benches in `benches/` and the proptest suite in `tests/`. The crate body
+//! is intentionally empty — see the package README.

@@ -1,0 +1,241 @@
+//! Property-based tests (proptest): the invariants hold not just on the
+//! fixed corpora but across the generator's whole configuration space.
+
+use proptest::prelude::*;
+
+use lcm::cfggen::{arbitrary as arb_cfg, random_dag, structured, GenOptions};
+use lcm::core::{metrics, optimize, passes, safety, PreAlgorithm};
+use lcm::dataflow::BitSet;
+use lcm::interp::{observationally_equivalent, Inputs};
+
+fn gen_options() -> impl Strategy<Value = GenOptions> {
+    (
+        5usize..80,
+        2usize..8,
+        1usize..8,
+        0.2f64..0.95,
+        0.05f64..0.5,
+        1usize..5,
+    )
+        .prop_map(|(size, num_vars, menu, menu_bias, obs_prob, max_depth)| GenOptions {
+            size,
+            num_vars,
+            menu,
+            menu_bias,
+            obs_prob,
+            max_depth,
+        })
+}
+
+fn inputs_strategy() -> impl Strategy<Value = Inputs> {
+    proptest::collection::vec(-100i64..100, 8).prop_map(|vals| {
+        ["a", "b", "c", "d", "e", "f", "g", "h"]
+            .iter()
+            .zip(vals)
+            .map(|(n, v)| (n.to_string(), v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any structured program, any options, any inputs, any algorithm:
+    /// behaviour is preserved and temps are definitely assigned.
+    #[test]
+    fn pre_preserves_structured_programs(
+        seed in any::<u64>(),
+        opts in gen_options(),
+        inputs in inputs_strategy(),
+    ) {
+        let f = structured(seed, &opts);
+        for alg in PreAlgorithm::ALL {
+            let o = optimize(&f, alg);
+            lcm::ir::verify(&o.function).unwrap();
+            safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
+            prop_assert!(observationally_equivalent(&f, &o.function, &inputs, 1_000_000));
+        }
+    }
+
+    /// Busy and lazy code motion agree on evaluation counts path by path,
+    /// on arbitrary DAG shapes (after LCSE canonicalisation).
+    #[test]
+    fn busy_equals_lazy_on_random_dags(seed in any::<u64>(), size in 3usize..20) {
+        let mut f = random_dag(seed, &GenOptions::sized(size));
+        passes::lcse(&mut f);
+        let exprs = f.expr_universe();
+        if let Some(orig) = metrics::path_eval_counts(&f, &exprs, 20_000) {
+            let busy = optimize(&f, PreAlgorithm::Busy);
+            let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+            let b = metrics::path_eval_counts(&busy.function, &exprs, 20_000).unwrap();
+            let l = metrics::path_eval_counts(&lazy.function, &exprs, 20_000).unwrap();
+            prop_assert_eq!(&b, &l);
+            for (o, n) in orig.iter().zip(&l) {
+                prop_assert!(n <= o);
+            }
+        }
+    }
+
+    /// The lifetime ordering LCM ≤ BCM holds for every generator setting.
+    #[test]
+    fn lazy_lifetimes_never_exceed_busy(seed in any::<u64>(), opts in gen_options()) {
+        let f = structured(seed, &opts);
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
+        let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
+        prop_assert!(lp <= bp, "lazy {} > busy {}", lp, bp);
+    }
+
+    /// Arbitrary (possibly irreducible) CFGs never break the transforms.
+    #[test]
+    fn pre_survives_arbitrary_cfgs(seed in any::<u64>(), size in 2usize..25) {
+        let f = arb_cfg(seed, &GenOptions::sized(size));
+        for alg in PreAlgorithm::ALL {
+            let o = optimize(&f, alg);
+            lcm::ir::verify(&o.function).unwrap();
+            safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
+            prop_assert!(observationally_equivalent(
+                &f, &o.function, &Inputs::new().set("a", 1).set("b", 2), 20_000
+            ));
+        }
+    }
+
+    /// LCSE is semantics-preserving and idempotent for every program.
+    #[test]
+    fn lcse_preserves_and_converges(
+        seed in any::<u64>(),
+        opts in gen_options(),
+        inputs in inputs_strategy(),
+    ) {
+        let f = structured(seed, &opts);
+        let mut g = f.clone();
+        passes::lcse(&mut g);
+        lcm::ir::verify(&g).unwrap();
+        prop_assert!(observationally_equivalent(&f, &g, &inputs, 1_000_000));
+        let frozen = g.to_string();
+        prop_assert_eq!(passes::lcse(&mut g), 0);
+        prop_assert_eq!(g.to_string(), frozen);
+    }
+
+    /// DCE, copy propagation and CFG simplification preserve behaviour.
+    #[test]
+    fn cleanup_passes_preserve(
+        seed in any::<u64>(),
+        opts in gen_options(),
+        inputs in inputs_strategy(),
+    ) {
+        let f = structured(seed, &opts);
+        let mut g = f.clone();
+        passes::copy_propagation(&mut g);
+        passes::dce(&mut g);
+        lcm::ir::simplify_cfg(&mut g);
+        lcm::ir::verify(&g).unwrap();
+        prop_assert!(observationally_equivalent(&f, &g, &inputs, 1_000_000));
+    }
+
+    /// CFG simplification is behaviour-preserving even right after edge
+    /// splitting (the combination that produces the most forwarders), and
+    /// idempotent.
+    #[test]
+    fn simplify_after_split_roundtrips(seed in any::<u64>(), size in 2usize..25) {
+        let f = lcm::cfggen::arbitrary(seed, &GenOptions::sized(size));
+        let mut g = f.clone();
+        lcm::ir::graph::split_critical_edges(&mut g);
+        lcm::ir::simplify_cfg(&mut g);
+        lcm::ir::verify(&g).unwrap();
+        prop_assert!(observationally_equivalent(
+            &f, &g, &Inputs::new().set("a", 3).set("b", -1), 20_000
+        ));
+        let frozen = g.to_string();
+        let again = lcm::ir::simplify_cfg(&mut g);
+        prop_assert_eq!(again.merged + again.forwarded + again.removed, 0);
+        prop_assert_eq!(g.to_string(), frozen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bit-set algebra: the lattice laws the dataflow solvers rely on.
+    #[test]
+    fn bitset_lattice_laws(
+        a in proptest::collection::vec(any::<bool>(), 150),
+        b in proptest::collection::vec(any::<bool>(), 150),
+        c in proptest::collection::vec(any::<bool>(), 150),
+    ) {
+        let mk = |v: &Vec<bool>| {
+            let mut s = BitSet::new(150);
+            for (i, &x) in v.iter().enumerate() {
+                if x {
+                    s.insert(i);
+                }
+            }
+            s
+        };
+        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+
+        // Commutativity.
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        let mut ba = sb.clone();
+        ba.union_with(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity of intersection.
+        let mut l = sa.clone();
+        l.intersect_with(&sb);
+        l.intersect_with(&sc);
+        let mut bc = sb.clone();
+        bc.intersect_with(&sc);
+        let mut r = sa.clone();
+        r.intersect_with(&bc);
+        prop_assert_eq!(&l, &r);
+
+        // De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b.
+        let mut lhs = ab.clone();
+        lhs.complement();
+        let mut na = sa.clone();
+        na.complement();
+        let mut nb = sb.clone();
+        nb.complement();
+        let mut rhs = na.clone();
+        rhs.intersect_with(&nb);
+        prop_assert_eq!(&lhs, &rhs);
+
+        // Difference is intersection with the complement.
+        let mut d1 = sa.clone();
+        d1.difference_with(&sb);
+        let mut d2 = sa.clone();
+        d2.intersect_with(&nb);
+        prop_assert_eq!(&d1, &d2);
+
+        // Absorption + superset coherence.
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert!(u.is_superset(&sa) && u.is_superset(&sb));
+        prop_assert_eq!(u.count() + {
+            let mut i = sa.clone();
+            i.intersect_with(&sb);
+            i.count()
+        }, sa.count() + sb.count());
+
+        // Iteration round-trips.
+        let collected: Vec<usize> = sa.iter().collect();
+        prop_assert_eq!(collected.len(), sa.count());
+        for bit in &collected {
+            prop_assert!(sa.contains(*bit));
+        }
+    }
+
+    /// The parser never panics on arbitrary input, and accepts-with-print
+    /// round-trip whatever it accepts.
+    #[test]
+    fn parser_total_and_roundtrips(text in "[ -~\n]{0,400}") {
+        if let Ok(f) = lcm::ir::parse_function(&text) {
+            let printed = f.to_string();
+            let again = lcm::ir::parse_function(&printed).unwrap();
+            prop_assert_eq!(printed, again.to_string());
+        }
+    }
+}

@@ -24,7 +24,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use lcm::core::{metrics, optimize, passes, PreAlgorithm};
+use lcm::core::{metrics, optimize, passes, report, PreAlgorithm};
 use lcm::interp::{run, Inputs};
 use lcm::ir::{dot, parse_function, simplify_cfg, verify, Function};
 
@@ -210,17 +210,17 @@ fn main() -> ExitCode {
         "text" => println!("{g}"),
         "dot" => print!("{}", dot::render(&g, |_| None)),
         "stats" => {
-            println!(
-                "blocks: {} -> {}",
-                f.num_blocks(),
-                g.num_blocks()
-            );
+            println!("blocks: {} -> {}", f.num_blocks(), g.num_blocks());
             println!("instructions: {} -> {}", f.num_instrs(), g.num_instrs());
             println!(
                 "candidate evaluation sites: {} -> {}",
                 f.expr_occurrences().count(),
                 g.expr_occurrences().count()
             );
+            // Solver cost of the fused LCM pipeline on the original input.
+            let p = lcm::core::lcm(&f);
+            println!();
+            print!("{}", report::stats_table(&p.stats));
         }
         "none" => {}
         _ => unreachable!("emit kind validated"),

@@ -4,8 +4,8 @@
 
 use lcm::cfggen::{arbitrary, corpus, GenOptions};
 use lcm::core::{
-    lazy_edge_plan, lazy_node_plan, morel_renvoise_plan, optimize, passes, transform,
-    ExprUniverse, GlobalAnalyses, LocalPredicates, PreAlgorithm,
+    lazy_edge_plan, lazy_node_plan, morel_renvoise_plan, optimize, passes, transform, ExprUniverse,
+    GlobalAnalyses, LocalPredicates, PreAlgorithm,
 };
 use lcm::interp::{run, Inputs};
 use lcm::ir::Function;
@@ -85,7 +85,11 @@ fn lcse_leaves_blocks_canonical() {
 #[test]
 fn alcm_plus_cleanup_matches_lcm_counts() {
     let opts = GenOptions::default();
-    let inputs = Inputs::new().set("a", 4).set("b", -2).set("c", 1).set("d", 8);
+    let inputs = Inputs::new()
+        .set("a", 4)
+        .set("b", -2)
+        .set("c", 1)
+        .set("d", 8);
     for mut f in corpus(0xD44, 50, &opts) {
         // Canonicalise first: the optimality statements assume LCSE ran.
         passes::lcse(&mut f);

@@ -79,7 +79,10 @@ fn emit_stats_reports_site_reduction() {
         }";
     let (ok, stdout, _) = lcmopt(&["--emit", "stats"], full);
     assert!(ok);
-    assert!(stdout.contains("candidate evaluation sites: 2 -> 1"), "{stdout}");
+    assert!(
+        stdout.contains("candidate evaluation sites: 2 -> 1"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -93,7 +96,9 @@ fn emit_dot_produces_graphviz() {
 #[test]
 fn run_mode_checks_equivalence_and_counts() {
     let (ok, stdout, _) = lcmopt(
-        &["--emit", "none", "--run", "a=20", "--run", "b=22", "--run", "c=1"],
+        &[
+            "--emit", "none", "--run", "a=20", "--run", "b=22", "--run", "c=1",
+        ],
         DIAMOND,
     );
     assert!(ok);
@@ -106,7 +111,14 @@ fn run_mode_checks_equivalence_and_counts() {
 fn compare_lists_all_algorithms() {
     let (ok, stdout, _) = lcmopt(&["--compare"], DIAMOND);
     assert!(ok);
-    for name in ["bcm", "lcm-edge", "lcm-node", "alcm-node", "morel-renvoise", "gcse"] {
+    for name in [
+        "bcm",
+        "lcm-edge",
+        "lcm-node",
+        "alcm-node",
+        "morel-renvoise",
+        "gcse",
+    ] {
         assert!(stdout.contains(name), "missing {name}:\n{stdout}");
     }
 }
@@ -131,7 +143,10 @@ fn custom_pipeline_order_is_respected() {
     // GCSE alone cannot remove the partially redundant join computation.
     let (ok, stdout, _) = lcmopt(&["--passes", "gcse", "--emit", "stats"], DIAMOND);
     assert!(ok);
-    assert!(stdout.contains("candidate evaluation sites: 2 -> 2"), "{stdout}");
+    assert!(
+        stdout.contains("candidate evaluation sites: 2 -> 2"),
+        "{stdout}"
+    );
 }
 
 #[test]

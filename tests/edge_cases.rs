@@ -168,7 +168,11 @@ fn self_loop_with_redundancy() {
     .unwrap();
     // The loop-carried redundancy is removed: one evaluation total.
     let lazy = optimize(&f, PreAlgorithm::LazyEdge);
-    let out = run(&lazy.function, &Inputs::new().set("a", 1).set("b", 1), 10_000);
+    let out = run(
+        &lazy.function,
+        &Inputs::new().set("a", 1).set("b", 1),
+        10_000,
+    );
     let ab = f.expr_universe()[0];
     assert_eq!(out.eval_count(ab), 1);
 }
@@ -178,9 +182,18 @@ fn wide_universe_crosses_word_boundaries() {
     // 130 expressions: three 64-bit words of bit-vector state.
     let f = lcm::cfggen::shapes::wide_expression_soup(130);
     let inputs = Inputs::new().set("s0", 3).set("s64", -5).set("s129", 11);
-    for alg in [PreAlgorithm::LazyEdge, PreAlgorithm::Busy, PreAlgorithm::Gcse] {
+    for alg in [
+        PreAlgorithm::LazyEdge,
+        PreAlgorithm::Busy,
+        PreAlgorithm::Gcse,
+    ] {
         let o = optimize(&f, alg);
-        assert!(observationally_equivalent(&f, &o.function, &inputs, 100_000));
+        assert!(observationally_equivalent(
+            &f,
+            &o.function,
+            &inputs,
+            100_000
+        ));
         // All 130 second-block recomputations are fully redundant; busy
         // code motion additionally hoists (and therefore deletes) the
         // first block's occurrences too.
@@ -307,7 +320,10 @@ fn extreme_values_survive_every_algorithm() {
            ret
          }",
         &[
-            Inputs::new().set("a", i64::MAX).set("b", i64::MAX).set("c", 1),
+            Inputs::new()
+                .set("a", i64::MAX)
+                .set("b", i64::MAX)
+                .set("c", 1),
             Inputs::new().set("a", i64::MIN).set("b", -1),
             Inputs::new().set("a", -1).set("b", 127),
         ],
@@ -336,6 +352,9 @@ fn chains_of_kills_and_recomputations() {
            obs v
            ret
          }",
-        &[Inputs::new().set("a", 3).set("b", 5).set("c", 1), Inputs::new()],
+        &[
+            Inputs::new().set("a", 3).set("b", 5).set("c", 1),
+            Inputs::new(),
+        ],
     );
 }

@@ -21,7 +21,10 @@ fn input_sets() -> Vec<Inputs> {
             .set("d", 5)
             .set("e", 2)
             .set("f", 13),
-        Inputs::new().set("a", i64::MAX).set("b", i64::MIN).set("c", 2),
+        Inputs::new()
+            .set("a", i64::MAX)
+            .set("b", i64::MIN)
+            .set("c", 2),
     ]
 }
 
@@ -124,8 +127,14 @@ fn planned_insertions_are_safe_points() {
         // Node plans are for the split function.
         let node = lcm::core::lazy_node_plan(&f, true);
         let nga = GlobalAnalyses::compute(&node.function, &node.universe, &node.local);
-        safety::check_plan_safety(&node.function, &node.universe, &node.local, &nga, &node.plan)
-            .unwrap();
+        safety::check_plan_safety(
+            &node.function,
+            &node.universe,
+            &node.local,
+            &nga,
+            &node.plan,
+        )
+        .unwrap();
     }
 }
 

@@ -98,8 +98,16 @@ fn t2_dynamic_counts_on_cyclic_programs() {
     let opts = GenOptions::default();
     let inputs = [
         Inputs::new(),
-        Inputs::new().set("a", 5).set("b", 2).set("c", 1).set("d", -3),
-        Inputs::new().set("a", -9).set("b", 4).set("e", 7).set("f", 11),
+        Inputs::new()
+            .set("a", 5)
+            .set("b", 2)
+            .set("c", 1)
+            .set("d", -3),
+        Inputs::new()
+            .set("a", -9)
+            .set("b", 4)
+            .set("e", 7)
+            .set("f", 11),
     ];
     for f in corpus(0x7E57, 50, &opts) {
         let f = normalized(&f);
@@ -114,8 +122,7 @@ fn t2_dynamic_counts_on_cyclic_programs() {
             let fuel = 2_000_000;
             let orig = run(&f, ins, fuel);
             assert!(orig.completed());
-            let count =
-                |g: &Function| -> u64 { run(g, ins, fuel).total_evals_of(&exprs) };
+            let count = |g: &Function| -> u64 { run(g, ins, fuel).total_evals_of(&exprs) };
             let o = orig.total_evals_of(&exprs);
             let b = count(&busy.function);
             let l = count(&lazy.function);
@@ -216,8 +223,18 @@ fn t3_dynamic_occupancy_lazy_beats_busy() {
     for f in corpus(0x0CC, 40, &opts) {
         let busy = optimize(&f, PreAlgorithm::Busy);
         let lazy = optimize(&f, PreAlgorithm::LazyEdge);
-        let bo = dynamic_occupancy(&busy.function, &inputs, 2_000_000, &busy.transform.temp_vars());
-        let lo = dynamic_occupancy(&lazy.function, &inputs, 2_000_000, &lazy.transform.temp_vars());
+        let bo = dynamic_occupancy(
+            &busy.function,
+            &inputs,
+            2_000_000,
+            &busy.transform.temp_vars(),
+        );
+        let lo = dynamic_occupancy(
+            &lazy.function,
+            &inputs,
+            2_000_000,
+            &lazy.transform.temp_vars(),
+        );
         assert!(
             lo <= bo,
             "{}: lazy occupancy {lo} exceeds busy {bo}",
@@ -241,7 +258,6 @@ fn lcm_strictly_improves_where_redundancy_exists() {
     );
     // Static sites shrink too.
     assert!(
-        metrics::static_eval_sites(&lazy.function, &exprs)
-            < metrics::static_eval_sites(&f, &exprs)
+        metrics::static_eval_sites(&lazy.function, &exprs) < metrics::static_eval_sites(&f, &exprs)
     );
 }

@@ -1,186 +1,226 @@
-//! Property-based tests (proptest): the invariants hold not just on the
-//! fixed corpora but across the generator's whole configuration space.
+//! Property-style tests, hermetic edition: the invariants hold across the
+//! generator's whole configuration space, driven by the in-tree seeded
+//! PRNG instead of proptest — `cargo test` needs no network and no
+//! external crates. (The proptest originals live on in
+//! `extras/tests/properties.rs` for machines with a registry mirror.)
+//!
+//! Every case derives its program, options and inputs from one master
+//! [`Rng`] stream, so a failure reproduces exactly from the seed printed
+//! in the assertion message.
 
-use proptest::prelude::*;
-
-use lcm::cfggen::{arbitrary as arb_cfg, random_dag, structured, GenOptions};
+use lcm::cfggen::{arbitrary as arb_cfg, random_dag, seeded, structured, GenOptions, Rng};
 use lcm::core::{metrics, optimize, passes, safety, PreAlgorithm};
 use lcm::dataflow::BitSet;
 use lcm::interp::{observationally_equivalent, Inputs};
 
-fn gen_options() -> impl Strategy<Value = GenOptions> {
-    (
-        5usize..80,
-        2usize..8,
-        1usize..8,
-        0.2f64..0.95,
-        0.05f64..0.5,
-        1usize..5,
-    )
-        .prop_map(|(size, num_vars, menu, menu_bias, obs_prob, max_depth)| GenOptions {
-            size,
-            num_vars,
-            menu,
-            menu_bias,
-            obs_prob,
-            max_depth,
-        })
+fn random_opts(rng: &mut Rng) -> GenOptions {
+    GenOptions {
+        size: rng.gen_range(5..80usize),
+        num_vars: rng.gen_range(2..8usize),
+        menu: rng.gen_range(1..8usize),
+        menu_bias: 0.2 + 0.75 * rng.gen_f64(),
+        obs_prob: 0.05 + 0.45 * rng.gen_f64(),
+        max_depth: rng.gen_range(1..5usize),
+    }
 }
 
-fn inputs_strategy() -> impl Strategy<Value = Inputs> {
-    proptest::collection::vec(-100i64..100, 8).prop_map(|vals| {
-        ["a", "b", "c", "d", "e", "f", "g", "h"]
-            .iter()
-            .zip(vals)
-            .map(|(n, v)| (n.to_string(), v))
-            .collect()
-    })
+fn random_inputs(rng: &mut Rng) -> Inputs {
+    ["a", "b", "c", "d", "e", "f", "g", "h"]
+        .iter()
+        .map(|n| (n.to_string(), rng.gen_range(-100..100i64)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any structured program, any options, any inputs, any algorithm:
-    /// behaviour is preserved and temps are definitely assigned.
-    #[test]
-    fn pre_preserves_structured_programs(
-        seed in any::<u64>(),
-        opts in gen_options(),
-        inputs in inputs_strategy(),
-    ) {
+/// Any structured program, any options, any inputs, any algorithm:
+/// behaviour is preserved and temps are definitely assigned.
+#[test]
+fn pre_preserves_structured_programs() {
+    let mut rng = seeded(0x11E5_0001);
+    for case in 0..32 {
+        let seed = rng.next_u64();
+        let opts = random_opts(&mut rng);
+        let inputs = random_inputs(&mut rng);
         let f = structured(seed, &opts);
         for alg in PreAlgorithm::ALL {
             let o = optimize(&f, alg);
             lcm::ir::verify(&o.function).unwrap();
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
-            prop_assert!(observationally_equivalent(&f, &o.function, &inputs, 1_000_000));
+            assert!(
+                observationally_equivalent(&f, &o.function, &inputs, 1_000_000),
+                "case {case} (seed {seed:#x}): {} changed behaviour",
+                alg.name()
+            );
         }
     }
+}
 
-    /// Busy and lazy code motion agree on evaluation counts path by path,
-    /// on arbitrary DAG shapes (after LCSE canonicalisation).
-    #[test]
-    fn busy_equals_lazy_on_random_dags(seed in any::<u64>(), size in 3usize..20) {
+/// Busy and lazy code motion agree on evaluation counts path by path, on
+/// arbitrary DAG shapes (after LCSE canonicalisation).
+#[test]
+fn busy_equals_lazy_on_random_dags() {
+    let mut rng = seeded(0x11E5_0002);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let size = rng.gen_range(3..20usize);
         let mut f = random_dag(seed, &GenOptions::sized(size));
         passes::lcse(&mut f);
         let exprs = f.expr_universe();
-        if let Some(orig) = metrics::path_eval_counts(&f, &exprs, 20_000) {
-            let busy = optimize(&f, PreAlgorithm::Busy);
-            let lazy = optimize(&f, PreAlgorithm::LazyEdge);
-            let b = metrics::path_eval_counts(&busy.function, &exprs, 20_000).unwrap();
-            let l = metrics::path_eval_counts(&lazy.function, &exprs, 20_000).unwrap();
-            prop_assert_eq!(&b, &l);
-            for (o, n) in orig.iter().zip(&l) {
-                prop_assert!(n <= o);
-            }
+        let Some(orig) = metrics::path_eval_counts(&f, &exprs, 20_000) else {
+            continue;
+        };
+        let busy = optimize(&f, PreAlgorithm::Busy);
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let b = metrics::path_eval_counts(&busy.function, &exprs, 20_000).unwrap();
+        let l = metrics::path_eval_counts(&lazy.function, &exprs, 20_000).unwrap();
+        assert_eq!(b, l, "case {case} (seed {seed:#x})");
+        for (o, n) in orig.iter().zip(&l) {
+            assert!(n <= o, "case {case} (seed {seed:#x}): {n} > {o}");
         }
     }
+}
 
-    /// The lifetime ordering LCM ≤ BCM holds for every generator setting.
-    #[test]
-    fn lazy_lifetimes_never_exceed_busy(seed in any::<u64>(), opts in gen_options()) {
+/// The lifetime ordering LCM ≤ BCM holds for every generator setting.
+#[test]
+fn lazy_lifetimes_never_exceed_busy() {
+    let mut rng = seeded(0x11E5_0003);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let opts = random_opts(&mut rng);
         let f = structured(seed, &opts);
         let busy = optimize(&f, PreAlgorithm::Busy);
         let lazy = optimize(&f, PreAlgorithm::LazyEdge);
         let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
         let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
-        prop_assert!(lp <= bp, "lazy {} > busy {}", lp, bp);
+        assert!(
+            lp <= bp,
+            "case {case} (seed {seed:#x}): lazy {lp} > busy {bp}"
+        );
     }
+}
 
-    /// Arbitrary (possibly irreducible) CFGs never break the transforms.
-    #[test]
-    fn pre_survives_arbitrary_cfgs(seed in any::<u64>(), size in 2usize..25) {
+/// Arbitrary (possibly irreducible) CFGs never break the transforms.
+#[test]
+fn pre_survives_arbitrary_cfgs() {
+    let mut rng = seeded(0x11E5_0004);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let size = rng.gen_range(2..25usize);
         let f = arb_cfg(seed, &GenOptions::sized(size));
         for alg in PreAlgorithm::ALL {
             let o = optimize(&f, alg);
             lcm::ir::verify(&o.function).unwrap();
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
-            prop_assert!(observationally_equivalent(
-                &f, &o.function, &Inputs::new().set("a", 1).set("b", 2), 20_000
-            ));
+            assert!(
+                observationally_equivalent(
+                    &f,
+                    &o.function,
+                    &Inputs::new().set("a", 1).set("b", 2),
+                    20_000
+                ),
+                "case {case} (seed {seed:#x}): {}",
+                alg.name()
+            );
         }
     }
+}
 
-    /// LCSE is semantics-preserving and idempotent for every program.
-    #[test]
-    fn lcse_preserves_and_converges(
-        seed in any::<u64>(),
-        opts in gen_options(),
-        inputs in inputs_strategy(),
-    ) {
+/// LCSE is semantics-preserving and idempotent for every program.
+#[test]
+fn lcse_preserves_and_converges() {
+    let mut rng = seeded(0x11E5_0005);
+    for case in 0..48 {
+        let seed = rng.next_u64();
+        let opts = random_opts(&mut rng);
+        let inputs = random_inputs(&mut rng);
         let f = structured(seed, &opts);
         let mut g = f.clone();
         passes::lcse(&mut g);
         lcm::ir::verify(&g).unwrap();
-        prop_assert!(observationally_equivalent(&f, &g, &inputs, 1_000_000));
+        assert!(
+            observationally_equivalent(&f, &g, &inputs, 1_000_000),
+            "case {case} (seed {seed:#x})"
+        );
         let frozen = g.to_string();
-        prop_assert_eq!(passes::lcse(&mut g), 0);
-        prop_assert_eq!(g.to_string(), frozen);
+        assert_eq!(passes::lcse(&mut g), 0, "case {case} (seed {seed:#x})");
+        assert_eq!(g.to_string(), frozen, "case {case} (seed {seed:#x})");
     }
+}
 
-    /// DCE, copy propagation and CFG simplification preserve behaviour.
-    #[test]
-    fn cleanup_passes_preserve(
-        seed in any::<u64>(),
-        opts in gen_options(),
-        inputs in inputs_strategy(),
-    ) {
+/// DCE, copy propagation and CFG simplification preserve behaviour.
+#[test]
+fn cleanup_passes_preserve() {
+    let mut rng = seeded(0x11E5_0006);
+    for case in 0..48 {
+        let seed = rng.next_u64();
+        let opts = random_opts(&mut rng);
+        let inputs = random_inputs(&mut rng);
         let f = structured(seed, &opts);
         let mut g = f.clone();
         passes::copy_propagation(&mut g);
         passes::dce(&mut g);
         lcm::ir::simplify_cfg(&mut g);
         lcm::ir::verify(&g).unwrap();
-        prop_assert!(observationally_equivalent(&f, &g, &inputs, 1_000_000));
+        assert!(
+            observationally_equivalent(&f, &g, &inputs, 1_000_000),
+            "case {case} (seed {seed:#x})"
+        );
     }
+}
 
-    /// CFG simplification is behaviour-preserving even right after edge
-    /// splitting (the combination that produces the most forwarders), and
-    /// idempotent.
-    #[test]
-    fn simplify_after_split_roundtrips(seed in any::<u64>(), size in 2usize..25) {
-        let f = lcm::cfggen::arbitrary(seed, &GenOptions::sized(size));
+/// CFG simplification is behaviour-preserving even right after edge
+/// splitting (the combination that produces the most forwarders), and
+/// idempotent.
+#[test]
+fn simplify_after_split_roundtrips() {
+    let mut rng = seeded(0x11E5_0007);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let size = rng.gen_range(2..25usize);
+        let f = arb_cfg(seed, &GenOptions::sized(size));
         let mut g = f.clone();
         lcm::ir::graph::split_critical_edges(&mut g);
         lcm::ir::simplify_cfg(&mut g);
         lcm::ir::verify(&g).unwrap();
-        prop_assert!(observationally_equivalent(
-            &f, &g, &Inputs::new().set("a", 3).set("b", -1), 20_000
-        ));
+        assert!(
+            observationally_equivalent(&f, &g, &Inputs::new().set("a", 3).set("b", -1), 20_000),
+            "case {case} (seed {seed:#x})"
+        );
         let frozen = g.to_string();
         let again = lcm::ir::simplify_cfg(&mut g);
-        prop_assert_eq!(again.merged + again.forwarded + again.removed, 0);
-        prop_assert_eq!(g.to_string(), frozen);
+        assert_eq!(
+            again.merged + again.forwarded + again.removed,
+            0,
+            "case {case} (seed {seed:#x})"
+        );
+        assert_eq!(g.to_string(), frozen, "case {case} (seed {seed:#x})");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_set(rng: &mut Rng, nbits: usize) -> BitSet {
+    let mut s = BitSet::new(nbits);
+    for i in 0..nbits {
+        if rng.gen_bool(0.5) {
+            s.insert(i);
+        }
+    }
+    s
+}
 
-    /// Bit-set algebra: the lattice laws the dataflow solvers rely on.
-    #[test]
-    fn bitset_lattice_laws(
-        a in proptest::collection::vec(any::<bool>(), 150),
-        b in proptest::collection::vec(any::<bool>(), 150),
-        c in proptest::collection::vec(any::<bool>(), 150),
-    ) {
-        let mk = |v: &Vec<bool>| {
-            let mut s = BitSet::new(150);
-            for (i, &x) in v.iter().enumerate() {
-                if x {
-                    s.insert(i);
-                }
-            }
-            s
-        };
-        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+/// Bit-set algebra: the lattice laws the dataflow solvers rely on.
+#[test]
+fn bitset_lattice_laws() {
+    let mut rng = seeded(0x11E5_0008);
+    for case in 0..256 {
+        let sa = random_set(&mut rng, 150);
+        let sb = random_set(&mut rng, 150);
+        let sc = random_set(&mut rng, 150);
 
         // Commutativity.
         let mut ab = sa.clone();
         ab.union_with(&sb);
         let mut ba = sb.clone();
         ba.union_with(&sa);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba, "case {case}");
 
         // Associativity of intersection.
         let mut l = sa.clone();
@@ -190,7 +230,7 @@ proptest! {
         bc.intersect_with(&sc);
         let mut r = sa.clone();
         r.intersect_with(&bc);
-        prop_assert_eq!(&l, &r);
+        assert_eq!(l, r, "case {case}");
 
         // De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b.
         let mut lhs = ab.clone();
@@ -201,41 +241,86 @@ proptest! {
         nb.complement();
         let mut rhs = na.clone();
         rhs.intersect_with(&nb);
-        prop_assert_eq!(&lhs, &rhs);
+        assert_eq!(lhs, rhs, "case {case}");
 
         // Difference is intersection with the complement.
         let mut d1 = sa.clone();
         d1.difference_with(&sb);
         let mut d2 = sa.clone();
         d2.intersect_with(&nb);
-        prop_assert_eq!(&d1, &d2);
+        assert_eq!(d1, d2, "case {case}");
 
-        // Absorption + superset coherence.
+        // Absorption + inclusion-exclusion.
         let mut u = sa.clone();
         u.union_with(&sb);
-        prop_assert!(u.is_superset(&sa) && u.is_superset(&sb));
-        prop_assert_eq!(u.count() + {
-            let mut i = sa.clone();
-            i.intersect_with(&sb);
-            i.count()
-        }, sa.count() + sb.count());
+        assert!(u.is_superset(&sa) && u.is_superset(&sb), "case {case}");
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        assert_eq!(
+            u.count() + i.count(),
+            sa.count() + sb.count(),
+            "case {case}"
+        );
 
         // Iteration round-trips.
         let collected: Vec<usize> = sa.iter().collect();
-        prop_assert_eq!(collected.len(), sa.count());
+        assert_eq!(collected.len(), sa.count(), "case {case}");
         for bit in &collected {
-            prop_assert!(sa.contains(*bit));
+            assert!(sa.contains(*bit), "case {case}");
         }
     }
+}
 
-    /// The parser never panics on arbitrary input, and accepts-with-print
-    /// round-trip whatever it accepts.
-    #[test]
-    fn parser_total_and_roundtrips(text in "[ -~\n]{0,400}") {
+/// The parser never panics on arbitrary input, and accepts-with-print
+/// round-trips whatever it accepts.
+#[test]
+fn parser_total_and_roundtrips() {
+    let mut rng = seeded(0x11E5_0009);
+    // Biased toward IR-ish tokens so some strings get past the header.
+    let fragments = [
+        "fn f {",
+        "}",
+        "entry:",
+        "b1:",
+        "ret",
+        "jmp entry",
+        "br c, entry, b1",
+        "x = a + b",
+        "obs x",
+        "a",
+        "=",
+        "+",
+        "\n",
+        " ",
+        ":",
+        ",",
+        "0",
+        "-",
+        "{",
+        "q9",
+    ];
+    for case in 0..256 {
+        let mut text = String::new();
+        // Half the cases: random printable bytes. Half: token soup.
+        if case % 2 == 0 {
+            for _ in 0..rng.gen_range(0..400usize) {
+                let c = rng.gen_range(0..96usize);
+                text.push(if c == 95 {
+                    '\n'
+                } else {
+                    (b' ' + c as u8) as char
+                });
+            }
+        } else {
+            for _ in 0..rng.gen_range(0..60usize) {
+                text.push_str(fragments[rng.gen_range(0..fragments.len())]);
+                text.push(if rng.gen_bool(0.7) { '\n' } else { ' ' });
+            }
+        }
         if let Ok(f) = lcm::ir::parse_function(&text) {
             let printed = f.to_string();
             let again = lcm::ir::parse_function(&printed).unwrap();
-            prop_assert_eq!(printed, again.to_string());
+            assert_eq!(printed, again.to_string(), "case {case}");
         }
     }
 }

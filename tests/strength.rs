@@ -11,8 +11,15 @@ use lcm::interp::{observationally_equivalent, run, Inputs};
 fn input_sets() -> Vec<Inputs> {
     vec![
         Inputs::new(),
-        Inputs::new().set("a", 7).set("b", -2).set("c", 1).set("d", 100),
-        Inputs::new().set("a", i64::MAX / 3).set("b", 11).set("c", 0),
+        Inputs::new()
+            .set("a", 7)
+            .set("b", -2)
+            .set("c", 1)
+            .set("d", 100),
+        Inputs::new()
+            .set("a", i64::MAX / 3)
+            .set("b", 11)
+            .set("c", 0),
     ]
 }
 
