@@ -8,10 +8,16 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo test -p lcm-faults -q (fault-injection suite)"
+cargo test -p lcm-faults -q
 
 echo "ci: OK"

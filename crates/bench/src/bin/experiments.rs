@@ -95,10 +95,10 @@ fn f2() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
     let plan = busy_plan(&f, &uni, &local, &ga);
     print!("{}", lcm_core::report::plan_report(&f, &uni, &plan));
-    println!("\n{}", optimize(&f, PreAlgorithm::Busy).function);
+    println!("\n{}", optimize(&f, PreAlgorithm::Busy).unwrap().function);
 }
 
 /// F3 — predicate tables: local properties, availability, anticipability,
@@ -108,7 +108,7 @@ fn f3() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
     print!("{}", lcm_core::report::safety_table(&f, &uni, &local, &ga));
     println!();
     print!("{}", lcm_core::report::earliest_report(&f, &uni, &ga));
@@ -118,7 +118,7 @@ fn f3() {
 fn f4() {
     header("F4", "DELAY / LATEST / ISOLATED on the running example");
     let f = running_example();
-    let node = lazy_node_plan(&f, true);
+    let node = lazy_node_plan(&f, true).unwrap();
     print!("{}", lcm_core::report::node_cascade_table(&node));
 }
 
@@ -128,16 +128,16 @@ fn f5() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
-    let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+    let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
     print!("{}", lcm_core::report::plan_report(&f, &uni, &lazy.plan));
     print!(
         "{}",
         lcm_core::report::delete_report(&f, &uni, &lazy.delete)
     );
-    let out = optimize(&f, PreAlgorithm::LazyEdge);
+    let out = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     println!("\n{}", out.function);
-    let busy = optimize(&f, PreAlgorithm::Busy);
+    let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
     println!(
         "temporary live points: busy = {}, lazy = {}",
         metrics::live_points(&busy.function, &busy.transform.temp_vars()),
@@ -167,11 +167,11 @@ fn t1() {
     for f in &programs {
         let uni = ExprUniverse::of(f);
         let local = LocalPredicates::compute(f, &uni);
-        let ga = GlobalAnalyses::compute(f, &uni, &local);
-        let lazy = lazy_edge_plan(f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(f, &uni, &local, &ga).unwrap();
         safety::check_plan_safety(f, &uni, &local, &ga, &lazy.plan).expect("safe insertions");
         for alg in PreAlgorithm::ALL {
-            let o = optimize(f, alg);
+            let o = optimize(f, alg).unwrap();
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars())
                 .expect("definite assignment");
             for inputs in &input_sets {
@@ -210,8 +210,8 @@ fn t2() {
         let Some(orig) = metrics::path_eval_counts(&f, &exprs, 20_000) else {
             continue;
         };
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let b = metrics::path_eval_counts(&busy.function, &exprs, 20_000).unwrap();
         let l = metrics::path_eval_counts(&lazy.function, &exprs, 20_000).unwrap();
         assert_eq!(b, l, "busy == lazy, path by path");
@@ -238,13 +238,13 @@ fn t2() {
         let exprs = f.expr_universe();
         let o = run(&f, &inputs, 2_000_000).total_evals_of(&exprs);
         let l = run(
-            &optimize(&f, PreAlgorithm::LazyEdge).function,
+            &optimize(&f, PreAlgorithm::LazyEdge).unwrap().function,
             &inputs,
             2_000_000,
         )
         .total_evals_of(&exprs);
         let m = run(
-            &optimize(&f, PreAlgorithm::MorelRenvoise).function,
+            &optimize(&f, PreAlgorithm::MorelRenvoise).unwrap().function,
             &inputs,
             2_000_000,
         )
@@ -280,8 +280,14 @@ fn t2() {
     for f in &programs {
         let mut f = f.clone();
         passes::lcse(&mut f);
-        let l = optimize(&f, PreAlgorithm::LazyEdge).transform.stats;
-        let m = optimize(&f, PreAlgorithm::MorelRenvoise).transform.stats;
+        let l = optimize(&f, PreAlgorithm::LazyEdge)
+            .unwrap()
+            .transform
+            .stats;
+        let m = optimize(&f, PreAlgorithm::MorelRenvoise)
+            .unwrap()
+            .transform
+            .stats;
         let ln = l.deletions as i64 - l.insertions as i64;
         let mn = m.deletions as i64 - m.insertions as i64;
         lazy_net += ln;
@@ -309,13 +315,13 @@ fn t2() {
         let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);
         let o = run(&f, &inputs, 1_000_000).total_evals_of(&exprs);
         let l = run(
-            &optimize(&f, PreAlgorithm::LazyEdge).function,
+            &optimize(&f, PreAlgorithm::LazyEdge).unwrap().function,
             &inputs,
             1_000_000,
         )
         .total_evals_of(&exprs);
         let m = run(
-            &optimize(&f, PreAlgorithm::MorelRenvoise).function,
+            &optimize(&f, PreAlgorithm::MorelRenvoise).unwrap().function,
             &inputs,
             1_000_000,
         )
@@ -344,7 +350,7 @@ fn t3() {
             PreAlgorithm::LazyEdge,
             PreAlgorithm::LazyNode,
         ] {
-            let o = optimize(&f, alg);
+            let o = optimize(&f, alg).unwrap();
             row.push(metrics::live_points(&o.function, &o.transform.temp_vars()));
         }
         println!(
@@ -359,8 +365,8 @@ fn t3() {
     let (mut busy_occ, mut lazy_occ) = (0u64, 0u64);
     let mut strict = 0usize;
     for f in &programs {
-        let busy = optimize(f, PreAlgorithm::Busy);
-        let lazy = optimize(f, PreAlgorithm::LazyEdge);
+        let busy = optimize(f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(f, PreAlgorithm::LazyEdge).unwrap();
         let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
         let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
         assert!(lp <= bp);
@@ -618,8 +624,8 @@ fn a1() {
     let mut with_points = 0u64;
     let mut without_points = 0u64;
     for f in &programs {
-        let with = optimize(f, PreAlgorithm::LazyNode);
-        let without = optimize(f, PreAlgorithm::AlmostLazyNode);
+        let with = optimize(f, PreAlgorithm::LazyNode).unwrap();
+        let without = optimize(f, PreAlgorithm::AlmostLazyNode).unwrap();
         with_ins += with.transform.stats.insertions;
         without_ins += without.transform.stats.insertions;
         with_points += metrics::live_points(&with.function, &with.transform.temp_vars());

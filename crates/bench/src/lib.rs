@@ -46,8 +46,8 @@ pub fn sized_corpus(size: usize, count: usize) -> Vec<Function> {
 pub fn lcm_analysis_cost(f: &Function) -> SolveStats {
     let uni = ExprUniverse::of(f);
     let local = LocalPredicates::compute(f, &uni);
-    let ga = GlobalAnalyses::compute(f, &uni, &local);
-    let lazy = lazy_edge_plan(f, &uni, &local, &ga);
+    let ga = GlobalAnalyses::compute(f, &uni, &local).expect("benchmark analyses converge");
+    let lazy = lazy_edge_plan(f, &uni, &local, &ga).expect("benchmark analyses converge");
     let mut stats = ga.stats;
     stats += lazy.stats;
     stats
@@ -57,7 +57,7 @@ pub fn lcm_analysis_cost(f: &Function) -> SolveStats {
 /// [`CfgView`](lcm_dataflow::CfgView), change-driven worklist solver),
 /// broken out per analysis.
 pub fn fused_analysis_cost(f: &Function) -> PipelineStats {
-    lcm(f).stats
+    lcm(f).expect("benchmark analyses converge").stats
 }
 
 /// Cost of the Morel–Renvoise system (availability, partial availability,
@@ -65,7 +65,9 @@ pub fn fused_analysis_cost(f: &Function) -> PipelineStats {
 pub fn mr_analysis_cost(f: &Function) -> SolveStats {
     let uni = ExprUniverse::of(f);
     let local = LocalPredicates::compute(f, &uni);
-    morel_renvoise_plan(f, &uni, &local).stats
+    morel_renvoise_plan(f, &uni, &local)
+        .expect("benchmark analyses converge")
+        .stats
 }
 
 /// One row of the algorithm-comparison table.
@@ -88,7 +90,7 @@ pub fn compare_algorithms(f: &Function) -> Vec<ComparisonRow> {
     PreAlgorithm::ALL
         .into_iter()
         .map(|alg| {
-            let o = optimize(f, alg);
+            let o = optimize(f, alg).expect("benchmark optimization succeeds");
             ComparisonRow {
                 algorithm: alg.name(),
                 insertions: o.transform.stats.insertions,

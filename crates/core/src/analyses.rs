@@ -11,7 +11,7 @@
 //! PRE forbids.
 
 use lcm_dataflow::{
-    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, Transfer,
+    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, SolverDiverged, Transfer,
 };
 use lcm_ir::{Edge, EdgeList, Function};
 
@@ -44,6 +44,7 @@ pub fn availability_problem<'f>(
         Confluence::Must,
         transfers(&local.comp, local),
     )
+    .with_name("availability")
 }
 
 /// The anticipability dataflow problem, for callers that pick their own
@@ -60,6 +61,7 @@ pub fn anticipability_problem<'f>(
         Confluence::Must,
         transfers(&local.antloc, local),
     )
+    .with_name("anticipability")
 }
 
 /// Up-safety / availability. `AVIN[b]` / `AVOUT[b]`: `e` has been computed
@@ -67,8 +69,18 @@ pub fn anticipability_problem<'f>(
 ///
 /// `AVOUT = COMP ∪ (AVIN ∩ TRANSP)`, `AVIN = ∩ AVOUT(preds)`,
 /// `AVIN[entry] = ∅`.
-pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
-    availability_problem(f, uni, local).solve()
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its sweep
+/// budget (impossible for this monotone system unless its inputs were
+/// corrupted).
+pub fn availability(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Result<Solution, SolverDiverged> {
+    availability_problem(f, uni, local).try_solve()
 }
 
 /// Down-safety / anticipability. `ANTIN[b]` / `ANTOUT[b]`: on **every**
@@ -76,13 +88,31 @@ pub fn availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -
 ///
 /// `ANTIN = ANTLOC ∪ (ANTOUT ∩ TRANSP)`, `ANTOUT = ∩ ANTIN(succs)`,
 /// `ANTOUT[exit] = ∅`.
-pub fn anticipability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
-    anticipability_problem(f, uni, local).solve()
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its sweep
+/// budget.
+pub fn anticipability(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Result<Solution, SolverDiverged> {
+    anticipability_problem(f, uni, local).try_solve()
 }
 
 /// Partial availability (may-variant of [`availability`]): computed on
 /// **some** path. Used by the Morel–Renvoise baseline.
-pub fn partial_availability(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Solution {
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its sweep
+/// budget.
+pub fn partial_availability(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Result<Solution, SolverDiverged> {
     Problem::new(
         f,
         uni.len(),
@@ -90,17 +120,23 @@ pub fn partial_availability(f: &Function, uni: &ExprUniverse, local: &LocalPredi
         Confluence::May,
         transfers(&local.comp, local),
     )
-    .solve()
+    .with_name("partial-availability")
+    .try_solve()
 }
 
 /// Partial anticipability (may-variant of [`anticipability`]): computed on
 /// **some** continuation. Provided for completeness and speculative-PRE
 /// comparisons.
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its sweep
+/// budget.
 pub fn partial_anticipability(
     f: &Function,
     uni: &ExprUniverse,
     local: &LocalPredicates,
-) -> Solution {
+) -> Result<Solution, SolverDiverged> {
     Problem::new(
         f,
         uni.len(),
@@ -108,7 +144,8 @@ pub fn partial_anticipability(
         Confluence::May,
         transfers(&local.antloc, local),
     )
-    .solve()
+    .with_name("partial-anticipability")
+    .try_solve()
 }
 
 /// The bundle of solutions every placement algorithm starts from, plus the
@@ -144,25 +181,39 @@ impl GlobalAnalyses {
     /// ```text
     /// EARLIEST(i,j) = ANTIN[j] ∩ ¬AVOUT[i] ∩ (¬TRANSP[i] ∪ ¬ANTOUT[i])
     /// ```
-    pub fn compute(f: &Function, uni: &ExprUniverse, local: &LocalPredicates) -> Self {
-        let avail = availability(f, uni, local);
-        let antic = anticipability(f, uni, local);
-        Self::derive(f, uni, local, avail, antic)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if either fixpoint iteration exceeds its
+    /// sweep budget.
+    pub fn compute(
+        f: &Function,
+        uni: &ExprUniverse,
+        local: &LocalPredicates,
+    ) -> Result<Self, SolverDiverged> {
+        let avail = availability(f, uni, local)?;
+        let antic = anticipability(f, uni, local)?;
+        Ok(Self::derive(f, uni, local, avail, antic))
     }
 
     /// The fused-pipeline variant of [`compute`](Self::compute): both
     /// analyses run on the change-driven worklist solver against a shared
     /// [`CfgView`]. Reaches the same fixpoints (the framework is monotone),
     /// typically with fewer node visits and word operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if either fixpoint iteration exceeds its
+    /// pop budget.
     pub fn compute_in(
         f: &Function,
         uni: &ExprUniverse,
         local: &LocalPredicates,
         view: &CfgView,
-    ) -> Self {
-        let avail = availability_problem(f, uni, local).solve_worklist_in(view);
-        let antic = anticipability_problem(f, uni, local).solve_worklist_in(view);
-        Self::derive(f, uni, local, avail, antic)
+    ) -> Result<Self, SolverDiverged> {
+        let avail = availability_problem(f, uni, local).try_solve_worklist_in(view)?;
+        let antic = anticipability_problem(f, uni, local).try_solve_worklist_in(view)?;
+        Ok(Self::derive(f, uni, local, avail, antic))
     }
 
     fn derive(
@@ -242,19 +293,19 @@ mod tests {
     #[test]
     fn availability_needs_all_paths() {
         let (f, uni, local) = setup(DIAMOND);
-        let av = availability(&f, &uni, &local);
+        let av = availability(&f, &uni, &local).unwrap();
         let join = f.block_by_name("join").unwrap();
         let l = f.block_by_name("l").unwrap();
         assert!(av.outs[l.index()].contains(0));
         assert!(!av.ins[join.index()].contains(0)); // only one arm computes
-        let pav = partial_availability(&f, &uni, &local);
+        let pav = partial_availability(&f, &uni, &local).unwrap();
         assert!(pav.ins[join.index()].contains(0)); // some path computes
     }
 
     #[test]
     fn anticipability_flows_up_to_branch() {
         let (f, uni, local) = setup(DIAMOND);
-        let ant = anticipability(&f, &uni, &local);
+        let ant = anticipability(&f, &uni, &local).unwrap();
         let join = f.block_by_name("join").unwrap();
         let r = f.block_by_name("r").unwrap();
         assert!(ant.ins[join.index()].contains(0));
@@ -280,18 +331,18 @@ mod tests {
                ret
              }",
         );
-        let ant = anticipability(&f, &uni, &local);
+        let ant = anticipability(&f, &uni, &local).unwrap();
         // Through l the expression is killed before being computed with the
         // entry value of a, so it is not anticipatable at the branch.
         assert!(!ant.ins[f.entry().index()].contains(0));
-        let pant = partial_anticipability(&f, &uni, &local);
+        let pant = partial_anticipability(&f, &uni, &local).unwrap();
         assert!(pant.ins[f.entry().index()].contains(0));
     }
 
     #[test]
     fn earliest_lands_on_the_empty_arm() {
         let (f, uni, local) = setup(DIAMOND);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let r = f.block_by_name("r").unwrap();
         let l = f.block_by_name("l").unwrap();
         let join = f.block_by_name("join").unwrap();
@@ -338,7 +389,7 @@ mod tests {
                ret
              }",
         );
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let uni_idx = uni
             .iter()
             .find(|(_, e)| f.display_expr(*e) == "a + b")

@@ -53,7 +53,7 @@ mod tests {
         .unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let plan = busy_plan(&f, &uni, &local, &ga);
         // The only insertion is at the very top of entry.
         assert!(plan.entry_insert.contains(0));
@@ -94,7 +94,7 @@ mod tests {
         .unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let plan = busy_plan(&f, &uni, &local, &ga);
         let idx = uni
             .iter()

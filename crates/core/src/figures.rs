@@ -144,7 +144,7 @@ mod tests {
         let f = running_example();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let blocks = RunningExampleBlocks::of(&f);
         let ab = expr_index(&f, &uni, "a + b");
         let dec = expr_index(&f, &uni, "i - 1");
@@ -162,7 +162,7 @@ mod tests {
         assert!(bcm.edge_inserts[back_edge.index()].contains(dec));
 
         // LCM inserts a+b only on the skip arm and leaves i-1 alone.
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         assert!(lazy.plan.entry_insert.is_empty());
         let skip_out = ga.edges.outgoing(blocks.skip)[0];
         assert!(lazy.plan.edge_inserts[skip_out.index()].contains(ab));
@@ -184,14 +184,14 @@ mod tests {
         let f = running_example();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 
         let busy = apply_plan(&f, &uni, &local, &busy_plan(&f, &uni, &local, &ga));
         let lazy = apply_plan(
             &f,
             &uni,
             &local,
-            &lazy_edge_plan(&f, &uni, &local, &ga).plan,
+            &lazy_edge_plan(&f, &uni, &local, &ga).unwrap().plan,
         );
         let busy_points = live_points(&busy.function, &busy.temp_vars());
         let lazy_points = live_points(&lazy.function, &lazy.temp_vars());
@@ -204,8 +204,8 @@ mod tests {
     #[test]
     fn isolation_suppresses_the_tail_insertion() {
         let f = running_example();
-        let alcm = lazy_node_plan(&f, false);
-        let lcm = lazy_node_plan(&f, true);
+        let alcm = lazy_node_plan(&f, false).unwrap();
+        let lcm = lazy_node_plan(&f, true).unwrap();
         let g = &lcm.function;
         let uni = &lcm.universe;
         let cd = expr_index(g, uni, "c | d");

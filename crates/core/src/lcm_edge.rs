@@ -29,7 +29,7 @@
 //! two formulations is asserted in tests and validated on random corpora.
 
 use lcm_dataflow::{
-    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, Transfer,
+    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, SolverDiverged, Transfer,
 };
 use lcm_ir::Function;
 
@@ -73,6 +73,7 @@ pub fn later_problem<'f>(
         })
         .collect();
     Problem::new(f, uni.len(), Direction::Forward, Confluence::Must, transfer)
+        .with_name("later")
         .with_boundary(ga.earliest_entry.clone())
         .with_edge_gen(ga.edges.clone(), ga.earliest.clone())
 }
@@ -83,9 +84,9 @@ pub fn lazy_edge_plan(
     uni: &ExprUniverse,
     local: &LocalPredicates,
     ga: &GlobalAnalyses,
-) -> LazyEdgeResult {
-    let solution = later_problem(f, uni, local, ga).solve();
-    derive_placement(f, uni, local, ga, solution)
+) -> Result<LazyEdgeResult, SolverDiverged> {
+    let solution = later_problem(f, uni, local, ga).try_solve()?;
+    Ok(derive_placement(f, uni, local, ga, solution))
 }
 
 /// The fused-pipeline variant of [`lazy_edge_plan`]: the delay analysis
@@ -97,9 +98,9 @@ pub fn lazy_edge_plan_in(
     local: &LocalPredicates,
     ga: &GlobalAnalyses,
     view: &CfgView,
-) -> LazyEdgeResult {
-    let solution = later_problem(f, uni, local, ga).solve_worklist_in(view);
-    derive_placement(f, uni, local, ga, solution)
+) -> Result<LazyEdgeResult, SolverDiverged> {
+    let solution = later_problem(f, uni, local, ga).try_solve_worklist_in(view)?;
+    Ok(derive_placement(f, uni, local, ga, solution))
 }
 
 fn derive_placement(
@@ -165,8 +166,8 @@ mod tests {
         let f = parse_function(text).unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         (f, uni, local, ga, lazy)
     }
 

@@ -40,7 +40,7 @@
 //! computations (property-tested); the placements differ only in
 //! representation (block entry/exit vs. edge).
 
-use lcm_dataflow::{BitSet, CfgView, SolveStats};
+use lcm_dataflow::{BitSet, CfgView, SolveStats, SolverDiverged};
 use lcm_ir::{graph, Function};
 
 use crate::analyses::GlobalAnalyses;
@@ -81,7 +81,15 @@ pub struct LazyNodeResult {
 /// `f`. With `with_isolation` false the ISOLATED pruning is skipped — the
 /// paper's "ALCM" ablation, still computationally optimal but littering
 /// count-neutral insertions.
-pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
+///
+/// The hand-rolled DELAY and ISOLATED greatest fixpoints strictly shrink
+/// their tracked bit tables on every accepted sweep, so a lattice-height
+/// sweep bound (`bits + 2`) detects corrupted, non-converging predicate
+/// tables as [`SolverDiverged`] instead of spinning.
+pub fn lazy_node_plan(
+    f: &Function,
+    with_isolation: bool,
+) -> Result<LazyNodeResult, SolverDiverged> {
     let mut split = f.clone();
     let outcome = graph::split_critical_edges(&mut split);
     let universe = ExprUniverse::of(&split);
@@ -89,7 +97,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     // One shared view: orderings and adjacency for the framework solves
     // (inside `compute_in`) and for the hand-rolled DELAY/ISOLATED sweeps.
     let view = CfgView::new(&split);
-    let ga = GlobalAnalyses::compute_in(&split, &universe, &local, &view);
+    let ga = GlobalAnalyses::compute_in(&split, &universe, &local, &view)?;
     let n = split.num_blocks();
     let entry = split.entry();
     let words = universe.len().div_ceil(64) as u64;
@@ -130,10 +138,17 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     }
 
     // DELAY (mutual N/X fixpoint, greatest solution, forward sweeps).
+    let delay_bound = 2 * n * universe.len() + 2;
     let mut delay_stats = SolveStats::new();
     let mut delay: Vec<(BitSet, BitSet)> = vec![(universe.full_set(), universe.full_set()); n];
     delay[entry.index()].0 = earliest[entry.index()].0.clone();
     loop {
+        if delay_stats.iterations >= delay_bound {
+            return Err(SolverDiverged {
+                analysis: "lcm-node-delay",
+                sweeps: delay_bound,
+            });
+        }
         delay_stats.iterations += 1;
         let mut changed = false;
         for &b in view.rpo() {
@@ -183,9 +198,16 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
     }
 
     // ISOLATED (backward greatest fixpoint for the X side; N side derived).
+    let isolated_bound = n * universe.len() + 2;
     let mut isolated_stats = SolveStats::new();
     let mut x_iso = vec![universe.full_set(); n];
     loop {
+        if isolated_stats.iterations >= isolated_bound {
+            return Err(SolverDiverged {
+                analysis: "lcm-node-isolated",
+                sweeps: isolated_bound,
+            });
+        }
         isolated_stats.iterations += 1;
         let mut changed = false;
         for &b in view.postorder() {
@@ -251,7 +273,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
         plan.block_bottom_inserts[bi] = bottom;
     }
 
-    LazyNodeResult {
+    Ok(LazyNodeResult {
         function: split,
         universe,
         local,
@@ -263,7 +285,7 @@ pub fn lazy_node_plan(f: &Function, with_isolation: bool) -> LazyNodeResult {
         edges_split: outcome.len(),
         delay_stats,
         isolated_stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -289,7 +311,7 @@ mod tests {
     #[test]
     fn node_lcm_covers_both_arms() {
         let f = parse_function(DIAMOND).unwrap();
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         let g = &res.function;
         let l = g.block_by_name("l").unwrap();
         let r = g.block_by_name("r").unwrap();
@@ -338,7 +360,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         let g = &res.function;
         let idx = res
             .universe
@@ -374,9 +396,9 @@ mod tests {
              }",
         )
         .unwrap();
-        let with = lazy_node_plan(&f, true);
+        let with = lazy_node_plan(&f, true).unwrap();
         assert_eq!(with.plan.num_insertions(), 0);
-        let without = lazy_node_plan(&f, false);
+        let without = lazy_node_plan(&f, false).unwrap();
         assert_eq!(without.plan.num_insertions(), 1, "ALCM inserts blindly");
         // Even under ALCM the rewriter produces a correct program.
         let r = apply_plan(
@@ -405,7 +427,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         assert!(res.edges_split > 0);
         assert!(lcm_ir::graph::critical_edges(&res.function).is_empty());
         lcm_ir::verify(&res.function).unwrap();
@@ -436,7 +458,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         let g = &res.function;
         let join = g.block_by_name("join").unwrap();
         let idx = res
@@ -449,7 +471,7 @@ mod tests {
         assert!(res.isolated[join.index()].0.contains(idx));
         assert!(!res.plan.block_top_inserts[join.index()].contains(idx));
         // ALCM (no isolation) would insert there.
-        let alcm = lazy_node_plan(&f, false);
+        let alcm = lazy_node_plan(&f, false).unwrap();
         let ajoin = alcm.function.block_by_name("join").unwrap();
         assert!(alcm.plan.block_top_inserts[ajoin.index()].contains(idx));
     }

@@ -42,13 +42,17 @@
 //!        ret
 //!      }",
 //! )?;
-//! let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+//! let lazy = optimize(&f, PreAlgorithm::LazyEdge)?;
 //! // One insertion (on the right arm), one deletion (at the join).
 //! assert_eq!(lazy.transform.stats.insertions, 1);
 //! assert_eq!(lazy.transform.stats.deletions, 1);
 //! lcm_ir::verify(&lazy.function)?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! For a pass boundary with the paper invariants re-checked, use
+//! [`optimize_checked`], which validates the result at the requested
+//! [`validate::ValidationLevel`] before returning it.
 
 mod analyses;
 mod bcm;
@@ -66,6 +70,7 @@ pub mod report;
 pub mod safety;
 pub mod strength;
 pub mod transform;
+pub mod validate;
 
 pub use analyses::{
     anticipability, anticipability_problem, availability, availability_problem,
@@ -79,8 +84,53 @@ pub use pipeline::{lcm, LcmPipeline, PipelineStats};
 pub use predicates::LocalPredicates;
 pub use transform::{apply_plan, PlacementPlan, TransformResult};
 pub use universe::ExprUniverse;
+pub use validate::{ValidationError, ValidationLevel, ValidationReport};
 
+use std::error::Error;
+use std::fmt;
+
+use lcm_dataflow::SolverDiverged;
 use lcm_ir::Function;
+
+/// Why a PRE pass could not produce (or could not stand behind) a result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PipelineError {
+    /// An analysis exceeded its derived sweep bound — the symptom of
+    /// corrupted transfer functions or a non-monotone lattice.
+    Solver(SolverDiverged),
+    /// The pass produced a result, but it violates a paper invariant.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Solver(e) => e.fmt(f),
+            PipelineError::Validation(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Solver(e) => Some(e),
+            PipelineError::Validation(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolverDiverged> for PipelineError {
+    fn from(e: SolverDiverged) -> Self {
+        PipelineError::Solver(e)
+    }
+}
+
+impl From<ValidationError> for PipelineError {
+    fn from(e: ValidationError) -> Self {
+        PipelineError::Validation(e)
+    }
+}
 
 /// The PRE algorithms this crate implements.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -138,6 +188,10 @@ pub struct Optimized {
     pub function: Function,
     /// The rewriting outcome (insertion/deletion counters, temps).
     pub transform: TransformResult,
+    /// The placement plan the rewriting realised, for post-hoc auditing
+    /// ([`validate::validate_optimized`] checks it against the paper's
+    /// admissibility criterion).
+    pub plan: PlacementPlan,
     /// The input the plan was computed for — the original function, except
     /// for the node algorithms where it is the critical-edge-split copy.
     pub input: Function,
@@ -149,24 +203,30 @@ pub struct Optimized {
 /// rewriting. No clean-up passes are run; compose with
 /// [`passes::copy_propagation`] and [`passes::dce`] for a full pipeline
 /// (or use [`optimize_pipeline`]).
-pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Optimized {
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Solver`] if any analysis exceeds its derived
+/// sweep bound (possible only with corrupted transfer functions).
+pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, PipelineError> {
     match algorithm {
         PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => {
-            let res = lazy_node_plan(f, algorithm == PreAlgorithm::LazyNode);
+            let res = lazy_node_plan(f, algorithm == PreAlgorithm::LazyNode)?;
             let transform = apply_plan(&res.function, &res.universe, &res.local, &res.plan);
-            Optimized {
+            Ok(Optimized {
                 function: transform.function.clone(),
                 transform,
+                plan: res.plan,
                 input: res.function,
                 algorithm,
-            }
+            })
         }
         _ => {
             let uni = ExprUniverse::of(f);
             let local = LocalPredicates::compute(f, &uni);
             let plan = match algorithm {
                 PreAlgorithm::Busy => {
-                    let ga = GlobalAnalyses::compute(f, &uni, &local);
+                    let ga = GlobalAnalyses::compute(f, &uni, &local)?;
                     busy_plan(f, &uni, &local, &ga)
                 }
                 PreAlgorithm::LazyEdge => {
@@ -174,10 +234,10 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Optimized {
                     // reaches the same fixpoints as the per-analysis path;
                     // see tests/solver_equivalence.rs.
                     let view = lcm_dataflow::CfgView::new(f);
-                    let ga = GlobalAnalyses::compute_in(f, &uni, &local, &view);
-                    lazy_edge_plan_in(f, &uni, &local, &ga, &view).plan
+                    let ga = GlobalAnalyses::compute_in(f, &uni, &local, &view)?;
+                    lazy_edge_plan_in(f, &uni, &local, &ga, &view)?.plan
                 }
-                PreAlgorithm::MorelRenvoise => morel_renvoise_plan(f, &uni, &local).plan,
+                PreAlgorithm::MorelRenvoise => morel_renvoise_plan(f, &uni, &local)?.plan,
                 // GCSE's "plan" is the empty plan: the shared transform
                 // machinery then deletes exactly the occurrences whose value
                 // is available from existing computations on all paths.
@@ -185,27 +245,51 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Optimized {
                 PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => unreachable!(),
             };
             let transform = apply_plan(f, &uni, &local, &plan);
-            Optimized {
+            Ok(Optimized {
                 function: transform.function.clone(),
                 transform,
+                plan,
                 input: f.clone(),
                 algorithm,
-            }
+            })
         }
     }
+}
+
+/// [`optimize`] followed by [`validate::validate_optimized`] at `level`:
+/// the checked pass boundary. The returned report carries the validator's
+/// timings for `--emit stats`-style reporting.
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates a paper invariant.
+pub fn optimize_checked(
+    f: &Function,
+    algorithm: PreAlgorithm,
+    level: ValidationLevel,
+    seed: u64,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    let opt = optimize(f, algorithm)?;
+    let report = validate::validate_optimized(f, &opt, level, seed)?;
+    Ok((opt, report))
 }
 
 /// The full pipeline a compiler would run: LCSE, the chosen PRE algorithm,
 /// copy propagation, dead-code elimination, CFG simplification. Returns
 /// the final function.
-pub fn optimize_pipeline(f: &Function, algorithm: PreAlgorithm) -> Function {
+///
+/// # Errors
+///
+/// Propagates [`optimize`]'s solver errors.
+pub fn optimize_pipeline(f: &Function, algorithm: PreAlgorithm) -> Result<Function, PipelineError> {
     let mut pre = f.clone();
     passes::lcse(&mut pre);
-    let mut optimized = optimize(&pre, algorithm).function;
+    let mut optimized = optimize(&pre, algorithm)?.function;
     passes::copy_propagation(&mut optimized);
     passes::dce(&mut optimized);
     lcm_ir::simplify_cfg(&mut optimized);
-    optimized
+    Ok(optimized)
 }
 
 #[cfg(test)]
@@ -231,7 +315,7 @@ mod tests {
     fn every_algorithm_produces_a_valid_function() {
         let f = parse_function(DIAMOND).unwrap();
         for alg in PreAlgorithm::ALL {
-            let o = optimize(&f, alg);
+            let o = optimize(&f, alg).unwrap();
             lcm_ir::verify(&o.function).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
             assert_eq!(o.algorithm, alg);
         }
@@ -240,7 +324,7 @@ mod tests {
     #[test]
     fn pipeline_output_is_clean_and_equivalent() {
         let f = parse_function(DIAMOND).unwrap();
-        let g = optimize_pipeline(&f, PreAlgorithm::LazyEdge);
+        let g = optimize_pipeline(&f, PreAlgorithm::LazyEdge).unwrap();
         lcm_ir::verify(&g).unwrap();
         for c in [0, 1] {
             let inputs = lcm_interp::Inputs::new()

@@ -23,7 +23,7 @@
 //! the paper's edge/node placement handles. The complexity experiment (C1)
 //! additionally measures its costlier convergence.
 
-use lcm_dataflow::{BitSet, SolveStats};
+use lcm_dataflow::{BitSet, SolveStats, SolverDiverged};
 use lcm_ir::{graph, Function};
 
 use crate::analyses;
@@ -51,13 +51,19 @@ pub struct MorelRenvoiseResult {
 }
 
 /// Runs Morel–Renvoise PRE on `f`.
+///
+/// The bidirectional `PPIN`/`PPOUT` system is solved as a greatest
+/// fixpoint: every accepted sweep strictly shrinks at least one of the
+/// `2·n·|universe|` tracked bits, so `2·n·|universe| + 2` sweeps bound any
+/// monotone run. Exceeding the bound (possible only with corrupted
+/// predicates) reports [`SolverDiverged`] instead of spinning.
 pub fn morel_renvoise_plan(
     f: &Function,
     uni: &ExprUniverse,
     local: &LocalPredicates,
-) -> MorelRenvoiseResult {
-    let avail = analyses::availability(f, uni, local);
-    let pavail = analyses::partial_availability(f, uni, local);
+) -> Result<MorelRenvoiseResult, SolverDiverged> {
+    let avail = analyses::availability(f, uni, local)?;
+    let pavail = analyses::partial_availability(f, uni, local)?;
     let mut stats = avail.stats;
     stats += pavail.stats;
 
@@ -73,7 +79,18 @@ pub fn morel_renvoise_plan(
     ppin[f.entry().index()] = uni.empty_set();
     ppout[f.exit().index()] = uni.empty_set();
 
+    // `stats.iterations` already counts the prerequisite availability
+    // sweeps, so the divergence bound tracks its own counter.
+    let sweep_bound = 2 * n * uni.len() + 2;
+    let mut sweeps = 0usize;
     loop {
+        if sweeps >= sweep_bound {
+            return Err(SolverDiverged {
+                analysis: "morel-renvoise",
+                sweeps: sweep_bound,
+            });
+        }
+        sweeps += 1;
         stats.iterations += 1;
         let mut changed = false;
         for &b in &order {
@@ -132,13 +149,13 @@ pub fn morel_renvoise_plan(
         delete.push(d);
     }
 
-    MorelRenvoiseResult {
+    Ok(MorelRenvoiseResult {
         ppin,
         ppout,
         plan,
         delete,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +190,7 @@ mod tests {
     #[test]
     fn mr_handles_the_plain_diamond() {
         let (f, uni, local) = setup(DIAMOND);
-        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let mr = morel_renvoise_plan(&f, &uni, &local).unwrap();
         let r = f.block_by_name("r").unwrap();
         let join = f.block_by_name("join").unwrap();
         // Insertion at the end of the empty arm; join occurrence deleted.
@@ -203,7 +220,7 @@ mod tests {
              }",
         ] {
             let (f, uni, local) = setup(text);
-            let mr = morel_renvoise_plan(&f, &uni, &local);
+            let mr = morel_renvoise_plan(&f, &uni, &local).unwrap();
             let tav = temp_availability(&f, &uni, &local, &mr.plan);
             let from_tav = deletions(&f, &uni, &local, &mr.plan, &tav);
             assert_eq!(from_tav, mr.delete, "mismatch for {}", f.name);
@@ -229,14 +246,14 @@ mod tests {
               ret
             }";
         let (f, uni, local) = setup(text);
-        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let mr = morel_renvoise_plan(&f, &uni, &local).unwrap();
         let join = f.block_by_name("join").unwrap();
         assert!(
             !mr.delete[join.index()].contains(0),
             "MR should not handle the critical-edge diamond"
         );
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         assert!(
             lazy.delete[join.index()].contains(0),
             "LCM must handle it by edge splitting"
@@ -253,7 +270,7 @@ mod tests {
         let f = lcm_cfggen::shapes::ladder(6);
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let mr = morel_renvoise_plan(&f, &uni, &local).unwrap();
         assert!(mr.stats.iterations >= 2);
     }
 }

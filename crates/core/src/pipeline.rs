@@ -29,7 +29,7 @@
 
 use std::fmt;
 
-use lcm_dataflow::{CfgView, SolveStats};
+use lcm_dataflow::{CfgView, SolveStats, SolverDiverged};
 use lcm_ir::Function;
 
 use crate::analyses::GlobalAnalyses;
@@ -86,24 +86,30 @@ pub struct LcmPipeline {
 /// Runs the full fused LCM analysis pipeline over `f` (see the module
 /// documentation). This is the default path [`optimize`](crate::optimize)
 /// takes for [`PreAlgorithm::LazyEdge`](crate::PreAlgorithm::LazyEdge).
-pub fn lcm(f: &Function) -> LcmPipeline {
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if any of the three analyses exceeds its
+/// derived sweep bound — impossible for well-formed transfer functions,
+/// and exactly the symptom of corrupted ones.
+pub fn lcm(f: &Function) -> Result<LcmPipeline, SolverDiverged> {
     let view = CfgView::new(f);
     let universe = ExprUniverse::of(f);
     let local = LocalPredicates::compute(f, &universe);
-    let analyses = GlobalAnalyses::compute_in(f, &universe, &local, &view);
-    let lazy = lazy_edge_plan_in(f, &universe, &local, &analyses, &view);
+    let analyses = GlobalAnalyses::compute_in(f, &universe, &local, &view)?;
+    let lazy = lazy_edge_plan_in(f, &universe, &local, &analyses, &view)?;
     let stats = PipelineStats {
         avail: analyses.avail.stats,
         antic: analyses.antic.stats,
         later: lazy.stats,
     };
-    LcmPipeline {
+    Ok(LcmPipeline {
         universe,
         local,
         analyses,
         lazy,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -129,9 +135,9 @@ mod tests {
     #[test]
     fn fused_matches_seed_path() {
         let f = parse_function(DIAMOND).unwrap();
-        let p = lcm(&f);
-        let ga = GlobalAnalyses::compute(&f, &p.universe, &p.local);
-        let lazy = lazy_edge_plan(&f, &p.universe, &p.local, &ga);
+        let p = lcm(&f).unwrap();
+        let ga = GlobalAnalyses::compute(&f, &p.universe, &p.local).unwrap();
+        let lazy = lazy_edge_plan(&f, &p.universe, &p.local, &ga).unwrap();
         assert_eq!(p.analyses.avail.ins, ga.avail.ins);
         assert_eq!(p.analyses.antic.ins, ga.antic.ins);
         assert_eq!(p.analyses.earliest, ga.earliest);
@@ -143,7 +149,7 @@ mod tests {
     #[test]
     fn stats_cover_all_three_analyses() {
         let f = parse_function(DIAMOND).unwrap();
-        let p = lcm(&f);
+        let p = lcm(&f).unwrap();
         // Worklist solves leave `iterations` at zero but always visit nodes.
         for s in [p.stats.avail, p.stats.antic, p.stats.later] {
             assert_eq!(s.iterations, 0);

@@ -12,7 +12,7 @@
 //! let f = parse_function("fn r {\nentry:\n  x = a + b\n  ret\n}")?;
 //! let uni = ExprUniverse::of(&f);
 //! let local = LocalPredicates::compute(&f, &uni);
-//! let ga = GlobalAnalyses::compute(&f, &uni, &local);
+//! let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 //! let table = report::safety_table(&f, &uni, &local, &ga);
 //! assert!(table.contains("ANTLOC"));
 //! assert!(table.contains("a + b"));
@@ -205,6 +205,28 @@ pub fn stats_table(stats: &PipelineStats) -> String {
     out
 }
 
+/// Renders a [`ValidationReport`](crate::ValidationReport) as one compact
+/// table row set: which tier ran, how many checks, and where the time
+/// went. Appended to `lcmopt --emit stats` when validation is on.
+pub fn validation_table(report: &crate::ValidationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>6} | {:>12} | {:>12} | {:>7}",
+        "validate", "checks", "static us", "diff us", "inputs"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>6} | {:>12} | {:>12} | {:>7}",
+        report.level.name(),
+        report.checks_run,
+        report.static_nanos / 1_000,
+        report.differential_nanos / 1_000,
+        report.inputs_sampled
+    );
+    out
+}
+
 /// Renders deletion sets, one line per affected block.
 pub fn delete_report(f: &Function, uni: &ExprUniverse, delete: &[lcm_dataflow::BitSet]) -> String {
     let mut out = String::new();
@@ -247,8 +269,8 @@ mod tests {
         let f = parse_function(DIAMOND).unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
 
         let table = safety_table(&f, &uni, &local, &ga);
         assert!(table.contains("join"));
@@ -268,7 +290,7 @@ mod tests {
     #[test]
     fn node_cascade_table_prints_all_pairs() {
         let f = parse_function(DIAMOND).unwrap();
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         let table = node_cascade_table(&res);
         assert!(table.contains("N-DELAY / X-DELAY"));
         assert!(table.contains("N-ISOLATED"));
@@ -280,7 +302,7 @@ mod tests {
     #[test]
     fn stats_table_totals_sum_the_analyses() {
         let f = parse_function(DIAMOND).unwrap();
-        let p = crate::lcm(&f);
+        let p = crate::lcm(&f).unwrap();
         let table = stats_table(&p.stats);
         assert!(table.contains("avail"), "{table}");
         assert!(table.contains("total"), "{table}");
@@ -300,7 +322,7 @@ mod tests {
         let f = parse_function("fn e {\nentry:\n  obs x\n  ret\n}").unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         assert!(earliest_report(&f, &uni, &ga).is_empty());
         let plan = crate::PlacementPlan::empty("test", &f, &uni);
         assert!(plan_report(&f, &uni, &plan).is_empty());

@@ -261,7 +261,7 @@ mod tests {
         .unwrap();
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let mut plan = PlacementPlan::empty("test", &f, &uni);
         // Inserting a + b at the entry is unsafe: the l path kills a before
         // ever computing a + b with its entry value.

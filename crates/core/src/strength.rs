@@ -251,8 +251,10 @@ pub fn strength_reduce(f: &Function) -> StrengthResult {
     let cands = candidates_of(f);
     let uni = ExprUniverse::from_exprs(cands.iter().map(|c| c.repr()));
     let locals = sr_local_predicates(f, &cands);
-    let ga = GlobalAnalyses::compute(f, &uni, &locals.preds);
-    let lazy = lazy_edge_plan(f, &uni, &locals.preds, &ga);
+    let ga = GlobalAnalyses::compute(f, &uni, &locals.preds)
+        .expect("strength-reduction analyses converge on well-formed input");
+    let lazy = lazy_edge_plan(f, &uni, &locals.preds, &ga)
+        .expect("strength-reduction delay analysis converges on well-formed input");
     apply_sr_plan(f, &cands, &uni, &locals, &lazy.plan)
 }
 

@@ -58,7 +58,9 @@ pub fn var_liveness(f: &Function) -> Solution {
             t
         })
         .collect();
-    Problem::new(f, nvars, Direction::Backward, Confluence::May, transfer).solve()
+    Problem::new(f, nvars, Direction::Backward, Confluence::May, transfer)
+        .with_name("var-liveness")
+        .solve()
 }
 
 /// Definite assignment: forward must-analysis over all symbols.
@@ -80,7 +82,9 @@ pub fn definitely_assigned(f: &Function) -> Solution {
             t
         })
         .collect();
-    Problem::new(f, nvars, Direction::Forward, Confluence::Must, transfer).solve()
+    Problem::new(f, nvars, Direction::Forward, Confluence::Must, transfer)
+        .with_name("definitely-assigned")
+        .solve()
 }
 
 #[cfg(test)]

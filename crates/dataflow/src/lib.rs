@@ -53,6 +53,7 @@
 //! ```
 
 mod bitset;
+mod error;
 mod problem;
 mod solver;
 mod stats;
@@ -61,6 +62,7 @@ mod view;
 pub mod analyses;
 
 pub use bitset::BitSet;
+pub use error::{ShapeMismatch, SolverDiverged};
 pub use problem::{Confluence, Direction, Problem, Solution, Transfer};
 pub use stats::SolveStats;
 pub use view::CfgView;

@@ -5,11 +5,38 @@ use std::collections::VecDeque;
 use lcm_ir::BlockId;
 
 use crate::bitset::BitSet;
+use crate::error::SolverDiverged;
 use crate::problem::{Confluence, Direction, Problem, Solution};
 use crate::stats::SolveStats;
 use crate::view::CfgView;
 
 impl Problem<'_> {
+    /// The round-robin sweep budget: the CFG's retreating-edge count (an
+    /// upper bound on its loop-connectedness `d`) plus a margin over the
+    /// classical `d + 2` convergence bound for rapid frameworks, unless
+    /// overridden by [`with_sweep_bound`](Self::with_sweep_bound). A honest
+    /// monotone gen/kill problem always converges within this budget; only
+    /// corrupted or non-monotone systems exhaust it.
+    fn round_robin_bound(&self, view: &CfgView) -> usize {
+        self.sweep_bound
+            .unwrap_or_else(|| view.retreating_edges() + 4)
+    }
+
+    /// The worklist pop budget. The worklist has no sweep structure, so the
+    /// budget comes from the lattice-height argument instead: under a
+    /// monotone transfer each block's output side changes at most
+    /// `nbits + 1` times (once per bit plus the first application), and
+    /// every change re-enqueues at most its dependents — so total pops are
+    /// bounded by `n + (nbits + 2)·(E + 1)` with room to spare. An explicit
+    /// [`with_sweep_bound`](Self::with_sweep_bound) of `s` is interpreted as
+    /// `s` whole sweeps, i.e. `s · n` pops.
+    fn worklist_bound(&self, view: &CfgView) -> usize {
+        match self.sweep_bound {
+            Some(s) => s * view.num_blocks().max(1),
+            None => view.num_blocks() + (self.nbits + 2) * (view.num_edges() + 1) + 8,
+        }
+    }
+
     /// Solves by round-robin iteration over reverse postorder (forward
     /// problems) or postorder (backward problems) until a full sweep changes
     /// nothing. `stats.iterations` counts the sweeps.
@@ -17,8 +44,25 @@ impl Problem<'_> {
     /// Computes a fresh [`CfgView`] for the function; when running several
     /// analyses over one CFG, build the view once and use
     /// [`solve_in`](Self::solve_in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration exceeds its sweep budget (impossible for a
+    /// monotone problem); [`try_solve`](Self::try_solve) reports that as a
+    /// [`SolverDiverged`] instead.
     pub fn solve(&self) -> Solution {
-        self.solve_in(&CfgView::new(self.fun))
+        self.try_solve().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`solve`](Self::solve): returns [`SolverDiverged`] instead of
+    /// panicking when the sweep budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if the fixpoint iteration exceeds the
+    /// sweep budget (see [`with_sweep_bound`](Self::with_sweep_bound)).
+    pub fn try_solve(&self) -> Result<Solution, SolverDiverged> {
+        self.try_solve_in(&CfgView::new(self.fun))
     }
 
     /// Like [`solve`](Self::solve), but reuses a precomputed [`CfgView`].
@@ -30,14 +74,37 @@ impl Problem<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if `view` was built for a different-shaped function.
+    /// Panics if `view` was built for a different-shaped function, or if
+    /// the sweep budget is exhausted.
     pub fn solve_in(&self, view: &CfgView) -> Solution {
+        self.try_solve_in(view).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`solve_in`](Self::solve_in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if the fixpoint iteration exceeds the
+    /// sweep budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function (that is
+    /// a structural misuse of the API, not a data-dependent failure).
+    pub fn try_solve_in(&self, view: &CfgView) -> Result<Solution, SolverDiverged> {
         let mut state = State::new(self, view);
         let order = match self.direction {
             Direction::Forward => view.rpo(),
             Direction::Backward => view.postorder(),
         };
+        let bound = self.round_robin_bound(view);
         loop {
+            if state.stats.iterations >= bound {
+                return Err(SolverDiverged {
+                    analysis: self.name,
+                    sweeps: bound,
+                });
+            }
             state.stats.iterations += 1;
             let mut changed = false;
             for &b in order {
@@ -47,7 +114,7 @@ impl Problem<'_> {
                 break;
             }
         }
-        state.into_solution()
+        Ok(state.into_solution())
     }
 
     /// Solves with a FIFO worklist seeded in depth-first order. Produces the
@@ -58,8 +125,23 @@ impl Problem<'_> {
     /// Computes a fresh [`CfgView`] for the function; when running several
     /// analyses over one CFG, build the view once and use
     /// [`solve_worklist_in`](Self::solve_worklist_in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pop budget is exhausted (impossible for a monotone
+    /// problem); [`try_solve_worklist`](Self::try_solve_worklist) reports
+    /// that as a [`SolverDiverged`] instead.
     pub fn solve_worklist(&self) -> Solution {
-        self.solve_worklist_in(&CfgView::new(self.fun))
+        self.try_solve_worklist().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`solve_worklist`](Self::solve_worklist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if the propagation exceeds its pop budget.
+    pub fn try_solve_worklist(&self) -> Result<Solution, SolverDiverged> {
+        self.try_solve_worklist_in(&CfgView::new(self.fun))
     }
 
     /// Like [`solve_worklist`](Self::solve_worklist), but reuses a
@@ -73,16 +155,42 @@ impl Problem<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if `view` was built for a different-shaped function.
+    /// Panics if `view` was built for a different-shaped function, or if
+    /// the pop budget is exhausted.
     pub fn solve_worklist_in(&self, view: &CfgView) -> Solution {
+        self.try_solve_worklist_in(view)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`solve_worklist_in`](Self::solve_worklist_in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if the propagation exceeds its pop budget
+    /// (reported in sweep-equivalents: pops divided by the block count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function (that is
+    /// a structural misuse of the API, not a data-dependent failure).
+    pub fn try_solve_worklist_in(&self, view: &CfgView) -> Result<Solution, SolverDiverged> {
         let mut state = State::new(self, view);
         let order = match self.direction {
             Direction::Forward => view.rpo(),
             Direction::Backward => view.postorder(),
         };
+        let bound = self.worklist_bound(view);
+        let mut pops = 0usize;
         let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
         let mut queued = vec![true; self.fun.num_blocks()];
         while let Some(b) = queue.pop_front() {
+            pops += 1;
+            if pops > bound {
+                return Err(SolverDiverged {
+                    analysis: self.name,
+                    sweeps: bound / self.fun.num_blocks().max(1),
+                });
+            }
             queued[b.index()] = false;
             if state.update(self, view, b) {
                 // Push the blocks whose input depends on b.
@@ -98,7 +206,7 @@ impl Problem<'_> {
                 }
             }
         }
-        state.into_solution()
+        Ok(state.into_solution())
     }
 }
 
@@ -486,6 +594,51 @@ mod tests {
             rr.stats.node_visits
         );
         assert!(wl.stats.word_ops <= rr.stats.word_ops);
+    }
+
+    #[test]
+    fn tight_sweep_bound_reports_divergence() {
+        let f = loop_fn();
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(2); f.num_blocks()];
+        transfer[body.index()].gen.insert(0);
+        let p = Problem::new(&f, 2, Direction::Forward, Confluence::May, transfer)
+            .with_name("tight")
+            .with_sweep_bound(1);
+        let err = p.try_solve().unwrap_err();
+        assert_eq!(err.analysis, "tight");
+        assert_eq!(err.sweeps, 1);
+        assert!(err.to_string().contains("tight"));
+        let err = p.try_solve_worklist().unwrap_err();
+        assert_eq!(err.analysis, "tight");
+    }
+
+    #[test]
+    fn derived_bound_is_generous_enough() {
+        // The default budget must never fire on an honest monotone problem,
+        // even around loops; and the solution must match the worklist's.
+        let f = loop_fn();
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(2); f.num_blocks()];
+        transfer[body.index()].gen.insert(0);
+        let p = Problem::new(&f, 2, Direction::Forward, Confluence::May, transfer);
+        let rr = p.try_solve().unwrap();
+        let wl = p.try_solve_worklist().unwrap();
+        assert_eq!(rr.ins, wl.ins);
+        let view = CfgView::new(&f);
+        assert!((rr.stats.iterations as usize) <= view.retreating_edges() + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn panicking_solver_reports_divergence_message() {
+        let f = loop_fn();
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(1); f.num_blocks()];
+        transfer[body.index()].gen.insert(0);
+        let p =
+            Problem::new(&f, 1, Direction::Forward, Confluence::May, transfer).with_sweep_bound(1);
+        let _ = p.solve();
     }
 
     #[test]

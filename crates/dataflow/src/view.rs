@@ -40,6 +40,8 @@ pub struct CfgView {
     preds: Vec<Vec<BlockId>>,
     succs: Vec<Vec<BlockId>>,
     num_blocks: usize,
+    num_edges: usize,
+    retreating_edges: usize,
 }
 
 impl CfgView {
@@ -48,13 +50,29 @@ impl CfgView {
         let postorder = graph::postorder(f);
         let mut rpo = postorder.clone();
         rpo.reverse();
-        let succs = f.block_ids().map(|b| f.succs(b).collect()).collect();
+        let succs: Vec<Vec<BlockId>> = f.block_ids().map(|b| f.succs(b).collect()).collect();
+        let mut pos = vec![usize::MAX; f.num_blocks()];
+        for (i, &b) in rpo.iter().enumerate() {
+            pos[b.index()] = i;
+        }
+        let mut num_edges = 0;
+        let mut retreating_edges = 0;
+        for &b in &rpo {
+            for s in &succs[b.index()] {
+                num_edges += 1;
+                if pos[s.index()] <= pos[b.index()] {
+                    retreating_edges += 1;
+                }
+            }
+        }
         CfgView {
             rpo,
             postorder,
             preds: f.preds(),
             succs,
             num_blocks: f.num_blocks(),
+            num_edges,
+            retreating_edges,
         }
     }
 
@@ -84,6 +102,24 @@ impl CfgView {
     /// The number of blocks in the snapshotted function.
     pub fn num_blocks(&self) -> usize {
         self.num_blocks
+    }
+
+    /// The number of CFG edges leaving reachable blocks.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The number of *retreating* edges — edges `u → v` with
+    /// `rpo(v) ≤ rpo(u)` (back edges and self loops; for reducible graphs
+    /// exactly the back edges). This upper-bounds the CFG's
+    /// loop-connectedness `d`, so `d + 2` order-respecting sweeps — the
+    /// Kam–Ullman convergence bound for rapid frameworks, which underlies
+    /// the paper's "as cheap as unidirectional analyses" claim — is itself
+    /// bounded by `retreating_edges() + 2`. The solvers use this to derive
+    /// the sweep budget behind
+    /// [`SolverDiverged`](crate::SolverDiverged).
+    pub fn retreating_edges(&self) -> usize {
+        self.retreating_edges
     }
 }
 
@@ -116,5 +152,28 @@ mod tests {
             assert_eq!(view.succs(b), f.succs(b).collect::<Vec<_>>().as_slice());
         }
         assert_eq!(view.num_blocks(), f.num_blocks());
+        // entry→a, entry→b, a→a, a→j, b→j; only the self loop retreats.
+        assert_eq!(view.num_edges(), 5);
+        assert_eq!(view.retreating_edges(), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_retreating_edges() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               jmp j
+             r:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&f);
+        assert_eq!(view.retreating_edges(), 0);
+        assert_eq!(view.num_edges(), 4);
     }
 }

@@ -1,0 +1,417 @@
+//! Seeded fault injection for the LCM pipeline.
+//!
+//! The validator in [`lcm_core::validate`] exists to catch exactly the
+//! failure modes a PRE implementation can develop: a corrupted fixpoint
+//! bit, an insertion dropped or duplicated between planning and
+//! materialisation, a mis-targeted edge split, a mangled terminator. This
+//! crate makes those failure modes *injectable* — each [`Fault`] is a
+//! deterministic corruptor over an [`Optimized`] result — and its test
+//! suite is the mutation harness: for every fault class, inject it and
+//! assert that [`validate_optimized`](lcm_core::validate::validate_optimized)
+//! rejects the result with the error the class predicts.
+//!
+//! Corruptors are seeded, never random: the same `(fault, seed)` pair
+//! produces the same corruption, so a failing run reproduces exactly.
+//!
+//! This crate is a test harness, not part of the optimizer: nothing in the
+//! pipeline depends on it.
+
+use lcm_core::Optimized;
+use lcm_ir::{BlockData, BlockId, Instr, Rvalue, Terminator, Var};
+
+/// One class of seeded corruption, modelling a distinct implementation
+/// bug in a PRE pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Flip a bit of the placement plan: claim an insertion on the
+    /// virtual entry edge that the analyses never justified. Models a
+    /// corrupted fixpoint word. Caught by the admissibility check
+    /// (`INSERT ⊆ ANTIN ∪ AVOUT`) or, for the edge formulation, the
+    /// `INSERT ⊆ LATER` re-check — provided the flipped point is in fact
+    /// unsafe in the subject function.
+    FlipPlanBit,
+    /// Remove one materialised `t := e` insertion from the output while
+    /// leaving the plan and the rewriter's statistics untouched. Models a
+    /// lost insertion between planning and rewriting. Caught by definite
+    /// assignment or the insertion bookkeeping count.
+    DropInsertion,
+    /// Duplicate one materialised `t := e` insertion in place. Models a
+    /// double-applied plan entry. Caught by the insertion bookkeeping
+    /// count (and by eval-count regression under full validation).
+    DuplicateInsertion,
+    /// Re-route the predecessor of a materialised edge-split block
+    /// straight to the split's successor, orphaning the split block (and
+    /// the insertion it hosts). Models a split whose predecessor
+    /// retargeting was forgotten. Caught by structural re-verification
+    /// (`Unreachable`).
+    MistargetSplit,
+    /// Overwrite one block's terminator with a jump to a block id outside
+    /// the block table. Models plain CFG corruption. Caught by structural
+    /// re-verification (`DanglingTarget`).
+    CorruptTerminator,
+}
+
+impl Fault {
+    /// Every fault class, for exhaustive mutation loops.
+    pub const ALL: [Fault; 5] = [
+        Fault::FlipPlanBit,
+        Fault::DropInsertion,
+        Fault::DuplicateInsertion,
+        Fault::MistargetSplit,
+        Fault::CorruptTerminator,
+    ];
+
+    /// Stable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::FlipPlanBit => "flip-plan-bit",
+            Fault::DropInsertion => "drop-insertion",
+            Fault::DuplicateInsertion => "duplicate-insertion",
+            Fault::MistargetSplit => "mistarget-split",
+            Fault::CorruptTerminator => "corrupt-terminator",
+        }
+    }
+}
+
+/// Deterministic splitmix64 step — the harness's only entropy source.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Locations of the materialised temp-defining insertions in `opt`'s
+/// output, in block order.
+fn temp_def_sites(opt: &Optimized) -> Vec<(BlockId, usize)> {
+    let temps: Vec<Var> = opt.transform.temp_vars();
+    let mut sites = Vec::new();
+    for b in opt.function.block_ids() {
+        for (i, instr) in opt.function.block(b).instrs.iter().enumerate() {
+            if matches!(instr, Instr::Assign { dst, rv: Rvalue::Expr(_) }
+                        if temps.contains(dst))
+            {
+                sites.push((b, i));
+            }
+        }
+    }
+    sites
+}
+
+/// Replaces `old` with `new` in every arm of `term`, returning whether
+/// anything changed.
+fn retarget(term: &mut Terminator, old: BlockId, new: BlockId) -> bool {
+    match term {
+        Terminator::Jump(t) if *t == old => {
+            *t = new;
+            true
+        }
+        Terminator::Branch {
+            then_to, else_to, ..
+        } => {
+            let mut hit = false;
+            if *then_to == old {
+                *then_to = new;
+                hit = true;
+            }
+            if *else_to == old {
+                *else_to = new;
+                hit = true;
+            }
+            hit
+        }
+        _ => false,
+    }
+}
+
+/// Applies one seeded corruption to `opt` in place.
+///
+/// Returns `false` when the fault class does not apply to this result
+/// (e.g. dropping an insertion from a pass that inserted nothing) and
+/// `opt` is left untouched; `true` when the corruption landed.
+pub fn inject(opt: &mut Optimized, fault: Fault, seed: u64) -> bool {
+    let mut state = seed ^ 0x5EED_FA17_u64;
+    match fault {
+        Fault::FlipPlanBit => {
+            let uni_len = opt.plan.entry_insert.capacity();
+            if uni_len == 0 {
+                return false;
+            }
+            // Claim an entry insertion the analyses never produced.
+            let start = (splitmix64(&mut state) % uni_len as u64) as usize;
+            for off in 0..uni_len {
+                let bit = (start + off) % uni_len;
+                if !opt.plan.entry_insert.contains(bit) {
+                    opt.plan.entry_insert.insert(bit);
+                    return true;
+                }
+            }
+            false
+        }
+        Fault::DropInsertion => {
+            let sites = temp_def_sites(opt);
+            if sites.is_empty() {
+                return false;
+            }
+            let (b, i) = sites[(splitmix64(&mut state) % sites.len() as u64) as usize];
+            opt.function.block_mut(b).instrs.remove(i);
+            true
+        }
+        Fault::DuplicateInsertion => {
+            let sites = temp_def_sites(opt);
+            if sites.is_empty() {
+                return false;
+            }
+            let (b, i) = sites[(splitmix64(&mut state) % sites.len() as u64) as usize];
+            let dup = opt.function.block(b).instrs[i];
+            opt.function.block_mut(b).instrs.insert(i, dup);
+            true
+        }
+        Fault::MistargetSplit => {
+            let splits: Vec<BlockId> = opt
+                .function
+                .block_ids()
+                .filter(|&b| opt.function.block(b).name.contains(".split"))
+                .collect();
+            if splits.is_empty() {
+                return false;
+            }
+            let split = splits[(splitmix64(&mut state) % splits.len() as u64) as usize];
+            let Terminator::Jump(succ) = opt.function.block(split).term else {
+                return false;
+            };
+            let mut hit = false;
+            for b in opt.function.block_ids().collect::<Vec<_>>() {
+                if b != split && retarget(&mut opt.function.block_mut(b).term, split, succ) {
+                    hit = true;
+                }
+            }
+            hit
+        }
+        Fault::CorruptTerminator => {
+            let n = opt.function.num_blocks();
+            let b = BlockId::from_index((splitmix64(&mut state) % n as u64) as usize);
+            opt.function.block_mut(b).term = Terminator::Jump(BlockId::from_index(n + 7));
+            true
+        }
+    }
+}
+
+/// Appends an orphan block that jumps to the exit — the residue of a
+/// split whose predecessor was never retargeted, for subjects where no
+/// real split block exists. Always applicable.
+pub fn inject_orphan_block(opt: &mut Optimized) {
+    let exit = opt.function.exit();
+    let mut data = BlockData::new("orphan.split");
+    data.term = Terminator::Jump(exit);
+    opt.function.add_block(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_core::validate::{validate_optimized, ValidationError, ValidationLevel};
+    use lcm_core::{optimize, PreAlgorithm};
+    use lcm_ir::{parse_function, VerifyError};
+
+    const DIAMOND: &str = "fn d {
+        entry:
+          br c, l, r
+        l:
+          x = a + b
+          jmp join
+        r:
+          jmp join
+        join:
+          y = a + b
+          obs y
+          ret
+        }";
+
+    /// `a` is redefined on the left arm, so inserting `a + b` on the
+    /// virtual entry edge is inadmissible: the entry is not down-safe.
+    const KILLS: &str = "fn p {
+        entry:
+          br c, l, r
+        l:
+          a = 1
+          x = a + b
+          jmp j
+        r:
+          jmp j
+        j:
+          obs x
+          ret
+        }";
+
+    /// `entry -> join` is a critical edge, so the edge formulation must
+    /// materialise a split block to host its insertion.
+    const CRITICAL: &str = "fn crit {
+        entry:
+          br c, l, join
+        l:
+          x = a + b
+          jmp join
+        join:
+          y = a + b
+          obs y
+          ret
+        }";
+
+    fn optimized(src: &str, alg: PreAlgorithm) -> (lcm_ir::Function, Optimized) {
+        let f = parse_function(src).unwrap();
+        let opt = optimize(&f, alg).unwrap();
+        (f, opt)
+    }
+
+    #[test]
+    fn flipped_plan_bit_is_rejected() {
+        let (f, mut opt) = optimized(KILLS, PreAlgorithm::LazyEdge);
+        assert!(inject(&mut opt, Fault::FlipPlanBit, 11));
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::UnsafeInsertion(_) | ValidationError::InsertionNotInLater { .. }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn dropped_insertion_is_rejected() {
+        let (f, mut opt) = optimized(DIAMOND, PreAlgorithm::LazyEdge);
+        assert!(inject(&mut opt, Fault::DropInsertion, 5));
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::MaybeUnassigned(_) | ValidationError::InsertionBookkeeping { .. }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn duplicated_insertion_is_rejected() {
+        let (f, mut opt) = optimized(DIAMOND, PreAlgorithm::LazyEdge);
+        assert!(inject(&mut opt, Fault::DuplicateInsertion, 5));
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(err, ValidationError::InsertionBookkeeping { .. }),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn mistargeted_split_is_rejected() {
+        let (f, mut opt) = optimized(CRITICAL, PreAlgorithm::LazyEdge);
+        assert!(
+            inject(&mut opt, Fault::MistargetSplit, 5),
+            "expected a split block on the critical edge; blocks: {:?}",
+            opt.function
+                .block_ids()
+                .map(|b| opt.function.block(b).name.clone())
+                .collect::<Vec<_>>()
+        );
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::Structural {
+                    stage: "output",
+                    error: VerifyError::Unreachable(_),
+                }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn corrupted_terminator_is_rejected() {
+        let (f, mut opt) = optimized(DIAMOND, PreAlgorithm::LazyEdge);
+        assert!(inject(&mut opt, Fault::CorruptTerminator, 5));
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::Structural {
+                    stage: "output",
+                    error: VerifyError::DanglingTarget { .. },
+                }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn every_fault_class_is_caught_across_seeds_and_algorithms() {
+        // The exhaustive sweep: every applicable (fault, algorithm, seed)
+        // combination must be rejected by the validator. The subject is
+        // chosen per fault class so the corruption is always detectable.
+        for fault in Fault::ALL {
+            let src = match fault {
+                Fault::FlipPlanBit => KILLS,
+                Fault::MistargetSplit => CRITICAL,
+                _ => DIAMOND,
+            };
+            for alg in [
+                PreAlgorithm::Busy,
+                PreAlgorithm::LazyEdge,
+                PreAlgorithm::LazyNode,
+            ] {
+                for seed in 0..4u64 {
+                    let (f, mut opt) = optimized(src, alg);
+                    if !inject(&mut opt, fault, seed) {
+                        continue; // fault class not applicable to this pass
+                    }
+                    let res = validate_optimized(&f, &opt, ValidationLevel::Full, seed);
+                    assert!(
+                        res.is_err(),
+                        "{} survived {} (seed {seed})",
+                        fault.name(),
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orphan_block_is_rejected_even_without_real_splits() {
+        let (f, mut opt) = optimized(DIAMOND, PreAlgorithm::LazyEdge);
+        inject_orphan_block(&mut opt);
+        let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ValidationError::Structural {
+                    stage: "output",
+                    error: VerifyError::Unreachable(_),
+                }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for fault in Fault::ALL {
+            let src = if fault == Fault::MistargetSplit {
+                CRITICAL
+            } else {
+                DIAMOND
+            };
+            let (_, mut a) = optimized(src, PreAlgorithm::LazyEdge);
+            let (_, mut b) = optimized(src, PreAlgorithm::LazyEdge);
+            let ra = inject(&mut a, fault, 99);
+            let rb = inject(&mut b, fault, 99);
+            assert_eq!(ra, rb);
+            for blk in a.function.block_ids() {
+                assert_eq!(a.function.block(blk), b.function.block(blk));
+            }
+            assert_eq!(a.plan.entry_insert, b.plan.entry_insert);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The acceptance gate for the checked pipeline: every PRE pass, run over
+//! the seeded generator corpus, validates clean at the `full` tier —
+//! structural re-verification, plan admissibility, definite assignment,
+//! insertion bookkeeping, the LATER re-check and seeded differential
+//! execution all pass on every generated function.
+
+use lcm_cfggen::{corpus, GenOptions};
+use lcm_core::validate::{validate_optimized, ValidationLevel};
+use lcm_core::{optimize, PreAlgorithm};
+
+#[test]
+fn every_pass_validates_clean_across_the_corpus() {
+    let functions = corpus(0xC0FFEE, 12, &GenOptions::sized(10));
+    for (i, f) in functions.iter().enumerate() {
+        for alg in PreAlgorithm::ALL {
+            let opt = optimize(f, alg)
+                .unwrap_or_else(|e| panic!("{} diverged on corpus #{i}: {e}", alg.name()));
+            let report = validate_optimized(f, &opt, ValidationLevel::Full, 0xFADE + i as u64)
+                .unwrap_or_else(|e| panic!("{} invalid on corpus #{i}: {e}", alg.name()));
+            assert!(report.checks_run >= 5, "{} ran too few checks", alg.name());
+            assert_eq!(report.inputs_sampled, 4);
+        }
+    }
+}
+
+#[test]
+fn validation_cost_is_observable() {
+    // The report carries non-trivial timing for the tiers that ran.
+    let f = &corpus(7, 1, &GenOptions::sized(8))[0];
+    let opt = optimize(f, PreAlgorithm::LazyEdge).unwrap();
+    let fast = validate_optimized(f, &opt, ValidationLevel::Fast, 0).unwrap();
+    assert!(fast.static_nanos > 0);
+    assert_eq!(fast.differential_nanos, 0);
+    assert_eq!(fast.inputs_sampled, 0);
+    let full = validate_optimized(f, &opt, ValidationLevel::Full, 0).unwrap();
+    assert!(full.differential_nanos > 0);
+    assert!(full.checks_run > fast.checks_run);
+}

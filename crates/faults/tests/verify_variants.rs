@@ -1,0 +1,129 @@
+//! One targeted test per [`VerifyError`] variant, proving the validator's
+//! post-pass structural re-check fires on each class of CFG corruption.
+//!
+//! Each test optimizes a clean function, then mutates the *output* so
+//! that exactly the targeted invariant is violated, and asserts
+//! `validate_optimized` reports `Structural { stage: "output" }` with the
+//! matching variant.
+
+use lcm_core::validate::{validate_optimized, ValidationError, ValidationLevel};
+use lcm_core::{optimize, Optimized, PreAlgorithm};
+use lcm_ir::{parse_function, BlockData, BlockId, Function, Operand, Terminator, Var, VerifyError};
+
+const DIAMOND: &str = "fn d {
+    entry:
+      br c, l, r
+    l:
+      x = a + b
+      jmp join
+    r:
+      jmp join
+    join:
+      y = a + b
+      obs y
+      ret
+    }";
+
+fn subject() -> (Function, Optimized) {
+    let f = parse_function(DIAMOND).unwrap();
+    let opt = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
+    (f, opt)
+}
+
+fn expect_structural(f: &Function, opt: &Optimized) -> VerifyError {
+    match validate_optimized(f, opt, ValidationLevel::Fast, 0) {
+        Err(ValidationError::Structural {
+            stage: "output",
+            error,
+        }) => error,
+        other => panic!("expected an output structural error, got {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_target_fires() {
+    let (f, mut opt) = subject();
+    let n = opt.function.num_blocks();
+    let entry = opt.function.entry();
+    opt.function.block_mut(entry).term = Terminator::Jump(BlockId::from_index(n + 3));
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::DanglingTarget { .. }
+    ));
+}
+
+#[test]
+fn entry_has_predecessors_fires() {
+    let (f, mut opt) = subject();
+    // Loop the left arm back to the entry instead of the join.
+    let l = opt.function.block_by_name("l").unwrap();
+    let entry = opt.function.entry();
+    opt.function.block_mut(l).term = Terminator::Jump(entry);
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::EntryHasPredecessors(_)
+    ));
+}
+
+#[test]
+fn stray_exit_fires() {
+    let (f, mut opt) = subject();
+    let l = opt.function.block_by_name("l").unwrap();
+    opt.function.block_mut(l).term = Terminator::Exit;
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::StrayExit(_)
+    ));
+}
+
+#[test]
+fn exit_not_ret_fires() {
+    let (f, mut opt) = subject();
+    let exit = opt.function.exit();
+    opt.function.block_mut(exit).term = Terminator::Jump(exit);
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::ExitNotRet(_)
+    ));
+}
+
+#[test]
+fn unreachable_fires() {
+    let (f, mut opt) = subject();
+    let exit = opt.function.exit();
+    let mut orphan = BlockData::new("orphan");
+    orphan.term = Terminator::Jump(exit);
+    opt.function.add_block(orphan);
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::Unreachable(_)
+    ));
+}
+
+#[test]
+fn cannot_reach_exit_fires() {
+    let (f, mut opt) = subject();
+    // A reachable self-loop: the left arm spins forever.
+    let mut spin = BlockData::new("spin");
+    let spin_id = BlockId::from_index(opt.function.num_blocks());
+    spin.term = Terminator::Jump(spin_id);
+    let spin_id = opt.function.add_block(spin);
+    let l = opt.function.block_by_name("l").unwrap();
+    opt.function.block_mut(l).term = Terminator::Jump(spin_id);
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::CannotReachExit(_)
+    ));
+}
+
+#[test]
+fn unknown_var_fires() {
+    let (f, mut opt) = subject();
+    let join = opt.function.block_by_name("join").unwrap();
+    let bogus = Var(opt.function.symbols.len() as u32 + 12);
+    opt.function.push_observe(join, Operand::Var(bogus));
+    assert!(matches!(
+        expect_structural(&f, &opt),
+        VerifyError::UnknownVar(_)
+    ));
+}

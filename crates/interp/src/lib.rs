@@ -251,18 +251,86 @@ pub fn run_with(
     }
 }
 
+/// Both sides of an equivalence check ran out of fuel, so the verdict is
+/// indeterminate: neither trace is complete, and prefix agreement is
+/// necessary but not sufficient for equivalence.
+///
+/// Returned by [`observational_equivalence`]; the boolean-valued
+/// [`observationally_equivalent`] collapses this case to `prefix_agrees`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BothDiverged {
+    /// Whether the common prefix of the two (truncated) traces agreed.
+    pub prefix_agrees: bool,
+    /// Steps the first function executed before exhausting its fuel.
+    pub steps_lhs: u64,
+    /// Steps the second function executed before exhausting its fuel.
+    pub steps_rhs: u64,
+}
+
+impl std::fmt::Display for BothDiverged {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "equivalence indeterminate: both executions exhausted their fuel \
+             ({} and {} steps; common trace prefix {})",
+            self.steps_lhs,
+            self.steps_rhs,
+            if self.prefix_agrees {
+                "agrees"
+            } else {
+                "DISAGREES"
+            }
+        )
+    }
+}
+
+impl std::error::Error for BothDiverged {}
+
 /// Compares two functions on one input: their observation traces must agree
 /// on the longest prefix both produced, and if both complete they must agree
 /// exactly. This is the correctness oracle for Theorem T1: a sound
 /// transformation can change instruction counts but never what is observed.
+///
+/// When *both* executions run out of fuel the comparison is indeterminate;
+/// this function then reports mere prefix agreement. Callers that must not
+/// confuse "equivalent" with "ran out of evidence" (the pipeline validator)
+/// should use [`observational_equivalence`] instead.
 pub fn observationally_equivalent(f: &Function, g: &Function, inputs: &Inputs, fuel: u64) -> bool {
+    match observational_equivalence(f, g, inputs, fuel) {
+        Ok(equal) => equal,
+        Err(diverged) => diverged.prefix_agrees,
+    }
+}
+
+/// Like [`observationally_equivalent`], but distinguishes the indeterminate
+/// case: when both executions exhaust their fuel, no finite prefix can
+/// prove equivalence, so that outcome is a [`BothDiverged`] error instead of
+/// a boolean.
+///
+/// # Errors
+///
+/// Returns [`BothDiverged`] when neither execution completes within `fuel`.
+pub fn observational_equivalence(
+    f: &Function,
+    g: &Function,
+    inputs: &Inputs,
+    fuel: u64,
+) -> Result<bool, BothDiverged> {
     let a = run(f, inputs, fuel);
     let b = run(g, inputs, fuel);
     if a.completed() && b.completed() {
-        return a.trace == b.trace;
+        return Ok(a.trace == b.trace);
     }
     let n = a.trace.len().min(b.trace.len());
-    a.trace[..n] == b.trace[..n]
+    let prefix_agrees = a.trace[..n] == b.trace[..n];
+    if !a.completed() && !b.completed() {
+        return Err(BothDiverged {
+            prefix_agrees,
+            steps_lhs: a.steps,
+            steps_rhs: b.steps,
+        });
+    }
+    Ok(prefix_agrees)
 }
 
 /// Measures the *dynamic occupancy* of the variables in `vars` during a run
@@ -433,7 +501,48 @@ mod tests {
         .unwrap();
         for fuel in [10, 100, 1000] {
             assert!(observationally_equivalent(&f, &g, &Inputs::new(), fuel));
+            // The checked variant refuses to call a double-divergence
+            // "equivalent": it reports the indeterminacy as an error, while
+            // still recording that the prefixes agreed.
+            let err = observational_equivalence(&f, &g, &Inputs::new(), fuel).unwrap_err();
+            assert!(err.prefix_agrees);
+            assert!(err.steps_lhs > 0 && err.steps_rhs > 0);
+            assert!(err.to_string().contains("indeterminate"));
         }
+    }
+
+    #[test]
+    fn checked_equivalence_is_ok_when_either_side_completes() {
+        // One side completes: the verdict is determined by prefix agreement
+        // and must not be reported as indeterminate.
+        let f = parse_function(
+            "fn f {
+             entry:
+               obs k
+               ret
+             }",
+        )
+        .unwrap();
+        let g = parse_function(
+            "fn g {
+             entry:
+               jmp spin
+             spin:
+               obs k
+               br 1, spin, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(
+            observational_equivalence(&f, &g, &Inputs::new(), 10),
+            Ok(true)
+        );
+        assert_eq!(
+            observational_equivalence(&f, &f, &Inputs::new(), 1_000),
+            Ok(true)
+        );
     }
 
     #[test]

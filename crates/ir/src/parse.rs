@@ -31,18 +31,26 @@ use crate::expr::{BinOp, Expr, Operand, Rvalue, UnOp};
 use crate::function::{BlockData, BlockId, Function, SymbolTable};
 use crate::instr::{Instr, Terminator};
 
-/// An error produced by [`parse_function`], with a 1-based line number.
+/// An error produced by [`parse_function`], with a 1-based line and column.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based line on which the error occurred.
     pub line: usize,
+    /// 1-based column of the offending token; whole-line structural
+    /// problems (e.g. a missing terminator) anchor at the line's first
+    /// token, or column 1 when no token is at hand.
+    pub col: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error on line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -70,8 +78,9 @@ const SYMBOLS: [&str; 22] = [
     ":", "{", "}", "~",
 ];
 
-fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
+fn tokenize(line: &str, lineno: usize) -> Result<(Vec<Tok>, Vec<usize>), ParseError> {
     let mut toks = Vec::new();
+    let mut cols = Vec::new();
     let bytes = line.as_bytes();
     let mut i = 0;
     'outer: while i < bytes.len() {
@@ -94,6 +103,7 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
                 }
             }
             toks.push(Tok::Ident(line[start..i].to_string()));
+            cols.push(start + 1);
             continue;
         }
         if c.is_ascii_digit() {
@@ -104,24 +114,56 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
             let text = &line[start..i];
             let value = text.parse::<i64>().map_err(|_| ParseError {
                 line: lineno,
+                col: start + 1,
                 message: format!("integer literal `{text}` out of range"),
             })?;
             toks.push(Tok::Int(value));
+            cols.push(start + 1);
             continue;
         }
         for sym in SYMBOLS {
             if line[i..].starts_with(sym) {
                 toks.push(Tok::Sym(sym));
+                cols.push(i + 1);
                 i += sym.len();
                 continue 'outer;
             }
         }
         return Err(ParseError {
             line: lineno,
+            col: i + 1,
             message: format!("unexpected character `{c}`"),
         });
     }
-    Ok(toks)
+    Ok((toks, cols))
+}
+
+/// The source position of one tokenized line: its 1-based line number plus
+/// the 1-based starting column of each token, so errors can point at the
+/// offending token rather than just the line.
+#[derive(Clone, Copy)]
+struct Span<'a> {
+    line: usize,
+    cols: &'a [usize],
+}
+
+impl Span<'_> {
+    /// The column of token `at`, or just past the last token for
+    /// end-of-line errors.
+    fn col(&self, at: usize) -> usize {
+        self.cols
+            .get(at)
+            .copied()
+            .unwrap_or_else(|| self.cols.last().map_or(1, |c| c + 1))
+    }
+
+    fn err(&self, at: usize, message: String) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col(at),
+            message,
+        }
+    }
 }
 
 struct Ctx {
@@ -134,12 +176,8 @@ impl Ctx {
         &mut self,
         toks: &[Tok],
         at: &mut usize,
-        lineno: usize,
+        sp: Span<'_>,
     ) -> Result<Operand, ParseError> {
-        let err = |msg: String| ParseError {
-            line: lineno,
-            message: msg,
-        };
         match toks.get(*at) {
             Some(Tok::Ident(name)) => {
                 *at += 1;
@@ -154,31 +192,36 @@ impl Ctx {
                     *at += 2;
                     Ok(Operand::Const(i.wrapping_neg()))
                 }
-                _ => Err(err("expected integer after unary `-`".into())),
+                _ => Err(sp.err(*at, "expected integer after unary `-`".into())),
             },
-            other => Err(err(format!(
-                "expected operand, found {}",
-                other.map_or("end of line".to_string(), |t| t.to_string())
-            ))),
+            other => Err(sp.err(
+                *at,
+                format!(
+                    "expected operand, found {}",
+                    other.map_or("end of line".to_string(), |t| t.to_string())
+                ),
+            )),
         }
     }
 
-    fn label(&self, toks: &[Tok], at: &mut usize, lineno: usize) -> Result<BlockId, ParseError> {
+    fn label(&self, toks: &[Tok], at: &mut usize, sp: Span<'_>) -> Result<BlockId, ParseError> {
         match toks.get(*at) {
             Some(Tok::Ident(name)) => {
+                let found = self
+                    .labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| sp.err(*at, format!("unknown label `{name}`")));
                 *at += 1;
-                self.labels.get(name).copied().ok_or(ParseError {
-                    line: lineno,
-                    message: format!("unknown label `{name}`"),
-                })
+                found
             }
-            other => Err(ParseError {
-                line: lineno,
-                message: format!(
+            other => Err(sp.err(
+                *at,
+                format!(
                     "expected label, found {}",
                     other.map_or("end of line".to_string(), |t| t.to_string())
                 ),
-            }),
+            )),
         }
     }
 }
@@ -195,22 +238,26 @@ fn binop_from_sym(sym: &str) -> Option<BinOp> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with a line number on malformed input, unknown
-/// labels, a missing/duplicate `ret` block, or instructions after a
+/// Returns a [`ParseError`] with a line and column on malformed input,
+/// unknown labels, a missing/duplicate `ret` block, or instructions after a
 /// terminator.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     // Pass 1: tokenize every line; collect block labels in order.
     let mut lines = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let toks = tokenize(raw, idx + 1)?;
+        let (toks, cols) = tokenize(raw, idx + 1)?;
         if !toks.is_empty() {
-            lines.push((idx + 1, toks));
+            lines.push((idx + 1, toks, cols));
         }
     }
-    let err = |line: usize, message: String| ParseError { line, message };
+    let err = |line: usize, message: String| ParseError {
+        line,
+        col: 1,
+        message,
+    };
 
     let mut iter = lines.iter();
-    let (first_line, header) = iter.next().ok_or_else(|| err(1, "empty input".into()))?;
+    let (first_line, header, _) = iter.next().ok_or_else(|| err(1, "empty input".into()))?;
     let name = match header.as_slice() {
         [Tok::Ident(kw), Tok::Ident(name), Tok::Sym("{")] if kw == "fn" => name.clone(),
         _ => return Err(err(*first_line, "expected `fn NAME {` header".into())),
@@ -221,10 +268,14 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         labels: HashMap::new(),
     };
     let mut blocks: Vec<BlockData> = Vec::new();
-    for (lineno, toks) in lines.iter().skip(1) {
+    for (lineno, toks, cols) in lines.iter().skip(1) {
         if let [Tok::Ident(label), Tok::Sym(":")] = toks.as_slice() {
             if ctx.labels.contains_key(label) {
-                return Err(err(*lineno, format!("duplicate label `{label}`")));
+                return Err(ParseError {
+                    line: *lineno,
+                    col: cols.first().copied().unwrap_or(1),
+                    message: format!("duplicate label `{label}`"),
+                });
             }
             ctx.labels
                 .insert(label.clone(), BlockId::from_index(blocks.len()));
@@ -240,10 +291,11 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     let mut terminated = vec![false; blocks.len()];
     let mut exit: Option<BlockId> = None;
     let mut closed = false;
-    for (lineno, toks) in lines.iter().skip(1) {
+    for (lineno, toks, cols) in lines.iter().skip(1) {
         let lineno = *lineno;
+        let sp = Span { line: lineno, cols };
         if closed {
-            return Err(err(lineno, "content after closing `}`".into()));
+            return Err(sp.err(0, "content after closing `}`".into()));
         }
         match toks.as_slice() {
             [Tok::Sym("}")] => {
@@ -253,8 +305,8 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             [Tok::Ident(label), Tok::Sym(":")] => {
                 if let Some(cur) = current {
                     if !terminated[cur] {
-                        return Err(err(
-                            lineno,
+                        return Err(sp.err(
+                            0,
                             format!("block `{}` lacks a terminator", blocks[cur].name),
                         ));
                     }
@@ -264,10 +316,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             }
             _ => {}
         }
-        let cur = current.ok_or_else(|| err(lineno, "instruction before first label".into()))?;
+        let cur = current.ok_or_else(|| sp.err(0, "instruction before first label".into()))?;
         if terminated[cur] {
-            return Err(err(
-                lineno,
+            return Err(sp.err(
+                0,
                 format!(
                     "instruction after terminator in block `{}`",
                     blocks[cur].name
@@ -278,25 +330,25 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         match toks.first() {
             Some(Tok::Ident(kw)) if kw == "obs" => {
                 at += 1;
-                let op = ctx.operand(toks, &mut at, lineno)?;
-                expect_end(toks, at, lineno)?;
+                let op = ctx.operand(toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
                 blocks[cur].instrs.push(Instr::Observe(op));
             }
             Some(Tok::Ident(kw)) if kw == "jmp" => {
                 at += 1;
-                let target = ctx.label(toks, &mut at, lineno)?;
-                expect_end(toks, at, lineno)?;
+                let target = ctx.label(toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
                 blocks[cur].term = Terminator::Jump(target);
                 terminated[cur] = true;
             }
             Some(Tok::Ident(kw)) if kw == "br" => {
                 at += 1;
-                let cond = ctx.operand(toks, &mut at, lineno)?;
-                expect_sym(toks, &mut at, ",", lineno)?;
-                let then_to = ctx.label(toks, &mut at, lineno)?;
-                expect_sym(toks, &mut at, ",", lineno)?;
-                let else_to = ctx.label(toks, &mut at, lineno)?;
-                expect_end(toks, at, lineno)?;
+                let cond = ctx.operand(toks, &mut at, sp)?;
+                expect_sym(toks, &mut at, ",", sp)?;
+                let then_to = ctx.label(toks, &mut at, sp)?;
+                expect_sym(toks, &mut at, ",", sp)?;
+                let else_to = ctx.label(toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
                 blocks[cur].term = Terminator::Branch {
                     cond,
                     then_to,
@@ -309,8 +361,8 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
                 terminated[cur] = true;
                 let this = BlockId::from_index(cur);
                 if let Some(prev) = exit {
-                    return Err(err(
-                        lineno,
+                    return Err(sp.err(
+                        0,
                         format!(
                             "multiple `ret` blocks: `{}` and `{}`",
                             blocks[prev.index()].name,
@@ -323,25 +375,25 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             Some(Tok::Ident(dst)) if matches!(toks.get(1), Some(Tok::Sym("="))) => {
                 let dst = ctx.symbols.intern(dst);
                 at = 2;
-                let rv = parse_rhs(&mut ctx, toks, &mut at, lineno)?;
-                expect_end(toks, at, lineno)?;
+                let rv = parse_rhs(&mut ctx, toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
                 blocks[cur].instrs.push(Instr::Assign { dst, rv });
             }
             _ => {
-                return Err(err(lineno, "expected instruction or terminator".into()));
+                return Err(sp.err(0, "expected instruction or terminator".into()));
             }
         }
     }
     if !closed {
         return Err(err(
-            lines.last().map_or(1, |(l, _)| *l),
+            lines.last().map_or(1, |(l, _, _)| *l),
             "missing closing `}`".into(),
         ));
     }
     if let Some(cur) = current {
         if !terminated[cur] {
             return Err(err(
-                lines.last().map_or(1, |(l, _)| *l),
+                lines.last().map_or(1, |(l, _, _)| *l),
                 format!("block `{}` lacks a terminator", blocks[cur].name),
             ));
         }
@@ -361,65 +413,60 @@ fn parse_rhs(
     ctx: &mut Ctx,
     toks: &[Tok],
     at: &mut usize,
-    lineno: usize,
+    sp: Span<'_>,
 ) -> Result<Rvalue, ParseError> {
     // Unary: `-a`, `~a`, `~5` (but `-5` is the constant).
     match (toks.get(*at), toks.get(*at + 1)) {
         (Some(Tok::Sym("-")), Some(Tok::Ident(_))) => {
             *at += 1;
-            let a = ctx.operand(toks, at, lineno)?;
+            let a = ctx.operand(toks, at, sp)?;
             return Ok(Rvalue::Expr(Expr::Un(UnOp::Neg, a)));
         }
         (Some(Tok::Sym("~")), _) => {
             *at += 1;
-            let a = ctx.operand(toks, at, lineno)?;
+            let a = ctx.operand(toks, at, sp)?;
             return Ok(Rvalue::Expr(Expr::Un(UnOp::Not, a)));
         }
         _ => {}
     }
-    let a = ctx.operand(toks, at, lineno)?;
+    let a = ctx.operand(toks, at, sp)?;
     match toks.get(*at) {
         None => Ok(Rvalue::Operand(a)),
         Some(Tok::Sym(sym)) => {
-            let op = binop_from_sym(sym).ok_or_else(|| ParseError {
-                line: lineno,
-                message: format!("unknown binary operator `{sym}`"),
-            })?;
+            let op = binop_from_sym(sym)
+                .ok_or_else(|| sp.err(*at, format!("unknown binary operator `{sym}`")))?;
             *at += 1;
-            let b = ctx.operand(toks, at, lineno)?;
+            let b = ctx.operand(toks, at, sp)?;
             Ok(Rvalue::Expr(Expr::Bin(op, a, b)))
         }
-        Some(other) => Err(ParseError {
-            line: lineno,
-            message: format!("expected operator or end of line, found {other}"),
-        }),
+        Some(other) => Err(sp.err(
+            *at,
+            format!("expected operator or end of line, found {other}"),
+        )),
     }
 }
 
-fn expect_sym(toks: &[Tok], at: &mut usize, sym: &str, lineno: usize) -> Result<(), ParseError> {
+fn expect_sym(toks: &[Tok], at: &mut usize, sym: &str, sp: Span<'_>) -> Result<(), ParseError> {
     match toks.get(*at) {
         Some(Tok::Sym(s)) if *s == sym => {
             *at += 1;
             Ok(())
         }
-        other => Err(ParseError {
-            line: lineno,
-            message: format!(
+        other => Err(sp.err(
+            *at,
+            format!(
                 "expected `{sym}`, found {}",
                 other.map_or("end of line".to_string(), |t| t.to_string())
             ),
-        }),
+        )),
     }
 }
 
-fn expect_end(toks: &[Tok], at: usize, lineno: usize) -> Result<(), ParseError> {
+fn expect_end(toks: &[Tok], at: usize, sp: Span<'_>) -> Result<(), ParseError> {
     if at == toks.len() {
         Ok(())
     } else {
-        Err(ParseError {
-            line: lineno,
-            message: format!("trailing tokens starting at {}", toks[at]),
-        })
+        Err(sp.err(at, format!("trailing tokens starting at {}", toks[at])))
     }
 }
 
@@ -478,6 +525,28 @@ mod tests {
         let e = parse_function("fn b {\nentry:\n  jmp nowhere\n}").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // `x = a +` — the error is the missing operand after the `+` at
+        // column 9, so the reported column is just past it.
+        let e = parse_function("fn b {\nentry:\n  x = a +\n  ret\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 10));
+        assert!(e.to_string().contains("column 10"), "{e}");
+
+        // The unknown label itself starts at column 7.
+        let e = parse_function("fn b {\nentry:\n  jmp nowhere\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 7));
+
+        // Lexer errors point at the bad character.
+        let e = parse_function("fn b {\nentry:\n  x = a ? b\n  ret\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 9));
+        assert!(e.message.contains("unexpected character"));
+
+        // Structural whole-line problems anchor at the line's first token.
+        let e = parse_function("fn b {\nentry:\n  ret\n  x = 1\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (4, 3));
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = Inputs::new().set("a", 6).set("b", 7).set("n", 10);
 
     for f in [&dowhile, &zero_trip] {
-        let o = optimize(f, PreAlgorithm::LazyEdge);
+        let o = optimize(f, PreAlgorithm::LazyEdge).unwrap();
         let inv = f
             .expr_universe()
             .into_iter()

@@ -50,7 +50,7 @@ fn main() {
         f.num_instrs()
     );
     for alg in PreAlgorithm::ALL {
-        let o = optimize(&f, alg);
+        let o = optimize(&f, alg).unwrap();
         let mut cleaned = o.function.clone();
         passes::copy_propagation(&mut cleaned);
         passes::dce(&mut cleaned);

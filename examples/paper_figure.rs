@@ -17,7 +17,7 @@ fn main() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 
     println!("=== F1: the running example ===\n{f}\n");
     println!("(Graphviz available — pipe the following into `dot -Tpng`)\n");
@@ -30,19 +30,19 @@ fn main() {
 
     println!("\n=== F2: busy code motion (earliest placement) ===");
     let bcm = busy_plan(&f, &uni, &local, &ga);
-    let busy = optimize(&f, PreAlgorithm::Busy);
+    let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
     print!("{}", report::plan_report(&f, &uni, &bcm));
     println!("{}\n", busy.function);
 
     println!("=== F4: the delay/latest/isolated cascade (node formulation) ===");
-    let node = lazy_node_plan(&f, true);
+    let node = lazy_node_plan(&f, true).unwrap();
     print!("{}", report::node_cascade_table(&node));
 
     println!("\n=== F5: lazy code motion result ===");
-    let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+    let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
     print!("{}", report::plan_report(&f, &uni, &lazy.plan));
     print!("{}", report::delete_report(&f, &uni, &lazy.delete));
-    let lazy_out = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy_out = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     println!("\n{}\n", lazy_out.function);
 
     let busy_points = metrics::live_points(&busy.function, &busy.transform.temp_vars());

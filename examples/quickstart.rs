@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== before ==\n{f}\n");
 
-    let optimized = optimize(&f, PreAlgorithm::LazyEdge);
+    let optimized = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     println!("== after lazy code motion ==\n{}\n", optimized.function);
     println!(
         "insertions: {}, deletions: {}, temps: {}",

@@ -18,8 +18,8 @@ fn main() {
     );
     for n in [1usize, 2, 4, 8, 16, 32] {
         let f = shapes::pressure_chain(n);
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
         let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
         let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);

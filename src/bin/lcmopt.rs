@@ -13,39 +13,86 @@
 //!                        PRE algorithms bcm, lcm-edge, lcm-node,
 //!                        alcm-node, morel-renvoise, gcse.
 //!   -e, --emit KIND      output: text (default), dot, stats, none
+//!       --validate[=L]   validation tier for PRE passes: off, fast
+//!                        (default; static invariant checks) or full
+//!                        (adds seeded differential execution)
 //!       --run KEY=VAL    interpret before and after with the given inputs
 //!                        (repeatable) and print both observation traces
 //!       --fuel N         interpreter fuel (default 1000000)
 //!       --compare        print a comparison table over all PRE algorithms
 //!                        instead of running a pipeline
 //!   -h, --help           this help
+//!
+//! EXIT CODES:
+//!   0  success
+//!   1  internal error (caught panic)
+//!   2  usage error or unreadable input
+//!   3  parse error (diagnostic: file:line:col: message)
+//!   4  input function fails structural verification
+//!   5  a pass failed: invalid output IR, solver divergence, a violated
+//!      paper invariant, or differing traces under --run
 //! ```
 
 use std::io::Read;
+use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use lcm::core::{metrics, optimize, passes, report, PreAlgorithm};
+use lcm::core::{
+    metrics, optimize, optimize_checked, passes, report, PreAlgorithm, ValidationLevel,
+    ValidationReport,
+};
 use lcm::interp::{run, Inputs};
 use lcm::ir::{dot, parse_function, simplify_cfg, verify, Function};
+
+/// Internal error (caught panic).
+const EXIT_PANIC: u8 = 1;
+/// Usage error or unreadable input.
+const EXIT_USAGE: u8 = 2;
+/// Parse error.
+const EXIT_PARSE: u8 = 3;
+/// Input fails structural verification.
+const EXIT_VERIFY: u8 = 4;
+/// A pass failed (invalid output, divergence, validation, trace mismatch).
+const EXIT_PASS: u8 = 5;
 
 struct Options {
     file: Option<String>,
     passes: Vec<String>,
     emit: String,
+    validate: ValidationLevel,
     inputs: Vec<(String, i64)>,
     run: bool,
     fuel: u64,
     compare: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
-     [--run KEY=VAL]... [--fuel N] [--compare] [FILE|-]\n\
-     passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
-     lcm-node, alcm-node, morel-renvoise, gcse"
+/// A diagnostic plus the exit code it maps to.
+struct Failure {
+    code: u8,
+    message: String,
 }
 
-fn parse_args() -> Result<Options, String> {
+impl Failure {
+    fn new(code: u8, message: impl Into<String>) -> Self {
+        Failure {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
+     [--validate[=off|fast|full]] [--run KEY=VAL]... [--fuel N] [--compare] \
+     [FILE|-]\n\
+     passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
+     lcm-node, alcm-node, morel-renvoise, gcse\n\
+     exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 4 verify, \
+     5 pass/validation failure"
+}
+
+/// `Ok(None)` means help was requested (print usage, exit 0).
+fn parse_args() -> Result<Option<Options>, Failure> {
     let mut opts = Options {
         file: None,
         passes: vec![
@@ -56,61 +103,91 @@ fn parse_args() -> Result<Options, String> {
             "simplify".into(),
         ],
         emit: "text".into(),
+        validate: ValidationLevel::Fast,
         inputs: Vec::new(),
         run: false,
         fuel: 1_000_000,
         compare: false,
     };
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", usage()));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "-h" | "--help" => return Err(usage().to_string()),
+            "-h" | "--help" => return Ok(None),
             "-p" | "--passes" => {
-                let list = args.next().ok_or("--passes needs an argument")?;
+                let list = args
+                    .next()
+                    .ok_or_else(|| usage_err("--passes needs an argument".into()))?;
                 opts.passes = list.split(',').map(|s| s.trim().to_string()).collect();
             }
             "-e" | "--emit" => {
-                opts.emit = args.next().ok_or("--emit needs an argument")?;
+                opts.emit = args
+                    .next()
+                    .ok_or_else(|| usage_err("--emit needs an argument".into()))?;
                 if !["text", "dot", "stats", "none"].contains(&opts.emit.as_str()) {
-                    return Err(format!("unknown emit kind `{}`", opts.emit));
+                    return Err(usage_err(format!("unknown emit kind `{}`", opts.emit)));
                 }
             }
+            "--validate" => opts.validate = ValidationLevel::Fast,
             "--run" => {
-                let kv = args.next().ok_or("--run needs KEY=VAL")?;
-                let (k, v) = kv.split_once('=').ok_or("--run needs KEY=VAL")?;
-                let v: i64 = v.parse().map_err(|_| format!("bad value in `{kv}`"))?;
+                let kv = args
+                    .next()
+                    .ok_or_else(|| usage_err("--run needs KEY=VAL".into()))?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| usage_err("--run needs KEY=VAL".into()))?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad value in `{kv}`")))?;
                 opts.inputs.push((k.to_string(), v));
                 opts.run = true;
             }
             "--fuel" => {
-                let n = args.next().ok_or("--fuel needs an argument")?;
-                opts.fuel = n.parse().map_err(|_| format!("bad fuel `{n}`"))?;
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--fuel needs an argument".into()))?;
+                opts.fuel = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad fuel `{n}`")))?;
             }
             "--compare" => opts.compare = true,
+            other if other.starts_with("--validate=") => {
+                let level = &other["--validate=".len()..];
+                opts.validate = level.parse().map_err(usage_err)?;
+            }
             other if other.starts_with('-') && other != "-" => {
-                return Err(format!("unknown option `{other}`\n{}", usage()));
+                return Err(usage_err(format!("unknown option `{other}`")));
             }
             file => {
                 if opts.file.is_some() {
-                    return Err("more than one input file".to_string());
+                    return Err(usage_err("more than one input file".into()));
                 }
                 opts.file = Some(file.to_string());
             }
         }
     }
-    Ok(opts)
+    Ok(Some(opts))
 }
 
-fn read_input(file: &Option<String>) -> Result<String, String> {
+fn read_input(file: &Option<String>) -> Result<String, Failure> {
     match file.as_deref() {
         None | Some("-") => {
             let mut text = String::new();
             std::io::stdin()
                 .read_to_string(&mut text)
-                .map_err(|e| format!("reading stdin: {e}"))?;
+                .map_err(|e| Failure::new(EXIT_USAGE, format!("reading stdin: {e}")))?;
             Ok(text)
         }
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| Failure::new(EXIT_USAGE, format!("reading {path}: {e}"))),
+    }
+}
+
+/// The name shown in diagnostics for the input stream.
+fn input_name(file: &Option<String>) -> &str {
+    match file.as_deref() {
+        None | Some("-") => "<stdin>",
+        Some(path) => path,
     }
 }
 
@@ -118,8 +195,17 @@ fn algorithm_by_name(name: &str) -> Option<PreAlgorithm> {
     PreAlgorithm::ALL.into_iter().find(|a| a.name() == name)
 }
 
-fn run_pipeline(f: &Function, pass_names: &[String]) -> Result<Function, String> {
+/// Seed for the full tier's differential input sampling: fixed, so runs
+/// are reproducible; validation failures therefore always replay.
+const VALIDATION_SEED: u64 = 0x1c3a_57ed;
+
+fn run_pipeline(
+    f: &Function,
+    pass_names: &[String],
+    level: ValidationLevel,
+) -> Result<(Function, Vec<(String, ValidationReport)>), Failure> {
     let mut g = f.clone();
+    let mut reports = Vec::new();
     for name in pass_names {
         match name.as_str() {
             "lcse" => {
@@ -138,22 +224,41 @@ fn run_pipeline(f: &Function, pass_names: &[String]) -> Result<Function, String>
                 g = lcm::core::strength::strength_reduce(&g).function;
             }
             other => match algorithm_by_name(other) {
-                Some(alg) => g = optimize(&g, alg).function,
-                None => return Err(format!("unknown pass `{other}`\n{}", usage())),
+                Some(alg) => match optimize_checked(&g, alg, level, VALIDATION_SEED) {
+                    Ok((opt, rep)) => {
+                        reports.push((name.clone(), rep));
+                        g = opt.function;
+                    }
+                    Err(e) => {
+                        return Err(Failure::new(
+                            EXIT_PASS,
+                            format!("pass `{name}` failed: {e}"),
+                        ));
+                    }
+                },
+                None => {
+                    return Err(Failure::new(
+                        EXIT_USAGE,
+                        format!("unknown pass `{other}`\n{}", usage()),
+                    ));
+                }
             },
         }
-        verify(&g).map_err(|e| format!("pass `{name}` produced invalid IR: {e}"))?;
+        verify(&g).map_err(|e| {
+            Failure::new(EXIT_PASS, format!("pass `{name}` produced invalid IR: {e}"))
+        })?;
     }
-    Ok(g)
+    Ok((g, reports))
 }
 
-fn compare(f: &Function) {
+fn compare(f: &Function) -> Result<(), Failure> {
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>12} {:>8}",
         "algorithm", "inserts", "deletes", "temps", "live points", "instrs"
     );
     for alg in PreAlgorithm::ALL {
-        let o = optimize(f, alg);
+        let o = optimize(f, alg)
+            .map_err(|e| Failure::new(EXIT_PASS, format!("{} failed: {e}", alg.name())))?;
         println!(
             "{:<16} {:>8} {:>8} {:>8} {:>12} {:>8}",
             alg.name(),
@@ -164,47 +269,46 @@ fn compare(f: &Function) {
             o.function.num_instrs(),
         );
     }
+    Ok(())
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let text = match read_input(&opts.file) {
-        Ok(t) => t,
-        Err(msg) => {
-            eprintln!("lcmopt: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let f = match parse_function(&text) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("lcmopt: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = verify(&f) {
-        eprintln!("lcmopt: input is not well-formed: {e}");
-        return ExitCode::FAILURE;
+/// Marker appended to a printed trace when the run exhausted its fuel.
+fn completion_marker(completed: bool) -> &'static str {
+    if completed {
+        ""
+    } else {
+        " [incomplete: fuel exhausted]"
     }
+}
+
+fn real_main() -> Result<(), Failure> {
+    let opts = match parse_args()? {
+        Some(o) => o,
+        None => {
+            println!("{}", usage());
+            return Ok(());
+        }
+    };
+    let text = read_input(&opts.file)?;
+    let f = parse_function(&text).map_err(|e| {
+        Failure::new(
+            EXIT_PARSE,
+            format!(
+                "{}:{}:{}: {}",
+                input_name(&opts.file),
+                e.line,
+                e.col,
+                e.message
+            ),
+        )
+    })?;
+    verify(&f).map_err(|e| Failure::new(EXIT_VERIFY, format!("input is not well-formed: {e}")))?;
 
     if opts.compare {
-        compare(&f);
-        return ExitCode::SUCCESS;
+        return compare(&f);
     }
 
-    let g = match run_pipeline(&f, &opts.passes) {
-        Ok(g) => g,
-        Err(msg) => {
-            eprintln!("lcmopt: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (g, reports) = run_pipeline(&f, &opts.passes, opts.validate)?;
 
     match opts.emit.as_str() {
         "text" => println!("{g}"),
@@ -218,9 +322,15 @@ fn main() -> ExitCode {
                 g.expr_occurrences().count()
             );
             // Solver cost of the fused LCM pipeline on the original input.
-            let p = lcm::core::lcm(&f);
+            let p = lcm::core::lcm(&f)
+                .map_err(|e| Failure::new(EXIT_PASS, format!("stats analysis failed: {e}")))?;
             println!();
             print!("{}", report::stats_table(&p.stats));
+            for (pass, rep) in &reports {
+                println!();
+                println!("validation of pass `{pass}`:");
+                print!("{}", report::validation_table(rep));
+            }
         }
         "none" => {}
         _ => unreachable!("emit kind validated"),
@@ -230,17 +340,41 @@ fn main() -> ExitCode {
         let inputs: Inputs = opts.inputs.into_iter().collect();
         let before = run(&f, &inputs, opts.fuel);
         let after = run(&g, &inputs, opts.fuel);
-        println!("trace before: {:?}", before.trace);
-        println!("trace after:  {:?}", after.trace);
+        println!(
+            "trace before: {:?}{}",
+            before.trace,
+            completion_marker(before.completed())
+        );
+        println!(
+            "trace after:  {:?}{}",
+            after.trace,
+            completion_marker(after.completed())
+        );
         println!(
             "evaluations:  {} -> {}",
             before.total_evals(),
             after.total_evals()
         );
         if before.trace != after.trace {
-            eprintln!("lcmopt: BUG: traces differ!");
-            return ExitCode::FAILURE;
+            return Err(Failure::new(EXIT_PASS, "BUG: traces differ!"));
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // Malformed input must never escape as a panic: route any internal
+    // panic through a diagnostic and a distinct exit code instead of an
+    // abort with a backtrace.
+    panic::set_hook(Box::new(|info| {
+        eprintln!("lcmopt: internal error: {info}");
+    }));
+    match panic::catch_unwind(AssertUnwindSafe(real_main)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(failure)) => {
+            eprintln!("lcmopt: {}", failure.message);
+            ExitCode::from(failure.code)
+        }
+        Err(_) => ExitCode::from(EXIT_PANIC),
+    }
 }

@@ -38,7 +38,7 @@
 //!        ret
 //!      }",
 //! )?;
-//! let optimized = optimize(&f, PreAlgorithm::LazyEdge).function;
+//! let optimized = optimize(&f, PreAlgorithm::LazyEdge)?.function;
 //! // The join block no longer recomputes a + b.
 //! let join = optimized.block_by_name("join").unwrap();
 //! assert!(optimized.block(join).exprs().next().is_none());

@@ -18,8 +18,8 @@ fn lazy_delete_formulations_agree_on_corpora() {
     for f in corpus(0xA11, 80, &opts) {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         let tav = transform::temp_availability(&f, &uni, &local, &lazy.plan);
         let from_tav = transform::deletions(&f, &uni, &local, &lazy.plan, &tav);
         assert_eq!(from_tav, lazy.delete, "{}", f.name);
@@ -28,8 +28,8 @@ fn lazy_delete_formulations_agree_on_corpora() {
         let f = arbitrary(seed, &GenOptions::sized(15));
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         let tav = transform::temp_availability(&f, &uni, &local, &lazy.plan);
         let from_tav = transform::deletions(&f, &uni, &local, &lazy.plan, &tav);
         assert_eq!(from_tav, lazy.delete, "{}", f.name);
@@ -44,7 +44,7 @@ fn mr_delete_formulations_agree_on_corpora() {
     for f in corpus(0xB22, 80, &opts) {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let mr = morel_renvoise_plan(&f, &uni, &local);
+        let mr = morel_renvoise_plan(&f, &uni, &local).unwrap();
         let tav = transform::temp_availability(&f, &uni, &local, &mr.plan);
         let from_tav = transform::deletions(&f, &uni, &local, &mr.plan, &tav);
         assert_eq!(from_tav, mr.delete, "{}", f.name);
@@ -94,8 +94,8 @@ fn alcm_plus_cleanup_matches_lcm_counts() {
         // Canonicalise first: the optimality statements assume LCSE ran.
         passes::lcse(&mut f);
         let exprs = f.expr_universe();
-        let mut lcm_out = optimize(&f, PreAlgorithm::LazyNode).function;
-        let mut alcm_out = optimize(&f, PreAlgorithm::AlmostLazyNode).function;
+        let mut lcm_out = optimize(&f, PreAlgorithm::LazyNode).unwrap().function;
+        let mut alcm_out = optimize(&f, PreAlgorithm::AlmostLazyNode).unwrap().function;
         // DCE only: copy propagation would rename operands and change the
         // structural identity the counters are keyed on.
         for g in [&mut lcm_out, &mut alcm_out] {
@@ -188,7 +188,7 @@ fn print_parse_roundtrip_on_corpora() {
 fn lcm_node_insertions_are_justified() {
     let opts = GenOptions::default();
     for f in corpus(0x77, 40, &opts) {
-        let res = lazy_node_plan(&f, true);
+        let res = lazy_node_plan(&f, true).unwrap();
         if res.plan.num_insertions() == 0 {
             continue;
         }

@@ -127,7 +127,7 @@ fn compare_lists_all_algorithms() {
 fn rejects_bad_input_with_diagnostics() {
     let (ok, _, stderr) = lcmopt(&[], "fn broken {\nentry:\n  x = +\n  ret\n}");
     assert!(!ok);
-    assert!(stderr.contains("line 3"), "{stderr}");
+    assert!(stderr.contains("<stdin>:3:"), "{stderr}");
 
     let (ok, _, stderr) = lcmopt(&["--passes", "nonsense"], DIAMOND);
     assert!(!ok);

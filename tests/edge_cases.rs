@@ -7,7 +7,7 @@ use lcm::ir::parse_function;
 fn preserved_by_all(text: &str, inputs: &[Inputs]) {
     let f = parse_function(text).unwrap();
     for alg in PreAlgorithm::ALL {
-        let o = optimize(&f, alg);
+        let o = optimize(&f, alg).unwrap();
         lcm::ir::verify(&o.function).unwrap();
         for i in inputs {
             assert!(
@@ -18,7 +18,7 @@ fn preserved_by_all(text: &str, inputs: &[Inputs]) {
                 i
             );
         }
-        let p = optimize_pipeline(&f, alg);
+        let p = optimize_pipeline(&f, alg).unwrap();
         for i in inputs {
             assert!(observationally_equivalent(&f, &p, i, 1_000_000));
         }
@@ -39,7 +39,7 @@ fn no_candidates_at_all() {
     preserved_by_all(text, &[Inputs::new()]);
     let f = parse_function(text).unwrap();
     for alg in PreAlgorithm::ALL {
-        let o = optimize(&f, alg);
+        let o = optimize(&f, alg).unwrap();
         assert_eq!(o.transform.stats.insertions, 0, "{}", alg.name());
         assert_eq!(o.transform.stats.temps, 0, "{}", alg.name());
     }
@@ -76,7 +76,7 @@ fn constant_only_expression_is_hoistable() {
         }";
     preserved_by_all(text, &[Inputs::new(), Inputs::new().set("c", 1)]);
     let f = parse_function(text).unwrap();
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     assert_eq!(lazy.transform.stats.deletions, 1); // the join occurrence
 }
 
@@ -128,7 +128,7 @@ fn parallel_branch_edges() {
          }",
     )
     .unwrap();
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     // Fully redundant across the parallel edges: deletable, no insertion.
     assert_eq!(lazy.transform.stats.deletions, 1);
     assert_eq!(lazy.transform.stats.insertions, 0);
@@ -167,7 +167,7 @@ fn self_loop_with_redundancy() {
     )
     .unwrap();
     // The loop-carried redundancy is removed: one evaluation total.
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     let out = run(
         &lazy.function,
         &Inputs::new().set("a", 1).set("b", 1),
@@ -187,7 +187,7 @@ fn wide_universe_crosses_word_boundaries() {
         PreAlgorithm::Busy,
         PreAlgorithm::Gcse,
     ] {
-        let o = optimize(&f, alg);
+        let o = optimize(&f, alg).unwrap();
         assert!(observationally_equivalent(
             &f,
             &o.function,
@@ -218,7 +218,7 @@ fn temp_names_do_not_collide_with_user_variables() {
          }",
     )
     .unwrap();
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     lcm::ir::verify(&lazy.function).unwrap();
     assert_eq!(lazy.transform.stats.deletions, 1);
     let fresh = lazy.transform.temp_vars()[0];
@@ -253,7 +253,7 @@ fn unary_candidates_move_like_binary_ones() {
          }",
     )
     .unwrap();
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     lcm::ir::verify(&lazy.function).unwrap();
     // -a is partially redundant (deleted at the join); ~a is isolated.
     assert_eq!(lazy.transform.stats.deletions, 1);

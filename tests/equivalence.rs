@@ -30,7 +30,7 @@ fn input_sets() -> Vec<Inputs> {
 
 fn check_all_algorithms(f: &Function, fuel: u64) {
     for alg in PreAlgorithm::ALL {
-        let o = optimize(f, alg);
+        let o = optimize(f, alg).unwrap();
         lcm::ir::verify(&o.function)
             .unwrap_or_else(|e| panic!("{} produced invalid IR on {}: {e}", alg.name(), f.name));
         // Temps are definitely assigned before every use.
@@ -93,7 +93,7 @@ fn full_pipeline_preserves_behaviour() {
     let opts = GenOptions::default();
     for f in corpus(0xFEED, 40, &opts) {
         for alg in PreAlgorithm::ALL {
-            let g = optimize_pipeline(&f, alg);
+            let g = optimize_pipeline(&f, alg).unwrap();
             lcm::ir::verify(&g).unwrap();
             for inputs in input_sets() {
                 assert!(
@@ -113,20 +113,20 @@ fn planned_insertions_are_safe_points() {
     for f in corpus(0xAB1E, 40, &opts) {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 
         let busy = lcm::core::busy_plan(&f, &uni, &local, &ga);
         safety::check_plan_safety(&f, &uni, &local, &ga, &busy).unwrap();
 
-        let lazy = lcm::core::lazy_edge_plan(&f, &uni, &local, &ga);
+        let lazy = lcm::core::lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         safety::check_plan_safety(&f, &uni, &local, &ga, &lazy.plan).unwrap();
 
-        let mr = lcm::core::morel_renvoise_plan(&f, &uni, &local);
+        let mr = lcm::core::morel_renvoise_plan(&f, &uni, &local).unwrap();
         safety::check_plan_safety(&f, &uni, &local, &ga, &mr.plan).unwrap();
 
         // Node plans are for the split function.
-        let node = lcm::core::lazy_node_plan(&f, true);
-        let nga = GlobalAnalyses::compute(&node.function, &node.universe, &node.local);
+        let node = lcm::core::lazy_node_plan(&f, true).unwrap();
+        let nga = GlobalAnalyses::compute(&node.function, &node.universe, &node.local).unwrap();
         safety::check_plan_safety(
             &node.function,
             &node.universe,
@@ -143,8 +143,8 @@ fn optimizing_twice_is_idempotent() {
     // Re-running LCM on its own output finds nothing left to do.
     let opts = GenOptions::default();
     for f in corpus(0x1D, 30, &opts) {
-        let once = optimize(&f, PreAlgorithm::LazyEdge);
-        let twice = optimize(&once.function, PreAlgorithm::LazyEdge);
+        let once = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
+        let twice = optimize(&once.function, PreAlgorithm::LazyEdge).unwrap();
         assert_eq!(
             twice.transform.stats.insertions, 0,
             "second LCM run inserted on {}",

@@ -44,7 +44,7 @@ fn safety_analyses_match_the_figure() {
     assert_eq!(f.display_expr(uni.expr(INC)), "a + 1");
     assert_eq!(f.display_expr(uni.expr(OR)), "c | d");
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 
     // One row per block: ANTLOC, COMP, TRANSP, AVIN, AVOUT, ANTIN, ANTOUT.
     #[rustfmt::skip]
@@ -75,7 +75,7 @@ fn earliest_matches_the_figure() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
 
     // Everything is earliest on the virtual entry edge; the only other
     // non-empty set is the loop's self-killed decrement on the back edge.
@@ -100,7 +100,7 @@ fn earliest_matches_the_figure() {
 #[test]
 fn node_latest_matches_the_figure() {
     let f = running_example();
-    let res = lazy_node_plan(&f, true);
+    let res = lazy_node_plan(&f, true).unwrap();
     let g = &res.function;
     let uni = &res.universe;
 
@@ -139,8 +139,8 @@ fn edge_insert_and_delete_match_the_figure() {
     let f = running_example();
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
-    let ga = GlobalAnalyses::compute(&f, &uni, &local);
-    let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+    let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+    let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
 
     // INSERT: exactly {a + b} on skip -> preloop.
     assert!(lazy.plan.entry_insert.is_empty());
@@ -173,7 +173,7 @@ fn edge_insert_and_delete_match_the_figure() {
     }
 
     // The fused pipeline pins the same placement.
-    let p = lcm(&f);
+    let p = lcm(&f).unwrap();
     assert_eq!(p.lazy.plan.edge_inserts, lazy.plan.edge_inserts);
     assert_eq!(p.lazy.delete, lazy.delete);
 }

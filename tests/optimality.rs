@@ -47,9 +47,9 @@ fn t2_pathwise_on_dags() {
         let Some(original) = path_counts(&f, &exprs) else {
             continue;
         };
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
-        let mr = optimize(&f, PreAlgorithm::MorelRenvoise);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
+        let mr = optimize(&f, PreAlgorithm::MorelRenvoise).unwrap();
         let busy_counts = path_counts(&busy.function, &exprs).expect("still acyclic");
         let lazy_counts = path_counts(&lazy.function, &exprs).expect("still acyclic");
         let mr_counts = path_counts(&mr.function, &exprs).expect("still acyclic");
@@ -81,8 +81,8 @@ fn t2_node_and_edge_formulations_agree_pathwise() {
     for seed in 100..140 {
         let f = normalized(&random_dag(seed, &opts));
         let exprs = f.expr_universe();
-        let edge = optimize(&f, PreAlgorithm::LazyEdge);
-        let node = optimize(&f, PreAlgorithm::LazyNode);
+        let edge = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
+        let node = optimize(&f, PreAlgorithm::LazyNode).unwrap();
         let (Some(ec), Some(nc)) = (
             path_counts(&edge.function, &exprs),
             path_counts(&node.function, &exprs),
@@ -112,12 +112,12 @@ fn t2_dynamic_counts_on_cyclic_programs() {
     for f in corpus(0x7E57, 50, &opts) {
         let f = normalized(&f);
         let exprs = f.expr_universe();
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
-        let node = optimize(&f, PreAlgorithm::LazyNode);
-        let alcm = optimize(&f, PreAlgorithm::AlmostLazyNode);
-        let mr = optimize(&f, PreAlgorithm::MorelRenvoise);
-        let gcse = optimize(&f, PreAlgorithm::Gcse);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
+        let node = optimize(&f, PreAlgorithm::LazyNode).unwrap();
+        let alcm = optimize(&f, PreAlgorithm::AlmostLazyNode).unwrap();
+        let mr = optimize(&f, PreAlgorithm::MorelRenvoise).unwrap();
+        let gcse = optimize(&f, PreAlgorithm::Gcse).unwrap();
         for ins in &inputs {
             let fuel = 2_000_000;
             let orig = run(&f, ins, fuel);
@@ -156,7 +156,7 @@ fn weighted_sites_capture_loop_hoisting() {
         .unwrap();
     let before = metrics::weighted_eval_sites(&f, &[inv]);
     assert_eq!(before, 1000);
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     let after = metrics::weighted_eval_sites(&lazy.function, &[inv]);
     assert_eq!(after, 1);
     // And the depths themselves are sane.
@@ -168,10 +168,10 @@ fn weighted_sites_capture_loop_hoisting() {
 fn gcse_handles_only_full_redundancy() {
     // Partial redundancy (the diamond): GCSE must not touch it; LCM must.
     let f = lcm::cfggen::shapes::diamond_chain(1);
-    let gcse = optimize(&f, PreAlgorithm::Gcse);
+    let gcse = optimize(&f, PreAlgorithm::Gcse).unwrap();
     assert_eq!(gcse.transform.stats.deletions, 0);
     assert_eq!(gcse.transform.stats.insertions, 0);
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     assert_eq!(lazy.transform.stats.deletions, 1);
 
     // Full redundancy: both handle it, GCSE without insertions.
@@ -187,7 +187,7 @@ fn gcse_handles_only_full_redundancy() {
          }",
     )
     .unwrap();
-    let gcse = optimize(&g, PreAlgorithm::Gcse);
+    let gcse = optimize(&g, PreAlgorithm::Gcse).unwrap();
     assert_eq!(gcse.transform.stats.deletions, 1);
     assert_eq!(gcse.transform.stats.insertions, 0);
 }
@@ -197,8 +197,8 @@ fn t3_static_live_ranges_lazy_beats_busy() {
     let opts = GenOptions::default();
     let mut strict = 0;
     for f in corpus(0x11FE, 60, &opts) {
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
         let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
         assert!(
@@ -221,8 +221,8 @@ fn t3_dynamic_occupancy_lazy_beats_busy() {
     let opts = GenOptions::default();
     let inputs = Inputs::new().set("a", 2).set("b", 3).set("c", 1);
     for f in corpus(0x0CC, 40, &opts) {
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let bo = dynamic_occupancy(
             &busy.function,
             &inputs,
@@ -248,7 +248,7 @@ fn lcm_strictly_improves_where_redundancy_exists() {
     // On the canonical shapes the gain must be real, not just non-negative.
     let f = lcm::cfggen::shapes::diamond_chain(5);
     let exprs = f.expr_universe();
-    let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+    let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
     let inputs = Inputs::new().set("a", 1).set("b", 2).set("c", 1);
     let before = run(&f, &inputs, 100_000).total_evals_of(&exprs);
     let after = run(&lazy.function, &inputs, 100_000).total_evals_of(&exprs);

@@ -42,7 +42,7 @@ fn pre_preserves_structured_programs() {
         let inputs = random_inputs(&mut rng);
         let f = structured(seed, &opts);
         for alg in PreAlgorithm::ALL {
-            let o = optimize(&f, alg);
+            let o = optimize(&f, alg).unwrap();
             lcm::ir::verify(&o.function).unwrap();
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
             assert!(
@@ -68,8 +68,8 @@ fn busy_equals_lazy_on_random_dags() {
         let Some(orig) = metrics::path_eval_counts(&f, &exprs, 20_000) else {
             continue;
         };
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let b = metrics::path_eval_counts(&busy.function, &exprs, 20_000).unwrap();
         let l = metrics::path_eval_counts(&lazy.function, &exprs, 20_000).unwrap();
         assert_eq!(b, l, "case {case} (seed {seed:#x})");
@@ -87,8 +87,8 @@ fn lazy_lifetimes_never_exceed_busy() {
         let seed = rng.next_u64();
         let opts = random_opts(&mut rng);
         let f = structured(seed, &opts);
-        let busy = optimize(&f, PreAlgorithm::Busy);
-        let lazy = optimize(&f, PreAlgorithm::LazyEdge);
+        let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
+        let lazy = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
         let bp = metrics::live_points(&busy.function, &busy.transform.temp_vars());
         let lp = metrics::live_points(&lazy.function, &lazy.transform.temp_vars());
         assert!(
@@ -107,7 +107,7 @@ fn pre_survives_arbitrary_cfgs() {
         let size = rng.gen_range(2..25usize);
         let f = arb_cfg(seed, &GenOptions::sized(size));
         for alg in PreAlgorithm::ALL {
-            let o = optimize(&f, alg);
+            let o = optimize(&f, alg).unwrap();
             lcm::ir::verify(&o.function).unwrap();
             safety::check_definite_assignment(&o.function, &o.transform.temp_vars()).unwrap();
             assert!(

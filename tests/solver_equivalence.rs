@@ -35,7 +35,7 @@ fn all_solvers_reach_the_same_fixpoint_for_every_analysis() {
     for f in test_corpus() {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         let view = CfgView::new(&f);
         for (name, p) in [
             ("availability", availability_problem(&f, &uni, &local)),
@@ -63,10 +63,10 @@ fn fused_pipeline_placement_is_bit_identical_to_the_seed_path() {
         // Seed path: independent round-robin solves.
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         // Fused path: shared view, worklist solver.
-        let p = lcm(&f);
+        let p = lcm(&f).unwrap();
         assert_eq!(p.analyses.avail.ins, ga.avail.ins, "{}", f.name);
         assert_eq!(p.analyses.avail.outs, ga.avail.outs, "{}", f.name);
         assert_eq!(p.analyses.antic.ins, ga.antic.ins, "{}", f.name);

@@ -22,7 +22,7 @@ fn worklist_never_visits_more_nodes_than_round_robin() {
     for f in test_corpus() {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
         for (name, p) in [
             ("availability", availability_problem(&f, &uni, &local)),
             ("anticipability", anticipability_problem(&f, &uni, &local)),
@@ -54,7 +54,7 @@ fn worklist_never_visits_more_nodes_than_round_robin() {
 #[test]
 fn pipeline_totals_are_the_sum_of_the_analyses() {
     for f in test_corpus().into_iter().take(20) {
-        let p = lcm(&f);
+        let p = lcm(&f).unwrap();
         let total = p.stats.total();
         assert_eq!(
             total.node_visits,
@@ -99,11 +99,11 @@ fn fused_pipeline_is_cheaper_than_the_seed_path_in_aggregate() {
     for f in test_corpus() {
         let uni = ExprUniverse::of(&f);
         let local = LocalPredicates::compute(&f, &uni);
-        let ga = GlobalAnalyses::compute(&f, &uni, &local);
-        let lazy = lcm::core::lazy_edge_plan(&f, &uni, &local, &ga);
+        let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
+        let lazy = lcm::core::lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
         rr_visits += ga.stats.node_visits + lazy.stats.node_visits;
         rr_words += ga.stats.word_ops + lazy.stats.word_ops;
-        let p = lcm(&f);
+        let p = lcm(&f).unwrap();
         fused_visits += p.stats.total().node_visits;
         fused_words += p.stats.total().word_ops;
     }
