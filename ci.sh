@@ -20,4 +20,22 @@ cargo test --workspace -q
 echo "==> cargo test -p lcm-faults -q (fault-injection suite)"
 cargo test -p lcm-faults -q
 
+echo "==> cargo test -p lcm-driver -q (batch driver suite)"
+cargo test -p lcm-driver -q
+
+# Batch smoke: the workload suite as one module must optimize to
+# byte-identical output at every thread count.
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "==> batch smoke: lcmopt batch at --jobs 1 vs --jobs $JOBS"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cargo run -q -p lcm-bench --release --bin make_corpus > "$SMOKE/corpus.lcm"
+for emit in text stats json; do
+  cargo run -q --release --bin lcmopt -- batch "$SMOKE/corpus.lcm" \
+    --jobs 1 --emit "$emit" > "$SMOKE/$emit.j1" 2>/dev/null
+  cargo run -q --release --bin lcmopt -- batch "$SMOKE/corpus.lcm" \
+    --jobs "$JOBS" --emit "$emit" > "$SMOKE/$emit.jn" 2>/dev/null
+  diff "$SMOKE/$emit.j1" "$SMOKE/$emit.jn"
+done
+
 echo "ci: OK"

@@ -2,10 +2,18 @@
 //!
 //! ```sh
 //! cargo run -p lcm-bench --bin experiments --release -- all
-//! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1 c2 e1 a1
+//! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1 c2 c3 e1 a1
 //! ```
 //!
 //! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3.
+//!
+//! Everything printed is mirrored to `artifacts/experiments_output.txt`
+//! (gitignored) so runs leave a reviewable record without checking build
+//! output into the repository.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::Mutex;
 
 use lcm_bench::{
     compare_algorithms, fused_analysis_cost, lcm_analysis_cost, mr_analysis_cost, sized_corpus,
@@ -16,10 +24,56 @@ use lcm_core::{
     busy_plan, lazy_edge_plan, lazy_node_plan, metrics, optimize, passes, safety, ExprUniverse,
     GlobalAnalyses, LocalPredicates, PreAlgorithm,
 };
+use lcm_driver::{BatchEngine, BatchOptions, BatchUnit};
 use lcm_interp::{dynamic_occupancy, observationally_equivalent, run, Inputs};
 
+/// Mirror handle for `artifacts/experiments_output.txt`.
+static TEE: Mutex<Option<File>> = Mutex::new(None);
+
+/// Writes `s` to stdout and, when open, to the artifacts mirror.
+fn tee(s: &str, newline: bool) {
+    if newline {
+        println!("{s}");
+    } else {
+        print!("{s}");
+    }
+    if let Some(f) = TEE.lock().unwrap().as_mut() {
+        let r = if newline {
+            writeln!(f, "{s}")
+        } else {
+            write!(f, "{s}")
+        };
+        r.expect("write to artifacts/experiments_output.txt");
+    }
+}
+
+/// `print!` that also lands in the artifacts mirror.
+macro_rules! o {
+    ($($t:tt)*) => { crate::tee(&format!($($t)*), false) };
+}
+
+/// `println!` that also lands in the artifacts mirror.
+macro_rules! oln {
+    () => { crate::tee("", true) };
+    ($($t:tt)*) => { crate::tee(&format!($($t)*), true) };
+}
+
+/// Opens the gitignored mirror file; on failure the run degrades to
+/// stdout-only with a warning rather than aborting.
+fn open_tee() {
+    let dir = std::path::Path::new("artifacts");
+    let open = std::fs::create_dir_all(dir)
+        .and_then(|()| File::create(dir.join("experiments_output.txt")));
+    match open {
+        Ok(f) => *TEE.lock().unwrap() = Some(f),
+        Err(e) => eprintln!(
+            "experiments: cannot open artifacts/experiments_output.txt ({e}); stdout only"
+        ),
+    }
+}
+
 const IDS: &[&str] = &[
-    "f1", "f2", "f3", "f4", "f5", "t1", "t2", "t3", "c1", "c2", "e1", "a1",
+    "f1", "f2", "f3", "f4", "f5", "t1", "t2", "t3", "c1", "c2", "c3", "e1", "a1",
 ];
 
 fn main() {
@@ -35,6 +89,7 @@ fn main() {
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| run_all || args.iter().any(|a| a == id);
+    open_tee();
 
     if want("f1") {
         f1();
@@ -66,6 +121,9 @@ fn main() {
     if want("c2") {
         c2();
     }
+    if want("c3") {
+        c3();
+    }
     if want("e1") {
         e1();
     }
@@ -75,9 +133,9 @@ fn main() {
 }
 
 fn header(id: &str, title: &str) {
-    println!("\n================================================================");
-    println!("{id}: {title}");
-    println!("================================================================");
+    oln!("\n================================================================");
+    oln!("{id}: {title}");
+    oln!("================================================================");
 }
 
 /// F1 — the running example flow graph.
@@ -86,7 +144,7 @@ fn f1() {
         "F1",
         "running example (reconstruction of the paper's figure)",
     );
-    println!("{}", running_example());
+    oln!("{}", running_example());
 }
 
 /// F2 — busy code motion of the running example.
@@ -97,8 +155,8 @@ fn f2() {
     let local = LocalPredicates::compute(&f, &uni);
     let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
     let plan = busy_plan(&f, &uni, &local, &ga);
-    print!("{}", lcm_core::report::plan_report(&f, &uni, &plan));
-    println!("\n{}", optimize(&f, PreAlgorithm::Busy).unwrap().function);
+    o!("{}", lcm_core::report::plan_report(&f, &uni, &plan));
+    oln!("\n{}", optimize(&f, PreAlgorithm::Busy).unwrap().function);
 }
 
 /// F3 — predicate tables: local properties, availability, anticipability,
@@ -109,9 +167,9 @@ fn f3() {
     let uni = ExprUniverse::of(&f);
     let local = LocalPredicates::compute(&f, &uni);
     let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
-    print!("{}", lcm_core::report::safety_table(&f, &uni, &local, &ga));
-    println!();
-    print!("{}", lcm_core::report::earliest_report(&f, &uni, &ga));
+    o!("{}", lcm_core::report::safety_table(&f, &uni, &local, &ga));
+    oln!();
+    o!("{}", lcm_core::report::earliest_report(&f, &uni, &ga));
 }
 
 /// F4 — the delay/latest cascade of the node formulation.
@@ -119,7 +177,7 @@ fn f4() {
     header("F4", "DELAY / LATEST / ISOLATED on the running example");
     let f = running_example();
     let node = lazy_node_plan(&f, true).unwrap();
-    print!("{}", lcm_core::report::node_cascade_table(&node));
+    o!("{}", lcm_core::report::node_cascade_table(&node));
 }
 
 /// F5 — the final lazy transformation (edge and node results).
@@ -130,15 +188,15 @@ fn f5() {
     let local = LocalPredicates::compute(&f, &uni);
     let ga = GlobalAnalyses::compute(&f, &uni, &local).unwrap();
     let lazy = lazy_edge_plan(&f, &uni, &local, &ga).unwrap();
-    print!("{}", lcm_core::report::plan_report(&f, &uni, &lazy.plan));
-    print!(
+    o!("{}", lcm_core::report::plan_report(&f, &uni, &lazy.plan));
+    o!(
         "{}",
         lcm_core::report::delete_report(&f, &uni, &lazy.delete)
     );
     let out = optimize(&f, PreAlgorithm::LazyEdge).unwrap();
-    println!("\n{}", out.function);
+    oln!("\n{}", out.function);
     let busy = optimize(&f, PreAlgorithm::Busy).unwrap();
-    println!(
+    oln!(
         "temporary live points: busy = {}, lazy = {}",
         metrics::live_points(&busy.function, &busy.transform.temp_vars()),
         metrics::live_points(&out.function, &out.transform.temp_vars()),
@@ -185,7 +243,7 @@ fn t1() {
             }
         }
     }
-    println!(
+    oln!(
         "seed {seeds:#x}: {} programs x {} algorithms x {} inputs = {} equivalence checks, all passed",
         programs.len(),
         PreAlgorithm::ALL.len(),
@@ -219,7 +277,7 @@ fn t2() {
         dags += 1;
         paths += l.len() as u64;
     }
-    println!("DAG sweep: {dags} programs, {paths} paths: lazy == busy <= original on every path");
+    oln!("DAG sweep: {dags} programs, {paths} paths: lazy == busy <= original on every path");
 
     // Aggregate dynamic counts incl. the Morel–Renvoise gap.
     let inputs = Inputs::new()
@@ -257,11 +315,11 @@ fn t2() {
             mr_missed += 1;
         }
     }
-    println!(
+    oln!(
         "dynamic sweep ({} programs): original {o_total} evals, morel-renvoise {m_total}, lazy {l_total}",
         programs.len()
     );
-    println!(
+    oln!(
         "lazy removes {:.1}% of candidate evaluations; MR removes {:.1}%; MR strictly misses redundancies on {} / {} programs",
         100.0 * (o_total - l_total) as f64 / o_total as f64,
         100.0 * (o_total - m_total) as f64 / o_total as f64,
@@ -299,15 +357,18 @@ fn t2() {
             mr_wins += 1;
         }
     }
-    println!(
+    oln!(
         "static net sites removed (deletions − insertions): lazy {lazy_net} vs MR {mr_net}          (lazy ahead on {lazy_wins}, MR on {mr_wins} programs — static counts are not the          optimality measure: an edge insertion appears once per edge while MR's block-end          insertion covers several paths with one site; the per-path counts above are the          theorem's metric)"
     );
 
     // The critical-edge chain: the shape MR cannot serve at all.
-    println!("\none_armed_chain (all redundancy behind critical edges):");
-    println!(
+    oln!("\none_armed_chain (all redundancy behind critical edges):");
+    oln!(
         "{:>6} {:>12} {:>12} {:>12}",
-        "n", "orig evals", "lazy evals", "mr evals"
+        "n",
+        "orig evals",
+        "lazy evals",
+        "mr evals"
     );
     for n in [4usize, 16, 64] {
         let f = shapes::one_armed_chain(n);
@@ -326,7 +387,7 @@ fn t2() {
             1_000_000,
         )
         .total_evals_of(&exprs);
-        println!("{n:>6} {o:>12} {l:>12} {m:>12}");
+        oln!("{n:>6} {o:>12} {l:>12} {m:>12}");
     }
 }
 
@@ -336,10 +397,14 @@ fn t3() {
         "T3",
         "lifetime optimality: temporary live ranges and occupancy",
     );
-    println!("pressure_chain sweep (live points of the introduced temporaries):");
-    println!(
+    oln!("pressure_chain sweep (live points of the introduced temporaries):");
+    oln!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
-        "n", "bcm", "alcm", "lcm-edge", "lcm-node"
+        "n",
+        "bcm",
+        "alcm",
+        "lcm-edge",
+        "lcm-node"
     );
     for n in [2usize, 4, 8, 16, 32, 64] {
         let f = shapes::pressure_chain(n);
@@ -353,9 +418,13 @@ fn t3() {
             let o = optimize(&f, alg).unwrap();
             row.push(metrics::live_points(&o.function, &o.transform.temp_vars()));
         }
-        println!(
+        oln!(
             "{:>6} {:>10} {:>10} {:>10} {:>10}",
-            n, row[0], row[1], row[2], row[3]
+            n,
+            row[0],
+            row[1],
+            row[2],
+            row[3]
         );
     }
 
@@ -388,12 +457,12 @@ fn t3() {
             &lazy.transform.temp_vars(),
         );
     }
-    println!(
+    oln!(
         "\nrandom sweep ({} programs): static live points busy {busy_pts} vs lazy {lazy_pts} ({:.2}x)",
         programs.len(),
         busy_pts as f64 / lazy_pts.max(1) as f64,
     );
-    println!(
+    oln!(
         "dynamic occupancy busy {busy_occ} vs lazy {lazy_occ} ({:.2}x); lazy strictly better on {strict} programs, never worse",
         busy_occ as f64 / lazy_occ.max(1) as f64,
     );
@@ -405,7 +474,7 @@ fn c1() {
         "C1",
         "analysis cost: LCM's unidirectional passes vs Morel-Renvoise's bidirectional system",
     );
-    println!(
+    oln!(
         "{:>8} {:>9} | {:>10} {:>12} {:>12} | {:>10} {:>12} {:>12} | {:>8}",
         "blocks",
         "exprs",
@@ -430,7 +499,7 @@ fn c1() {
             mr_total += mr_analysis_cost(f);
         }
         let n = programs.len();
-        println!(
+        oln!(
             "{:>8} {:>9} | {:>10} {:>12} {:>12} | {:>10} {:>12} {:>12} | {:>8.2}",
             blocks / n,
             exprs / n,
@@ -443,23 +512,31 @@ fn c1() {
             mr_total.word_ops as f64 / lcm_total.word_ops.max(1) as f64,
         );
     }
-    println!(
+    oln!(
         "\n(lcm sweeps aggregates availability + anticipability + LATER; mr sweeps\n\
          aggregates availability + partial availability + the bidirectional\n\
          PPIN/PPOUT iteration. `ratio` is MR word-ops / LCM word-ops.)"
     );
 
-    println!("\nper-workload static comparison:");
+    oln!("\nper-workload static comparison:");
     for (name, f) in lcm_bench::workloads() {
-        println!("  {name} ({} blocks):", f.num_blocks());
-        println!(
+        oln!("  {name} ({} blocks):", f.num_blocks());
+        oln!(
             "    {:<16} {:>8} {:>8} {:>8} {:>12}",
-            "algorithm", "inserts", "deletes", "temps", "live points"
+            "algorithm",
+            "inserts",
+            "deletes",
+            "temps",
+            "live points"
         );
         for row in compare_algorithms(&f) {
-            println!(
+            oln!(
                 "    {:<16} {:>8} {:>8} {:>8} {:>12}",
-                row.algorithm, row.insertions, row.deletions, row.temps, row.live_points
+                row.algorithm,
+                row.insertions,
+                row.deletions,
+                row.temps,
+                row.live_points
             );
         }
     }
@@ -476,7 +553,7 @@ fn c2() {
         "C2",
         "fused pipeline vs per-analysis round-robin (same fixpoints, fewer visits)",
     );
-    println!(
+    oln!(
         "{:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>7} {:>7}",
         "blocks",
         "exprs",
@@ -500,7 +577,7 @@ fn c2() {
             fused += fused_analysis_cost(f).total();
         }
         let n = programs.len();
-        println!(
+        oln!(
             "{:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>7.2} {:>7.2}",
             blocks / n,
             exprs / n,
@@ -512,10 +589,15 @@ fn c2() {
             rr.word_ops as f64 / fused.word_ops.max(1) as f64,
         );
     }
-    println!("\nscaling shapes (single functions):");
-    println!(
+    oln!("\nscaling shapes (single functions):");
+    oln!(
         "{:<20} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
-        "workload", "blocks", "rr visits", "rr wordops", "fu visits", "fu wordops"
+        "workload",
+        "blocks",
+        "rr visits",
+        "rr wordops",
+        "fu visits",
+        "fu wordops"
     );
     for (name, f) in lcm_bench::workloads() {
         let rr = lcm_analysis_cost(&f);
@@ -524,7 +606,7 @@ fn c2() {
             fu.node_visits <= rr.node_visits,
             "{name}: worklist should never visit more nodes"
         );
-        println!(
+        oln!(
             "{:<20} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
             name,
             f.num_blocks(),
@@ -534,11 +616,140 @@ fn c2() {
             fu.word_ops
         );
     }
-    println!(
+    oln!(
         "\n(rr = seed path: three independent round-robin solves, orderings and\n\
          adjacency recomputed per solve. fu = fused: one CfgView, change-driven\n\
          worklist. Fixpoints are identical — asserted per function in the\n\
          solver-equivalence test suite.)"
+    );
+}
+
+/// C3 — the parallel batch driver: thread-count sweep, byte-identical
+/// output across thread counts, and plan-cache deduplication.
+fn c3() {
+    header(
+        "C3",
+        "batch driver: thread sweep, determinism, and plan-cache dedup",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let make_units = |fns: Vec<lcm_ir::Function>, prefix: &str| -> Vec<BatchUnit> {
+        fns.into_iter()
+            .enumerate()
+            .map(|(i, mut f)| {
+                f.name = format!("{prefix}{i}");
+                BatchUnit {
+                    file: None,
+                    function: f,
+                }
+            })
+            .collect()
+    };
+    let run_once = |jobs: usize, use_cache: bool, units: &[BatchUnit]| {
+        let mut engine = BatchEngine::new(BatchOptions {
+            jobs,
+            use_cache,
+            ..BatchOptions::default()
+        });
+        let t0 = std::time::Instant::now();
+        let result = engine.run(units.to_vec());
+        (t0.elapsed(), result)
+    };
+
+    // Thread sweep: same corpus, cache off (pure compute), best of three.
+    // stdout of `lcmopt batch` is byte-identical by construction; the
+    // assert re-checks that here on the rendered report.
+    let corpus = make_units(sized_corpus(300, 32), "f");
+    oln!(
+        "thread sweep over {} generated functions (~300 blocks each), cache off, best of 3",
+        corpus.len()
+    );
+    oln!("machine: {cores} core(s) available");
+    oln!(
+        "{:>6} {:>12} {:>10} {:>12}",
+        "jobs",
+        "wall ms",
+        "speedup",
+        "output"
+    );
+    let mut baseline_text: Option<String> = None;
+    let mut baseline_ms = 0.0f64;
+    for jobs in [1usize, 2, 4, 8] {
+        let mut best = std::time::Duration::MAX;
+        let mut text = String::new();
+        for _ in 0..3 {
+            let (t, r) = run_once(jobs, false, &corpus);
+            assert_eq!(r.totals.failed, 0);
+            best = best.min(t);
+            text = lcm_driver::report::render_text(&r);
+        }
+        let ms = best.as_secs_f64() * 1e3;
+        let verdict = match &baseline_text {
+            None => {
+                baseline_text = Some(text);
+                baseline_ms = ms;
+                "baseline"
+            }
+            Some(b) => {
+                assert_eq!(
+                    b, &text,
+                    "batch output must be byte-identical at jobs={jobs}"
+                );
+                "identical"
+            }
+        };
+        oln!(
+            "{jobs:>6} {ms:>12.1} {:>9.2}x {verdict:>12}",
+            baseline_ms / ms
+        );
+    }
+    oln!("(speedup is bounded by the cores available on this machine)");
+
+    // Cache dedup: 8 distinct bodies replicated 4x under different names.
+    // The content-addressed cache computes each body once and serves the
+    // other 24 units as hits; a warm second batch computes nothing.
+    let distinct = sized_corpus(300, 8);
+    let mut dups = Vec::new();
+    for rep in 0..4 {
+        let named = make_units(distinct.clone(), &format!("g{rep}_"));
+        dups.extend(named);
+    }
+    let (t_off, r_off) = run_once(cores, false, &dups);
+    let mut engine = BatchEngine::new(BatchOptions {
+        jobs: cores,
+        ..BatchOptions::default()
+    });
+    let t0 = std::time::Instant::now();
+    let r_on = engine.run(dups.clone());
+    let t_on = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let r_warm = engine.run(dups);
+    let t_warm = t1.elapsed();
+    assert_eq!(
+        lcm_driver::report::render_text(&r_off),
+        lcm_driver::report::render_text(&r_on),
+        "the cache must never change the output"
+    );
+    oln!(
+        "\ncache dedup over {} units ({} distinct bodies x 4 names):",
+        r_off.totals.functions,
+        distinct.len()
+    );
+    oln!(
+        "  cache off:  {} computed, {:>8.1} ms",
+        r_off.totals.computed,
+        t_off.as_secs_f64() * 1e3
+    );
+    oln!(
+        "  cache on:   {} computed, {} hits, {:>8.1} ms (identical output)",
+        r_on.totals.computed,
+        r_on.totals.cache.hits,
+        t_on.as_secs_f64() * 1e3
+    );
+    oln!(
+        "  warm rerun: {} computed, {} hits, {:>8.1} ms (hits revalidated at the fast tier)",
+        r_warm.totals.computed,
+        r_warm.totals.cache.hits - r_on.totals.cache.hits,
+        t_warm.as_secs_f64() * 1e3
     );
 }
 
@@ -550,10 +761,13 @@ fn e1() {
         "lazy strength reduction (the authors' companion extension)",
     );
     // The canonical induction loop, swept over trip counts.
-    println!("induction loop `addr = i * 12` with n iterations:");
-    println!(
+    oln!("induction loop `addr = i * 12` with n iterations:");
+    oln!(
         "{:>8} {:>12} {:>12} {:>10}",
-        "n", "mults before", "mults after", "updates"
+        "n",
+        "mults before",
+        "mults after",
+        "updates"
     );
     for n in [4i64, 16, 64, 256] {
         let f = lcm_ir::parse_function(&format!(
@@ -577,7 +791,7 @@ fn e1() {
         let before = run(&f, &Inputs::new(), 10_000_000);
         let after = run(&res.function, &Inputs::new(), 10_000_000);
         assert_eq!(before.trace, after.trace);
-        println!(
+        oln!(
             "{:>8} {:>12} {:>12} {:>10}",
             n,
             candidate_mults(&before, &res.candidates),
@@ -603,12 +817,12 @@ fn e1() {
             reduced_on += 1;
         }
     }
-    println!(
+    oln!(
         "\nrandom sweep ({} programs, seed 0x57e6): candidate multiplications {before_total} -> {after_total} ({:.1}% removed)",
         programs.len(),
         100.0 * (before_total - after_total) as f64 / before_total.max(1) as f64,
     );
-    println!("reduced on {reduced_on} programs, never increased on any");
+    oln!("reduced on {reduced_on} programs, never increased on any");
 }
 
 /// A1 — ablations: isolation pruning and solver strategy.
@@ -631,7 +845,7 @@ fn a1() {
         with_points += metrics::live_points(&with.function, &with.transform.temp_vars());
         without_points += metrics::live_points(&without.function, &without.transform.temp_vars());
     }
-    println!(
+    oln!(
         "isolation pruning over {} programs: insertions {} (with) vs {} (without, ALCM); temp live points {} vs {}",
         programs.len(),
         with_ins,
@@ -669,7 +883,7 @@ fn a1() {
         rr_visits += rr.stats.node_visits;
         wl_visits += wl.stats.node_visits;
     }
-    println!(
+    oln!(
         "anticipability on 10 programs of ~150 blocks: round-robin {} node visits, worklist {} node visits (identical fixpoints)",
         rr_visits, wl_visits
     );

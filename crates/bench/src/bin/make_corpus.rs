@@ -1,0 +1,20 @@
+//! Prints the deterministic workload suite as one module on stdout.
+//!
+//! ```sh
+//! cargo run -p lcm-bench --bin make_corpus > corpus.lcm
+//! lcmopt batch corpus.lcm
+//! ```
+//!
+//! Used by ci.sh's batch smoke stage to exercise `lcmopt batch` on the
+//! same programs the benchmarks measure.
+
+use lcm_ir::Module;
+
+fn main() {
+    let mut m = Module::default();
+    for (name, mut f) in lcm_bench::workloads() {
+        f.name = name.to_string();
+        m.push(f).expect("workload names are unique");
+    }
+    println!("{m}");
+}

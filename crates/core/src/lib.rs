@@ -197,6 +197,10 @@ pub struct Optimized {
     pub input: Function,
     /// Which algorithm ran.
     pub algorithm: PreAlgorithm,
+    /// Per-analysis solver statistics, when the algorithm ran the fused
+    /// edge pipeline ([`PreAlgorithm::LazyEdge`]); `None` for the other
+    /// algorithms, whose solves are not fused into one pipeline.
+    pub pipeline_stats: Option<PipelineStats>,
 }
 
 /// Runs one PRE algorithm end to end: analyses → placement plan →
@@ -219,11 +223,13 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, Pipe
                 plan: res.plan,
                 input: res.function,
                 algorithm,
+                pipeline_stats: None,
             })
         }
         _ => {
             let uni = ExprUniverse::of(f);
             let local = LocalPredicates::compute(f, &uni);
+            let mut pipeline_stats = None;
             let plan = match algorithm {
                 PreAlgorithm::Busy => {
                     let ga = GlobalAnalyses::compute(f, &uni, &local)?;
@@ -235,7 +241,13 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, Pipe
                     // see tests/solver_equivalence.rs.
                     let view = lcm_dataflow::CfgView::new(f);
                     let ga = GlobalAnalyses::compute_in(f, &uni, &local, &view)?;
-                    lazy_edge_plan_in(f, &uni, &local, &ga, &view)?.plan
+                    let lazy = lazy_edge_plan_in(f, &uni, &local, &ga, &view)?;
+                    pipeline_stats = Some(PipelineStats {
+                        avail: ga.avail.stats,
+                        antic: ga.antic.stats,
+                        later: lazy.stats,
+                    });
+                    lazy.plan
                 }
                 PreAlgorithm::MorelRenvoise => morel_renvoise_plan(f, &uni, &local)?.plan,
                 // GCSE's "plan" is the empty plan: the shared transform
@@ -251,6 +263,7 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, Pipe
                 plan,
                 input: f.clone(),
                 algorithm,
+                pipeline_stats,
             })
         }
     }

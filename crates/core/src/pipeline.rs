@@ -58,6 +58,15 @@ impl PipelineStats {
     }
 }
 
+/// Merging, for aggregating many functions' solves (the batch driver).
+impl std::ops::AddAssign for PipelineStats {
+    fn add_assign(&mut self, rhs: PipelineStats) {
+        self.avail += rhs.avail;
+        self.antic += rhs.antic;
+        self.later += rhs.later;
+    }
+}
+
 impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -248,6 +248,17 @@ pub struct TransformStats {
     pub temps: usize,
 }
 
+/// Merging, for aggregating many functions' rewrites (the batch driver).
+impl std::ops::AddAssign for TransformStats {
+    fn add_assign(&mut self, rhs: TransformStats) {
+        self.insertions += rhs.insertions;
+        self.deletions += rhs.deletions;
+        self.retained_defs += rhs.retained_defs;
+        self.edges_split += rhs.edges_split;
+        self.temps += rhs.temps;
+    }
+}
+
 /// The rewritten function plus bookkeeping.
 #[derive(Clone, Debug)]
 pub struct TransformResult {

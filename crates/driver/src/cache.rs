@@ -1,0 +1,272 @@
+//! The content-addressed plan cache.
+//!
+//! Entries are keyed by a 128-bit FNV-1a hash of the **canonically
+//! printed** function: the function renamed to a fixed placeholder
+//! ([`CANONICAL_NAME`]) and formatted by the IR printer. Renaming is sound
+//! because a function's name influences nothing the optimizer computes, so
+//! duplicate bodies under different names share one entry; canonical
+//! printing means label columns, comments and whitespace don't split
+//! entries either. Each entry also stores its canonical text, and lookups
+//! compare it, so a hash collision degrades to a miss instead of serving
+//! the wrong plan.
+//!
+//! Eviction is FIFO at a fixed capacity. The driver performs insertions in
+//! function-index order, which keeps the eviction sequence — and therefore
+//! the hit/miss/eviction counters — identical for every `--jobs` value.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use lcm_core::transform::TransformStats;
+use lcm_core::{Optimized, PipelineStats};
+use lcm_ir::Function;
+
+/// The placeholder name functions are canonicalised to before hashing.
+pub const CANONICAL_NAME: &str = "__fn";
+
+/// One cached optimization result, addressed by content.
+///
+/// The entry keeps enough of the pipeline's intermediate state
+/// (`pre_input`, `opt`) to **re-validate** the cached plan on a hit, so a
+/// corrupted or poisoned entry is caught by the same validator that guards
+/// the live pipeline (see the `lcm-faults` cache-poisoning tests).
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Canonical source text of the function (collision guard).
+    pub canonical_input: String,
+    /// The post-LCSE function the plan was computed for.
+    pub pre_input: Function,
+    /// The PRE result (plan + rewritten function) for `pre_input`.
+    pub opt: Optimized,
+    /// The final cleaned-up output, printed under [`CANONICAL_NAME`].
+    pub output_text: String,
+    /// Solver statistics of the fused pipeline run that built the entry.
+    pub pipeline: PipelineStats,
+    /// Rewrite counters of the run that built the entry.
+    pub transform: TransformStats,
+    /// Validator checks run when the entry was built.
+    pub validation_checks: usize,
+    /// Differential inputs sampled when the entry was built.
+    pub inputs_sampled: usize,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including intra-batch duplicates
+    /// replayed from a just-computed leader).
+    pub hits: usize,
+    /// Lookups that required a pipeline run.
+    pub misses: usize,
+    /// Entries evicted to stay within capacity.
+    pub evictions: usize,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} evictions",
+            self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+/// A FIFO-bounded content-addressed map from function fingerprints to
+/// optimization results.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<u128, CacheEntry>,
+    order: VecDeque<u128>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` entries; `0` means
+    /// unbounded.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            ..PlanCache::default()
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, verifying the stored canonical text matches (so a
+    /// 128-bit collision reads as a miss, never as a wrong plan). Does not
+    /// touch the counters; the driver counts hits and misses when it plans
+    /// a batch.
+    pub fn get(&self, key: u128, canonical_input: &str) -> Option<&CacheEntry> {
+        self.map
+            .get(&key)
+            .filter(|e| e.canonical_input == canonical_input)
+    }
+
+    /// Immutable access to an entry by key alone, without the collision
+    /// guard — for re-validating hits that were already text-checked when
+    /// the batch was planned.
+    pub fn entry_ref(&self, key: u128) -> Option<&CacheEntry> {
+        self.map.get(&key)
+    }
+
+    /// Mutable access to an entry, **bypassing** the collision guard.
+    ///
+    /// This exists for fault injection: the `lcm-faults` crate corrupts
+    /// cached plans through it to prove hit-revalidation catches them. It
+    /// is not part of the normal driver path.
+    pub fn entry_mut(&mut self, key: u128) -> Option<&mut CacheEntry> {
+        self.map.get_mut(&key)
+    }
+
+    /// Records a lookup answered from cached state.
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a lookup that required a pipeline run.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Inserts `entry` under `key`, evicting the oldest entry if the cache
+    /// is full. Re-inserting an existing key replaces the entry without
+    /// changing its age.
+    pub fn insert(&mut self, key: u128, entry: CacheEntry) {
+        if self.map.insert(key, entry).is_some() {
+            return;
+        }
+        self.order.push_back(key);
+        if self.capacity > 0 && self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Fingerprints `f` for cache addressing: returns the 128-bit FNV-1a hash
+/// of its canonical text, together with that text.
+pub fn fingerprint(f: &Function) -> (u128, String) {
+    let text = canonical_text(f);
+    (fnv1a_128(text.as_bytes()), text)
+}
+
+/// Prints `f` under [`CANONICAL_NAME`], so same-body functions print
+/// identically regardless of their names.
+pub fn canonical_text(f: &Function) -> String {
+    if f.name == CANONICAL_NAME {
+        return f.to_string();
+    }
+    let mut g = f.clone();
+    g.name = CANONICAL_NAME.to_string();
+    g.to_string()
+}
+
+/// Rewrites the canonical header of `output_text` back to `name` for
+/// presentation. The canonical text always starts with `fn __fn {`, so a
+/// prefix swap is exact.
+pub(crate) fn with_name(output_text: &str, name: &str) -> String {
+    let header = format!("fn {CANONICAL_NAME} {{");
+    let rest = output_text
+        .strip_prefix(header.as_str())
+        .expect("cached output text must start with the canonical header");
+    format!("fn {name} {{{rest}")
+}
+
+/// 128-bit FNV-1a. Hand-rolled (hermetic workspace: no hashing crates);
+/// the 128-bit width makes accidental collisions over a corpus
+/// astronomically unlikely, and the stored-text comparison in
+/// [`PlanCache::get`] removes even that case from the correctness argument.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::parse_function;
+
+    fn entry_for(f: &Function) -> (u128, CacheEntry) {
+        let (key, text) = fingerprint(f);
+        let opt = lcm_core::optimize(f, lcm_core::PreAlgorithm::LazyEdge).unwrap();
+        let entry = CacheEntry {
+            canonical_input: text,
+            pre_input: f.clone(),
+            output_text: canonical_text(&opt.function),
+            pipeline: opt.pipeline_stats.unwrap_or_default(),
+            transform: opt.transform.stats,
+            opt,
+            validation_checks: 0,
+            inputs_sampled: 0,
+        };
+        (key, entry)
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_function_name() {
+        let a = parse_function("fn a {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        let b = parse_function("fn b {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        let c = parse_function("fn c {\nentry:\n  x = p - q\n  ret\n}").unwrap();
+        assert_eq!(fingerprint(&a).0, fingerprint(&b).0);
+        assert_ne!(fingerprint(&a).0, fingerprint(&c).0);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let fns: Vec<Function> = (0..3)
+            .map(|i| parse_function(&format!("fn f {{\nentry:\n  x = p + {i}\n  ret\n}}")).unwrap())
+            .collect();
+        let mut cache = PlanCache::new(2);
+        for f in &fns {
+            let (key, entry) = entry_for(f);
+            cache.insert(key, entry);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The first insert is the one evicted.
+        let (k0, t0) = fingerprint(&fns[0]);
+        assert!(cache.get(k0, &t0).is_none());
+        let (k2, t2) = fingerprint(&fns[2]);
+        assert!(cache.get(k2, &t2).is_some());
+    }
+
+    #[test]
+    fn collision_guard_rejects_mismatched_text() {
+        let f = parse_function("fn a {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        let (key, entry) = entry_for(&f);
+        let mut cache = PlanCache::new(0);
+        cache.insert(key, entry);
+        assert!(cache.get(key, "fn __fn {\nsomething else\n}").is_none());
+        assert!(cache.get(key, &canonical_text(&f)).is_some());
+    }
+
+    #[test]
+    fn name_substitution_round_trips() {
+        let f = parse_function("fn real_name {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        let canon = canonical_text(&f);
+        assert_eq!(with_name(&canon, "real_name"), f.to_string());
+    }
+}

@@ -1,0 +1,584 @@
+//! # lcm-driver — the parallel batch-optimization engine
+//!
+//! Every other entry point in the workspace handles one function at a time.
+//! This crate drives a whole [`Module`] (or a directory of `.lcm` files)
+//! through the checked LCM pipeline:
+//!
+//! * **Sharding** — functions are fanned out over a work-stealing pool of
+//!   scoped `std::thread` workers ([`pool::run_indexed`]); results are
+//!   collected by function index, never by completion order.
+//! * **Isolation** — each function runs inside `catch_unwind` with its
+//!   input verified first, so a malformed or pipeline-crashing function
+//!   fails *its unit* and the rest of the batch completes.
+//! * **Caching** — a content-addressed [`PlanCache`] keyed by the
+//!   canonically-printed function body means duplicate functions across a
+//!   corpus are optimized once; cached plans are **re-validated** on hit,
+//!   so a corrupted cache degrades to a unit failure, not to wrong code.
+//! * **Determinism** — cache lookups, cache insertions and report assembly
+//!   are sequential in function order; only the pipeline runs themselves
+//!   are parallel. The rendered output and aggregated statistics are
+//!   byte-identical for every thread count (asserted in
+//!   `tests/determinism.rs` and by `ci.sh`'s batch smoke stage).
+//!
+//! # Example
+//!
+//! ```
+//! use lcm_driver::{BatchEngine, BatchOptions};
+//!
+//! let m = lcm_ir::parse_module(
+//!     "fn a {\nentry:\n  x = p + q\n  obs x\n  ret\n}\n\n\
+//!      fn b {\nentry:\n  x = p + q\n  obs x\n  ret\n}",
+//! )?;
+//! let mut engine = BatchEngine::new(BatchOptions::default());
+//! let result = engine.run_module(&m);
+//! assert_eq!(result.totals.ok, 2);
+//! // `b` is `a` with different names — optimized once, served from cache.
+//! assert_eq!(result.totals.cache.hits, 1);
+//! # Ok::<(), lcm_ir::ParseError>(())
+//! ```
+
+pub mod pool;
+pub mod report;
+
+mod cache;
+mod load;
+
+pub use cache::{canonical_text, fingerprint, CacheEntry, CacheStats, PlanCache, CANONICAL_NAME};
+pub use load::{load_units, LoadError};
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lcm_core::transform::TransformStats;
+use lcm_core::validate::{validate_optimized, ValidationLevel};
+use lcm_core::{optimize_checked, passes, PipelineStats, PreAlgorithm};
+use lcm_ir::{simplify_cfg, verify, Function, Module};
+
+/// How a batch run is configured.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Validation tier for computed units; cache hits are re-validated at
+    /// the fast tier whenever this is not [`ValidationLevel::Off`].
+    pub validate: ValidationLevel,
+    /// Seed for the validator's differential execution.
+    pub seed: u64,
+    /// Whether the plan cache is consulted and filled.
+    pub use_cache: bool,
+    /// Plan-cache capacity in entries; `0` means unbounded.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 0,
+            validate: ValidationLevel::Fast,
+            seed: 0x1c3a_57ed,
+            use_cache: true,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One function to optimize, with its provenance for reporting.
+#[derive(Clone, Debug)]
+pub struct BatchUnit {
+    /// The file the function came from, if any.
+    pub file: Option<String>,
+    /// The function itself.
+    pub function: Function,
+}
+
+/// Why a unit failed. The batch itself never fails; these are per-unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The input function failed structural verification.
+    InvalidInput,
+    /// The checked pipeline returned a typed [`lcm_core::PipelineError`].
+    Pipeline,
+    /// The cleanup passes produced IR that fails verification.
+    InvalidOutput,
+    /// The pipeline panicked; the panic was caught and contained.
+    Panic,
+    /// A cached plan failed re-validation on hit (cache corruption).
+    PoisonedCache,
+}
+
+impl FailureKind {
+    /// A short stable name, used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::InvalidInput => "invalid-input",
+            FailureKind::Pipeline => "pipeline",
+            FailureKind::InvalidOutput => "invalid-output",
+            FailureKind::Panic => "panic",
+            FailureKind::PoisonedCache => "poisoned-cache",
+        }
+    }
+}
+
+/// A unit failure: what kind, and the underlying message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnitError {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// The underlying error or panic message.
+    pub message: String,
+}
+
+/// A successfully optimized unit.
+#[derive(Clone, Debug)]
+pub struct UnitSuccess {
+    /// The optimized function, printed under the unit's own name.
+    pub output: String,
+    /// Solver statistics of the fused pipeline run (cached runs report the
+    /// statistics recorded when the entry was built).
+    pub pipeline: PipelineStats,
+    /// Rewrite counters.
+    pub transform: TransformStats,
+    /// Validator checks run **for this unit in this batch** — zero for a
+    /// duplicate replayed from a leader computed moments earlier.
+    pub validation_checks: usize,
+    /// Differential inputs sampled for this unit in this batch.
+    pub inputs_sampled: usize,
+}
+
+/// The outcome of one unit.
+#[derive(Clone, Debug)]
+pub enum UnitOutcome {
+    /// Optimized (possibly from cache) and validated.
+    Ok(UnitSuccess),
+    /// Failed; the rest of the batch is unaffected.
+    Failed(UnitError),
+}
+
+/// How the cache participated in a unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheDisposition {
+    /// The cache was off.
+    Uncached,
+    /// A pipeline run produced (and cached) the result.
+    Computed,
+    /// Served from the cache — a prior batch's entry or an intra-batch
+    /// duplicate's leader.
+    Hit,
+}
+
+impl CacheDisposition {
+    /// A short stable name, used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Uncached => "uncached",
+            CacheDisposition::Computed => "computed",
+            CacheDisposition::Hit => "hit",
+        }
+    }
+}
+
+/// Everything the driver has to say about one unit.
+#[derive(Clone, Debug)]
+pub struct UnitReport {
+    /// The function's name.
+    pub name: String,
+    /// The file it came from, if any.
+    pub file: Option<String>,
+    /// How the cache participated.
+    pub cache: CacheDisposition,
+    /// What happened.
+    pub outcome: UnitOutcome,
+}
+
+/// Deterministic aggregates over a batch.
+///
+/// Wall-clock numbers are deliberately absent: everything here is a pure
+/// function of the input module and the cache state, so it is identical
+/// for every `--jobs` value. Timing belongs on stderr.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct BatchTotals {
+    /// Units in the batch.
+    pub functions: usize,
+    /// Units that optimized successfully.
+    pub ok: usize,
+    /// Units that failed.
+    pub failed: usize,
+    /// Units that ran the pipeline (as opposed to hitting the cache).
+    pub computed: usize,
+    /// Merged solver statistics over computed units.
+    pub pipeline: PipelineStats,
+    /// Merged rewrite counters over computed units.
+    pub transform: TransformStats,
+    /// Validator checks run in this batch (computed units plus cache-hit
+    /// re-validations).
+    pub validation_checks: usize,
+    /// Differential inputs sampled in this batch.
+    pub inputs_sampled: usize,
+    /// Cache counters — cumulative for the engine, so a second batch on
+    /// the same engine sees the first batch's entries.
+    pub cache: CacheStats,
+    /// Live cache entries after the batch.
+    pub cache_entries: usize,
+}
+
+/// The result of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-unit reports, in input order.
+    pub units: Vec<UnitReport>,
+    /// Deterministic aggregates.
+    pub totals: BatchTotals,
+}
+
+/// How phase 1 decided to handle a unit. Planning is sequential and in
+/// input order, so the decisions — and every cache counter — are
+/// independent of the thread count.
+enum UnitPlan {
+    /// Input verification failed.
+    Invalid(UnitError),
+    /// Run the pipeline; cache under `key` if the cache is on.
+    Compute { key: Option<u128> },
+    /// Intra-batch duplicate of the unit at `leader` (which computes).
+    Replay { leader: usize },
+    /// Already cached. The reporting fields are snapshotted at planning
+    /// time so later insertions (and their evictions) cannot disturb them.
+    Hit {
+        key: u128,
+        output_text: String,
+        pipeline: PipelineStats,
+        transform: TransformStats,
+    },
+}
+
+/// One parallel job: run a unit's pipeline, or re-validate a cached entry.
+enum Job {
+    Compute(usize),
+    Revalidate(u128),
+}
+
+/// What a parallel job produced. The computed entry is boxed: it is two
+/// orders of magnitude bigger than the revalidation counters.
+enum JobOut {
+    Computed(usize, Result<Box<CacheEntry>, UnitError>),
+    Revalidated(u128, Result<(usize, usize), UnitError>),
+}
+
+/// The batch engine: a [`BatchOptions`] plus a [`PlanCache`] that persists
+/// across [`BatchEngine::run`] calls.
+#[derive(Debug)]
+pub struct BatchEngine {
+    opts: BatchOptions,
+    cache: PlanCache,
+}
+
+impl BatchEngine {
+    /// Creates an engine with an empty cache.
+    pub fn new(opts: BatchOptions) -> Self {
+        BatchEngine {
+            cache: PlanCache::new(opts.cache_capacity),
+            opts,
+        }
+    }
+
+    /// The configuration.
+    pub fn options(&self) -> &BatchOptions {
+        &self.opts
+    }
+
+    /// The plan cache (counters, size).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Mutable access to the cache — for fault injection and tests; the
+    /// normal driver path never needs it.
+    pub fn cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.cache
+    }
+
+    /// Optimizes every function of `m` as one batch.
+    pub fn run_module(&mut self, m: &Module) -> BatchResult {
+        self.run(
+            m.iter()
+                .map(|f| BatchUnit {
+                    file: None,
+                    function: f.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Optimizes `units` as one batch. See the crate docs for the phase
+    /// structure; the short version is *plan sequentially, compute in
+    /// parallel, assemble sequentially*.
+    pub fn run(&mut self, units: Vec<BatchUnit>) -> BatchResult {
+        let threads = resolve_jobs(self.opts.jobs);
+
+        // Phase 1 — sequential planning in input order: verify inputs,
+        // consult the cache, pick one leader per distinct new fingerprint.
+        let mut plans: Vec<UnitPlan> = Vec::with_capacity(units.len());
+        let mut leader_of: HashMap<u128, usize> = HashMap::new();
+        for (i, unit) in units.iter().enumerate() {
+            if let Err(e) = verify(&unit.function) {
+                plans.push(UnitPlan::Invalid(UnitError {
+                    kind: FailureKind::InvalidInput,
+                    message: e.to_string(),
+                }));
+                continue;
+            }
+            if !self.opts.use_cache {
+                plans.push(UnitPlan::Compute { key: None });
+                continue;
+            }
+            let (key, text) = fingerprint(&unit.function);
+            if let Some(entry) = self.cache.get(key, &text) {
+                let plan = UnitPlan::Hit {
+                    key,
+                    output_text: entry.output_text.clone(),
+                    pipeline: entry.pipeline,
+                    transform: entry.transform,
+                };
+                self.cache.note_hit();
+                plans.push(plan);
+            } else if let Some(&leader) = leader_of.get(&key) {
+                self.cache.note_hit();
+                plans.push(UnitPlan::Replay { leader });
+            } else {
+                self.cache.note_miss();
+                leader_of.insert(key, i);
+                plans.push(UnitPlan::Compute { key: Some(key) });
+            }
+        }
+
+        // Phase 2 — the parallel part: pipeline runs for every planned
+        // compute, plus one fast-tier re-validation per distinct cache hit.
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if matches!(plan, UnitPlan::Compute { .. }) {
+                jobs.push(Job::Compute(i));
+            }
+        }
+        if self.opts.validate != ValidationLevel::Off {
+            let mut seen: Vec<u128> = Vec::new();
+            for plan in &plans {
+                if let UnitPlan::Hit { key, .. } = plan {
+                    if !seen.contains(key) {
+                        seen.push(*key);
+                        jobs.push(Job::Revalidate(*key));
+                    }
+                }
+            }
+        }
+
+        let cache = &self.cache;
+        let opts = self.opts;
+        let outs: Vec<JobOut> = pool::run_indexed(threads, jobs.len(), |j| match jobs[j] {
+            Job::Compute(i) => JobOut::Computed(
+                i,
+                isolate(|| {
+                    optimize_unit(&units[i].function, opts.validate, opts.seed).map(Box::new)
+                }),
+            ),
+            Job::Revalidate(key) => {
+                let entry = cache
+                    .entry_ref(key)
+                    .expect("planned hit entries outlive phase 2");
+                JobOut::Revalidated(key, isolate(|| revalidate_entry(entry, opts.seed)))
+            }
+        });
+
+        let mut computed: HashMap<usize, Result<Box<CacheEntry>, UnitError>> = HashMap::new();
+        let mut revalidated: HashMap<u128, Result<(usize, usize), UnitError>> = HashMap::new();
+        for out in outs {
+            match out {
+                JobOut::Computed(i, r) => {
+                    computed.insert(i, r);
+                }
+                JobOut::Revalidated(key, r) => {
+                    revalidated.insert(key, r);
+                }
+            }
+        }
+
+        // Phase 3 — sequential assembly in input order. Cache insertions
+        // happen here, in input order, so the eviction sequence is
+        // deterministic too.
+        let mut reports: Vec<UnitReport> = Vec::with_capacity(units.len());
+        let mut totals = BatchTotals {
+            functions: units.len(),
+            ..BatchTotals::default()
+        };
+        for (i, (unit, plan)) in units.iter().zip(&plans).enumerate() {
+            let name = unit.function.name.clone();
+            let (disposition, outcome) = match plan {
+                UnitPlan::Invalid(e) => {
+                    (CacheDisposition::Uncached, UnitOutcome::Failed(e.clone()))
+                }
+                UnitPlan::Compute { key } => {
+                    let disposition = if key.is_some() {
+                        CacheDisposition::Computed
+                    } else {
+                        CacheDisposition::Uncached
+                    };
+                    match &computed[&i] {
+                        Ok(entry) => {
+                            totals.computed += 1;
+                            totals.pipeline += entry.pipeline;
+                            totals.transform += entry.transform;
+                            totals.validation_checks += entry.validation_checks;
+                            totals.inputs_sampled += entry.inputs_sampled;
+                            let success = UnitSuccess {
+                                output: cache::with_name(&entry.output_text, &name),
+                                pipeline: entry.pipeline,
+                                transform: entry.transform,
+                                validation_checks: entry.validation_checks,
+                                inputs_sampled: entry.inputs_sampled,
+                            };
+                            if let Some(key) = key {
+                                self.cache.insert(*key, (**entry).clone());
+                            }
+                            (disposition, UnitOutcome::Ok(success))
+                        }
+                        Err(e) => (disposition, UnitOutcome::Failed(e.clone())),
+                    }
+                }
+                UnitPlan::Replay { leader } => match &computed[leader] {
+                    Ok(entry) => (
+                        CacheDisposition::Hit,
+                        UnitOutcome::Ok(UnitSuccess {
+                            output: cache::with_name(&entry.output_text, &name),
+                            pipeline: entry.pipeline,
+                            transform: entry.transform,
+                            validation_checks: 0,
+                            inputs_sampled: 0,
+                        }),
+                    ),
+                    Err(e) => (CacheDisposition::Hit, UnitOutcome::Failed(e.clone())),
+                },
+                UnitPlan::Hit {
+                    key,
+                    output_text,
+                    pipeline,
+                    transform,
+                } => {
+                    let checks = if self.opts.validate == ValidationLevel::Off {
+                        Ok((0, 0))
+                    } else {
+                        revalidated[key].clone()
+                    };
+                    match checks {
+                        Ok((validation_checks, inputs_sampled)) => {
+                            totals.validation_checks += validation_checks;
+                            totals.inputs_sampled += inputs_sampled;
+                            (
+                                CacheDisposition::Hit,
+                                UnitOutcome::Ok(UnitSuccess {
+                                    output: cache::with_name(output_text, &name),
+                                    pipeline: *pipeline,
+                                    transform: *transform,
+                                    validation_checks,
+                                    inputs_sampled,
+                                }),
+                            )
+                        }
+                        Err(e) => (CacheDisposition::Hit, UnitOutcome::Failed(e)),
+                    }
+                }
+            };
+            match &outcome {
+                UnitOutcome::Ok(_) => totals.ok += 1,
+                UnitOutcome::Failed(_) => totals.failed += 1,
+            }
+            reports.push(UnitReport {
+                name,
+                file: unit.file.clone(),
+                cache: disposition,
+                outcome,
+            });
+        }
+        totals.cache = self.cache.stats();
+        totals.cache_entries = self.cache.len();
+
+        BatchResult {
+            units: reports,
+            totals,
+        }
+    }
+}
+
+/// Resolves `jobs == 0` to the machine's available parallelism.
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Runs `work` with panics contained: a panic becomes a
+/// [`FailureKind::Panic`] unit error instead of crossing the pool's thread
+/// scope (which would abort the whole batch).
+fn isolate<T>(work: impl FnOnce() -> Result<T, UnitError>) -> Result<T, UnitError> {
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(UnitError {
+                kind: FailureKind::Panic,
+                message,
+            })
+        }
+    }
+}
+
+/// The per-function pipeline, mirroring `lcmopt`'s default pass order:
+/// LCSE → checked LCM (edge formulation) → copy propagation → DCE → CFG
+/// simplification → output verification.
+fn optimize_unit(f: &Function, level: ValidationLevel, seed: u64) -> Result<CacheEntry, UnitError> {
+    let mut g = f.clone();
+    g.name = CANONICAL_NAME.to_string();
+    let canonical_input = g.to_string();
+    passes::lcse(&mut g);
+    let (opt, report) =
+        optimize_checked(&g, PreAlgorithm::LazyEdge, level, seed).map_err(|e| UnitError {
+            kind: FailureKind::Pipeline,
+            message: e.to_string(),
+        })?;
+    let mut out = opt.function.clone();
+    passes::copy_propagation(&mut out);
+    passes::dce(&mut out);
+    simplify_cfg(&mut out);
+    verify(&out).map_err(|e| UnitError {
+        kind: FailureKind::InvalidOutput,
+        message: e.to_string(),
+    })?;
+    Ok(CacheEntry {
+        canonical_input,
+        pre_input: g,
+        pipeline: opt.pipeline_stats.unwrap_or_default(),
+        transform: opt.transform.stats,
+        output_text: out.to_string(),
+        opt,
+        validation_checks: report.checks_run,
+        inputs_sampled: report.inputs_sampled,
+    })
+}
+
+/// Re-validates a cached entry at the fast tier — the static checks are
+/// what catch a corrupted plan, and they are cheap enough to run on every
+/// hit. Returns the (checks, inputs) counters on success.
+fn revalidate_entry(entry: &CacheEntry, seed: u64) -> Result<(usize, usize), UnitError> {
+    match validate_optimized(&entry.pre_input, &entry.opt, ValidationLevel::Fast, seed) {
+        Ok(report) => Ok((report.checks_run, report.inputs_sampled)),
+        Err(e) => Err(UnitError {
+            kind: FailureKind::PoisonedCache,
+            message: e.to_string(),
+        }),
+    }
+}

@@ -1,0 +1,95 @@
+//! Batch input loading: one `.lcm` module file, or a directory of them.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lcm_ir::ParseError;
+
+use crate::BatchUnit;
+
+/// Why batch input could not be loaded.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LoadError {
+    /// The path could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// A directory contained no `.lcm` files.
+    NoInputs {
+        /// The directory.
+        path: String,
+    },
+    /// A file failed to parse.
+    Parse {
+        /// The file.
+        path: String,
+        /// The parse error, with file-relative line and column.
+        error: ParseError,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, message } => write!(f, "{path}: {message}"),
+            LoadError::NoInputs { path } => write!(f, "{path}: no .lcm files"),
+            LoadError::Parse { path, error } => write!(f, "{path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads the batch units under `path`: the functions of a single module
+/// file, or of every `.lcm` file in a directory (sorted by path, so the
+/// batch order — and therefore the output — is deterministic). Each unit
+/// records the file it came from.
+///
+/// # Errors
+///
+/// [`LoadError::Io`] if the path is unreadable, [`LoadError::NoInputs`] if
+/// a directory holds no `.lcm` files, [`LoadError::Parse`] on the first
+/// file that fails to parse.
+pub fn load_units(path: &Path) -> Result<Vec<BatchUnit>, LoadError> {
+    let io_err = |e: std::io::Error, p: &Path| LoadError::Io {
+        path: p.display().to_string(),
+        message: e.to_string(),
+    };
+    let meta = fs::metadata(path).map_err(|e| io_err(e, path))?;
+    let files: Vec<PathBuf> = if meta.is_dir() {
+        let mut files: Vec<PathBuf> = fs::read_dir(path)
+            .map_err(|e| io_err(e, path))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "lcm"))
+            .collect();
+        if files.is_empty() {
+            return Err(LoadError::NoInputs {
+                path: path.display().to_string(),
+            });
+        }
+        files.sort();
+        files
+    } else {
+        vec![path.to_path_buf()]
+    };
+
+    let mut units = Vec::new();
+    for file in files {
+        let text = fs::read_to_string(&file).map_err(|e| io_err(e, &file))?;
+        let module = lcm_ir::parse_module(&text).map_err(|error| LoadError::Parse {
+            path: file.display().to_string(),
+            error,
+        })?;
+        for f in module.iter() {
+            units.push(BatchUnit {
+                file: Some(file.display().to_string()),
+                function: f.clone(),
+            });
+        }
+    }
+    Ok(units)
+}

@@ -17,7 +17,8 @@
 //! pipeline depends on it.
 
 use lcm_core::Optimized;
-use lcm_ir::{BlockData, BlockId, Instr, Rvalue, Terminator, Var};
+use lcm_driver::PlanCache;
+use lcm_ir::{BlockData, BlockId, Function, Instr, Rvalue, Terminator, Var};
 
 /// One class of seeded corruption, modelling a distinct implementation
 /// bug in a PRE pass.
@@ -196,6 +197,26 @@ pub fn inject(opt: &mut Optimized, fault: Fault, seed: u64) -> bool {
             true
         }
     }
+}
+
+/// Corrupts the cached optimization result for `f` in place, modelling a
+/// poisoned (or bit-rotted) plan-cache entry in the batch driver.
+///
+/// The entry is addressed the same way the driver addresses it — by the
+/// content [`fingerprint`](lcm_driver::fingerprint) of `f` — and the
+/// corruption is applied by [`inject`] to the stored [`Optimized`] result,
+/// which is exactly the state hit-revalidation re-checks. The entry's
+/// rendered output text is left untouched: a poisoned entry *looks*
+/// servable, and only the validator can tell it is not.
+///
+/// Returns `false` when the cache holds no entry for `f` or the fault
+/// class does not apply to the cached result; the cache is then unchanged.
+pub fn poison_cached_plan(cache: &mut PlanCache, f: &Function, fault: Fault, seed: u64) -> bool {
+    let (key, _) = lcm_driver::fingerprint(f);
+    let Some(entry) = cache.entry_mut(key) else {
+        return false;
+    };
+    inject(&mut entry.opt, fault, seed)
 }
 
 /// Appends an orphan block that jumps to the exit — the residue of a

@@ -59,6 +59,31 @@ pub fn render(f: &Function, mut annotate: impl FnMut(BlockId) -> Option<String>)
     out
 }
 
+/// Renders every function of `m` as its own `digraph`, separated by a blank
+/// line. Graphviz treats a multi-graph file as a sequence of pages, so batch
+/// results stay inspectable with a single `dot` invocation.
+///
+/// ```
+/// use lcm_ir::{dot, parse_module};
+///
+/// let m = parse_module(
+///     "fn a {\nentry:\n  x = p + q\n  ret\n}\n\nfn b {\nentry:\n  ret\n}",
+/// )?;
+/// let text = dot::render_module(&m);
+/// assert_eq!(text.matches("digraph ").count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_module(m: &crate::Module) -> String {
+    let mut out = String::new();
+    for (i, f) in m.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render(f, |_| None));
+    }
+    out
+}
+
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()

@@ -9,7 +9,9 @@
 //! * [`Function`] — a control-flow graph of basic blocks with a unique
 //!   entry and a unique exit,
 //! * [`FunctionBuilder`] — an ergonomic way to construct functions,
-//! * a textual format ([`parse_function`], `Display`),
+//! * [`Module`] — an ordered, uniquely-named collection of functions, the
+//!   input unit of the batch driver,
+//! * a textual format ([`parse_function`], [`parse_module`], `Display`),
 //! * graph algorithms ([`graph`]): orderings, dominators, natural loops,
 //!   critical edges and critical-edge splitting,
 //! * CFG simplification ([`simplify_cfg`]): merging chains and removing
@@ -45,6 +47,7 @@ mod builder;
 mod expr;
 mod function;
 mod instr;
+mod module;
 mod parse;
 mod print;
 mod simplify;
@@ -57,7 +60,8 @@ pub use builder::FunctionBuilder;
 pub use expr::{BinOp, Expr, Operand, Rvalue, UnOp, Var};
 pub use function::{BlockData, BlockId, Edge, EdgeId, EdgeList, Function, SymbolTable};
 pub use instr::{Instr, Terminator};
-pub use parse::{parse_function, ParseError};
+pub use module::Module;
+pub use parse::{parse_function, parse_module, ParseError};
 pub use simplify::{simplify_cfg, SimplifyStats};
 pub use verify::{verify, VerifyError};
 

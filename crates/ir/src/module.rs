@@ -1,0 +1,182 @@
+//! Modules: ordered collections of functions from one source.
+//!
+//! A [`Module`] is the unit the batch driver operates on — every `fn` of
+//! one `.lcm` file, in source order. Function names are unique within a
+//! module so per-function results can be reported unambiguously.
+
+use std::fmt;
+
+use crate::function::Function;
+
+/// An ordered collection of functions with unique names.
+///
+/// Round-trips through the textual format: `Display` prints each function
+/// separated by a blank line, and [`parse_module`](crate::parse_module)
+/// reads the same shape back.
+///
+/// # Example
+///
+/// ```
+/// let m = lcm_ir::parse_module(
+///     "fn a {\nentry:\n  x = p + q\n  ret\n}\n\nfn b {\nentry:\n  ret\n}",
+/// )?;
+/// assert_eq!(m.len(), 2);
+/// let reparsed = lcm_ir::parse_module(&m.to_string())?;
+/// assert_eq!(m, reparsed);
+/// # Ok::<(), lcm_ir::ParseError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates a module from `functions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two functions share a name; use [`Module::push`] to handle
+    /// clashes gracefully.
+    pub fn new(functions: Vec<Function>) -> Self {
+        let mut m = Module::default();
+        for f in functions {
+            let name = f.name.clone();
+            assert!(m.push(f).is_ok(), "duplicate function `{name}` in module");
+        }
+        m
+    }
+
+    /// Appends `f`, rejecting it (returned unchanged, boxed to keep the
+    /// error small) if a function with the same name is already present.
+    pub fn push(&mut self, f: Function) -> Result<(), Box<Function>> {
+        if self.get(&f.name).is_some() {
+            return Err(Box::new(f));
+        }
+        self.functions.push(f);
+        Ok(())
+    }
+
+    /// The functions in source order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Iterates over the functions in source order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Function> {
+        self.functions.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Module {
+    type Item = &'a Function;
+    type IntoIter = std::slice::Iter<'a, Function>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.functions.iter()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.functions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "\n\n")?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    const TWO: &str = "fn first {
+entry:
+  x = a + b
+  br x, l, r
+l:
+  jmp r
+r:
+  obs x
+  ret
+}
+
+fn second {
+entry:
+  y = a * 2
+  obs y
+  ret
+}";
+
+    #[test]
+    fn round_trips_two_functions() {
+        let m = parse_module(TWO).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.functions()[0].name, "first");
+        assert_eq!(m.get("second").unwrap().num_blocks(), 1);
+        let printed = m.to_string();
+        let again = parse_module(&printed).unwrap();
+        assert_eq!(m, again);
+        assert_eq!(printed, again.to_string());
+    }
+
+    #[test]
+    fn single_function_module_matches_parse_function() {
+        let one = "fn solo {\nentry:\n  x = a + b\n  ret\n}";
+        let m = parse_module(one).unwrap();
+        let f = crate::parse_function(one).unwrap();
+        assert_eq!(m.functions(), std::slice::from_ref(&f));
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let text = format!("{TWO}\n\nfn first {{\nentry:\n  ret\n}}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("duplicate function `first`"), "{e}");
+        // Anchored at the offending header, file-relative.
+        assert_eq!(e.line, 19);
+    }
+
+    #[test]
+    fn module_errors_are_file_relative() {
+        // Error inside the second function reports absolute positions.
+        let text = "fn a {\nentry:\n  ret\n}\nfn b {\nentry:\n  x = a +\n  ret\n}";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!((e.line, e.col), (7, 10));
+    }
+
+    #[test]
+    fn rejects_empty_module() {
+        assert!(parse_module("  # only a comment\n").is_err());
+    }
+
+    #[test]
+    fn push_rejects_name_clash() {
+        let one = "fn solo {\nentry:\n  ret\n}";
+        let f = crate::parse_function(one).unwrap();
+        let mut m = Module::default();
+        assert!(m.push(f.clone()).is_ok());
+        assert_eq!(
+            m.push(f),
+            Err(Box::new(crate::parse_function(one).unwrap()))
+        );
+    }
+}

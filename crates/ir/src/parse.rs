@@ -3,6 +3,7 @@
 //! The grammar (line-oriented; `#` starts a comment):
 //!
 //! ```text
+//! module    := function+
 //! function  := "fn" NAME "{" block+ "}"
 //! block     := LABEL ":" instr* terminator
 //! instr     := "obs" operand
@@ -230,11 +231,44 @@ fn binop_from_sym(sym: &str) -> Option<BinOp> {
     BinOp::ALL.into_iter().find(|o| o.symbol() == sym)
 }
 
+/// One non-empty source line, tokenized, carrying its absolute 1-based line
+/// number so multi-function inputs keep file-relative error positions.
+struct Line {
+    no: usize,
+    toks: Vec<Tok>,
+    cols: Vec<usize>,
+}
+
+/// Tokenizes `text` into its non-empty lines.
+fn tokenize_text(text: &str) -> Result<Vec<Line>, ParseError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let (toks, cols) = tokenize(raw, idx + 1)?;
+        if !toks.is_empty() {
+            lines.push(Line {
+                no: idx + 1,
+                toks,
+                cols,
+            });
+        }
+    }
+    Ok(lines)
+}
+
+fn err_at_col1(line: usize, message: String) -> ParseError {
+    ParseError {
+        line,
+        col: 1,
+        message,
+    }
+}
+
 /// Parses the textual IR format into a [`Function`].
 ///
 /// See the [module documentation](self) for the grammar. The parser does not
 /// run the [verifier](crate::verify); call it separately if the input is
-/// untrusted.
+/// untrusted. The input must contain exactly one function; use
+/// [`parse_module`] for multi-function sources.
 ///
 /// # Errors
 ///
@@ -242,38 +276,94 @@ fn binop_from_sym(sym: &str) -> Option<BinOp> {
 /// unknown labels, a missing/duplicate `ret` block, or instructions after a
 /// terminator.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
-    // Pass 1: tokenize every line; collect block labels in order.
-    let mut lines = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let (toks, cols) = tokenize(raw, idx + 1)?;
-        if !toks.is_empty() {
-            lines.push((idx + 1, toks, cols));
-        }
+    let lines = tokenize_text(text)?;
+    if lines.is_empty() {
+        return Err(err_at_col1(1, "empty input".into()));
     }
-    let err = |line: usize, message: String| ParseError {
-        line,
-        col: 1,
-        message,
-    };
+    let (f, rest) = parse_one(&lines)?;
+    if let Some(extra) = rest.first() {
+        return Err(ParseError {
+            line: extra.no,
+            col: extra.cols.first().copied().unwrap_or(1),
+            message: "content after closing `}`".into(),
+        });
+    }
+    Ok(f)
+}
 
-    let mut iter = lines.iter();
-    let (first_line, header, _) = iter.next().ok_or_else(|| err(1, "empty input".into()))?;
-    let name = match header.as_slice() {
+/// Parses a module: one or more functions back to back.
+///
+/// Errors carry positions relative to the whole input, and function names
+/// must be unique within the module. Like [`parse_function`], the verifier
+/// is not run; the batch driver verifies each function before optimizing it.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, an empty module, or a
+/// duplicate function name.
+pub fn parse_module(text: &str) -> Result<crate::Module, ParseError> {
+    let lines = tokenize_text(text)?;
+    if lines.is_empty() {
+        return Err(err_at_col1(1, "empty input".into()));
+    }
+    let mut module = crate::Module::default();
+    let mut rest = lines.as_slice();
+    while let Some(header) = rest.first() {
+        let header_pos = (header.no, header.cols.first().copied().unwrap_or(1));
+        let (f, remaining) = parse_one(rest)?;
+        if let Err(f) = module.push(f) {
+            return Err(ParseError {
+                line: header_pos.0,
+                col: header_pos.1,
+                message: format!("duplicate function `{}` in module", f.name),
+            });
+        }
+        rest = remaining;
+    }
+    Ok(module)
+}
+
+/// Parses one function from the front of `lines`; returns it together with
+/// the lines that follow its closing `}`.
+fn parse_one(lines: &[Line]) -> Result<(Function, &[Line]), ParseError> {
+    let header = &lines[0];
+    let first_line = header.no;
+    let name = match header.toks.as_slice() {
         [Tok::Ident(kw), Tok::Ident(name), Tok::Sym("{")] if kw == "fn" => name.clone(),
-        _ => return Err(err(*first_line, "expected `fn NAME {` header".into())),
+        _ => {
+            return Err(err_at_col1(
+                first_line,
+                "expected `fn NAME {` header".into(),
+            ))
+        }
     };
 
+    // The body runs to the first `}` line; everything after it belongs to
+    // the next function (if any).
+    let close = lines[1..]
+        .iter()
+        .position(|l| matches!(l.toks.as_slice(), [Tok::Sym("}")]))
+        .map(|i| i + 1)
+        .ok_or_else(|| {
+            err_at_col1(
+                lines.last().map_or(1, |l| l.no),
+                "missing closing `}`".into(),
+            )
+        })?;
+    let body = &lines[1..close];
+
+    // Pass 1: collect block labels in order.
     let mut ctx = Ctx {
         symbols: SymbolTable::new(),
         labels: HashMap::new(),
     };
     let mut blocks: Vec<BlockData> = Vec::new();
-    for (lineno, toks, cols) in lines.iter().skip(1) {
-        if let [Tok::Ident(label), Tok::Sym(":")] = toks.as_slice() {
+    for line in body {
+        if let [Tok::Ident(label), Tok::Sym(":")] = line.toks.as_slice() {
             if ctx.labels.contains_key(label) {
                 return Err(ParseError {
-                    line: *lineno,
-                    col: cols.first().copied().unwrap_or(1),
+                    line: line.no,
+                    col: line.cols.first().copied().unwrap_or(1),
                     message: format!("duplicate label `{label}`"),
                 });
             }
@@ -283,38 +373,31 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
     }
     if blocks.is_empty() {
-        return Err(err(*first_line, "function has no blocks".into()));
+        return Err(err_at_col1(first_line, "function has no blocks".into()));
     }
 
     // Pass 2: fill in instructions and terminators.
     let mut current: Option<usize> = None;
     let mut terminated = vec![false; blocks.len()];
     let mut exit: Option<BlockId> = None;
-    let mut closed = false;
-    for (lineno, toks, cols) in lines.iter().skip(1) {
-        let lineno = *lineno;
-        let sp = Span { line: lineno, cols };
-        if closed {
-            return Err(sp.err(0, "content after closing `}`".into()));
-        }
-        match toks.as_slice() {
-            [Tok::Sym("}")] => {
-                closed = true;
-                continue;
-            }
-            [Tok::Ident(label), Tok::Sym(":")] => {
-                if let Some(cur) = current {
-                    if !terminated[cur] {
-                        return Err(sp.err(
-                            0,
-                            format!("block `{}` lacks a terminator", blocks[cur].name),
-                        ));
-                    }
+    for line in body {
+        let lineno = line.no;
+        let toks = &line.toks;
+        let sp = Span {
+            line: lineno,
+            cols: &line.cols,
+        };
+        if let [Tok::Ident(label), Tok::Sym(":")] = toks.as_slice() {
+            if let Some(cur) = current {
+                if !terminated[cur] {
+                    return Err(sp.err(
+                        0,
+                        format!("block `{}` lacks a terminator", blocks[cur].name),
+                    ));
                 }
-                current = Some(ctx.labels[label].index());
-                continue;
             }
-            _ => {}
+            current = Some(ctx.labels[label].index());
+            continue;
         }
         let cur = current.ok_or_else(|| sp.err(0, "instruction before first label".into()))?;
         if terminated[cur] {
@@ -384,29 +467,24 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             }
         }
     }
-    if !closed {
-        return Err(err(
-            lines.last().map_or(1, |(l, _, _)| *l),
-            "missing closing `}`".into(),
-        ));
-    }
     if let Some(cur) = current {
         if !terminated[cur] {
-            return Err(err(
-                lines.last().map_or(1, |(l, _, _)| *l),
+            return Err(err_at_col1(
+                lines[close].no,
                 format!("block `{}` lacks a terminator", blocks[cur].name),
             ));
         }
     }
-    let exit = exit.ok_or_else(|| err(*first_line, "no `ret` block".into()))?;
+    let exit = exit.ok_or_else(|| err_at_col1(first_line, "no `ret` block".into()))?;
 
-    Ok(Function {
+    let f = Function {
         name,
         blocks,
         entry: BlockId(0),
         exit,
         symbols: ctx.symbols,
-    })
+    };
+    Ok((f, &lines[close + 1..]))
 }
 
 fn parse_rhs(

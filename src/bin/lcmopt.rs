@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! lcmopt [OPTIONS] [FILE]
+//! lcmopt batch [OPTIONS] <PATH|->
 //!
 //! Reads a function in the textual IR format from FILE (or stdin when FILE
-//! is `-` or omitted) and processes it.
+//! is `-` or omitted) and processes it. The `batch` subcommand instead
+//! drives a whole module (many `fn`s in one file, a directory of `.lcm`
+//! files, or stdin) through the checked pipeline in parallel; see
+//! `lcmopt batch --help`.
 //!
 //! OPTIONS:
 //!   -p, --passes LIST    comma-separated pass pipeline (default:
@@ -35,14 +39,18 @@
 
 use std::io::Read;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::process::ExitCode;
 
 use lcm::core::{
     metrics, optimize, optimize_checked, passes, report, PreAlgorithm, ValidationLevel,
     ValidationReport,
 };
+use lcm::driver::{
+    report as batch_report, BatchEngine, BatchOptions, BatchUnit, LoadError, UnitOutcome,
+};
 use lcm::interp::{run, Inputs};
-use lcm::ir::{dot, parse_function, simplify_cfg, verify, Function};
+use lcm::ir::{dot, parse_function, parse_module, simplify_cfg, verify, Function, Module};
 
 /// Internal error (caught panic).
 const EXIT_PANIC: u8 = 1;
@@ -85,6 +93,7 @@ fn usage() -> &'static str {
     "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
      [--validate[=off|fast|full]] [--run KEY=VAL]... [--fuel N] [--compare] \
      [FILE|-]\n\
+     \x20      lcmopt batch [OPTIONS] <PATH|->   (see `lcmopt batch --help`)\n\
      passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
      lcm-node, alcm-node, morel-renvoise, gcse\n\
      exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 4 verify, \
@@ -167,6 +176,177 @@ fn parse_args() -> Result<Option<Options>, Failure> {
         }
     }
     Ok(Some(opts))
+}
+
+/// Options for `lcmopt batch`.
+struct BatchCli {
+    path: String,
+    jobs: usize,
+    cache: bool,
+    cache_capacity: usize,
+    emit: String,
+    validate: ValidationLevel,
+}
+
+fn batch_usage() -> &'static str {
+    "usage: lcmopt batch [-j|--jobs N] [--cache on|off] [--cache-cap N] \
+     [-e|--emit text|dot|stats|json|none] [--validate[=off|fast|full]] \
+     <PATH|->\n\
+     PATH is a module file (many `fn`s), a directory of .lcm files, or `-` \
+     for a module on stdin.\n\
+     --jobs 0 (the default) uses all available cores. Output on stdout is \
+     byte-identical for every --jobs value; timing goes to stderr.\n\
+     exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 5 any unit failed"
+}
+
+/// `Ok(None)` means help was requested (print batch usage, exit 0).
+fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<BatchCli>, Failure> {
+    let mut path: Option<String> = None;
+    let mut opts = BatchCli {
+        path: String::new(),
+        jobs: 0,
+        cache: true,
+        cache_capacity: 4096,
+        emit: "text".into(),
+        validate: ValidationLevel::Fast,
+    };
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", batch_usage()));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "-j" | "--jobs" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--jobs needs an argument".into()))?;
+                opts.jobs = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad job count `{n}`")))?;
+            }
+            "--cache" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache needs on|off".into()))?;
+                opts.cache = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(usage_err(format!("bad cache mode `{other}`"))),
+                };
+            }
+            "--cache-cap" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache-cap needs an argument".into()))?;
+                opts.cache_capacity = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad cache capacity `{n}`")))?;
+            }
+            "-e" | "--emit" => {
+                opts.emit = args
+                    .next()
+                    .ok_or_else(|| usage_err("--emit needs an argument".into()))?;
+                if !["text", "dot", "stats", "json", "none"].contains(&opts.emit.as_str()) {
+                    return Err(usage_err(format!("unknown emit kind `{}`", opts.emit)));
+                }
+            }
+            "--validate" => opts.validate = ValidationLevel::Fast,
+            other if other.starts_with("--validate=") => {
+                let level = &other["--validate=".len()..];
+                opts.validate = level.parse().map_err(usage_err)?;
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(usage_err(format!("unknown option `{other}`")));
+            }
+            p => {
+                if path.is_some() {
+                    return Err(usage_err("more than one input path".into()));
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    opts.path = path.ok_or_else(|| usage_err("batch needs an input PATH".into()))?;
+    Ok(Some(opts))
+}
+
+fn load_batch_units(path: &str) -> Result<Vec<BatchUnit>, Failure> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| Failure::new(EXIT_USAGE, format!("reading stdin: {e}")))?;
+        let module = parse_module(&text).map_err(|e| {
+            Failure::new(
+                EXIT_PARSE,
+                format!("<stdin>:{}:{}: {}", e.line, e.col, e.message),
+            )
+        })?;
+        return Ok(module
+            .iter()
+            .map(|f| BatchUnit {
+                file: None,
+                function: f.clone(),
+            })
+            .collect());
+    }
+    lcm::driver::load_units(Path::new(path)).map_err(|e| match &e {
+        LoadError::Parse { path, error } => Failure::new(
+            EXIT_PARSE,
+            format!("{path}:{}:{}: {}", error.line, error.col, error.message),
+        ),
+        _ => Failure::new(EXIT_USAGE, e.to_string()),
+    })
+}
+
+fn run_batch(cli: BatchCli) -> Result<(), Failure> {
+    let units = load_batch_units(&cli.path)?;
+    let n = units.len();
+    let start = std::time::Instant::now();
+    let mut engine = BatchEngine::new(BatchOptions {
+        jobs: cli.jobs,
+        validate: cli.validate,
+        seed: VALIDATION_SEED,
+        use_cache: cli.cache,
+        cache_capacity: cli.cache_capacity,
+    });
+    let result = engine.run(units);
+    // Wall-clock is the one nondeterministic quantity — it goes to stderr
+    // so stdout stays byte-identical across --jobs values.
+    eprintln!(
+        "lcmopt: batch: {} functions, {} computed, {} cache hits, {:.3?}",
+        n,
+        result.totals.computed,
+        result.totals.cache.hits,
+        start.elapsed()
+    );
+    match cli.emit.as_str() {
+        "text" => print!("{}", batch_report::render_text(&result)),
+        "stats" => print!("{}", batch_report::render_stats(&result)),
+        "json" => print!("{}", batch_report::render_json(&result)),
+        "dot" => {
+            // One digraph per successful unit. Names can repeat across a
+            // directory batch; suffix repeats so every graph renders.
+            let mut m = Module::default();
+            for (i, unit) in result.units.iter().enumerate() {
+                if let UnitOutcome::Ok(s) = &unit.outcome {
+                    let mut f = parse_function(&s.output).expect("driver output round-trips");
+                    if m.get(&f.name).is_some() {
+                        f.name = format!("{}__{i}", f.name);
+                    }
+                    m.push(f).expect("suffixed name is unique");
+                }
+            }
+            print!("{}", dot::render_module(&m));
+        }
+        "none" => {}
+        _ => unreachable!("emit kind validated"),
+    }
+    if result.totals.failed > 0 {
+        return Err(Failure::new(
+            EXIT_PASS,
+            format!("{} of {n} functions failed", result.totals.failed),
+        ));
+    }
+    Ok(())
 }
 
 fn read_input(file: &Option<String>) -> Result<String, Failure> {
@@ -282,6 +462,15 @@ fn completion_marker(completed: bool) -> &'static str {
 }
 
 fn real_main() -> Result<(), Failure> {
+    if std::env::args().nth(1).as_deref() == Some("batch") {
+        return match parse_batch_args(std::env::args().skip(2))? {
+            Some(cli) => run_batch(cli),
+            None => {
+                println!("{}", batch_usage());
+                Ok(())
+            }
+        };
+    }
     let opts = match parse_args()? {
         Some(o) => o,
         None => {

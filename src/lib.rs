@@ -12,7 +12,8 @@
 //! * [`dataflow`] — the bit-vector dataflow framework;
 //! * [`core`] — the LCM/BCM/Morel–Renvoise analyses and transformations;
 //! * [`interp`] — a reference interpreter for validation;
-//! * [`cfggen`] — seeded random program generators.
+//! * [`cfggen`] — seeded random program generators;
+//! * [`driver`] — the parallel batch-optimization engine (`lcmopt batch`).
 //!
 //! # Quickstart
 //!
@@ -48,5 +49,6 @@
 pub use lcm_cfggen as cfggen;
 pub use lcm_core as core;
 pub use lcm_dataflow as dataflow;
+pub use lcm_driver as driver;
 pub use lcm_interp as interp;
 pub use lcm_ir as ir;

@@ -1,0 +1,202 @@
+//! End-to-end tests of the `lcmopt batch` subcommand: determinism across
+//! thread counts, the file / directory / stdin input paths, and the batch
+//! exit-code contract.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const MODULE: &str = "fn first {
+entry:
+  br c, l, r
+l:
+  x = a + b
+  jmp join
+r:
+  jmp join
+join:
+  y = a + b
+  obs y
+  ret
+}
+
+fn second {
+entry:
+  z = a * b
+  obs z
+  ret
+}
+
+fn third {
+entry:
+  x = a + b
+  obs x
+  ret
+}
+";
+
+/// Runs `lcmopt batch` and returns `(exit_code, stdout, stderr)`.
+fn batch(args: &[&str], stdin: &str) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcmopt"))
+        .arg("batch")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lcmopt batch");
+    let write_result = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    if let Err(e) = write_result {
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe,
+            "unexpected stdin failure: {e}"
+        );
+    }
+    let out = child.wait_with_output().expect("wait for lcmopt");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A scratch directory unique to this test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("lcmopt_batch_{}_{test}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let path = self.0.join(name);
+        std::fs::write(&path, contents).expect("write scratch file");
+        path.display().to_string()
+    }
+
+    fn path(&self) -> String {
+        self.0.display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn stdout_is_byte_identical_across_thread_counts() {
+    let scratch = Scratch::new("determinism");
+    let path = scratch.file("m.lcm", MODULE);
+    for emit in ["text", "stats", "json"] {
+        let mut baseline: Option<String> = None;
+        for jobs in ["1", "4", "8"] {
+            let (code, stdout, stderr) = batch(&[&path, "--jobs", jobs, "--emit", emit], "");
+            assert_eq!(code, 0, "emit={emit} jobs={jobs}: {stderr}");
+            match &baseline {
+                None => baseline = Some(stdout),
+                Some(b) => assert_eq!(b, &stdout, "emit={emit} differs at jobs={jobs}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_does_not_change_the_text() {
+    let scratch = Scratch::new("cache_text");
+    let path = scratch.file("m.lcm", MODULE);
+    let (code_on, on, _) = batch(&[&path, "--cache", "on"], "");
+    let (code_off, off, _) = batch(&[&path, "--cache", "off"], "");
+    assert_eq!((code_on, code_off), (0, 0));
+    assert_eq!(on, off);
+    // Every function keeps its own name in the output.
+    for name in ["first", "second", "third"] {
+        assert!(on.contains(&format!("fn {name} {{")), "{on}");
+    }
+}
+
+#[test]
+fn stdin_module_is_accepted() {
+    let (code, stdout, stderr) = batch(&["-"], MODULE);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("fn first {"));
+    assert!(stdout.contains("fn third {"));
+    // The join of `first` no longer recomputes `a + b`.
+    let first = stdout.split("fn second").next().unwrap();
+    let join = first.split("join:").nth(1).expect("join printed");
+    assert!(!join.contains("a + b"), "{stdout}");
+}
+
+#[test]
+fn directory_input_loads_every_lcm_file() {
+    let scratch = Scratch::new("directory");
+    scratch.file(
+        "a.lcm",
+        "fn from_a {\nentry:\n  x = a + b\n  obs x\n  ret\n}\n",
+    );
+    scratch.file(
+        "b.lcm",
+        "fn from_b {\nentry:\n  y = a * b\n  obs y\n  ret\n}\n",
+    );
+    scratch.file("ignored.txt", "not a module");
+    let (code, stdout, stderr) = batch(&[&scratch.path(), "--emit", "stats"], "");
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stdout.contains("batch: 2 functions (2 ok, 0 failed)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn parse_error_exits_3_with_position() {
+    let scratch = Scratch::new("parse_error");
+    let path = scratch.file("bad.lcm", "fn x {\nentry:\n  x = a +\n  ret\n}\n");
+    let (code, stdout, stderr) = batch(&[&path], "");
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("bad.lcm:3:10"), "{stderr}");
+}
+
+#[test]
+fn a_failing_function_reports_and_exits_5_after_printing() {
+    // `island` is unreachable: parses, fails verification — its unit
+    // fails with exit 5 while the healthy neighbours are still printed.
+    let module = format!("{MODULE}\nfn bad {{\nentry:\n  ret\nisland:\n  jmp island\n}}\n");
+    let (code, stdout, stderr) = batch(&["-"], &module);
+    assert_eq!(code, 5, "{stderr}");
+    assert!(
+        stdout.contains("# fn bad: FAILED (invalid-input)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("fn first {"), "{stdout}");
+    assert!(stderr.contains("1 of 4 functions failed"), "{stderr}");
+}
+
+#[test]
+fn emit_dot_renders_one_digraph_per_function() {
+    let (code, stdout, stderr) = batch(&["-", "--emit", "dot"], MODULE);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(stdout.matches("digraph ").count(), 3, "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let (code, _, stderr) = batch(&["--no-such-flag"], "");
+    assert_eq!(code, 2, "{stderr}");
+}
+
+#[test]
+fn missing_path_exits_2() {
+    let scratch = Scratch::new("missing");
+    let path = scratch.0.join("absent.lcm").display().to_string();
+    let (code, _, stderr) = batch(&[&path], "");
+    assert_eq!(code, 2, "{stderr}");
+}
