@@ -38,4 +38,25 @@ for emit in text stats json; do
   diff "$SMOKE/$emit.j1" "$SMOKE/$emit.jn"
 done
 
+# Solver-strategy smoke: every strategy must produce the same optimized
+# output, and stats emission must be run-to-run deterministic per strategy.
+echo "==> solver smoke: --solver rr|wl|scc agree; --emit stats deterministic"
+for solver in rr wl scc; do
+  cargo run -q --release --bin lcmopt -- batch "$SMOKE/corpus.lcm" \
+    --solver "$solver" --emit text > "$SMOKE/text.$solver" 2>/dev/null
+  diff "$SMOKE/text.j1" "$SMOKE/text.$solver"
+  cargo run -q --release --bin lcmopt -- batch "$SMOKE/corpus.lcm" \
+    --solver "$solver" --emit stats > "$SMOKE/stats.$solver.a" 2>/dev/null
+  cargo run -q --release --bin lcmopt -- batch "$SMOKE/corpus.lcm" \
+    --solver "$solver" --emit stats > "$SMOKE/stats.$solver.b" 2>/dev/null
+  diff "$SMOKE/stats.$solver.a" "$SMOKE/stats.$solver.b"
+done
+
+# Bench smoke: the perf baseline generator runs at CI size and its output
+# conforms to the lcm-bench-v1 schema (validated by the binary itself, no
+# jq). Runs in a scratch dir so the committed BENCH_PR4.json is untouched.
+echo "==> bench smoke: experiments bench --quick + --check"
+BENCH_BIN="$(pwd)/target/release/experiments"
+(cd "$SMOKE" && "$BENCH_BIN" bench --quick > /dev/null && "$BENCH_BIN" bench --check)
+
 echo "ci: OK"

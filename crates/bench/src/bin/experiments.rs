@@ -3,9 +3,15 @@
 //! ```sh
 //! cargo run -p lcm-bench --bin experiments --release -- all
 //! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1 c2 c3 e1 a1
+//! cargo run -p lcm-bench --bin experiments --release -- bench [--quick] [--check]
 //! ```
 //!
-//! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3.
+//! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3. The `bench`
+//! subcommand is the C4 perf baseline: it writes `BENCH_PR4.json`
+//! (schema `lcm-bench-v1`) with solver/pipeline/batch medians and
+//! allocation counts; `--quick` shrinks it to CI-smoke size and
+//! `--check` validates an existing file against the schema without
+//! external tooling.
 //!
 //! Everything printed is mirrored to `artifacts/experiments_output.txt`
 //! (gitignored) so runs leave a reviewable record without checking build
@@ -78,6 +84,28 @@ const IDS: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        let mut quick = false;
+        let mut check = false;
+        for a in &args[1..] {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--check" => check = true,
+                other => {
+                    eprintln!(
+                        "experiments bench: unknown flag `{other}` (expected --quick, --check)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if check {
+            bench_check();
+        } else {
+            bench(quick);
+        }
+        return;
+    }
     for a in &args {
         if a != "all" && !IDS.contains(&a.as_str()) {
             eprintln!(
@@ -887,4 +915,260 @@ fn a1() {
         "anticipability on 10 programs of ~150 blocks: round-robin {} node visits, worklist {} node visits (identical fixpoints)",
         rr_visits, wl_visits
     );
+}
+
+// ---------------------------------------------------------------------------
+// `experiments bench` — the PR 4 perf baseline (BENCH_PR4.json)
+// ---------------------------------------------------------------------------
+
+/// Median of a sample (ns). Odd-length-agnostic: upper median.
+fn median_ns(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Runs the dataflow/pipeline/batch benchmarks and writes the
+/// machine-readable baseline to `BENCH_PR4.json` in the working directory.
+///
+/// `quick` shrinks the corpus and repetition counts to CI-smoke size; the
+/// committed baseline is produced by a non-quick run. The numbers are
+/// medians of repeated whole-corpus sweeps, divided down to per-operation
+/// nanoseconds; allocation counts come straight from
+/// [`lcm_dataflow::SolveStats::allocations`], which the solver increments
+/// on every scratch growth event and result-export clone.
+fn bench(quick: bool) {
+    use lcm_core::{anticipability_problem, availability_problem, lcm, lcm_in};
+    use lcm_dataflow::{CfgView, SolveStrategy, SolverScratch};
+    use std::time::Instant;
+
+    let (n_fns, reps, batch_reps) = if quick { (12, 3, 1) } else { (64, 11, 3) };
+    let block_size = 30;
+    let fns = sized_corpus(block_size, n_fns);
+    oln!(
+        "bench: {} functions of ~{} blocks, {} timing reps{}",
+        fns.len(),
+        block_size,
+        reps,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Prebuild everything outside the timed region: the solves are the op.
+    let pre: Vec<_> = fns
+        .iter()
+        .map(|f| {
+            let uni = ExprUniverse::of(f);
+            let local = LocalPredicates::compute(f, &uni);
+            (f, uni, local)
+        })
+        .collect();
+    let probs: Vec<_> = pre
+        .iter()
+        .map(|(f, uni, local)| {
+            (
+                availability_problem(f, uni, local),
+                anticipability_problem(f, uni, local),
+                CfgView::new(f),
+            )
+        })
+        .collect();
+
+    // Per-strategy solve cost (one op = one analysis solve) and the
+    // revisit counters that justify the SCC schedule.
+    let mut scratch = SolverScratch::new();
+    let mut solve_ns = Vec::new();
+    let mut revisits = Vec::new();
+    for strategy in SolveStrategy::ALL {
+        let mut samples = Vec::new();
+        let mut revs = 0u64;
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            let mut r = 0u64;
+            for (avail, antic, view) in &probs {
+                r += avail
+                    .solve_with(strategy, view, &mut scratch)
+                    .stats
+                    .node_revisits as u64;
+                r += antic
+                    .solve_with(strategy, view, &mut scratch)
+                    .stats
+                    .node_revisits as u64;
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / (2 * probs.len()) as f64);
+            if rep == 0 {
+                revs = r;
+            }
+        }
+        solve_ns.push((strategy.name(), median_ns(samples)));
+        revisits.push((strategy.name(), revs));
+    }
+
+    // Fused pipeline: reused worker scratch vs a fresh scratch per call.
+    let mut reused_samples = Vec::new();
+    let mut fresh_samples = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for f in &fns {
+            lcm_in(f, &mut scratch).unwrap();
+        }
+        reused_samples.push(t0.elapsed().as_nanos() as f64 / fns.len() as f64);
+        let t0 = Instant::now();
+        for f in &fns {
+            lcm(f).unwrap();
+        }
+        fresh_samples.push(t0.elapsed().as_nanos() as f64 / fns.len() as f64);
+    }
+
+    // Allocation counts: a cold scratch across the corpus pays growth on
+    // the leading functions, then settles at the 6-per-function floor
+    // (two export clones per solve, three solves); fresh scratches pay
+    // full construction every time.
+    let mut cold = SolverScratch::new();
+    let per_fn: Vec<u64> = fns
+        .iter()
+        .map(|f| lcm_in(f, &mut cold).unwrap().stats.total().allocations)
+        .collect();
+    let reused_total: u64 = per_fn.iter().sum();
+    let fresh_total: u64 = fns
+        .iter()
+        .map(|f| lcm(f).unwrap().stats.total().allocations)
+        .sum();
+    let warm_floor = 6u64;
+
+    // Batch throughput, cache off: all cores vs one.
+    let units: Vec<BatchUnit> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut f = f.clone();
+            f.name = format!("f{i}");
+            BatchUnit {
+                file: None,
+                function: f,
+            }
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let throughput = |jobs: usize| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..batch_reps {
+            let mut engine = BatchEngine::new(BatchOptions {
+                jobs,
+                use_cache: false,
+                ..BatchOptions::default()
+            });
+            let t0 = Instant::now();
+            let r = engine.run(units.clone());
+            assert_eq!(r.totals.failed, 0);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        units.len() as f64 / best
+    };
+    let batch_fps = throughput(cores);
+    let batch_fps_1 = throughput(1);
+
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"lcm-bench-v1\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!(
+        "  \"corpus\": {{ \"functions\": {}, \"blocks_per_function\": {block_size}, \"timing_reps\": {reps} }},\n",
+        fns.len()
+    ));
+    j.push_str("  \"solve_ns_per_op\": { ");
+    for (i, (name, ns)) in solve_ns.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{name}\": {ns:.1}"));
+    }
+    j.push_str(" },\n  \"node_revisits\": { ");
+    for (i, (name, r)) in revisits.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{name}\": {r}"));
+    }
+    j.push_str(" },\n");
+    j.push_str(&format!(
+        "  \"pipeline_ns_per_function\": {{ \"reused_scratch\": {:.1}, \"fresh_scratch\": {:.1} }},\n",
+        median_ns(reused_samples),
+        median_ns(fresh_samples)
+    ));
+    j.push_str(&format!(
+        "  \"allocations\": {{ \"warm_floor_per_function\": {warm_floor}, \"cold_first_function\": {}, \"reused_scratch_total\": {reused_total}, \"fresh_scratch_total\": {fresh_total} }},\n",
+        per_fn[0]
+    ));
+    j.push_str(&format!(
+        "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }}\n}}\n"
+    ));
+    std::fs::write("BENCH_PR4.json", &j).expect("write BENCH_PR4.json");
+    o!("{j}");
+    oln!("bench: wrote BENCH_PR4.json");
+}
+
+/// Extracts the number following `"key":` in `text`, if any.
+fn num_after(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates `BENCH_PR4.json` against the `lcm-bench-v1` schema without
+/// external tooling: required keys present, metrics positive, and the
+/// warm-scratch allocation floor at its designed value. Exits non-zero
+/// with a diagnostic on the first violation.
+fn bench_check() {
+    let text = match std::fs::read_to_string("BENCH_PR4.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench --check: cannot read BENCH_PR4.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fail = |msg: String| {
+        eprintln!("bench --check: {msg}");
+        std::process::exit(1);
+    };
+    if !text.contains("\"schema\": \"lcm-bench-v1\"") {
+        fail("missing or wrong schema tag (want \"lcm-bench-v1\")".into());
+    }
+    for section in [
+        "corpus",
+        "solve_ns_per_op",
+        "node_revisits",
+        "pipeline_ns_per_function",
+        "allocations",
+        "batch",
+    ] {
+        if !text.contains(&format!("\"{section}\":")) {
+            fail(format!("missing section \"{section}\""));
+        }
+    }
+    for key in [
+        "rr",
+        "wl",
+        "scc",
+        "reused_scratch",
+        "fresh_scratch",
+        "functions_per_second",
+        "jobs1_functions_per_second",
+        "reused_scratch_total",
+        "fresh_scratch_total",
+    ] {
+        match num_after(&text, key) {
+            Some(v) if v > 0.0 => {}
+            Some(v) => fail(format!("\"{key}\" must be positive, found {v}")),
+            None => fail(format!("missing numeric \"{key}\"")),
+        }
+    }
+    match num_after(&text, "warm_floor_per_function") {
+        Some(v) if (v - 6.0).abs() < f64::EPSILON => {}
+        other => fail(format!(
+            "\"warm_floor_per_function\" must be 6 (2 export clones x 3 solves), found {other:?}"
+        )),
+    }
+    println!("bench --check: BENCH_PR4.json conforms to lcm-bench-v1");
 }

@@ -11,7 +11,8 @@
 //! PRE forbids.
 
 use lcm_dataflow::{
-    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, SolverDiverged, Transfer,
+    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, SolveStrategy,
+    SolverDiverged, SolverScratch, Transfer,
 };
 use lcm_ir::{Edge, EdgeList, Function};
 
@@ -216,6 +217,29 @@ impl GlobalAnalyses {
         Ok(Self::derive(f, uni, local, avail, antic))
     }
 
+    /// Like [`compute_in`](Self::compute_in), but with an explicit
+    /// [`SolveStrategy`] and a caller-owned [`SolverScratch`] reused by both
+    /// solves (and, in the fused pipeline, by the LATER solve after them) —
+    /// the zero-allocation batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if either fixpoint iteration exceeds its
+    /// pop budget.
+    pub fn compute_with(
+        f: &Function,
+        uni: &ExprUniverse,
+        local: &LocalPredicates,
+        view: &CfgView,
+        strategy: SolveStrategy,
+        scratch: &mut SolverScratch,
+    ) -> Result<Self, SolverDiverged> {
+        let avail = availability_problem(f, uni, local).try_solve_with(strategy, view, scratch)?;
+        let antic =
+            anticipability_problem(f, uni, local).try_solve_with(strategy, view, scratch)?;
+        Ok(Self::derive(f, uni, local, avail, antic))
+    }
+
     fn derive(
         f: &Function,
         uni: &ExprUniverse,
@@ -231,7 +255,7 @@ impl GlobalAnalyses {
         for (_, edge) in edges.iter() {
             earliest.push(earliest_on_edge(uni, local, &avail, &antic, edge));
         }
-        let earliest_entry = antic.ins[f.entry().index()].clone();
+        let earliest_entry = antic.ins.row_set(f.entry().index());
         GlobalAnalyses {
             edges,
             avail,
@@ -254,11 +278,11 @@ fn earliest_on_edge(
     let j = edge.to.index();
     // ¬TRANSP[i] ∪ ¬ANTOUT[i]  ==  ¬(TRANSP[i] ∩ ANTOUT[i])
     let mut blockable = local.transp[i].clone();
-    blockable.intersect_with(&antic.outs[i]);
+    blockable.intersect_with_row(antic.outs.row(i));
     blockable.complement();
 
-    let mut out = antic.ins[j].clone();
-    out.difference_with(&avail.outs[i]);
+    let mut out = antic.ins.row_set(j);
+    out.difference_with_row(avail.outs.row(i));
     out.intersect_with(&blockable);
     let _ = uni;
     out
@@ -296,10 +320,10 @@ mod tests {
         let av = availability(&f, &uni, &local).unwrap();
         let join = f.block_by_name("join").unwrap();
         let l = f.block_by_name("l").unwrap();
-        assert!(av.outs[l.index()].contains(0));
-        assert!(!av.ins[join.index()].contains(0)); // only one arm computes
+        assert!(av.outs.contains(l.index(), 0));
+        assert!(!av.ins.contains(join.index(), 0)); // only one arm computes
         let pav = partial_availability(&f, &uni, &local).unwrap();
-        assert!(pav.ins[join.index()].contains(0)); // some path computes
+        assert!(pav.ins.contains(join.index(), 0)); // some path computes
     }
 
     #[test]
@@ -308,9 +332,9 @@ mod tests {
         let ant = anticipability(&f, &uni, &local).unwrap();
         let join = f.block_by_name("join").unwrap();
         let r = f.block_by_name("r").unwrap();
-        assert!(ant.ins[join.index()].contains(0));
-        assert!(ant.ins[r.index()].contains(0)); // empty arm, ANTIN via join
-        assert!(ant.ins[f.entry().index()].contains(0)); // both arms reach it
+        assert!(ant.ins.contains(join.index(), 0));
+        assert!(ant.ins.contains(r.index(), 0)); // empty arm, ANTIN via join
+        assert!(ant.ins.contains(f.entry().index(), 0)); // both arms reach it
     }
 
     #[test]
@@ -334,9 +358,9 @@ mod tests {
         let ant = anticipability(&f, &uni, &local).unwrap();
         // Through l the expression is killed before being computed with the
         // entry value of a, so it is not anticipatable at the branch.
-        assert!(!ant.ins[f.entry().index()].contains(0));
+        assert!(!ant.ins.contains(f.entry().index(), 0));
         let pant = partial_anticipability(&f, &uni, &local).unwrap();
-        assert!(pant.ins[f.entry().index()].contains(0));
+        assert!(pant.ins.contains(f.entry().index(), 0));
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //! two formulations is asserted in tests and validated on random corpora.
 
 use lcm_dataflow::{
-    BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats, SolverDiverged, Transfer,
+    BitMatrix, BitSet, CfgView, Confluence, Direction, Problem, Solution, SolveStats,
+    SolveStrategy, SolverDiverged, SolverScratch, Transfer,
 };
 use lcm_ir::Function;
 
@@ -41,8 +42,8 @@ use crate::universe::ExprUniverse;
 /// The LATER/LATERIN fixpoint plus the derived insertion/deletion sets.
 #[derive(Clone, Debug)]
 pub struct LazyEdgeResult {
-    /// `LATERIN[b]` per block.
-    pub laterin: Vec<BitSet>,
+    /// `LATERIN[b]` per block (one matrix row per block).
+    pub laterin: BitMatrix,
     /// `LATER(i,j)` per edge (same numbering as the analyses' edge list).
     pub later: Vec<BitSet>,
     /// The placement plan (edge insertions only).
@@ -103,6 +104,26 @@ pub fn lazy_edge_plan_in(
     Ok(derive_placement(f, uni, local, ga, solution))
 }
 
+/// Like [`lazy_edge_plan_in`], but with an explicit [`SolveStrategy`] and a
+/// caller-owned [`SolverScratch`] (normally the one the availability and
+/// anticipability solves just used).
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its budget.
+pub fn lazy_edge_plan_with(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+    view: &CfgView,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<LazyEdgeResult, SolverDiverged> {
+    let solution = later_problem(f, uni, local, ga).try_solve_with(strategy, view, scratch)?;
+    Ok(derive_placement(f, uni, local, ga, solution))
+}
+
 fn derive_placement(
     f: &Function,
     uni: &ExprUniverse,
@@ -117,11 +138,11 @@ fn derive_placement(
     let mut later = Vec::with_capacity(ga.edges.len());
     let mut plan = PlacementPlan::empty("lcm-edge", f, uni);
     for (eid, edge) in ga.edges.iter() {
-        let mut l = solution.outs[edge.from.index()].clone();
+        let mut l = solution.outs.row_set(edge.from.index());
         l.union_with(&ga.earliest[eid.index()]);
         // INSERT = LATER − LATERIN[target]
         let mut ins = l.clone();
-        ins.difference_with(&laterin[edge.to.index()]);
+        ins.difference_with_row(laterin.row(edge.to.index()));
         plan.edge_inserts[eid.index()] = ins;
         later.push(l);
     }
@@ -132,7 +153,7 @@ fn derive_placement(
     let delete = f
         .block_ids()
         .map(|b| {
-            let mut d = laterin[b.index()].clone();
+            let mut d = laterin.row_set(b.index());
             d.complement();
             d.intersect_with(&local.antloc[b.index()]);
             d

@@ -114,23 +114,23 @@ pub fn lazy_node_plan(
                 for &p in view.preds(b) {
                     // ¬AVOUT[p] ∩ ¬ANTOUT[p]
                     let pi = p.index();
-                    let mut c = ga.avail.outs[pi].clone();
-                    c.union_with(&ga.antic.outs[pi]);
+                    let mut c = ga.avail.outs.row_set(pi);
+                    c.union_with_row(ga.antic.outs.row(pi));
                     c.complement();
                     cond.union_with(&c);
                 }
             }
-            let mut e = ga.antic.ins[bi].clone();
+            let mut e = ga.antic.ins.row_set(bi);
             e.intersect_with(&cond);
             e
         };
         let x_e = {
             // ANTOUT ∩ ¬AVOUT ∩ ¬(TRANSP ∩ ANTIN)
             let mut blockable = local.transp[bi].clone();
-            blockable.intersect_with(&ga.antic.ins[bi]);
-            blockable.union_with(&ga.avail.outs[bi]);
+            blockable.intersect_with_row(ga.antic.ins.row(bi));
+            blockable.union_with_row(ga.avail.outs.row(bi));
             blockable.complement();
-            let mut e = ga.antic.outs[bi].clone();
+            let mut e = ga.antic.outs.row_set(bi);
             e.intersect_with(&blockable);
             e
         };

@@ -77,10 +77,12 @@ pub use analyses::{
     partial_anticipability, partial_availability, GlobalAnalyses,
 };
 pub use bcm::busy_plan;
-pub use lcm_edge::{later_problem, lazy_edge_plan, lazy_edge_plan_in, LazyEdgeResult};
+pub use lcm_edge::{
+    later_problem, lazy_edge_plan, lazy_edge_plan_in, lazy_edge_plan_with, LazyEdgeResult,
+};
 pub use lcm_node::{lazy_node_plan, LazyNodeResult};
 pub use morel_renvoise::{morel_renvoise_plan, MorelRenvoiseResult};
-pub use pipeline::{lcm, LcmPipeline, PipelineStats};
+pub use pipeline::{lcm, lcm_in, lcm_with, LcmPipeline, PipelineStats};
 pub use predicates::LocalPredicates;
 pub use transform::{apply_plan, PlacementPlan, TransformResult};
 pub use universe::ExprUniverse;
@@ -89,7 +91,7 @@ pub use validate::{ValidationError, ValidationLevel, ValidationReport};
 use std::error::Error;
 use std::fmt;
 
-use lcm_dataflow::SolverDiverged;
+use lcm_dataflow::{SolveStrategy, SolverDiverged, SolverScratch};
 use lcm_ir::Function;
 
 /// Why a PRE pass could not produce (or could not stand behind) a result.
@@ -213,6 +215,30 @@ pub struct Optimized {
 /// Returns [`PipelineError::Solver`] if any analysis exceeds its derived
 /// sweep bound (possible only with corrupted transfer functions).
 pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, PipelineError> {
+    optimize_with(
+        f,
+        algorithm,
+        SolveStrategy::default(),
+        &mut SolverScratch::new(),
+    )
+}
+
+/// [`optimize`] with an explicit [`SolveStrategy`] and a caller-owned
+/// [`SolverScratch`]. Only [`PreAlgorithm::LazyEdge`] runs the fused
+/// pipeline that consults them; the other algorithms solve their analyses
+/// standalone and ignore both (every strategy reaches the same fixpoints,
+/// so the choice never changes a plan — see `tests/solver_equivalence.rs`).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Solver`] if any analysis exceeds its derived
+/// sweep bound.
+pub fn optimize_with(
+    f: &Function,
+    algorithm: PreAlgorithm,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<Optimized, PipelineError> {
     match algorithm {
         PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => {
             let res = lazy_node_plan(f, algorithm == PreAlgorithm::LazyNode)?;
@@ -236,12 +262,13 @@ pub fn optimize(f: &Function, algorithm: PreAlgorithm) -> Result<Optimized, Pipe
                     busy_plan(f, &uni, &local, &ga)
                 }
                 PreAlgorithm::LazyEdge => {
-                    // The fused pipeline (shared CfgView + worklist solver)
+                    // The fused pipeline (shared CfgView, reused scratch)
                     // reaches the same fixpoints as the per-analysis path;
                     // see tests/solver_equivalence.rs.
                     let view = lcm_dataflow::CfgView::new(f);
-                    let ga = GlobalAnalyses::compute_in(f, &uni, &local, &view)?;
-                    let lazy = lazy_edge_plan_in(f, &uni, &local, &ga, &view)?;
+                    let ga =
+                        GlobalAnalyses::compute_with(f, &uni, &local, &view, strategy, scratch)?;
+                    let lazy = lazy_edge_plan_with(f, &uni, &local, &ga, &view, strategy, scratch)?;
                     pipeline_stats = Some(PipelineStats {
                         avail: ga.avail.stats,
                         antic: ga.antic.stats,
@@ -283,7 +310,32 @@ pub fn optimize_checked(
     level: ValidationLevel,
     seed: u64,
 ) -> Result<(Optimized, ValidationReport), PipelineError> {
-    let opt = optimize(f, algorithm)?;
+    optimize_checked_with(
+        f,
+        algorithm,
+        level,
+        seed,
+        SolveStrategy::default(),
+        &mut SolverScratch::new(),
+    )
+}
+
+/// [`optimize_checked`] with an explicit [`SolveStrategy`] and caller-owned
+/// [`SolverScratch`] — the batch driver's per-worker path.
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates a paper invariant.
+pub fn optimize_checked_with(
+    f: &Function,
+    algorithm: PreAlgorithm,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    let opt = optimize_with(f, algorithm, strategy, scratch)?;
     let report = validate::validate_optimized(f, &opt, level, seed)?;
     Ok((opt, report))
 }

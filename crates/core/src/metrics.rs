@@ -70,7 +70,7 @@ pub fn live_points(f: &Function, vars: &[Var]) -> u64 {
     // In-block backward walk counting live tracked vars at each point.
     let mut total = 0u64;
     for b in f.block_ids() {
-        let mut live = solution.outs[b.index()].clone();
+        let mut live = solution.outs.row_set(b.index());
         let data = f.block(b);
         // Point just before the terminator.
         if let Some(c) = data.term.use_var() {

@@ -113,11 +113,11 @@ pub fn morel_renvoise_plan(
                 let mut v = local.transp[bi].clone();
                 v.intersect_with(&ppout[bi]);
                 v.union_with(&local.antloc[bi]);
-                v.intersect_with(&pavail.ins[bi]);
+                v.intersect_with_row(pavail.ins.row(bi));
                 stats.word_ops += 3 * words;
                 for &p in &preds[bi] {
                     let mut from_pred = ppout[p.index()].clone();
-                    from_pred.union_with(&avail.outs[p.index()]);
+                    from_pred.union_with_row(avail.outs.row(p.index()));
                     v.intersect_with(&from_pred);
                     stats.word_ops += 3 * words;
                 }
@@ -141,7 +141,7 @@ pub fn morel_renvoise_plan(
         ins.intersect_with(&ppin[bi]);
         ins.complement(); // ¬PPIN ∪ ¬TRANSP
         ins.intersect_with(&ppout[bi]);
-        ins.difference_with(&avail.outs[bi]);
+        ins.difference_with_row(avail.outs.row(bi));
         plan.block_bottom_inserts[bi] = ins;
 
         let mut d = local.antloc[bi].clone();

@@ -99,7 +99,7 @@ pub fn copy_propagation(f: &mut Function) -> usize {
     // Rewrite, tracking the exact available set through each block.
     let mut rewrites = 0usize;
     for b in f.block_ids().collect::<Vec<_>>() {
-        let mut live: BitSet = avail.ins[b.index()].clone();
+        let mut live: BitSet = avail.ins.row_set(b.index());
         // var → source under the current available set. Consistent: two
         // available copies with the same dst would require the later one's
         // def to kill the earlier.

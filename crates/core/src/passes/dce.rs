@@ -41,7 +41,7 @@ fn dce_round(f: &mut Function) -> usize {
 
     let mut removed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {
-        let mut live: BitSet = liveness.outs[b.index()].clone();
+        let mut live: BitSet = liveness.outs.row_set(b.index());
         if let Some(c) = f.block(b).term.use_var() {
             live.insert(c.index());
         }

@@ -14,10 +14,12 @@
 //! 2. the local predicates (`TRANSP`, `COMP`, `ANTLOC`) are computed for
 //!    the whole expression universe in a single packed-word sweep per block
 //!    and reused by every analysis;
-//! 3. each analysis runs on the change-driven worklist solver
-//!    ([`Problem::solve_worklist_in`](lcm_dataflow::Problem::solve_worklist_in)),
-//!    which only re-enqueues the neighbors of blocks whose output actually
-//!    changed (word-granular dirty detection);
+//! 3. each analysis runs on the SCC-condensed priority worklist solver
+//!    ([`Problem::solve_with`](lcm_dataflow::Problem::solve_with)), which
+//!    drains each strongly connected component to fixpoint before advancing
+//!    and only re-enqueues the neighbors of blocks whose output actually
+//!    changed (word-granular dirty detection), against one reused
+//!    [`SolverScratch`](lcm_dataflow::SolverScratch) arena;
 //! 4. the per-analysis [`SolveStats`] are collected into a
 //!    [`PipelineStats`] so the cost is observable from the CLI
 //!    (`lcmopt --emit stats`) and the experiment harness.
@@ -29,11 +31,11 @@
 
 use std::fmt;
 
-use lcm_dataflow::{CfgView, SolveStats, SolverDiverged};
+use lcm_dataflow::{CfgView, SolveStats, SolveStrategy, SolverDiverged, SolverScratch};
 use lcm_ir::Function;
 
 use crate::analyses::GlobalAnalyses;
-use crate::lcm_edge::{lazy_edge_plan_in, LazyEdgeResult};
+use crate::lcm_edge::{lazy_edge_plan_with, LazyEdgeResult};
 use crate::predicates::LocalPredicates;
 use crate::universe::ExprUniverse;
 
@@ -102,11 +104,40 @@ pub struct LcmPipeline {
 /// derived sweep bound — impossible for well-formed transfer functions,
 /// and exactly the symptom of corrupted ones.
 pub fn lcm(f: &Function) -> Result<LcmPipeline, SolverDiverged> {
+    lcm_in(f, &mut SolverScratch::new())
+}
+
+/// [`lcm`] with a caller-owned [`SolverScratch`], the batch driver's path:
+/// held across functions, the scratch amortizes all per-solve state to O(1)
+/// heap allocations per function (two `Solution` export clones per solve).
+/// Uses the default [`SolveStrategy::SccPriority`] solver.
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if any of the three analyses exceeds its
+/// budget.
+pub fn lcm_in(f: &Function, scratch: &mut SolverScratch) -> Result<LcmPipeline, SolverDiverged> {
+    lcm_with(f, SolveStrategy::default(), scratch)
+}
+
+/// [`lcm_in`] with an explicit [`SolveStrategy`]. All three solves
+/// (availability, anticipability, LATER) share `scratch` and one
+/// [`CfgView`]; every strategy reaches the same fixpoints.
+///
+/// # Errors
+///
+/// Returns [`SolverDiverged`] if any of the three analyses exceeds its
+/// budget.
+pub fn lcm_with(
+    f: &Function,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<LcmPipeline, SolverDiverged> {
     let view = CfgView::new(f);
     let universe = ExprUniverse::of(f);
     let local = LocalPredicates::compute(f, &universe);
-    let analyses = GlobalAnalyses::compute_in(f, &universe, &local, &view)?;
-    let lazy = lazy_edge_plan_in(f, &universe, &local, &analyses, &view)?;
+    let analyses = GlobalAnalyses::compute_with(f, &universe, &local, &view, strategy, scratch)?;
+    let lazy = lazy_edge_plan_with(f, &universe, &local, &analyses, &view, strategy, scratch)?;
     let stats = PipelineStats {
         avail: analyses.avail.stats,
         antic: analyses.antic.stats,

@@ -59,13 +59,13 @@ pub fn safety_table(
             ),
             format!(
                 "{} / {}",
-                uni.display_set(f, &ga.avail.ins[i]),
-                uni.display_set(f, &ga.avail.outs[i])
+                uni.display_set(f, &ga.avail.ins.row_set(i)),
+                uni.display_set(f, &ga.avail.outs.row_set(i))
             ),
             format!(
                 "{} / {}",
-                uni.display_set(f, &ga.antic.ins[i]),
-                uni.display_set(f, &ga.antic.outs[i])
+                uni.display_set(f, &ga.antic.ins.row_set(i)),
+                uni.display_set(f, &ga.antic.outs.row_set(i))
             ),
         );
     }
@@ -187,8 +187,8 @@ pub fn stats_table(stats: &PipelineStats) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} | {:>10} | {:>11} | {:>10}",
-        "analysis", "iterations", "node visits", "word ops"
+        "{:<10} | {:>10} | {:>11} | {:>8} | {:>10} | {:>6}",
+        "analysis", "iterations", "node visits", "revisits", "word ops", "allocs"
     );
     for (name, s) in [
         ("avail", stats.avail),
@@ -198,8 +198,8 @@ pub fn stats_table(stats: &PipelineStats) -> String {
     ] {
         let _ = writeln!(
             out,
-            "{:<10} | {:>10} | {:>11} | {:>10}",
-            name, s.iterations, s.node_visits, s.word_ops
+            "{:<10} | {:>10} | {:>11} | {:>8} | {:>10} | {:>6}",
+            name, s.iterations, s.node_visits, s.node_revisits, s.word_ops, s.allocations
         );
     }
     out

@@ -13,7 +13,7 @@
 use std::error::Error;
 use std::fmt;
 
-use lcm_dataflow::{analyses, BitSet};
+use lcm_dataflow::{analyses, row_contains, BitSet};
 use lcm_ir::{BlockId, Function, Var};
 
 use crate::analyses::GlobalAnalyses;
@@ -79,7 +79,7 @@ pub fn check_definite_assignment(f: &Function, tracked: &[Var]) -> Result<(), Sa
     let solution = analyses::definitely_assigned(f);
 
     for b in f.block_ids() {
-        let mut assigned = solution.ins[b.index()].clone();
+        let mut assigned = solution.ins.row_set(b.index());
         let data = f.block(b);
         for (i, instr) in data.instrs.iter().enumerate() {
             for used in instr.uses() {
@@ -124,9 +124,9 @@ pub fn check_plan_safety(
     plan: &PlacementPlan,
 ) -> Result<(), SafetyError> {
     let _ = (uni, local);
-    let safe_between = |avail_before: &BitSet, antic_after: &BitSet, set: &BitSet, at: String| {
+    let safe_between = |avail_before: &[u64], antic_after: &[u64], set: &BitSet, at: String| {
         for e in set.iter() {
-            if !antic_after.contains(e) && !avail_before.contains(e) {
+            if !row_contains(antic_after, e) && !row_contains(avail_before, e) {
                 return Err(SafetyError::UnsafeInsertion { at, expr: e });
             }
         }
@@ -135,7 +135,7 @@ pub fn check_plan_safety(
 
     // Virtual entry edge: nothing is available above the entry.
     for e in plan.entry_insert.iter() {
-        if !ga.antic.ins[f.entry().index()].contains(e) {
+        if !ga.antic.ins.contains(f.entry().index(), e) {
             return Err(SafetyError::UnsafeInsertion {
                 at: "entry".to_string(),
                 expr: e,
@@ -144,8 +144,8 @@ pub fn check_plan_safety(
     }
     for (eid, edge) in plan.edges.iter() {
         safe_between(
-            &ga.avail.outs[edge.from.index()],
-            &ga.antic.ins[edge.to.index()],
+            ga.avail.outs.row(edge.from.index()),
+            ga.antic.ins.row(edge.to.index()),
             &plan.edge_inserts[eid.index()],
             edge.to_string(),
         )?;
@@ -153,14 +153,14 @@ pub fn check_plan_safety(
     for b in f.block_ids() {
         let bi = b.index();
         safe_between(
-            &ga.avail.ins[bi],
-            &ga.antic.ins[bi],
+            ga.avail.ins.row(bi),
+            ga.antic.ins.row(bi),
             &plan.block_top_inserts[bi],
             format!("top of {b}"),
         )?;
         safe_between(
-            &ga.avail.outs[bi],
-            &ga.antic.outs[bi],
+            ga.avail.outs.row(bi),
+            ga.antic.outs.row(bi),
             &plan.block_bottom_inserts[bi],
             format!("bottom of {b}"),
         )?;

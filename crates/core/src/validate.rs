@@ -241,7 +241,7 @@ fn check_later_invariant(
         .map_err(ValidationError::AnalysisDiverged)?;
     for (eid, edge) in plan.edges.iter() {
         // LATER(i,j) = EARLIEST(i,j) ∪ solver out of i.
-        let mut later = solution.outs[edge.from.index()].clone();
+        let mut later = solution.outs.row_set(edge.from.index());
         later.union_with(&ga.earliest[eid.index()]);
         for e in plan.edge_inserts[eid.index()].iter() {
             if !later.contains(e) {
@@ -253,7 +253,7 @@ fn check_later_invariant(
         }
     }
     for e in plan.entry_insert.iter() {
-        if !ga.antic.ins[f.entry().index()].contains(e) {
+        if !ga.antic.ins.contains(f.entry().index(), e) {
             return Err(ValidationError::InsertionNotInLater {
                 at: "entry".to_string(),
                 expr: e,

@@ -31,8 +31,8 @@ use crate::problem::{Confluence, Direction, Problem, Solution, Transfer};
 /// let live = var_liveness(&f);
 /// let a = f.symbols.get("a").unwrap();
 /// let x = f.symbols.get("x").unwrap();
-/// assert!(live.ins[f.entry().index()].contains(a.index()));
-/// assert!(!live.ins[f.entry().index()].contains(x.index()));
+/// assert!(live.ins.contains(f.entry().index(), a.index()));
+/// assert!(!live.ins.contains(f.entry().index(), x.index()));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn var_liveness(f: &Function) -> Solution {
@@ -115,11 +115,11 @@ mod tests {
         let i = f.symbols.get("i").unwrap();
         let s = f.symbols.get("s").unwrap();
         let head = f.block_by_name("head").unwrap();
-        assert!(live.ins[head.index()].contains(i.index()));
-        assert!(live.ins[head.index()].contains(s.index()));
-        assert!(live.ins[f.entry().index()].contains(s.index()));
-        assert!(!live.ins[f.entry().index()].contains(i.index())); // defined first
-        assert!(live.outs[f.exit().index()].is_empty());
+        assert!(live.ins.contains(head.index(), i.index()));
+        assert!(live.ins.contains(head.index(), s.index()));
+        assert!(live.ins.contains(f.entry().index(), s.index()));
+        assert!(!live.ins.contains(f.entry().index(), i.index())); // defined first
+        assert!(live.outs.row_is_empty(f.exit().index()));
     }
 
     #[test]
@@ -144,10 +144,10 @@ mod tests {
         let u = f.symbols.get("u").unwrap();
         let c = f.symbols.get("c").unwrap();
         let j = f.block_by_name("j").unwrap();
-        assert!(!assigned.ins[j.index()].contains(t.index()));
-        assert!(!assigned.ins[j.index()].contains(u.index()));
-        assert!(!assigned.ins[j.index()].contains(c.index())); // never assigned
+        assert!(!assigned.ins.contains(j.index(), t.index()));
+        assert!(!assigned.ins.contains(j.index(), u.index()));
+        assert!(!assigned.ins.contains(j.index(), c.index())); // never assigned
         let l = f.block_by_name("l").unwrap();
-        assert!(assigned.outs[l.index()].contains(t.index()));
+        assert!(assigned.outs.contains(l.index(), t.index()));
     }
 }

@@ -1,10 +1,180 @@
-//! A dense, fixed-capacity bit set packed into 64-bit words.
+//! A dense, fixed-capacity bit set packed into 64-bit words, plus the
+//! word-slice "row kernels" shared with [`BitMatrix`](crate::BitMatrix).
+//!
+//! The kernels operate on bare `&[u64]` rows so a [`BitSet`] and a
+//! [`BitMatrix`](crate::BitMatrix) row are interchangeable operands: both
+//! maintain the *trailing-bit hygiene* invariant (all bits at positions
+//! `>= nbits` in the last word are zero), which the kernels preserve —
+//! union/intersection/difference/copy of trimmed rows are trimmed — so
+//! `count()`/`is_empty()` can never drift.
 
 use std::fmt;
 
 use crate::error::ShapeMismatch;
 
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
+
+/// `dst ∪= src` over equal-length word rows; returns `true` if `dst`
+/// changed.
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+#[inline]
+pub fn union_rows(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut changed = false;
+    for (a, &b) in dst.iter_mut().zip(src) {
+        let new = *a | b;
+        changed |= new != *a;
+        *a = new;
+    }
+    changed
+}
+
+/// `dst ∩= src` over equal-length word rows; returns `true` if `dst`
+/// changed.
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+#[inline]
+pub fn intersect_rows(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut changed = false;
+    for (a, &b) in dst.iter_mut().zip(src) {
+        let new = *a & b;
+        changed |= new != *a;
+        *a = new;
+    }
+    changed
+}
+
+/// `dst −= src` over equal-length word rows; returns `true` if `dst`
+/// changed.
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+#[inline]
+pub fn difference_rows(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut changed = false;
+    for (a, &b) in dst.iter_mut().zip(src) {
+        let new = *a & !b;
+        changed |= new != *a;
+        *a = new;
+    }
+    changed
+}
+
+/// Overwrites `dst` with `src`, reporting word-granular whether anything
+/// actually changed — the dirty-detection primitive of the fused solver.
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+#[inline]
+pub fn copy_row_changed(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut changed = false;
+    for (a, &b) in dst.iter_mut().zip(src) {
+        changed |= *a != b;
+        *a = b;
+    }
+    changed
+}
+
+/// Tests membership of `bit` in a word row (callers guarantee
+/// `bit < nbits`; hygiene keeps padding bits zero so an in-row but
+/// out-of-universe probe cannot report a phantom member).
+///
+/// # Panics
+///
+/// Panics if `bit` lies beyond the row's word storage.
+#[inline]
+pub fn row_contains(row: &[u64], bit: usize) -> bool {
+    row[bit / WORD_BITS] & (1 << (bit % WORD_BITS)) != 0
+}
+
+/// Returns `true` if no bit is set in the row.
+#[inline]
+pub fn row_is_empty(row: &[u64]) -> bool {
+    row.iter().all(|&w| w == 0)
+}
+
+/// Counts the set bits in the row.
+#[inline]
+pub fn count_row(row: &[u64]) -> usize {
+    row.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Asserts (debug builds only) the trailing-bit hygiene invariant: every
+/// bit at position `>= nbits` in the row is zero.
+#[inline]
+pub(crate) fn debug_assert_row_hygiene(row: &[u64], nbits: usize) {
+    #[cfg(debug_assertions)]
+    {
+        let used = nbits % WORD_BITS;
+        if used != 0 {
+            if let Some(&last) = row.last() {
+                debug_assert_eq!(
+                    last & !((1u64 << used) - 1),
+                    0,
+                    "trailing-bit hygiene violated: bits above nbits={nbits} are set"
+                );
+            }
+        }
+        let _ = (row, nbits);
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (row, nbits);
+    }
+}
+
+/// A word-skipping iterator over the set bits of a word row, in increasing
+/// order. Zero words are skipped in one comparison each; within a nonzero
+/// word, bits are extracted with `trailing_zeros` + clear-lowest-set-bit.
+///
+/// Shared by [`BitSet::iter`] and
+/// [`BitMatrix::row_iter`](crate::BitMatrix::row_iter).
+#[derive(Clone)]
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    cur: u64,
+    base: usize,
+}
+
+impl<'a> BitIter<'a> {
+    /// Iterates the set bits of a raw word row.
+    pub fn new(words: &'a [u64]) -> Self {
+        BitIter {
+            words,
+            next_word: 0,
+            cur: 0,
+            base: 0,
+        }
+    }
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.cur == 0 {
+            let &w = self.words.get(self.next_word)?;
+            self.cur = w;
+            self.base = self.next_word * WORD_BITS;
+            self.next_word += 1;
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        Some(self.base + bit)
+    }
+}
 
 /// A fixed-capacity set of small integers, stored one bit each.
 ///
@@ -25,7 +195,7 @@ const WORD_BITS: usize = 64;
 /// a.intersect_with(&b);
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![129]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     nbits: usize,
@@ -57,6 +227,39 @@ impl BitSet {
     #[inline]
     pub fn num_words(&self) -> usize {
         self.words.len()
+    }
+
+    /// The backing words as a row view, interchangeable with a
+    /// [`BitMatrix`](crate::BitMatrix) row in the row kernels.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a set of capacity `nbits` from a raw word row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match `nbits.div_ceil(64)`.
+    pub fn from_row(row: &[u64], nbits: usize) -> Self {
+        assert_eq!(row.len(), nbits.div_ceil(WORD_BITS), "row length mismatch");
+        debug_assert_row_hygiene(row, nbits);
+        BitSet {
+            words: row.to_vec(),
+            nbits,
+        }
+    }
+
+    /// Resizes in place to capacity `nbits` and clears all bits, reusing
+    /// the existing backing allocation whenever it is large enough.
+    /// Returns `true` if the backing store had to grow (reallocate).
+    pub fn reset(&mut self, nbits: usize) -> bool {
+        let words = nbits.div_ceil(WORD_BITS);
+        let grew = words > self.words.capacity();
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.nbits = nbits;
+        grew
     }
 
     /// Tests membership.
@@ -106,6 +309,7 @@ impl BitSet {
             *w = !0;
         }
         self.trim();
+        debug_assert_row_hygiene(&self.words, self.nbits);
     }
 
     /// Empties the set.
@@ -132,13 +336,18 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         self.check(other);
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a | b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        union_rows(&mut self.words, &other.words)
+    }
+
+    /// `self ∪= row` where `row` is a raw word row of the same width
+    /// (typically a [`BitMatrix`](crate::BitMatrix) row); returns `true`
+    /// if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from [`num_words`](Self::num_words).
+    pub fn union_with_row(&mut self, row: &[u64]) -> bool {
+        union_rows(&mut self.words, row)
     }
 
     /// `self ∩= other`; returns `true` if `self` changed.
@@ -148,13 +357,17 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &BitSet) -> bool {
         self.check(other);
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a & b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        intersect_rows(&mut self.words, &other.words)
+    }
+
+    /// `self ∩= row` for a raw word row of the same width; returns `true`
+    /// if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from [`num_words`](Self::num_words).
+    pub fn intersect_with_row(&mut self, row: &[u64]) -> bool {
+        intersect_rows(&mut self.words, row)
     }
 
     /// `self −= other` (clears every bit present in `other`); returns
@@ -165,13 +378,17 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn difference_with(&mut self, other: &BitSet) -> bool {
         self.check(other);
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a & !b;
-            changed |= new != *a;
-            *a = new;
-        }
-        changed
+        difference_rows(&mut self.words, &other.words)
+    }
+
+    /// `self −= row` for a raw word row of the same width; returns `true`
+    /// if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from [`num_words`](Self::num_words).
+    pub fn difference_with_row(&mut self, row: &[u64]) -> bool {
+        difference_rows(&mut self.words, row)
     }
 
     /// Overwrites `self` with `other`'s contents.
@@ -184,6 +401,16 @@ impl BitSet {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// Overwrites `self` with a raw word row of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from [`num_words`](Self::num_words).
+    pub fn copy_from_row(&mut self, row: &[u64]) {
+        self.words.copy_from_slice(row);
+        debug_assert_row_hygiene(&self.words, self.nbits);
+    }
+
     /// Overwrites `self` with `other`'s contents, reporting word-granular
     /// whether anything actually changed — the dirty-detection primitive
     /// the fused solver uses to skip transfers whose input is unchanged.
@@ -193,12 +420,7 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn copy_from_changed(&mut self, other: &BitSet) -> bool {
         self.check(other);
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            changed |= *a != b;
-            *a = b;
-        }
-        changed
+        copy_row_changed(&mut self.words, &other.words)
     }
 
     /// Flips every bit in `0..capacity`.
@@ -207,6 +429,7 @@ impl BitSet {
             *w = !*w;
         }
         self.trim();
+        debug_assert_row_hygiene(&self.words, self.nbits);
     }
 
     /// Returns `true` if every bit of `other` is in `self`.
@@ -235,20 +458,11 @@ impl BitSet {
             .all(|(&a, &b)| a & b == 0)
     }
 
-    /// Iterates over the set bits in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let bit = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * WORD_BITS + bit)
-                }
-            })
-        })
+    /// Iterates over the set bits in increasing order, skipping zero words
+    /// wholesale (shared with
+    /// [`BitMatrix::row_iter`](crate::BitMatrix::row_iter)).
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter::new(&self.words)
     }
 
     /// Checks that `other` has the same capacity, as the binary operations
@@ -464,6 +678,146 @@ mod tests {
         let b = BitSet::new(20);
         a.copy_from(&b);
         assert!(a.is_empty());
+    }
+
+    /// Test helper: the raw padding bits above `nbits` in the last word.
+    fn padding_bits(s: &BitSet) -> u64 {
+        let used = s.capacity() % WORD_BITS;
+        if used == 0 {
+            0
+        } else {
+            s.words().last().copied().unwrap_or(0) & !((1u64 << used) - 1)
+        }
+    }
+
+    #[test]
+    fn trailing_bits_stay_zero_after_complement_and_kernels() {
+        // Odd capacity so the last word has 61 padding bits.
+        let mut a = BitSet::full(67);
+        let mut b = BitSet::new(67);
+        b.insert(66);
+        a.complement();
+        assert_eq!(padding_bits(&a), 0);
+        a.complement(); // full again
+        assert_eq!(padding_bits(&a), 0);
+
+        // Every row kernel on trimmed operands stays trimmed.
+        let mut row = a.words().to_vec();
+        assert!(!union_rows(&mut row, b.words()));
+        assert_eq!(row.last().unwrap() & !((1u64 << 3) - 1), 0);
+        assert!(intersect_rows(&mut row, b.words()));
+        assert_eq!(row.last().unwrap() & !((1u64 << 3) - 1), 0);
+        assert!(difference_rows(&mut row, b.words()));
+        assert!(row_is_empty(&row));
+        assert!(copy_row_changed(&mut row, a.words()));
+        assert_eq!(count_row(&row), 67);
+        assert_eq!(row.last().unwrap() & !((1u64 << 3) - 1), 0);
+
+        // And the BitSet wrappers preserve count()/is_empty() honesty.
+        a.intersect_with(&b);
+        assert_eq!(a.count(), 1);
+        a.difference_with(&b);
+        assert!(a.is_empty());
+        assert_eq!(padding_bits(&a), 0);
+    }
+
+    #[test]
+    fn row_kernels_match_set_ops() {
+        let a: BitSet = [1usize, 64, 66].into_iter().collect::<BitSet>().resized(70);
+        let b: BitSet = [1usize, 2, 64].into_iter().collect::<BitSet>().resized(70);
+
+        let mut via_set = a.clone();
+        via_set.union_with(&b);
+        let mut via_row = a.clone();
+        assert!(via_row.union_with_row(b.words()));
+        assert_eq!(via_set, via_row);
+
+        let mut via_set = a.clone();
+        via_set.intersect_with(&b);
+        let mut via_row = a.clone();
+        assert!(via_row.intersect_with_row(b.words()));
+        assert_eq!(via_set, via_row);
+
+        let mut via_set = a.clone();
+        via_set.difference_with(&b);
+        let mut via_row = a.clone();
+        assert!(via_row.difference_with_row(b.words()));
+        assert_eq!(via_set, via_row);
+
+        let mut copied = BitSet::new(70);
+        copied.copy_from_row(a.words());
+        assert_eq!(copied, a);
+        assert!(row_contains(a.words(), 66));
+        assert!(!row_contains(a.words(), 2));
+    }
+
+    #[test]
+    fn from_row_and_reset() {
+        let a: BitSet = [0usize, 65].into_iter().collect::<BitSet>().resized(70);
+        let round_trip = BitSet::from_row(a.words(), 70);
+        assert_eq!(round_trip, a);
+
+        let mut s = BitSet::full(128);
+        assert!(!s.reset(64)); // shrink: reuses the allocation
+        assert_eq!(s.capacity(), 64);
+        assert!(s.is_empty());
+        assert!(s.reset(1024)); // growth: must reallocate
+        assert_eq!(s.num_words(), 16);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn word_skipping_iter_matches_naive_scan() {
+        let mut s = BitSet::new(512);
+        for b in [0, 1, 63, 64, 191, 448, 511] {
+            s.insert(b);
+        }
+        let naive: Vec<usize> = (0..s.capacity()).filter(|&b| s.contains(b)).collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), naive);
+        // All-zero middle words are skipped, not scanned bit-by-bit, but
+        // the result is identical either way.
+        assert_eq!(BitIter::new(s.words()).collect::<Vec<_>>(), naive);
+        assert_eq!(BitIter::new(&[]).next(), None);
+    }
+
+    #[test]
+    fn word_skipping_iter_matches_naive_on_random_universes() {
+        // Property test over seeded random sets and matrix rows: the
+        // word-skipping iterator agrees with the naive per-bit scan for
+        // every capacity and density, including all-empty and all-full.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            // splitmix64 — in-tree PRNG, no dependencies.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for trial in 0..200 {
+            let nbits = (next() % 300 + 1) as usize;
+            let mut s = BitSet::new(nbits);
+            match trial % 5 {
+                0 => {}              // empty
+                1 => s.insert_all(), // full
+                _ => {
+                    // Random density in (0, 1).
+                    let denom = next() % 7 + 2;
+                    for b in 0..nbits {
+                        if next() % denom == 0 {
+                            s.insert(b);
+                        }
+                    }
+                }
+            }
+            let naive: Vec<usize> = (0..nbits).filter(|&b| s.contains(b)).collect();
+            assert_eq!(
+                s.iter().collect::<Vec<_>>(),
+                naive,
+                "trial {trial}, nbits {nbits}"
+            );
+            assert_eq!(s.iter().count(), s.count(), "trial {trial}");
+        }
     }
 
     #[test]

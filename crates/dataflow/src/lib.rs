@@ -5,22 +5,30 @@
 //! problems. This crate provides exactly that machinery:
 //!
 //! * [`BitSet`] — a dense, word-packed bit set with the usual lattice
-//!   operations;
+//!   operations, plus the raw `&[u64]` row kernels ([`union_rows`],
+//!   [`intersect_rows`], [`copy_row_changed`], …) it shares with
+//!   [`BitMatrix`];
+//! * [`BitMatrix`] — a flat `n_blocks × nbits` bit matrix: one analysis
+//!   state in one contiguous allocation, rows exposed as slice views;
 //! * [`Problem`] — a gen/kill dataflow problem over a
 //!   [`Function`](lcm_ir::Function)'s CFG, forward or backward, with
 //!   intersection ([`Confluence::Must`]) or union ([`Confluence::May`])
 //!   confluence, plus optional per-edge gen sets (needed by the LATER
 //!   analysis of lazy code motion);
-//! * two solvers — round-robin over a depth-first ordering
-//!   ([`Problem::solve`]) and a change-driven worklist solver
-//!   ([`Problem::solve_worklist`]) — which produce identical fixpoints;
-//! * [`CfgView`] — precomputed traversal orders and adjacency, built once
-//!   per function and shared across solves via [`Problem::solve_in`] /
-//!   [`Problem::solve_worklist_in`] (how the fused LCM pipeline runs its
-//!   four analyses);
-//! * [`SolveStats`] — iteration / visit / word-operation counters used by
-//!   the complexity experiments (LCM vs. the bidirectional Morel–Renvoise
-//!   system);
+//! * three solver strategies ([`SolveStrategy`]) — round-robin sweeps, a
+//!   change-driven FIFO worklist, and an SCC-condensed priority worklist
+//!   that drains each strongly connected component to fixpoint before
+//!   advancing — which produce identical fixpoints;
+//! * [`SolverScratch`] — a reusable solver arena (state matrices, worklist
+//!   deque, in-queue bitmap, change flags) passed to
+//!   [`Problem::solve_with`], giving O(1) amortized heap allocations per
+//!   solve when held across functions;
+//! * [`CfgView`] — precomputed traversal orders, adjacency and the
+//!   one-shot Tarjan SCC condensation, built once per function and shared
+//!   across solves (how the fused LCM pipeline runs its four analyses);
+//! * [`SolveStats`] — iteration / visit / revisit / word-operation /
+//!   allocation counters used by the complexity experiments (LCM vs. the
+//!   bidirectional Morel–Renvoise system) and the perf baseline;
 //! * [`analyses`] — canned variable-level problems (liveness, definite
 //!   assignment) shared across the workspace.
 //!
@@ -46,13 +54,13 @@
 //! transfer[mid.index()].gen.insert(0);
 //! let problem = Problem::new(&f, 1, Direction::Forward, Confluence::May, transfer);
 //! let solution = problem.solve();
-//! assert!(solution.ins[mid.index()].contains(0)); // reaches around the loop
-//! assert!(!solution.ins[f.entry().index()].contains(0));
-//! assert!(solution.ins[f.exit().index()].contains(0));
+//! assert!(solution.ins.contains(mid.index(), 0)); // reaches around the loop
+//! assert!(!solution.ins.contains(f.entry().index(), 0));
+//! assert!(solution.ins.contains(f.exit().index(), 0));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-mod bitset;
+mod bitmatrix;
 mod error;
 mod problem;
 mod solver;
@@ -60,9 +68,15 @@ mod stats;
 mod view;
 
 pub mod analyses;
+pub mod bitset;
 
-pub use bitset::BitSet;
+pub use bitmatrix::BitMatrix;
+pub use bitset::{
+    copy_row_changed, count_row, difference_rows, intersect_rows, row_contains, row_is_empty,
+    union_rows, BitIter, BitSet,
+};
 pub use error::{ShapeMismatch, SolverDiverged};
 pub use problem::{Confluence, Direction, Problem, Solution, Transfer};
+pub use solver::{SolveStrategy, SolverScratch};
 pub use stats::SolveStats;
 pub use view::CfgView;

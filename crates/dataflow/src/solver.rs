@@ -1,14 +1,221 @@
-//! Fixpoint solvers: round-robin over a depth-first ordering, and worklist.
+//! Fixpoint solvers: round-robin over a depth-first ordering, a FIFO
+//! worklist, and an SCC-condensed priority worklist — all running over one
+//! reusable [`SolverScratch`] arena.
+//!
+//! The monotone gen/kill framework has a unique fixpoint, so every
+//! strategy produces bit-identical [`Solution`]s; they differ only in
+//! their cost counters ([`SolveStats`]). The scratch arena holds the
+//! IN/OUT state as two flat [`BitMatrix`] values plus the worklist
+//! machinery, and is reinitialised — *not* reallocated — per solve, so a
+//! caller that keeps one scratch alive across many solves (the fused LCM
+//! pipeline, the batch driver's pool workers) performs O(1) amortized
+//! heap allocations per solve instead of O(blocks).
 
 use std::collections::VecDeque;
+use std::str::FromStr;
 
 use lcm_ir::BlockId;
 
-use crate::bitset::BitSet;
+use crate::bitmatrix::BitMatrix;
+use crate::bitset::{copy_row_changed, BitSet};
 use crate::error::SolverDiverged;
 use crate::problem::{Confluence, Direction, Problem, Solution};
 use crate::stats::SolveStats;
 use crate::view::CfgView;
+
+/// Which fixpoint iteration schedule to run. All three reach the same
+/// unique fixpoint; they differ in node revisits and sweep structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolveStrategy {
+    /// Whole sweeps over reverse postorder (forward) / postorder
+    /// (backward) until a sweep changes nothing.
+    RoundRobin,
+    /// Change-driven FIFO worklist seeded in depth-first order.
+    Worklist,
+    /// SCC-condensed priority worklist: drain each strongly connected
+    /// component of the CFG to its local fixpoint before touching any
+    /// component downstream of it. Because the condensation is acyclic,
+    /// one topological pass reaches the global fixpoint — loopy regions
+    /// never force revisits of the blocks around them.
+    #[default]
+    SccPriority,
+}
+
+impl SolveStrategy {
+    /// All strategies, for equivalence sweeps.
+    pub const ALL: [SolveStrategy; 3] = [
+        SolveStrategy::RoundRobin,
+        SolveStrategy::Worklist,
+        SolveStrategy::SccPriority,
+    ];
+
+    /// The CLI / report name: `"rr"`, `"wl"` or `"scc"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolveStrategy::RoundRobin => "rr",
+            SolveStrategy::Worklist => "wl",
+            SolveStrategy::SccPriority => "scc",
+        }
+    }
+}
+
+impl FromStr for SolveStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rr" | "round-robin" => Ok(SolveStrategy::RoundRobin),
+            "wl" | "worklist" => Ok(SolveStrategy::Worklist),
+            "scc" | "scc-priority" => Ok(SolveStrategy::SccPriority),
+            other => Err(format!(
+                "unknown solver strategy `{other}` (expected rr, wl or scc)"
+            )),
+        }
+    }
+}
+
+/// A reusable arena holding everything a solve needs to mutate: the
+/// IN/OUT bit matrices, the meet/transfer accumulators, the worklist
+/// deque, the in-queue bitmap and the per-block change flags.
+///
+/// Create one (cheap, allocation-free) and pass it to
+/// [`Problem::solve_with`] repeatedly; backing stores grow to the largest
+/// problem seen and are then reused verbatim, so a long-running worker
+/// performs O(1) amortized allocations per solve. Every solve fully
+/// reinitialises the values, so no state leaks between solves (the
+/// fault-injection hook [`poison_for_fault_injection`]
+/// (Self::poison_for_fault_injection) exists precisely to prove the
+/// downstream validators would catch such a leak).
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    ins: BitMatrix,
+    outs: BitMatrix,
+    /// Meet accumulator, doubling as the transfer buffer — values flow
+    /// meet → dirty-check → transfer → output without intermediate clones.
+    acc: BitSet,
+    /// Scratch for edge-gen augmented meets.
+    tmp: BitSet,
+    /// Whether block `b`'s transfer has been applied at least once this
+    /// solve. Until it has, an unchanged meet must not short-circuit the
+    /// update (the initial in/out values predate any transfer).
+    applied: Vec<bool>,
+    queue: VecDeque<BlockId>,
+    queued: Vec<bool>,
+    /// When set, the next [`prepare`](Self::prepare) skips value
+    /// reinitialisation once — the fault-injection path that simulates a
+    /// worker reusing stale solver state across functions.
+    skip_reset_once: bool,
+}
+
+impl SolverScratch {
+    /// An empty scratch; backing stores are allocated lazily by the first
+    /// solve and grown only when a larger problem arrives.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes the backing stores for `p` (growing only when needed) and
+    /// reinitialises all values. Returns the number of backing-store
+    /// growth events, i.e. actual heap allocations.
+    fn prepare(&mut self, p: &Problem<'_>, view: &CfgView) -> u64 {
+        let n = p.fun.num_blocks();
+        assert_eq!(
+            view.num_blocks(),
+            n,
+            "CfgView built for a different function"
+        );
+        let mut grew = 0u64;
+        let same_shape = self.ins.n_rows() == n && self.ins.nbits() == p.nbits;
+        if !same_shape {
+            grew += self.ins.reset(n, p.nbits) as u64;
+            grew += self.outs.reset(n, p.nbits) as u64;
+        }
+        grew += self.acc.reset(p.nbits) as u64;
+        grew += self.tmp.reset(p.nbits) as u64;
+        if self.applied.capacity() < n {
+            grew += 1;
+        }
+        self.applied.clear();
+        self.applied.resize(n, false);
+        if self.queued.capacity() < n {
+            grew += 1;
+        }
+        self.queued.clear();
+        self.queued.resize(n, false);
+        self.queue.clear();
+        if self.queue.capacity() < n {
+            grew += 1;
+            self.queue.reserve(n - self.queue.capacity());
+        }
+
+        if std::mem::take(&mut self.skip_reset_once) && same_shape {
+            // Fault-injection path: leave whatever values are in the
+            // matrices (poison) in place, exactly as a buggy reuse of a
+            // worker's scratch across functions would.
+            return grew;
+        }
+        for r in 0..n {
+            match p.confluence {
+                Confluence::Must => {
+                    self.ins.fill_row(r);
+                    self.outs.fill_row(r);
+                }
+                Confluence::May => {
+                    self.ins.clear_row(r);
+                    self.outs.clear_row(r);
+                }
+            }
+        }
+        match p.direction {
+            Direction::Forward => self.ins.set_row(p.fun.entry().index(), &p.boundary),
+            Direction::Backward => self.outs.set_row(p.fun.exit().index(), &p.boundary),
+        }
+        grew
+    }
+
+    /// Scribbles deterministic pseudo-random garbage over the IN/OUT
+    /// matrices (trailing-bit hygiene preserved) and arms
+    /// `skip_reset_once`, so the *next* solve runs on stale, corrupted
+    /// state — the realistic failure mode of a worker arena that is
+    /// reused without reinitialisation. Used by the `lcm-faults` mutation
+    /// suite to prove the fast validation tier catches cross-function
+    /// state bleed; never called on any production path.
+    pub fn poison_for_fault_injection(&mut self, seed: u64) {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            // splitmix64
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for m in [&mut self.ins, &mut self.outs] {
+            let nbits = m.nbits();
+            let used = nbits % 64;
+            for r in 0..m.n_rows() {
+                let row = m.row_mut(r);
+                for w in row.iter_mut() {
+                    *w ^= next();
+                }
+                if used != 0 {
+                    if let Some(last) = row.last_mut() {
+                        *last &= (1u64 << used) - 1;
+                    }
+                }
+            }
+        }
+        self.skip_reset_once = true;
+    }
+
+    /// Whether the scratch is armed to skip its next value
+    /// reinitialisation (only ever true between
+    /// [`poison_for_fault_injection`](Self::poison_for_fault_injection)
+    /// and the next solve).
+    pub fn is_poisoned(&self) -> bool {
+        self.skip_reset_once
+    }
+}
 
 impl Problem<'_> {
     /// The round-robin sweep budget: the CFG's retreating-edge count (an
@@ -37,13 +244,69 @@ impl Problem<'_> {
         }
     }
 
+    /// Solves with the given strategy over a shared [`CfgView`], reusing
+    /// `scratch` for all mutable state. This is the zero-allocation entry
+    /// point: with a warm scratch the only allocations are the two matrix
+    /// clones exported in the returned [`Solution`] (counted in
+    /// [`SolveStats::allocations`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function, or if
+    /// the iteration budget is exhausted (impossible for a monotone
+    /// problem); [`try_solve_with`](Self::try_solve_with) reports the
+    /// latter as a [`SolverDiverged`] instead.
+    pub fn solve_with(
+        &self,
+        strategy: SolveStrategy,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+    ) -> Solution {
+        self.try_solve_with(strategy, view, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`solve_with`](Self::solve_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverDiverged`] if the fixpoint iteration exceeds its
+    /// budget (see [`with_sweep_bound`](Self::with_sweep_bound)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` was built for a different-shaped function (that is
+    /// a structural misuse of the API, not a data-dependent failure).
+    pub fn try_solve_with(
+        &self,
+        strategy: SolveStrategy,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolverDiverged> {
+        let mut stats = SolveStats::new();
+        stats.allocations = scratch.prepare(self, view);
+        match strategy {
+            SolveStrategy::RoundRobin => self.run_round_robin(view, scratch, &mut stats)?,
+            SolveStrategy::Worklist => self.run_worklist(view, scratch, &mut stats)?,
+            SolveStrategy::SccPriority => self.run_scc(view, scratch, &mut stats)?,
+        }
+        // Exporting the Solution clones the two matrices — the only
+        // allocations a warm-scratch solve performs.
+        stats.allocations += 2;
+        Ok(Solution {
+            ins: scratch.ins.clone(),
+            outs: scratch.outs.clone(),
+            stats,
+        })
+    }
+
     /// Solves by round-robin iteration over reverse postorder (forward
     /// problems) or postorder (backward problems) until a full sweep changes
     /// nothing. `stats.iterations` counts the sweeps.
     ///
-    /// Computes a fresh [`CfgView`] for the function; when running several
-    /// analyses over one CFG, build the view once and use
-    /// [`solve_in`](Self::solve_in).
+    /// Computes a fresh [`CfgView`] and scratch for the function; when
+    /// running several analyses over one CFG, build both once and use
+    /// [`solve_with`](Self::solve_with).
     ///
     /// # Panics
     ///
@@ -92,29 +355,7 @@ impl Problem<'_> {
     /// Panics if `view` was built for a different-shaped function (that is
     /// a structural misuse of the API, not a data-dependent failure).
     pub fn try_solve_in(&self, view: &CfgView) -> Result<Solution, SolverDiverged> {
-        let mut state = State::new(self, view);
-        let order = match self.direction {
-            Direction::Forward => view.rpo(),
-            Direction::Backward => view.postorder(),
-        };
-        let bound = self.round_robin_bound(view);
-        loop {
-            if state.stats.iterations >= bound {
-                return Err(SolverDiverged {
-                    analysis: self.name,
-                    sweeps: bound,
-                });
-            }
-            state.stats.iterations += 1;
-            let mut changed = false;
-            for &b in order {
-                changed |= state.update(self, view, b);
-            }
-            if !changed {
-                break;
-            }
-        }
-        Ok(state.into_solution())
+        self.try_solve_with(SolveStrategy::RoundRobin, view, &mut SolverScratch::new())
     }
 
     /// Solves with a FIFO worklist seeded in depth-first order. Produces the
@@ -122,9 +363,9 @@ impl Problem<'_> {
     /// `stats.node_visits` counts worklist pops and `stats.iterations` is
     /// left at zero.
     ///
-    /// Computes a fresh [`CfgView`] for the function; when running several
-    /// analyses over one CFG, build the view once and use
-    /// [`solve_worklist_in`](Self::solve_worklist_in).
+    /// Computes a fresh [`CfgView`] and scratch for the function; when
+    /// running several analyses over one CFG, build both once and use
+    /// [`solve_with`](Self::solve_with).
     ///
     /// # Panics
     ///
@@ -150,8 +391,8 @@ impl Problem<'_> {
     /// Propagation is change-driven: a block's dependents (successors for
     /// forward problems, predecessors for backward ones) are re-enqueued
     /// only when its output side actually changed, detected word-granularly
-    /// by [`BitSet::copy_from_changed`], and a popped block whose meet is
-    /// unchanged skips its transfer entirely.
+    /// by [`copy_row_changed`], and a popped block whose meet is unchanged
+    /// skips its transfer entirely.
     ///
     /// # Panics
     ///
@@ -174,16 +415,56 @@ impl Problem<'_> {
     /// Panics if `view` was built for a different-shaped function (that is
     /// a structural misuse of the API, not a data-dependent failure).
     pub fn try_solve_worklist_in(&self, view: &CfgView) -> Result<Solution, SolverDiverged> {
-        let mut state = State::new(self, view);
+        self.try_solve_with(SolveStrategy::Worklist, view, &mut SolverScratch::new())
+    }
+
+    fn run_round_robin(
+        &self,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+        stats: &mut SolveStats,
+    ) -> Result<(), SolverDiverged> {
+        let order = match self.direction {
+            Direction::Forward => view.rpo(),
+            Direction::Backward => view.postorder(),
+        };
+        let bound = self.round_robin_bound(view);
+        loop {
+            if stats.iterations >= bound {
+                return Err(SolverDiverged {
+                    analysis: self.name,
+                    sweeps: bound,
+                });
+            }
+            stats.iterations += 1;
+            let mut changed = false;
+            for &b in order {
+                changed |= self.update(view, scratch, stats, b);
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_worklist(
+        &self,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+        stats: &mut SolveStats,
+    ) -> Result<(), SolverDiverged> {
         let order = match self.direction {
             Direction::Forward => view.rpo(),
             Direction::Backward => view.postorder(),
         };
         let bound = self.worklist_bound(view);
         let mut pops = 0usize;
-        let mut queue: VecDeque<BlockId> = order.iter().copied().collect();
-        let mut queued = vec![true; self.fun.num_blocks()];
-        while let Some(b) = queue.pop_front() {
+        for &b in order {
+            scratch.queued[b.index()] = true;
+            scratch.queue.push_back(b);
+        }
+        while let Some(b) = scratch.queue.pop_front() {
             pops += 1;
             if pops > bound {
                 return Err(SolverDiverged {
@@ -191,67 +472,85 @@ impl Problem<'_> {
                     sweeps: bound / self.fun.num_blocks().max(1),
                 });
             }
-            queued[b.index()] = false;
-            if state.update(self, view, b) {
+            scratch.queued[b.index()] = false;
+            if self.update(view, scratch, stats, b) {
                 // Push the blocks whose input depends on b.
                 let dependents: &[BlockId] = match self.direction {
                     Direction::Forward => view.succs(b),
                     Direction::Backward => view.preds(b),
                 };
                 for &d in dependents {
-                    if !queued[d.index()] {
-                        queued[d.index()] = true;
-                        queue.push_back(d);
+                    if !scratch.queued[d.index()] {
+                        scratch.queued[d.index()] = true;
+                        scratch.queue.push_back(d);
                     }
                 }
             }
         }
-        Ok(state.into_solution())
+        Ok(())
     }
-}
 
-/// Mutable solver state shared by both strategies.
-struct State {
-    ins: Vec<BitSet>,
-    outs: Vec<BitSet>,
-    stats: SolveStats,
-    /// Scratch buffer for edge-gen augmented meets.
-    scratch: BitSet,
-    /// Meet accumulator, doubling as the transfer buffer — values flow
-    /// meet → dirty-check → transfer → output without intermediate clones.
-    acc: BitSet,
-    /// Whether block `b`'s transfer has been applied at least once. Until it
-    /// has, an unchanged meet must not short-circuit the update (the initial
-    /// in/out values predate any transfer).
-    applied: Vec<bool>,
-}
-
-impl State {
-    fn new(p: &Problem<'_>, view: &CfgView) -> State {
-        let n = p.fun.num_blocks();
-        assert_eq!(
-            view.num_blocks(),
-            n,
-            "CfgView built for a different function"
-        );
-        let init = match p.confluence {
-            Confluence::Must => BitSet::full(p.nbits),
-            Confluence::May => BitSet::new(p.nbits),
+    /// The SCC-condensed priority schedule: components are visited in
+    /// topological order of the condensation (reverse for backward
+    /// problems), and each is drained to its local fixpoint with a FIFO
+    /// restricted to its members before the next component is seeded.
+    /// Cross-component dependents need no re-enqueueing — they have not
+    /// been seeded yet and will read final values when their turn comes —
+    /// so one pass over the components reaches the global fixpoint.
+    fn run_scc(
+        &self,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+        stats: &mut SolveStats,
+    ) -> Result<(), SolverDiverged> {
+        let bound = self.worklist_bound(view);
+        let mut pops = 0usize;
+        let n_sccs = view.num_sccs();
+        let mut component = |s: usize| -> Result<(), SolverDiverged> {
+            let members = view.scc_blocks(s);
+            match self.direction {
+                Direction::Forward => {
+                    for &b in members {
+                        scratch.queued[b.index()] = true;
+                        scratch.queue.push_back(b);
+                    }
+                }
+                Direction::Backward => {
+                    for &b in members.iter().rev() {
+                        scratch.queued[b.index()] = true;
+                        scratch.queue.push_back(b);
+                    }
+                }
+            }
+            while let Some(b) = scratch.queue.pop_front() {
+                pops += 1;
+                if pops > bound {
+                    return Err(SolverDiverged {
+                        analysis: self.name,
+                        sweeps: bound / self.fun.num_blocks().max(1),
+                    });
+                }
+                scratch.queued[b.index()] = false;
+                if self.update(view, scratch, stats, b) {
+                    let dependents: &[BlockId] = match self.direction {
+                        Direction::Forward => view.succs(b),
+                        Direction::Backward => view.preds(b),
+                    };
+                    for &d in dependents {
+                        if view.scc_of(d) == Some(s) && !scratch.queued[d.index()] {
+                            scratch.queued[d.index()] = true;
+                            scratch.queue.push_back(d);
+                        }
+                    }
+                }
+            }
+            Ok(())
         };
-        let mut ins = vec![init.clone(); n];
-        let mut outs = vec![init; n];
-        match p.direction {
-            Direction::Forward => ins[p.fun.entry().index()] = p.boundary.clone(),
-            Direction::Backward => outs[p.fun.exit().index()] = p.boundary.clone(),
+        match self.direction {
+            Direction::Forward => (0..n_sccs).try_for_each(&mut component)?,
+            Direction::Backward => (0..n_sccs).rev().try_for_each(&mut component)?,
         }
-        State {
-            ins,
-            outs,
-            stats: SolveStats::new(),
-            scratch: BitSet::new(p.nbits),
-            acc: BitSet::new(p.nbits),
-            applied: vec![false; n],
-        }
+        Ok(())
     }
 
     /// Recomputes block `b`'s values; returns `true` if its *output side*
@@ -262,75 +561,77 @@ impl State {
     ///
     /// Both directions share one body: `inp` is the block's meet destination
     /// (`ins` forward, `outs` backward) and `outp` the side its neighbors
-    /// read — which is also the array the meet sources come from.
-    fn update(&mut self, p: &Problem<'_>, view: &CfgView, b: BlockId) -> bool {
-        self.stats.node_visits += 1;
+    /// read — which is also the matrix the meet sources come from.
+    fn update(
+        &self,
+        view: &CfgView,
+        scratch: &mut SolverScratch,
+        stats: &mut SolveStats,
+        b: BlockId,
+    ) -> bool {
+        stats.node_visits += 1;
         let i = b.index();
-        let words = self.scratch.num_words() as u64;
-        let (inp, outp) = match p.direction {
-            Direction::Forward => (&mut self.ins, &mut self.outs),
-            Direction::Backward => (&mut self.outs, &mut self.ins),
+        if scratch.applied[i] {
+            stats.node_revisits += 1;
+        }
+        let words = scratch.acc.num_words() as u64;
+        let (inp, outp) = match self.direction {
+            Direction::Forward => (&mut scratch.ins, &mut scratch.outs),
+            Direction::Backward => (&mut scratch.outs, &mut scratch.ins),
         };
-        let boundary = match p.direction {
-            Direction::Forward => b == p.fun.entry(),
-            Direction::Backward => b == p.fun.exit(),
+        let acc = &mut scratch.acc;
+        let boundary = match self.direction {
+            Direction::Forward => b == self.fun.entry(),
+            Direction::Backward => b == self.fun.exit(),
         };
         let dirty = if boundary {
             // The boundary value never changes, so the transfer needs to
             // run exactly once.
-            self.acc.copy_from(&inp[i]);
-            !self.applied[i]
+            acc.copy_from_row(inp.row(i));
+            !scratch.applied[i]
         } else {
-            match p.confluence {
-                Confluence::Must => self.acc.insert_all(),
-                Confluence::May => self.acc.clear(),
+            match self.confluence {
+                Confluence::Must => acc.insert_all(),
+                Confluence::May => acc.clear(),
             }
-            if let Some((edges, gens)) = &p.edge_gen {
-                let eids = match p.direction {
+            if let Some((edges, gens)) = &self.edge_gen {
+                let eids = match self.direction {
                     Direction::Forward => edges.incoming(b),
                     Direction::Backward => edges.outgoing(b),
                 };
                 for &eid in eids {
                     let e = edges.edge(eid);
-                    let nb = match p.direction {
+                    let nb = match self.direction {
                         Direction::Forward => e.from,
                         Direction::Backward => e.to,
                     };
-                    self.scratch.copy_from(&outp[nb.index()]);
-                    self.scratch.union_with(&gens[eid.index()]);
-                    meet_into(&mut self.acc, &self.scratch, p.confluence);
-                    self.stats.word_ops += 3 * words;
+                    scratch.tmp.copy_from_row(outp.row(nb.index()));
+                    scratch.tmp.union_with(&gens[eid.index()]);
+                    meet_into(acc, &scratch.tmp, self.confluence);
+                    stats.word_ops += 3 * words;
                 }
             } else {
-                let neighbors = match p.direction {
+                let neighbors = match self.direction {
                     Direction::Forward => view.preds(b),
                     Direction::Backward => view.succs(b),
                 };
                 for &nb in neighbors {
-                    meet_into(&mut self.acc, &outp[nb.index()], p.confluence);
-                    self.stats.word_ops += words;
+                    meet_into_row(acc, outp.row(nb.index()), self.confluence);
+                    stats.word_ops += words;
                 }
             }
-            let meet_changed = inp[i].copy_from_changed(&self.acc);
-            self.stats.word_ops += words;
-            meet_changed || !self.applied[i]
+            let meet_changed = copy_row_changed(inp.row_mut(i), acc.words());
+            stats.word_ops += words;
+            meet_changed || !scratch.applied[i]
         };
         if !dirty {
             return false;
         }
-        p.transfer[i].apply(&mut self.acc, &mut self.stats);
-        self.applied[i] = true;
-        let changed = outp[i].copy_from_changed(&self.acc);
-        self.stats.word_ops += words;
+        self.transfer[i].apply(acc, stats);
+        scratch.applied[i] = true;
+        let changed = copy_row_changed(outp.row_mut(i), acc.words());
+        stats.word_ops += words;
         changed
-    }
-
-    fn into_solution(self) -> Solution {
-        Solution {
-            ins: self.ins,
-            outs: self.outs,
-            stats: self.stats,
-        }
     }
 }
 
@@ -338,6 +639,13 @@ fn meet_into(acc: &mut BitSet, value: &BitSet, confluence: Confluence) {
     match confluence {
         Confluence::Must => acc.intersect_with(value),
         Confluence::May => acc.union_with(value),
+    };
+}
+
+fn meet_into_row(acc: &mut BitSet, row: &[u64], confluence: Confluence) {
+    match confluence {
+        Confluence::Must => acc.intersect_with_row(row),
+        Confluence::May => acc.union_with_row(row),
     };
 }
 
@@ -372,10 +680,10 @@ mod tests {
         let p = Problem::new(&f, 2, Direction::Forward, Confluence::May, transfer);
         let s = p.solve();
         let head = f.block_by_name("head").unwrap();
-        assert!(s.ins[head.index()].contains(0)); // around the back edge
-        assert!(!s.ins[head.index()].contains(1));
-        assert!(s.ins[f.exit().index()].contains(0));
-        assert!(!s.ins[body.index()].contains(1));
+        assert!(s.ins.contains(head.index(), 0)); // around the back edge
+        assert!(!s.ins.contains(head.index(), 1));
+        assert!(s.ins.contains(f.exit().index(), 0));
+        assert!(!s.ins.contains(body.index(), 1));
         assert!(s.stats.iterations >= 2);
         assert!(s.stats.word_ops > 0);
     }
@@ -406,9 +714,9 @@ mod tests {
         transfer[r.index()].gen.insert(0);
         let p = Problem::new(&f, 2, Direction::Forward, Confluence::Must, transfer);
         let s = p.solve();
-        assert!(s.ins[j.index()].contains(0));
-        assert!(!s.ins[j.index()].contains(1));
-        assert!(!s.ins[l.index()].contains(0)); // entry boundary is empty
+        assert!(s.ins.contains(j.index(), 0));
+        assert!(!s.ins.contains(j.index(), 1));
+        assert!(!s.ins.contains(l.index(), 0)); // entry boundary is empty
     }
 
     #[test]
@@ -434,9 +742,9 @@ mod tests {
         transfer[j.index()].gen.insert(1); // computed at the join
         let p = Problem::new(&f, 2, Direction::Backward, Confluence::Must, transfer);
         let s = p.solve();
-        assert!(!s.ins[f.entry().index()].contains(0));
-        assert!(s.ins[f.entry().index()].contains(1));
-        assert!(s.outs[f.exit().index()].is_empty()); // boundary
+        assert!(!s.ins.contains(f.entry().index(), 0));
+        assert!(s.ins.contains(f.entry().index(), 1));
+        assert!(s.outs.row_is_empty(f.exit().index())); // boundary
     }
 
     #[test]
@@ -449,13 +757,13 @@ mod tests {
         transfer[head.index()].kill.insert(0);
         let p = Problem::new(&f, 1, Direction::Forward, Confluence::May, transfer);
         let s = p.solve();
-        assert!(s.ins[head.index()].contains(0));
-        assert!(!s.outs[head.index()].contains(0));
-        assert!(!s.ins[f.exit().index()].contains(0));
+        assert!(s.ins.contains(head.index(), 0));
+        assert!(!s.outs.contains(head.index(), 0));
+        assert!(!s.ins.contains(f.exit().index(), 0));
     }
 
     #[test]
-    fn worklist_matches_round_robin() {
+    fn all_strategies_match_round_robin() {
         let f = parse_function(
             "fn m {
              entry:
@@ -475,6 +783,8 @@ mod tests {
              }",
         )
         .unwrap();
+        let view = CfgView::new(&f);
+        let mut scratch = SolverScratch::new();
         for direction in [Direction::Forward, Direction::Backward] {
             for confluence in [Confluence::Must, Confluence::May] {
                 let mut transfer = vec![Transfer::identity(8); f.num_blocks()];
@@ -484,9 +794,11 @@ mod tests {
                 }
                 let p = Problem::new(&f, 8, direction, confluence, transfer);
                 let a = p.solve();
-                let b = p.solve_worklist();
-                assert_eq!(a.ins, b.ins, "{direction:?} {confluence:?}");
-                assert_eq!(a.outs, b.outs, "{direction:?} {confluence:?}");
+                for strategy in SolveStrategy::ALL {
+                    let b = p.solve_with(strategy, &view, &mut scratch);
+                    assert_eq!(a.ins, b.ins, "{strategy:?} {direction:?} {confluence:?}");
+                    assert_eq!(a.outs, b.outs, "{strategy:?} {direction:?} {confluence:?}");
+                }
             }
         }
     }
@@ -522,10 +834,13 @@ mod tests {
         let p = Problem::new(&f, 1, Direction::Forward, Confluence::Must, transfer)
             .with_edge_gen(edges, gens);
         let s = p.solve();
-        assert!(s.ins[l.index()].contains(0));
-        assert!(!s.ins[j.index()].contains(0));
+        assert!(s.ins.contains(l.index(), 0));
+        assert!(!s.ins.contains(j.index(), 0));
         let s2 = p.solve_worklist();
         assert_eq!(s.ins, s2.ins);
+        let view = CfgView::new(&f);
+        let s3 = p.solve_with(SolveStrategy::SccPriority, &view, &mut SolverScratch::new());
+        assert_eq!(s.ins, s3.ins);
     }
 
     #[test]
@@ -537,8 +852,11 @@ mod tests {
         let p = Problem::new(&f, 3, Direction::Forward, Confluence::Must, transfer)
             .with_boundary(boundary);
         let s = p.solve();
-        assert!(s.ins[f.exit().index()].contains(2));
-        assert_eq!(s.ins[f.entry().index()].iter().collect::<Vec<_>>(), vec![2]);
+        assert!(s.ins.contains(f.exit().index(), 2));
+        assert_eq!(
+            s.ins.row_iter(f.entry().index()).collect::<Vec<_>>(),
+            vec![2]
+        );
     }
 
     #[test]
@@ -597,6 +915,140 @@ mod tests {
     }
 
     #[test]
+    fn scc_priority_cuts_revisits_on_loops() {
+        // A tight loop feeding a long chain. The plain FIFO worklist
+        // interleaves loop convergence with chain propagation, so the
+        // chain is flushed with stale values and revisited; the SCC
+        // schedule drains the loop to fixpoint first and then sweeps the
+        // chain exactly once.
+        let mut text = String::from(
+            "fn lc {\n entry:\n jmp head\n head:\n br c, body, b0\n body:\n jmp head\n",
+        );
+        for i in 0..12 {
+            text.push_str(&format!(" b{i}:\n jmp b{}\n", i + 1));
+        }
+        text.push_str(" b12:\n ret\n }");
+        let f = parse_function(&text).unwrap();
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(4); f.num_blocks()];
+        transfer[body.index()].gen.insert(0);
+        transfer[f.entry().index()].gen.insert(1);
+        let p = Problem::new(&f, 4, Direction::Forward, Confluence::May, transfer);
+        let view = CfgView::new(&f);
+        let mut scratch = SolverScratch::new();
+        let rr = p.solve_with(SolveStrategy::RoundRobin, &view, &mut scratch);
+        let wl = p.solve_with(SolveStrategy::Worklist, &view, &mut scratch);
+        let scc = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        assert_eq!(rr.ins, wl.ins);
+        assert_eq!(rr.ins, scc.ins);
+        assert_eq!(rr.outs, scc.outs);
+        assert!(
+            scc.stats.node_revisits < wl.stats.node_revisits,
+            "scc {} vs worklist {} revisits",
+            scc.stats.node_revisits,
+            wl.stats.node_revisits
+        );
+        assert!(scc.stats.node_revisits < rr.stats.node_revisits);
+    }
+
+    #[test]
+    fn scc_priority_never_revisits_on_dags() {
+        let f = parse_function(
+            "fn d {
+             entry:
+               br c, l, r
+             l:
+               jmp j
+             r:
+               jmp j
+             j:
+               ret
+             }",
+        )
+        .unwrap();
+        let mut transfer = vec![Transfer::identity(3); f.num_blocks()];
+        transfer[f.entry().index()].gen.insert(0);
+        let p = Problem::new(&f, 3, Direction::Forward, Confluence::Must, transfer);
+        let view = CfgView::new(&f);
+        let s = p.solve_with(SolveStrategy::SccPriority, &view, &mut SolverScratch::new());
+        assert_eq!(s.stats.node_revisits, 0);
+        assert_eq!(s.stats.node_visits, f.num_blocks());
+    }
+
+    #[test]
+    fn warm_scratch_solves_with_two_allocations() {
+        let f = loop_fn();
+        let view = CfgView::new(&f);
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(64); f.num_blocks()];
+        transfer[body.index()].gen.insert(7);
+        let p = Problem::new(&f, 64, Direction::Forward, Confluence::May, transfer);
+        let mut scratch = SolverScratch::new();
+        let cold = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        assert!(cold.stats.allocations > 2, "cold solve must grow the arena");
+        for _ in 0..3 {
+            let warm = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+            // Only the two matrix clones exported in the Solution.
+            assert_eq!(warm.stats.allocations, 2);
+            assert_eq!(warm.ins, cold.ins);
+        }
+        // A *smaller* problem also reuses the arena…
+        let g = parse_function("fn tiny {\n entry:\n ret\n }").unwrap();
+        let gview = CfgView::new(&g);
+        let q = Problem::new(
+            &g,
+            8,
+            Direction::Forward,
+            Confluence::May,
+            vec![Transfer::identity(8); g.num_blocks()],
+        );
+        let small = q.solve_with(SolveStrategy::SccPriority, &gview, &mut scratch);
+        assert_eq!(small.stats.allocations, 2);
+        // …while returning to the larger shape is likewise allocation-free
+        // (the matrices shrank in place, capacity was retained).
+        let back = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        assert_eq!(back.stats.allocations, 2);
+        assert_eq!(back.ins, cold.ins);
+    }
+
+    #[test]
+    fn poisoned_scratch_corrupts_then_recovers() {
+        let f = loop_fn();
+        let view = CfgView::new(&f);
+        let body = f.block_by_name("body").unwrap();
+        let mut transfer = vec![Transfer::identity(9); f.num_blocks()];
+        transfer[body.index()].gen.insert(3);
+        let p = Problem::new(&f, 9, Direction::Forward, Confluence::Must, transfer);
+        let mut scratch = SolverScratch::new();
+        let clean = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        scratch.poison_for_fault_injection(0xdead_beef);
+        assert!(scratch.is_poisoned());
+        let dirty = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        assert!(!scratch.is_poisoned());
+        assert_ne!(
+            clean.ins, dirty.ins,
+            "poisoned stale state must leak into the fixpoint"
+        );
+        // The next prepare() fully reinitialises: the poison is gone.
+        let recovered = p.solve_with(SolveStrategy::SccPriority, &view, &mut scratch);
+        assert_eq!(clean.ins, recovered.ins);
+        assert_eq!(clean.outs, recovered.outs);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in SolveStrategy::ALL {
+            assert_eq!(s.name().parse::<SolveStrategy>().unwrap(), s);
+        }
+        assert_eq!(
+            "round-robin".parse::<SolveStrategy>().unwrap(),
+            SolveStrategy::RoundRobin
+        );
+        assert!("bogus".parse::<SolveStrategy>().is_err());
+        assert_eq!(SolveStrategy::default(), SolveStrategy::SccPriority);
+    }
+
+    #[test]
     fn tight_sweep_bound_reports_divergence() {
         let f = loop_fn();
         let body = f.block_by_name("body").unwrap();
@@ -610,6 +1062,11 @@ mod tests {
         assert_eq!(err.sweeps, 1);
         assert!(err.to_string().contains("tight"));
         let err = p.try_solve_worklist().unwrap_err();
+        assert_eq!(err.analysis, "tight");
+        let view = CfgView::new(&f);
+        let err = p
+            .try_solve_with(SolveStrategy::SccPriority, &view, &mut SolverScratch::new())
+            .unwrap_err();
         assert_eq!(err.analysis, "tight");
     }
 

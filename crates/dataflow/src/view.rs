@@ -42,10 +42,18 @@ pub struct CfgView {
     num_blocks: usize,
     num_edges: usize,
     retreating_edges: usize,
+    /// Topological SCC id per block (`u32::MAX` for unreachable blocks).
+    scc_of: Vec<u32>,
+    /// Reachable blocks grouped by SCC in topological order of the
+    /// condensation; within each SCC, blocks are in RPO. `scc_starts[s]..
+    /// scc_starts[s + 1]` indexes `scc_blocks` for SCC `s`.
+    scc_blocks: Vec<BlockId>,
+    scc_starts: Vec<u32>,
 }
 
 impl CfgView {
-    /// Computes the orderings and adjacency tables for `f`.
+    /// Computes the orderings, adjacency tables and SCC condensation
+    /// for `f`.
     pub fn new(f: &Function) -> Self {
         let postorder = graph::postorder(f);
         let mut rpo = postorder.clone();
@@ -65,6 +73,7 @@ impl CfgView {
                 }
             }
         }
+        let (scc_of, scc_blocks, scc_starts) = condense_sccs(&rpo, &succs, f.num_blocks());
         CfgView {
             rpo,
             postorder,
@@ -73,6 +82,9 @@ impl CfgView {
             num_blocks: f.num_blocks(),
             num_edges,
             retreating_edges,
+            scc_of,
+            scc_blocks,
+            scc_starts,
         }
     }
 
@@ -121,6 +133,129 @@ impl CfgView {
     pub fn retreating_edges(&self) -> usize {
         self.retreating_edges
     }
+
+    /// The number of strongly connected components among *reachable*
+    /// blocks (the condensation's node count).
+    pub fn num_sccs(&self) -> usize {
+        self.scc_starts.len().saturating_sub(1)
+    }
+
+    /// The blocks of SCC `s` in RPO. SCC ids are topological: every edge
+    /// of the condensation goes from a lower id to a strictly higher one,
+    /// which is the loop-aware priority order the SCC worklist solver
+    /// drains — each component reaches its local fixpoint before any
+    /// component downstream of it is touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_sccs()`.
+    pub fn scc_blocks(&self, s: usize) -> &[BlockId] {
+        let lo = self.scc_starts[s] as usize;
+        let hi = self.scc_starts[s + 1] as usize;
+        &self.scc_blocks[lo..hi]
+    }
+
+    /// The topological SCC id of `b`, or `None` if `b` is unreachable.
+    pub fn scc_of(&self, b: BlockId) -> Option<usize> {
+        match self.scc_of[b.index()] {
+            u32::MAX => None,
+            s => Some(s as usize),
+        }
+    }
+
+    /// Whether SCC `s` is a loop: more than one block, or a single block
+    /// with a self edge.
+    pub fn scc_is_loop(&self, s: usize) -> bool {
+        let blocks = self.scc_blocks(s);
+        match blocks {
+            [b] => self.succs(*b).contains(b),
+            _ => blocks.len() > 1,
+        }
+    }
+}
+
+/// One-shot iterative Tarjan over the reachable blocks, with component ids
+/// remapped so they are *topological* (an edge `u → v` across components
+/// has `scc_of(u) < scc_of(v)`). Tarjan completes components in reverse
+/// topological order, so the remap is just `n_sccs - 1 - completion_rank`.
+fn condense_sccs(
+    rpo: &[BlockId],
+    succs: &[Vec<BlockId>],
+    num_blocks: usize,
+) -> (Vec<u32>, Vec<BlockId>, Vec<u32>) {
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; num_blocks];
+    let mut low = vec![0u32; num_blocks];
+    let mut on_stack = vec![false; num_blocks];
+    let mut scc_of = vec![UNSEEN; num_blocks];
+    let mut stack: Vec<usize> = Vec::new();
+    // Explicit call stack of (block index, next successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut completed = 0u32;
+
+    for &root in rpo {
+        if index[root.index()] != UNSEEN {
+            continue;
+        }
+        frames.push((root.index(), 0));
+        while let Some(&mut (v, ref mut next_succ)) = frames.last_mut() {
+            if *next_succ == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(w) = succs[v].get(*next_succ).map(|b| b.index()) {
+                *next_succ += 1;
+                if index[w] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = completed;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    completed += 1;
+                }
+            }
+        }
+    }
+
+    // Remap completion ranks (reverse topological) to topological ids and
+    // bucket the blocks, visiting in RPO so each bucket ends up RPO-sorted.
+    let n_sccs = completed as usize;
+    for s in scc_of.iter_mut().filter(|s| **s != UNSEEN) {
+        *s = completed - 1 - *s;
+    }
+    let mut counts = vec![0u32; n_sccs + 1];
+    for &b in rpo {
+        counts[scc_of[b.index()] as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let scc_starts = counts.clone();
+    let mut scc_blocks = vec![rpo.first().copied().unwrap_or(BlockId::from_index(0)); rpo.len()];
+    let mut fill = counts;
+    for &b in rpo {
+        let s = scc_of[b.index()] as usize;
+        scc_blocks[fill[s] as usize] = b;
+        fill[s] += 1;
+    }
+    (scc_of, scc_blocks, scc_starts)
 }
 
 #[cfg(test)]
@@ -155,6 +290,72 @@ mod tests {
         // entry→a, entry→b, a→a, a→j, b→j; only the self loop retreats.
         assert_eq!(view.num_edges(), 5);
         assert_eq!(view.retreating_edges(), 1);
+    }
+
+    #[test]
+    fn scc_condensation_is_topological() {
+        // entry → {a ⇄ b} → {c self-loop} → exit, plus a DAG bypass.
+        let f = parse_function(
+            "fn s {
+             entry:
+               br p, a, c
+             a:
+               br q, b, c
+             b:
+               jmp a
+             c:
+               br r, c, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&f);
+        let id = |n: &str| view.scc_of(f.block_by_name(n).unwrap()).unwrap();
+        // {a, b} is one component, c its own looping component.
+        assert_eq!(id("a"), id("b"));
+        assert_ne!(id("a"), id("c"));
+        assert_eq!(view.num_sccs(), 4); // entry, {a,b}, {c}, done
+                                        // Every CFG edge respects topological component order.
+        for b in f.block_ids() {
+            for s in view.succs(b) {
+                assert!(
+                    view.scc_of(b).unwrap() <= view.scc_of(*s).unwrap(),
+                    "edge {b:?}→{s:?} violates topo order"
+                );
+            }
+        }
+        // Loop detection: {a,b} and {c} loop, entry and done do not.
+        assert!(view.scc_is_loop(id("a")));
+        assert!(view.scc_is_loop(id("c")));
+        assert!(!view.scc_is_loop(id("entry")));
+        assert!(!view.scc_is_loop(id("done")));
+        // Members are reported in RPO and cover all reachable blocks once.
+        let mut seen = Vec::new();
+        for s in 0..view.num_sccs() {
+            seen.extend_from_slice(view.scc_blocks(s));
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_by_key(|b| b.index());
+        sorted.dedup();
+        assert_eq!(sorted.len(), f.num_blocks());
+    }
+
+    #[test]
+    fn scc_of_unreachable_is_none() {
+        let mut f = parse_function(
+            "fn u {
+             entry:
+               ret
+             }",
+        )
+        .unwrap();
+        // An unreachable block appended after parsing.
+        let orphan = f.add_block(lcm_ir::BlockData::new("orphan"));
+        let view = CfgView::new(&f);
+        assert_eq!(view.scc_of(orphan), None);
+        assert_eq!(view.num_sccs(), 1);
+        assert!(view.scc_of(f.entry()).is_some());
     }
 
     #[test]

@@ -51,7 +51,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lcm_core::transform::TransformStats;
 use lcm_core::validate::{validate_optimized, ValidationLevel};
-use lcm_core::{optimize_checked, passes, PipelineStats, PreAlgorithm};
+use lcm_core::{optimize_checked_with, passes, PipelineStats, PreAlgorithm};
+use lcm_dataflow::{SolveStrategy, SolverScratch};
 use lcm_ir::{simplify_cfg, verify, Function, Module};
 
 /// How a batch run is configured.
@@ -68,6 +69,10 @@ pub struct BatchOptions {
     pub use_cache: bool,
     /// Plan-cache capacity in entries; `0` means unbounded.
     pub cache_capacity: usize,
+    /// Which fixpoint solver the fused pipeline runs. Every strategy
+    /// reaches the same fixpoints, so this never changes any output — only
+    /// the solver cost counters.
+    pub strategy: SolveStrategy,
 }
 
 impl Default for BatchOptions {
@@ -78,6 +83,7 @@ impl Default for BatchOptions {
             seed: 0x1c3a_57ed,
             use_cache: true,
             cache_capacity: 4096,
+            strategy: SolveStrategy::default(),
         }
     }
 }
@@ -372,20 +378,38 @@ impl BatchEngine {
 
         let cache = &self.cache;
         let opts = self.opts;
-        let outs: Vec<JobOut> = pool::run_indexed(threads, jobs.len(), |j| match jobs[j] {
-            Job::Compute(i) => JobOut::Computed(
-                i,
-                isolate(|| {
-                    optimize_unit(&units[i].function, opts.validate, opts.seed).map(Box::new)
-                }),
-            ),
-            Job::Revalidate(key) => {
-                let entry = cache
-                    .entry_ref(key)
-                    .expect("planned hit entries outlive phase 2");
-                JobOut::Revalidated(key, isolate(|| revalidate_entry(entry, opts.seed)))
-            }
-        });
+        // One SolverScratch per worker, reused across every function that
+        // worker computes: O(threads) solver arenas per batch instead of
+        // O(functions × analyses × blocks) transient allocations.
+        let outs: Vec<JobOut> = pool::run_indexed_with(
+            threads,
+            jobs.len(),
+            SolverScratch::new,
+            |scratch, j| match jobs[j] {
+                Job::Compute(i) => JobOut::Computed(
+                    i,
+                    isolate(AssertUnwindSafe(|| {
+                        optimize_unit(
+                            &units[i].function,
+                            opts.validate,
+                            opts.seed,
+                            opts.strategy,
+                            scratch,
+                        )
+                        .map(Box::new)
+                    })),
+                ),
+                Job::Revalidate(key) => {
+                    let entry = cache
+                        .entry_ref(key)
+                        .expect("planned hit entries outlive phase 2");
+                    JobOut::Revalidated(
+                        key,
+                        isolate(AssertUnwindSafe(|| revalidate_entry(entry, opts.seed))),
+                    )
+                }
+            },
+        );
 
         let mut computed: HashMap<usize, Result<Box<CacheEntry>, UnitError>> = HashMap::new();
         let mut revalidated: HashMap<u128, Result<(usize, usize), UnitError>> = HashMap::new();
@@ -518,8 +542,10 @@ fn resolve_jobs(jobs: usize) -> usize {
 /// Runs `work` with panics contained: a panic becomes a
 /// [`FailureKind::Panic`] unit error instead of crossing the pool's thread
 /// scope (which would abort the whole batch).
-fn isolate<T>(work: impl FnOnce() -> Result<T, UnitError>) -> Result<T, UnitError> {
-    match catch_unwind(AssertUnwindSafe(work)) {
+fn isolate<T>(
+    work: AssertUnwindSafe<impl FnOnce() -> Result<T, UnitError>>,
+) -> Result<T, UnitError> {
+    match catch_unwind(work) {
         Ok(r) => r,
         Err(payload) => {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -540,16 +566,24 @@ fn isolate<T>(work: impl FnOnce() -> Result<T, UnitError>) -> Result<T, UnitErro
 /// The per-function pipeline, mirroring `lcmopt`'s default pass order:
 /// LCSE → checked LCM (edge formulation) → copy propagation → DCE → CFG
 /// simplification → output verification.
-fn optimize_unit(f: &Function, level: ValidationLevel, seed: u64) -> Result<CacheEntry, UnitError> {
+fn optimize_unit(
+    f: &Function,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<CacheEntry, UnitError> {
     let mut g = f.clone();
     g.name = CANONICAL_NAME.to_string();
     let canonical_input = g.to_string();
     passes::lcse(&mut g);
     let (opt, report) =
-        optimize_checked(&g, PreAlgorithm::LazyEdge, level, seed).map_err(|e| UnitError {
-            kind: FailureKind::Pipeline,
-            message: e.to_string(),
-        })?;
+        optimize_checked_with(&g, PreAlgorithm::LazyEdge, level, seed, strategy, scratch).map_err(
+            |e| UnitError {
+                kind: FailureKind::Pipeline,
+                message: e.to_string(),
+            },
+        )?;
     let mut out = opt.function.clone();
     passes::copy_propagation(&mut out);
     passes::dce(&mut out);
@@ -558,10 +592,18 @@ fn optimize_unit(f: &Function, level: ValidationLevel, seed: u64) -> Result<Cach
         kind: FailureKind::InvalidOutput,
         message: e.to_string(),
     })?;
+    // Allocation counts measure scratch temperature — which worker's arena
+    // the function happened to land on — not the function itself, so they
+    // are scrubbed from the recorded stats to keep batch reports identical
+    // for every thread count. `experiments bench` measures them directly.
+    let mut pipeline = opt.pipeline_stats.unwrap_or_default();
+    pipeline.avail.allocations = 0;
+    pipeline.antic.allocations = 0;
+    pipeline.later.allocations = 0;
     Ok(CacheEntry {
         canonical_input,
         pre_input: g,
-        pipeline: opt.pipeline_stats.unwrap_or_default(),
+        pipeline,
         transform: opt.transform.stats,
         output_text: out.to_string(),
         opt,

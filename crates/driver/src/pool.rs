@@ -32,9 +32,31 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(threads, n_jobs, || (), |(), i| job(i))
+}
+
+/// [`run_indexed`] with per-worker mutable state: `init()` runs once on
+/// each worker thread (and once inline for the single-threaded path), and
+/// every job that worker executes receives `&mut` to the same state.
+///
+/// This is how the batch driver keeps one
+/// [`SolverScratch`](lcm_dataflow::SolverScratch) per worker: O(threads)
+/// solver arenas for a whole batch instead of one per function, while the
+/// results stay in job-index order regardless of which worker ran what.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_indexed_with<S, T, I, F>(threads: usize, n_jobs: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     assert!(threads > 0, "thread count must be at least 1");
     if threads == 1 || n_jobs <= 1 {
-        return (0..n_jobs).map(job).collect();
+        let mut state = init();
+        return (0..n_jobs).map(|i| job(&mut state, i)).collect();
     }
 
     let workers = threads.min(n_jobs);
@@ -48,10 +70,12 @@ where
         for w in 0..workers {
             let shards = &shards;
             let slots = &slots;
+            let init = &init;
             let job = &job;
             scope.spawn(move || {
+                let mut state = init();
                 while let Some(idx) = next_job(shards, w) {
-                    let out = job(idx);
+                    let out = job(&mut state, idx);
                     *slots[idx].lock().expect("result slot poisoned") = Some(out);
                 }
             });
@@ -119,6 +143,39 @@ mod tests {
             i
         });
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_per_worker() {
+        // Each worker's state counts the jobs it ran; the total must be
+        // n_jobs and the number of states at most the worker count.
+        use std::sync::Mutex;
+        let totals: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        struct Tally<'a> {
+            ran: usize,
+            totals: &'a Mutex<Vec<usize>>,
+        }
+        impl Drop for Tally<'_> {
+            fn drop(&mut self) {
+                self.totals.lock().unwrap().push(self.ran);
+            }
+        }
+        let out = run_indexed_with(
+            3,
+            32,
+            || Tally {
+                ran: 0,
+                totals: &totals,
+            },
+            |t, i| {
+                t.ran += 1;
+                i
+            },
+        );
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        let totals = totals.into_inner().unwrap();
+        assert!(totals.len() <= 3, "one state per worker, got {totals:?}");
+        assert_eq!(totals.iter().sum::<usize>(), 32);
     }
 
     #[test]

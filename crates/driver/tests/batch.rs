@@ -235,3 +235,42 @@ fn run_and_run_module_agree() {
     );
     assert_eq!(by_module.totals, by_units.totals);
 }
+
+#[test]
+fn reused_scratch_makes_pipeline_allocations_o1_amortized() {
+    // Drives the worker loop the way the batch engine does — one
+    // `SolverScratch` per worker, `lcm_in` per function — and counts real
+    // allocation events. The batch report scrubs these counters (they
+    // measure scratch temperature, not the function), so this is the test
+    // that pins the O(1)-amortized guarantee itself.
+    use lcm_core::lcm_in;
+    use lcm_dataflow::SolverScratch;
+
+    let m = corpus_module(64, 24);
+    let fns: Vec<_> = m.functions().iter().collect();
+    let per_fn = lcm_driver::pool::run_indexed_with(1, fns.len(), SolverScratch::new, |s, i| {
+        let p = lcm_in(fns[i], s).unwrap();
+        p.stats.total().allocations
+    });
+
+    // A warm same-shape solve allocates exactly twice (the two exported
+    // Solution matrices): 6 per three-solve pipeline. Cold and growing
+    // solves pay extra, but growth events are bounded by the corpus's
+    // maximum shape, so the total stays O(1) amortized per function.
+    let floor = 6 * fns.len() as u64;
+    let total: u64 = per_fn.iter().sum();
+    assert!(per_fn[0] > 6, "first function should pay the cold cost");
+    assert!(
+        total < floor + 64,
+        "allocations not O(1) amortized: {total} for {} functions",
+        fns.len()
+    );
+    // Once the scratch has seen the largest shape, same-or-smaller shapes
+    // still trigger per-solve value re-initialisation but no growth.
+    let warm_exact = per_fn.iter().filter(|&&a| a == 6).count();
+    assert!(
+        warm_exact * 2 >= fns.len(),
+        "expected mostly warm solves, got {warm_exact}/{} at the 6-allocation floor",
+        fns.len()
+    );
+}

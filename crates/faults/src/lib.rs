@@ -16,7 +16,11 @@
 //! This crate is a test harness, not part of the optimizer: nothing in the
 //! pipeline depends on it.
 
-use lcm_core::Optimized;
+use lcm_core::{
+    apply_plan, lazy_edge_plan_with, ExprUniverse, GlobalAnalyses, LocalPredicates, Optimized,
+    PipelineError, PreAlgorithm,
+};
+use lcm_dataflow::{CfgView, SolveStrategy, SolverScratch};
 use lcm_driver::PlanCache;
 use lcm_ir::{BlockData, BlockId, Function, Instr, Rvalue, Terminator, Var};
 
@@ -217,6 +221,54 @@ pub fn poison_cached_plan(cache: &mut PlanCache, f: &Function, fault: Fault, see
         return false;
     };
     inject(&mut entry.opt, fault, seed)
+}
+
+/// Runs the fused LCM pipeline on `f` with a [`SolverScratch`] that is
+/// corrupted at a reuse boundary — the scratch-sharing bug the batch
+/// driver's per-worker arenas could develop. The corruption is
+/// [`SolverScratch::poison_for_fault_injection`]: XOR-scramble the state
+/// matrices and arm the scratch to skip its next value reinitialisation,
+/// which is exactly what a broken `prepare()` would do.
+///
+/// The poison is planted at the most *observable* reuse boundary, between
+/// the global analyses and the LATER solve: a must-problem restarted from
+/// scrambled state settles at (or below) a fixpoint **under** the true
+/// one, so a corrupted LATERIN turns real deletions loose without the
+/// insertions that justify them — an invalid output the fast validation
+/// tier must refuse. (Planting it at the *function* boundary instead
+/// lands on the availability solve, where an under-approximated fixpoint
+/// only makes placement more conservative: the output is still a correct
+/// program, and the only loud failure mode is solver divergence. The
+/// faults suite pins that dichotomy separately.)
+///
+/// Returns the wrong-but-plausible result for the caller's validator to
+/// refuse; `scratch` is left behind for recovery checks.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] if the poisoned solve diverges outright —
+/// the other legitimate way for the corruption to surface.
+pub fn optimize_with_poisoned_scratch(
+    f: &Function,
+    seed: u64,
+    scratch: &mut SolverScratch,
+) -> Result<Optimized, PipelineError> {
+    let strategy = SolveStrategy::default();
+    let uni = ExprUniverse::of(f);
+    let local = LocalPredicates::compute(f, &uni);
+    let view = CfgView::new(f);
+    let ga = GlobalAnalyses::compute_with(f, &uni, &local, &view, strategy, scratch)?;
+    scratch.poison_for_fault_injection(seed);
+    let lazy = lazy_edge_plan_with(f, &uni, &local, &ga, &view, strategy, scratch)?;
+    let transform = apply_plan(f, &uni, &local, &lazy.plan);
+    Ok(Optimized {
+        function: transform.function.clone(),
+        transform,
+        plan: lazy.plan,
+        input: f.clone(),
+        algorithm: PreAlgorithm::LazyEdge,
+        pipeline_stats: None,
+    })
 }
 
 /// Appends an orphan block that jumps to the exit — the residue of a

@@ -17,6 +17,10 @@
 //!                        PRE algorithms bcm, lcm-edge, lcm-node,
 //!                        alcm-node, morel-renvoise, gcse.
 //!   -e, --emit KIND      output: text (default), dot, stats, none
+//!       --solver S       fixpoint solver for the fused LCM pipeline:
+//!                        rr (round-robin), wl (worklist), scc
+//!                        (SCC-priority, default). Same fixpoints either
+//!                        way; only the cost counters differ.
 //!       --validate[=L]   validation tier for PRE passes: off, fast
 //!                        (default; static invariant checks) or full
 //!                        (adds seeded differential execution)
@@ -46,6 +50,7 @@ use lcm::core::{
     metrics, optimize, optimize_checked, passes, report, PreAlgorithm, ValidationLevel,
     ValidationReport,
 };
+use lcm::dataflow::{SolveStrategy, SolverScratch};
 use lcm::driver::{
     report as batch_report, BatchEngine, BatchOptions, BatchUnit, LoadError, UnitOutcome,
 };
@@ -67,6 +72,7 @@ struct Options {
     file: Option<String>,
     passes: Vec<String>,
     emit: String,
+    solver: SolveStrategy,
     validate: ValidationLevel,
     inputs: Vec<(String, i64)>,
     run: bool,
@@ -91,8 +97,8 @@ impl Failure {
 
 fn usage() -> &'static str {
     "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
-     [--validate[=off|fast|full]] [--run KEY=VAL]... [--fuel N] [--compare] \
-     [FILE|-]\n\
+     [--solver rr|wl|scc] [--validate[=off|fast|full]] [--run KEY=VAL]... \
+     [--fuel N] [--compare] [FILE|-]\n\
      \x20      lcmopt batch [OPTIONS] <PATH|->   (see `lcmopt batch --help`)\n\
      passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
      lcm-node, alcm-node, morel-renvoise, gcse\n\
@@ -112,6 +118,7 @@ fn parse_args() -> Result<Option<Options>, Failure> {
             "simplify".into(),
         ],
         emit: "text".into(),
+        solver: SolveStrategy::default(),
         validate: ValidationLevel::Fast,
         inputs: Vec::new(),
         run: false,
@@ -136,6 +143,12 @@ fn parse_args() -> Result<Option<Options>, Failure> {
                 if !["text", "dot", "stats", "none"].contains(&opts.emit.as_str()) {
                     return Err(usage_err(format!("unknown emit kind `{}`", opts.emit)));
                 }
+            }
+            "--solver" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--solver needs rr|wl|scc".into()))?;
+                opts.solver = v.parse().map_err(|e: String| usage_err(e))?;
             }
             "--validate" => opts.validate = ValidationLevel::Fast,
             "--run" => {
@@ -182,6 +195,7 @@ fn parse_args() -> Result<Option<Options>, Failure> {
 struct BatchCli {
     path: String,
     jobs: usize,
+    solver: SolveStrategy,
     cache: bool,
     cache_capacity: usize,
     emit: String,
@@ -189,9 +203,9 @@ struct BatchCli {
 }
 
 fn batch_usage() -> &'static str {
-    "usage: lcmopt batch [-j|--jobs N] [--cache on|off] [--cache-cap N] \
-     [-e|--emit text|dot|stats|json|none] [--validate[=off|fast|full]] \
-     <PATH|->\n\
+    "usage: lcmopt batch [-j|--jobs N] [--solver rr|wl|scc] [--cache on|off] \
+     [--cache-cap N] [-e|--emit text|dot|stats|json|none] \
+     [--validate[=off|fast|full]] <PATH|->\n\
      PATH is a module file (many `fn`s), a directory of .lcm files, or `-` \
      for a module on stdin.\n\
      --jobs 0 (the default) uses all available cores. Output on stdout is \
@@ -205,6 +219,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
     let mut opts = BatchCli {
         path: String::new(),
         jobs: 0,
+        solver: SolveStrategy::default(),
         cache: true,
         cache_capacity: 4096,
         emit: "text".into(),
@@ -221,6 +236,12 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
                 opts.jobs = n
                     .parse()
                     .map_err(|_| usage_err(format!("bad job count `{n}`")))?;
+            }
+            "--solver" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--solver needs rr|wl|scc".into()))?;
+                opts.solver = v.parse().map_err(|e: String| usage_err(e))?;
             }
             "--cache" => {
                 let v = args
@@ -307,6 +328,7 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
         seed: VALIDATION_SEED,
         use_cache: cli.cache,
         cache_capacity: cli.cache_capacity,
+        strategy: cli.solver,
     });
     let result = engine.run(units);
     // Wall-clock is the one nondeterministic quantity — it goes to stderr
@@ -510,8 +532,10 @@ fn real_main() -> Result<(), Failure> {
                 f.expr_occurrences().count(),
                 g.expr_occurrences().count()
             );
-            // Solver cost of the fused LCM pipeline on the original input.
-            let p = lcm::core::lcm(&f)
+            // Solver cost of the fused LCM pipeline on the original input,
+            // under the requested solver strategy (fresh scratch, so the
+            // numbers are reproducible run to run).
+            let p = lcm::core::lcm_with(&f, opts.solver, &mut SolverScratch::new())
                 .map_err(|e| Failure::new(EXIT_PASS, format!("stats analysis failed: {e}")))?;
             println!();
             print!("{}", report::stats_table(&p.stats));

@@ -63,10 +63,14 @@ fn safety_analyses_match_the_figure() {
         assert_eq!(local.antloc[i], set(&uni, antloc), "ANTLOC[{name}]");
         assert_eq!(local.comp[i], set(&uni, comp), "COMP[{name}]");
         assert_eq!(local.transp[i], set(&uni, transp), "TRANSP[{name}]");
-        assert_eq!(ga.avail.ins[i], set(&uni, avin), "AVIN[{name}]");
-        assert_eq!(ga.avail.outs[i], set(&uni, avout), "AVOUT[{name}]");
-        assert_eq!(ga.antic.ins[i], set(&uni, antin), "ANTIN[{name}]");
-        assert_eq!(ga.antic.outs[i], set(&uni, antout), "ANTOUT[{name}]");
+        assert_eq!(ga.avail.ins.row_set(i), set(&uni, avin), "AVIN[{name}]");
+        assert_eq!(ga.avail.outs.row_set(i), set(&uni, avout), "AVOUT[{name}]");
+        assert_eq!(ga.antic.ins.row_set(i), set(&uni, antin), "ANTIN[{name}]");
+        assert_eq!(
+            ga.antic.outs.row_set(i),
+            set(&uni, antout),
+            "ANTOUT[{name}]"
+        );
     }
 }
 
@@ -176,4 +180,20 @@ fn edge_insert_and_delete_match_the_figure() {
     let p = lcm(&f).unwrap();
     assert_eq!(p.lazy.plan.edge_inserts, lazy.plan.edge_inserts);
     assert_eq!(p.lazy.delete, lazy.delete);
+}
+
+#[test]
+fn every_solver_strategy_pins_the_same_figure_placement() {
+    use lcm::dataflow::{SolveStrategy, SolverScratch};
+
+    let f = running_example();
+    let mut scratch = SolverScratch::new();
+    let baseline = lcm::core::lcm_with(&f, SolveStrategy::RoundRobin, &mut scratch).unwrap();
+    for strategy in [SolveStrategy::Worklist, SolveStrategy::SccPriority] {
+        let p = lcm::core::lcm_with(&f, strategy, &mut scratch).unwrap();
+        assert_eq!(p.lazy.laterin, baseline.lazy.laterin, "{}", strategy.name());
+        assert_eq!(p.lazy.plan.edge_inserts, baseline.lazy.plan.edge_inserts);
+        assert_eq!(p.lazy.plan.entry_insert, baseline.lazy.plan.entry_insert);
+        assert_eq!(p.lazy.delete, baseline.lazy.delete);
+    }
 }

@@ -74,6 +74,18 @@ fn pipeline_totals_are_the_sum_of_the_analyses() {
             "{}",
             f.name
         );
+        assert_eq!(
+            total.node_revisits,
+            p.stats.avail.node_revisits + p.stats.antic.node_revisits + p.stats.later.node_revisits,
+            "{}",
+            f.name
+        );
+        assert_eq!(
+            total.allocations,
+            p.stats.avail.allocations + p.stats.antic.allocations + p.stats.later.allocations,
+            "{}",
+            f.name
+        );
         // The rendered table carries the same totals.
         let table = report::stats_table(&p.stats);
         let total_row = table
@@ -83,7 +95,9 @@ fn pipeline_totals_are_the_sum_of_the_analyses() {
         let cells: Vec<&str> = total_row.split('|').map(str::trim).collect();
         assert_eq!(cells[1], total.iterations.to_string(), "{table}");
         assert_eq!(cells[2], total.node_visits.to_string(), "{table}");
-        assert_eq!(cells[3], total.word_ops.to_string(), "{table}");
+        assert_eq!(cells[3], total.node_revisits.to_string(), "{table}");
+        assert_eq!(cells[4], total.word_ops.to_string(), "{table}");
+        assert_eq!(cells[5], total.allocations.to_string(), "{table}");
     }
 }
 
