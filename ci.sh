@@ -54,9 +54,32 @@ done
 
 # Bench smoke: the perf baseline generator runs at CI size and its output
 # conforms to the lcm-bench-v1 schema (validated by the binary itself, no
-# jq). Runs in a scratch dir so the committed BENCH_PR4.json is untouched.
+# jq). Runs in a scratch dir so the committed BENCH_PR*.json series is
+# untouched; the committed series itself is then checked at the repo root.
 echo "==> bench smoke: experiments bench --quick + --check"
 BENCH_BIN="$(pwd)/target/release/experiments"
 (cd "$SMOKE" && "$BENCH_BIN" bench --quick > /dev/null && "$BENCH_BIN" bench --check)
+echo "==> bench series check: committed BENCH_PR*.json"
+"$BENCH_BIN" bench --check
+
+# Speculative-PRE smoke: on the committed weighted golden example the
+# profile-guided min-cut must adopt exactly one insertion (hoisting `a + b`
+# above the guard) and beat plain LCM's dynamic evaluation count, at the
+# full validation tier. The differential corpus suite backing this stage
+# (tests/speculative_pre.rs, 300 weighted functions) runs as part of the
+# `cargo test --workspace` gate above.
+echo "==> spec smoke: --placement spec on testdata/guarded_loop.lcm"
+cargo run -q --release --bin lcmopt -- --placement spec --emit stats \
+  --validate=full < testdata/guarded_loop.lcm > "$SMOKE/spec.stats"
+grep -q "speculative: 1 candidates, 1 speculated, weighted cost 6 -> 1" \
+  "$SMOKE/spec.stats"
+cargo run -q --release --bin lcmopt -- --placement spec \
+  < testdata/guarded_loop.lcm > "$SMOKE/spec.out"
+sed -n '/entry:/,/head:/p' "$SMOKE/spec.out" | grep -q "a + b"
+cargo run -q --release --bin lcmopt -- --placement lcm --emit stats \
+  < testdata/guarded_loop.lcm > "$SMOKE/lcm.stats"
+SPEC_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/spec.stats")"
+LCM_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/lcm.stats")"
+test "$SPEC_EVALS" -lt "$LCM_EVALS"
 
 echo "ci: OK"

@@ -7,11 +7,13 @@
 //! ```
 //!
 //! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3. The `bench`
-//! subcommand is the C4 perf baseline: it writes `BENCH_PR4.json`
-//! (schema `lcm-bench-v1`) with solver/pipeline/batch medians and
-//! allocation counts; `--quick` shrinks it to CI-smoke size and
-//! `--check` validates an existing file against the schema without
-//! external tooling.
+//! subcommand is the C4 perf baseline: it writes the current
+//! [`BENCH_CURRENT`] file (schema `lcm-bench-v1`) with
+//! solver/pipeline/batch/speculative medians and allocation counts;
+//! `--quick` shrinks it to CI-smoke size and `--check` validates the
+//! whole committed `BENCH_PR*.json` series against the schema — and
+//! prints the newest file against its predecessor — without external
+//! tooling.
 //!
 //! Everything printed is mirrored to `artifacts/experiments_output.txt`
 //! (gitignored) so runs leave a reviewable record without checking build
@@ -24,7 +26,7 @@ use std::sync::Mutex;
 use lcm_bench::{
     compare_algorithms, fused_analysis_cost, lcm_analysis_cost, mr_analysis_cost, sized_corpus,
 };
-use lcm_cfggen::{corpus, random_dag, shapes, GenOptions};
+use lcm_cfggen::{corpus, random_dag, shapes, synthetic_profile, GenOptions};
 use lcm_core::figures::running_example;
 use lcm_core::{
     busy_plan, lazy_edge_plan, lazy_node_plan, metrics, optimize, passes, safety, ExprUniverse,
@@ -79,7 +81,7 @@ fn open_tee() {
 }
 
 const IDS: &[&str] = &[
-    "f1", "f2", "f3", "f4", "f5", "t1", "t2", "t3", "c1", "c2", "c3", "e1", "a1",
+    "f1", "f2", "f3", "f4", "f5", "t1", "t2", "t3", "c1", "c2", "c3", "c5", "e1", "a1",
 ];
 
 fn main() {
@@ -151,6 +153,9 @@ fn main() {
     }
     if want("c3") {
         c3();
+    }
+    if want("c5") {
+        c5();
     }
     if want("e1") {
         e1();
@@ -667,6 +672,7 @@ fn c3() {
                 f.name = format!("{prefix}{i}");
                 BatchUnit {
                     file: None,
+                    profile: None,
                     function: f,
                 }
             })
@@ -779,6 +785,104 @@ fn c3() {
         r_warm.totals.cache.hits - r_on.totals.cache.hits,
         t_warm.as_secs_f64() * 1e3
     );
+}
+
+/// C5 — profile-guided speculative PRE (min-cut) against LCM and BCM on
+/// weighted corpora. Profiles are *measured*: each function runs once on a
+/// sampled "training" input and the interpreter's edge counts become its
+/// profile, so the speculative planner optimizes a distribution that
+/// actually occurred. A second, held-out input then shows the cross-input
+/// cost of betting on that distribution.
+fn c5() {
+    use lcm_core::{optimize_speculative, validate::sample_inputs, EdgeWeights};
+    use lcm_ir::Profile;
+    use std::cmp::Ordering;
+
+    header(
+        "C5",
+        "speculative PRE via min-cut: LCM vs BCM vs spec on weighted corpora",
+    );
+    const FUEL: u64 = 200_000;
+    let fns = corpus(0xC5, 120, &GenOptions::default());
+    let mut state = 0xC5u64;
+    let (mut measured, mut skipped) = (0usize, 0usize);
+    // Total dynamic candidate evaluations: [original, bcm, lcm, spec].
+    let (mut profiled, mut heldout) = ([0u64; 4], [0u64; 4]);
+    let (mut wins, mut ties, mut losses) = (0usize, 0usize, 0usize);
+    let (mut candidates, mut speculated) = (0usize, 0usize);
+    for f in &fns {
+        let train = sample_inputs(f, &mut state);
+        let test = sample_inputs(f, &mut state);
+        let base_train = run(f, &train, FUEL);
+        let base_test = run(f, &test, FUEL);
+        if !base_train.completed() || !base_test.completed() {
+            skipped += 1;
+            continue;
+        }
+        // A completed run's edge counts conserve flow: an exact profile.
+        let profile = Profile::from_weights(f, &base_train.edge_visits);
+        let Ok(w) = EdgeWeights::from_profile(f, &profile) else {
+            skipped += 1;
+            continue;
+        };
+        let bcm = optimize(f, PreAlgorithm::Busy).expect("bcm");
+        let lcm = optimize(f, PreAlgorithm::LazyEdge).expect("lcm");
+        let spec = optimize_speculative(f, &w).expect("spec");
+        let s = spec.spec.expect("speculative runs record stats");
+        candidates += s.candidates;
+        speculated += s.speculated;
+        let on = |g: &lcm_ir::Function, inputs: &Inputs| run(g, inputs, FUEL).total_evals();
+        profiled[0] += base_train.total_evals();
+        profiled[1] += on(&bcm.function, &train);
+        profiled[2] += on(&lcm.function, &train);
+        profiled[3] += on(&spec.function, &train);
+        let (ho_lcm, ho_spec) = (on(&lcm.function, &test), on(&spec.function, &test));
+        heldout[0] += base_test.total_evals();
+        heldout[1] += on(&bcm.function, &test);
+        heldout[2] += ho_lcm;
+        heldout[3] += ho_spec;
+        match ho_spec.cmp(&ho_lcm) {
+            Ordering::Less => wins += 1,
+            Ordering::Equal => ties += 1,
+            Ordering::Greater => losses += 1,
+        }
+        measured += 1;
+    }
+    oln!(
+        "{measured} of {} functions measured ({skipped} skipped: incomplete run)",
+        fns.len()
+    );
+    oln!("speculation: {candidates} candidates, {speculated} adopted");
+    oln!();
+    oln!("total dynamic candidate evaluations over the corpus:");
+    oln!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10}",
+        "input",
+        "original",
+        "bcm",
+        "lcm",
+        "spec"
+    );
+    oln!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10}",
+        "profiled (training)",
+        profiled[0],
+        profiled[1],
+        profiled[2],
+        profiled[3]
+    );
+    oln!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10}",
+        "held-out (fresh)",
+        heldout[0],
+        heldout[1],
+        heldout[2],
+        heldout[3]
+    );
+    oln!();
+    oln!("held-out, per function vs lcm: {wins} better, {ties} equal, {losses} worse");
+    oln!("speculation optimizes the *profiled* distribution; the held-out");
+    oln!("row is the honest cross-input cost of betting on it.");
 }
 
 /// E1 — the lazy strength reduction extension.
@@ -918,7 +1022,7 @@ fn a1() {
 }
 
 // ---------------------------------------------------------------------------
-// `experiments bench` — the PR 4 perf baseline (BENCH_PR4.json)
+// `experiments bench` — the committed perf baseline series (BENCH_PR*.json)
 // ---------------------------------------------------------------------------
 
 /// Median of a sample (ns). Odd-length-agnostic: upper median.
@@ -928,7 +1032,7 @@ fn median_ns(mut v: Vec<f64>) -> f64 {
 }
 
 /// Runs the dataflow/pipeline/batch benchmarks and writes the
-/// machine-readable baseline to `BENCH_PR4.json` in the working directory.
+/// machine-readable baseline to [`BENCH_CURRENT`] in the working directory.
 ///
 /// `quick` shrinks the corpus and repetition counts to CI-smoke size; the
 /// committed baseline is produced by a non-quick run. The numbers are
@@ -1043,6 +1147,7 @@ fn bench(quick: bool) {
             f.name = format!("f{i}");
             BatchUnit {
                 file: None,
+                profile: None,
                 function: f,
             }
         })
@@ -1065,6 +1170,42 @@ fn bench(quick: bool) {
     };
     let batch_fps = throughput(cores);
     let batch_fps_1 = throughput(1);
+
+    // The `--placement spec` row: the same corpus with synthetic profiles
+    // attached, driven through the min-cut speculative planner. The adopt
+    // counters are deterministic (seeded corpus, seeded profiles); only
+    // the throughput is machine-dependent.
+    let weighted: Vec<BatchUnit> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut f = f.clone();
+            f.name = format!("w{i}");
+            let profile = synthetic_profile(&f, i as u64);
+            BatchUnit {
+                file: None,
+                profile: Some(profile),
+                function: f,
+            }
+        })
+        .collect();
+    let (mut spec_candidates, mut spec_speculated) = (0usize, 0usize);
+    let mut spec_best = f64::MAX;
+    for _ in 0..batch_reps {
+        let mut engine = BatchEngine::new(BatchOptions {
+            jobs: cores,
+            placement: lcm_core::PreAlgorithm::Speculative,
+            use_cache: false,
+            ..BatchOptions::default()
+        });
+        let t0 = Instant::now();
+        let r = engine.run(weighted.clone());
+        assert_eq!(r.totals.failed, 0);
+        spec_candidates = r.totals.spec.candidates;
+        spec_speculated = r.totals.spec.speculated;
+        spec_best = spec_best.min(t0.elapsed().as_secs_f64());
+    }
+    let spec_fps = weighted.len() as f64 / spec_best;
 
     let mut j = String::new();
     j.push_str("{\n  \"schema\": \"lcm-bench-v1\",\n");
@@ -1098,11 +1239,14 @@ fn bench(quick: bool) {
         per_fn[0]
     ));
     j.push_str(&format!(
-        "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }}\n}}\n"
+        "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }},\n"
     ));
-    std::fs::write("BENCH_PR4.json", &j).expect("write BENCH_PR4.json");
+    j.push_str(&format!(
+        "  \"speculative\": {{ \"jobs\": {cores}, \"functions_per_second\": {spec_fps:.1}, \"candidates\": {spec_candidates}, \"speculated\": {spec_speculated} }}\n}}\n"
+    ));
+    std::fs::write(BENCH_CURRENT, &j).unwrap_or_else(|e| panic!("write {BENCH_CURRENT}: {e}"));
     o!("{j}");
-    oln!("bench: wrote BENCH_PR4.json");
+    oln!("bench: wrote {BENCH_CURRENT}");
 }
 
 /// Extracts the number following `"key":` in `text`, if any.
@@ -1116,20 +1260,45 @@ fn num_after(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Validates `BENCH_PR4.json` against the `lcm-bench-v1` schema without
-/// external tooling: required keys present, metrics positive, and the
-/// warm-scratch allocation floor at its designed value. Exits non-zero
-/// with a diagnostic on the first violation.
-fn bench_check() {
-    let text = match std::fs::read_to_string("BENCH_PR4.json") {
+/// The baseline file this tree's `bench` writes. Each perf-relevant PR
+/// contributes its own `BENCH_PR<n>.json`; the committed files form a
+/// series that `--check` validates as a whole.
+const BENCH_CURRENT: &str = "BENCH_PR6.json";
+
+/// The committed baseline series: every `BENCH_PR<n>.json` in the working
+/// directory, sorted by PR number.
+fn bench_series() -> Vec<(u64, String)> {
+    let mut found = Vec::new();
+    if let Ok(dir) = std::fs::read_dir(".") {
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(pr) = name
+                .strip_prefix("BENCH_PR")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                found.push((pr, name));
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Schema-validates one baseline file: required keys present, metrics
+/// positive, and the warm-scratch allocation floor at its designed value.
+/// The `speculative` section only exists from PR 6 on, so it is required
+/// exactly when `require_spec` is set (the newest file of the series).
+fn bench_check_file(name: &str, require_spec: bool) {
+    let text = match std::fs::read_to_string(name) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("bench --check: cannot read BENCH_PR4.json: {e}");
+            eprintln!("bench --check: cannot read {name}: {e}");
             std::process::exit(1);
         }
     };
     let fail = |msg: String| {
-        eprintln!("bench --check: {msg}");
+        eprintln!("bench --check: {name}: {msg}");
         std::process::exit(1);
     };
     if !text.contains("\"schema\": \"lcm-bench-v1\"") {
@@ -1170,5 +1339,57 @@ fn bench_check() {
             "\"warm_floor_per_function\" must be 6 (2 export clones x 3 solves), found {other:?}"
         )),
     }
-    println!("bench --check: BENCH_PR4.json conforms to lcm-bench-v1");
+    if require_spec {
+        if !text.contains("\"speculative\":") {
+            fail("newest baseline must carry the \"speculative\" section".into());
+        }
+        match num_after(&text, "candidates") {
+            Some(v) if v > 0.0 => {}
+            other => fail(format!(
+                "\"candidates\" must be positive in the speculative row, found {other:?}"
+            )),
+        }
+        if num_after(&text, "speculated").is_none() {
+            fail("missing numeric \"speculated\" in the speculative row".into());
+        }
+    }
+}
+
+/// Validates the whole committed `BENCH_PR*.json` series against the
+/// `lcm-bench-v1` schema, then prints the newest file's headline metrics
+/// against its immediate predecessor. The comparison is informational —
+/// these are wall-clock numbers from whatever machine produced each file
+/// — but it keeps a landing baseline reviewed against the previous PR's
+/// instead of silently replacing it. Exits non-zero on the first schema
+/// violation, or when no baseline exists at all.
+fn bench_check() {
+    let series = bench_series();
+    if series.is_empty() {
+        eprintln!("bench --check: no BENCH_PR*.json found (run `experiments bench` first)");
+        std::process::exit(1);
+    }
+    for (i, (_, name)) in series.iter().enumerate() {
+        bench_check_file(name, i == series.len() - 1);
+    }
+    let (_, newest) = &series[series.len() - 1];
+    if series.len() >= 2 {
+        let (_, prev) = &series[series.len() - 2];
+        let new_text = std::fs::read_to_string(newest).expect("validated above");
+        let prev_text = std::fs::read_to_string(prev).expect("validated above");
+        println!("bench --check: {newest} vs {prev} (informational; machines may differ):");
+        for key in [
+            "scc",
+            "reused_scratch",
+            "functions_per_second",
+            "jobs1_functions_per_second",
+        ] {
+            if let (Some(n), Some(p)) = (num_after(&new_text, key), num_after(&prev_text, key)) {
+                println!("  {key}: {p} -> {n} ({:+.1}%)", (n / p - 1.0) * 100.0);
+            }
+        }
+    }
+    println!(
+        "bench --check: {} file(s) conform to lcm-bench-v1; newest is {newest}",
+        series.len()
+    );
 }

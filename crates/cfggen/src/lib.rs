@@ -13,7 +13,9 @@
 //! * [`random_dag`] — acyclic CFGs whose entry→exit paths can be enumerated
 //!   exhaustively, for path-by-path optimality checks.
 //!
-//! Plus deterministic workload [`shapes`] used by the benchmarks.
+//! Plus deterministic workload [`shapes`] used by the benchmarks, and
+//! [`synthetic_profile`] — seeded, flow-conserving edge profiles for the
+//! speculative-PRE corpora.
 //!
 //! Generated programs intentionally draw their expressions from a small
 //! per-function *menu* so that partial redundancies actually occur.
@@ -29,11 +31,13 @@
 //! ```
 
 mod arbitrary;
+mod profile;
 mod rng;
 pub mod shapes;
 mod structured;
 
 pub use arbitrary::{arbitrary, random_dag};
+pub use profile::{synthetic_profile, PROFILE_WALKS};
 pub use rng::{Rng, SampleRange};
 pub use structured::structured;
 

@@ -63,6 +63,9 @@ mod pipeline;
 mod predicates;
 mod universe;
 
+pub mod mincut;
+pub mod speculate;
+
 pub mod figures;
 pub mod metrics;
 pub mod passes;
@@ -84,6 +87,7 @@ pub use lcm_node::{lazy_node_plan, LazyNodeResult};
 pub use morel_renvoise::{morel_renvoise_plan, MorelRenvoiseResult};
 pub use pipeline::{lcm, lcm_in, lcm_with, LcmPipeline, PipelineStats};
 pub use predicates::LocalPredicates;
+pub use speculate::{speculative_plan, weights_or_unit, EdgeWeights, SpecResult, SpecStats};
 pub use transform::{apply_plan, PlacementPlan, TransformResult};
 pub use universe::ExprUniverse;
 pub use validate::{ValidationError, ValidationLevel, ValidationReport};
@@ -157,6 +161,14 @@ pub enum PreAlgorithm {
     /// nothing. The weakest baseline — everything PRE adds over GCSE is
     /// partial redundancy.
     Gcse,
+    /// Profile-guided speculative PRE ([`speculate`]): lazy code motion's
+    /// placement, improved per side-effect-free expression by a minimum
+    /// cut over the profile-weighted unavailability network. Not part of
+    /// [`PreAlgorithm::ALL`] because it is not admissible in the paper's
+    /// sense (it may add evaluations to cold paths) and needs a profile to
+    /// be meaningful — [`optimize`] runs it with unit weights; pass real
+    /// weights via [`optimize_speculative`].
+    Speculative,
 }
 
 impl PreAlgorithm {
@@ -179,6 +191,7 @@ impl PreAlgorithm {
             PreAlgorithm::AlmostLazyNode => "alcm-node",
             PreAlgorithm::MorelRenvoise => "morel-renvoise",
             PreAlgorithm::Gcse => "gcse",
+            PreAlgorithm::Speculative => "spec",
         }
     }
 }
@@ -200,9 +213,13 @@ pub struct Optimized {
     /// Which algorithm ran.
     pub algorithm: PreAlgorithm,
     /// Per-analysis solver statistics, when the algorithm ran the fused
-    /// edge pipeline ([`PreAlgorithm::LazyEdge`]); `None` for the other
-    /// algorithms, whose solves are not fused into one pipeline.
+    /// edge pipeline ([`PreAlgorithm::LazyEdge`] and
+    /// [`PreAlgorithm::Speculative`]); `None` for the other algorithms,
+    /// whose solves are not fused into one pipeline.
     pub pipeline_stats: Option<PipelineStats>,
+    /// The speculative planner's decisions ([`PreAlgorithm::Speculative`]
+    /// only; `None` for every other algorithm).
+    pub spec: Option<SpecStats>,
 }
 
 /// Runs one PRE algorithm end to end: analyses → placement plan →
@@ -250,7 +267,13 @@ pub fn optimize_with(
                 input: res.function,
                 algorithm,
                 pipeline_stats: None,
+                spec: None,
             })
+        }
+        // Without a caller-supplied profile the speculative planner runs
+        // on unit weights; see `optimize_speculative_with`.
+        PreAlgorithm::Speculative => {
+            optimize_speculative_with(f, &EdgeWeights::unit(f), strategy, scratch)
         }
         _ => {
             let uni = ExprUniverse::of(f);
@@ -281,7 +304,9 @@ pub fn optimize_with(
                 // machinery then deletes exactly the occurrences whose value
                 // is available from existing computations on all paths.
                 PreAlgorithm::Gcse => PlacementPlan::empty("gcse", f, &uni),
-                PreAlgorithm::LazyNode | PreAlgorithm::AlmostLazyNode => unreachable!(),
+                PreAlgorithm::LazyNode
+                | PreAlgorithm::AlmostLazyNode
+                | PreAlgorithm::Speculative => unreachable!(),
             };
             let transform = apply_plan(f, &uni, &local, &plan);
             Ok(Optimized {
@@ -291,9 +316,109 @@ pub fn optimize_with(
                 input: f.clone(),
                 algorithm,
                 pipeline_stats,
+                spec: None,
             })
         }
     }
+}
+
+/// Profile-guided speculative PRE: the lazy-code-motion pipeline followed
+/// by the per-expression min-cut improvement of [`speculative_plan`] under
+/// the edge weights `w` (see [`speculate`] for the construction). The
+/// resulting plan is admissible *except* where an expression is provably
+/// side-effect-free, and under an exact profile its weighted evaluation
+/// count never exceeds lazy code motion's.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Solver`] if any analysis exceeds its derived
+/// sweep bound.
+pub fn optimize_speculative(f: &Function, w: &EdgeWeights) -> Result<Optimized, PipelineError> {
+    optimize_speculative_with(f, w, SolveStrategy::default(), &mut SolverScratch::new())
+}
+
+/// [`optimize_speculative`] with an explicit [`SolveStrategy`] and a
+/// caller-owned [`SolverScratch`] — the batch driver's per-worker path.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Solver`] if any analysis exceeds its derived
+/// sweep bound.
+pub fn optimize_speculative_with(
+    f: &Function,
+    w: &EdgeWeights,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<Optimized, PipelineError> {
+    let uni = ExprUniverse::of(f);
+    let local = LocalPredicates::compute(f, &uni);
+    let view = lcm_dataflow::CfgView::new(f);
+    let ga = GlobalAnalyses::compute_with(f, &uni, &local, &view, strategy, scratch)?;
+    let lazy = lazy_edge_plan_with(f, &uni, &local, &ga, &view, strategy, scratch)?;
+    let pipeline_stats = Some(PipelineStats {
+        avail: ga.avail.stats,
+        antic: ga.antic.stats,
+        later: lazy.stats,
+    });
+    let spec = speculative_plan(f, &uni, &local, &ga, &lazy, w);
+    let transform = apply_plan(f, &uni, &local, &spec.plan);
+    Ok(Optimized {
+        function: transform.function.clone(),
+        transform,
+        plan: spec.plan,
+        input: f.clone(),
+        algorithm: PreAlgorithm::Speculative,
+        pipeline_stats,
+        spec: Some(spec.stats),
+    })
+}
+
+/// [`optimize_speculative`] followed by
+/// [`validate::validate_optimized`] at `level` — the checked pass
+/// boundary for the speculative placement. The validator applies its
+/// speculation-aware admissibility rule (unsafe points must carry
+/// side-effect-free expressions) and skips the per-input eval-count
+/// non-regression, which speculation legitimately trades away on cold
+/// paths.
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates an invariant.
+pub fn optimize_speculative_checked(
+    f: &Function,
+    w: &EdgeWeights,
+    level: ValidationLevel,
+    seed: u64,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    optimize_speculative_checked_with(
+        f,
+        w,
+        level,
+        seed,
+        SolveStrategy::default(),
+        &mut SolverScratch::new(),
+    )
+}
+
+/// [`optimize_speculative_checked`] with an explicit [`SolveStrategy`] and
+/// caller-owned [`SolverScratch`].
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates an invariant.
+pub fn optimize_speculative_checked_with(
+    f: &Function,
+    w: &EdgeWeights,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    let opt = optimize_speculative_with(f, w, strategy, scratch)?;
+    let report = validate::validate_optimized(f, &opt, level, seed)?;
+    Ok((opt, report))
 }
 
 /// [`optimize`] followed by [`validate::validate_optimized`] at `level`:

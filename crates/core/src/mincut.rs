@@ -1,0 +1,224 @@
+//! A small in-tree max-flow / min-cut solver (Edmonds–Karp).
+//!
+//! Speculative PRE ([`speculate`](crate::speculate)) phrases "where do
+//! insertions cost the least execution frequency" as a minimum s–t cut.
+//! The networks it builds are tiny — two nodes per basic block plus a
+//! source and a sink — so the textbook BFS-augmenting-path algorithm is
+//! more than fast enough and keeps the workspace dependency-free.
+//!
+//! Capacities are `u64` with [`INF`] as the "never cut this" sentinel;
+//! augmentation saturates rather than overflows, so even adversarial
+//! weight profiles cannot wrap.
+
+use std::collections::VecDeque;
+
+/// Effectively infinite capacity: edges that a minimum cut must never
+/// sever. Large enough to dominate any sum of real profile weights, small
+/// enough that summing a path of them cannot overflow.
+pub const INF: u64 = u64::MAX / 4;
+
+/// One directed edge of the residual graph. Edges are stored in pairs —
+/// edge `i ^ 1` is the reverse of edge `i` — so residual updates are O(1).
+#[derive(Clone, Copy, Debug)]
+struct FlowEdge {
+    to: u32,
+    cap: u64,
+}
+
+/// A flow network over dense node indices.
+///
+/// Build with [`add_edge`](FlowNetwork::add_edge), run
+/// [`max_flow`](FlowNetwork::max_flow), then partition with
+/// [`min_cut`](FlowNetwork::min_cut): the saturated edges crossing from the
+/// source side to the sink side form a minimum cut (max-flow/min-cut
+/// theorem).
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    /// Outgoing (residual) edge indices per node.
+    adj: Vec<Vec<u32>>,
+    /// Edge store; `edges[i ^ 1]` is the reverse of `edges[i]`.
+    edges: Vec<FlowEdge>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` and returns its
+    /// index (stable across the solve, usable with
+    /// [`in_cut`](FlowNetwork::in_cut)). A zero-capacity reverse edge is
+    /// added implicitly.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
+        let idx = self.edges.len();
+        self.edges.push(FlowEdge { to: to as u32, cap });
+        self.edges.push(FlowEdge {
+            to: from as u32,
+            cap: 0,
+        });
+        self.adj[from].push(idx as u32);
+        self.adj[to].push(idx as u32 + 1);
+        idx
+    }
+
+    /// Computes the maximum `s`→`t` flow (Edmonds–Karp: BFS shortest
+    /// augmenting paths), mutating residual capacities in place. Returns
+    /// the flow value, saturating at [`INF`].
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        let mut total: u64 = 0;
+        let mut parent: Vec<Option<u32>> = vec![None; self.adj.len()];
+        loop {
+            // BFS for an augmenting path in the residual graph.
+            parent.iter_mut().for_each(|p| *p = None);
+            let mut queue = VecDeque::from([s as u32]);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &eid in &self.adj[u as usize] {
+                    let e = self.edges[eid as usize];
+                    if e.cap == 0 || parent[e.to as usize].is_some() || e.to as usize == s {
+                        continue;
+                    }
+                    parent[e.to as usize] = Some(eid);
+                    if e.to as usize == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+            if parent[t].is_none() {
+                return total;
+            }
+            // Bottleneck, then augment along the path.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let eid = parent[v].expect("path reaches s") as usize;
+                bottleneck = bottleneck.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            let mut v = t;
+            while v != s {
+                let eid = parent[v].expect("path reaches s") as usize;
+                self.edges[eid].cap -= bottleneck;
+                self.edges[eid ^ 1].cap = self.edges[eid ^ 1].cap.saturating_add(bottleneck);
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            total = total.saturating_add(bottleneck);
+        }
+    }
+
+    /// After [`max_flow`](FlowNetwork::max_flow): the set of nodes still
+    /// reachable from `s` in the residual graph (`true` = source side).
+    /// Forward edges from the source side to the sink side form a minimum
+    /// cut.
+    pub fn min_cut(&self, s: usize) -> Vec<bool> {
+        let mut reachable = vec![false; self.adj.len()];
+        reachable[s] = true;
+        let mut queue = VecDeque::from([s as u32]);
+        while let Some(u) = queue.pop_front() {
+            for &eid in &self.adj[u as usize] {
+                let e = self.edges[eid as usize];
+                if e.cap > 0 && !reachable[e.to as usize] {
+                    reachable[e.to as usize] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        reachable
+    }
+
+    /// Whether the edge returned by [`add_edge`](FlowNetwork::add_edge) as
+    /// `idx` crosses the cut described by `reachable` (source side →
+    /// sink side).
+    pub fn in_cut(&self, idx: usize, reachable: &[bool]) -> bool {
+        let from = self.edges[idx ^ 1].to as usize;
+        let to = self.edges[idx].to as usize;
+        reachable[from] && !reachable[to]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_flow_is_the_bottleneck() {
+        // s -3-> a -2-> t
+        let mut net = FlowNetwork::new(3);
+        let sa = net.add_edge(0, 1, 3);
+        let at = net.add_edge(1, 2, 2);
+        assert_eq!(net.max_flow(0, 2), 2);
+        let cut = net.min_cut(0);
+        assert!(!net.in_cut(sa, &cut));
+        assert!(net.in_cut(at, &cut));
+    }
+
+    #[test]
+    fn classic_diamond_min_cut() {
+        // s → a (10), s → b (10), a → t (1), b → t (1), a → b (INF).
+        let mut net = FlowNetwork::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        let sa = net.add_edge(s, a, 10);
+        let sb = net.add_edge(s, b, 10);
+        let at = net.add_edge(a, t, 1);
+        let bt = net.add_edge(b, t, 1);
+        let ab = net.add_edge(a, b, INF);
+        assert_eq!(net.max_flow(s, t), 2);
+        let cut = net.min_cut(s);
+        // The cheap sink-side edges are cut; the INF edge never is.
+        assert!(net.in_cut(at, &cut));
+        assert!(net.in_cut(bt, &cut));
+        assert!(!net.in_cut(ab, &cut));
+        assert!(!net.in_cut(sa, &cut));
+        assert!(!net.in_cut(sb, &cut));
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow_and_source_only_cut() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+        let cut = net.min_cut(0);
+        assert_eq!(cut, vec![true, true, false]);
+    }
+
+    #[test]
+    fn zero_capacity_edges_are_free_to_cut() {
+        let mut net = FlowNetwork::new(3);
+        let sa = net.add_edge(0, 1, 0);
+        let at = net.add_edge(1, 2, 7);
+        assert_eq!(net.max_flow(0, 2), 0);
+        let cut = net.min_cut(0);
+        assert!(net.in_cut(sa, &cut));
+        assert!(!net.in_cut(at, &cut));
+    }
+
+    #[test]
+    fn inf_edges_saturate_instead_of_overflowing() {
+        // Two INF edges in series: flow reports INF (saturating), and the
+        // min cut severs the (equal-capacity) first edge's partition
+        // boundary without panicking.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, INF);
+        net.add_edge(1, 2, INF);
+        assert_eq!(net.max_flow(0, 2), INF);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(1, 3, 3);
+        net.add_edge(0, 2, 4);
+        net.add_edge(2, 3, 4);
+        assert_eq!(net.max_flow(0, 3), 7);
+    }
+}

@@ -42,6 +42,16 @@ pub enum SafetyError {
         /// Universe index of the offending expression.
         expr: usize,
     },
+    /// A *speculative* plan inserts an expression that is not provably
+    /// side-effect-free at a classically unsafe point — the one thing
+    /// speculation is never allowed to do (a hoisted division could fault
+    /// on a path that never divided).
+    SideEffectingSpeculation {
+        /// Description of the insertion point.
+        at: String,
+        /// Universe index of the offending expression.
+        expr: usize,
+    },
 }
 
 impl fmt::Display for SafetyError {
@@ -55,6 +65,13 @@ impl fmt::Display for SafetyError {
             }
             SafetyError::UnsafeInsertion { at, expr } => {
                 write!(f, "insertion of expression #{expr} at {at} is unsafe")
+            }
+            SafetyError::SideEffectingSpeculation { at, expr } => {
+                write!(
+                    f,
+                    "speculative insertion of expression #{expr} at {at} is not \
+                     side-effect-free"
+                )
             }
         }
     }
@@ -163,6 +180,72 @@ pub fn check_plan_safety(
             ga.antic.outs.row(bi),
             &plan.block_bottom_inserts[bi],
             format!("bottom of {b}"),
+        )?;
+    }
+    Ok(())
+}
+
+/// The admissibility rule for **speculative** plans: every insertion must
+/// either be classically safe (down-safe or up-safe, as in
+/// [`check_plan_safety`]) or hoist an expression that is provably
+/// [`side_effect_free`](lcm_ir::Expr::side_effect_free). This is the
+/// validator's independent re-check of the speculation invariant — it
+/// derives the side-effect class from the expression itself, not from
+/// anything the planner recorded.
+///
+/// # Errors
+///
+/// Returns the first insertion that is both classically unsafe and not
+/// side-effect-free.
+pub fn check_speculative_plan_safety(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+    ga: &GlobalAnalyses,
+    plan: &PlacementPlan,
+) -> Result<(), SafetyError> {
+    let _ = local;
+    let check =
+        |avail_before: &[u64], antic_after: &[u64], set: &BitSet, at: &dyn Fn() -> String| {
+            for e in set.iter() {
+                if !row_contains(antic_after, e)
+                    && !row_contains(avail_before, e)
+                    && !uni.expr(e).side_effect_free()
+                {
+                    return Err(SafetyError::SideEffectingSpeculation { at: at(), expr: e });
+                }
+            }
+            Ok(())
+        };
+
+    let no_avail = vec![0u64; ga.avail.outs.row(0).len()];
+    check(
+        &no_avail,
+        ga.antic.ins.row(f.entry().index()),
+        &plan.entry_insert,
+        &|| "entry".to_string(),
+    )?;
+    for (eid, edge) in plan.edges.iter() {
+        check(
+            ga.avail.outs.row(edge.from.index()),
+            ga.antic.ins.row(edge.to.index()),
+            &plan.edge_inserts[eid.index()],
+            &|| edge.to_string(),
+        )?;
+    }
+    for b in f.block_ids() {
+        let bi = b.index();
+        check(
+            ga.avail.ins.row(bi),
+            ga.antic.ins.row(bi),
+            &plan.block_top_inserts[bi],
+            &|| format!("top of {b}"),
+        )?;
+        check(
+            ga.avail.outs.row(bi),
+            ga.antic.outs.row(bi),
+            &plan.block_bottom_inserts[bi],
+            &|| format!("bottom of {b}"),
         )?;
     }
     Ok(())

@@ -167,6 +167,28 @@ pub fn fingerprint(f: &Function) -> (u128, String) {
     (fnv1a_128(text.as_bytes()), text)
 }
 
+/// Fingerprints `f` under a placement `context` — a short string naming
+/// anything beyond the function body that shaped the plan (the placement
+/// algorithm, the resolved profile weights). Plans computed under
+/// different contexts must never share a cache entry; an empty context
+/// hashes exactly like [`fingerprint`], so profile-less speculative runs
+/// (which fall back to plain LCM) share entries with LCM batches.
+pub fn fingerprint_with_context(f: &Function, context: &str) -> (u128, String) {
+    let text = contextual_text(&canonical_text(f), context);
+    (fnv1a_128(text.as_bytes()), text)
+}
+
+/// Appends `context` to a canonical text as a trailing comment line. The
+/// suffix is part of the stored `canonical_input`, so the collision guard
+/// in [`PlanCache::get`] separates contexts even on a 128-bit collision.
+pub(crate) fn contextual_text(text: &str, context: &str) -> String {
+    if context.is_empty() {
+        text.to_string()
+    } else {
+        format!("{text}\n;; {context}")
+    }
+}
+
 /// Prints `f` under [`CANONICAL_NAME`], so same-body functions print
 /// identically regardless of their names.
 pub fn canonical_text(f: &Function) -> String {
@@ -223,6 +245,18 @@ mod tests {
             inputs_sampled: 0,
         };
         (key, entry)
+    }
+
+    #[test]
+    fn context_splits_fingerprints_and_empty_context_does_not() {
+        let f = parse_function("fn a {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        assert_eq!(fingerprint(&f), fingerprint_with_context(&f, ""));
+        let (k1, t1) = fingerprint_with_context(&f, "spec entry=4,1,3");
+        let (k2, t2) = fingerprint_with_context(&f, "spec entry=4,2,2");
+        assert_ne!(fingerprint(&f).0, k1);
+        assert_ne!(k1, k2);
+        assert_ne!(t1, t2);
+        assert!(t1.ends_with(";; spec entry=4,1,3"));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod report;
 mod cache;
 mod load;
 
-pub use cache::{canonical_text, fingerprint, CacheEntry, CacheStats, PlanCache, CANONICAL_NAME};
+pub use cache::{
+    canonical_text, fingerprint, fingerprint_with_context, CacheEntry, CacheStats, PlanCache,
+    CANONICAL_NAME,
+};
 pub use load::{load_units, LoadError};
 
 use std::collections::HashMap;
@@ -51,15 +54,24 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lcm_core::transform::TransformStats;
 use lcm_core::validate::{validate_optimized, ValidationLevel};
-use lcm_core::{optimize_checked_with, passes, PipelineStats, PreAlgorithm};
+use lcm_core::{
+    optimize_checked_with, optimize_speculative_checked_with, passes, EdgeWeights, PipelineStats,
+    PreAlgorithm, SpecStats,
+};
 use lcm_dataflow::{SolveStrategy, SolverScratch};
-use lcm_ir::{simplify_cfg, verify, Function, Module};
+use lcm_ir::{simplify_cfg, verify, Function, Module, Profile};
 
 /// How a batch run is configured.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchOptions {
     /// Worker threads; `0` means [`std::thread::available_parallelism`].
     pub jobs: usize,
+    /// The PRE placement each unit runs.
+    /// [`PreAlgorithm::Speculative`] consumes the unit's edge profile;
+    /// units without a (resolvable) profile fall back to
+    /// [`PreAlgorithm::LazyEdge`] — there is no frequency information to
+    /// speculate on — and share cache entries with plain LCM runs.
+    pub placement: PreAlgorithm,
     /// Validation tier for computed units; cache hits are re-validated at
     /// the fast tier whenever this is not [`ValidationLevel::Off`].
     pub validate: ValidationLevel,
@@ -79,6 +91,7 @@ impl Default for BatchOptions {
     fn default() -> Self {
         BatchOptions {
             jobs: 0,
+            placement: PreAlgorithm::LazyEdge,
             validate: ValidationLevel::Fast,
             seed: 0x1c3a_57ed,
             use_cache: true,
@@ -95,6 +108,9 @@ pub struct BatchUnit {
     pub file: Option<String>,
     /// The function itself.
     pub function: Function,
+    /// The function's edge profile, if its module carried one. Consulted
+    /// only under [`PreAlgorithm::Speculative`].
+    pub profile: Option<Profile>,
 }
 
 /// Why a unit failed. The batch itself never fails; these are per-unit.
@@ -215,6 +231,9 @@ pub struct BatchTotals {
     pub pipeline: PipelineStats,
     /// Merged rewrite counters over computed units.
     pub transform: TransformStats,
+    /// Merged speculative-planner counters over computed units (all zero
+    /// unless the batch ran [`PreAlgorithm::Speculative`]).
+    pub spec: SpecStats,
     /// Validator checks run in this batch (computed units plus cache-hit
     /// re-validations).
     pub validation_checks: usize,
@@ -308,6 +327,7 @@ impl BatchEngine {
             m.iter()
                 .map(|f| BatchUnit {
                     file: None,
+                    profile: m.profile(&f.name).cloned(),
                     function: f.clone(),
                 })
                 .collect(),
@@ -319,6 +339,27 @@ impl BatchEngine {
     /// parallel, assemble sequentially*.
     pub fn run(&mut self, units: Vec<BatchUnit>) -> BatchResult {
         let threads = resolve_jobs(self.opts.jobs);
+
+        // Resolve profiles to edge weights up front (sequentially, so a
+        // malformed profile degrades identically for every thread count).
+        // `None` means "run plain LCM": either the batch isn't speculative,
+        // or this unit has no resolvable profile to speculate on.
+        let weights: Vec<Option<EdgeWeights>> = units
+            .iter()
+            .map(|u| {
+                if self.opts.placement == PreAlgorithm::Speculative {
+                    u.profile
+                        .as_ref()
+                        .and_then(|p| EdgeWeights::from_profile(&u.function, p).ok())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let contexts: Vec<String> = weights
+            .iter()
+            .map(|w| unit_context(self.opts.placement, w.as_ref()))
+            .collect();
 
         // Phase 1 — sequential planning in input order: verify inputs,
         // consult the cache, pick one leader per distinct new fingerprint.
@@ -336,7 +377,7 @@ impl BatchEngine {
                 plans.push(UnitPlan::Compute { key: None });
                 continue;
             }
-            let (key, text) = fingerprint(&unit.function);
+            let (key, text) = fingerprint_with_context(&unit.function, &contexts[i]);
             if let Some(entry) = self.cache.get(key, &text) {
                 let plan = UnitPlan::Hit {
                     key,
@@ -391,9 +432,9 @@ impl BatchEngine {
                     isolate(AssertUnwindSafe(|| {
                         optimize_unit(
                             &units[i].function,
-                            opts.validate,
-                            opts.seed,
-                            opts.strategy,
+                            &opts,
+                            weights[i].as_ref(),
+                            &contexts[i],
                             scratch,
                         )
                         .map(Box::new)
@@ -449,6 +490,7 @@ impl BatchEngine {
                             totals.computed += 1;
                             totals.pipeline += entry.pipeline;
                             totals.transform += entry.transform;
+                            totals.spec += entry.opt.spec.unwrap_or_default();
                             totals.validation_checks += entry.validation_checks;
                             totals.inputs_sampled += entry.inputs_sampled;
                             let success = UnitSuccess {
@@ -563,27 +605,60 @@ fn isolate<T>(
     }
 }
 
+/// The placement context a unit is fingerprinted (and cached) under.
+/// Empty for plain LCM **and** for profile-less speculative units — the
+/// latter run exactly the LCM pipeline, so sharing entries is both sound
+/// and desirable. Speculative units with resolved weights spell the full
+/// weight vector out: same body + same weights ⇒ same plan.
+fn unit_context(placement: PreAlgorithm, weights: Option<&EdgeWeights>) -> String {
+    match (placement, weights) {
+        (PreAlgorithm::Speculative, Some(w)) => {
+            let mut s = format!("spec entry={}", w.entry);
+            for e in &w.edges {
+                s.push(',');
+                s.push_str(&e.to_string());
+            }
+            s
+        }
+        (PreAlgorithm::Speculative, None) | (PreAlgorithm::LazyEdge, _) => String::new(),
+        (other, _) => other.name().to_string(),
+    }
+}
+
 /// The per-function pipeline, mirroring `lcmopt`'s default pass order:
-/// LCSE → checked LCM (edge formulation) → copy propagation → DCE → CFG
-/// simplification → output verification.
+/// LCSE → checked PRE (the configured placement) → copy propagation → DCE
+/// → CFG simplification → output verification.
+///
+/// `weights` and `context` must be the ones `run` resolved for this unit:
+/// the recorded `canonical_input` embeds the context so the cache's
+/// collision guard keeps differently-weighted plans apart. LCSE never
+/// touches the CFG, so edge weights resolved against the pre-LCSE
+/// function remain valid for `g`.
 fn optimize_unit(
     f: &Function,
-    level: ValidationLevel,
-    seed: u64,
-    strategy: SolveStrategy,
+    opts: &BatchOptions,
+    weights: Option<&EdgeWeights>,
+    context: &str,
     scratch: &mut SolverScratch,
 ) -> Result<CacheEntry, UnitError> {
+    let (level, seed, strategy) = (opts.validate, opts.seed, opts.strategy);
     let mut g = f.clone();
     g.name = CANONICAL_NAME.to_string();
-    let canonical_input = g.to_string();
+    let canonical_input = cache::contextual_text(&g.to_string(), context);
     passes::lcse(&mut g);
-    let (opt, report) =
-        optimize_checked_with(&g, PreAlgorithm::LazyEdge, level, seed, strategy, scratch).map_err(
-            |e| UnitError {
-                kind: FailureKind::Pipeline,
-                message: e.to_string(),
-            },
-        )?;
+    let (opt, report) = match (opts.placement, weights) {
+        (PreAlgorithm::Speculative, Some(w)) => {
+            optimize_speculative_checked_with(&g, w, level, seed, strategy, scratch)
+        }
+        (PreAlgorithm::Speculative, None) => {
+            optimize_checked_with(&g, PreAlgorithm::LazyEdge, level, seed, strategy, scratch)
+        }
+        (alg, _) => optimize_checked_with(&g, alg, level, seed, strategy, scratch),
+    }
+    .map_err(|e| UnitError {
+        kind: FailureKind::Pipeline,
+        message: e.to_string(),
+    })?;
     let mut out = opt.function.clone();
     passes::copy_propagation(&mut out);
     passes::dce(&mut out);

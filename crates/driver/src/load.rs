@@ -87,6 +87,7 @@ pub fn load_units(path: &Path) -> Result<Vec<BatchUnit>, LoadError> {
         for f in module.iter() {
             units.push(BatchUnit {
                 file: Some(file.display().to_string()),
+                profile: module.profile(&f.name).cloned(),
                 function: f.clone(),
             });
         }

@@ -58,6 +58,16 @@ pub fn render_stats(result: &BatchResult) -> String {
         t.transform.edges_split,
         t.transform.temps
     );
+    if t.spec.candidates > 0 {
+        let _ = writeln!(
+            out,
+            "speculative: {} candidates, {} speculated, weighted cost {} -> {}",
+            t.spec.candidates,
+            t.spec.speculated,
+            t.spec.lcm_weighted_cost,
+            t.spec.spec_weighted_cost
+        );
+    }
     let _ = writeln!(
         out,
         "validation: {} checks, {} inputs sampled",

@@ -159,6 +159,7 @@ fn a_bad_function_fails_its_unit_not_the_batch() {
         .into_iter()
         .map(|function| BatchUnit {
             file: None,
+            profile: None,
             function,
         })
         .collect();
@@ -225,6 +226,7 @@ fn run_and_run_module_agree() {
         m.iter()
             .map(|f| BatchUnit {
                 file: None,
+                profile: None,
                 function: f.clone(),
             })
             .collect(),

@@ -22,7 +22,7 @@ use lcm_core::{
 };
 use lcm_dataflow::{CfgView, SolveStrategy, SolverScratch};
 use lcm_driver::PlanCache;
-use lcm_ir::{BlockData, BlockId, Function, Instr, Rvalue, Terminator, Var};
+use lcm_ir::{BlockData, BlockId, Function, Instr, Profile, Rvalue, Terminator, Var};
 
 /// One class of seeded corruption, modelling a distinct implementation
 /// bug in a PRE pass.
@@ -268,7 +268,38 @@ pub fn optimize_with_poisoned_scratch(
         input: f.clone(),
         algorithm: PreAlgorithm::LazyEdge,
         pipeline_stats: None,
+        spec: None,
     })
+}
+
+/// Corrupts one weight of an edge profile in place — modelling bit-rot or
+/// a buggy profiler writing the textual profile section the driver later
+/// trusts. The perturbation is seeded and always *lands* (the chosen
+/// weight provably changes); whether it is *detectable* depends on the
+/// CFG — on a block with a single in- and out-edge the result may still
+/// conserve flow and parse cleanly, which is exactly why the speculative
+/// planner must stay safe under arbitrary weights, not merely reject
+/// inconsistent ones. The faults suite pins both halves: inconsistent
+/// corruptions are refused by [`Profile::resolve`], and consistent ones
+/// still validate and pass differential execution.
+///
+/// Returns `false` (profile untouched) when there are no entries to
+/// corrupt.
+pub fn corrupt_profile_weights(profile: &mut Profile, seed: u64) -> bool {
+    let n = profile.entries.len();
+    if n == 0 {
+        return false;
+    }
+    let mut state = seed ^ 0x5EED_FA17_u64;
+    let i = (splitmix64(&mut state) % n as u64) as usize;
+    let delta = 1 + splitmix64(&mut state) % 1000;
+    let w = &mut profile.entries[i].weight;
+    *w = if splitmix64(&mut state).is_multiple_of(2) {
+        w.saturating_add(delta)
+    } else {
+        w.checked_sub(delta).unwrap_or(w.wrapping_add(delta))
+    };
+    true
 }
 
 /// Appends an orphan block that jumps to the exit — the residue of a
@@ -466,6 +497,67 @@ mod tests {
             ),
             "unexpected {err}"
         );
+    }
+
+    #[test]
+    fn corrupt_profile_perturbs_exactly_one_weight_deterministically() {
+        use lcm_cfggen::{structured, synthetic_profile, GenOptions};
+        let f = structured(5, &GenOptions::default());
+        let p0 = synthetic_profile(&f, 9);
+        let mut a = p0.clone();
+        let mut b = p0.clone();
+        assert!(corrupt_profile_weights(&mut a, 42));
+        assert!(corrupt_profile_weights(&mut b, 42));
+        assert_eq!(a, b);
+        assert_ne!(a, p0);
+        let diffs = a
+            .entries
+            .iter()
+            .zip(&p0.entries)
+            .filter(|(x, y)| x != y)
+            .count();
+        assert_eq!(diffs, 1);
+
+        // A profile with no entries (edgeless function) cannot be
+        // corrupted.
+        let one = parse_function("fn one {\n entry:\n ret\n }").unwrap();
+        let mut empty = lcm_cfggen::synthetic_profile(&one, 0);
+        assert!(!corrupt_profile_weights(&mut empty, 1));
+    }
+
+    #[test]
+    fn corrupted_profiles_never_produce_unsafe_placements() {
+        use lcm_cfggen::{corpus, synthetic_profile, GenOptions};
+        use lcm_core::{optimize_speculative, weights_or_unit, EdgeWeights};
+        let mut refused = 0usize;
+        let mut resolved = 0usize;
+        for (i, f) in corpus(0xC0FF, 24, &GenOptions::default())
+            .iter()
+            .enumerate()
+        {
+            let mut p = synthetic_profile(f, 3);
+            if !corrupt_profile_weights(&mut p, i as u64) {
+                continue;
+            }
+            // Either the corruption breaks flow conservation and the
+            // resolver refuses it (the driver falls back to unit weights),
+            // or it happens to still conserve and resolves — in which case
+            // the textual round trip accepts it too. Track both outcomes.
+            match EdgeWeights::from_profile(f, &p) {
+                Ok(_) => resolved += 1,
+                Err(_) => refused += 1,
+            }
+            // In both cases the speculative pass must produce a fully
+            // valid, observationally equivalent result: weights steer only
+            // the cost model, never the safety argument.
+            let w = weights_or_unit(f, Some(&p));
+            let opt = optimize_speculative(f, &w).unwrap();
+            validate_optimized(&f.clone(), &opt, ValidationLevel::Full, i as u64)
+                .unwrap_or_else(|e| panic!("corrupted profile broke function {i}: {e}"));
+        }
+        // The corpus is large enough to exercise both outcomes.
+        assert!(refused > 0, "no corruption was refused by resolution");
+        assert!(resolved + refused >= 20);
     }
 
     #[test]

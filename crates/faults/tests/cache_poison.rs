@@ -40,6 +40,7 @@ fn diamond(name: &str) -> Function {
 fn unit(f: &Function) -> BatchUnit {
     BatchUnit {
         file: None,
+        profile: None,
         function: f.clone(),
     }
 }

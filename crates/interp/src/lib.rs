@@ -96,6 +96,12 @@ pub struct Execution {
     pub steps: u64,
     /// Block visits, indexed by block.
     pub block_visits: Vec<u64>,
+    /// CFG edge traversals, indexed by [`EdgeId`](lcm_ir::EdgeId) in the
+    /// dense order of [`EdgeList::new`](lcm_ir::EdgeList::new) — a measured
+    /// edge profile of the run. On a completed run the counts conserve flow
+    /// (every internal block is left as often as it is entered), so they can
+    /// be fed back as a [`Profile`](lcm_ir::Profile) without adjustment.
+    pub edge_visits: Vec<u64>,
     /// Dynamic evaluation count per candidate expression.
     eval_counts: HashMap<Expr, u64>,
     /// Final variable values, indexed by `Var`.
@@ -196,6 +202,15 @@ pub fn run_with(
     let mut trace = Vec::new();
     let mut eval_counts: HashMap<Expr, u64> = HashMap::new();
     let mut block_visits = vec![0u64; f.num_blocks()];
+    // Dense edge numbering is block-major, successor-minor, so the id of
+    // edge (block, succ_index) is edge_base[block] + succ_index.
+    let mut edge_base = Vec::with_capacity(f.num_blocks());
+    let mut num_edges = 0usize;
+    for b in f.block_ids() {
+        edge_base.push(num_edges);
+        num_edges += f.block(b).term.successors().count();
+    }
+    let mut edge_visits = vec![0u64; num_edges];
     let mut steps = 0u64;
     let mut block = f.entry();
     let status = 'outer: loop {
@@ -226,17 +241,18 @@ pub fn run_with(
         }
         steps += 1;
         match data.term {
-            Terminator::Jump(t) => block = t,
+            Terminator::Jump(t) => {
+                edge_visits[edge_base[block.index()]] += 1;
+                block = t;
+            }
             Terminator::Branch {
                 cond,
                 then_to,
                 else_to,
             } => {
-                block = if eval_operand(&env, cond) != 0 {
-                    then_to
-                } else {
-                    else_to
-                };
+                let taken_else = eval_operand(&env, cond) == 0;
+                edge_visits[edge_base[block.index()] + usize::from(taken_else)] += 1;
+                block = if taken_else { else_to } else { then_to };
             }
             Terminator::Exit => break Status::Completed,
         }
@@ -246,6 +262,7 @@ pub fn run_with(
         status,
         steps,
         block_visits,
+        edge_visits,
         eval_counts,
         env,
     }
@@ -403,6 +420,30 @@ mod tests {
         assert_eq!(out.total_evals(), 6); // 3× a+b, 3× i-1
         let head = f.block_by_name("head").unwrap();
         assert_eq!(out.block_visits[head.index()], 4);
+    }
+
+    #[test]
+    fn edge_visits_match_edge_list_order_and_conserve_flow() {
+        let f = counting_loop();
+        let out = run(&f, &Inputs::new(), 1_000);
+        assert!(out.completed());
+        let edges = lcm_ir::EdgeList::new(&f);
+        assert_eq!(out.edge_visits.len(), edges.len());
+        // entry->head 1, head->body 3, head->done 1, body->head 3.
+        assert_eq!(out.edge_visits, vec![1, 3, 1, 3]);
+        // A completed run is a valid flow: it parses back as a profile.
+        let p = lcm_ir::Profile::from_weights(&f, &out.edge_visits);
+        assert_eq!(p.resolve(&f).unwrap(), out.edge_visits);
+        // Block visits are consistent with the edges taken into each block.
+        for b in f.block_ids() {
+            let incoming: u64 = edges
+                .incoming(b)
+                .iter()
+                .map(|id| out.edge_visits[id.index()])
+                .sum();
+            let expected = incoming + u64::from(b == f.entry());
+            assert_eq!(out.block_visits[b.index()], expected);
+        }
     }
 
     #[test]

@@ -159,6 +159,20 @@ impl BinOp {
         }
     }
 
+    /// Returns `true` if the operator would fault on some inputs under
+    /// conventional (non-total) machine semantics.
+    ///
+    /// The interpreter's semantics are total — division and remainder by
+    /// zero yield `0` — so nothing in this IR can actually trap. But the
+    /// speculative placer models a real backend, where hoisting a `/` or
+    /// `%` above the guard that excludes a zero divisor introduces a fault
+    /// on a path that never computed it. These two operators are therefore
+    /// excluded from speculation (see [`Expr::side_effect_free`]); every
+    /// other operator wraps or saturates and is speculable.
+    pub fn may_fault(self) -> bool {
+        matches!(self, BinOp::Div | BinOp::Rem)
+    }
+
     /// Evaluates the operator on concrete values with total semantics.
     ///
     /// Division and remainder by zero yield `0`; shifts use the low six bits
@@ -283,6 +297,19 @@ impl Expr {
             Expr::Bin(_, a, b) => (a.as_var(), b.as_var()),
         };
         a.into_iter().chain(b)
+    }
+
+    /// Returns `true` if evaluating this expression can be moved to a path
+    /// that never executed it originally — the safety class speculative PRE
+    /// is restricted to.
+    ///
+    /// Unary operators and faultless binary operators qualify; `/` and `%`
+    /// do not (see [`BinOp::may_fault`]).
+    pub fn side_effect_free(self) -> bool {
+        match self {
+            Expr::Un(..) => true,
+            Expr::Bin(op, ..) => !op.may_fault(),
+        }
     }
 
     /// Iterates over the operands of this expression.

@@ -11,6 +11,8 @@
 //! * [`FunctionBuilder`] — an ergonomic way to construct functions,
 //! * [`Module`] — an ordered, uniquely-named collection of functions, the
 //!   input unit of the batch driver,
+//! * [`Profile`] — optional edge-frequency weights for a function, parsed
+//!   from a `profile` section and checked for flow conservation,
 //! * a textual format ([`parse_function`], [`parse_module`], `Display`),
 //! * graph algorithms ([`graph`]): orderings, dominators, natural loops,
 //!   critical edges and critical-edge splitting,
@@ -50,6 +52,7 @@ mod instr;
 mod module;
 mod parse;
 mod print;
+mod profile;
 mod simplify;
 mod verify;
 
@@ -62,6 +65,7 @@ pub use function::{BlockData, BlockId, Edge, EdgeId, EdgeList, Function, SymbolT
 pub use instr::{Instr, Terminator};
 pub use module::Module;
 pub use parse::{parse_function, parse_module, ParseError};
+pub use profile::{Profile, ProfileEntry, ProfileError};
 pub use simplify::{simplify_cfg, SimplifyStats};
 pub use verify::{verify, VerifyError};
 

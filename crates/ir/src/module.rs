@@ -7,12 +7,14 @@
 use std::fmt;
 
 use crate::function::Function;
+use crate::profile::Profile;
 
-/// An ordered collection of functions with unique names.
+/// An ordered collection of functions with unique names, plus optional
+/// per-function edge [`Profile`]s.
 ///
 /// Round-trips through the textual format: `Display` prints each function
-/// separated by a blank line, and [`parse_module`](crate::parse_module)
-/// reads the same shape back.
+/// separated by a blank line, followed by the profile sections, and
+/// [`parse_module`](crate::parse_module) reads the same shape back.
 ///
 /// # Example
 ///
@@ -28,6 +30,7 @@ use crate::function::Function;
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Module {
     functions: Vec<Function>,
+    profiles: Vec<Profile>,
 }
 
 impl Module {
@@ -56,9 +59,32 @@ impl Module {
         Ok(())
     }
 
+    /// Attaches an edge profile, rejecting it (returned unchanged, boxed to
+    /// keep the error small) if the module has no function with the
+    /// profile's name or that function already has a profile. The profile's
+    /// consistency against the function is *not* checked here; see
+    /// [`Profile::resolve`].
+    pub fn push_profile(&mut self, p: Profile) -> Result<(), Box<Profile>> {
+        if self.get(&p.function).is_none() || self.profile(&p.function).is_some() {
+            return Err(Box::new(p));
+        }
+        self.profiles.push(p);
+        Ok(())
+    }
+
     /// The functions in source order.
     pub fn functions(&self) -> &[Function] {
         &self.functions
+    }
+
+    /// The profiles in source order.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Looks up the profile attached to function `name`, if any.
+    pub fn profile(&self, name: &str) -> Option<&Profile> {
+        self.profiles.iter().find(|p| p.function == name)
     }
 
     /// Looks up a function by name.
@@ -98,6 +124,9 @@ impl fmt::Display for Module {
                 write!(f, "\n\n")?;
             }
             write!(f, "{func}")?;
+        }
+        for p in &self.profiles {
+            write!(f, "\n\n{p}")?;
         }
         Ok(())
     }
@@ -166,6 +195,26 @@ entry:
     #[test]
     fn rejects_empty_module() {
         assert!(parse_module("  # only a comment\n").is_err());
+    }
+
+    #[test]
+    fn profiles_attach_and_round_trip() {
+        let mut m = parse_module(TWO).unwrap();
+        let f = m.get("first").unwrap();
+        // Edges of `first`: entry->l, entry->r, l->r; flow conserves at `l`.
+        let p = crate::Profile::from_weights(f, &[5, 3, 5]);
+        assert!(m.push_profile(p.clone()).is_ok());
+        // One profile per function, and only for functions that exist.
+        assert!(m.push_profile(p.clone()).is_err());
+        let mut stray = p.clone();
+        stray.function = "nonexistent".into();
+        assert!(m.push_profile(stray).is_err());
+        assert_eq!(m.profile("first"), Some(&p));
+        assert_eq!(m.profile("second"), None);
+        let printed = m.to_string();
+        let again = parse_module(&printed).unwrap();
+        assert_eq!(m, again);
+        assert_eq!(printed, again.to_string());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! The grammar (line-oriented; `#` starts a comment):
 //!
 //! ```text
-//! module    := function+
+//! module    := (function | profile)+
 //! function  := "fn" NAME "{" block+ "}"
+//! profile   := "profile" NAME "{" pentry* "}"
+//! pentry    := LABEL "->" LABEL ":" INT
 //! block     := LABEL ":" instr* terminator
 //! instr     := "obs" operand
 //!            | IDENT "=" rhs
@@ -23,6 +25,12 @@
 //! The first block is the entry; the unique block terminated by `ret` is the
 //! exit. Labels and variable names are identifiers (letters, digits, `_`,
 //! `.`, not starting with a digit).
+//!
+//! A `profile` section attaches edge-frequency weights to a function that
+//! appeared *earlier* in the module (see [`Profile`](crate::Profile)). It
+//! must list every CFG edge of that function exactly once, and the weights
+//! must conserve flow — at each block other than entry and exit, incoming
+//! weights sum to outgoing weights — or parsing fails with a spanned error.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -74,9 +82,11 @@ impl fmt::Display for Tok {
     }
 }
 
-const SYMBOLS: [&str; 22] = [
-    "<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", ",",
-    ":", "{", "}", "~",
+// Longest-match-first within a shared prefix: `->` before `-`, `<<`/`<=`
+// before `<`, and so on.
+const SYMBOLS: [&str; 23] = [
+    "<<", ">>", "==", "!=", "<=", ">=", "->", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+    "=", ",", ":", "{", "}", "~",
 ];
 
 fn tokenize(line: &str, lineno: usize) -> Result<(Vec<Tok>, Vec<usize>), ParseError> {
@@ -291,16 +301,20 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     Ok(f)
 }
 
-/// Parses a module: one or more functions back to back.
+/// Parses a module: one or more functions back to back, optionally followed
+/// (or interleaved) with `profile` sections for functions already parsed.
 ///
 /// Errors carry positions relative to the whole input, and function names
-/// must be unique within the module. Like [`parse_function`], the verifier
-/// is not run; the batch driver verifies each function before optimizing it.
+/// must be unique within the module. Profile sections are checked
+/// structurally against their function — every edge present exactly once,
+/// flow conserved at internal blocks — so a module that parses never carries
+/// an inconsistent profile. Like [`parse_function`], the verifier is not
+/// run; the batch driver verifies each function before optimizing it.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on malformed input, an empty module, or a
-/// duplicate function name.
+/// Returns a [`ParseError`] on malformed input, an empty module, a duplicate
+/// function name, or an inconsistent profile section.
 pub fn parse_module(text: &str) -> Result<crate::Module, ParseError> {
     let lines = tokenize_text(text)?;
     if lines.is_empty() {
@@ -310,6 +324,12 @@ pub fn parse_module(text: &str) -> Result<crate::Module, ParseError> {
     let mut rest = lines.as_slice();
     while let Some(header) = rest.first() {
         let header_pos = (header.no, header.cols.first().copied().unwrap_or(1));
+        if matches!(header.toks.as_slice(),
+            [Tok::Ident(kw), Tok::Ident(_), Tok::Sym("{")] if kw == "profile")
+        {
+            rest = parse_profile_section(rest, &mut module)?;
+            continue;
+        }
         let (f, remaining) = parse_one(rest)?;
         if let Err(f) = module.push(f) {
             return Err(ParseError {
@@ -321,6 +341,102 @@ pub fn parse_module(text: &str) -> Result<crate::Module, ParseError> {
         rest = remaining;
     }
     Ok(module)
+}
+
+/// Parses one `profile NAME { ... }` section from the front of `lines`,
+/// validates it against the named (already-parsed) function, and attaches it
+/// to `module`. Returns the lines after the closing `}`.
+fn parse_profile_section<'a>(
+    lines: &'a [Line],
+    module: &mut crate::Module,
+) -> Result<&'a [Line], ParseError> {
+    let header = &lines[0];
+    let header_err = |message: String| ParseError {
+        line: header.no,
+        col: header.cols.first().copied().unwrap_or(1),
+        message,
+    };
+    let name = match header.toks.as_slice() {
+        [Tok::Ident(kw), Tok::Ident(name), Tok::Sym("{")] if kw == "profile" => name.clone(),
+        _ => unreachable!("caller matched the profile header"),
+    };
+    let close = lines[1..]
+        .iter()
+        .position(|l| matches!(l.toks.as_slice(), [Tok::Sym("}")]))
+        .map(|i| i + 1)
+        .ok_or_else(|| {
+            err_at_col1(
+                lines.last().map_or(1, |l| l.no),
+                "missing closing `}`".into(),
+            )
+        })?;
+
+    let mut entries = Vec::new();
+    // Per-entry source anchors: (line, from col, to col).
+    let mut anchors: Vec<(usize, usize, usize)> = Vec::new();
+    for line in &lines[1..close] {
+        let sp = Span {
+            line: line.no,
+            cols: &line.cols,
+        };
+        match line.toks.as_slice() {
+            [Tok::Ident(from), Tok::Sym("->"), Tok::Ident(to), Tok::Sym(":"), Tok::Int(w)] => {
+                // The tokenizer has no signs, so `w` is already >= 0.
+                entries.push(crate::ProfileEntry {
+                    from: from.clone(),
+                    to: to.clone(),
+                    weight: *w as u64,
+                });
+                anchors.push((line.no, sp.col(0), sp.col(2)));
+            }
+            [_, _, _, _, Tok::Sym("-"), ..] => {
+                return Err(sp.err(4, "profile weight must be a non-negative integer".into()));
+            }
+            _ => {
+                return Err(sp.err(0, "expected `FROM -> TO : WEIGHT` profile entry".into()));
+            }
+        }
+    }
+
+    let profile = crate::Profile {
+        function: name.clone(),
+        entries,
+    };
+    let Some(f) = module.get(&name) else {
+        return Err(header_err(format!(
+            "profile for unknown function `{name}` (the function must precede its profile)"
+        )));
+    };
+    if let Err(e) = profile.resolve(f) {
+        use crate::ProfileError as PE;
+        let message = e.to_string();
+        return Err(match e {
+            PE::UnknownBlock { label, entry } => {
+                let (line, from_col, to_col) = anchors[entry];
+                let col = if profile.entries[entry].from == label {
+                    from_col
+                } else {
+                    to_col
+                };
+                ParseError { line, col, message }
+            }
+            PE::NoSuchEdge { entry, .. } | PE::NotConserving { entry, .. } => {
+                let (line, from_col, _) = anchors[entry];
+                ParseError {
+                    line,
+                    col: from_col,
+                    message,
+                }
+            }
+            PE::MissingEdge { .. } => header_err(message),
+        });
+    }
+    if module.push_profile(profile).is_err() {
+        return Err(header_err(format!(
+            "duplicate profile for function `{name}`"
+        )));
+    }
+    Ok(&lines[close + 1..])
 }
 
 /// Parses one function from the front of `lines`; returns it together with
@@ -641,6 +757,111 @@ mod tests {
         assert!(parse_function("fn b {\nentry:\n  ret\nentry:\n  ret\n}").is_err());
         // Missing closing brace.
         assert!(parse_function("fn b {\nentry:\n  ret\n").is_err());
+    }
+
+    const LOOPY: &str = "fn w {
+entry:
+  x = a * b
+  jmp head
+head:
+  br x, body, done
+body:
+  jmp head
+done:
+  ret
+}";
+
+    #[test]
+    fn parses_a_profile_section() {
+        let text = format!(
+            "{LOOPY}\n\nprofile w {{
+  entry -> head : 1
+  head -> body : 99
+  head -> done : 1
+  body -> head : 99
+}}"
+        );
+        let m = parse_module(&text).unwrap();
+        let p = m.profile("w").unwrap();
+        assert_eq!(p.entries.len(), 4);
+        let f = m.get("w").unwrap();
+        assert_eq!(p.resolve(f).unwrap(), vec![1, 99, 1, 99]);
+        // Round-trips with the profile attached.
+        let again = parse_module(&m.to_string()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn profile_flow_conservation_errors_are_spanned() {
+        // `head` is entered 100 times but left 99+2 times.
+        let text = format!(
+            "{LOOPY}\n\nprofile w {{
+  entry -> head : 1
+  head -> body : 99
+  head -> done : 2
+  body -> head : 99
+}}"
+        );
+        let e = parse_module(&text).unwrap_err();
+        assert!(
+            e.message.contains("flow not conserved at block `head`"),
+            "{e}"
+        );
+        assert!(e.message.contains("100 in, 101 out"), "{e}");
+        // Anchored at head's first outgoing entry: line 15, column 3.
+        assert_eq!((e.line, e.col), (15, 3));
+    }
+
+    #[test]
+    fn profile_reference_errors_are_spanned() {
+        // Unknown function (or profile before its function).
+        let e = parse_module("profile w {\n}\n\nfn w {\nentry:\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("must precede"), "{e}");
+        assert_eq!((e.line, e.col), (1, 1));
+
+        // Unknown target label points at the label token.
+        let text = format!("{LOOPY}\n\nprofile w {{\n  entry -> nowhere : 1\n}}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("unknown block `nowhere`"), "{e}");
+        assert_eq!((e.line, e.col), (14, 12));
+
+        // Nonexistent edge.
+        let text = format!("{LOOPY}\n\nprofile w {{\n  entry -> done : 1\n}}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("nonexistent edge"), "{e}");
+
+        // Missing edge anchors at the header.
+        let text = format!("{LOOPY}\n\nprofile w {{\n  entry -> head : 1\n}}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("missing edge"), "{e}");
+        assert_eq!((e.line, e.col), (13, 1));
+
+        // Duplicate profile.
+        let section = "profile w {\n  entry -> head : 0\n  head -> body : 0\n  head -> done : 0\n  body -> head : 0\n}";
+        let text = format!("{LOOPY}\n\n{section}\n\n{section}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("duplicate profile"), "{e}");
+
+        // Malformed entries.
+        let text = format!("{LOOPY}\n\nprofile w {{\n  entry head : 1\n}}");
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.message.contains("expected `FROM -> TO : WEIGHT`"), "{e}");
+    }
+
+    #[test]
+    fn parse_function_still_rejects_trailing_sections() {
+        let text = format!("{LOOPY}\n\nprofile w {{\n}}");
+        let e = parse_function(&text).unwrap_err();
+        assert!(e.message.contains("content after closing"), "{e}");
+    }
+
+    #[test]
+    fn arrow_is_not_an_expression_operator() {
+        let e = parse_function("fn b {\nentry:\n  x = a -> b\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("unknown binary operator `->`"), "{e}");
+        // `a - -3` and `a - 3` still tokenize as before.
+        assert!(parse_function("fn b {\nentry:\n  x = a - -3\n  ret\n}").is_ok());
+        assert!(parse_function("fn b {\nentry:\n  x = a - 3\n  ret\n}").is_ok());
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Edge-execution profiles: optional frequency weights for a function's
+//! control-flow edges.
+//!
+//! A [`Profile`] is the textual counterpart of an edge-frequency measurement:
+//! one `(from, to, weight)` entry per CFG edge, keyed by block labels so it
+//! survives printing and re-parsing. Profiles ride along with their function
+//! in a [`Module`](crate::Module) as an optional `profile` section:
+//!
+//! ```text
+//! profile NAME {
+//!   entry -> loop : 1
+//!   loop -> loop : 99
+//!   loop -> exit : 1
+//! }
+//! ```
+//!
+//! A profile is only meaningful if it describes a *realisable* set of
+//! executions, which the structural check [`Profile::resolve`] enforces:
+//! every edge of the function appears exactly once, and flow is conserved —
+//! at every block except entry and exit, the incoming weights sum to the
+//! outgoing weights. (Entry sources flow, exit sinks it; a run that enters a
+//! block must also leave it.) The parser runs the same check, so a profile
+//! that parses is always consistent.
+
+use std::fmt;
+
+use crate::function::{EdgeList, Function};
+
+/// An edge-frequency profile for one function.
+///
+/// Entries are stored in source order and refer to blocks by label, so a
+/// profile round-trips through the textual format independently of
+/// [`EdgeList`] numbering. Use [`Profile::resolve`] to turn it into dense
+/// per-[`EdgeId`](crate::EdgeId) weights (and to validate it).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Profile {
+    /// Name of the function the profile describes.
+    pub function: String,
+    /// The `(from, to, weight)` entries. A conditional branch with both
+    /// targets equal (parallel edges) is listed once per edge; repeated
+    /// entries for the same label pair match successor slots in order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+/// One `FROM -> TO : WEIGHT` line of a profile section.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProfileEntry {
+    /// Label of the source block.
+    pub from: String,
+    /// Label of the target block.
+    pub to: String,
+    /// Number of times the edge was (or is pretended to have been)
+    /// traversed.
+    pub weight: u64,
+}
+
+/// Why a profile does not fit a function — see [`Profile::resolve`].
+///
+/// Variants that stem from one offending entry carry its index into
+/// [`Profile::entries`], so the parser can map the failure back to a source
+/// position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProfileError {
+    /// An entry names a label the function does not have.
+    UnknownBlock {
+        /// The unresolvable label.
+        label: String,
+        /// Index of the offending entry.
+        entry: usize,
+    },
+    /// An entry names two existing blocks with no CFG edge between them,
+    /// or more entries than parallel edges exist for the pair.
+    NoSuchEdge {
+        /// Source label.
+        from: String,
+        /// Target label.
+        to: String,
+        /// Index of the offending entry.
+        entry: usize,
+    },
+    /// An edge of the function has no entry.
+    MissingEdge {
+        /// Source label.
+        from: String,
+        /// Target label.
+        to: String,
+    },
+    /// A block other than entry or exit does not conserve flow.
+    NotConserving {
+        /// Label of the violating block.
+        block: String,
+        /// Sum of incoming weights.
+        incoming: u64,
+        /// Sum of outgoing weights.
+        outgoing: u64,
+        /// Index of the block's first outgoing entry (for error anchoring).
+        entry: usize,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::UnknownBlock { label, .. } => {
+                write!(f, "profile references unknown block `{label}`")
+            }
+            ProfileError::NoSuchEdge { from, to, .. } => {
+                write!(f, "profile references nonexistent edge `{from} -> {to}`")
+            }
+            ProfileError::MissingEdge { from, to } => {
+                write!(f, "profile is missing edge `{from} -> {to}`")
+            }
+            ProfileError::NotConserving {
+                block,
+                incoming,
+                outgoing,
+                ..
+            } => write!(
+                f,
+                "flow not conserved at block `{block}`: {incoming} in, {outgoing} out"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl Profile {
+    /// Builds a profile from dense per-edge weights, in the edge order of
+    /// [`EdgeList::new`]`(f)`. The inverse of [`Profile::resolve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not have one weight per edge of `f`.
+    pub fn from_weights(f: &Function, weights: &[u64]) -> Profile {
+        let edges = EdgeList::new(f);
+        assert_eq!(
+            weights.len(),
+            edges.len(),
+            "one weight per edge of `{}`",
+            f.name
+        );
+        let entries = edges
+            .iter()
+            .map(|(id, e)| ProfileEntry {
+                from: f.block(e.from).name.clone(),
+                to: f.block(e.to).name.clone(),
+                weight: weights[id.index()],
+            })
+            .collect();
+        Profile {
+            function: f.name.clone(),
+            entries,
+        }
+    }
+
+    /// Resolves the profile against `f`, returning one weight per edge of
+    /// [`EdgeList::new`]`(f)` (dense [`EdgeId`](crate::EdgeId) order).
+    ///
+    /// Resolution is purely structural — the profile's
+    /// [`function`](Profile::function) name is not compared to `f.name`, so
+    /// a profile survives function renaming (the batch driver canonicalises
+    /// names before caching).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError`] if an entry references an unknown label or
+    /// nonexistent edge, an edge of `f` has no entry, or flow is not
+    /// conserved at some internal block.
+    pub fn resolve(&self, f: &Function) -> Result<Vec<u64>, ProfileError> {
+        let edges = EdgeList::new(f);
+        let mut weights: Vec<Option<u64>> = vec![None; edges.len()];
+        for (i, entry) in self.entries.iter().enumerate() {
+            let from = f
+                .block_by_name(&entry.from)
+                .ok_or_else(|| ProfileError::UnknownBlock {
+                    label: entry.from.clone(),
+                    entry: i,
+                })?;
+            f.block_by_name(&entry.to)
+                .ok_or_else(|| ProfileError::UnknownBlock {
+                    label: entry.to.clone(),
+                    entry: i,
+                })?;
+            // Parallel edges (a branch with both targets equal) are matched
+            // by repetition: each entry claims the first unclaimed edge for
+            // its label pair, in successor order.
+            let slot = edges
+                .outgoing(from)
+                .iter()
+                .copied()
+                .find(|&id| {
+                    f.block(edges.edge(id).to).name == entry.to && weights[id.index()].is_none()
+                })
+                .ok_or_else(|| ProfileError::NoSuchEdge {
+                    from: entry.from.clone(),
+                    to: entry.to.clone(),
+                    entry: i,
+                })?;
+            weights[slot.index()] = Some(entry.weight);
+        }
+        if let Some((_, e)) = edges.iter().find(|(id, _)| weights[id.index()].is_none()) {
+            return Err(ProfileError::MissingEdge {
+                from: f.block(e.from).name.clone(),
+                to: f.block(e.to).name.clone(),
+            });
+        }
+        let weights: Vec<u64> = weights.into_iter().map(|w| w.unwrap_or(0)).collect();
+
+        for b in f.block_ids() {
+            if b == f.entry() || b == f.exit() {
+                continue;
+            }
+            let incoming: u64 = edges.incoming(b).iter().map(|id| weights[id.index()]).sum();
+            let outgoing: u64 = edges.outgoing(b).iter().map(|id| weights[id.index()]).sum();
+            if incoming != outgoing {
+                let anchor = self
+                    .entries
+                    .iter()
+                    .position(|e| e.from == f.block(b).name)
+                    .unwrap_or(0);
+                return Err(ProfileError::NotConserving {
+                    block: f.block(b).name.clone(),
+                    incoming,
+                    outgoing,
+                    entry: anchor,
+                });
+            }
+        }
+        Ok(weights)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile {} {{", self.function)?;
+        for e in &self.entries {
+            writeln!(f, "  {} -> {} : {}", e.from, e.to, e.weight)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    fn diamond() -> Function {
+        parse_function(
+            "fn d {\nentry:\n  br c, l, r\nl:\n  jmp join\nr:\n  jmp join\njoin:\n  ret\n}",
+        )
+        .unwrap()
+    }
+
+    fn entry(from: &str, to: &str, weight: u64) -> ProfileEntry {
+        ProfileEntry {
+            from: from.into(),
+            to: to.into(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn resolves_in_edge_order() {
+        let f = diamond();
+        let p = Profile {
+            function: "d".into(),
+            entries: vec![
+                entry("r", "join", 3),
+                entry("entry", "l", 7),
+                entry("entry", "r", 3),
+                entry("l", "join", 7),
+            ],
+        };
+        // Dense edge order is block-major, successor-minor.
+        assert_eq!(p.resolve(&f).unwrap(), vec![7, 3, 7, 3]);
+    }
+
+    #[test]
+    fn round_trips_through_from_weights() {
+        let f = diamond();
+        let weights = vec![5, 2, 5, 2];
+        let p = Profile::from_weights(&f, &weights);
+        assert_eq!(p.resolve(&f).unwrap(), weights);
+    }
+
+    #[test]
+    fn rejects_unconserved_flow() {
+        let f = diamond();
+        let p = Profile {
+            function: "d".into(),
+            entries: vec![
+                entry("entry", "l", 7),
+                entry("entry", "r", 3),
+                entry("l", "join", 6), // enters l 7 times, leaves 6
+                entry("r", "join", 3),
+            ],
+        };
+        match p.resolve(&f).unwrap_err() {
+            ProfileError::NotConserving {
+                block,
+                incoming,
+                outgoing,
+                entry,
+            } => {
+                assert_eq!(block, "l");
+                assert_eq!((incoming, outgoing), (7, 6));
+                assert_eq!(entry, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_unknown_and_phantom_edges() {
+        let f = diamond();
+        let missing = Profile {
+            function: "d".into(),
+            entries: vec![entry("entry", "l", 1), entry("entry", "r", 0)],
+        };
+        assert!(matches!(
+            missing.resolve(&f),
+            Err(ProfileError::MissingEdge { .. })
+        ));
+        let unknown = Profile {
+            function: "d".into(),
+            entries: vec![entry("entry", "nowhere", 1)],
+        };
+        assert!(matches!(
+            unknown.resolve(&f),
+            Err(ProfileError::UnknownBlock { entry: 0, .. })
+        ));
+        let phantom = Profile {
+            function: "d".into(),
+            entries: vec![entry("l", "r", 1)],
+        };
+        assert!(matches!(
+            phantom.resolve(&f),
+            Err(ProfileError::NoSuchEdge { entry: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_match_by_repetition() {
+        let f = parse_function("fn p {\nentry:\n  br c, exit, exit\nexit:\n  ret\n}").unwrap();
+        let p = Profile {
+            function: "p".into(),
+            entries: vec![entry("entry", "exit", 4), entry("entry", "exit", 6)],
+        };
+        assert_eq!(p.resolve(&f).unwrap(), vec![4, 6]);
+        // A third repetition has no edge left to claim.
+        let over = Profile {
+            function: "p".into(),
+            entries: vec![
+                entry("entry", "exit", 4),
+                entry("entry", "exit", 6),
+                entry("entry", "exit", 1),
+            ],
+        };
+        assert!(matches!(
+            over.resolve(&f),
+            Err(ProfileError::NoSuchEdge { entry: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn displays_as_a_profile_section() {
+        let f = diamond();
+        let p = Profile::from_weights(&f, &[7, 3, 7, 3]);
+        let text = p.to_string();
+        assert!(text.starts_with("profile d {\n"));
+        assert!(text.contains("  entry -> l : 7\n"));
+        assert!(text.ends_with('}'));
+    }
+}

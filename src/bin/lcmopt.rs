@@ -47,8 +47,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use lcm::core::{
-    metrics, optimize, optimize_checked, passes, report, PreAlgorithm, ValidationLevel,
-    ValidationReport,
+    metrics, optimize, optimize_checked, optimize_speculative_checked, passes, report, EdgeWeights,
+    PreAlgorithm, SpecStats, ValidationLevel, ValidationReport,
 };
 use lcm::dataflow::{SolveStrategy, SolverScratch};
 use lcm::driver::{
@@ -71,6 +71,10 @@ const EXIT_PASS: u8 = 5;
 struct Options {
     file: Option<String>,
     passes: Vec<String>,
+    /// Whether `--passes` was given explicitly (it conflicts with
+    /// `--placement`, which rewrites the default pipeline).
+    passes_set: bool,
+    placement: Option<PreAlgorithm>,
     emit: String,
     solver: SolveStrategy,
     validate: ValidationLevel,
@@ -96,12 +100,17 @@ impl Failure {
 }
 
 fn usage() -> &'static str {
-    "usage: lcmopt [-p|--passes LIST] [-e|--emit text|dot|stats|none] \
+    "usage: lcmopt [-p|--passes LIST] [--placement lcm|bcm|spec] \
+     [-e|--emit text|dot|stats|none] \
      [--solver rr|wl|scc] [--validate[=off|fast|full]] [--run KEY=VAL]... \
      [--fuel N] [--compare] [FILE|-]\n\
      \x20      lcmopt batch [OPTIONS] <PATH|->   (see `lcmopt batch --help`)\n\
      passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
      lcm-node, alcm-node, morel-renvoise, gcse\n\
+     --placement swaps the PRE step of the default pipeline (mutually \
+     exclusive with --passes); `spec` is profile-guided speculative PRE \
+     and reads the input's `profile` section, falling back to lcm when \
+     there is none\n\
      exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 4 verify, \
      5 pass/validation failure"
 }
@@ -117,6 +126,8 @@ fn parse_args() -> Result<Option<Options>, Failure> {
             "dce".into(),
             "simplify".into(),
         ],
+        passes_set: false,
+        placement: None,
         emit: "text".into(),
         solver: SolveStrategy::default(),
         validate: ValidationLevel::Fast,
@@ -135,6 +146,13 @@ fn parse_args() -> Result<Option<Options>, Failure> {
                     .next()
                     .ok_or_else(|| usage_err("--passes needs an argument".into()))?;
                 opts.passes = list.split(',').map(|s| s.trim().to_string()).collect();
+                opts.passes_set = true;
+            }
+            "--placement" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--placement needs lcm|bcm|spec".into()))?;
+                opts.placement = Some(parse_placement(&v).map_err(usage_err)?);
             }
             "-e" | "--emit" => {
                 opts.emit = args
@@ -191,10 +209,23 @@ fn parse_args() -> Result<Option<Options>, Failure> {
     Ok(Some(opts))
 }
 
+/// Maps a `--placement` argument to the PRE algorithm it selects.
+fn parse_placement(v: &str) -> Result<PreAlgorithm, String> {
+    match v {
+        "lcm" => Ok(PreAlgorithm::LazyEdge),
+        "bcm" => Ok(PreAlgorithm::Busy),
+        "spec" => Ok(PreAlgorithm::Speculative),
+        other => Err(format!(
+            "unknown placement `{other}` (want lcm, bcm or spec)"
+        )),
+    }
+}
+
 /// Options for `lcmopt batch`.
 struct BatchCli {
     path: String,
     jobs: usize,
+    placement: PreAlgorithm,
     solver: SolveStrategy,
     cache: bool,
     cache_capacity: usize,
@@ -203,11 +234,15 @@ struct BatchCli {
 }
 
 fn batch_usage() -> &'static str {
-    "usage: lcmopt batch [-j|--jobs N] [--solver rr|wl|scc] [--cache on|off] \
+    "usage: lcmopt batch [-j|--jobs N] [--placement lcm|bcm|spec] \
+     [--solver rr|wl|scc] [--cache on|off] \
      [--cache-cap N] [-e|--emit text|dot|stats|json|none] \
      [--validate[=off|fast|full]] <PATH|->\n\
      PATH is a module file (many `fn`s), a directory of .lcm files, or `-` \
      for a module on stdin.\n\
+     --placement spec uses each function's `profile` section for \
+     profile-guided speculative PRE; functions without one fall back to \
+     lcm.\n\
      --jobs 0 (the default) uses all available cores. Output on stdout is \
      byte-identical for every --jobs value; timing goes to stderr.\n\
      exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 5 any unit failed"
@@ -219,6 +254,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
     let mut opts = BatchCli {
         path: String::new(),
         jobs: 0,
+        placement: PreAlgorithm::LazyEdge,
         solver: SolveStrategy::default(),
         cache: true,
         cache_capacity: 4096,
@@ -236,6 +272,12 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
                 opts.jobs = n
                     .parse()
                     .map_err(|_| usage_err(format!("bad job count `{n}`")))?;
+            }
+            "--placement" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--placement needs lcm|bcm|spec".into()))?;
+                opts.placement = parse_placement(&v).map_err(usage_err)?;
             }
             "--solver" => {
                 let v = args
@@ -305,6 +347,7 @@ fn load_batch_units(path: &str) -> Result<Vec<BatchUnit>, Failure> {
             .iter()
             .map(|f| BatchUnit {
                 file: None,
+                profile: module.profile(&f.name).cloned(),
                 function: f.clone(),
             })
             .collect());
@@ -324,6 +367,7 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
     let start = std::time::Instant::now();
     let mut engine = BatchEngine::new(BatchOptions {
         jobs: cli.jobs,
+        placement: cli.placement,
         validate: cli.validate,
         seed: VALIDATION_SEED,
         use_cache: cli.cache,
@@ -453,6 +497,38 @@ fn run_pipeline(
     Ok((g, reports))
 }
 
+/// The default pass pipeline with the PRE step swapped for `alg`.
+fn placement_passes(alg: PreAlgorithm) -> Vec<String> {
+    vec![
+        "lcse".into(),
+        alg.name().into(),
+        "copyprop".into(),
+        "dce".into(),
+        "simplify".into(),
+    ]
+}
+
+/// The speculative pipeline: LCSE → checked profile-guided PRE → the same
+/// cleanup passes as the default pipeline.
+fn run_speculative_pipeline(
+    f: &Function,
+    w: &EdgeWeights,
+    level: ValidationLevel,
+) -> Result<(Function, ValidationReport, SpecStats), Failure> {
+    let mut g = f.clone();
+    passes::lcse(&mut g);
+    let (opt, rep) = optimize_speculative_checked(&g, w, level, VALIDATION_SEED)
+        .map_err(|e| Failure::new(EXIT_PASS, format!("pass `spec` failed: {e}")))?;
+    let stats = opt.spec.unwrap_or_default();
+    let mut g = opt.function;
+    passes::copy_propagation(&mut g);
+    passes::dce(&mut g);
+    simplify_cfg(&mut g);
+    verify(&g)
+        .map_err(|e| Failure::new(EXIT_PASS, format!("pass `spec` produced invalid IR: {e}")))?;
+    Ok((g, rep, stats))
+}
+
 fn compare(f: &Function) -> Result<(), Failure> {
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>12} {:>8}",
@@ -500,8 +576,20 @@ fn real_main() -> Result<(), Failure> {
             return Ok(());
         }
     };
+    if opts.placement.is_some() && opts.passes_set {
+        return Err(Failure::new(
+            EXIT_USAGE,
+            format!(
+                "--placement and --passes are mutually exclusive\n{}",
+                usage()
+            ),
+        ));
+    }
     let text = read_input(&opts.file)?;
-    let f = parse_function(&text).map_err(|e| {
+    // Parsed as a (single-function) module so a `profile` section is
+    // picked up; parse-time profile validation (structure and flow
+    // conservation) reports through the same spanned diagnostic.
+    let module = parse_module(&text).map_err(|e| {
         Failure::new(
             EXIT_PARSE,
             format!(
@@ -513,13 +601,53 @@ fn real_main() -> Result<(), Failure> {
             ),
         )
     })?;
+    let functions: Vec<&Function> = module.iter().collect();
+    let f = match functions.as_slice() {
+        [f] => (*f).clone(),
+        many => {
+            return Err(Failure::new(
+                EXIT_USAGE,
+                format!(
+                    "input has {} functions; use `lcmopt batch` for modules",
+                    many.len()
+                ),
+            ));
+        }
+    };
     verify(&f).map_err(|e| Failure::new(EXIT_VERIFY, format!("input is not well-formed: {e}")))?;
 
     if opts.compare {
         return compare(&f);
     }
 
-    let (g, reports) = run_pipeline(&f, &opts.passes, opts.validate)?;
+    let mut spec_stats: Option<SpecStats> = None;
+    let mut profile_note: Option<String> = None;
+    let (g, reports) = match opts.placement {
+        None => run_pipeline(&f, &opts.passes, opts.validate)?,
+        Some(PreAlgorithm::Speculative) => {
+            match module
+                .profile(&f.name)
+                .and_then(|p| EdgeWeights::from_profile(&f, p).ok())
+            {
+                Some(w) => {
+                    profile_note = Some(format!(
+                        "profile: {} weighted edges, entry count {}",
+                        w.edges.len(),
+                        w.entry
+                    ));
+                    let (g, rep, stats) = run_speculative_pipeline(&f, &w, opts.validate)?;
+                    spec_stats = Some(stats);
+                    (g, vec![("spec".to_string(), rep)])
+                }
+                None => {
+                    profile_note =
+                        Some("profile: none — speculative placement fell back to lcm".to_string());
+                    run_pipeline(&f, &placement_passes(PreAlgorithm::LazyEdge), opts.validate)?
+                }
+            }
+        }
+        Some(alg) => run_pipeline(&f, &placement_passes(alg), opts.validate)?,
+    };
 
     match opts.emit.as_str() {
         "text" => println!("{g}"),
@@ -543,6 +671,29 @@ fn real_main() -> Result<(), Failure> {
                 println!();
                 println!("validation of pass `{pass}`:");
                 print!("{}", report::validation_table(rep));
+            }
+            if let Some(note) = &profile_note {
+                println!();
+                println!("{note}");
+            }
+            if let Some(s) = &spec_stats {
+                println!(
+                    "speculative: {} candidates, {} speculated, weighted cost {} -> {}",
+                    s.candidates, s.speculated, s.lcm_weighted_cost, s.spec_weighted_cost
+                );
+            }
+            if opts.placement.is_some() {
+                // Interpreter-measured evaluation counts over the
+                // validator's input distribution, so `--placement spec`
+                // and `--placement lcm` runs are directly comparable.
+                let mut state = VALIDATION_SEED;
+                let (mut before, mut after) = (0u64, 0u64);
+                for _ in 0..4 {
+                    let inputs = lcm::core::validate::sample_inputs(&f, &mut state);
+                    before += run(&f, &inputs, opts.fuel).total_evals();
+                    after += run(&g, &inputs, opts.fuel).total_evals();
+                }
+                println!("dynamic evaluations (4 seeded inputs): {before} -> {after}");
             }
         }
         "none" => {}

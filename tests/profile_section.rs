@@ -1,0 +1,181 @@
+//! Property and CLI tests for the `profile` section of the module format.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use lcm::cfggen::{corpus, synthetic_profile, GenOptions};
+use lcm::ir::{parse_module, Module};
+
+/// Runs `lcmopt` with `stdin`, returning (exit code, stdout, stderr).
+fn lcmopt(args: &[&str], stdin: &str) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcmopt"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lcmopt");
+    // A usage error exits before stdin is read; the resulting BrokenPipe
+    // is expected on those paths.
+    if let Err(e) = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+    {
+        assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "{e}");
+    }
+    let out = child.wait_with_output().expect("wait for lcmopt");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn profiles_round_trip_through_print_and_parse() {
+    // Property over a seeded corpus: a module with synthetic profiles
+    // prints to text that parses back to the identical module.
+    let mut m = Module::default();
+    for (i, mut f) in corpus(0xF10E, 60, &GenOptions::default())
+        .into_iter()
+        .enumerate()
+    {
+        f.name = format!("rt{i}");
+        let p = synthetic_profile(&f, 0xF10E ^ i as u64);
+        m.push(f).expect("unique names");
+        m.push_profile(p).expect("one profile per function");
+    }
+    let text = m.to_string();
+    let back = parse_module(&text).expect("printed module parses");
+    assert_eq!(text, back.to_string(), "print→parse→print is not stable");
+    for i in 0..60 {
+        let name = format!("rt{i}");
+        let (a, b) = (m.profile(&name).unwrap(), back.profile(&name).unwrap());
+        assert_eq!(a.entries.len(), b.entries.len(), "{name}");
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!((&x.from, &x.to, x.weight), (&y.from, &y.to, y.weight));
+        }
+    }
+}
+
+const GUARDED_NO_PROFILE: &str = "fn guarded {
+entry:
+  jmp head
+head:
+  br p, body, done
+body:
+  br q, compute, skip
+compute:
+  x = a + b
+  obs x
+  jmp latch
+skip:
+  jmp latch
+latch:
+  p = p / 2
+  jmp head
+done:
+  ret
+}
+";
+
+#[test]
+fn inconsistent_profiles_are_rejected_with_a_spanned_parse_error() {
+    // head receives 1 (entry) + 5 (latch) but leaves 9 + 1: not conserving.
+    let input = format!(
+        "{GUARDED_NO_PROFILE}\nprofile guarded {{
+  entry -> head : 1
+  head -> body : 9
+  head -> done : 1
+  body -> compute : 6
+  body -> skip : 3
+  compute -> latch : 6
+  skip -> latch : 3
+  latch -> head : 5
+}}\n"
+    );
+    let (code, _, stderr) = lcmopt(&["--placement", "spec", "--emit", "none"], &input);
+    assert_eq!(
+        code, 3,
+        "conservation violations are parse errors: {stderr}"
+    );
+    assert!(stderr.contains("<stdin>:"), "not spanned: {stderr}");
+    assert!(stderr.contains("flow not conserved"), "{stderr}");
+}
+
+#[test]
+fn missing_profile_falls_back_to_lcm_with_a_note() {
+    let (code, stats, stderr) = lcmopt(
+        &["--placement", "spec", "--emit", "stats"],
+        GUARDED_NO_PROFILE,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stats.contains("profile: none — speculative placement fell back to lcm"),
+        "no fallback note:\n{stats}"
+    );
+    // The fallback must be *exactly* LCM, not a unit-weight speculation.
+    let (_, spec_text, _) = lcmopt(&["--placement", "spec"], GUARDED_NO_PROFILE);
+    let (_, lcm_text, _) = lcmopt(&["--placement", "lcm"], GUARDED_NO_PROFILE);
+    assert_eq!(spec_text, lcm_text);
+}
+
+#[test]
+fn the_golden_example_speculates_and_wins_dynamically() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/guarded_loop.lcm");
+    let input = std::fs::read_to_string(path).expect("committed golden example");
+    let (code, stats, stderr) = lcmopt(
+        &["--placement", "spec", "--emit", "stats", "--validate=full"],
+        &input,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stats.contains("speculative: 1 candidates, 1 speculated, weighted cost 6 -> 1"),
+        "{stats}"
+    );
+    // `a + b` moves into the entry block, above the guard.
+    let (_, text, _) = lcmopt(&["--placement", "spec"], &input);
+    let entry_block = text
+        .split("entry:")
+        .nth(1)
+        .and_then(|rest| rest.split("head:").next())
+        .expect("entry block printed");
+    assert!(entry_block.contains("a + b"), "not hoisted:\n{text}");
+
+    // Strictly fewer dynamic evaluations than LCM on the same inputs.
+    let evals = |out: &str| -> (u64, u64) {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("dynamic evaluations"))
+            .expect("dynamic evaluation line");
+        let (before, after) = line
+            .split_once(':')
+            .map(|(_, v)| v.trim().split_once(" -> ").expect("arrow"))
+            .expect("colon");
+        (before.parse().unwrap(), after.parse().unwrap())
+    };
+    let (_, lcm_stats, _) = lcmopt(&["--placement", "lcm", "--emit", "stats"], &input);
+    let (spec_before, spec_after) = evals(&stats);
+    let (lcm_before, lcm_after) = evals(&lcm_stats);
+    assert_eq!(spec_before, lcm_before, "same input, same baseline");
+    assert!(
+        spec_after < lcm_after,
+        "speculation must win on the golden example: {spec_after} vs {lcm_after}"
+    );
+}
+
+#[test]
+fn placement_and_passes_are_mutually_exclusive() {
+    let (code, _, stderr) = lcmopt(
+        &["--placement", "spec", "--passes", "lcse"],
+        GUARDED_NO_PROFILE,
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let (code, _, stderr) = lcmopt(&["--placement", "alien"], GUARDED_NO_PROFILE);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown placement"), "{stderr}");
+}
