@@ -82,4 +82,35 @@ SPEC_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/spec.stats")"
 LCM_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/lcm.stats")"
 test "$SPEC_EVALS" -lt "$LCM_EVALS"
 
+# Serve smoke: the daemon must answer byte-identically to batch, survive a
+# SIGKILL crash (the write-behind cache file either loads or quarantines,
+# never wedges the restart), and still answer identically from the warm
+# cache before draining cleanly.
+echo "==> serve smoke: daemon round-trip, kill -9 crash, warm restart"
+LCMOPT="$(pwd)/target/release/lcmopt"
+SOCK="$SMOKE/daemon.sock"
+DCACHE="$SMOKE/daemon.cache"
+"$LCMOPT" serve --socket "$SOCK" --cache-file "$DCACHE" 2> "$SMOKE/serve1.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+[ -S "$SOCK" ]
+"$LCMOPT" request --socket "$SOCK" "$SMOKE/corpus.lcm" > "$SMOKE/daemon.cold"
+diff "$SMOKE/text.j1" "$SMOKE/daemon.cold"
+[ -f "$DCACHE" ] # write-behind: the cache file is durable before any drain
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SOCK" # the crash leaves a stale socket; clear it so the wait below sees the new bind
+"$LCMOPT" serve --socket "$SOCK" --cache-file "$DCACHE" 2> "$SMOKE/serve2.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+[ -S "$SOCK" ]
+"$LCMOPT" request --socket "$SOCK" "$SMOKE/corpus.lcm" > "$SMOKE/daemon.warm"
+diff "$SMOKE/text.j1" "$SMOKE/daemon.warm"
+grep -Eq "cache file (loaded|refused)" "$SMOKE/serve2.log"
+"$LCMOPT" request --socket "$SOCK" --stats | grep -q "^lifetime:"
+"$LCMOPT" request --socket "$SOCK" --shutdown
+wait "$SERVE_PID"
+
 echo "ci: OK"

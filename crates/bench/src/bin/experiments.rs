@@ -1372,11 +1372,32 @@ fn bench_check() {
         bench_check_file(name, i == series.len() - 1);
     }
     let (_, newest) = &series[series.len() - 1];
-    if series.len() >= 2 {
-        let (_, prev) = &series[series.len() - 2];
+    let prs: Vec<u64> = series.iter().map(|(pr, _)| *pr).collect();
+    if let Some(p) = lcm_bench::series_predecessor(&prs) {
+        let (_, prev) = series
+            .iter()
+            .find(|(pr, _)| *pr == p.predecessor)
+            .expect("predecessor comes from the series");
         let new_text = std::fs::read_to_string(newest).expect("validated above");
         let prev_text = std::fs::read_to_string(prev).expect("validated above");
-        println!("bench --check: {newest} vs {prev} (informational; machines may differ):");
+        // The series may have holes (a re-anchor PR commits no baseline);
+        // name the actual predecessor and the hole rather than implying
+        // the files are consecutive.
+        if p.gaps.is_empty() {
+            println!(
+                "bench --check: {newest} vs {prev} (immediate predecessor; \
+                 informational; machines may differ):"
+            );
+        } else {
+            let absent: Vec<String> = p.gaps.iter().map(|g| format!("PR{g}")).collect();
+            println!(
+                "bench --check: {newest} vs {prev} — predecessor = PR{} \
+                 (series gap: {} absent, no baseline committed; \
+                 informational; machines may differ):",
+                p.predecessor,
+                absent.join(", ")
+            );
+        }
         for key in [
             "scc",
             "reused_scratch",

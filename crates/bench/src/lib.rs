@@ -70,6 +70,43 @@ pub fn mr_analysis_cost(f: &Function) -> SolveStats {
         .stats
 }
 
+/// The resolved comparison target for the newest file of a `BENCH_PR*`
+/// baseline series — see [`series_predecessor`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeriesPredecessor {
+    /// The newest PR number in the series.
+    pub newest: u64,
+    /// The PR number the newest baseline should be compared against: the
+    /// highest *committed* number below it, which is not necessarily
+    /// `newest - 1`.
+    pub predecessor: u64,
+    /// PR numbers strictly between `predecessor` and `newest` with no
+    /// committed baseline (re-anchor or perf-neutral PRs), in order.
+    pub gaps: Vec<u64>,
+}
+
+/// Resolves which committed baseline the newest `BENCH_PR<n>.json` should
+/// be compared against. The series is allowed to have holes — a re-anchor
+/// PR or a perf-neutral PR commits no baseline — and the comparison must
+/// name the *actual* predecessor and call out the hole explicitly, rather
+/// than implying the files are consecutive.
+///
+/// Returns `None` when the series has fewer than two distinct entries
+/// (nothing to compare against).
+pub fn series_predecessor(prs: &[u64]) -> Option<SeriesPredecessor> {
+    let mut sorted: Vec<u64> = prs.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let [.., predecessor, newest] = sorted[..] else {
+        return None;
+    };
+    Some(SeriesPredecessor {
+        newest,
+        predecessor,
+        gaps: (predecessor + 1..newest).collect(),
+    })
+}
+
 /// One row of the algorithm-comparison table.
 #[derive(Clone, Debug)]
 pub struct ComparisonRow {
@@ -120,6 +157,32 @@ mod tests {
         let mr = mr_analysis_cost(&f);
         assert!(lcm.word_ops > 0);
         assert!(mr.word_ops > 0);
+    }
+
+    #[test]
+    fn series_predecessor_reports_gaps() {
+        // The PR4 -> PR6 situation: PR5 was a re-anchor and committed no
+        // baseline, so the newest file's predecessor is PR4 and the gap
+        // must be named.
+        let p = series_predecessor(&[4, 6]).unwrap();
+        assert_eq!(p.newest, 6);
+        assert_eq!(p.predecessor, 4);
+        assert_eq!(p.gaps, vec![5]);
+
+        // Consecutive series: no gap.
+        let p = series_predecessor(&[4, 5, 6]).unwrap();
+        assert_eq!((p.predecessor, p.newest), (5, 6));
+        assert!(p.gaps.is_empty());
+
+        // Wide hole, unsorted input, duplicates.
+        let p = series_predecessor(&[9, 2, 2, 9, 4]).unwrap();
+        assert_eq!((p.predecessor, p.newest), (4, 9));
+        assert_eq!(p.gaps, vec![5, 6, 7, 8]);
+
+        // Fewer than two distinct entries: nothing to compare.
+        assert_eq!(series_predecessor(&[]), None);
+        assert_eq!(series_predecessor(&[6]), None);
+        assert_eq!(series_predecessor(&[6, 6]), None);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 
 mod analyses;
 mod bcm;
+mod budget;
 mod lcm_edge;
 mod lcm_node;
 mod morel_renvoise;
@@ -80,6 +81,7 @@ pub use analyses::{
     partial_anticipability, partial_availability, GlobalAnalyses,
 };
 pub use bcm::busy_plan;
+pub use budget::{CancelReason, Cancelled, OptimizeBudget};
 pub use lcm_edge::{
     later_problem, lazy_edge_plan, lazy_edge_plan_in, lazy_edge_plan_with, LazyEdgeResult,
 };
@@ -106,6 +108,9 @@ pub enum PipelineError {
     Solver(SolverDiverged),
     /// The pass produced a result, but it violates a paper invariant.
     Validation(ValidationError),
+    /// A budgeted run exceeded its [`OptimizeBudget`] (deadline, fuel, or
+    /// external cancel flag) and was abandoned at a stage boundary.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for PipelineError {
@@ -113,6 +118,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Solver(e) => e.fmt(f),
             PipelineError::Validation(e) => e.fmt(f),
+            PipelineError::Cancelled(e) => e.fmt(f),
         }
     }
 }
@@ -122,7 +128,14 @@ impl Error for PipelineError {
         match self {
             PipelineError::Solver(e) => Some(e),
             PipelineError::Validation(e) => Some(e),
+            PipelineError::Cancelled(e) => Some(e),
         }
+    }
+}
+
+impl From<Cancelled> for PipelineError {
+    fn from(e: Cancelled) -> Self {
+        PipelineError::Cancelled(e)
     }
 }
 
@@ -462,6 +475,68 @@ pub fn optimize_checked_with(
 ) -> Result<(Optimized, ValidationReport), PipelineError> {
     let opt = optimize_with(f, algorithm, strategy, scratch)?;
     let report = validate::validate_optimized(f, &opt, level, seed)?;
+    Ok((opt, report))
+}
+
+/// [`optimize_checked_with`] under an [`OptimizeBudget`]: the deadline and
+/// cancel flag are checked before solving, after solving, and after
+/// validation; the fuel ceiling is checked against the fused pipeline's
+/// actual node-visit count the moment the solves finish. Fuel is only
+/// observable for the algorithms that run the fused pipeline
+/// ([`PreAlgorithm::LazyEdge`] and [`PreAlgorithm::Speculative`]); the
+/// standalone-solve algorithms report no [`PipelineStats`] and are governed
+/// by the deadline alone.
+///
+/// # Errors
+///
+/// [`PipelineError::Cancelled`] when the budget is exceeded, plus
+/// everything [`optimize_checked_with`] can return.
+pub fn optimize_checked_budgeted(
+    f: &Function,
+    algorithm: PreAlgorithm,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+    budget: &OptimizeBudget,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    budget.check("solve")?;
+    let opt = optimize_with(f, algorithm, strategy, scratch)?;
+    let visits = opt
+        .pipeline_stats
+        .as_ref()
+        .map_or(0, |s| s.total().node_visits as u64);
+    budget.check_fuel("validate", visits)?;
+    let report = validate::validate_optimized(f, &opt, level, seed)?;
+    budget.check("finish")?;
+    Ok((opt, report))
+}
+
+/// [`optimize_speculative_checked_with`] under an [`OptimizeBudget`] —
+/// same stage boundaries as [`optimize_checked_budgeted`].
+///
+/// # Errors
+///
+/// [`PipelineError::Cancelled`] when the budget is exceeded, plus
+/// everything [`optimize_speculative_checked_with`] can return.
+pub fn optimize_speculative_checked_budgeted(
+    f: &Function,
+    w: &EdgeWeights,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+    budget: &OptimizeBudget,
+) -> Result<(Optimized, ValidationReport), PipelineError> {
+    budget.check("solve")?;
+    let opt = optimize_speculative_with(f, w, strategy, scratch)?;
+    let visits = opt
+        .pipeline_stats
+        .as_ref()
+        .map_or(0, |s| s.total().node_visits as u64);
+    budget.check_fuel("validate", visits)?;
+    let report = validate::validate_optimized(f, &opt, level, seed)?;
+    budget.check("finish")?;
     Ok((opt, report))
 }
 

@@ -24,20 +24,34 @@ use lcm_ir::Function;
 /// The placeholder name functions are canonicalised to before hashing.
 pub const CANONICAL_NAME: &str = "__fn";
 
-/// One cached optimization result, addressed by content.
-///
-/// The entry keeps enough of the pipeline's intermediate state
-/// (`pre_input`, `opt`) to **re-validate** the cached plan on a hit, so a
-/// corrupted or poisoned entry is caught by the same validator that guards
-/// the live pipeline (see the `lcm-faults` cache-poisoning tests).
+/// The in-process provenance of a cache entry: the pipeline's intermediate
+/// state from the run that built it, kept to **re-validate** the cached
+/// plan on a hit with the same validator that guards the live pipeline
+/// (see the `lcm-faults` cache-poisoning tests).
 #[derive(Clone, Debug)]
-pub struct CacheEntry {
-    /// Canonical source text of the function (collision guard).
-    pub canonical_input: String,
+pub struct ComputedOrigin {
     /// The post-LCSE function the plan was computed for.
     pub pre_input: Function,
     /// The PRE result (plan + rewritten function) for `pre_input`.
     pub opt: Optimized,
+}
+
+/// One cached optimization result, addressed by content.
+///
+/// Entries computed in this process carry their [`ComputedOrigin`] and are
+/// re-validated on a hit via the plan validator. Entries loaded from a
+/// persisted `lcm-cache-v1` file are **thin** (`origin` is `None`): the
+/// plan and analysis state are not serialised, so a thin hit is instead
+/// re-validated by re-parsing both texts, re-verifying the IR, and running
+/// seeded differential execution of input against output — an answer is
+/// never served on the checksum's word alone.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Canonical source text of the function (collision guard).
+    pub canonical_input: String,
+    /// Intermediate state of the run that built the entry; `None` for thin
+    /// entries loaded from disk.
+    pub origin: Option<Box<ComputedOrigin>>,
     /// The final cleaned-up output, printed under [`CANONICAL_NAME`].
     pub output_text: String,
     /// Solver statistics of the fused pipeline run that built the entry.
@@ -158,6 +172,42 @@ impl PlanCache {
             }
         }
     }
+
+    /// Inserts a loaded entry without touching any counter — the
+    /// persistence loader's path, so re-hydrating a cache file is
+    /// observationally silent. If the file holds more entries than
+    /// `capacity`, the oldest are dropped exactly as FIFO eviction would
+    /// have dropped them, but without counting evictions.
+    pub(crate) fn insert_silent(&mut self, key: u128, entry: CacheEntry) {
+        if self.map.insert(key, entry).is_some() {
+            return;
+        }
+        self.order.push_back(key);
+        if self.capacity > 0 && self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Removes the entry under `key`, if any — the daemon's quarantine path
+    /// for a persisted entry that fails hit-revalidation. Not counted as an
+    /// eviction (the entry was refused, not aged out).
+    pub fn remove(&mut self, key: u128) -> Option<CacheEntry> {
+        let removed = self.map.remove(&key);
+        if removed.is_some() {
+            self.order.retain(|k| *k != key);
+        }
+        removed
+    }
+
+    /// Iterates the live entries in insertion (FIFO) order — the
+    /// persistence writer's deterministic serialisation order.
+    pub fn iter_fifo(&self) -> impl Iterator<Item = (u128, &CacheEntry)> {
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).map(|e| (*k, e)))
+    }
 }
 
 /// Fingerprints `f` for cache addressing: returns the 128-bit FNV-1a hash
@@ -186,6 +236,17 @@ pub(crate) fn contextual_text(text: &str, context: &str) -> String {
         text.to_string()
     } else {
         format!("{text}\n;; {context}")
+    }
+}
+
+/// Splits a stored `canonical_input` back into the printed function text
+/// and its placement-context suffix — the inverse of [`contextual_text`].
+/// The `;; context` line is *not* IR (the parser's comments start with
+/// `#`), so thin-entry revalidation must strip it before re-parsing.
+pub(crate) fn split_context(canonical_input: &str) -> (&str, &str) {
+    match canonical_input.split_once("\n;; ") {
+        Some((text, context)) => (text, context),
+        None => (canonical_input, ""),
     }
 }
 
@@ -236,15 +297,38 @@ mod tests {
         let opt = lcm_core::optimize(f, lcm_core::PreAlgorithm::LazyEdge).unwrap();
         let entry = CacheEntry {
             canonical_input: text,
-            pre_input: f.clone(),
             output_text: canonical_text(&opt.function),
             pipeline: opt.pipeline_stats.unwrap_or_default(),
             transform: opt.transform.stats,
-            opt,
+            origin: Some(Box::new(ComputedOrigin {
+                pre_input: f.clone(),
+                opt,
+            })),
             validation_checks: 0,
             inputs_sampled: 0,
         };
         (key, entry)
+    }
+
+    #[test]
+    fn remove_drops_the_entry_and_its_age_slot() {
+        let f = parse_function("fn a {\nentry:\n  x = p + q\n  ret\n}").unwrap();
+        let (key, entry) = entry_for(&f);
+        let mut cache = PlanCache::new(2);
+        cache.insert(key, entry);
+        assert!(cache.remove(key).is_some());
+        assert!(cache.is_empty());
+        assert!(cache.remove(key).is_none());
+        assert_eq!(cache.iter_fifo().count(), 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn split_context_inverts_contextual_text() {
+        let text = "fn __fn {\nentry:\n  ret\n}";
+        assert_eq!(split_context(text), (text, ""));
+        let ctx = contextual_text(text, "spec entry=4,1,3");
+        assert_eq!(split_context(&ctx), (text, "spec entry=4,1,3"));
     }
 
     #[test]

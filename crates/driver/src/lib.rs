@@ -40,26 +40,34 @@
 pub mod pool;
 pub mod report;
 
+pub mod protocol;
+pub mod serve;
+
 mod cache;
 mod load;
+mod persist;
 
 pub use cache::{
-    canonical_text, fingerprint, fingerprint_with_context, CacheEntry, CacheStats, PlanCache,
-    CANONICAL_NAME,
+    canonical_text, fingerprint, fingerprint_with_context, CacheEntry, CacheStats, ComputedOrigin,
+    PlanCache, CANONICAL_NAME,
 };
-pub use load::{load_units, LoadError};
+pub use load::{load_units, text_from_bytes, LoadError};
+pub use persist::{
+    corrupt_sidecar, load_cache, load_or_quarantine, save_cache, tmp_path, CacheFileError,
+    LifetimeCounters, LoadStatus, CACHE_FORMAT_VERSION, CACHE_MAGIC, STATS_MAGIC,
+};
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lcm_core::transform::TransformStats;
-use lcm_core::validate::{validate_optimized, ValidationLevel};
+use lcm_core::validate::{sample_inputs, validate_optimized, ValidationLevel};
 use lcm_core::{
-    optimize_checked_with, optimize_speculative_checked_with, passes, EdgeWeights, PipelineStats,
-    PreAlgorithm, SpecStats,
+    optimize_checked_budgeted, optimize_speculative_checked_budgeted, passes, EdgeWeights,
+    OptimizeBudget, PipelineError, PipelineStats, PreAlgorithm, SpecStats,
 };
 use lcm_dataflow::{SolveStrategy, SolverScratch};
-use lcm_ir::{simplify_cfg, verify, Function, Module, Profile};
+use lcm_ir::{parse_function, simplify_cfg, verify, Function, Module, Profile};
 
 /// How a batch run is configured.
 #[derive(Clone, Copy, Debug)]
@@ -126,6 +134,9 @@ pub enum FailureKind {
     Panic,
     /// A cached plan failed re-validation on hit (cache corruption).
     PoisonedCache,
+    /// The unit exceeded its [`OptimizeBudget`] (deadline/fuel/cancel flag)
+    /// and was abandoned at a pipeline stage boundary.
+    Cancelled,
 }
 
 impl FailureKind {
@@ -137,6 +148,7 @@ impl FailureKind {
             FailureKind::InvalidOutput => "invalid-output",
             FailureKind::Panic => "panic",
             FailureKind::PoisonedCache => "poisoned-cache",
+            FailureKind::Cancelled => "cancelled",
         }
     }
 }
@@ -244,6 +256,9 @@ pub struct BatchTotals {
     pub cache: CacheStats,
     /// Live cache entries after the batch.
     pub cache_entries: usize,
+    /// Lifetime cache counters (persisted footer + this process), present
+    /// only when the engine is backed by a cache file.
+    pub lifetime: Option<LifetimeCounters>,
 }
 
 /// The result of one batch run.
@@ -288,12 +303,23 @@ enum JobOut {
     Revalidated(u128, Result<(usize, usize), UnitError>),
 }
 
+/// The durable-cache half of an engine: where the cache file lives, the
+/// counters it carried when loaded, and how the load went.
+#[derive(Debug)]
+struct PersistState {
+    path: std::path::PathBuf,
+    base: LifetimeCounters,
+    status: LoadStatus,
+}
+
 /// The batch engine: a [`BatchOptions`] plus a [`PlanCache`] that persists
-/// across [`BatchEngine::run`] calls.
+/// across [`BatchEngine::run`] calls — and, when opened with
+/// [`BatchEngine::with_cache_file`], across processes.
 #[derive(Debug)]
 pub struct BatchEngine {
     opts: BatchOptions,
     cache: PlanCache,
+    persisted: Option<PersistState>,
 }
 
 impl BatchEngine {
@@ -302,7 +328,67 @@ impl BatchEngine {
         BatchEngine {
             cache: PlanCache::new(opts.cache_capacity),
             opts,
+            persisted: None,
         }
+    }
+
+    /// Creates an engine backed by the `lcm-cache-v1` file at `path`: a
+    /// valid file starts the cache warm (with thin, re-validated-on-hit
+    /// entries), a missing file starts it cold, and a corrupt file is
+    /// quarantined to a `.corrupt` sidecar and the cache starts cold.
+    /// Inspect [`BatchEngine::load_status`] for which happened. Nothing is
+    /// written back until [`BatchEngine::flush_cache_file`].
+    pub fn with_cache_file(opts: BatchOptions, path: &std::path::Path) -> Self {
+        let (cache, base, status) = persist::load_or_quarantine(path, opts.cache_capacity);
+        BatchEngine {
+            cache,
+            opts,
+            persisted: Some(PersistState {
+                path: path.to_path_buf(),
+                base,
+                status,
+            }),
+        }
+    }
+
+    /// How the backing cache file loaded; `None` for an in-memory engine.
+    pub fn load_status(&self) -> Option<&LoadStatus> {
+        self.persisted.as_ref().map(|p| &p.status)
+    }
+
+    /// Lifetime cache counters — the persisted footer's totals plus this
+    /// process's session; `None` for an in-memory engine.
+    pub fn lifetime(&self) -> Option<LifetimeCounters> {
+        self.persisted
+            .as_ref()
+            .map(|p| p.base.plus_session(self.cache.stats()))
+    }
+
+    /// Counts a quarantined *entry*: a persisted entry that failed
+    /// hit-revalidation and was removed (the daemon's recovery path).
+    /// No-op for an in-memory engine.
+    pub fn note_entry_quarantine(&mut self) {
+        if let Some(p) = &mut self.persisted {
+            p.base.quarantines += 1;
+        }
+    }
+
+    /// Durably writes the cache (and lifetime counters) back to the
+    /// backing file — atomic temp-then-rename, see [`save_cache`]. No-op
+    /// without a backing file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from [`save_cache`].
+    pub fn flush_cache_file(&self) -> std::io::Result<()> {
+        let Some(p) = &self.persisted else {
+            return Ok(());
+        };
+        persist::save_cache(
+            &p.path,
+            &self.cache,
+            p.base.plus_session(self.cache.stats()),
+        )
     }
 
     /// The configuration.
@@ -436,6 +522,7 @@ impl BatchEngine {
                             weights[i].as_ref(),
                             &contexts[i],
                             scratch,
+                            &OptimizeBudget::unlimited(),
                         )
                         .map(Box::new)
                     })),
@@ -490,7 +577,11 @@ impl BatchEngine {
                             totals.computed += 1;
                             totals.pipeline += entry.pipeline;
                             totals.transform += entry.transform;
-                            totals.spec += entry.opt.spec.unwrap_or_default();
+                            totals.spec += entry
+                                .origin
+                                .as_ref()
+                                .and_then(|o| o.opt.spec)
+                                .unwrap_or_default();
                             totals.validation_checks += entry.validation_checks;
                             totals.inputs_sampled += entry.inputs_sampled;
                             let success = UnitSuccess {
@@ -564,6 +655,7 @@ impl BatchEngine {
         }
         totals.cache = self.cache.stats();
         totals.cache_entries = self.cache.len();
+        totals.lifetime = self.lifetime();
 
         BatchResult {
             units: reports,
@@ -640,6 +732,7 @@ fn optimize_unit(
     weights: Option<&EdgeWeights>,
     context: &str,
     scratch: &mut SolverScratch,
+    budget: &OptimizeBudget,
 ) -> Result<CacheEntry, UnitError> {
     let (level, seed, strategy) = (opts.validate, opts.seed, opts.strategy);
     let mut g = f.clone();
@@ -648,15 +741,24 @@ fn optimize_unit(
     passes::lcse(&mut g);
     let (opt, report) = match (opts.placement, weights) {
         (PreAlgorithm::Speculative, Some(w)) => {
-            optimize_speculative_checked_with(&g, w, level, seed, strategy, scratch)
+            optimize_speculative_checked_budgeted(&g, w, level, seed, strategy, scratch, budget)
         }
-        (PreAlgorithm::Speculative, None) => {
-            optimize_checked_with(&g, PreAlgorithm::LazyEdge, level, seed, strategy, scratch)
-        }
-        (alg, _) => optimize_checked_with(&g, alg, level, seed, strategy, scratch),
+        (PreAlgorithm::Speculative, None) => optimize_checked_budgeted(
+            &g,
+            PreAlgorithm::LazyEdge,
+            level,
+            seed,
+            strategy,
+            scratch,
+            budget,
+        ),
+        (alg, _) => optimize_checked_budgeted(&g, alg, level, seed, strategy, scratch, budget),
     }
     .map_err(|e| UnitError {
-        kind: FailureKind::Pipeline,
+        kind: match e {
+            PipelineError::Cancelled(_) => FailureKind::Cancelled,
+            _ => FailureKind::Pipeline,
+        },
         message: e.to_string(),
     })?;
     let mut out = opt.function.clone();
@@ -677,25 +779,66 @@ fn optimize_unit(
     pipeline.later.allocations = 0;
     Ok(CacheEntry {
         canonical_input,
-        pre_input: g,
         pipeline,
         transform: opt.transform.stats,
         output_text: out.to_string(),
-        opt,
+        origin: Some(Box::new(ComputedOrigin { pre_input: g, opt })),
         validation_checks: report.checks_run,
         inputs_sampled: report.inputs_sampled,
     })
 }
 
-/// Re-validates a cached entry at the fast tier — the static checks are
-/// what catch a corrupted plan, and they are cheap enough to run on every
-/// hit. Returns the (checks, inputs) counters on success.
+/// Differential inputs a thin-entry re-validation samples.
+const THIN_REVALIDATE_INPUTS: usize = 3;
+
+/// Interpreter fuel per differential run during thin-entry re-validation.
+const THIN_REVALIDATE_FUEL: u64 = 100_000;
+
+/// Re-validates a cached entry on a hit — cheap enough to run every time.
+///
+/// An entry computed in this process carries its [`ComputedOrigin`], and
+/// the plan validator's fast tier re-checks the stored plan against the
+/// paper's invariants. A **thin** entry (loaded from a persisted cache
+/// file) has no plan to audit, so it is re-validated from first
+/// principles: both stored texts must re-parse and re-verify, and the
+/// output must be observationally equivalent to the input on seeded
+/// differential runs. Either way, a corrupted entry degrades to a
+/// [`FailureKind::PoisonedCache`] unit failure, never to wrong code.
+///
+/// Returns the (checks, inputs) counters on success.
 fn revalidate_entry(entry: &CacheEntry, seed: u64) -> Result<(usize, usize), UnitError> {
-    match validate_optimized(&entry.pre_input, &entry.opt, ValidationLevel::Fast, seed) {
-        Ok(report) => Ok((report.checks_run, report.inputs_sampled)),
-        Err(e) => Err(UnitError {
-            kind: FailureKind::PoisonedCache,
-            message: e.to_string(),
-        }),
+    if let Some(origin) = &entry.origin {
+        return match validate_optimized(&origin.pre_input, &origin.opt, ValidationLevel::Fast, seed)
+        {
+            Ok(report) => Ok((report.checks_run, report.inputs_sampled)),
+            Err(e) => Err(UnitError {
+                kind: FailureKind::PoisonedCache,
+                message: e.to_string(),
+            }),
+        };
     }
+    let poisoned = |message: String| UnitError {
+        kind: FailureKind::PoisonedCache,
+        message,
+    };
+    // The stored input embeds the placement context as a `;; ...` suffix,
+    // which is not IR; strip it before re-parsing.
+    let (input_text, _context) = cache::split_context(&entry.canonical_input);
+    let f = parse_function(input_text)
+        .map_err(|e| poisoned(format!("persisted entry input does not parse: {e}")))?;
+    let g = parse_function(&entry.output_text)
+        .map_err(|e| poisoned(format!("persisted entry output does not parse: {e}")))?;
+    verify(&f).map_err(|e| poisoned(format!("persisted entry input does not verify: {e}")))?;
+    verify(&g).map_err(|e| poisoned(format!("persisted entry output does not verify: {e}")))?;
+    let mut state = seed;
+    for i in 0..THIN_REVALIDATE_INPUTS {
+        let inputs = sample_inputs(&f, &mut state);
+        if !lcm_interp::observationally_equivalent(&f, &g, &inputs, THIN_REVALIDATE_FUEL) {
+            return Err(poisoned(format!(
+                "persisted entry output diverges from its input on sampled run {i}"
+            )));
+        }
+    }
+    // Two structural re-verifications plus the differential runs.
+    Ok((2 + THIN_REVALIDATE_INPUTS, THIN_REVALIDATE_INPUTS))
 }

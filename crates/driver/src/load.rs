@@ -79,7 +79,11 @@ pub fn load_units(path: &Path) -> Result<Vec<BatchUnit>, LoadError> {
 
     let mut units = Vec::new();
     for file in files {
-        let text = fs::read_to_string(&file).map_err(|e| io_err(e, &file))?;
+        let bytes = fs::read(&file).map_err(|e| io_err(e, &file))?;
+        let text = text_from_bytes(bytes).map_err(|error| LoadError::Parse {
+            path: file.display().to_string(),
+            error,
+        })?;
         let module = lcm_ir::parse_module(&text).map_err(|error| LoadError::Parse {
             path: file.display().to_string(),
             error,
@@ -93,4 +97,56 @@ pub fn load_units(path: &Path) -> Result<Vec<BatchUnit>, LoadError> {
         }
     }
     Ok(units)
+}
+
+/// Decodes raw input bytes as UTF-8, reporting an invalid sequence as a
+/// **spanned** [`ParseError`] at the first offending byte — so a binary
+/// file (or stream) gets the same `file:line:col` diagnostic and exit
+/// code as any other malformed input, for files and stdin alike.
+///
+/// # Errors
+///
+/// A [`ParseError`] whose line/column point at the first invalid byte.
+pub fn text_from_bytes(bytes: Vec<u8>) -> Result<String, ParseError> {
+    String::from_utf8(bytes).map_err(|e| {
+        let valid = e.utf8_error().valid_up_to();
+        let prefix = &e.as_bytes()[..valid];
+        let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = valid
+            - prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1)
+            + 1;
+        let byte = e.as_bytes()[valid];
+        ParseError {
+            line,
+            col,
+            message: format!("input is not valid UTF-8 (byte 0x{byte:02x})"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_utf8_passes_through() {
+        assert_eq!(
+            text_from_bytes(b"fn a {}".to_vec()).unwrap(),
+            "fn a {}".to_string()
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_spanned_parse_error() {
+        // Two clean lines, then a stray 0xFF three bytes into line 3.
+        let e = text_from_bytes(b"fn a {\nentry:\n  \xff ret\n}".to_vec()).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 3));
+        assert!(e.message.contains("0xff"), "{}", e.message);
+        // And at the very first byte.
+        let e = text_from_bytes(vec![0xC0]).unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+    }
 }

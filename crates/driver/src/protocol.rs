@@ -1,0 +1,609 @@
+//! The framed wire protocol `lcmopt serve` speaks.
+//!
+//! Frames are length-prefixed: a `u32` big-endian length, then a one-byte
+//! tag, then the payload (`length` counts the tag byte plus the payload).
+//! Length-prefixing makes the stream self-delimiting — a reader always
+//! knows exactly how many bytes to consume, so garbage cannot smear into
+//! the next frame — and the [`MAX_FRAME`] ceiling turns an absurd or
+//! hostile length prefix into a typed refusal instead of an allocation.
+//!
+//! ## Requests
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | `0x01` | `OPTIMIZE`  | `u32` deadline ms (0 = none) · `u64` fuel (0 = none) · module text |
+//! | `0x02` | `STATS`     | empty |
+//! | `0x03` | `SHUTDOWN`  | empty |
+//!
+//! ## Responses
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | `0x81` | `UNIT_OK`    | `u32` unit index · optimized function text |
+//! | `0x82` | `UNIT_ERR`   | `u32` unit index · `u8` code · `u16` name len · name · message |
+//! | `0x83` | `DONE`       | `u32` ok count · `u32` failed count |
+//! | `0x84` | `ERROR`      | `u8` code · message |
+//! | `0x85` | `OVERLOADED` | `u32` retry-after ms |
+//! | `0x86` | `STATS`      | stats text |
+//! | `0x87` | `BYE`        | empty |
+//!
+//! All multi-byte protocol integers are big-endian (network order); the
+//! on-disk cache format is little-endian — the two never mix.
+//!
+//! An `OPTIMIZE` request is answered by a stream of per-unit frames
+//! (`UNIT_OK`/`UNIT_ERR`, in **completion** order, each tagged with its
+//! unit index) terminated by one `DONE` — so one slow unit never blocks
+//! the report of its siblings. `ERROR` answers a request that could not
+//! be started at all; `OVERLOADED` answers one the admission controller
+//! shed. `BYE` acknowledges `SHUTDOWN` (and is the last frame before a
+//! drain-triggered close).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's declared length (tag + payload), in bytes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Request tag: optimize a module.
+pub const REQ_OPTIMIZE: u8 = 0x01;
+/// Request tag: report daemon statistics.
+pub const REQ_STATS: u8 = 0x02;
+/// Request tag: drain and shut down.
+pub const REQ_SHUTDOWN: u8 = 0x03;
+
+/// Response tag: one unit optimized.
+pub const RESP_UNIT_OK: u8 = 0x81;
+/// Response tag: one unit failed.
+pub const RESP_UNIT_ERR: u8 = 0x82;
+/// Response tag: all units of a request answered.
+pub const RESP_DONE: u8 = 0x83;
+/// Response tag: the request could not be started.
+pub const RESP_ERROR: u8 = 0x84;
+/// Response tag: the request was shed by admission control.
+pub const RESP_OVERLOADED: u8 = 0x85;
+/// Response tag: daemon statistics text.
+pub const RESP_STATS: u8 = 0x86;
+/// Response tag: shutdown acknowledged.
+pub const RESP_BYE: u8 = 0x87;
+
+/// Request-level [`Response::Error`] code: the module text failed to parse.
+pub const ERR_PARSE: u8 = 1;
+/// Request-level error code: the frame itself was malformed.
+pub const ERR_BAD_FRAME: u8 = 2;
+/// Request-level error code: the frame length exceeded [`MAX_FRAME`].
+pub const ERR_TOO_LARGE: u8 = 3;
+/// Request-level error code: the daemon is draining and admits no new work.
+pub const ERR_DRAINING: u8 = 4;
+
+/// A parsed request frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Optimize every function of `module` under the given budget.
+    Optimize {
+        /// Per-request wall-clock budget in milliseconds; 0 = unlimited.
+        deadline_ms: u32,
+        /// Per-unit solver-fuel budget (node visits); 0 = unlimited.
+        fuel: u64,
+        /// The module source text.
+        module: String,
+    },
+    /// Report daemon statistics.
+    Stats,
+    /// Drain in-flight work, flush the cache, close.
+    Shutdown,
+}
+
+/// A parsed response frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// Unit `index` optimized successfully.
+    UnitOk {
+        /// The unit's position in the request's module.
+        index: u32,
+        /// The optimized function, printed under its own name.
+        output: String,
+    },
+    /// Unit `index` failed; its siblings are unaffected.
+    UnitErr {
+        /// The unit's position in the request's module.
+        index: u32,
+        /// Failure class, mirroring `FailureKind` (see [`failure_code`]).
+        code: u8,
+        /// The function's name.
+        name: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// Every unit of the request has been answered.
+    Done {
+        /// Units that succeeded.
+        ok: u32,
+        /// Units that failed.
+        failed: u32,
+    },
+    /// The request could not be started ([`ERR_PARSE`] etc.).
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Admission control shed the request; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Daemon statistics.
+    Stats {
+        /// Rendered counters.
+        text: String,
+    },
+    /// Shutdown acknowledged; the connection closes after this frame.
+    Bye,
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (or hit EOF mid-frame).
+    Io(io::Error),
+    /// The declared length exceeds [`MAX_FRAME`].
+    TooLarge {
+        /// The declared length.
+        len: u32,
+    },
+    /// A zero-length frame (no room for even the tag byte).
+    Empty,
+    /// The tag byte names no known frame.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// The payload does not match the tag's schema.
+    Malformed {
+        /// Which field was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte ceiling")
+            }
+            FrameError::Empty => write!(f, "zero-length frame"),
+            FrameError::UnknownTag { tag } => write!(f, "unknown frame tag 0x{tag:02x}"),
+            FrameError::Malformed { what } => write!(f, "malformed frame: bad {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one raw frame. `Ok(None)` is a clean close: EOF **between**
+/// frames. EOF inside a frame is an error — the peer died mid-sentence.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] before any payload is allocated or consumed;
+/// [`FrameError::Empty`] for a length of zero; transport errors verbatim.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a torn length prefix.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge { len });
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    let tag = buf[0];
+    buf.remove(0);
+    Ok(Some((tag, buf)))
+}
+
+/// Writes one raw frame (length prefix, tag, payload).
+///
+/// # Errors
+///
+/// Transport errors; [`FrameError::TooLarge`] if the payload is oversized.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), FrameError> {
+    let len = payload
+        .len()
+        .checked_add(1)
+        .and_then(|n| u32::try_from(n).ok())
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or(FrameError::TooLarge { len: u32::MAX })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Decodes a raw request frame.
+///
+/// # Errors
+///
+/// [`FrameError::UnknownTag`] / [`FrameError::Malformed`].
+pub fn decode_request(tag: u8, payload: &[u8]) -> Result<Request, FrameError> {
+    match tag {
+        REQ_OPTIMIZE => {
+            let mut c = Cursor(payload);
+            let deadline_ms = c.u32("deadline")?;
+            let fuel = c.u64("fuel")?;
+            let module = c.rest_utf8("module text")?;
+            Ok(Request::Optimize {
+                deadline_ms,
+                fuel,
+                module,
+            })
+        }
+        REQ_STATS => Ok(Request::Stats),
+        REQ_SHUTDOWN => Ok(Request::Shutdown),
+        tag => Err(FrameError::UnknownTag { tag }),
+    }
+}
+
+/// Encodes a request as (tag, payload).
+pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+    match req {
+        Request::Optimize {
+            deadline_ms,
+            fuel,
+            module,
+        } => {
+            let mut p = Vec::with_capacity(12 + module.len());
+            p.extend_from_slice(&deadline_ms.to_be_bytes());
+            p.extend_from_slice(&fuel.to_be_bytes());
+            p.extend_from_slice(module.as_bytes());
+            (REQ_OPTIMIZE, p)
+        }
+        Request::Stats => (REQ_STATS, Vec::new()),
+        Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+    }
+}
+
+/// Decodes a raw response frame.
+///
+/// # Errors
+///
+/// [`FrameError::UnknownTag`] / [`FrameError::Malformed`].
+pub fn decode_response(tag: u8, payload: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cursor(payload);
+    match tag {
+        RESP_UNIT_OK => {
+            let index = c.u32("unit index")?;
+            let output = c.rest_utf8("unit output")?;
+            Ok(Response::UnitOk { index, output })
+        }
+        RESP_UNIT_ERR => {
+            let index = c.u32("unit index")?;
+            let code = c.u8("failure code")?;
+            let name_len = c.u16("name length")? as usize;
+            let name = c.bytes_utf8(name_len, "unit name")?;
+            let message = c.rest_utf8("error message")?;
+            Ok(Response::UnitErr {
+                index,
+                code,
+                name,
+                message,
+            })
+        }
+        RESP_DONE => Ok(Response::Done {
+            ok: c.u32("ok count")?,
+            failed: c.u32("failed count")?,
+        }),
+        RESP_ERROR => Ok(Response::Error {
+            code: c.u8("error code")?,
+            message: c.rest_utf8("error message")?,
+        }),
+        RESP_OVERLOADED => Ok(Response::Overloaded {
+            retry_after_ms: c.u32("retry-after")?,
+        }),
+        RESP_STATS => Ok(Response::Stats {
+            text: c.rest_utf8("stats text")?,
+        }),
+        RESP_BYE => Ok(Response::Bye),
+        tag => Err(FrameError::UnknownTag { tag }),
+    }
+}
+
+/// Encodes a response as (tag, payload).
+pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
+    match resp {
+        Response::UnitOk { index, output } => {
+            let mut p = Vec::with_capacity(4 + output.len());
+            p.extend_from_slice(&index.to_be_bytes());
+            p.extend_from_slice(output.as_bytes());
+            (RESP_UNIT_OK, p)
+        }
+        Response::UnitErr {
+            index,
+            code,
+            name,
+            message,
+        } => {
+            let name = &name.as_bytes()[..name.len().min(u16::MAX as usize)];
+            let mut p = Vec::with_capacity(7 + name.len() + message.len());
+            p.extend_from_slice(&index.to_be_bytes());
+            p.push(*code);
+            p.extend_from_slice(&(name.len() as u16).to_be_bytes());
+            p.extend_from_slice(name);
+            p.extend_from_slice(message.as_bytes());
+            (RESP_UNIT_ERR, p)
+        }
+        Response::Done { ok, failed } => {
+            let mut p = Vec::with_capacity(8);
+            p.extend_from_slice(&ok.to_be_bytes());
+            p.extend_from_slice(&failed.to_be_bytes());
+            (RESP_DONE, p)
+        }
+        Response::Error { code, message } => {
+            let mut p = Vec::with_capacity(1 + message.len());
+            p.push(*code);
+            p.extend_from_slice(message.as_bytes());
+            (RESP_ERROR, p)
+        }
+        Response::Overloaded { retry_after_ms } => {
+            (RESP_OVERLOADED, retry_after_ms.to_be_bytes().to_vec())
+        }
+        Response::Stats { text } => (RESP_STATS, text.as_bytes().to_vec()),
+        Response::Bye => (RESP_BYE, Vec::new()),
+    }
+}
+
+/// Writes an encoded [`Response`] in one call.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), FrameError> {
+    let (tag, payload) = encode_response(resp);
+    write_frame(w, tag, &payload)
+}
+
+/// Writes an encoded [`Request`] in one call.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), FrameError> {
+    let (tag, payload) = encode_request(req);
+    write_frame(w, tag, &payload)
+}
+
+/// Reads and decodes the next [`Response`]; `Ok(None)` on clean close.
+///
+/// # Errors
+///
+/// See [`read_frame`] and [`decode_response`].
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, FrameError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some((tag, payload)) => decode_response(tag, &payload).map(Some),
+    }
+}
+
+/// The wire code for a unit failure class. Mirrors
+/// [`FailureKind`](crate::FailureKind) one-to-one; codes are part of the
+/// protocol and must never be renumbered.
+pub fn failure_code(kind: crate::FailureKind) -> u8 {
+    match kind {
+        crate::FailureKind::InvalidInput => 1,
+        crate::FailureKind::Pipeline => 2,
+        crate::FailureKind::InvalidOutput => 3,
+        crate::FailureKind::Panic => 4,
+        crate::FailureKind::PoisonedCache => 5,
+        crate::FailureKind::Cancelled => 6,
+    }
+}
+
+/// The stable name for a wire failure code (the inverse presentation of
+/// [`failure_code`]; unknown codes render as `"unknown"`).
+pub fn failure_code_name(code: u8) -> &'static str {
+    match code {
+        1 => "invalid-input",
+        2 => "pipeline",
+        3 => "invalid-output",
+        4 => "panic",
+        5 => "poisoned-cache",
+        6 => "cancelled",
+        _ => "unknown",
+    }
+}
+
+/// Payload cursor with typed underflow errors.
+struct Cursor<'a>(&'a [u8]);
+
+impl Cursor<'_> {
+    fn u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
+        let b = self.take(1, what)?;
+        Ok(b[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, FrameError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn bytes_utf8(&mut self, n: usize, what: &'static str) -> Result<String, FrameError> {
+        let b = self.take(n, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| FrameError::Malformed { what })
+    }
+
+    fn rest_utf8(&mut self, what: &'static str) -> Result<String, FrameError> {
+        let b = std::mem::take(&mut self.0);
+        String::from_utf8(b.to_vec()).map_err(|_| FrameError::Malformed { what })
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&[u8], FrameError> {
+        if self.0.len() < n {
+            return Err(FrameError::Malformed { what });
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let (tag, payload) = encode_request(&req);
+        assert_eq!(decode_request(tag, &payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let (tag, payload) = encode_response(&resp);
+        assert_eq!(decode_response(tag, &payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        roundtrip_request(Request::Optimize {
+            deadline_ms: 250,
+            fuel: 1_000_000,
+            module: "fn a {\nentry:\n  ret\n}".into(),
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_response(Response::UnitOk {
+            index: 3,
+            output: "fn a {\nentry:\n  ret\n}".into(),
+        });
+        roundtrip_response(Response::UnitErr {
+            index: 7,
+            code: 6,
+            name: "slow_fn".into(),
+            message: "cancelled at `validate`: fuel exhausted".into(),
+        });
+        roundtrip_response(Response::Done { ok: 4, failed: 1 });
+        roundtrip_response(Response::Error {
+            code: ERR_PARSE,
+            message: "<request>:3:1: unknown instruction".into(),
+        });
+        roundtrip_response(Response::Overloaded { retry_after_ms: 50 });
+        roundtrip_response(Response::Stats {
+            text: "cache: 1 hits".into(),
+        });
+        roundtrip_response(Response::Bye);
+    }
+
+    #[test]
+    fn frames_survive_the_wire() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_request(&mut wire, &Request::Stats).unwrap();
+        write_response(&mut wire, &Response::Bye).unwrap();
+        let mut r = wire.as_slice();
+        let (tag, payload) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(decode_request(tag, &payload).unwrap(), Request::Stats);
+        let (tag, payload) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(decode_response(tag, &payload).unwrap(), Response::Bye);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"garbage");
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::TooLarge { len }) => assert_eq!(len, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error_not_a_hang_or_panic() {
+        // Promises 100 bytes, delivers 3.
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(&100u32.to_be_bytes());
+        wire.extend_from_slice(&[REQ_STATS, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(FrameError::Io(_))
+        ));
+        // A torn length prefix is also an error, not a clean close.
+        let torn = [0u8, 0];
+        assert!(matches!(
+            read_frame(&mut torn.as_slice()),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_and_unknown_tags_are_typed_errors() {
+        let zero = 0u32.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut zero.as_slice()),
+            Err(FrameError::Empty)
+        ));
+        assert!(matches!(
+            decode_request(0x7f, &[]),
+            Err(FrameError::UnknownTag { tag: 0x7f })
+        ));
+        assert!(matches!(
+            decode_response(0x00, &[]),
+            Err(FrameError::UnknownTag { tag: 0x00 })
+        ));
+    }
+
+    #[test]
+    fn short_payloads_are_malformed_not_panics() {
+        assert!(matches!(
+            decode_request(REQ_OPTIMIZE, &[1, 2, 3]),
+            Err(FrameError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_response(RESP_UNIT_ERR, &[0, 0, 0, 1, 6, 0, 9]),
+            Err(FrameError::Malformed { .. })
+        ));
+        assert!(matches!(
+            decode_request(
+                REQ_OPTIMIZE,
+                &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xfe]
+            ),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn failure_codes_are_stable_and_named() {
+        use crate::FailureKind;
+        for kind in [
+            FailureKind::InvalidInput,
+            FailureKind::Pipeline,
+            FailureKind::InvalidOutput,
+            FailureKind::Panic,
+            FailureKind::PoisonedCache,
+            FailureKind::Cancelled,
+        ] {
+            assert_eq!(failure_code_name(failure_code(kind)), kind.name());
+        }
+        assert_eq!(failure_code_name(0), "unknown");
+    }
+}

@@ -74,6 +74,9 @@ pub fn render_stats(result: &BatchResult) -> String {
         t.validation_checks, t.inputs_sampled
     );
     let _ = writeln!(out, "cache: {}, {} entries", t.cache, t.cache_entries);
+    if let Some(l) = t.lifetime {
+        let _ = writeln!(out, "lifetime: {l}");
+    }
     out
 }
 

@@ -220,7 +220,148 @@ pub fn poison_cached_plan(cache: &mut PlanCache, f: &Function, fault: Fault, see
     let Some(entry) = cache.entry_mut(key) else {
         return false;
     };
-    inject(&mut entry.opt, fault, seed)
+    // Thin (disk-loaded) entries carry no plan to poison; their corruption
+    // classes live in [`CacheFileFault`] instead.
+    let Some(origin) = entry.origin.as_deref_mut() else {
+        return false;
+    };
+    inject(&mut origin.opt, fault, seed)
+}
+
+/// One class of seeded corruption of an `lcm-cache-v1` *file* (see
+/// [`lcm_driver::save_cache`]), modelling the ways a persisted plan cache
+/// rots on disk: torn writes, bit flips, format drift, tampered counters,
+/// and appended garbage. Every class must be refused by
+/// [`lcm_driver::load_cache`] and quarantined by
+/// [`lcm_driver::load_or_quarantine`]; the faults test suite proves it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheFileFault {
+    /// Cut the file to a seeded strict prefix (possibly empty). Models a
+    /// torn write — the failure the atomic temp-then-rename protocol
+    /// exists to prevent, so finding one means the protocol was bypassed.
+    Truncate,
+    /// Flip one seeded bit past the magic and version words (which have
+    /// their own classes below). Models media bit-rot. Always detected:
+    /// a single-byte change cannot preserve an FNV-1a entry or footer
+    /// checksum, and length-field damage runs the reader off the rails.
+    FlipByte,
+    /// Bump the format version word. Models reading a future (or mangled)
+    /// format with today's code.
+    VersionSkew,
+    /// Overwrite the leading magic. Models pointing the daemon at a file
+    /// that is not a cache at all.
+    MagicSmash,
+    /// Perturb one byte of the footer's lifetime counters without fixing
+    /// the footer checksum. Models stats tampering or localised rot.
+    CounterTamper,
+    /// Append seeded junk after the footer checksum. Models a partial
+    /// overwrite by a longer stale file.
+    TrailingGarbage,
+}
+
+impl CacheFileFault {
+    /// Every file-fault class, for exhaustive mutation loops.
+    pub const ALL: [CacheFileFault; 6] = [
+        CacheFileFault::Truncate,
+        CacheFileFault::FlipByte,
+        CacheFileFault::VersionSkew,
+        CacheFileFault::MagicSmash,
+        CacheFileFault::CounterTamper,
+        CacheFileFault::TrailingGarbage,
+    ];
+
+    /// Stable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheFileFault::Truncate => "truncate",
+            CacheFileFault::FlipByte => "flip-byte",
+            CacheFileFault::VersionSkew => "version-skew",
+            CacheFileFault::MagicSmash => "magic-smash",
+            CacheFileFault::CounterTamper => "counter-tamper",
+            CacheFileFault::TrailingGarbage => "trailing-garbage",
+        }
+    }
+}
+
+/// Applies one seeded corruption to the cache file at `path` in place.
+///
+/// Returns `Ok(false)` (file untouched) when the class does not apply —
+/// the file is too short to host that corruption; `Ok(true)` when it
+/// landed. Same `(fault, seed)` over the same bytes produces the same
+/// corrupted file.
+///
+/// # Errors
+///
+/// Any I/O error reading or rewriting the file.
+pub fn corrupt_cache_file(
+    path: &std::path::Path,
+    fault: CacheFileFault,
+    seed: u64,
+) -> std::io::Result<bool> {
+    let mut bytes = std::fs::read(path)?;
+    let mut state = seed ^ 0x5EED_FA17_u64;
+    let landed = match fault {
+        CacheFileFault::Truncate => {
+            if bytes.is_empty() {
+                false
+            } else {
+                let keep = (splitmix64(&mut state) % bytes.len() as u64) as usize;
+                bytes.truncate(keep);
+                true
+            }
+        }
+        CacheFileFault::FlipByte => {
+            // Offsets 0..12 are the magic and version words; damage there
+            // is modelled by MagicSmash and VersionSkew.
+            if bytes.len() <= 12 {
+                false
+            } else {
+                let i = 12 + (splitmix64(&mut state) % (bytes.len() - 12) as u64) as usize;
+                bytes[i] ^= 1 << (splitmix64(&mut state) % 8);
+                true
+            }
+        }
+        CacheFileFault::VersionSkew => {
+            if bytes.len() < 12 {
+                false
+            } else {
+                let v = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+                bytes[8..12].copy_from_slice(&v.wrapping_add(1).to_le_bytes());
+                true
+            }
+        }
+        CacheFileFault::MagicSmash => {
+            if bytes.len() < 8 {
+                false
+            } else {
+                bytes[..8].copy_from_slice(b"NOTCACHE");
+                true
+            }
+        }
+        CacheFileFault::CounterTamper => {
+            // The footer is the trailing 48 bytes: 8 magic + 32 counters +
+            // 8 checksum. Perturb one counter byte, leave the checksum.
+            if bytes.len() < 48 {
+                false
+            } else {
+                let base = bytes.len() - 40;
+                let i = base + (splitmix64(&mut state) % 32) as usize;
+                bytes[i] = bytes[i].wrapping_add(1);
+                true
+            }
+        }
+        CacheFileFault::TrailingGarbage => {
+            let n = 1 + (splitmix64(&mut state) % 64) as usize;
+            for _ in 0..n {
+                bytes.push(splitmix64(&mut state) as u8);
+            }
+            true
+        }
+    };
+    if landed {
+        std::fs::write(path, &bytes)?;
+    }
+    Ok(landed)
 }
 
 /// Runs the fused LCM pipeline on `f` with a [`SolverScratch`] that is

@@ -3,12 +3,17 @@
 //! ```text
 //! lcmopt [OPTIONS] [FILE]
 //! lcmopt batch [OPTIONS] <PATH|->
+//! lcmopt serve [OPTIONS]
+//! lcmopt request [OPTIONS] <PATH|->
 //!
 //! Reads a function in the textual IR format from FILE (or stdin when FILE
 //! is `-` or omitted) and processes it. The `batch` subcommand instead
 //! drives a whole module (many `fn`s in one file, a directory of `.lcm`
 //! files, or stdin) through the checked pipeline in parallel; see
-//! `lcmopt batch --help`.
+//! `lcmopt batch --help`. The `serve` subcommand runs the long-lived
+//! optimization daemon (warm solver arenas, durable plan cache, admission
+//! control); `request` is its client. See `lcmopt serve --help` and
+//! `lcmopt request --help`.
 //!
 //! OPTIONS:
 //!   -p, --passes LIST    comma-separated pass pipeline (default:
@@ -39,11 +44,12 @@
 //!   4  input function fails structural verification
 //!   5  a pass failed: invalid output IR, solver divergence, a violated
 //!      paper invariant, or differing traces under --run
+//!   6  the daemon shed the request (overloaded; retry after the hint)
 //! ```
 
 use std::io::Read;
 use std::panic::{self, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use lcm::core::{
@@ -51,8 +57,13 @@ use lcm::core::{
     PreAlgorithm, SpecStats, ValidationLevel, ValidationReport,
 };
 use lcm::dataflow::{SolveStrategy, SolverScratch};
+use lcm::driver::protocol::{
+    failure_code_name, read_response, write_request, Request, Response, ERR_PARSE,
+};
+use lcm::driver::serve::{Daemon, ServeOptions};
 use lcm::driver::{
-    report as batch_report, BatchEngine, BatchOptions, BatchUnit, LoadError, UnitOutcome,
+    report as batch_report, text_from_bytes, BatchEngine, BatchOptions, BatchUnit, LoadError,
+    LoadStatus, UnitOutcome,
 };
 use lcm::interp::{run, Inputs};
 use lcm::ir::{dot, parse_function, parse_module, simplify_cfg, verify, Function, Module};
@@ -67,6 +78,8 @@ const EXIT_PARSE: u8 = 3;
 const EXIT_VERIFY: u8 = 4;
 /// A pass failed (invalid output, divergence, validation, trace mismatch).
 const EXIT_PASS: u8 = 5;
+/// The daemon shed the request under load (retry after the hint).
+const EXIT_OVERLOADED: u8 = 6;
 
 struct Options {
     file: Option<String>,
@@ -229,6 +242,7 @@ struct BatchCli {
     solver: SolveStrategy,
     cache: bool,
     cache_capacity: usize,
+    cache_file: Option<String>,
     emit: String,
     validate: ValidationLevel,
 }
@@ -236,7 +250,8 @@ struct BatchCli {
 fn batch_usage() -> &'static str {
     "usage: lcmopt batch [-j|--jobs N] [--placement lcm|bcm|spec] \
      [--solver rr|wl|scc] [--cache on|off] \
-     [--cache-cap N] [-e|--emit text|dot|stats|json|none] \
+     [--cache-cap N] [--cache-file PATH] \
+     [-e|--emit text|dot|stats|json|none] \
      [--validate[=off|fast|full]] <PATH|->\n\
      PATH is a module file (many `fn`s), a directory of .lcm files, or `-` \
      for a module on stdin.\n\
@@ -245,6 +260,9 @@ fn batch_usage() -> &'static str {
      lcm.\n\
      --jobs 0 (the default) uses all available cores. Output on stdout is \
      byte-identical for every --jobs value; timing goes to stderr.\n\
+     --cache-file persists the plan cache across runs in the lcm-cache-v1 \
+     format (corrupt files are quarantined to a .corrupt sidecar and the \
+     run proceeds cold).\n\
      exit codes: 0 ok, 1 internal error, 2 usage, 3 parse, 5 any unit failed"
 }
 
@@ -258,6 +276,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
         solver: SolveStrategy::default(),
         cache: true,
         cache_capacity: 4096,
+        cache_file: None,
         emit: "text".into(),
         validate: ValidationLevel::Fast,
     };
@@ -303,6 +322,12 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
                     .parse()
                     .map_err(|_| usage_err(format!("bad cache capacity `{n}`")))?;
             }
+            "--cache-file" => {
+                let p = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache-file needs a path".into()))?;
+                opts.cache_file = Some(p);
+            }
             "-e" | "--emit" => {
                 opts.emit = args
                     .next()
@@ -333,10 +358,19 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<Option<Bat
 
 fn load_batch_units(path: &str) -> Result<Vec<BatchUnit>, Failure> {
     if path == "-" {
-        let mut text = String::new();
+        // Read raw bytes so an invalid UTF-8 stream gets the same spanned
+        // `<stdin>:line:col` diagnostic (and exit code) as a parse error —
+        // not an unlabeled usage error.
+        let mut bytes = Vec::new();
         std::io::stdin()
-            .read_to_string(&mut text)
+            .read_to_end(&mut bytes)
             .map_err(|e| Failure::new(EXIT_USAGE, format!("reading stdin: {e}")))?;
+        let text = text_from_bytes(bytes).map_err(|e| {
+            Failure::new(
+                EXIT_PARSE,
+                format!("<stdin>:{}:{}: {}", e.line, e.col, e.message),
+            )
+        })?;
         let module = parse_module(&text).map_err(|e| {
             Failure::new(
                 EXIT_PARSE,
@@ -365,7 +399,7 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
     let units = load_batch_units(&cli.path)?;
     let n = units.len();
     let start = std::time::Instant::now();
-    let mut engine = BatchEngine::new(BatchOptions {
+    let opts = BatchOptions {
         jobs: cli.jobs,
         placement: cli.placement,
         validate: cli.validate,
@@ -373,8 +407,21 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
         use_cache: cli.cache,
         cache_capacity: cli.cache_capacity,
         strategy: cli.solver,
-    });
+    };
+    let mut engine = match &cli.cache_file {
+        Some(path) => {
+            let engine = BatchEngine::with_cache_file(opts, Path::new(path));
+            note_load_status("batch", engine.load_status());
+            engine
+        }
+        None => BatchEngine::new(opts),
+    };
     let result = engine.run(units);
+    if cli.cache_file.is_some() {
+        engine
+            .flush_cache_file()
+            .map_err(|e| Failure::new(EXIT_USAGE, format!("writing cache file: {e}")))?;
+    }
     // Wall-clock is the one nondeterministic quantity — it goes to stderr
     // so stdout stays byte-identical across --jobs values.
     eprintln!(
@@ -415,17 +462,433 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
     Ok(())
 }
 
-fn read_input(file: &Option<String>) -> Result<String, Failure> {
-    match file.as_deref() {
-        None | Some("-") => {
-            let mut text = String::new();
-            std::io::stdin()
-                .read_to_string(&mut text)
-                .map_err(|e| Failure::new(EXIT_USAGE, format!("reading stdin: {e}")))?;
-            Ok(text)
+/// Options for `lcmopt serve`.
+struct ServeCli {
+    socket: Option<String>,
+    cache_file: Option<String>,
+    workers: usize,
+    queue_cap: usize,
+    retry_after_ms: u32,
+    placement: PreAlgorithm,
+    solver: SolveStrategy,
+    cache: bool,
+    cache_capacity: usize,
+    validate: ValidationLevel,
+}
+
+fn serve_usage() -> &'static str {
+    "usage: lcmopt serve [--socket PATH] [--cache-file PATH] [--workers N] \
+     [--queue-cap N] [--retry-after-ms N] [--placement lcm|bcm|spec] \
+     [--solver rr|wl|scc] [--cache on|off] [--cache-cap N] \
+     [--validate[=off|fast|full]]\n\
+     Runs the optimization daemon: worker threads keep warm solver arenas \
+     across requests and share one plan cache.\n\
+     With --socket the daemon serves the framed protocol on a Unix socket \
+     until a client sends SHUTDOWN; without it, one connection on \
+     stdin/stdout until EOF. Either way it drains in-flight units, flushes \
+     the cache durably, and exits 0.\n\
+     --cache-file persists the plan cache (lcm-cache-v1; corrupt files are \
+     quarantined to a .corrupt sidecar and the daemon starts cold). The \
+     file is rewritten atomically after every request.\n\
+     --workers 0 (the default) uses all available cores. --queue-cap \
+     bounds admitted-but-unfinished units (0 = unbounded); requests beyond \
+     it are shed with OVERLOADED and the --retry-after-ms hint."
+}
+
+/// `Ok(None)` means help was requested (print serve usage, exit 0).
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Option<ServeCli>, Failure> {
+    let mut opts = ServeCli {
+        socket: None,
+        cache_file: None,
+        workers: 0,
+        queue_cap: 1024,
+        retry_after_ms: 50,
+        placement: PreAlgorithm::LazyEdge,
+        solver: SolveStrategy::default(),
+        cache: true,
+        cache_capacity: 4096,
+        validate: ValidationLevel::Fast,
+    };
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", serve_usage()));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--socket" => {
+                let p = args
+                    .next()
+                    .ok_or_else(|| usage_err("--socket needs a path".into()))?;
+                opts.socket = Some(p);
+            }
+            "--cache-file" => {
+                let p = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache-file needs a path".into()))?;
+                opts.cache_file = Some(p);
+            }
+            "--workers" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--workers needs an argument".into()))?;
+                opts.workers = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad worker count `{n}`")))?;
+            }
+            "--queue-cap" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--queue-cap needs an argument".into()))?;
+                opts.queue_cap = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad queue capacity `{n}`")))?;
+            }
+            "--retry-after-ms" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--retry-after-ms needs an argument".into()))?;
+                opts.retry_after_ms = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad retry hint `{n}`")))?;
+            }
+            "--placement" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--placement needs lcm|bcm|spec".into()))?;
+                opts.placement = parse_placement(&v).map_err(usage_err)?;
+            }
+            "--solver" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--solver needs rr|wl|scc".into()))?;
+                opts.solver = v.parse().map_err(|e: String| usage_err(e))?;
+            }
+            "--cache" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache needs on|off".into()))?;
+                opts.cache = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(usage_err(format!("bad cache mode `{other}`"))),
+                };
+            }
+            "--cache-cap" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--cache-cap needs an argument".into()))?;
+                opts.cache_capacity = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad cache capacity `{n}`")))?;
+            }
+            "--validate" => opts.validate = ValidationLevel::Fast,
+            other if other.starts_with("--validate=") => {
+                let level = &other["--validate=".len()..];
+                opts.validate = level.parse().map_err(usage_err)?;
+            }
+            other => return Err(usage_err(format!("unknown serve argument `{other}`"))),
         }
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| Failure::new(EXIT_USAGE, format!("reading {path}: {e}"))),
+    }
+    Ok(Some(opts))
+}
+
+fn run_serve(cli: ServeCli) -> Result<(), Failure> {
+    let opts = ServeOptions {
+        batch: BatchOptions {
+            jobs: 0,
+            placement: cli.placement,
+            validate: cli.validate,
+            seed: VALIDATION_SEED,
+            use_cache: cli.cache,
+            cache_capacity: cli.cache_capacity,
+            strategy: cli.solver,
+        },
+        workers: cli.workers,
+        queue_capacity: cli.queue_cap,
+        retry_after_ms: cli.retry_after_ms,
+        cache_file: cli.cache_file.as_deref().map(PathBuf::from),
+    };
+    let daemon = Daemon::start(opts);
+    note_load_status("serve", daemon.load_status().as_ref());
+    let result = match &cli.socket {
+        #[cfg(unix)]
+        Some(path) => {
+            eprintln!("lcmopt serve: listening on {path}");
+            daemon.serve_unix(Path::new(path))
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            drop(daemon);
+            return Err(Failure::new(
+                EXIT_USAGE,
+                "--socket requires a Unix platform; use stdio mode",
+            ));
+        }
+        None => daemon.serve_stdio(),
+    };
+    result.map_err(|e| Failure::new(EXIT_USAGE, format!("serve: {e}")))
+}
+
+/// Options for `lcmopt request`.
+struct RequestCli {
+    socket: String,
+    path: Option<String>,
+    deadline_ms: u32,
+    fuel: u64,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn request_usage() -> &'static str {
+    "usage: lcmopt request --socket PATH [--deadline-ms N] [--fuel N] \
+     <PATH|->\n\
+     \x20      lcmopt request --socket PATH --stats|--shutdown\n\
+     Sends one module (a file, or `-` for stdin) to a running \
+     `lcmopt serve --socket` daemon and prints the optimized module — \
+     byte-identical to `lcmopt batch` output for the same input and \
+     configuration.\n\
+     --deadline-ms / --fuel bound each unit's work (0 = unlimited); a unit \
+     over budget is reported as a `cancelled` failure.\n\
+     --stats prints the daemon's counters; --shutdown asks it to drain, \
+     flush its cache, and exit.\n\
+     exit codes: 0 ok, 2 usage/transport, 3 the module failed to parse, \
+     5 any unit failed, 6 the daemon shed the request (overloaded)"
+}
+
+/// `Ok(None)` means help was requested (print request usage, exit 0).
+fn parse_request_args(
+    mut args: impl Iterator<Item = String>,
+) -> Result<Option<RequestCli>, Failure> {
+    let mut path: Option<String> = None;
+    let mut opts = RequestCli {
+        socket: String::new(),
+        path: None,
+        deadline_ms: 0,
+        fuel: 0,
+        stats: false,
+        shutdown: false,
+    };
+    let mut socket: Option<String> = None;
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", request_usage()));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--socket" => {
+                let p = args
+                    .next()
+                    .ok_or_else(|| usage_err("--socket needs a path".into()))?;
+                socket = Some(p);
+            }
+            "--deadline-ms" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--deadline-ms needs an argument".into()))?;
+                opts.deadline_ms = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad deadline `{n}`")))?;
+            }
+            "--fuel" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--fuel needs an argument".into()))?;
+                opts.fuel = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad fuel `{n}`")))?;
+            }
+            "--stats" => opts.stats = true,
+            "--shutdown" => opts.shutdown = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(usage_err(format!("unknown request argument `{other}`")));
+            }
+            p => {
+                if path.is_some() {
+                    return Err(usage_err("more than one input path".into()));
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    opts.socket = socket.ok_or_else(|| usage_err("request needs --socket PATH".into()))?;
+    opts.path = path;
+    match (&opts.path, opts.stats, opts.shutdown) {
+        (Some(_), false, false) | (None, true, false) | (None, false, true) => Ok(Some(opts)),
+        _ => Err(usage_err(
+            "request needs exactly one of: an input PATH, --stats, --shutdown".into(),
+        )),
+    }
+}
+
+#[cfg(unix)]
+fn run_request(cli: RequestCli) -> Result<(), Failure> {
+    use std::os::unix::net::UnixStream;
+
+    let transport_err =
+        |what: &str| Failure::new(EXIT_USAGE, format!("request: connection {what}"));
+    let mut stream = UnixStream::connect(&cli.socket)
+        .map_err(|e| Failure::new(EXIT_USAGE, format!("connecting {}: {e}", cli.socket)))?;
+
+    if cli.stats || cli.shutdown {
+        let req = if cli.stats {
+            Request::Stats
+        } else {
+            Request::Shutdown
+        };
+        write_request(&mut stream, &req).map_err(|e| transport_err(&format!("failed: {e}")))?;
+        return match read_response(&mut stream) {
+            Ok(Some(Response::Stats { text })) => {
+                print!("{text}");
+                Ok(())
+            }
+            Ok(Some(Response::Bye)) => Ok(()),
+            Ok(Some(Response::Error { message, .. })) => {
+                Err(Failure::new(EXIT_USAGE, format!("request: {message}")))
+            }
+            Ok(Some(_)) => Err(transport_err("answered with an unexpected frame")),
+            Ok(None) => Err(transport_err("closed before answering")),
+            Err(e) => Err(transport_err(&format!("failed: {e}"))),
+        };
+    }
+
+    // Module mode: load (with the same spanned UTF-8 diagnostics as every
+    // other front), send, and stream unit results back.
+    let path = cli.path.as_deref().expect("validated by the parser");
+    let module = read_input(&Some(path.to_string()))?;
+    write_request(
+        &mut stream,
+        &Request::Optimize {
+            deadline_ms: cli.deadline_ms,
+            fuel: cli.fuel,
+            module,
+        },
+    )
+    .map_err(|e| transport_err(&format!("failed: {e}")))?;
+
+    // Units stream back in completion order, tagged with their input
+    // index; reassemble in input order so the printed module is
+    // byte-identical to `lcmopt batch` output.
+    enum Unit {
+        Ok(String),
+        Failed {
+            code: u8,
+            name: String,
+            message: String,
+        },
+    }
+    let mut units: Vec<(u32, Unit)> = Vec::new();
+    let (ok, failed) = loop {
+        match read_response(&mut stream) {
+            Ok(Some(Response::UnitOk { index, output })) => units.push((index, Unit::Ok(output))),
+            Ok(Some(Response::UnitErr {
+                index,
+                code,
+                name,
+                message,
+            })) => units.push((
+                index,
+                Unit::Failed {
+                    code,
+                    name,
+                    message,
+                },
+            )),
+            Ok(Some(Response::Done { ok, failed })) => break (ok, failed),
+            Ok(Some(Response::Error { code, message })) => {
+                let exit = if code == ERR_PARSE {
+                    EXIT_PARSE
+                } else {
+                    EXIT_USAGE
+                };
+                return Err(Failure::new(exit, format!("request: {message}")));
+            }
+            Ok(Some(Response::Overloaded { retry_after_ms })) => {
+                return Err(Failure::new(
+                    EXIT_OVERLOADED,
+                    format!("request: daemon overloaded; retry after {retry_after_ms} ms"),
+                ));
+            }
+            Ok(Some(_)) => return Err(transport_err("answered with an unexpected frame")),
+            Ok(None) => return Err(transport_err("closed mid-request")),
+            Err(e) => return Err(transport_err(&format!("failed: {e}"))),
+        }
+    };
+    units.sort_by_key(|(index, _)| *index);
+    let mut out = String::new();
+    for (i, (_, unit)) in units.iter().enumerate() {
+        if i > 0 {
+            out.push_str("\n\n");
+        }
+        match unit {
+            Unit::Ok(text) => out.push_str(text),
+            Unit::Failed {
+                code,
+                name,
+                message,
+            } => {
+                let one_line: String = message
+                    .chars()
+                    .map(|c| if c.is_control() { ' ' } else { c })
+                    .collect();
+                out.push_str(&format!(
+                    "# fn {name}: FAILED ({}): {one_line}",
+                    failure_code_name(*code)
+                ));
+            }
+        }
+    }
+    out.push('\n');
+    print!("{out}");
+    if failed > 0 {
+        let n = ok + failed;
+        return Err(Failure::new(
+            EXIT_PASS,
+            format!("{failed} of {n} functions failed"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_request(_cli: RequestCli) -> Result<(), Failure> {
+    Err(Failure::new(
+        EXIT_USAGE,
+        "lcmopt request needs Unix sockets; unavailable on this platform",
+    ))
+}
+
+fn read_input(file: &Option<String>) -> Result<String, Failure> {
+    let bytes = match file.as_deref() {
+        None | Some("-") => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| Failure::new(EXIT_USAGE, format!("reading stdin: {e}")))?;
+            buf
+        }
+        Some(path) => std::fs::read(path)
+            .map_err(|e| Failure::new(EXIT_USAGE, format!("reading {path}: {e}")))?,
+    };
+    // Invalid UTF-8 is a malformed input, not an I/O accident: report it
+    // with the same spanned diagnostic shape as a parse error.
+    text_from_bytes(bytes).map_err(|e| {
+        Failure::new(
+            EXIT_PARSE,
+            format!("{}:{}:{}: {}", input_name(file), e.line, e.col, e.message),
+        )
+    })
+}
+
+/// One stderr line describing how a `--cache-file` loaded (nothing for a
+/// cold start).
+fn note_load_status(who: &str, status: Option<&LoadStatus>) {
+    match status {
+        Some(LoadStatus::Loaded { entries }) => {
+            eprintln!("lcmopt {who}: cache file loaded, {entries} entries");
+        }
+        Some(LoadStatus::Quarantined { error, sidecar }) => {
+            eprintln!(
+                "lcmopt {who}: cache file refused ({error}); quarantined to {}",
+                sidecar.display()
+            );
+        }
+        Some(LoadStatus::Fresh) | None => {}
     }
 }
 
@@ -560,14 +1023,35 @@ fn completion_marker(completed: bool) -> &'static str {
 }
 
 fn real_main() -> Result<(), Failure> {
-    if std::env::args().nth(1).as_deref() == Some("batch") {
-        return match parse_batch_args(std::env::args().skip(2))? {
-            Some(cli) => run_batch(cli),
-            None => {
-                println!("{}", batch_usage());
-                Ok(())
-            }
-        };
+    match std::env::args().nth(1).as_deref() {
+        Some("batch") => {
+            return match parse_batch_args(std::env::args().skip(2))? {
+                Some(cli) => run_batch(cli),
+                None => {
+                    println!("{}", batch_usage());
+                    Ok(())
+                }
+            };
+        }
+        Some("serve") => {
+            return match parse_serve_args(std::env::args().skip(2))? {
+                Some(cli) => run_serve(cli),
+                None => {
+                    println!("{}", serve_usage());
+                    Ok(())
+                }
+            };
+        }
+        Some("request") => {
+            return match parse_request_args(std::env::args().skip(2))? {
+                Some(cli) => run_request(cli),
+                None => {
+                    println!("{}", request_usage());
+                    Ok(())
+                }
+            };
+        }
+        _ => {}
     }
     let opts = match parse_args()? {
         Some(o) => o,

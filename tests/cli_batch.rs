@@ -200,3 +200,85 @@ fn missing_path_exits_2() {
     let (code, _, stderr) = batch(&[&path], "");
     assert_eq!(code, 2, "{stderr}");
 }
+
+/// Like [`batch`] but with raw bytes on stdin, for inputs that are not
+/// valid UTF-8.
+fn batch_bytes(args: &[&str], stdin: &[u8]) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcmopt"))
+        .arg("batch")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lcmopt batch");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin)
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait for lcmopt");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn invalid_utf8_on_stdin_exits_3_with_span() {
+    // A stray 0xFF two clean lines in: the diagnostic must carry the
+    // spanned `<stdin>:line:col` shape and the parse exit code — the same
+    // contract as a file input — not an unlabeled usage error.
+    let (code, stdout, stderr) = batch_bytes(&["-"], b"fn a {\nentry:\n  \xff ret\n}\n");
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("<stdin>:3:3"), "{stderr}");
+    assert!(stderr.contains("not valid UTF-8"), "{stderr}");
+}
+
+#[test]
+fn invalid_utf8_file_exits_3_with_span() {
+    let scratch = Scratch::new("utf8_file");
+    let path = scratch.0.join("binary.lcm");
+    std::fs::write(&path, b"fn a {\nentry:\n  \xff ret\n}\n").expect("write binary file");
+    let (code, stdout, stderr) = batch(&[&path.display().to_string()], "");
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("binary.lcm:3:3"), "{stderr}");
+    assert!(stderr.contains("not valid UTF-8"), "{stderr}");
+}
+
+#[test]
+fn cache_file_persists_and_stats_show_lifetime_totals() {
+    let scratch = Scratch::new("cache_file");
+    let module = scratch.file("m.lcm", MODULE);
+    let cache = scratch.0.join("plans.cache").display().to_string();
+
+    // Cold run: all units computed, cache file written.
+    let (code, cold, stderr) = batch(&[&module, "--cache-file", &cache], "");
+    assert_eq!(code, 0, "{stderr}");
+
+    // Warm restart: same bytes on stdout, and `--emit stats` carries the
+    // lifetime line with the *accumulated* counters — the first run's
+    // misses survive the restart in the cache footer.
+    let (code, warm, stderr) = batch(&[&module, "--cache-file", &cache], "");
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(cold, warm, "warm cache changed the answer");
+
+    let (code, stats, stderr) = batch(&[&module, "--cache-file", &cache, "--emit", "stats"], "");
+    assert_eq!(code, 0, "{stderr}");
+    let lifetime = stats
+        .lines()
+        .find(|l| l.starts_with("lifetime: "))
+        .unwrap_or_else(|| panic!("no lifetime line in:\n{stats}"));
+    // Three runs over 3 functions: 3 misses from the cold run, then hits.
+    assert!(lifetime.contains("6 hits"), "{lifetime}");
+    assert!(lifetime.contains("3 misses"), "{lifetime}");
+    assert!(lifetime.contains("0 quarantines"), "{lifetime}");
+
+    // Without --cache-file there is no lifetime line.
+    let (_, stats, _) = batch(&[&module, "--emit", "stats"], "");
+    assert!(!stats.contains("lifetime:"), "{stats}");
+}
