@@ -82,6 +82,24 @@ SPEC_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/spec.stats")"
 LCM_EVALS="$(sed -n 's/.*dynamic evaluations.*-> //p' "$SMOKE/lcm.stats")"
 test "$SPEC_EVALS" -lt "$LCM_EVALS"
 
+# Lift smoke: the committed flat three-address listing must lift to
+# exactly the committed module (byte-for-byte), and the lifted module must
+# optimize cleanly at the full validation tier. The golden memory pair
+# pins the alias model: the loop-invariant load hoists to the preheader,
+# and the same load with an in-loop may-alias store stays put.
+echo "==> lift smoke: lcmopt lift + memory golden pair"
+cargo run -q --release --bin lcmopt -- lift testdata/memory_flat.l3a \
+  > "$SMOKE/lifted.lcm"
+diff testdata/memory_flat.lcm "$SMOKE/lifted.lcm"
+cargo run -q --release --bin lcmopt -- batch "$SMOKE/lifted.lcm" \
+  --validate=full > /dev/null
+cargo run -q --release --bin lcmopt -- --validate=full \
+  < testdata/memory_loop.lcm > "$SMOKE/memloop.out"
+sed -n '/entry:/,/head:/p' "$SMOKE/memloop.out" | grep -q "load p"
+cargo run -q --release --bin lcmopt -- --validate=full \
+  < testdata/memory_alias.lcm > "$SMOKE/memalias.out"
+diff testdata/memory_alias.lcm "$SMOKE/memalias.out"
+
 # Serve smoke: the daemon must answer byte-identically to batch, survive a
 # SIGKILL crash (the write-behind cache file either loads or quarantines,
 # never wedges the restart), and still answer identically from the warm

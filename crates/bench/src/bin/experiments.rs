@@ -3,17 +3,20 @@
 //! ```sh
 //! cargo run -p lcm-bench --bin experiments --release -- all
 //! cargo run -p lcm-bench --bin experiments --release -- f1 f2 f3 f4 f5 t1 t2 t3 c1 c2 c3 e1 a1
-//! cargo run -p lcm-bench --bin experiments --release -- bench [--quick] [--check]
+//! cargo run -p lcm-bench --bin experiments --release -- bench [--quick] [--check [--gate <pct>]]
 //! ```
 //!
 //! The experiment ids follow EXPERIMENTS.md / DESIGN.md §3. The `bench`
 //! subcommand is the C4 perf baseline: it writes the current
 //! [`BENCH_CURRENT`] file (schema `lcm-bench-v1`) with
-//! solver/pipeline/batch/speculative medians and allocation counts;
+//! solver/pipeline/batch/speculative/lift medians and allocation counts;
 //! `--quick` shrinks it to CI-smoke size and `--check` validates the
 //! whole committed `BENCH_PR*.json` series against the schema — and
 //! prints the newest file against its predecessor — without external
-//! tooling.
+//! tooling. `--gate <pct>` (only with `--check`, off by default) turns
+//! the informational comparison into a hard failure when any headline
+//! metric regressed past the threshold — opt-in because the committed
+//! baselines are wall-clock numbers from potentially different machines.
 //!
 //! Everything printed is mirrored to `artifacts/experiments_output.txt`
 //! (gitignored) so runs leave a reviewable record without checking build
@@ -24,7 +27,8 @@ use std::io::Write;
 use std::sync::Mutex;
 
 use lcm_bench::{
-    compare_algorithms, fused_analysis_cost, lcm_analysis_cost, mr_analysis_cost, sized_corpus,
+    compare_algorithms, fused_analysis_cost, lcm_analysis_cost, mr_analysis_cost, num_after,
+    sized_corpus,
 };
 use lcm_cfggen::{corpus, random_dag, shapes, synthetic_profile, GenOptions};
 use lcm_core::figures::running_example;
@@ -89,20 +93,38 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         let mut quick = false;
         let mut check = false;
-        for a in &args[1..] {
+        let mut gate: Option<f64> = None;
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--check" => check = true,
+                "--gate" => {
+                    let Some(pct) = rest.next().and_then(|v| v.parse::<f64>().ok()) else {
+                        eprintln!("experiments bench: --gate needs a numeric percentage");
+                        std::process::exit(2);
+                    };
+                    if !pct.is_finite() || pct < 0.0 {
+                        eprintln!("experiments bench: --gate percentage must be >= 0");
+                        std::process::exit(2);
+                    }
+                    gate = Some(pct);
+                }
                 other => {
                     eprintln!(
-                        "experiments bench: unknown flag `{other}` (expected --quick, --check)"
+                        "experiments bench: unknown flag `{other}` \
+                         (expected --quick, --check, --gate <pct>)"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        if gate.is_some() && !check {
+            eprintln!("experiments bench: --gate only makes sense with --check");
+            std::process::exit(2);
+        }
         if check {
-            bench_check();
+            bench_check(gate);
         } else {
             bench(quick);
         }
@@ -1207,6 +1229,30 @@ fn bench(quick: bool) {
     }
     let spec_fps = weighted.len() as f64 / spec_best;
 
+    // Frontend throughput: lift a flat three-address listing into module
+    // IR and run the full pipeline on every lifted function. The listing
+    // is the memory-loop shape (a loop-invariant load), so the row also
+    // keeps the memory-aware TRANSP machinery on the measured path.
+    let lift_fns = fns.len();
+    let mut listing = String::new();
+    for i in 0..lift_fns {
+        listing.push_str(&format!(
+            "fn l{i}\ni = 3\ns = load p\nt = s + i\nobs t\ni = i - 1\nif i goto 1\nret\n"
+        ));
+    }
+    let mut lift_samples = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let lifted = lcm_ir::lift_module(&listing).expect("benchmark listing lifts");
+        for f in lifted.module.functions() {
+            lcm_core::optimize_pipeline(f, lcm_core::PreAlgorithm::LazyEdge)
+                .expect("benchmark lift corpus optimizes");
+        }
+        lift_samples.push(t0.elapsed().as_secs_f64() / lift_fns as f64);
+    }
+    lift_samples.sort_by(f64::total_cmp);
+    let lift_fps = 1.0 / lift_samples[lift_samples.len() / 2];
+
     let mut j = String::new();
     j.push_str("{\n  \"schema\": \"lcm-bench-v1\",\n");
     j.push_str(&format!("  \"quick\": {quick},\n"));
@@ -1242,28 +1288,22 @@ fn bench(quick: bool) {
         "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }},\n"
     ));
     j.push_str(&format!(
-        "  \"speculative\": {{ \"jobs\": {cores}, \"functions_per_second\": {spec_fps:.1}, \"candidates\": {spec_candidates}, \"speculated\": {spec_speculated} }}\n}}\n"
+        "  \"speculative\": {{ \"jobs\": {cores}, \"functions_per_second\": {spec_fps:.1}, \"candidates\": {spec_candidates}, \"speculated\": {spec_speculated} }},\n"
+    ));
+    j.push_str(&format!(
+        "  \"lift\": {{ \"functions\": {lift_fns}, \"lift_optimize_functions_per_second\": {lift_fps:.1} }}\n}}\n"
     ));
     std::fs::write(BENCH_CURRENT, &j).unwrap_or_else(|e| panic!("write {BENCH_CURRENT}: {e}"));
     o!("{j}");
     oln!("bench: wrote {BENCH_CURRENT}");
 }
 
-/// Extracts the number following `"key":` in `text`, if any.
-fn num_after(text: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let at = text.find(&pat)? + pat.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// The baseline file this tree's `bench` writes. Each perf-relevant PR
 /// contributes its own `BENCH_PR<n>.json`; the committed files form a
-/// series that `--check` validates as a whole.
-const BENCH_CURRENT: &str = "BENCH_PR6.json";
+/// series that `--check` validates as a whole. (PR 7 shipped no baseline
+/// — the daemon PR was perf-neutral on these metrics — so the series
+/// jumps PR 6 -> PR 8 and `--check` names the hole.)
+const BENCH_CURRENT: &str = "BENCH_PR8.json";
 
 /// The committed baseline series: every `BENCH_PR<n>.json` in the working
 /// directory, sorted by PR number.
@@ -1287,9 +1327,10 @@ fn bench_series() -> Vec<(u64, String)> {
 
 /// Schema-validates one baseline file: required keys present, metrics
 /// positive, and the warm-scratch allocation floor at its designed value.
-/// The `speculative` section only exists from PR 6 on, so it is required
-/// exactly when `require_spec` is set (the newest file of the series).
-fn bench_check_file(name: &str, require_spec: bool) {
+/// Sections that newer PRs introduced (`speculative` from PR 6, `lift`
+/// from PR 8) are required only of the newest file of the series —
+/// `newest` — since older committed baselines legitimately predate them.
+fn bench_check_file(name: &str, newest: bool) {
     let text = match std::fs::read_to_string(name) {
         Ok(t) => t,
         Err(e) => {
@@ -1339,7 +1380,7 @@ fn bench_check_file(name: &str, require_spec: bool) {
             "\"warm_floor_per_function\" must be 6 (2 export clones x 3 solves), found {other:?}"
         )),
     }
-    if require_spec {
+    if newest {
         if !text.contains("\"speculative\":") {
             fail("newest baseline must carry the \"speculative\" section".into());
         }
@@ -1352,6 +1393,15 @@ fn bench_check_file(name: &str, require_spec: bool) {
         if num_after(&text, "speculated").is_none() {
             fail("missing numeric \"speculated\" in the speculative row".into());
         }
+        if !text.contains("\"lift\":") {
+            fail("newest baseline must carry the \"lift\" section".into());
+        }
+        match num_after(&text, "lift_optimize_functions_per_second") {
+            Some(v) if v > 0.0 => {}
+            other => fail(format!(
+                "\"lift_optimize_functions_per_second\" must be positive, found {other:?}"
+            )),
+        }
     }
 }
 
@@ -1360,9 +1410,12 @@ fn bench_check_file(name: &str, require_spec: bool) {
 /// against its immediate predecessor. The comparison is informational —
 /// these are wall-clock numbers from whatever machine produced each file
 /// — but it keeps a landing baseline reviewed against the previous PR's
-/// instead of silently replacing it. Exits non-zero on the first schema
-/// violation, or when no baseline exists at all.
-fn bench_check() {
+/// instead of silently replacing it. With `gate = Some(pct)` the
+/// comparison becomes enforcing: any headline metric more than `pct`
+/// percent worse than the predecessor fails the run. Exits non-zero on
+/// the first schema violation, on a gate breach, or when no baseline
+/// exists at all.
+fn bench_check(gate: Option<f64>) {
     let series = bench_series();
     if series.is_empty() {
         eprintln!("bench --check: no BENCH_PR*.json found (run `experiments bench` first)");
@@ -1408,6 +1461,22 @@ fn bench_check() {
                 println!("  {key}: {p} -> {n} ({:+.1}%)", (n / p - 1.0) * 100.0);
             }
         }
+        if let Some(pct) = gate {
+            let violations = lcm_bench::gate_regressions(&new_text, &prev_text, pct);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!(
+                        "bench --check --gate {pct}: {} regressed {:.1}% \
+                         ({} -> {}, threshold {pct}%)",
+                        v.key, v.worse_pct, v.previous, v.current
+                    );
+                }
+                std::process::exit(1);
+            }
+            println!("bench --check: gate {pct}% passed ({newest} vs {prev})");
+        }
+    } else if let Some(pct) = gate {
+        println!("bench --check: gate {pct}% vacuously passed (single-entry series)");
     }
     println!(
         "bench --check: {} file(s) conform to lcm-bench-v1; newest is {newest}",

@@ -42,6 +42,12 @@ fn build(seed: u64, opts: &GenOptions, dag: bool) -> Function {
         // Straight-line contents.
         let instr_count = rng.gen_range(0..4usize);
         for _ in 0..instr_count {
+            // Short-circuit: zero mem_prob draws nothing from the stream.
+            if opts.mem_prob > 0.0 && rng.gen_bool(opts.mem_prob) {
+                let instr = pool.random_memory_op(&mut rng);
+                f.block_mut(b).instrs.push(instr);
+                continue;
+            }
             let dst = pool.random_var(&mut rng);
             let rv = pool.random_rvalue(&mut rng, opts);
             f.block_mut(b).instrs.push(Instr::Assign { dst, rv });

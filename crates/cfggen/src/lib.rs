@@ -61,6 +61,12 @@ pub struct GenOptions {
     pub obs_prob: f64,
     /// Maximum nesting depth for the structured generator.
     pub max_depth: usize,
+    /// Probability that a statement is a memory write (`store` or an
+    /// impure `call`); additionally, when nonzero, a slice of the
+    /// expression menu becomes `load`s. Zero (the default) generates no
+    /// memory operations **and consumes no extra RNG draws**, so every
+    /// pre-existing seeded corpus stays byte-identical.
+    pub mem_prob: f64,
 }
 
 impl Default for GenOptions {
@@ -72,6 +78,7 @@ impl Default for GenOptions {
             menu_bias: 0.7,
             obs_prob: 0.3,
             max_depth: 4,
+            mem_prob: 0.0,
         }
     }
 }
@@ -81,6 +88,15 @@ impl GenOptions {
     pub fn sized(size: usize) -> Self {
         GenOptions {
             size,
+            ..Self::default()
+        }
+    }
+
+    /// Default options with memory operations enabled: `mem_prob` of the
+    /// statements write memory and the menu mixes in `load` expressions.
+    pub fn with_memory(mem_prob: f64) -> Self {
+        GenOptions {
+            mem_prob,
             ..Self::default()
         }
     }
@@ -112,6 +128,13 @@ impl Pool {
     pub(crate) fn from_vars(vars: Vec<Var>, rng: &mut Rng, opts: &GenOptions) -> Pool {
         let mut menu = Vec::with_capacity(opts.menu);
         for _ in 0..opts.menu {
+            // Memory menu entries sit behind a short-circuit so the RNG
+            // stream (and thus every existing corpus) is untouched when
+            // mem_prob is zero.
+            if opts.mem_prob > 0.0 && rng.gen_bool(0.3) {
+                menu.push(Expr::Mem(Self::random_addr(&vars, rng)));
+                continue;
+            }
             let a = Operand::Var(vars[rng.gen_range(0..vars.len())]);
             // A slice of the menu is multiplication-by-constant, so the
             // strength-reduction extension has material to work on.
@@ -144,6 +167,51 @@ impl Pool {
 
     pub(crate) fn random_var(&self, rng: &mut Rng) -> Var {
         self.vars[rng.gen_range(0..self.vars.len())]
+    }
+
+    /// A random address operand: usually a pool variable (so loads can be
+    /// killed by ordinary assignments too), sometimes a small constant (so
+    /// distinct functions collide on the same heap cells).
+    fn random_addr(vars: &[Var], rng: &mut Rng) -> Operand {
+        if rng.gen_bool(0.7) {
+            Operand::Var(vars[rng.gen_range(0..vars.len())])
+        } else {
+            Operand::Const(rng.gen_range(0..=7))
+        }
+    }
+
+    /// A random memory operation: mostly stores, with impure (and the odd
+    /// pure) intrinsic calls mixed in. Only called when `mem_prob > 0`.
+    pub(crate) fn random_memory_op(&self, rng: &mut Rng) -> lcm_ir::Instr {
+        use lcm_ir::{Callee, Instr};
+        let addr = Self::random_addr(&self.vars, rng);
+        let val = if rng.gen_bool(0.6) {
+            Operand::Var(self.random_var(rng))
+        } else {
+            Operand::Const(rng.gen_range(-4..=4))
+        };
+        match rng.gen_range(0..6usize) {
+            0..=2 => Instr::Store { addr, val },
+            3 => Instr::Call {
+                dst: rng.gen_bool(0.5).then(|| self.random_var(rng)),
+                callee: Callee::Poke,
+                args: [addr, val],
+            },
+            4 => Instr::Call {
+                dst: Some(self.random_var(rng)),
+                callee: Callee::Bump,
+                args: [addr, val],
+            },
+            _ => Instr::Call {
+                dst: Some(self.random_var(rng)),
+                callee: if rng.gen_bool(0.5) {
+                    Callee::Min
+                } else {
+                    Callee::Max
+                },
+                args: [Operand::Var(self.random_var(rng)), val],
+            },
+        }
     }
 
     /// A random *injury*: `v = v ± d` for a pool variable — fodder for
@@ -223,6 +291,55 @@ mod tests {
         }
         // Different seeds give different programs (overwhelmingly likely).
         assert_ne!(c1[0].to_string(), corpus(8, 1, &opts)[0].to_string());
+    }
+
+    #[test]
+    fn zero_mem_prob_leaves_existing_corpora_byte_identical() {
+        // The memory knob must be a pure extension: with mem_prob == 0 the
+        // RNG stream is untouched, so programs from before the knob existed
+        // regenerate exactly.
+        let defaults = GenOptions::default();
+        let explicit = GenOptions {
+            mem_prob: 0.0,
+            ..GenOptions::default()
+        };
+        for seed in 0..20u64 {
+            assert_eq!(
+                structured(seed, &defaults).to_string(),
+                structured(seed, &explicit).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_corpus_exercises_loads_and_stores() {
+        let opts = GenOptions::with_memory(0.2);
+        let c = corpus(3, 40, &opts);
+        let mut loads = 0usize;
+        let mut writers = 0usize;
+        for f in &c {
+            lcm_ir::verify(f).unwrap();
+            loads += f
+                .expr_universe()
+                .iter()
+                .filter(|e| matches!(e, Expr::Mem(_)))
+                .count();
+            writers += f
+                .block_ids()
+                .flat_map(|b| f.block(b).instrs.iter())
+                .filter(|i| i.kills_memory())
+                .count();
+        }
+        assert!(loads > 20, "only {loads} loads in 40 functions");
+        assert!(
+            writers > 40,
+            "only {writers} memory writers in 40 functions"
+        );
+        // Deterministic in the seed, and still terminating.
+        let again = corpus(3, 40, &opts);
+        for (a, b) in c.iter().zip(&again) {
+            assert_eq!(a.to_string(), b.to_string());
+        }
     }
 
     #[test]

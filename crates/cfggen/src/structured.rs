@@ -71,6 +71,12 @@ fn emit_seq(
 }
 
 fn emit_assign(b: &mut FunctionBuilder, pool: &mut Pool, rng: &mut Rng, opts: &GenOptions) {
+    // Short-circuit keeps the RNG stream identical when mem_prob is zero.
+    if opts.mem_prob > 0.0 && rng.gen_bool(opts.mem_prob) {
+        let instr = pool.random_memory_op(rng);
+        b.push(instr);
+        return;
+    }
     if rng.gen_bool(0.12) {
         // An injury (`v = v ± d`): transparent-with-update for strength
         // reduction, an ordinary kill for plain code motion.

@@ -92,7 +92,7 @@ pub use predicates::LocalPredicates;
 pub use speculate::{speculative_plan, weights_or_unit, EdgeWeights, SpecResult, SpecStats};
 pub use transform::{apply_plan, PlacementPlan, TransformResult};
 pub use universe::ExprUniverse;
-pub use validate::{ValidationError, ValidationLevel, ValidationReport};
+pub use validate::{check_memory_kills, ValidationError, ValidationLevel, ValidationReport};
 
 use std::error::Error;
 use std::fmt;

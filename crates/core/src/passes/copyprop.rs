@@ -144,13 +144,28 @@ pub fn copy_propagation(f: &mut Function) -> usize {
                             subst(&map, a, &mut rewrites),
                             subst(&map, c, &mut rewrites),
                         )),
+                        Rvalue::Expr(Expr::Mem(a)) => {
+                            Rvalue::Expr(Expr::Mem(subst(&map, a, &mut rewrites)))
+                        }
                     };
                     Instr::Assign { dst, rv }
                 }
+                Instr::Store { addr, val } => Instr::Store {
+                    addr: subst(&map, addr, &mut rewrites),
+                    val: subst(&map, val, &mut rewrites),
+                },
+                Instr::Call { dst, callee, args } => Instr::Call {
+                    dst,
+                    callee,
+                    args: [
+                        subst(&map, args[0], &mut rewrites),
+                        subst(&map, args[1], &mut rewrites),
+                    ],
+                },
                 Instr::Observe(o) => Instr::Observe(subst(&map, o, &mut rewrites)),
             };
             rewritten.push(new_instr);
-            if let Instr::Assign { dst, .. } = new_instr {
+            if let Some(dst) = new_instr.def() {
                 map.retain(|k, v| *k != dst && *v != dst);
                 for &i in killed_by.get(&dst).map_or(&[][..], |v| v.as_slice()) {
                     live.remove(i);
@@ -346,6 +361,45 @@ mod tests {
         .unwrap();
         // x changes inside the loop, so `t = x` is not available at the
         // loop head (around the back edge) and `obs t` must stay.
+        assert_eq!(copy_propagation(&mut f), 0);
+    }
+
+    #[test]
+    fn propagates_into_memory_operands() {
+        let mut f = parse_function(
+            "fn m {
+             entry:
+               t = p
+               x = load t
+               store t, x
+               y = call bump(t, x)
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        // t → p in the load address, the store address, and the call
+        // argument.
+        assert_eq!(copy_propagation(&mut f), 3);
+        let text = f.to_string();
+        assert!(text.contains("x = load p"));
+        assert!(text.contains("store p, x"));
+        assert!(text.contains("call bump(p, x)"));
+    }
+
+    #[test]
+    fn call_destination_kills_copies() {
+        let mut f = parse_function(
+            "fn k {
+             entry:
+               t = x
+               t = call bump(q, 1)
+               obs t
+               ret
+             }",
+        )
+        .unwrap();
+        // The call redefines t, so `obs t` must not become `obs x`.
         assert_eq!(copy_propagation(&mut f), 0);
     }
 

@@ -50,7 +50,13 @@ fn dce_round(f: &mut Function) -> usize {
         for instr in instrs.iter().rev() {
             let dead = match instr {
                 Instr::Assign { dst, .. } => !live.contains(dst.index()),
-                Instr::Observe(_) => false,
+                // Stores and impure calls are liveness roots; a pure call
+                // whose result is unread (or discarded) computes nothing
+                // observable.
+                Instr::Call { dst, callee, .. } => {
+                    callee.is_pure() && dst.is_none_or(|d| !live.contains(d.index()))
+                }
+                Instr::Store { .. } | Instr::Observe(_) => false,
             };
             if dead {
                 removed += 1;
@@ -128,6 +134,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn memory_roots_and_dead_loads() {
+        let mut f = parse_function(
+            "fn m {
+             entry:
+               x = load p
+               store q, 3
+               call poke(q, 4)
+               m = call min(a, b)
+               n = call max(a, b)
+               call bump(q, 1)
+               obs n
+               ret
+             }",
+        )
+        .unwrap();
+        // Dead: the load `x` and the pure `min` with unread result. The
+        // store, both impure calls, and the observed `max` all stay.
+        assert_eq!(dce(&mut f), 2);
+        let text = f.to_string();
+        assert!(!text.contains("load"));
+        assert!(!text.contains("min"));
+        assert!(text.contains("store q, 3"));
+        assert!(text.contains("call poke(q, 4)"));
+        assert!(text.contains("call bump(q, 1)"));
+        assert!(text.contains("max"));
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub fn lcse(f: &mut Function) -> usize {
             if let Some(dst) = instr.def() {
                 pending.retain(|e, _| !e.mentions(dst));
             }
+            if instr.kills_memory() {
+                pending.retain(|e, _| !matches!(e, Expr::Mem(_)));
+            }
             if let Instr::Assign {
                 rv: Rvalue::Expr(e),
                 ..
@@ -87,6 +90,10 @@ pub fn lcse(f: &mut Function) -> usize {
             }
             if let Some(dst) = instr.def() {
                 holder.retain(|e, _| !e.mentions(dst));
+            }
+            // A memory write invalidates held load values (may-alias).
+            if instr.kills_memory() {
+                holder.retain(|e, _| !matches!(e, Expr::Mem(_)));
             }
         }
         f.block_mut(b).instrs = rewritten;
@@ -218,6 +225,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(lcse(&mut f), 0);
+    }
+
+    #[test]
+    fn store_blocks_load_reuse() {
+        let mut f = parse_function(
+            "fn m {
+             entry:
+               x = load p
+               store p, 9
+               y = load p
+               obs x
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut f), 0);
+        // Without the intervening store the second load is a reuse.
+        let mut g = parse_function(
+            "fn m2 {
+             entry:
+               x = load p
+               y = load p
+               obs x
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut g), 1);
+        // A pure call does not block reuse; an impure one does.
+        let mut h = parse_function(
+            "fn m3 {
+             entry:
+               x = load p
+               m = call min(x, 1)
+               y = load p
+               obs m
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut h), 1);
+        let mut k = parse_function(
+            "fn m4 {
+             entry:
+               x = load p
+               m = call bump(q, 1)
+               y = load p
+               obs m
+               obs x
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(lcse(&mut k), 0);
     }
 
     #[test]

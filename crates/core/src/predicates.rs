@@ -15,6 +15,13 @@
 //! A single instruction `a = a + b` is an occurrence (the right-hand side
 //! is evaluated first) and then a kill: the block has ANTLOC but not COMP
 //! and not TRANSP for `a + b`.
+//!
+//! For `load` expressions TRANSP is additionally *alias-aware*: under the
+//! base- and field-insensitive model, every `store` and every non-pure
+//! `call` may write any heap cell, so each such instruction kills **all**
+//! `Mem` expressions ([`ExprUniverse::mem_mask`]). The kill applies at the
+//! killer's program point exactly like a destination kill: a load occurring
+//! before an in-block store keeps ANTLOC, one after it loses it.
 
 use lcm_dataflow::BitSet;
 use lcm_ir::{BlockId, Function, Instr, Rvalue};
@@ -110,6 +117,13 @@ fn scan_block(
                 transp[i].difference_with(mask);
             }
         }
+        // Memory writers kill every load (may-alias, base/field-insensitive).
+        if instr.kills_memory() {
+            let mask = universe.mem_mask();
+            killed_so_far.union_with(mask);
+            avail_now.difference_with(mask);
+            transp[i].difference_with(mask);
+        }
     }
     comp[i] = avail_now;
 }
@@ -195,6 +209,58 @@ mod tests {
         assert!(p.antloc[e].contains(0));
         assert!(p.comp[e].contains(0));
         assert!(!p.transp[e].contains(0));
+    }
+
+    #[test]
+    fn store_kills_loads_positionally() {
+        // Load, store, load: the first load is upward exposed, the second
+        // is downward exposed, the block is not transparent for the load.
+        let (f, uni, p) = predicates_of(
+            "fn m {
+             entry:
+               x = load p
+               store q, 1
+               y = load p
+               ret
+             }",
+        );
+        let e = f.entry().index();
+        let load = uni
+            .index_of(lcm_ir::Expr::Mem(lcm_ir::Operand::Var(
+                f.symbols.get("p").unwrap(),
+            )))
+            .unwrap();
+        assert!(p.antloc[e].contains(load));
+        assert!(p.comp[e].contains(load));
+        assert!(!p.transp[e].contains(load));
+        assert!(p.kill[e].contains(load));
+    }
+
+    #[test]
+    fn impure_call_kills_loads_but_pure_does_not() {
+        let (f, uni, p) = predicates_of(
+            "fn c {
+             entry:
+               x = load p
+               m = call min(x, 1)
+               jmp other
+             other:
+               call poke(q, 2)
+               ret
+             }",
+        );
+        let load = uni
+            .index_of(lcm_ir::Expr::Mem(lcm_ir::Operand::Var(
+                f.symbols.get("p").unwrap(),
+            )))
+            .unwrap();
+        let e = f.entry().index();
+        // The pure `min` call leaves the load transparent...
+        assert!(p.transp[e].contains(load));
+        assert!(p.comp[e].contains(load));
+        // ...but the impure `poke` kills it.
+        let other = f.block_by_name("other").unwrap().index();
+        assert!(!p.transp[other].contains(load));
     }
 
     #[test]

@@ -414,6 +414,9 @@ fn rewrite_block(
                 later_use.remove(idx);
             }
         }
+        if instr.kills_memory() {
+            later_use.difference_with(uni.mem_mask());
+        }
         if let Instr::Assign {
             rv: Rvalue::Expr(e),
             ..
@@ -475,6 +478,11 @@ fn rewrite_block(
             for &idx in uni.killed_by(dst) {
                 have_temp.remove(idx);
             }
+        }
+        // A memory write invalidates every load temp: the next occurrence
+        // of any `Mem` expression must recompute, not read a stale temp.
+        if instr.kills_memory() {
+            have_temp.difference_with(uni.mem_mask());
         }
     }
     out.block_mut(b).instrs = rewritten;

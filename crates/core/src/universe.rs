@@ -40,6 +40,10 @@ pub struct ExprUniverse {
     /// on a whole predicate vector is a handful of word operations instead
     /// of a loop over indices.
     kill_masks: HashMap<Var, BitSet>,
+    /// The positions of the `Mem` (load) expressions: the alias-aware kill
+    /// mask applied at every `store` and non-pure `call` (base- and
+    /// field-insensitive, so one mask covers every memory killer).
+    mem_mask: BitSet,
 }
 
 impl ExprUniverse {
@@ -79,11 +83,18 @@ impl ExprUniverse {
                 (v, mask)
             })
             .collect();
+        let mut mem_mask = BitSet::new(nbits);
+        for (i, e) in dedup.iter().enumerate() {
+            if matches!(e, Expr::Mem(_)) {
+                mem_mask.insert(i);
+            }
+        }
         ExprUniverse {
             exprs: dedup,
             index,
             killed_by,
             kill_masks,
+            mem_mask,
         }
     }
 
@@ -131,6 +142,19 @@ impl ExprUniverse {
     /// entirely for temp-only definitions.
     pub fn kill_mask(&self, v: Var) -> Option<&BitSet> {
         self.kill_masks.get(&v)
+    }
+
+    /// The positions of the `Mem` (load) expressions — the kill mask of
+    /// every memory-writing instruction (`store`, non-pure `call`) under
+    /// the base- and field-insensitive alias model. Empty for functions
+    /// without loads, so callers can skip the sweep entirely.
+    pub fn mem_mask(&self) -> &BitSet {
+        &self.mem_mask
+    }
+
+    /// Returns `true` if the universe contains any `Mem` expression.
+    pub fn has_mem_exprs(&self) -> bool {
+        self.mem_mask.iter().next().is_some()
     }
 
     /// An empty bit set sized to this universe.
@@ -225,6 +249,28 @@ mod tests {
         let uni = ExprUniverse::of(&f);
         let a = f.symbols.get("a").unwrap();
         assert_eq!(uni.killed_by(a), &[0]); // listed once despite two operands
+    }
+
+    #[test]
+    fn mem_mask_covers_exactly_the_loads() {
+        let f = parse_function(
+            "fn m {
+             entry:
+               x = a + b
+               y = load p
+               z = load 5
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        assert_eq!(uni.len(), 3);
+        assert!(uni.has_mem_exprs());
+        assert_eq!(uni.mem_mask().iter().collect::<Vec<_>>(), vec![1, 2]);
+        // Assigning the address variable also kills the load, via the
+        // ordinary operand-kill map.
+        let p = f.symbols.get("p").unwrap();
+        assert_eq!(uni.killed_by(p), &[1]);
     }
 
     #[test]

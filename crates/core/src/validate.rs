@@ -131,6 +131,15 @@ pub enum ValidationError {
         /// Universe index of the offending expression.
         expr: usize,
     },
+    /// A block containing a memory write (`store` or non-pure `call`) is
+    /// recorded as transparent for some load — the alias-aware kill was
+    /// dropped, so a planner could hoist a load across a may-alias store.
+    MemoryKillDropped {
+        /// Label of the offending block.
+        block: String,
+        /// Universe index of the load expression that should be killed.
+        expr: usize,
+    },
     /// Differential execution found an input on which the original and
     /// transformed functions observe different traces.
     NotObservationallyEquivalent {
@@ -170,6 +179,11 @@ impl fmt::Display for ValidationError {
                 f,
                 "insertion of expression #{expr} at {at} lies outside the \
                  recomputed LATER set"
+            ),
+            ValidationError::MemoryKillDropped { block, expr } => write!(
+                f,
+                "memory kill dropped: block `{block}` writes memory but is \
+                 recorded transparent for load expression #{expr}"
             ),
             ValidationError::NotObservationallyEquivalent { input_index } => write!(
                 f,
@@ -267,6 +281,53 @@ fn check_later_invariant(
     Ok(())
 }
 
+/// Independently re-derives the alias-aware memory-kill rule: every block
+/// containing a `store` or a non-pure `call` must be opaque (`¬TRANSP`,
+/// `KILL`) to every `Mem` expression of the universe.
+///
+/// Both sides are re-derived by *direct pattern match* — deliberately not
+/// via [`Instr::kills_memory`] or [`ExprUniverse::mem_mask`] — so a bug in
+/// that shared plumbing (or a corrupted predicate table) cannot hide from
+/// its own reflection. The intrinsic purity table is duplicated here as an
+/// exhaustive match for the same reason: adding a `Callee` forces this
+/// check to take a position on it.
+pub fn check_memory_kills(
+    f: &Function,
+    uni: &ExprUniverse,
+    local: &LocalPredicates,
+) -> Result<(), ValidationError> {
+    let mem_indices: Vec<usize> = uni
+        .iter()
+        .filter(|(_, e)| matches!(e, lcm_ir::Expr::Mem(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if mem_indices.is_empty() {
+        return Ok(());
+    }
+    for b in f.block_ids() {
+        let writes_memory = f.block(b).instrs.iter().any(|i| match i {
+            Instr::Store { .. } => true,
+            Instr::Call { callee, .. } => match callee {
+                lcm_ir::Callee::Min | lcm_ir::Callee::Max => false,
+                lcm_ir::Callee::Poke | lcm_ir::Callee::Bump => true,
+            },
+            Instr::Assign { .. } | Instr::Observe(_) => false,
+        });
+        if !writes_memory {
+            continue;
+        }
+        for &expr in &mem_indices {
+            if local.transp[b.index()].contains(expr) || !local.kill[b.index()].contains(expr) {
+                return Err(ValidationError::MemoryKillDropped {
+                    block: f.block(b).name.clone(),
+                    expr,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Counts the `t := e` computations in the output that define one of the
 /// rewriter's temporaries — must equal `insertions + retained_defs`.
 fn count_temp_defs(out: &Function, temps: &[lcm_ir::Var]) -> usize {
@@ -334,6 +395,12 @@ pub fn validate_optimized(
         check_plan_safety(&opt.input, &uni, &local, &ga, &opt.plan)
             .map_err(ValidationError::UnsafeInsertion)?;
     }
+    report.checks_run += 1;
+
+    // 2b. Memory kills survived predicate computation: blocks that write
+    //     memory are opaque to every load, re-derived independently of the
+    //     mask plumbing the analyses share.
+    check_memory_kills(&opt.input, &uni, &local)?;
     report.checks_run += 1;
 
     // 3. Lifetime-optimality direction for the edge formulation: the
@@ -572,6 +639,71 @@ mod tests {
         let err = validate_optimized(&f, &opt, ValidationLevel::Fast, 0).unwrap_err();
         assert!(matches!(err, ValidationError::UnsafeInsertion(_)));
         assert!(err.to_string().contains("side-effect-free"));
+    }
+
+    #[test]
+    fn memory_kill_rule_fires_on_corrupted_predicates() {
+        let f = parse_function(
+            "fn m {
+             entry:
+               x = load p
+               store q, 1
+               y = load p
+               obs x
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let uni = ExprUniverse::of(&f);
+        let mut local = LocalPredicates::compute(&f, &uni);
+        // Honest predicates pass.
+        check_memory_kills(&f, &uni, &local).unwrap();
+        // Re-insert the dropped transparency bit for the load (universe
+        // index 0) in the storing block, as a broken mask sweep would.
+        let b = f.entry().index();
+        let load = uni
+            .index_of(lcm_ir::Expr::Mem(lcm_ir::Operand::Var(
+                f.symbols.get("p").unwrap(),
+            )))
+            .unwrap();
+        local.transp[b].insert(load);
+        local.kill[b].remove(load);
+        let err = check_memory_kills(&f, &uni, &local).unwrap_err();
+        assert!(
+            matches!(err, ValidationError::MemoryKillDropped { ref block, expr }
+                     if block == "entry" && expr == load)
+        );
+        assert!(err.to_string().contains("memory kill dropped"));
+    }
+
+    #[test]
+    fn memory_functions_validate_clean_end_to_end() {
+        let f = parse_function(
+            "fn m {
+             entry:
+               i = 3
+               jmp head
+             head:
+               x = load p
+               obs x
+               br i, body, done
+             body:
+               i = i - 1
+               jmp head
+             done:
+               call poke(p, 9)
+               y = load p
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        for alg in PreAlgorithm::ALL {
+            let opt = optimize(&f, alg).unwrap();
+            validate_optimized(&f, &opt, ValidationLevel::Full, 11)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        }
     }
 
     #[test]

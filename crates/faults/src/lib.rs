@@ -22,7 +22,7 @@ use lcm_core::{
 };
 use lcm_dataflow::{CfgView, SolveStrategy, SolverScratch};
 use lcm_driver::PlanCache;
-use lcm_ir::{BlockData, BlockId, Function, Instr, Profile, Rvalue, Terminator, Var};
+use lcm_ir::{BlockData, BlockId, Expr, Function, Instr, Profile, Rvalue, Terminator, Var};
 
 /// One class of seeded corruption, modelling a distinct implementation
 /// bug in a PRE pass.
@@ -413,6 +413,81 @@ pub fn optimize_with_poisoned_scratch(
     })
 }
 
+/// The product of [`optimize_with_dropped_store_kill`]: the
+/// wrong-but-plausible result plus the corrupted predicate table the plan
+/// was derived from, so tests can aim
+/// [`check_memory_kills`](lcm_core::check_memory_kills) at the exact state
+/// a memory-kill-dropping implementation would present.
+pub struct DroppedStoreKill {
+    /// The optimization result planned over the corrupted predicates.
+    pub opt: Optimized,
+    /// The predicates with one killer block's memory kills dropped.
+    pub corrupted: LocalPredicates,
+}
+
+/// Runs the edge-formulation pipeline on `f` with the alias-aware memory
+/// kill *dropped* in one seeded killer block: the block's `TRANSP` gets
+/// its `Mem` bits back (and its `KILL` loses them), exactly as if the
+/// implementation forgot that a `store` or impure `call` may write any
+/// heap cell. The planner then sees loads as loop-invariant across
+/// may-alias stores and will happily hoist them — the memory bug this PR's
+/// validator rule exists to catch.
+///
+/// Returns `Ok(None)` when the fault does not apply: `f` has no load
+/// expressions or no memory-writing instructions.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] if a solve over the corrupted predicates
+/// diverges.
+pub fn optimize_with_dropped_store_kill(
+    f: &Function,
+    seed: u64,
+) -> Result<Option<DroppedStoreKill>, PipelineError> {
+    let uni = ExprUniverse::of(f);
+    let mem: Vec<usize> = uni
+        .iter()
+        .filter(|(_, e)| matches!(e, Expr::Mem(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if mem.is_empty() {
+        return Ok(None);
+    }
+    let killers: Vec<usize> = f
+        .block_ids()
+        .filter(|&b| f.block(b).instrs.iter().any(|i| i.kills_memory()))
+        .map(|b| b.index())
+        .collect();
+    if killers.is_empty() {
+        return Ok(None);
+    }
+    let mut local = LocalPredicates::compute(f, &uni);
+    let mut state = seed ^ 0x5EED_FA17_u64;
+    let b = killers[(splitmix64(&mut state) % killers.len() as u64) as usize];
+    for &e in &mem {
+        local.transp[b].insert(e);
+        local.kill[b].remove(e);
+    }
+    let strategy = SolveStrategy::default();
+    let mut scratch = SolverScratch::new();
+    let view = CfgView::new(f);
+    let ga = GlobalAnalyses::compute_with(f, &uni, &local, &view, strategy, &mut scratch)?;
+    let lazy = lazy_edge_plan_with(f, &uni, &local, &ga, &view, strategy, &mut scratch)?;
+    let transform = apply_plan(f, &uni, &local, &lazy.plan);
+    Ok(Some(DroppedStoreKill {
+        opt: Optimized {
+            function: transform.function.clone(),
+            transform,
+            plan: lazy.plan,
+            input: f.clone(),
+            algorithm: PreAlgorithm::LazyEdge,
+            pipeline_stats: None,
+            spec: None,
+        },
+        corrupted: local,
+    }))
+}
+
 /// Corrupts one weight of an edge profile in place — modelling bit-rot or
 /// a buggy profiler writing the textual profile section the driver later
 /// trusts. The perturbation is seeded and always *lands* (the chosen
@@ -699,6 +774,57 @@ mod tests {
         // The corpus is large enough to exercise both outcomes.
         assert!(refused > 0, "no corruption was refused by resolution");
         assert!(resolved + refused >= 20);
+    }
+
+    #[test]
+    fn dropped_store_kill_is_caught() {
+        // A loop-carried may-alias store in a separate block from the
+        // load: with the memory kill dropped, the load looks loop-invariant
+        // and the planner hoists it, leaving `obs x` reading a stale cell.
+        let f = parse_function(
+            "fn alias {
+             entry:
+               i = 3
+               jmp head
+             head:
+               x = load p
+               obs x
+               jmp body
+             body:
+               store p, i
+               i = i - 1
+               br i, head, done
+             done:
+               ret
+             }",
+        )
+        .unwrap();
+        let injected = optimize_with_dropped_store_kill(&f, 7)
+            .unwrap()
+            .expect("function has loads and a store");
+        // The new validator rule fires on the corrupted predicate table —
+        // the exact state a kill-dropping implementation would present.
+        let uni = lcm_core::ExprUniverse::of(&f);
+        let err = lcm_core::check_memory_kills(&f, &uni, &injected.corrupted).unwrap_err();
+        assert!(
+            matches!(err, ValidationError::MemoryKillDropped { .. }),
+            "unexpected {err}"
+        );
+        // End-to-end, the result planned over those predicates is rejected
+        // (full tier: the hoisted load observably reads a stale value).
+        let res = validate_optimized(&f, &injected.opt, ValidationLevel::Full, 7);
+        assert!(res.is_err(), "dropped store kill survived validation");
+        // Deterministic per seed.
+        let again = optimize_with_dropped_store_kill(&f, 7).unwrap().unwrap();
+        assert_eq!(
+            injected.opt.function.to_string(),
+            again.opt.function.to_string()
+        );
+        // Not applicable to memory-free subjects.
+        let pure = parse_function(DIAMOND).unwrap();
+        assert!(optimize_with_dropped_store_kill(&pure, 0)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! unless overridden by [`Inputs`], and execution is bounded by fuel, so the
 //! interpreter never traps and never diverges.
 //!
+//! Memory programs run against a *flat addressable heap*: a total map from
+//! `i64` addresses to `i64` values, every cell initially `0`. `load`
+//! evaluates a [`Mem`](lcm_ir::Expr::Mem) expression (and counts toward
+//! [`Execution::eval_count`], so eval-count non-regression covers loads);
+//! `store` and the impure call intrinsics (`poke`, `bump`) write cells.
+//! Nothing faults: an arbitrary address is simply a cell holding `0` until
+//! written. This keeps differential validation and [`Execution::edge_visits`]
+//! profiles exact on memory programs.
+//!
 //! ```
 //! use lcm_interp::{run, Inputs};
 //! use lcm_ir::parse_function;
@@ -39,7 +48,7 @@
 
 use std::collections::HashMap;
 
-use lcm_ir::{BlockId, Expr, Function, Instr, Operand, Rvalue, Terminator, Var};
+use lcm_ir::{BlockId, Callee, Expr, Function, Instr, Operand, Rvalue, Terminator, Var};
 
 /// Initial variable values, keyed by *name* so the same inputs can be fed to
 /// an original function and its transformed version (whose [`Var`] indices
@@ -106,6 +115,8 @@ pub struct Execution {
     eval_counts: HashMap<Expr, u64>,
     /// Final variable values, indexed by `Var`.
     env: Vec<i64>,
+    /// Final heap contents (only cells ever written appear).
+    heap: HashMap<i64, i64>,
 }
 
 impl Execution {
@@ -138,6 +149,11 @@ impl Execution {
     pub fn value(&self, v: Var) -> i64 {
         self.env.get(v.index()).copied().unwrap_or(0)
     }
+
+    /// The final value of heap cell `addr` (0 if never written).
+    pub fn heap_value(&self, addr: i64) -> i64 {
+        self.heap.get(&addr).copied().unwrap_or(0)
+    }
 }
 
 fn initial_env(f: &Function, inputs: &Inputs) -> Vec<i64> {
@@ -157,10 +173,29 @@ fn eval_operand(env: &[i64], op: Operand) -> i64 {
     }
 }
 
-fn eval_expr(env: &[i64], e: Expr) -> i64 {
+fn eval_expr(env: &[i64], heap: &HashMap<i64, i64>, e: Expr) -> i64 {
     match e {
         Expr::Un(op, a) => op.eval(eval_operand(env, a)),
         Expr::Bin(op, a, b) => op.eval(eval_operand(env, a), eval_operand(env, b)),
+        Expr::Mem(a) => heap.get(&eval_operand(env, a)).copied().unwrap_or(0),
+    }
+}
+
+/// Evaluates a call intrinsic, mutating the heap for the impure ones.
+fn eval_call(heap: &mut HashMap<i64, i64>, callee: Callee, a: i64, b: i64) -> i64 {
+    match callee {
+        Callee::Min => a.min(b),
+        Callee::Max => a.max(b),
+        Callee::Poke => {
+            let old = heap.get(&a).copied().unwrap_or(0);
+            heap.insert(a, b);
+            old
+        }
+        Callee::Bump => {
+            let new = heap.get(&a).copied().unwrap_or(0).wrapping_add(b);
+            heap.insert(a, new);
+            new
+        }
     }
 }
 
@@ -199,6 +234,7 @@ pub fn run_with(
     recorder: &mut dyn Recorder,
 ) -> Execution {
     let mut env = initial_env(f, inputs);
+    let mut heap: HashMap<i64, i64> = HashMap::new();
     let mut trace = Vec::new();
     let mut eval_counts: HashMap<Expr, u64> = HashMap::new();
     let mut block_visits = vec![0u64; f.num_blocks()];
@@ -228,12 +264,23 @@ pub fn run_with(
                         Rvalue::Operand(op) => eval_operand(&env, op),
                         Rvalue::Expr(e) => {
                             *eval_counts.entry(e).or_insert(0) += 1;
-                            eval_expr(&env, e)
+                            eval_expr(&env, &heap, e)
                         }
                     };
                     env[dst.index()] = value;
                 }
                 Instr::Observe(op) => trace.push(eval_operand(&env, op)),
+                Instr::Store { addr, val } => {
+                    heap.insert(eval_operand(&env, addr), eval_operand(&env, val));
+                }
+                Instr::Call { dst, callee, args } => {
+                    let a = eval_operand(&env, args[0]);
+                    let b = eval_operand(&env, args[1]);
+                    let value = eval_call(&mut heap, callee, a, b);
+                    if let Some(dst) = dst {
+                        env[dst.index()] = value;
+                    }
+                }
             }
         }
         if steps >= fuel {
@@ -265,6 +312,7 @@ pub fn run_with(
         edge_visits,
         eval_counts,
         env,
+        heap,
     }
 }
 
@@ -444,6 +492,66 @@ mod tests {
             let expected = incoming + u64::from(b == f.entry());
             assert_eq!(out.block_visits[b.index()], expected);
         }
+    }
+
+    #[test]
+    fn heap_semantics_are_total_and_observable() {
+        let f = parse_function(
+            "fn h {
+             entry:
+               x = load p        # unwritten cell reads 0
+               obs x
+               store p, 7
+               y = load p
+               obs y
+               old = call poke(p, 9)
+               obs old
+               z = call bump(p, 2)
+               obs z
+               q = load 5        # constant address, distinct cell
+               obs q
+               m = call min(y, z)
+               obs m
+               ret
+             }",
+        )
+        .unwrap();
+        let out = run(&f, &Inputs::new().set("p", 100), 1_000);
+        assert!(out.completed());
+        assert_eq!(out.trace, vec![0, 7, 7, 11, 0, 7]);
+        assert_eq!(out.heap_value(100), 11);
+        assert_eq!(out.heap_value(5), 0);
+        // Loads count as candidate evaluations.
+        let load_p = f
+            .expr_universe()
+            .into_iter()
+            .find(|e| matches!(e, Expr::Mem(Operand::Var(_))))
+            .unwrap();
+        assert_eq!(out.eval_count(load_p), 2);
+    }
+
+    #[test]
+    fn stores_kill_loads_dynamically() {
+        // The same load before and after an aliasing store observes
+        // different values — the fact TRANSP must account for.
+        let f = parse_function(
+            "fn k {
+             entry:
+               a = load p
+               store q, 1
+               b = load p
+               obs a
+               obs b
+               ret
+             }",
+        )
+        .unwrap();
+        // p and q alias (same address): the second load sees the store.
+        let out = run(&f, &Inputs::new().set("p", 3).set("q", 3), 100);
+        assert_eq!(out.trace, vec![0, 1]);
+        // Distinct addresses: the store is invisible to the load.
+        let out = run(&f, &Inputs::new().set("p", 3).set("q", 4), 100);
+        assert_eq!(out.trace, vec![0, 0]);
     }
 
     #[test]

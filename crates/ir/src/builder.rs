@@ -2,7 +2,7 @@
 
 use crate::expr::{BinOp, Expr, Operand, Rvalue, UnOp};
 use crate::function::{BlockData, BlockId, Function};
-use crate::instr::{Instr, Terminator};
+use crate::instr::{Callee, Instr, Terminator};
 
 /// Builds a [`Function`] imperatively, one block at a time.
 ///
@@ -151,6 +151,47 @@ impl FunctionBuilder {
         dst
     }
 
+    /// Appends `dst = load addr` (a heap read; a PRE candidate).
+    pub fn load(&mut self, dst: impl AsRef<str>, addr: impl IntoOperand) -> crate::Var {
+        let addr = addr.into_operand(&mut self.f);
+        let dst = self.f.var(dst);
+        self.push(Instr::Assign {
+            dst,
+            rv: Rvalue::Expr(Expr::Mem(addr)),
+        });
+        dst
+    }
+
+    /// Appends `store addr, val` (a heap write; kills every load).
+    pub fn store(&mut self, addr: impl IntoOperand, val: impl IntoOperand) -> &mut Self {
+        let addr = addr.into_operand(&mut self.f);
+        let val = val.into_operand(&mut self.f);
+        self.push(Instr::Store { addr, val })
+    }
+
+    /// Appends `dst = call callee(a, b)`; pass `""` as `dst` to discard the
+    /// result (`call callee(a, b)`).
+    pub fn call(
+        &mut self,
+        dst: impl AsRef<str>,
+        callee: Callee,
+        a: impl IntoOperand,
+        b: impl IntoOperand,
+    ) -> Option<crate::Var> {
+        let a = a.into_operand(&mut self.f);
+        let b = b.into_operand(&mut self.f);
+        let dst = match dst.as_ref() {
+            "" => None,
+            name => Some(self.f.var(name)),
+        };
+        self.push(Instr::Call {
+            dst,
+            callee,
+            args: [a, b],
+        });
+        dst
+    }
+
     /// Appends `obs op`.
     pub fn observe(&mut self, op: impl IntoOperand) -> &mut Self {
         let op = op.into_operand(&mut self.f);
@@ -234,6 +275,30 @@ mod tests {
     fn unknown_operator_is_an_error() {
         let mut b = FunctionBuilder::new("f");
         assert!(b.assign_bin("x", "**", "a", "b").is_err());
+    }
+
+    #[test]
+    fn builds_memory_instructions() {
+        let mut b = FunctionBuilder::new("m");
+        b.load("x", "p");
+        b.store("p", "x");
+        b.call("y", Callee::Min, "x", 3);
+        assert_eq!(b.call("", Callee::Poke, "p", "y"), None);
+        b.observe("y");
+        b.jump_exit();
+        let f = b.finish();
+        crate::verify(&f).unwrap();
+        assert_eq!(
+            f.block(f.entry())
+                .instrs
+                .iter()
+                .filter(|i| i.kills_memory())
+                .count(),
+            2
+        );
+        // Round-trips through print + parse.
+        let reparsed = crate::parse_function(&f.to_string()).unwrap();
+        assert_eq!(f.to_string(), reparsed.to_string());
     }
 
     #[test]

@@ -276,6 +276,15 @@ pub enum Expr {
     Un(UnOp, Operand),
     /// A binary application `a op b`.
     Bin(BinOp, Operand, Operand),
+    /// A memory read `load a` from the flat addressable heap.
+    ///
+    /// Loads join the expression universe so PRE applies to them, but
+    /// transparency must additionally account for memory kills: with the
+    /// base- and field-insensitive alias model, *every* `store` and every
+    /// non-pure `call` may alias *every* load, so any such instruction
+    /// makes the containing block non-transparent for all `Mem`
+    /// expressions (see `lcm-core`'s `ExprUniverse::mem_mask`).
+    Mem(Operand),
 }
 
 impl Expr {
@@ -285,7 +294,7 @@ impl Expr {
     /// expression (makes the containing block non-transparent).
     pub fn mentions(self, v: Var) -> bool {
         match self {
-            Expr::Un(_, a) => a.mentions(v),
+            Expr::Un(_, a) | Expr::Mem(a) => a.mentions(v),
             Expr::Bin(_, a, b) => a.mentions(v) || b.mentions(v),
         }
     }
@@ -293,7 +302,7 @@ impl Expr {
     /// Iterates over the variable operands of this expression.
     pub fn vars(self) -> impl Iterator<Item = Var> {
         let (a, b) = match self {
-            Expr::Un(_, a) => (a.as_var(), None),
+            Expr::Un(_, a) | Expr::Mem(a) => (a.as_var(), None),
             Expr::Bin(_, a, b) => (a.as_var(), b.as_var()),
         };
         a.into_iter().chain(b)
@@ -304,18 +313,21 @@ impl Expr {
     /// is restricted to.
     ///
     /// Unary operators and faultless binary operators qualify; `/` and `%`
-    /// do not (see [`BinOp::may_fault`]).
+    /// do not (see [`BinOp::may_fault`]), and neither do loads — on a real
+    /// target a speculated load can fault on an address the original
+    /// program never dereferenced.
     pub fn side_effect_free(self) -> bool {
         match self {
             Expr::Un(..) => true,
             Expr::Bin(op, ..) => !op.may_fault(),
+            Expr::Mem(_) => false,
         }
     }
 
     /// Iterates over the operands of this expression.
     pub fn operands(self) -> impl Iterator<Item = Operand> {
         let (a, b) = match self {
-            Expr::Un(_, a) => (a, None),
+            Expr::Un(_, a) | Expr::Mem(a) => (a, None),
             Expr::Bin(_, a, b) => (a, Some(b)),
         };
         std::iter::once(a).chain(b)
@@ -347,7 +359,7 @@ impl Rvalue {
     pub fn vars(self) -> impl Iterator<Item = Var> {
         let (a, b) = match self {
             Rvalue::Operand(a) => (a.as_var(), None),
-            Rvalue::Expr(Expr::Un(_, a)) => (a.as_var(), None),
+            Rvalue::Expr(Expr::Un(_, a)) | Rvalue::Expr(Expr::Mem(a)) => (a.as_var(), None),
             Rvalue::Expr(Expr::Bin(_, a, b)) => (a.as_var(), b.as_var()),
         };
         a.into_iter().chain(b)
@@ -410,6 +422,20 @@ mod tests {
         assert_eq!(BinOp::Lt.eval(1, 2), 1);
         assert_eq!(UnOp::Neg.eval(i64::MIN), i64::MIN);
         assert_eq!(UnOp::Not.eval(0), -1);
+    }
+
+    #[test]
+    fn mem_expr_shape() {
+        let e = Expr::Mem(Operand::Var(Var(2)));
+        assert!(e.mentions(Var(2)));
+        assert!(!e.mentions(Var(0)));
+        assert!(!e.side_effect_free());
+        assert_eq!(e.vars().collect::<Vec<_>>(), vec![Var(2)]);
+        assert_eq!(e.operands().count(), 1);
+        let rv: Rvalue = e.into();
+        assert_eq!(rv.vars().collect::<Vec<_>>(), vec![Var(2)]);
+        // Loads from constant addresses mention no variable at all.
+        assert_eq!(Expr::Mem(Operand::Const(8)).vars().count(), 0);
     }
 
     #[test]

@@ -21,10 +21,37 @@ pub enum Instr {
     /// An observation `obs x`: appends the operand's current value to the
     /// program's observation trace.
     ///
-    /// Observations are the IR's only side effect; two programs are
-    /// semantically equivalent iff they produce the same trace on every
-    /// input. They are opaque to the optimizer (never moved or removed).
+    /// Observations and heap writes are the IR's only side effects; two
+    /// programs are semantically equivalent iff they produce the same trace
+    /// on every input. They are opaque to the optimizer (never moved or
+    /// removed).
     Observe(Operand),
+    /// A memory write `store addr, val` into the flat addressable heap.
+    ///
+    /// Under the base- and field-insensitive alias model a store may alias
+    /// *every* load, so it kills all `Mem` expressions (see
+    /// [`Instr::kills_memory`]). Stores are never moved or removed.
+    Store {
+        /// Heap address written (the value of the operand is the address).
+        addr: Operand,
+        /// Value stored.
+        val: Operand,
+    },
+    /// An intrinsic call `dst = call f(a, b)` (or `call f(a, b)` when the
+    /// result is discarded).
+    ///
+    /// The callee is one of a fixed table of binary intrinsics
+    /// ([`Callee`]); impure callees write the heap and therefore kill every
+    /// `Mem` expression. Calls are never moved or removed by PRE — only
+    /// their *result uses* participate via ordinary variables.
+    Call {
+        /// Destination for the call's result, if captured.
+        dst: Option<Var>,
+        /// The intrinsic being invoked.
+        callee: Callee,
+        /// The two argument operands (every intrinsic is binary).
+        args: [Operand; 2],
+    },
 }
 
 impl Instr {
@@ -33,7 +60,8 @@ impl Instr {
     pub fn def(self) -> Option<Var> {
         match self {
             Instr::Assign { dst, .. } => Some(dst),
-            Instr::Observe(_) => None,
+            Instr::Call { dst, .. } => dst,
+            Instr::Observe(_) | Instr::Store { .. } => None,
         }
     }
 
@@ -42,8 +70,73 @@ impl Instr {
         let vars: Vec<Var> = match self {
             Instr::Assign { rv, .. } => rv.vars().collect(),
             Instr::Observe(op) => op.as_var().into_iter().collect(),
+            Instr::Store { addr, val } => addr.as_var().into_iter().chain(val.as_var()).collect(),
+            Instr::Call { args, .. } => args.iter().filter_map(|a| a.as_var()).collect(),
         };
         vars.into_iter()
+    }
+
+    /// Returns `true` if this instruction may write the heap, i.e. kills
+    /// every `Mem` expression under the base- and field-insensitive alias
+    /// model: any `store`, and any call to a non-pure intrinsic.
+    #[inline]
+    pub fn kills_memory(self) -> bool {
+        match self {
+            Instr::Store { .. } => true,
+            Instr::Call { callee, .. } => !callee.is_pure(),
+            Instr::Assign { .. } | Instr::Observe(_) => false,
+        }
+    }
+}
+
+/// The fixed table of call targets.
+///
+/// Keeping the callee set closed (and every intrinsic binary) keeps
+/// [`Instr`] `Copy` and the interpreter total; the distinction that matters
+/// to the optimizer is only [`Callee::is_pure`] — impure intrinsics write
+/// the heap and kill every `Mem` expression.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Callee {
+    /// `min(a, b)` — pure.
+    Min,
+    /// `max(a, b)` — pure.
+    Max,
+    /// `poke(addr, val)` — writes `val` to `heap[addr]`, returns the value
+    /// previously stored there. Impure.
+    Poke,
+    /// `bump(addr, delta)` — adds `delta` to `heap[addr]` (wrapping),
+    /// returns the new value. Impure.
+    Bump,
+}
+
+impl Callee {
+    /// All intrinsics, in display order.
+    pub const ALL: [Callee; 4] = [Callee::Min, Callee::Max, Callee::Poke, Callee::Bump];
+
+    /// The intrinsic's textual name (as used by the parser and printer).
+    pub fn name(self) -> &'static str {
+        match self {
+            Callee::Min => "min",
+            Callee::Max => "max",
+            Callee::Poke => "poke",
+            Callee::Bump => "bump",
+        }
+    }
+
+    /// Looks an intrinsic up by its textual name.
+    pub fn by_name(name: &str) -> Option<Callee> {
+        Callee::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Returns `true` if the intrinsic never touches the heap.
+    pub fn is_pure(self) -> bool {
+        matches!(self, Callee::Min | Callee::Max)
+    }
+}
+
+impl std::fmt::Display for Callee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -131,6 +224,51 @@ mod tests {
         let o = Instr::Observe(Operand::Var(Var(5)));
         assert_eq!(o.def(), None);
         assert_eq!(o.uses().collect::<Vec<_>>(), vec![Var(5)]);
+    }
+
+    #[test]
+    fn memory_defs_uses_and_kills() {
+        let st = Instr::Store {
+            addr: Operand::Var(Var(1)),
+            val: Operand::Var(Var(2)),
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses().collect::<Vec<_>>(), vec![Var(1), Var(2)]);
+        assert!(st.kills_memory());
+
+        let pure = Instr::Call {
+            dst: Some(Var(0)),
+            callee: Callee::Min,
+            args: [Operand::Var(Var(1)), Operand::Const(3)],
+        };
+        assert_eq!(pure.def(), Some(Var(0)));
+        assert_eq!(pure.uses().collect::<Vec<_>>(), vec![Var(1)]);
+        assert!(!pure.kills_memory());
+
+        let impure = Instr::Call {
+            dst: None,
+            callee: Callee::Poke,
+            args: [Operand::Var(Var(1)), Operand::Var(Var(2))],
+        };
+        assert_eq!(impure.def(), None);
+        assert!(impure.kills_memory());
+
+        let load = Instr::Assign {
+            dst: Var(0),
+            rv: Rvalue::Expr(Expr::Mem(Operand::Var(Var(1)))),
+        };
+        assert!(!load.kills_memory());
+        assert_eq!(load.uses().collect::<Vec<_>>(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn callee_table_round_trips() {
+        for c in Callee::ALL {
+            assert_eq!(Callee::by_name(c.name()), Some(c));
+        }
+        assert_eq!(Callee::by_name("sqrt"), None);
+        assert!(Callee::Min.is_pure());
+        assert!(!Callee::Bump.is_pure());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`Profile`] — optional edge-frequency weights for a function, parsed
 //!   from a `profile` section and checked for flow conservation,
 //! * a textual format ([`parse_function`], [`parse_module`], `Display`),
+//! * a leader-based lifter ([`lift_module`]) from flat three-address
+//!   listings (`goto INDEX` control) into module IR,
 //! * graph algorithms ([`graph`]): orderings, dominators, natural loops,
 //!   critical edges and critical-edge splitting,
 //! * CFG simplification ([`simplify_cfg`]): merging chains and removing
@@ -49,6 +51,7 @@ mod builder;
 mod expr;
 mod function;
 mod instr;
+mod lift;
 mod module;
 mod parse;
 mod print;
@@ -62,7 +65,8 @@ pub mod graph;
 pub use builder::FunctionBuilder;
 pub use expr::{BinOp, Expr, Operand, Rvalue, UnOp, Var};
 pub use function::{BlockData, BlockId, Edge, EdgeId, EdgeList, Function, SymbolTable};
-pub use instr::{Instr, Terminator};
+pub use instr::{Callee, Instr, Terminator};
+pub use lift::{lift_module, LiftError, LiftStats, LiftedModule};
 pub use module::Module;
 pub use parse::{parse_function, parse_module, ParseError};
 pub use profile::{Profile, ProfileEntry, ProfileError};

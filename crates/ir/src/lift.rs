@@ -1,0 +1,507 @@
+//! A leader-based lifter from flat three-address listings to module IR.
+//!
+//! A *flat listing* is the classic bytecode shape: one instruction per line,
+//! implicitly numbered from 0, with control expressed as jumps to
+//! instruction indices rather than labels:
+//!
+//! ```text
+//! listing  := flatfn+ | flatbody          # unnamed single function
+//! flatfn   := "fn" NAME flatbody
+//! flatbody := flatline+
+//! flatline := "goto" INDEX                # unconditional jump
+//!           | "if" IDENT "goto" INDEX     # branch, falls through otherwise
+//!           | "ret"                       # function exit
+//!           | INSTR                       # any straight-line instruction
+//! ```
+//!
+//! `INSTR` is any instruction of the block-structured grammar
+//! ([`parse_function`](crate::parse_function)): assignments (including
+//! `load`/`call` forms), `store`, and `obs`. `#` starts a comment; blank
+//! lines are ignored; `INDEX` counts instructions (not source lines).
+//!
+//! Lifting is the textbook two-pass algorithm:
+//!
+//! 1. **Leader scan.** Instruction 0 is a leader; the target of every
+//!    `goto`/`if..goto` is a leader; the instruction after any control
+//!    transfer (`goto`, `if..goto`, `ret`) is a leader.
+//! 2. **Block stitching.** Each leader starts a basic block running to the
+//!    next leader. A block ending in `goto N` jumps to N's block; one ending
+//!    in `if x goto N` branches to N's block or falls through to the next
+//!    block; one ending in `ret` exits; one ending because the *next*
+//!    instruction is a leader falls through with an unconditional jump.
+//!
+//! Blocks are labelled `L<leader index>` (the entry keeps `L0`), so lifted
+//! output is stable and diffable. Blocks unreachable from instruction 0
+//! (dead code after an unconditional transfer) are dropped — the verifier
+//! would reject them, and a lifter exists precisely to clean up flat code.
+//!
+//! Errors carry 1-based *source file* lines, even though the lifter
+//! internally reuses the block-structured parser on generated text.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::parse::parse_function;
+
+/// An error produced by [`lift_module`], anchored to a 1-based line of the
+/// flat listing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LiftError {
+    /// 1-based source line of the offending listing line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lift error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LiftError {}
+
+/// One instruction of a flat listing, classified for the leader scan.
+enum FlatInstr<'a> {
+    /// `goto N`.
+    Goto(usize),
+    /// `if x goto N` — falls through when `x` is zero.
+    If { cond: &'a str, target: usize },
+    /// `ret`.
+    Ret,
+    /// Any straight-line instruction, passed through verbatim.
+    Plain(&'a str),
+}
+
+impl FlatInstr<'_> {
+    /// Returns `true` if control never falls through this instruction.
+    fn ends_block(&self) -> bool {
+        !matches!(self, FlatInstr::Plain(_))
+    }
+}
+
+/// Lifts a flat listing into a [`Module`].
+///
+/// The listing holds either one unnamed function (no `fn` lines; it is
+/// named `lifted`) or one or more `fn NAME` sections, each restarting
+/// instruction numbering at 0. The result is ordinary module IR: print it,
+/// pipe it to `lcmopt batch`, or optimize it in process.
+///
+/// # Errors
+///
+/// Returns a [`LiftError`] with the source line on a malformed control
+/// line, an out-of-range target, a listing whose control falls off the end,
+/// an empty function, a duplicate function name, or a malformed
+/// straight-line instruction (reported at its listing line).
+pub fn lift_module(text: &str) -> Result<LiftedModule, LiftError> {
+    // Split into (source line number, text) pairs, dropping blanks/comments.
+    let mut sections: Vec<(String, Vec<(usize, &str)>)> = Vec::new();
+    let mut saw_fn_header = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(cut) => &raw[..cut],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        if words.next() == Some("fn") {
+            let name = words.next().unwrap_or("");
+            if name.is_empty() || words.next().is_some() {
+                return Err(LiftError {
+                    line: lineno,
+                    message: "expected `fn NAME` section header".into(),
+                });
+            }
+            if !saw_fn_header && !sections.is_empty() {
+                return Err(LiftError {
+                    line: lineno,
+                    message: "`fn` header after unnamed instructions".into(),
+                });
+            }
+            saw_fn_header = true;
+            sections.push((name.to_string(), Vec::new()));
+            continue;
+        }
+        if sections.is_empty() {
+            sections.push(("lifted".to_string(), Vec::new()));
+        }
+        sections
+            .last_mut()
+            .expect("section exists")
+            .1
+            .push((lineno, line));
+    }
+    if sections.is_empty() {
+        return Err(LiftError {
+            line: 1,
+            message: "empty listing".into(),
+        });
+    }
+
+    let mut module = Module::default();
+    let mut functions = Vec::new();
+    for (name, lines) in &sections {
+        let header_line = lines.first().map_or(1, |&(l, _)| l);
+        let (f, stats) = lift_function(name, lines)?;
+        functions.push(stats);
+        if let Err(f) = module.push(f) {
+            return Err(LiftError {
+                line: header_line,
+                message: format!("duplicate function `{}` in listing", f.name),
+            });
+        }
+    }
+    Ok(LiftedModule { module, functions })
+}
+
+/// The result of [`lift_module`]: the lifted IR plus per-function lifting
+/// statistics (for `--emit stats`-style reporting and tests).
+#[derive(Debug)]
+pub struct LiftedModule {
+    /// The lifted module, ready for printing or optimization.
+    pub module: Module,
+    /// Per-function statistics, in listing order.
+    pub functions: Vec<LiftStats>,
+}
+
+/// Statistics from lifting one function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LiftStats {
+    /// Function name.
+    pub name: String,
+    /// Number of instructions in the flat listing.
+    pub instrs: usize,
+    /// Number of leaders found (= number of blocks before pruning).
+    pub leaders: usize,
+    /// Number of unreachable blocks dropped.
+    pub dropped: usize,
+}
+
+/// Lifts one function's listing lines (source line number, text).
+fn lift_function(name: &str, lines: &[(usize, &str)]) -> Result<(Function, LiftStats), LiftError> {
+    let header_line = lines.first().map_or(1, |&(l, _)| l);
+    if lines.is_empty() {
+        return Err(LiftError {
+            line: header_line,
+            message: format!("function `{name}` has no instructions"),
+        });
+    }
+
+    // Classify each instruction and validate targets.
+    let n = lines.len();
+    let mut flat = Vec::with_capacity(n);
+    for &(lineno, text) in lines {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let target = |t: &str| -> Result<usize, LiftError> {
+            let idx = t.parse::<usize>().map_err(|_| LiftError {
+                line: lineno,
+                message: format!("expected instruction index, found `{t}`"),
+            })?;
+            if idx >= n {
+                return Err(LiftError {
+                    line: lineno,
+                    message: format!(
+                        "jump target {idx} out of range (listing has {n} instructions)"
+                    ),
+                });
+            }
+            Ok(idx)
+        };
+        let instr = match words.as_slice() {
+            ["goto", t] => FlatInstr::Goto(target(t)?),
+            ["goto", ..] => {
+                return Err(LiftError {
+                    line: lineno,
+                    message: "expected `goto INDEX`".into(),
+                })
+            }
+            ["if", cond, "goto", t] => FlatInstr::If {
+                cond,
+                target: target(t)?,
+            },
+            ["if", ..] => {
+                return Err(LiftError {
+                    line: lineno,
+                    message: "expected `if VAR goto INDEX`".into(),
+                })
+            }
+            ["ret"] => FlatInstr::Ret,
+            _ => FlatInstr::Plain(text),
+        };
+        flat.push((lineno, instr));
+    }
+
+    // Leader scan.
+    let mut leaders = BTreeSet::new();
+    leaders.insert(0usize);
+    for (i, (_, instr)) in flat.iter().enumerate() {
+        match instr {
+            FlatInstr::Goto(t) | FlatInstr::If { target: t, .. } => {
+                leaders.insert(*t);
+                if i + 1 < n {
+                    leaders.insert(i + 1);
+                }
+            }
+            FlatInstr::Ret => {
+                if i + 1 < n {
+                    leaders.insert(i + 1);
+                }
+            }
+            FlatInstr::Plain(_) => {}
+        }
+    }
+    let leaders: Vec<usize> = leaders.into_iter().collect();
+    let block_of = |instr_idx: usize| -> usize { leaders.partition_point(|&l| l <= instr_idx) - 1 };
+
+    // Control must not fall off the end of the listing.
+    let (last_line, last) = &flat[n - 1];
+    if !last.ends_block() || matches!(last, FlatInstr::If { .. }) {
+        return Err(LiftError {
+            line: *last_line,
+            message: "control falls off the end of the listing (expected `goto` or `ret`)".into(),
+        });
+    }
+
+    // Reachability over blocks (drop dead code after unconditional
+    // transfers), following each block's stitched successors.
+    let num_blocks = leaders.len();
+    let block_range = |b: usize| {
+        let start = leaders[b];
+        let end = leaders.get(b + 1).copied().unwrap_or(n);
+        (start, end)
+    };
+    let mut reachable = vec![false; num_blocks];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[b], true) {
+            continue;
+        }
+        let (_, end) = block_range(b);
+        match &flat[end - 1].1 {
+            FlatInstr::Goto(t) => stack.push(block_of(*t)),
+            FlatInstr::If { target, .. } => {
+                stack.push(block_of(*target));
+                stack.push(block_of(end)); // fallthrough: `end` is a leader
+            }
+            FlatInstr::Ret => {}
+            FlatInstr::Plain(_) => stack.push(block_of(end)),
+        }
+    }
+    let dropped = reachable.iter().filter(|&&r| !r).count();
+
+    // The block-structured IR has a unique exit; a listing with several
+    // reachable `ret`s routes them all through a synthesized `L.exit`.
+    let reachable_rets = (0..num_blocks)
+        .filter(|&b| reachable[b] && matches!(flat[block_range(b).1 - 1].1, FlatInstr::Ret))
+        .count();
+    let merge_rets = reachable_rets > 1;
+
+    // Stitch the reachable blocks into block-structured text and reuse the
+    // main parser, remapping generated lines back to listing lines so
+    // instruction-syntax errors stay file-relative.
+    let mut gen = String::new();
+    let mut gen_lines: Vec<usize> = Vec::new(); // generated line -> source line
+    let mut push_line = |gen: &mut String, src_line: usize, text: &str| {
+        gen.push_str(text);
+        gen.push('\n');
+        gen_lines.push(src_line);
+    };
+    push_line(&mut gen, header_line, &format!("fn {name} {{"));
+    for b in 0..num_blocks {
+        if !reachable[b] {
+            continue;
+        }
+        let (start, end) = block_range(b);
+        push_line(&mut gen, flat[start].0, &format!("L{}:", leaders[b]));
+        for (lineno, instr) in &flat[start..end] {
+            match instr {
+                FlatInstr::Plain(text) => push_line(&mut gen, *lineno, text),
+                FlatInstr::Goto(t) => push_line(
+                    &mut gen,
+                    *lineno,
+                    &format!("jmp L{}", leaders[block_of(*t)]),
+                ),
+                FlatInstr::If { cond, target } => push_line(
+                    &mut gen,
+                    *lineno,
+                    &format!(
+                        "br {cond}, L{}, L{}",
+                        leaders[block_of(*target)],
+                        leaders[block_of(end)]
+                    ),
+                ),
+                FlatInstr::Ret if merge_rets => push_line(&mut gen, *lineno, "jmp L.exit"),
+                FlatInstr::Ret => push_line(&mut gen, *lineno, "ret"),
+            }
+        }
+        // Fallthrough into the next leader needs an explicit jump.
+        if let FlatInstr::Plain(_) = flat[end - 1].1 {
+            push_line(
+                &mut gen,
+                flat[end - 1].0,
+                &format!("jmp L{}", leaders[block_of(end)]),
+            );
+        }
+    }
+    if merge_rets {
+        push_line(&mut gen, *last_line, "L.exit:");
+        push_line(&mut gen, *last_line, "ret");
+    }
+    push_line(&mut gen, *last_line, "}");
+
+    let f = parse_function(&gen).map_err(|e| LiftError {
+        line: gen_lines.get(e.line - 1).copied().unwrap_or(header_line),
+        message: e.message,
+    })?;
+    let stats = LiftStats {
+        name: name.to_string(),
+        instrs: n,
+        leaders: num_blocks,
+        dropped,
+    };
+    Ok((f, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifts_a_counting_loop() {
+        // 0: i = 10        leader (first)
+        // 1: x = a + b     leader (follows nothing, target of 5's goto? no)
+        // 2: obs x
+        // 3: i = i - 1
+        // 4: if i goto 1
+        // 5: ret           leader (follows transfer)
+        let lifted = lift_module(
+            "i = 10\n\
+             x = a + b\n\
+             obs x\n\
+             i = i - 1\n\
+             if i goto 1\n\
+             ret\n",
+        )
+        .unwrap();
+        let f = lifted.module.get("lifted").unwrap();
+        crate::verify(f).unwrap();
+        assert_eq!(f.num_blocks(), 3); // L0, L1, L5
+        assert_eq!(lifted.functions[0].leaders, 3);
+        assert_eq!(lifted.functions[0].dropped, 0);
+        let text = f.to_string();
+        assert!(text.contains("L0:"), "{text}");
+        assert!(text.contains("br i, L1, L5"), "{text}");
+        // The loop header is the fallthrough target of the entry block.
+        assert!(text.contains("jmp L1"), "{text}");
+    }
+
+    #[test]
+    fn stitches_fallthrough_and_goto() {
+        let lifted = lift_module(
+            "x = 1\n\
+             goto 3\n\
+             x = 2\n\
+             obs x\n\
+             ret\n",
+        )
+        .unwrap();
+        let f = lifted.module.get("lifted").unwrap();
+        crate::verify(f).unwrap();
+        // Instruction 2 (`x = 2`) is unreachable dead code: its block is
+        // dropped.
+        assert_eq!(lifted.functions[0].dropped, 1);
+        let text = f.to_string();
+        assert!(!text.contains("x = 2"), "{text}");
+        assert!(text.contains("jmp L3"), "{text}");
+    }
+
+    #[test]
+    fn lifts_named_sections_and_memory_ops() {
+        let lifted = lift_module(
+            "# two functions\n\
+             fn first\n\
+             x = load p\n\
+             store p, x\n\
+             ret\n\
+             fn second\n\
+             y = call bump(p, 1)\n\
+             obs y\n\
+             ret\n",
+        )
+        .unwrap();
+        assert_eq!(lifted.module.len(), 2);
+        for f in lifted.module.functions() {
+            crate::verify(f).unwrap();
+        }
+        assert_eq!(lifted.functions[0].name, "first");
+        assert_eq!(lifted.functions[1].name, "second");
+    }
+
+    #[test]
+    fn errors_are_source_relative() {
+        // Bad jump target.
+        let e = lift_module("x = 1\ngoto 9\nret\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"), "{e}");
+
+        // Control falls off the end.
+        let e = lift_module("x = 1\nobs x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("falls off the end"), "{e}");
+        let e = lift_module("x = 1\nif x goto 0\n").unwrap_err();
+        assert!(e.message.contains("falls off the end"), "{e}");
+
+        // A malformed straight-line instruction is reported at its
+        // *listing* line even though parsing happens on generated text.
+        let e = lift_module("x = 1\nobs x\nx = +\nret\n").unwrap_err();
+        assert_eq!(e.line, 3);
+
+        // Malformed control lines.
+        assert!(lift_module("goto\nret\n").is_err());
+        assert!(lift_module("if x y goto 0\nret\n").is_err());
+
+        // Empty listing / empty function.
+        assert!(lift_module("").is_err());
+        assert!(lift_module("# nothing\n").is_err());
+        assert!(lift_module("fn a\nfn b\nret\n").is_err());
+
+        // Duplicate names.
+        let e = lift_module("fn a\nret\nfn a\nret\n").unwrap_err();
+        assert!(e.message.contains("duplicate function"), "{e}");
+
+        // `fn` after unnamed instructions.
+        let e = lift_module("x = 1\nfn a\nret\n").unwrap_err();
+        assert!(e.message.contains("after unnamed"), "{e}");
+    }
+
+    #[test]
+    fn multiple_rets_share_a_synthesized_exit() {
+        // 0: if c goto 3 / 1: obs c / 2: ret / 3: obs c / 4: ret
+        let lifted = lift_module("if c goto 3\nobs c\nret\nobs c\nret\n").unwrap();
+        let f = lifted.module.get("lifted").unwrap();
+        crate::verify(f).unwrap();
+        let text = f.to_string();
+        assert!(text.contains("L.exit:"), "{text}");
+        assert_eq!(text.matches("jmp L.exit").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn parallel_if_edges_and_self_loops_lift() {
+        // `if` whose target is its own fallthrough: two parallel edges.
+        let lifted = lift_module("if c goto 1\nobs c\nret\n").unwrap();
+        crate::verify(lifted.module.get("lifted").unwrap()).unwrap();
+
+        // A one-instruction self-loop body.
+        let lifted = lift_module("x = 1\nif x goto 1\nret\n").unwrap();
+        let f = lifted.module.get("lifted").unwrap();
+        crate::verify(f).unwrap();
+        assert!(f.to_string().contains("br x, L1, L2"));
+    }
+}

@@ -9,10 +9,15 @@
 //! pentry    := LABEL "->" LABEL ":" INT
 //! block     := LABEL ":" instr* terminator
 //! instr     := "obs" operand
+//!            | "store" operand "," operand
+//!            | call
+//!            | IDENT "=" call
 //!            | IDENT "=" rhs
+//! call      := "call" NAME "(" operand "," operand ")"
 //! rhs       := operand
 //!            | unop operand
 //!            | operand binop operand
+//!            | "load" operand
 //! terminator:= "jmp" LABEL
 //!            | "br" operand "," LABEL "," LABEL
 //!            | "ret"
@@ -24,7 +29,11 @@
 //!
 //! The first block is the entry; the unique block terminated by `ret` is the
 //! exit. Labels and variable names are identifiers (letters, digits, `_`,
-//! `.`, not starting with a digit).
+//! `.`, not starting with a digit). The instruction keywords (`obs`, `jmp`,
+//! `br`, `ret`, `store`, `call`, `load`) are effectively reserved: a line
+//! starting with one of them is parsed as that instruction. The callee NAME
+//! of a `call` must be one of the fixed intrinsics
+//! ([`Callee`](crate::Callee)).
 //!
 //! A `profile` section attaches edge-frequency weights to a function that
 //! appeared *earlier* in the module (see [`Profile`](crate::Profile)). It
@@ -38,7 +47,7 @@ use std::fmt;
 
 use crate::expr::{BinOp, Expr, Operand, Rvalue, UnOp};
 use crate::function::{BlockData, BlockId, Function, SymbolTable};
-use crate::instr::{Instr, Terminator};
+use crate::instr::{Callee, Instr, Terminator};
 
 /// An error produced by [`parse_function`], with a 1-based line and column.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -84,9 +93,9 @@ impl fmt::Display for Tok {
 
 // Longest-match-first within a shared prefix: `->` before `-`, `<<`/`<=`
 // before `<`, and so on.
-const SYMBOLS: [&str; 23] = [
+const SYMBOLS: [&str; 25] = [
     "<<", ">>", "==", "!=", "<=", ">=", "->", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
-    "=", ",", ":", "{", "}", "~",
+    "=", ",", ":", "{", "}", "~", "(", ")",
 ];
 
 fn tokenize(line: &str, lineno: usize) -> Result<(Vec<Tok>, Vec<usize>), ParseError> {
@@ -533,6 +542,23 @@ fn parse_one(lines: &[Line]) -> Result<(Function, &[Line]), ParseError> {
                 expect_end(toks, at, sp)?;
                 blocks[cur].instrs.push(Instr::Observe(op));
             }
+            Some(Tok::Ident(kw)) if kw == "store" => {
+                at += 1;
+                let addr = ctx.operand(toks, &mut at, sp)?;
+                expect_sym(toks, &mut at, ",", sp)?;
+                let val = ctx.operand(toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
+                blocks[cur].instrs.push(Instr::Store { addr, val });
+            }
+            Some(Tok::Ident(kw)) if kw == "call" => {
+                let (callee, args) = parse_call(&mut ctx, toks, &mut at, sp)?;
+                expect_end(toks, at, sp)?;
+                blocks[cur].instrs.push(Instr::Call {
+                    dst: None,
+                    callee,
+                    args,
+                });
+            }
             Some(Tok::Ident(kw)) if kw == "jmp" => {
                 at += 1;
                 let target = ctx.label(toks, &mut at, sp)?;
@@ -574,9 +600,19 @@ fn parse_one(lines: &[Line]) -> Result<(Function, &[Line]), ParseError> {
             Some(Tok::Ident(dst)) if matches!(toks.get(1), Some(Tok::Sym("="))) => {
                 let dst = ctx.symbols.intern(dst);
                 at = 2;
-                let rv = parse_rhs(&mut ctx, toks, &mut at, sp)?;
-                expect_end(toks, at, sp)?;
-                blocks[cur].instrs.push(Instr::Assign { dst, rv });
+                if matches!(toks.get(at), Some(Tok::Ident(kw)) if kw == "call") {
+                    let (callee, args) = parse_call(&mut ctx, toks, &mut at, sp)?;
+                    expect_end(toks, at, sp)?;
+                    blocks[cur].instrs.push(Instr::Call {
+                        dst: Some(dst),
+                        callee,
+                        args,
+                    });
+                } else {
+                    let rv = parse_rhs(&mut ctx, toks, &mut at, sp)?;
+                    expect_end(toks, at, sp)?;
+                    blocks[cur].instrs.push(Instr::Assign { dst, rv });
+                }
             }
             _ => {
                 return Err(sp.err(0, "expected instruction or terminator".into()));
@@ -603,12 +639,49 @@ fn parse_one(lines: &[Line]) -> Result<(Function, &[Line]), ParseError> {
     Ok((f, &lines[close + 1..]))
 }
 
+/// Parses `call NAME(a, b)` starting at the `call` keyword; leaves `at`
+/// just past the closing `)`.
+fn parse_call(
+    ctx: &mut Ctx,
+    toks: &[Tok],
+    at: &mut usize,
+    sp: Span<'_>,
+) -> Result<(Callee, [Operand; 2]), ParseError> {
+    *at += 1; // the `call` keyword
+    let callee = match toks.get(*at) {
+        Some(Tok::Ident(name)) => Callee::by_name(name)
+            .ok_or_else(|| sp.err(*at, format!("unknown intrinsic `{name}`")))?,
+        other => {
+            return Err(sp.err(
+                *at,
+                format!(
+                    "expected intrinsic name, found {}",
+                    other.map_or("end of line".to_string(), |t| t.to_string())
+                ),
+            ))
+        }
+    };
+    *at += 1;
+    expect_sym(toks, at, "(", sp)?;
+    let a = ctx.operand(toks, at, sp)?;
+    expect_sym(toks, at, ",", sp)?;
+    let b = ctx.operand(toks, at, sp)?;
+    expect_sym(toks, at, ")", sp)?;
+    Ok((callee, [a, b]))
+}
+
 fn parse_rhs(
     ctx: &mut Ctx,
     toks: &[Tok],
     at: &mut usize,
     sp: Span<'_>,
 ) -> Result<Rvalue, ParseError> {
+    // A memory read: `load p`.
+    if matches!(toks.get(*at), Some(Tok::Ident(kw)) if kw == "load") {
+        *at += 1;
+        let a = ctx.operand(toks, at, sp)?;
+        return Ok(Rvalue::Expr(Expr::Mem(a)));
+    }
     // Unary: `-a`, `~a`, `~5` (but `-5` is the constant).
     match (toks.get(*at), toks.get(*at + 1)) {
         (Some(Tok::Sym("-")), Some(Tok::Ident(_))) => {
@@ -862,6 +935,75 @@ done:
         // `a - -3` and `a - 3` still tokenize as before.
         assert!(parse_function("fn b {\nentry:\n  x = a - -3\n  ret\n}").is_ok());
         assert!(parse_function("fn b {\nentry:\n  x = a - 3\n  ret\n}").is_ok());
+    }
+
+    #[test]
+    fn parses_memory_instructions() {
+        let f = parse_function(
+            "fn m {
+             entry:
+               x = load p
+               store p, x
+               y = call min(x, 3)
+               call poke(p, y)
+               z = call bump(p, 1)
+               obs z
+               ret
+             }",
+        )
+        .unwrap();
+        crate::verify(&f).unwrap();
+        let instrs = &f.block(f.entry()).instrs;
+        assert!(matches!(
+            instrs[0],
+            Instr::Assign {
+                rv: Rvalue::Expr(Expr::Mem(_)),
+                ..
+            }
+        ));
+        assert!(matches!(instrs[1], Instr::Store { .. }));
+        assert!(matches!(
+            instrs[2],
+            Instr::Call {
+                dst: Some(_),
+                callee: Callee::Min,
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[3],
+            Instr::Call {
+                dst: None,
+                callee: Callee::Poke,
+                ..
+            }
+        ));
+        // Loads join the expression universe; `min` results do not.
+        assert!(f.expr_universe().iter().any(|e| matches!(e, Expr::Mem(_))));
+        // Round-trips through the printer.
+        let reparsed = parse_function(&f.to_string()).unwrap();
+        assert_eq!(f.to_string(), reparsed.to_string());
+    }
+
+    #[test]
+    fn memory_parse_errors_are_spanned() {
+        // Unknown intrinsic.
+        let e = parse_function("fn m {\nentry:\n  x = call sqrt(a, b)\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("unknown intrinsic `sqrt`"), "{e}");
+        assert_eq!((e.line, e.col), (3, 12));
+
+        // Missing load address.
+        let e = parse_function("fn m {\nentry:\n  x = load\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("expected operand"), "{e}");
+        assert_eq!(e.line, 3);
+
+        // Store needs two operands.
+        let e = parse_function("fn m {\nentry:\n  store p\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("expected `,`"), "{e}");
+
+        // Call without parentheses.
+        let e = parse_function("fn m {\nentry:\n  call poke p, 1\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("expected `(`"), "{e}");
     }
 
     #[test]

@@ -41,6 +41,7 @@ impl fmt::Display for WithFn<'_, Rvalue> {
                 op.symbol(),
                 WithFn { f, item: b }
             ),
+            Rvalue::Expr(Expr::Mem(a)) => write!(out, "load {}", WithFn { f, item: a }),
         }
     }
 }
@@ -53,6 +54,32 @@ impl Function {
                 format!("{} = {}", self.var_name(dst), WithFn { f: self, item: rv })
             }
             Instr::Observe(op) => format!("obs {}", WithFn { f: self, item: op }),
+            Instr::Store { addr, val } => format!(
+                "store {}, {}",
+                WithFn {
+                    f: self,
+                    item: addr
+                },
+                WithFn { f: self, item: val }
+            ),
+            Instr::Call { dst, callee, args } => {
+                let call = format!(
+                    "call {}({}, {})",
+                    callee.name(),
+                    WithFn {
+                        f: self,
+                        item: args[0]
+                    },
+                    WithFn {
+                        f: self,
+                        item: args[1]
+                    }
+                );
+                match dst {
+                    Some(d) => format!("{} = {}", self.var_name(d), call),
+                    None => call,
+                }
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! lcmopt [OPTIONS] [FILE]
 //! lcmopt batch [OPTIONS] <PATH|->
+//! lcmopt lift [OPTIONS] <FILE|->
 //! lcmopt serve [OPTIONS]
 //! lcmopt request [OPTIONS] <PATH|->
 //!
@@ -10,10 +11,13 @@
 //! is `-` or omitted) and processes it. The `batch` subcommand instead
 //! drives a whole module (many `fn`s in one file, a directory of `.lcm`
 //! files, or stdin) through the checked pipeline in parallel; see
-//! `lcmopt batch --help`. The `serve` subcommand runs the long-lived
-//! optimization daemon (warm solver arenas, durable plan cache, admission
-//! control); `request` is its client. See `lcmopt serve --help` and
-//! `lcmopt request --help`.
+//! `lcmopt batch --help`. The `lift` subcommand translates a flat
+//! three-address listing (`goto INDEX` control) into module IR via a
+//! leader scan; its output pipes into any other front, e.g.
+//! `lcmopt lift prog.l3a | lcmopt batch -`. The `serve` subcommand runs
+//! the long-lived optimization daemon (warm solver arenas, durable plan
+//! cache, admission control); `request` is its client. See
+//! `lcmopt serve --help` and `lcmopt request --help`.
 //!
 //! OPTIONS:
 //!   -p, --passes LIST    comma-separated pass pipeline (default:
@@ -66,7 +70,9 @@ use lcm::driver::{
     LoadStatus, UnitOutcome,
 };
 use lcm::interp::{run, Inputs};
-use lcm::ir::{dot, parse_function, parse_module, simplify_cfg, verify, Function, Module};
+use lcm::ir::{
+    dot, lift_module, parse_function, parse_module, simplify_cfg, verify, Function, Module,
+};
 
 /// Internal error (caught panic).
 const EXIT_PANIC: u8 = 1;
@@ -118,6 +124,7 @@ fn usage() -> &'static str {
      [--solver rr|wl|scc] [--validate[=off|fast|full]] [--run KEY=VAL]... \
      [--fuel N] [--compare] [FILE|-]\n\
      \x20      lcmopt batch [OPTIONS] <PATH|->   (see `lcmopt batch --help`)\n\
+     \x20      lcmopt lift [OPTIONS] <FILE|->    (see `lcmopt lift --help`)\n\
      passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
      lcm-node, alcm-node, morel-renvoise, gcse\n\
      --placement swaps the PRE step of the default pipeline (mutually \
@@ -458,6 +465,88 @@ fn run_batch(cli: BatchCli) -> Result<(), Failure> {
             EXIT_PASS,
             format!("{} of {n} functions failed", result.totals.failed),
         ));
+    }
+    Ok(())
+}
+
+/// Options for `lcmopt lift`.
+struct LiftCli {
+    path: String,
+    emit: String,
+    stats: bool,
+}
+
+fn lift_usage() -> &'static str {
+    "usage: lcmopt lift [-e|--emit text|dot] [--stats] <FILE|->\n\
+     Lifts a flat three-address listing — one instruction per line, \
+     control via `goto INDEX` / `if VAR goto INDEX` / `ret`, optional \
+     `fn NAME` section headers — into block-structured module IR by a \
+     leader scan, and prints the module on stdout.\n\
+     The output composes with every other front: \
+     `lcmopt lift prog.l3a | lcmopt batch -` lifts then optimizes.\n\
+     --stats adds one summary line per function on stderr (instruction, \
+     block and dropped-unreachable-block counts).\n\
+     exit codes: 0 ok, 2 usage, 3 lift error (FILE:LINE: message, with \
+     LINE relative to the input file)"
+}
+
+/// `Ok(None)` means help was requested (print lift usage, exit 0).
+fn parse_lift_args(mut args: impl Iterator<Item = String>) -> Result<Option<LiftCli>, Failure> {
+    let mut path: Option<String> = None;
+    let mut opts = LiftCli {
+        path: String::new(),
+        emit: "text".into(),
+        stats: false,
+    };
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", lift_usage()));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "-e" | "--emit" => {
+                opts.emit = args
+                    .next()
+                    .ok_or_else(|| usage_err("--emit needs an argument".into()))?;
+                if !["text", "dot"].contains(&opts.emit.as_str()) {
+                    return Err(usage_err(format!("unknown emit kind `{}`", opts.emit)));
+                }
+            }
+            "--stats" => opts.stats = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(usage_err(format!("unknown lift argument `{other}`")));
+            }
+            p => {
+                if path.is_some() {
+                    return Err(usage_err("more than one input file".into()));
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    opts.path = path.ok_or_else(|| usage_err("lift needs an input FILE".into()))?;
+    Ok(Some(opts))
+}
+
+fn run_lift(cli: LiftCli) -> Result<(), Failure> {
+    let file = Some(cli.path.clone());
+    let text = read_input(&file)?;
+    let lifted = lift_module(&text).map_err(|e| {
+        Failure::new(
+            EXIT_PARSE,
+            format!("{}:{}: {}", input_name(&file), e.line, e.message),
+        )
+    })?;
+    if cli.stats {
+        for s in &lifted.functions {
+            eprintln!(
+                "lcmopt lift: fn {}: {} instrs -> {} blocks ({} unreachable dropped)",
+                s.name, s.instrs, s.leaders, s.dropped
+            );
+        }
+    }
+    match cli.emit.as_str() {
+        "text" => println!("{}", lifted.module),
+        "dot" => print!("{}", dot::render_module(&lifted.module)),
+        _ => unreachable!("emit kind validated"),
     }
     Ok(())
 }
@@ -1029,6 +1118,15 @@ fn real_main() -> Result<(), Failure> {
                 Some(cli) => run_batch(cli),
                 None => {
                     println!("{}", batch_usage());
+                    Ok(())
+                }
+            };
+        }
+        Some("lift") => {
+            return match parse_lift_args(std::env::args().skip(2))? {
+                Some(cli) => run_lift(cli),
+                None => {
+                    println!("{}", lift_usage());
                     Ok(())
                 }
             };

@@ -1,0 +1,126 @@
+//! End-to-end tests of `lcmopt lift` and of batch determinism on
+//! memory-op modules.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const FLAT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/memory_flat.l3a");
+const LIFTED: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/testdata/memory_flat.lcm"
+));
+
+fn lcmopt(args: &[&str], stdin: &str) -> (Option<i32>, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcmopt"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lcmopt");
+    let write_result = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    if let Err(e) = write_result {
+        assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe,
+            "unexpected stdin failure: {e}"
+        );
+    }
+    let out = child.wait_with_output().expect("wait for lcmopt");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The committed flat listing lifts to exactly the committed module —
+/// byte for byte, the contract the ci.sh smoke stage also pins.
+#[test]
+fn lift_output_is_byte_identical_to_the_pinned_module() {
+    let (code, stdout, stderr) = lcmopt(&["lift", FLAT], "");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert_eq!(
+        stdout, LIFTED,
+        "lifter output drifted from the pinned module"
+    );
+}
+
+/// `lift --emit dot` produces a digraph per function.
+#[test]
+fn lift_emits_dot() {
+    let (code, stdout, stderr) = lcmopt(&["lift", FLAT, "--emit", "dot"], "");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("digraph"), "{stdout}");
+    assert!(stdout.contains("memory_flat"), "{stdout}");
+}
+
+/// Lift composes with the optimizer: the lifted loop-invariant load is
+/// hoisted out of the loop when the module is piped into `batch`.
+#[test]
+fn lift_composes_with_batch_and_hoists_the_load() {
+    let (code, lifted, stderr) = lcmopt(&["lift", FLAT], "");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let (code, optimized, stderr) = lcmopt(&["batch", "-", "--validate=full"], &lifted);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    // The load must move to the preheader (`L0`) and disappear from the
+    // loop body (`L1`).
+    let l0 = optimized.split("L0:").nth(1).expect("L0 printed");
+    let (l0, rest) = l0.split_once("L1:").expect("L1 printed");
+    let l1 = rest.split("L6:").next().expect("L6 printed");
+    assert!(l0.contains("load p"), "not hoisted:\n{optimized}");
+    assert!(!l1.contains("load p"), "still in loop:\n{optimized}");
+}
+
+/// Malformed listings exit 3 with a `FILE:LINE: message` diagnostic.
+#[test]
+fn lift_reports_source_line_on_error() {
+    let dir = std::env::temp_dir().join("lcm_lift_err_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.l3a");
+    std::fs::write(&path, "fn bad\nx = 1\ngoto 99\nret\n").unwrap();
+    let (code, _, stderr) = lcmopt(&["lift", path.to_str().unwrap()], "");
+    assert_eq!(code, Some(3), "stderr: {stderr}");
+    assert!(
+        stderr.contains("bad.l3a:3:"),
+        "diagnostic should carry file and line: {stderr}"
+    );
+}
+
+/// Usage errors (unknown --emit kind, missing file operand) exit 2.
+#[test]
+fn lift_usage_errors_exit_2() {
+    let (code, _, stderr) = lcmopt(&["lift", FLAT, "--emit", "png"], "");
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    let (code, _, stderr) = lcmopt(&["lift"], "");
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+}
+
+/// Batch output on a memory-op module is byte-identical across worker
+/// counts: ordering is by input position, never by completion time.
+#[test]
+fn batch_memory_module_is_deterministic_across_jobs() {
+    let module = format!(
+        "{}\n{}",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/testdata/memory_loop.lcm"
+        )),
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/testdata/memory_alias.lcm"
+        ))
+    );
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        let (code, stdout, stderr) =
+            lcmopt(&["batch", "-", "--jobs", jobs, "--validate=full"], &module);
+        assert_eq!(code, Some(0), "jobs={jobs} stderr: {stderr}");
+        outputs.push(stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "batch output varies with --jobs");
+}

@@ -21,6 +21,10 @@ fn random_opts(rng: &mut Rng) -> GenOptions {
         menu_bias: 0.2 + 0.75 * rng.gen_f64(),
         obs_prob: 0.05 + 0.45 * rng.gen_f64(),
         max_depth: rng.gen_range(1..5usize),
+        // Keep this suite on the pure-arithmetic corpus; memory ops have
+        // their own property suite (tests/memory_ops.rs). Zero also draws
+        // nothing from the RNG, so the historical streams are unchanged.
+        mem_prob: 0.0,
     }
 }
 
