@@ -100,12 +100,61 @@ cargo run -q --release --bin lcmopt -- --validate=full \
   < testdata/memory_alias.lcm > "$SMOKE/memalias.out"
 diff testdata/memory_alias.lcm "$SMOKE/memalias.out"
 
+# Watch smoke: an edit stream through `lcmopt watch` must track the file
+# and answer byte-identically to a one-shot batch of each revision, and a
+# pure content edit must take the delta path (reported on stderr).
+echo "==> watch smoke: scripted edit, output diffed vs one-shot batch"
+LCMOPT="$(pwd)/target/release/lcmopt"
+WFILE="$SMOKE/watched.lcm"
+cat > "$SMOKE/rev0.lcm" <<'EOT'
+fn d {
+entry:
+  br c, l, r
+l:
+  x = a + b
+  jmp join
+r:
+  jmp join
+join:
+  y = a + b
+  obs y
+  ret
+}
+
+fn straight {
+entry:
+  x = p * q
+  obs x
+  ret
+}
+EOT
+# Revision 1: a content edit in `join` (kills `a + b` downstream) that
+# leaves the CFG shape and expression universe untouched — the canonical
+# delta-path edit, same pair tests/watch.rs pins.
+awk '{ print } /y = a \+ b/ { print "  a = 1" }' "$SMOKE/rev0.lcm" \
+  > "$SMOKE/rev1.lcm"
+cp "$SMOKE/rev0.lcm" "$WFILE"
+"$LCMOPT" watch "$WFILE" --iterations 1 --interval-ms 20 \
+  -o "$SMOKE/watch.out" 2> "$SMOKE/watch.log" &
+WATCH_PID=$!
+# The initial revision's output appears before polling starts; edit only
+# after it exists so the watcher is guaranteed to see both revisions.
+i=0
+while [ ! -s "$SMOKE/watch.out" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+[ -s "$SMOKE/watch.out" ]
+"$LCMOPT" batch "$SMOKE/rev0.lcm" --emit text > "$SMOKE/rev0.batch" 2>/dev/null
+diff "$SMOKE/watch.out" "$SMOKE/rev0.batch"
+cp "$SMOKE/rev1.lcm" "$WFILE"
+wait "$WATCH_PID"
+"$LCMOPT" batch "$SMOKE/rev1.lcm" --emit text > "$SMOKE/rev1.batch" 2>/dev/null
+diff "$SMOKE/watch.out" "$SMOKE/rev1.batch"
+grep -q "delta, 1 dirty" "$SMOKE/watch.log"
+
 # Serve smoke: the daemon must answer byte-identically to batch, survive a
 # SIGKILL crash (the write-behind cache file either loads or quarantines,
 # never wedges the restart), and still answer identically from the warm
 # cache before draining cleanly.
 echo "==> serve smoke: daemon round-trip, kill -9 crash, warm restart"
-LCMOPT="$(pwd)/target/release/lcmopt"
 SOCK="$SMOKE/daemon.sock"
 DCACHE="$SMOKE/daemon.cache"
 "$LCMOPT" serve --socket "$SOCK" --cache-file "$DCACHE" 2> "$SMOKE/serve1.log" &
@@ -128,6 +177,13 @@ while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
 diff "$SMOKE/text.j1" "$SMOKE/daemon.warm"
 grep -Eq "cache file (loaded|refused)" "$SMOKE/serve2.log"
 "$LCMOPT" request --socket "$SOCK" --stats | grep -q "^lifetime:"
+# The daemon's incremental hot path: re-sending an edited module must
+# delta-solve against the fixpoints retained from the previous revision
+# and report the hits, not pay a fresh solve.
+"$LCMOPT" request --socket "$SOCK" "$SMOKE/rev0.lcm" > /dev/null
+"$LCMOPT" request --socket "$SOCK" "$SMOKE/rev1.lcm" > /dev/null
+"$LCMOPT" request --socket "$SOCK" --stats \
+  | grep -Eq "^incremental: [1-9][0-9]* hits"
 "$LCMOPT" request --socket "$SOCK" --shutdown
 wait "$SERVE_PID"
 

@@ -1193,6 +1193,115 @@ fn bench(quick: bool) {
     let batch_fps = throughput(cores);
     let batch_fps_1 = throughput(1);
 
+    // The multi-thread sweep: same corpus, cache off, fixed job counts so
+    // the committed series tracks the scaling *shape* across PRs even when
+    // the machines differ.
+    let sweep: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&jobs| (jobs, throughput(jobs)))
+        .collect();
+    oln!("batch sweep (cache off, functions/second):");
+    for (jobs, fps) in &sweep {
+        oln!("  jobs {jobs}: {fps:>10.1}");
+    }
+
+    // Incremental vs fresh: every function edited once (content edits
+    // only — the mutator's shape probability is 0), then re-optimized
+    // either from scratch or by delta-solving against the fixpoints
+    // retained from the unedited revision. Same sequential runner both
+    // ways, so the ratio isolates the delta solve itself. Edits that
+    // shift the expression universe take the full-solve fallback, whose
+    // cost is simply the fresh column plus a diff — so the row keeps only
+    // the pairs that exercise the delta path (the daemon's hot-path
+    // scenario) and reports how many that is. The corpus is larger-bodied
+    // than the batch one: solver cost is what the delta path saves, and
+    // on small functions it vanishes under the pipeline's fixed tail
+    // (validation, cleanup, printing).
+    let (inc_block_size, inc_n_fns) = if quick { (120, 6) } else { (240, 24) };
+    let inc_corpus = sized_corpus(inc_block_size, inc_n_fns);
+    let mut base_fns = Vec::new();
+    let mut edited_fns = Vec::new();
+    for (i, f) in inc_corpus.iter().enumerate() {
+        let mut f = f.clone();
+        f.name = format!("f{i}");
+        let mut g = f.clone();
+        let mut rng = lcm_cfggen::seeded(0x1BC9 ^ i as u64);
+        lcm_cfggen::mutate_function(&mut g, &mut rng, 0.0);
+        base_fns.push(f);
+        edited_fns.push(g);
+    }
+    let inc_opts = BatchOptions {
+        jobs: 1,
+        use_cache: false,
+        ..BatchOptions::default()
+    };
+    let (base_m, edited_m) = {
+        let mut probe = BatchEngine::new(inc_opts);
+        let mut all_base = lcm_ir::Module::default();
+        let mut all_edited = lcm_ir::Module::default();
+        for (f, g) in base_fns.iter().zip(&edited_fns) {
+            all_base.push(f.clone()).expect("unique names");
+            all_edited.push(g.clone()).expect("unique names");
+        }
+        probe.run_module_incremental(&all_base);
+        let modes = probe.run_module_incremental(&all_edited);
+        let mut base_m = lcm_ir::Module::default();
+        let mut edited_m = lcm_ir::Module::default();
+        for (i, u) in modes.iter().enumerate() {
+            if u.mode == lcm_driver::IncrementalMode::Delta && u.outcome.is_ok() {
+                base_m.push(base_fns[i].clone()).expect("unique names");
+                edited_m.push(edited_fns[i].clone()).expect("unique names");
+            }
+        }
+        (base_m, edited_m)
+    };
+    let inc_fns = base_m.iter().count();
+    let mut fresh_best = f64::MAX;
+    let mut delta_best = f64::MAX;
+    let (mut delta_hits, mut delta_rows) = (0u64, 0u64);
+    for _ in 0..batch_reps.max(2) {
+        let mut engine = BatchEngine::new(inc_opts);
+        let t0 = Instant::now();
+        let r = engine.run_module_incremental(&edited_m);
+        assert!(r.iter().all(|u| u.outcome.is_ok()));
+        fresh_best = fresh_best.min(t0.elapsed().as_secs_f64());
+
+        let mut engine = BatchEngine::new(inc_opts);
+        engine.run_module_incremental(&base_m); // warm-up: retain fixpoints
+        let t0 = Instant::now();
+        let r = engine.run_module_incremental(&edited_m);
+        assert!(r.iter().all(|u| u.outcome.is_ok()));
+        delta_best = delta_best.min(t0.elapsed().as_secs_f64());
+        (delta_hits, delta_rows) = engine.incremental_session();
+    }
+    // The answers must agree before the ratio means anything.
+    {
+        let mut cold = BatchEngine::new(inc_opts);
+        let fresh_out = cold.run_module_incremental(&edited_m);
+        let mut warm = BatchEngine::new(inc_opts);
+        warm.run_module_incremental(&base_m);
+        let delta_out = warm.run_module_incremental(&edited_m);
+        assert_eq!(
+            lcm_driver::report::render_incremental_text(&fresh_out),
+            lcm_driver::report::render_incremental_text(&delta_out),
+            "delta re-optimization diverged from fresh"
+        );
+    }
+    let inc_fresh_fps = inc_fns as f64 / fresh_best;
+    let inc_delta_fps = inc_fns as f64 / delta_best;
+    // The solver-row ledger is the row's real signal: the delta path pays
+    // the same transform/validate/print tail as a fresh solve, so wall
+    // clock can only move by the solver's share — but the rows it skips
+    // are exactly what the daemon's hot path stops charging for.
+    let full_rows: u64 = base_m.iter().map(|f| 3 * f.num_blocks() as u64).sum();
+    oln!(
+        "incremental re-optimization ({inc_fns} of {} edits stay on the delta path): \
+         fresh {inc_fresh_fps:.1} fn/s vs delta {inc_delta_fps:.1} fn/s ({:.2}x); \
+         {delta_hits} delta hits, {delta_rows} of {full_rows} block rows re-solved",
+        inc_corpus.len(),
+        inc_delta_fps / inc_fresh_fps
+    );
+
     // The `--placement spec` row: the same corpus with synthetic profiles
     // attached, driven through the min-cut speculative planner. The adopt
     // counters are deterministic (seeded corpus, seeded profiles); only
@@ -1287,6 +1396,18 @@ fn bench(quick: bool) {
     j.push_str(&format!(
         "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }},\n"
     ));
+    j.push_str("  \"batch_sweep\": { ");
+    for (i, (jobs, fps)) in sweep.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"j{jobs}\": {fps:.1}"));
+    }
+    j.push_str(" },\n");
+    j.push_str(&format!(
+        "  \"incremental\": {{ \"functions\": {inc_fns}, \"fresh_fps\": {inc_fresh_fps:.1}, \"delta_fps\": {inc_delta_fps:.1}, \"delta_speedup\": {:.2}, \"delta_hits\": {delta_hits}, \"delta_rows\": {delta_rows}, \"full_rows\": {full_rows} }},\n",
+        inc_delta_fps / inc_fresh_fps
+    ));
     j.push_str(&format!(
         "  \"speculative\": {{ \"jobs\": {cores}, \"functions_per_second\": {spec_fps:.1}, \"candidates\": {spec_candidates}, \"speculated\": {spec_speculated} }},\n"
     ));
@@ -1303,7 +1424,7 @@ fn bench(quick: bool) {
 /// series that `--check` validates as a whole. (PR 7 shipped no baseline
 /// — the daemon PR was perf-neutral on these metrics — so the series
 /// jumps PR 6 -> PR 8 and `--check` names the hole.)
-const BENCH_CURRENT: &str = "BENCH_PR8.json";
+const BENCH_CURRENT: &str = "BENCH_PR9.json";
 
 /// The committed baseline series: every `BENCH_PR<n>.json` in the working
 /// directory, sorted by PR number.
@@ -1328,8 +1449,9 @@ fn bench_series() -> Vec<(u64, String)> {
 /// Schema-validates one baseline file: required keys present, metrics
 /// positive, and the warm-scratch allocation floor at its designed value.
 /// Sections that newer PRs introduced (`speculative` from PR 6, `lift`
-/// from PR 8) are required only of the newest file of the series —
-/// `newest` — since older committed baselines legitimately predate them.
+/// from PR 8, `batch_sweep` and `incremental` from PR 9) are required
+/// only of the newest file of the series — `newest` — since older
+/// committed baselines legitimately predate them.
 fn bench_check_file(name: &str, newest: bool) {
     let text = match std::fs::read_to_string(name) {
         Ok(t) => t,
@@ -1401,6 +1523,31 @@ fn bench_check_file(name: &str, newest: bool) {
             other => fail(format!(
                 "\"lift_optimize_functions_per_second\" must be positive, found {other:?}"
             )),
+        }
+        if !text.contains("\"batch_sweep\":") {
+            fail("newest baseline must carry the \"batch_sweep\" section".into());
+        }
+        for key in ["j1", "j2", "j4", "j8"] {
+            match num_after(&text, key) {
+                Some(v) if v > 0.0 => {}
+                other => fail(format!(
+                    "\"{key}\" must be a positive throughput in the batch sweep, found {other:?}"
+                )),
+            }
+        }
+        if !text.contains("\"incremental\":") {
+            fail("newest baseline must carry the \"incremental\" section".into());
+        }
+        for key in ["fresh_fps", "delta_fps"] {
+            match num_after(&text, key) {
+                Some(v) if v > 0.0 => {}
+                other => fail(format!(
+                    "\"{key}\" must be positive in the incremental row, found {other:?}"
+                )),
+            }
+        }
+        if num_after(&text, "delta_hits").is_none() {
+            fail("missing numeric \"delta_hits\" in the incremental row".into());
         }
     }
 }

@@ -31,12 +31,14 @@
 //! ```
 
 mod arbitrary;
+mod mutate;
 mod profile;
 mod rng;
 pub mod shapes;
 mod structured;
 
 pub use arbitrary::{arbitrary, random_dag};
+pub use mutate::{mutate_function, MutationKind};
 pub use profile::{synthetic_profile, PROFILE_WALKS};
 pub use rng::{Rng, SampleRange};
 pub use structured::structured;

@@ -240,7 +240,7 @@ impl GlobalAnalyses {
         Ok(Self::derive(f, uni, local, avail, antic))
     }
 
-    fn derive(
+    pub(crate) fn derive(
         f: &Function,
         uni: &ExprUniverse,
         local: &LocalPredicates,
@@ -267,7 +267,7 @@ impl GlobalAnalyses {
     }
 }
 
-fn earliest_on_edge(
+pub(crate) fn earliest_on_edge(
     uni: &ExprUniverse,
     local: &LocalPredicates,
     avail: &Solution,

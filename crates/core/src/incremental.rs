@@ -1,0 +1,532 @@
+//! Incremental re-optimization: delta-scoped LCM for edit streams.
+//!
+//! The full pipeline charges four passes per function per edit. This module
+//! keeps the previous fixpoints alive in an [`IncrementalState`] and, when
+//! the next revision of the function has the same CFG *shape* (blocks,
+//! successor lists, entry/exit) and the same expression universe, re-solves
+//! only what an edit can actually perturb:
+//!
+//! 1. **diff** — blocks whose instructions or terminator changed are
+//!    *dirty*; everything else keeps its local predicate rows verbatim;
+//! 2. **repair** — [`LocalPredicates::recompute_block`] rescans dirty
+//!    blocks only;
+//! 3. **delta solve** — availability and anticipability re-drain just the
+//!    SCC components downstream (forward) or upstream (backward) of the
+//!    dirty blocks ([`Problem::try_delta_solve_with`]); EARLIEST is then
+//!    re-derived (linear in edges) and LATER re-solved with a changed set
+//!    of dirty blocks ∪ targets of edges whose EARLIEST moved ∪ the entry
+//!    block when the virtual-entry EARLIEST moved;
+//! 4. **verify** — the result goes through the fast-tier validator
+//!    *unconditionally*, so an unsound delta can never escape. Shape or
+//!    universe changes skip straight to a from-scratch solve (the
+//!    fallback contract).
+//!
+//! Correctness rests on the framework's monotone-unique-fixpoint property:
+//! components not in the directional closure of the change provably keep
+//! their old values, so seeding them from the previous solution is exact,
+//! not heuristic. The seeded edit corpus in `tests/incremental.rs` pins the
+//! incremental and fresh pipelines bit-identical across hundreds of
+//! content and shape edits.
+//!
+//! [`Problem::try_delta_solve_with`]: lcm_dataflow::Problem::try_delta_solve_with
+
+use lcm_dataflow::{BitMatrix, BitSet, CfgView, Solution, SolveStrategy, SolverScratch};
+use lcm_ir::{BlockId, Function};
+
+use crate::analyses::{anticipability_problem, availability_problem, GlobalAnalyses};
+use crate::lcm_edge::{derive_placement, later_problem};
+use crate::pipeline::PipelineStats;
+use crate::predicates::LocalPredicates;
+use crate::transform::apply_plan;
+use crate::universe::ExprUniverse;
+use crate::validate::{validate_optimized, ValidationLevel, ValidationReport};
+use crate::{Optimized, PipelineError, PreAlgorithm};
+
+/// The previous revision's analyses, kept warm between edits: everything
+/// [`optimize_incremental`] needs to charge only for what changed.
+#[derive(Clone, Debug)]
+pub struct IncrementalState {
+    /// The function the fixpoints below were computed for.
+    function: Function,
+    /// Its expression universe (delta solving requires it unchanged).
+    universe: ExprUniverse,
+    /// Local predicates per block.
+    local: LocalPredicates,
+    /// Availability + anticipability fixpoints and the derived EARLIEST.
+    ga: GlobalAnalyses,
+    /// The LATER/LATERIN fixpoint (the full solution, not just LATERIN —
+    /// the delta solver seeds both matrices).
+    later: Solution,
+}
+
+/// What the incremental path did for one edit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IncrementalStats {
+    /// The CFG shape or expression universe changed, so the whole pipeline
+    /// re-ran from scratch (the delta counters below stay zero).
+    pub full_fallback: bool,
+    /// Blocks whose instructions or terminator differed from the previous
+    /// revision.
+    pub dirty_blocks: usize,
+    /// Blocks re-solved across the three delta solves (availability +
+    /// anticipability + LATER) — the "what you paid for" number.
+    pub delta_blocks_resolved: usize,
+}
+
+/// Everything [`optimize_incremental`] returns: the optimized result, the
+/// validator's report, the refreshed state for the next edit, and the
+/// delta accounting.
+#[derive(Clone, Debug)]
+pub struct IncrementalOutcome {
+    /// The optimization result, identical to what [`crate::optimize_with`]
+    /// would produce for the same input.
+    pub optimized: Optimized,
+    /// The validation report (fast tier at minimum, unconditionally).
+    pub report: ValidationReport,
+    /// State to pass as `prev` on the next edit of this function.
+    pub state: IncrementalState,
+    /// Delta accounting for this edit.
+    pub stats: IncrementalStats,
+}
+
+impl IncrementalState {
+    /// Runs the full lazy-code-motion pipeline on `f` and captures every
+    /// fixpoint for later delta solves. The [`Optimized`] result is
+    /// identical to [`crate::optimize`] with [`PreAlgorithm::LazyEdge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Solver`] if any analysis exceeds its
+    /// derived sweep bound.
+    pub fn fresh(f: &Function) -> Result<(Optimized, IncrementalState), PipelineError> {
+        Self::fresh_with(f, SolveStrategy::default(), &mut SolverScratch::new())
+    }
+
+    /// [`fresh`](Self::fresh) with an explicit [`SolveStrategy`] and a
+    /// caller-owned [`SolverScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Solver`] if any analysis exceeds its
+    /// derived sweep bound.
+    pub fn fresh_with(
+        f: &Function,
+        strategy: SolveStrategy,
+        scratch: &mut SolverScratch,
+    ) -> Result<(Optimized, IncrementalState), PipelineError> {
+        let uni = ExprUniverse::of(f);
+        let local = LocalPredicates::compute(f, &uni);
+        let view = CfgView::new(f);
+        let avail =
+            availability_problem(f, &uni, &local).try_solve_with(strategy, &view, scratch)?;
+        let antic =
+            anticipability_problem(f, &uni, &local).try_solve_with(strategy, &view, scratch)?;
+        let ga = GlobalAnalyses::derive(f, &uni, &local, avail, antic);
+        let later = later_problem(f, &uni, &local, &ga).try_solve_with(strategy, &view, scratch)?;
+        let lazy = derive_placement(f, &uni, &local, &ga, later.clone());
+        let pipeline_stats = Some(PipelineStats {
+            avail: ga.avail.stats,
+            antic: ga.antic.stats,
+            later: lazy.stats,
+        });
+        let transform = apply_plan(f, &uni, &local, &lazy.plan);
+        let optimized = Optimized {
+            function: transform.function.clone(),
+            transform,
+            plan: lazy.plan,
+            input: f.clone(),
+            algorithm: PreAlgorithm::LazyEdge,
+            pipeline_stats,
+            spec: None,
+        };
+        let state = IncrementalState {
+            function: f.clone(),
+            universe: uni,
+            local,
+            ga,
+            later,
+        };
+        Ok((optimized, state))
+    }
+
+    /// The function this state's fixpoints belong to.
+    pub fn function(&self) -> &Function {
+        &self.function
+    }
+
+    /// Scrambles the stored fixpoints with seeded noise while keeping
+    /// their shape intact, so the next [`optimize_incremental`] seeds its
+    /// delta solves from garbage. Exists for fault-injection harnesses
+    /// (`lcm-faults`): the unconditional fast validation must catch any
+    /// resulting unsound plan — never silently wrong.
+    pub fn poison_solutions(&mut self, seed: u64) {
+        let mut state = seed | 1;
+        scramble_matrix(&mut self.ga.avail.ins, &mut state);
+        scramble_matrix(&mut self.ga.avail.outs, &mut state);
+        scramble_matrix(&mut self.ga.antic.ins, &mut state);
+        scramble_matrix(&mut self.ga.antic.outs, &mut state);
+        scramble_matrix(&mut self.later.ins, &mut state);
+        scramble_matrix(&mut self.later.outs, &mut state);
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn scramble_matrix(m: &mut BitMatrix, state: &mut u64) {
+    for r in 0..m.n_rows() {
+        let mut row = BitSet::new(m.nbits());
+        for i in 0..m.nbits() {
+            if splitmix64(state) & 1 == 1 {
+                row.insert(i);
+            }
+        }
+        m.set_row(r, &row);
+    }
+}
+
+/// True iff `f` has the same CFG shape as `prev`: block count, entry/exit,
+/// and every block's successor list (order-sensitive — edge numbering must
+/// survive). Block *contents* and labels are free to differ.
+fn same_shape(prev: &Function, f: &Function) -> bool {
+    prev.num_blocks() == f.num_blocks()
+        && prev.entry() == f.entry()
+        && prev.exit() == f.exit()
+        && f.block_ids().all(|b| {
+            prev.block(b)
+                .term
+                .successors()
+                .eq(f.block(b).term.successors())
+        })
+}
+
+/// [`optimize_incremental_checked`] at the fast validation tier — the
+/// daemon's hot path.
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the (possibly stale-seeded) result
+/// violates a paper invariant.
+pub fn optimize_incremental(
+    prev: &IncrementalState,
+    f: &Function,
+    seed: u64,
+) -> Result<IncrementalOutcome, PipelineError> {
+    optimize_incremental_checked(prev, f, ValidationLevel::Fast, seed)
+}
+
+/// Re-optimizes an edited revision of `prev`'s function, paying only for
+/// the blocks the edit can influence, then validates the result.
+///
+/// The validation floor is [`ValidationLevel::Fast`]: passing
+/// [`ValidationLevel::Off`] is silently promoted, because the delta path's
+/// soundness argument *is* the validator (cf. translation validation).
+/// Shape or universe changes fall back to a from-scratch pipeline —
+/// still validated — and report [`IncrementalStats::full_fallback`].
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates a paper invariant.
+pub fn optimize_incremental_checked(
+    prev: &IncrementalState,
+    f: &Function,
+    level: ValidationLevel,
+    seed: u64,
+) -> Result<IncrementalOutcome, PipelineError> {
+    optimize_incremental_checked_with(
+        prev,
+        f,
+        level,
+        seed,
+        SolveStrategy::default(),
+        &mut SolverScratch::new(),
+    )
+}
+
+/// [`optimize_incremental_checked`] with an explicit [`SolveStrategy`] and
+/// caller-owned [`SolverScratch`] — the daemon's per-function path.
+///
+/// # Errors
+///
+/// [`PipelineError::Solver`] if an analysis diverges,
+/// [`PipelineError::Validation`] if the result violates a paper invariant.
+pub fn optimize_incremental_checked_with(
+    prev: &IncrementalState,
+    f: &Function,
+    level: ValidationLevel,
+    seed: u64,
+    strategy: SolveStrategy,
+    scratch: &mut SolverScratch,
+) -> Result<IncrementalOutcome, PipelineError> {
+    let level = if level == ValidationLevel::Off {
+        ValidationLevel::Fast
+    } else {
+        level
+    };
+    let uni = ExprUniverse::of(f);
+    if !same_shape(&prev.function, f) || uni != prev.universe {
+        let (optimized, state) = IncrementalState::fresh_with(f, strategy, scratch)?;
+        let report = validate_optimized(f, &optimized, level, seed)?;
+        return Ok(IncrementalOutcome {
+            optimized,
+            report,
+            state,
+            stats: IncrementalStats {
+                full_fallback: true,
+                ..IncrementalStats::default()
+            },
+        });
+    }
+
+    // Same shape, same universe: diff block contents. Instruction equality
+    // is variable-index equality, which is exactly the granularity the
+    // analyses see — an index-identical block has index-identical transfer
+    // functions, and any renumbering shows up as an inequality (dirty is
+    // conservative, never unsound).
+    let dirty: Vec<BlockId> = f
+        .block_ids()
+        .filter(|&b| {
+            let pb = prev.function.block(b);
+            let nb = f.block(b);
+            pb.instrs != nb.instrs || pb.term != nb.term
+        })
+        .collect();
+
+    let mut local = prev.local.clone();
+    for &b in &dirty {
+        local.recompute_block(f, &uni, b);
+    }
+
+    let view = CfgView::new(f);
+    let (avail, avail_info) = availability_problem(f, &uni, &local).try_delta_solve_with(
+        &view,
+        scratch,
+        &prev.ga.avail,
+        &dirty,
+    )?;
+    let (antic, antic_info) = anticipability_problem(f, &uni, &local).try_delta_solve_with(
+        &view,
+        scratch,
+        &prev.ga.antic,
+        &dirty,
+    )?;
+
+    // EARLIEST is a per-edge derivation, linear and allocation-light —
+    // recompute it wholesale and *diff* it against the previous revision
+    // to scope the LATER delta: an edge whose gen set moved invalidates
+    // its target, and a moved virtual-entry EARLIEST invalidates the
+    // LATER boundary at the entry block.
+    let ga = GlobalAnalyses::derive(f, &uni, &local, avail, antic);
+    let mut later_dirty = vec![false; f.num_blocks()];
+    for &b in &dirty {
+        later_dirty[b.index()] = true;
+    }
+    for (eid, edge) in ga.edges.iter() {
+        if ga.earliest[eid.index()] != prev.ga.earliest[eid.index()] {
+            later_dirty[edge.to.index()] = true;
+        }
+    }
+    if ga.earliest_entry != prev.ga.earliest_entry {
+        later_dirty[f.entry().index()] = true;
+    }
+    let later_changed: Vec<BlockId> = f.block_ids().filter(|b| later_dirty[b.index()]).collect();
+
+    let (later, later_info) = later_problem(f, &uni, &local, &ga).try_delta_solve_with(
+        &view,
+        scratch,
+        &prev.later,
+        &later_changed,
+    )?;
+    let lazy = derive_placement(f, &uni, &local, &ga, later.clone());
+    let pipeline_stats = Some(PipelineStats {
+        avail: ga.avail.stats,
+        antic: ga.antic.stats,
+        later: lazy.stats,
+    });
+    let transform = apply_plan(f, &uni, &local, &lazy.plan);
+    let optimized = Optimized {
+        function: transform.function.clone(),
+        transform,
+        plan: lazy.plan,
+        input: f.clone(),
+        algorithm: PreAlgorithm::LazyEdge,
+        pipeline_stats,
+        spec: None,
+    };
+    let report = validate_optimized(f, &optimized, level, seed)?;
+    let stats = IncrementalStats {
+        full_fallback: avail_info.full_fallback
+            || antic_info.full_fallback
+            || later_info.full_fallback,
+        dirty_blocks: dirty.len(),
+        delta_blocks_resolved: avail_info.blocks_resolved
+            + antic_info.blocks_resolved
+            + later_info.blocks_resolved,
+    };
+    let state = IncrementalState {
+        function: f.clone(),
+        universe: uni,
+        local,
+        ga,
+        later,
+    };
+    Ok(IncrementalOutcome {
+        optimized,
+        report,
+        state,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize;
+    use lcm_ir::parse_function;
+
+    fn chain_text(mid: &str) -> String {
+        format!(
+            "fn chain {{
+             entry:
+               x = a + b
+               jmp b0
+             b0:
+               t0 = a + b
+               jmp b1
+             b1:
+               {mid}
+               jmp b2
+             b2:
+               t2 = a + b
+               jmp end
+             end:
+               y = a + b
+               obs y
+               ret
+             }}"
+        )
+    }
+
+    fn assert_same_result(out: &IncrementalOutcome, f2: &Function) {
+        let fresh = optimize(f2, PreAlgorithm::LazyEdge).unwrap();
+        assert_eq!(
+            out.optimized.function.to_string(),
+            fresh.function.to_string()
+        );
+        assert_eq!(
+            out.optimized.plan.num_insertions(),
+            fresh.plan.num_insertions()
+        );
+    }
+
+    #[test]
+    fn content_edit_matches_fresh_and_visits_fewer_nodes() {
+        let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        // `t1 = a` keeps the variable interning order (so only b1 is
+        // index-unequal) but drops b1's occurrence of a + b.
+        let f2 = parse_function(&chain_text("t1 = a")).unwrap();
+        let (_, state) = IncrementalState::fresh(&f1).unwrap();
+        let out = optimize_incremental(&state, &f2, 7).unwrap();
+        assert!(!out.stats.full_fallback);
+        assert_eq!(out.stats.dirty_blocks, 1);
+        assert!(out.stats.delta_blocks_resolved > 0);
+        assert_same_result(&out, &f2);
+        let fresh = optimize(&f2, PreAlgorithm::LazyEdge).unwrap();
+        let delta_visits = out.optimized.pipeline_stats.unwrap().total().node_visits;
+        let fresh_visits = fresh.pipeline_stats.unwrap().total().node_visits;
+        assert!(
+            delta_visits < fresh_visits,
+            "delta visited {delta_visits}, fresh {fresh_visits}"
+        );
+    }
+
+    #[test]
+    fn identical_revision_is_free_and_identical() {
+        let f = parse_function(&chain_text("t1 = a + b")).unwrap();
+        let (first, state) = IncrementalState::fresh(&f).unwrap();
+        let out = optimize_incremental(&state, &f, 7).unwrap();
+        assert_eq!(out.stats.dirty_blocks, 0);
+        assert_eq!(out.stats.delta_blocks_resolved, 0);
+        assert!(!out.stats.full_fallback);
+        assert_eq!(
+            out.optimized.function.to_string(),
+            first.function.to_string()
+        );
+    }
+
+    #[test]
+    fn shape_edit_falls_back_to_full_solve() {
+        let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        // b1 now branches back to b0: one extra edge, same block count.
+        let f2 = parse_function(
+            "fn chain {
+             entry:
+               x = a + b
+               jmp b0
+             b0:
+               t0 = a + b
+               jmp b1
+             b1:
+               t1 = a + b
+               br t0, b2, b0
+             b2:
+               t2 = a + b
+               jmp end
+             end:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let (_, state) = IncrementalState::fresh(&f1).unwrap();
+        let out = optimize_incremental(&state, &f2, 7).unwrap();
+        assert!(out.stats.full_fallback);
+        assert_eq!(out.stats.delta_blocks_resolved, 0);
+        assert_same_result(&out, &f2);
+    }
+
+    #[test]
+    fn universe_change_falls_back_to_full_solve() {
+        let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        let f2 = parse_function(&chain_text("t1 = a * b")).unwrap();
+        let (_, state) = IncrementalState::fresh(&f1).unwrap();
+        let out = optimize_incremental(&state, &f2, 7).unwrap();
+        assert!(out.stats.full_fallback);
+        assert_same_result(&out, &f2);
+    }
+
+    #[test]
+    fn validation_level_off_is_promoted_to_fast() {
+        let f = parse_function(&chain_text("t1 = a + b")).unwrap();
+        let (_, state) = IncrementalState::fresh(&f).unwrap();
+        let out = optimize_incremental_checked(&state, &f, ValidationLevel::Off, 7).unwrap();
+        assert_eq!(out.report.level, ValidationLevel::Fast);
+    }
+
+    #[test]
+    fn poisoned_state_never_escapes_silently() {
+        let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        let f2 = parse_function(&chain_text("a = 1")).unwrap();
+        for seed in 0..8 {
+            let (_, mut state) = IncrementalState::fresh(&f1).unwrap();
+            state.poison_solutions(0xdead_beef ^ seed);
+            match optimize_incremental(&state, &f2, 7) {
+                Err(PipelineError::Validation(_)) | Err(PipelineError::Solver(_)) => {}
+                Err(other) => panic!("unexpected error class: {other}"),
+                Ok(out) => {
+                    // The scramble happened to leave a sound plan: the
+                    // output must then be exactly the fresh result.
+                    assert_same_result(&out, &f2);
+                }
+            }
+        }
+    }
+}

@@ -57,6 +57,7 @@
 mod analyses;
 mod bcm;
 mod budget;
+mod incremental;
 mod lcm_edge;
 mod lcm_node;
 mod morel_renvoise;
@@ -82,6 +83,10 @@ pub use analyses::{
 };
 pub use bcm::busy_plan;
 pub use budget::{CancelReason, Cancelled, OptimizeBudget};
+pub use incremental::{
+    optimize_incremental, optimize_incremental_checked, optimize_incremental_checked_with,
+    IncrementalOutcome, IncrementalState, IncrementalStats,
+};
 pub use lcm_edge::{
     later_problem, lazy_edge_plan, lazy_edge_plan_in, lazy_edge_plan_with, LazyEdgeResult,
 };

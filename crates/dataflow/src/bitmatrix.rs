@@ -232,6 +232,19 @@ impl BitMatrix {
         copy_row_changed(d, s)
     }
 
+    /// Overwrites the whole matrix from a same-shape source without
+    /// allocating — the bulk seed of a delta solve (previous fixpoint into
+    /// the scratch arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has a different row count or row capacity.
+    pub fn copy_from(&mut self, other: &BitMatrix) {
+        assert_eq!(self.n_rows, other.n_rows, "row count mismatch");
+        assert_eq!(self.nbits, other.nbits, "row capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Resizes in place to `n_rows × nbits`, clearing every row and
     /// reusing the backing allocation whenever it is large enough.
     /// Returns `true` if the backing store had to grow (reallocate).

@@ -14,6 +14,40 @@ use crate::error::ShapeMismatch;
 
 pub(crate) const WORD_BITS: usize = 64;
 
+/// The shared body of the fused row kernels: applies `op` word-wise over
+/// equal-length rows, four words per iteration with a scalar tail, and
+/// accumulates an XOR-based difference mask instead of a per-word boolean.
+/// The fixed-width inner loop is branch-free and independent across lanes,
+/// the shape LLVM autovectorizes on stable without any explicit SIMD.
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+#[inline(always)]
+fn zip_rows_changed(dst: &mut [u64], src: &[u64], op: impl Fn(u64, u64) -> u64) -> bool {
+    assert_eq!(dst.len(), src.len(), "row length mismatch");
+    let mut diff = 0u64;
+    let mut dst_chunks = dst.chunks_exact_mut(4);
+    let mut src_chunks = src.chunks_exact(4);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        for i in 0..4 {
+            let new = op(d[i], s[i]);
+            diff |= new ^ d[i];
+            d[i] = new;
+        }
+    }
+    for (a, &b) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        let new = op(*a, b);
+        diff |= new ^ *a;
+        *a = new;
+    }
+    diff != 0
+}
+
 /// `dst ∪= src` over equal-length word rows; returns `true` if `dst`
 /// changed.
 ///
@@ -22,14 +56,7 @@ pub(crate) const WORD_BITS: usize = 64;
 /// Panics if the rows have different lengths.
 #[inline]
 pub fn union_rows(dst: &mut [u64], src: &[u64]) -> bool {
-    assert_eq!(dst.len(), src.len(), "row length mismatch");
-    let mut changed = false;
-    for (a, &b) in dst.iter_mut().zip(src) {
-        let new = *a | b;
-        changed |= new != *a;
-        *a = new;
-    }
-    changed
+    zip_rows_changed(dst, src, |a, b| a | b)
 }
 
 /// `dst ∩= src` over equal-length word rows; returns `true` if `dst`
@@ -40,14 +67,7 @@ pub fn union_rows(dst: &mut [u64], src: &[u64]) -> bool {
 /// Panics if the rows have different lengths.
 #[inline]
 pub fn intersect_rows(dst: &mut [u64], src: &[u64]) -> bool {
-    assert_eq!(dst.len(), src.len(), "row length mismatch");
-    let mut changed = false;
-    for (a, &b) in dst.iter_mut().zip(src) {
-        let new = *a & b;
-        changed |= new != *a;
-        *a = new;
-    }
-    changed
+    zip_rows_changed(dst, src, |a, b| a & b)
 }
 
 /// `dst −= src` over equal-length word rows; returns `true` if `dst`
@@ -58,14 +78,7 @@ pub fn intersect_rows(dst: &mut [u64], src: &[u64]) -> bool {
 /// Panics if the rows have different lengths.
 #[inline]
 pub fn difference_rows(dst: &mut [u64], src: &[u64]) -> bool {
-    assert_eq!(dst.len(), src.len(), "row length mismatch");
-    let mut changed = false;
-    for (a, &b) in dst.iter_mut().zip(src) {
-        let new = *a & !b;
-        changed |= new != *a;
-        *a = new;
-    }
-    changed
+    zip_rows_changed(dst, src, |a, b| a & !b)
 }
 
 /// Overwrites `dst` with `src`, reporting word-granular whether anything
@@ -76,13 +89,7 @@ pub fn difference_rows(dst: &mut [u64], src: &[u64]) -> bool {
 /// Panics if the rows have different lengths.
 #[inline]
 pub fn copy_row_changed(dst: &mut [u64], src: &[u64]) -> bool {
-    assert_eq!(dst.len(), src.len(), "row length mismatch");
-    let mut changed = false;
-    for (a, &b) in dst.iter_mut().zip(src) {
-        changed |= *a != b;
-        *a = b;
-    }
-    changed
+    zip_rows_changed(dst, src, |_, b| b)
 }
 
 /// Tests membership of `bit` in a word row (callers guarantee
@@ -818,6 +825,81 @@ mod tests {
             );
             assert_eq!(s.iter().count(), s.count(), "trial {trial}");
         }
+    }
+
+    #[test]
+    fn unrolled_row_kernels_match_scalar_reference_across_odd_widths() {
+        // Property test: the 4-words-per-iteration kernels agree with a
+        // naive one-word-at-a-time reference — result *and* changed flag —
+        // across row lengths around the unroll boundary (0..=11 words,
+        // covering empty, tail-only, exact-multiple and mixed shapes).
+        fn reference(dst: &mut [u64], src: &[u64], op: impl Fn(u64, u64) -> u64) -> bool {
+            let mut changed = false;
+            for (a, &b) in dst.iter_mut().zip(src) {
+                let new = op(*a, b);
+                changed |= new != *a;
+                *a = new;
+            }
+            changed
+        }
+        let ops: [(&str, fn(u64, u64) -> u64); 4] = [
+            ("union", |a, b| a | b),
+            ("intersect", |a, b| a & b),
+            ("difference", |a, b| a & !b),
+            ("copy", |_, b| b),
+        ];
+        let kernels: [fn(&mut [u64], &[u64]) -> bool; 4] = [
+            union_rows,
+            intersect_rows,
+            difference_rows,
+            copy_row_changed,
+        ];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            // splitmix64 — in-tree PRNG, no dependencies.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for words in 0..=11usize {
+            for trial in 0..50 {
+                let src: Vec<u64> = (0..words).map(|_| next()).collect();
+                let base: Vec<u64> = (0..words)
+                    .map(|_| match trial % 4 {
+                        0 => 0,
+                        1 => !0,
+                        _ => next(),
+                    })
+                    .collect();
+                // Every trial also exercises the unchanged case.
+                for same in [false, true] {
+                    for ((name, op), kernel) in ops.iter().zip(kernels) {
+                        let mut expect = base.clone();
+                        let want = reference(&mut expect, &src, op);
+                        let mut got = base.clone();
+                        let flag = kernel(&mut got, &src);
+                        assert_eq!(got, expect, "{name}, {words} words, trial {trial}");
+                        assert_eq!(flag, want, "{name} changed flag, {words} words");
+                        if same {
+                            // Re-applying is idempotent and reports no change.
+                            let flag2 = kernel(&mut got, &src);
+                            let want2 = reference(&mut expect, &src, op);
+                            assert_eq!(got, expect, "{name} idempotent, {words} words");
+                            assert_eq!(flag2, want2, "{name} idempotent flag");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn unrolled_kernels_reject_mismatched_lengths() {
+        let mut d = [0u64; 5];
+        let _ = union_rows(&mut d, &[0u64; 4]);
     }
 
     #[test]

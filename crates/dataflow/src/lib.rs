@@ -77,6 +77,6 @@ pub use bitset::{
 };
 pub use error::{ShapeMismatch, SolverDiverged};
 pub use problem::{Confluence, Direction, Problem, Solution, Transfer};
-pub use solver::{SolveStrategy, SolverScratch};
+pub use solver::{DeltaSolveInfo, SolveStrategy, SolverScratch};
 pub use stats::SolveStats;
 pub use view::CfgView;

@@ -63,7 +63,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use lcm_core::transform::TransformStats;
 use lcm_core::validate::{sample_inputs, validate_optimized, ValidationLevel};
 use lcm_core::{
-    optimize_checked_budgeted, optimize_speculative_checked_budgeted, passes, EdgeWeights,
+    optimize_checked_budgeted, optimize_incremental_checked_with,
+    optimize_speculative_checked_budgeted, passes, EdgeWeights, IncrementalState, IncrementalStats,
     OptimizeBudget, PipelineError, PipelineStats, PreAlgorithm, SpecStats,
 };
 use lcm_dataflow::{SolveStrategy, SolverScratch};
@@ -312,6 +313,71 @@ struct PersistState {
     status: LoadStatus,
 }
 
+/// The retained fixpoint for one function name — what the daemon hot path
+/// ([`optimize_unit_incremental`]) delta-solves against on the next edit
+/// of the same function, tagged with the cache fingerprint of the input it
+/// was computed from so staleness is detectable.
+#[derive(Debug)]
+pub struct PrevSolve {
+    /// Fingerprint (with placement context) of the pre-LCSE input the
+    /// state was computed from.
+    pub key: u128,
+    /// The retained universe, local predicates, and AVAIL/ANTIC/LATER
+    /// fixpoints over the post-LCSE canonical function.
+    pub state: IncrementalState,
+}
+
+/// Which path answered one unit of
+/// [`BatchEngine::run_module_incremental`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IncrementalMode {
+    /// First sight of this function name: solved fresh, fixpoints now
+    /// retained for its next revision.
+    Fresh,
+    /// Delta-solved against the retained fixpoints — only the SCC
+    /// components the edit can reach were re-solved.
+    Delta,
+    /// Retained state existed, but the CFG shape or expression universe
+    /// changed, forcing the full-solve fallback (the state was refreshed
+    /// either way).
+    Fallback,
+    /// The placement is not [`incremental_eligible`]; the unit ran the
+    /// ordinary one-shot pipeline with no state retention.
+    OneShot,
+}
+
+impl IncrementalMode {
+    /// Short lowercase label for stats lines (`fresh`, `delta`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            IncrementalMode::Fresh => "fresh",
+            IncrementalMode::Delta => "delta",
+            IncrementalMode::Fallback => "fallback",
+            IncrementalMode::OneShot => "one-shot",
+        }
+    }
+}
+
+/// One function's outcome from [`BatchEngine::run_module_incremental`],
+/// in module order.
+#[derive(Debug)]
+pub struct IncrementalUnit {
+    /// The function's name.
+    pub name: String,
+    /// The optimized function text (name restored, byte-identical to the
+    /// batch pipeline's output), or the typed unit failure.
+    pub outcome: Result<String, UnitError>,
+    /// Which path answered it.
+    pub mode: IncrementalMode,
+    /// Delta accounting; all-default unless `mode` is
+    /// [`IncrementalMode::Delta`] or [`IncrementalMode::Fallback`].
+    pub stats: IncrementalStats,
+    /// Block count of the input — the yardstick for
+    /// `stats.delta_blocks_resolved` (a from-scratch solve pays one row
+    /// per block in each of the three analyses, i.e. `3 * blocks`).
+    pub blocks: usize,
+}
+
 /// The batch engine: a [`BatchOptions`] plus a [`PlanCache`] that persists
 /// across [`BatchEngine::run`] calls — and, when opened with
 /// [`BatchEngine::with_cache_file`], across processes.
@@ -320,6 +386,15 @@ pub struct BatchEngine {
     opts: BatchOptions,
     cache: PlanCache,
     persisted: Option<PersistState>,
+    /// Per-function-name retained fixpoints for the incremental hot path.
+    /// An entry is replaced on every re-optimization of its function and
+    /// lives until the process exits; the map is bounded by the number of
+    /// distinct function names a daemon serves.
+    prev_solves: HashMap<String, PrevSolve>,
+    /// Session increments of [`LifetimeCounters::incremental_hits`] and
+    /// [`LifetimeCounters::delta_blocks_resolved`] (no [`CacheStats`] twin).
+    incremental_hits: u64,
+    delta_blocks_resolved: u64,
 }
 
 impl BatchEngine {
@@ -329,6 +404,9 @@ impl BatchEngine {
             cache: PlanCache::new(opts.cache_capacity),
             opts,
             persisted: None,
+            prev_solves: HashMap::new(),
+            incremental_hits: 0,
+            delta_blocks_resolved: 0,
         }
     }
 
@@ -348,6 +426,9 @@ impl BatchEngine {
                 base,
                 status,
             }),
+            prev_solves: HashMap::new(),
+            incremental_hits: 0,
+            delta_blocks_resolved: 0,
         }
     }
 
@@ -359,9 +440,44 @@ impl BatchEngine {
     /// Lifetime cache counters — the persisted footer's totals plus this
     /// process's session; `None` for an in-memory engine.
     pub fn lifetime(&self) -> Option<LifetimeCounters> {
-        self.persisted
-            .as_ref()
-            .map(|p| p.base.plus_session(self.cache.stats()))
+        self.persisted.as_ref().map(|p| {
+            let mut l = p.base.plus_session(self.cache.stats());
+            l.incremental_hits += self.incremental_hits;
+            l.delta_blocks_resolved += self.delta_blocks_resolved;
+            l
+        })
+    }
+
+    /// Removes and returns the retained fixpoint for `name`, if any. The
+    /// take/put split (instead of borrowing in place) lets a daemon worker
+    /// release the engine lock while it delta-solves; a concurrent unit of
+    /// the same name simply finds no state and solves fresh.
+    pub fn take_prev_solve(&mut self, name: &str) -> Option<PrevSolve> {
+        self.prev_solves.remove(name)
+    }
+
+    /// Retains `prev` as the fixpoint to delta-solve `name`'s next
+    /// revision against, replacing any earlier state for that name.
+    pub fn put_prev_solve(&mut self, name: &str, prev: PrevSolve) {
+        self.prev_solves.insert(name.to_string(), prev);
+    }
+
+    /// Retained fixpoint entries currently held.
+    pub fn prev_solves_len(&self) -> usize {
+        self.prev_solves.len()
+    }
+
+    /// Counts one unit answered via the delta path (not the full-solve
+    /// fallback), which re-solved `delta_blocks` block rows.
+    pub fn note_incremental_hit(&mut self, delta_blocks: u64) {
+        self.incremental_hits += 1;
+        self.delta_blocks_resolved += delta_blocks;
+    }
+
+    /// This process's incremental counters so far:
+    /// `(incremental_hits, delta_blocks_resolved)`.
+    pub fn incremental_session(&self) -> (u64, u64) {
+        (self.incremental_hits, self.delta_blocks_resolved)
     }
 
     /// Counts a quarantined *entry*: a persisted entry that failed
@@ -384,11 +500,10 @@ impl BatchEngine {
         let Some(p) = &self.persisted else {
             return Ok(());
         };
-        persist::save_cache(
-            &p.path,
-            &self.cache,
-            p.base.plus_session(self.cache.stats()),
-        )
+        let mut totals = p.base.plus_session(self.cache.stats());
+        totals.incremental_hits += self.incremental_hits;
+        totals.delta_blocks_resolved += self.delta_blocks_resolved;
+        persist::save_cache(&p.path, &self.cache, totals)
     }
 
     /// The configuration.
@@ -418,6 +533,107 @@ impl BatchEngine {
                 })
                 .collect(),
         )
+    }
+
+    /// Optimizes every function of `m` through the incremental hot path,
+    /// sequentially and in module order: retained fixpoints (see
+    /// [`PrevSolve`]) answer a repeat revision of a function with an
+    /// SCC-scoped delta solve, first sights solve fresh and leave their
+    /// fixpoints behind, and shape or universe changes fall back to a full
+    /// solve. Functions whose placement is not [`incremental_eligible`]
+    /// run the ordinary one-shot pipeline instead.
+    ///
+    /// Per-unit output text is byte-identical to [`BatchEngine::run_module`]
+    /// for the same input and options (pinned by `tests/incremental.rs`
+    /// and `tests/watch.rs`). This is the `lcmopt watch` engine; the serve
+    /// daemon wires the same take → solve → put cycle into its connection
+    /// handler.
+    pub fn run_module_incremental(&mut self, m: &Module) -> Vec<IncrementalUnit> {
+        let mut scratch = SolverScratch::new();
+        m.iter()
+            .map(|f| self.incremental_unit(f, m.profile(&f.name), &mut scratch))
+            .collect()
+    }
+
+    fn incremental_unit(
+        &mut self,
+        f: &Function,
+        profile: Option<&Profile>,
+        scratch: &mut SolverScratch,
+    ) -> IncrementalUnit {
+        let blocks = f.num_blocks();
+        let unit = |outcome, mode, stats| IncrementalUnit {
+            name: f.name.clone(),
+            outcome,
+            mode,
+            stats,
+            blocks,
+        };
+        if let Err(e) = verify(f) {
+            let err = UnitError {
+                kind: FailureKind::InvalidInput,
+                message: e.to_string(),
+            };
+            return unit(
+                Err(err),
+                IncrementalMode::OneShot,
+                IncrementalStats::default(),
+            );
+        }
+        let weights = if self.opts.placement == PreAlgorithm::Speculative {
+            profile.and_then(|p| EdgeWeights::from_profile(f, p).ok())
+        } else {
+            None
+        };
+        let context = unit_context(self.opts.placement, weights.as_ref());
+        if !incremental_eligible(self.opts.placement, weights.as_ref()) {
+            let computed = isolate(AssertUnwindSafe(|| {
+                optimize_unit(
+                    f,
+                    &self.opts,
+                    weights.as_ref(),
+                    &context,
+                    scratch,
+                    &OptimizeBudget::unlimited(),
+                )
+            }));
+            return unit(
+                computed.map(|e| cache::with_name(&e.output_text, &f.name)),
+                IncrementalMode::OneShot,
+                IncrementalStats::default(),
+            );
+        }
+        let key = fingerprint_with_context(f, &context).0;
+        let prev = self.take_prev_solve(&f.name);
+        let had_prev = prev.is_some();
+        let computed = isolate(AssertUnwindSafe(|| {
+            optimize_unit_incremental(
+                f,
+                &self.opts,
+                &context,
+                prev.as_ref().map(|p| &p.state),
+                scratch,
+            )
+        }));
+        match computed {
+            Ok((entry, state, stats)) => {
+                let mode = match (had_prev, stats.full_fallback) {
+                    (false, _) => IncrementalMode::Fresh,
+                    (true, true) => IncrementalMode::Fallback,
+                    (true, false) => IncrementalMode::Delta,
+                };
+                if mode == IncrementalMode::Delta {
+                    self.note_incremental_hit(stats.delta_blocks_resolved as u64);
+                }
+                let output = cache::with_name(&entry.output_text, &f.name);
+                self.put_prev_solve(&f.name, PrevSolve { key, state });
+                if self.opts.use_cache {
+                    self.cache.insert(key, entry);
+                }
+                unit(Ok(output), mode, stats)
+            }
+            Err(e) => unit(Err(e), IncrementalMode::Fresh, IncrementalStats::default()),
+        }
     }
 
     /// Optimizes `units` as one batch. See the crate docs for the phase
@@ -786,6 +1002,98 @@ fn optimize_unit(
         validation_checks: report.checks_run,
         inputs_sampled: report.inputs_sampled,
     })
+}
+
+/// Whether a unit may take the incremental hot path: the effective
+/// placement must be the plain edge-formulation LCM pipeline — the one
+/// [`IncrementalState`] retains fixpoints for. That is [`PreAlgorithm::LazyEdge`]
+/// itself, or [`PreAlgorithm::Speculative`] with no resolved weights
+/// (which runs LazyEdge anyway and shares its cache entries).
+pub fn incremental_eligible(placement: PreAlgorithm, weights: Option<&EdgeWeights>) -> bool {
+    matches!(
+        (placement, weights),
+        (PreAlgorithm::LazyEdge, _) | (PreAlgorithm::Speculative, None)
+    )
+}
+
+/// The incremental twin of [`optimize_unit`]: the same pass order (LCSE →
+/// PRE → copy propagation → DCE → CFG simplification → output
+/// verification) and bit-identical output, but the PRE step delta-solves
+/// against `prev`'s retained fixpoints when one is supplied, re-solving
+/// only the SCC components the edit can reach (with an automatic full
+/// solve when the CFG shape or expression universe changed). Callers must
+/// check [`incremental_eligible`] first. Every result — delta, fallback,
+/// or first sight — passes at least the fast validation tier, so a stale
+/// or corrupted `prev` costs a typed unit failure, never wrong code.
+///
+/// Returns the cache entry, the new [`IncrementalState`] to retain for the
+/// function's next revision, and what the delta path did. [`IncrementalStats`]
+/// is all-default when `prev` was `None` (there was nothing to be
+/// incremental against).
+pub fn optimize_unit_incremental(
+    f: &Function,
+    opts: &BatchOptions,
+    context: &str,
+    prev: Option<&IncrementalState>,
+    scratch: &mut SolverScratch,
+) -> Result<(CacheEntry, IncrementalState, IncrementalStats), UnitError> {
+    let (level, seed, strategy) = (opts.validate, opts.seed, opts.strategy);
+    let mut g = f.clone();
+    g.name = CANONICAL_NAME.to_string();
+    let canonical_input = cache::contextual_text(&g.to_string(), context);
+    passes::lcse(&mut g);
+    let pipeline_err = |e: PipelineError| UnitError {
+        kind: FailureKind::Pipeline,
+        message: e.to_string(),
+    };
+    let (opt, report, state, stats) = match prev {
+        Some(prev) => {
+            let out = optimize_incremental_checked_with(prev, &g, level, seed, strategy, scratch)
+                .map_err(pipeline_err)?;
+            (out.optimized, out.report, out.state, out.stats)
+        }
+        None => {
+            let (opt, state) =
+                IncrementalState::fresh_with(&g, strategy, scratch).map_err(pipeline_err)?;
+            let effective = if level == ValidationLevel::Off {
+                ValidationLevel::Fast
+            } else {
+                level
+            };
+            let report = validate_optimized(&g, &opt, effective, seed).map_err(|e| UnitError {
+                kind: FailureKind::Pipeline,
+                message: e.to_string(),
+            })?;
+            (opt, report, state, IncrementalStats::default())
+        }
+    };
+    let mut out = opt.function.clone();
+    passes::copy_propagation(&mut out);
+    passes::dce(&mut out);
+    simplify_cfg(&mut out);
+    verify(&out).map_err(|e| UnitError {
+        kind: FailureKind::InvalidOutput,
+        message: e.to_string(),
+    })?;
+    // Allocations are scrubbed for the same reason as in [`optimize_unit`]:
+    // they measure arena temperature, not the function.
+    let mut pipeline = opt.pipeline_stats.unwrap_or_default();
+    pipeline.avail.allocations = 0;
+    pipeline.antic.allocations = 0;
+    pipeline.later.allocations = 0;
+    Ok((
+        CacheEntry {
+            canonical_input,
+            pipeline,
+            transform: opt.transform.stats,
+            output_text: out.to_string(),
+            origin: Some(Box::new(ComputedOrigin { pre_input: g, opt })),
+            validation_checks: report.checks_run,
+            inputs_sampled: report.inputs_sampled,
+        },
+        state,
+        stats,
+    ))
 }
 
 /// Differential inputs a thin-entry re-validation samples.

@@ -23,7 +23,7 @@
 //!
 //! ```text
 //! "LCMCACHE"  8 bytes   magic
-//! version     u32       format version (currently 1)
+//! version     u32       format version (currently 2)
 //! count       u64       number of entries
 //! count × entry:
 //!   key         u128    content fingerprint
@@ -34,7 +34,8 @@
 //!   stats       22×u64  pipeline (3×5), transform (5), checks, inputs
 //!   checksum    u64     FNV-1a-64 over this entry's preceding bytes
 //! "LCMSTATS"  8 bytes   footer magic
-//! counters    4×u64     lifetime hits, misses, evictions, quarantines
+//! counters    6×u64     lifetime hits, misses, evictions, quarantines,
+//!                       incremental hits, delta blocks resolved
 //! checksum    u64       FNV-1a-64 over footer magic + counters
 //! <end of file — trailing bytes are an error>
 //! ```
@@ -54,8 +55,11 @@ use crate::cache::{CacheEntry, CacheStats, PlanCache};
 pub const CACHE_MAGIC: &[u8; 8] = b"LCMCACHE";
 /// The footer magic introducing the lifetime counters.
 pub const STATS_MAGIC: &[u8; 8] = b"LCMSTATS";
-/// The format version this build reads and writes.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// The format version this build reads and writes. Version 2 widened the
+/// counter footer from 4 to 6 u64s (incremental hits, delta blocks
+/// resolved); version-1 files are refused with [`CacheFileError::VersionSkew`]
+/// and quarantined, costing warmth once, never correctness.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// u64 stat fields per entry: 15 pipeline + 5 transform + 2 validation.
 const STAT_FIELDS: usize = 22;
@@ -78,11 +82,21 @@ pub struct LifetimeCounters {
     /// Corrupt cache files quarantined at load, plus persisted entries
     /// refused by hit-revalidation, lifetime.
     pub quarantines: u64,
+    /// Units answered by the incremental hot path — a retained fixpoint
+    /// delta-solved instead of a from-scratch pipeline run — lifetime.
+    /// Like `quarantines`, this has no [`CacheStats`] twin: the engine
+    /// accumulates it directly.
+    pub incremental_hits: u64,
+    /// Blocks actually re-solved across those incremental hits — the
+    /// "charged only for what changed" bill, lifetime.
+    pub delta_blocks_resolved: u64,
 }
 
 impl LifetimeCounters {
     /// These counters plus a process's [`CacheStats`] — the totals to
-    /// persist (and report) after that process's session.
+    /// persist (and report) after that process's session. The incremental
+    /// counters have no `CacheStats` twin and pass through unchanged; the
+    /// engine adds its session's increments itself.
     pub fn plus_session(mut self, session: CacheStats) -> Self {
         self.hits += session.hits as u64;
         self.misses += session.misses as u64;
@@ -95,8 +109,13 @@ impl fmt::Display for LifetimeCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} evictions, {} quarantines",
-            self.hits, self.misses, self.evictions, self.quarantines
+            "{} hits, {} misses, {} evictions, {} quarantines, {} incremental hits, {} delta blocks",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.quarantines,
+            self.incremental_hits,
+            self.delta_blocks_resolved
         )
     }
 }
@@ -222,6 +241,8 @@ pub fn save_cache(path: &Path, cache: &PlanCache, counters: LifetimeCounters) ->
         counters.misses,
         counters.evictions,
         counters.quarantines,
+        counters.incremental_hits,
+        counters.delta_blocks_resolved,
     ] {
         buf.extend_from_slice(&c.to_le_bytes());
     }
@@ -301,7 +322,7 @@ pub fn load_cache(
         return Err(CacheFileError::BadFooter);
     }
     let footer_start = r.pos - 8;
-    let mut counters = [0u64; 4];
+    let mut counters = [0u64; 6];
     for c in &mut counters {
         *c = u64::from_le_bytes(r.take(8, "footer counters")?.try_into().unwrap());
     }
@@ -323,6 +344,8 @@ pub fn load_cache(
             misses: counters[1],
             evictions: counters[2],
             quarantines: counters[3],
+            incremental_hits: counters[4],
+            delta_blocks_resolved: counters[5],
         },
     ))
 }
@@ -516,6 +539,8 @@ mod tests {
             misses: 11,
             evictions: 2,
             quarantines: 1,
+            incremental_hits: 5,
+            delta_blocks_resolved: 42,
         };
         save_cache(&path, engine.cache(), counters).unwrap();
 

@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::{BatchResult, UnitOutcome};
+use crate::{BatchResult, IncrementalUnit, UnitOutcome};
 
 /// The optimized module text: each successful unit's printed function in
 /// input order, failures as `#`-comment lines, separated by blank lines.
@@ -23,6 +23,33 @@ pub fn render_text(result: &BatchResult) -> String {
         match &unit.outcome {
             UnitOutcome::Ok(s) => out.push_str(&s.output),
             UnitOutcome::Failed(e) => {
+                let _ = write!(
+                    out,
+                    "# fn {}: FAILED ({}): {}",
+                    unit.name,
+                    e.kind.name(),
+                    one_line(&e.message)
+                );
+            }
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// [`render_text`] for the incremental runner's outcomes
+/// ([`BatchEngine::run_module_incremental`](crate::BatchEngine::run_module_incremental)):
+/// the same shape byte for byte, so `lcmopt watch` output diffs cleanly
+/// against a one-shot `lcmopt batch` on the same module.
+pub fn render_incremental_text(units: &[IncrementalUnit]) -> String {
+    let mut out = String::new();
+    for (i, unit) in units.iter().enumerate() {
+        if i > 0 {
+            out.push_str("\n\n");
+        }
+        match &unit.outcome {
+            Ok(s) => out.push_str(s),
+            Err(e) => {
                 let _ = write!(
                     out,
                     "# fn {}: FAILED ({}): {}",

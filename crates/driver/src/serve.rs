@@ -52,8 +52,9 @@ use crate::protocol::{
     ERR_DRAINING, ERR_PARSE, ERR_TOO_LARGE,
 };
 use crate::{
-    cache, fingerprint_with_context, isolate, optimize_unit, resolve_jobs, unit_context,
-    BatchEngine, BatchOptions, CacheEntry, FailureKind, LoadStatus, UnitError,
+    cache, fingerprint_with_context, incremental_eligible, isolate, optimize_unit,
+    optimize_unit_incremental, resolve_jobs, unit_context, BatchEngine, BatchOptions, CacheEntry,
+    FailureKind, LoadStatus, PrevSolve, UnitError,
 };
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -182,6 +183,11 @@ impl Core {
             if q_stop { " (stopping)" } else { "" },
         );
         out.push_str(&format!("cache: {s}, {} entries\n", engine.cache().len()));
+        let (inc_hits, delta_blocks) = engine.incremental_session();
+        out.push_str(&format!(
+            "incremental: {inc_hits} hits, {delta_blocks} delta blocks resolved, {} states retained\n",
+            engine.prev_solves_len()
+        ));
         if let Some(l) = engine.lifetime() {
             out.push_str(&format!("lifetime: {l}\n"));
         }
@@ -441,6 +447,53 @@ fn process_job(core: &Arc<Core>, scratch: &mut SolverScratch, job: UnitJob) -> R
                 return unit_err_response(job.index, &job.name, &e);
             }
         }
+    }
+
+    // The incremental hot path: for un-budgeted plain-LCM units, reuse the
+    // fixpoints retained from this function's previous revision and charge
+    // only for the blocks the edit can reach. Budgeted units keep the
+    // budget-enforcing pipeline; output text is bit-identical either way
+    // (pinned by `tests/incremental.rs` and the serve smoke in ci.sh).
+    if incremental_eligible(opts.placement, job.weights.as_ref())
+        && job.deadline.is_none()
+        && job.fuel == 0
+    {
+        let key = match &cached {
+            Some((key, _, _)) => *key,
+            None => fingerprint_with_context(&job.function, &job.context).0,
+        };
+        let prev = {
+            let mut engine = core.engine.lock().expect("engine lock");
+            engine.take_prev_solve(&job.name)
+        };
+        let had_prev = prev.is_some();
+        let computed = isolate(AssertUnwindSafe(|| {
+            optimize_unit_incremental(
+                &job.function,
+                &opts,
+                &job.context,
+                prev.as_ref().map(|p| &p.state),
+                scratch,
+            )
+        }));
+        return match computed {
+            Ok((entry, state, stats)) => {
+                let output = cache::with_name(&entry.output_text, &job.name);
+                let mut engine = core.engine.lock().expect("engine lock");
+                if had_prev && !stats.full_fallback {
+                    engine.note_incremental_hit(stats.delta_blocks_resolved as u64);
+                }
+                engine.put_prev_solve(&job.name, PrevSolve { key, state });
+                if cached.is_some() {
+                    engine.cache_mut().insert(key, entry);
+                }
+                Response::UnitOk {
+                    index: job.index,
+                    output,
+                }
+            }
+            Err(e) => unit_err_response(job.index, &job.name, &e),
+        };
     }
 
     let computed = isolate(AssertUnwindSafe(|| {

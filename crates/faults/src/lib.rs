@@ -17,8 +17,8 @@
 //! pipeline depends on it.
 
 use lcm_core::{
-    apply_plan, lazy_edge_plan_with, ExprUniverse, GlobalAnalyses, LocalPredicates, Optimized,
-    PipelineError, PreAlgorithm,
+    apply_plan, lazy_edge_plan_with, ExprUniverse, GlobalAnalyses, IncrementalState,
+    LocalPredicates, Optimized, PipelineError, PreAlgorithm,
 };
 use lcm_dataflow::{CfgView, SolveStrategy, SolverScratch};
 use lcm_driver::PlanCache;
@@ -339,13 +339,13 @@ pub fn corrupt_cache_file(
             }
         }
         CacheFileFault::CounterTamper => {
-            // The footer is the trailing 48 bytes: 8 magic + 32 counters +
+            // The footer is the trailing 64 bytes: 8 magic + 48 counters +
             // 8 checksum. Perturb one counter byte, leave the checksum.
-            if bytes.len() < 48 {
+            if bytes.len() < 64 {
                 false
             } else {
-                let base = bytes.len() - 40;
-                let i = base + (splitmix64(&mut state) % 32) as usize;
+                let base = bytes.len() - 56;
+                let i = base + (splitmix64(&mut state) % 48) as usize;
                 bytes[i] = bytes[i].wrapping_add(1);
                 true
             }
@@ -486,6 +486,20 @@ pub fn optimize_with_dropped_store_kill(
         },
         corrupted: local,
     }))
+}
+
+/// Scrambles the retained AVAIL/ANTIC/LATER fixpoints of an
+/// [`IncrementalState`] in place — modelling a daemon's per-function
+/// `PrevSolve` state rotting (or bleeding) between requests, the
+/// incremental twin of scratch poisoning. The scramble is seeded and
+/// always lands; shape invariants are preserved, so the poisoned state is
+/// *plausible*: the delta solver will happily reuse it, and only the
+/// unconditional fast-tier validation inside `optimize_incremental` (or a
+/// loud solver divergence) stands between the garbage and the output. The
+/// faults suite pins that dichotomy: every poisoned run is caught or
+/// bit-identical to fresh, never silently wrong.
+pub fn poison_prev_solve(state: &mut IncrementalState, seed: u64) {
+    state.poison_solutions(seed);
 }
 
 /// Corrupts one weight of an edge profile in place — modelling bit-rot or

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 
 use lcm_driver::{
     corrupt_sidecar, load_cache, load_or_quarantine, report, save_cache, tmp_path, BatchEngine,
-    BatchOptions, CacheFileError, LifetimeCounters, LoadStatus, PlanCache,
+    BatchOptions, CacheFileError, LifetimeCounters, LoadStatus, PlanCache, CACHE_FORMAT_VERSION,
 };
 use lcm_faults::{corrupt_cache_file, CacheFileFault};
 use lcm_ir::parse_module;
@@ -96,7 +96,8 @@ fn every_corruption_class_is_refused_across_seeds() {
                 }
                 CacheFileFault::VersionSkew => {
                     assert!(
-                        matches!(err, CacheFileError::VersionSkew { found: 2 }),
+                        matches!(err, CacheFileError::VersionSkew { found }
+                                 if found == CACHE_FORMAT_VERSION + 1),
                         "got {err}"
                     );
                 }

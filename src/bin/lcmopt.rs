@@ -6,6 +6,7 @@
 //! lcmopt lift [OPTIONS] <FILE|->
 //! lcmopt serve [OPTIONS]
 //! lcmopt request [OPTIONS] <PATH|->
+//! lcmopt watch [OPTIONS] <FILE>
 //!
 //! Reads a function in the textual IR format from FILE (or stdin when FILE
 //! is `-` or omitted) and processes it. The `batch` subcommand instead
@@ -17,7 +18,10 @@
 //! `lcmopt lift prog.l3a | lcmopt batch -`. The `serve` subcommand runs
 //! the long-lived optimization daemon (warm solver arenas, durable plan
 //! cache, admission control); `request` is its client. See
-//! `lcmopt serve --help` and `lcmopt request --help`.
+//! `lcmopt serve --help` and `lcmopt request --help`. The `watch`
+//! subcommand re-optimizes a module file whenever it changes on disk,
+//! delta-solving each edit against the previous revision's retained
+//! fixpoints; see `lcmopt watch --help`.
 //!
 //! OPTIONS:
 //!   -p, --passes LIST    comma-separated pass pipeline (default:
@@ -66,8 +70,8 @@ use lcm::driver::protocol::{
 };
 use lcm::driver::serve::{Daemon, ServeOptions};
 use lcm::driver::{
-    report as batch_report, text_from_bytes, BatchEngine, BatchOptions, BatchUnit, LoadError,
-    LoadStatus, UnitOutcome,
+    report as batch_report, text_from_bytes, BatchEngine, BatchOptions, BatchUnit, IncrementalMode,
+    LoadError, LoadStatus, UnitOutcome,
 };
 use lcm::interp::{run, Inputs};
 use lcm::ir::{
@@ -125,6 +129,7 @@ fn usage() -> &'static str {
      [--fuel N] [--compare] [FILE|-]\n\
      \x20      lcmopt batch [OPTIONS] <PATH|->   (see `lcmopt batch --help`)\n\
      \x20      lcmopt lift [OPTIONS] <FILE|->    (see `lcmopt lift --help`)\n\
+     \x20      lcmopt watch [OPTIONS] <FILE>     (see `lcmopt watch --help`)\n\
      passes: lcse, copyprop, dce, simplify, strength, bcm, lcm-edge, \
      lcm-node, alcm-node, morel-renvoise, gcse\n\
      --placement swaps the PRE step of the default pipeline (mutually \
@@ -942,6 +947,234 @@ fn run_request(_cli: RequestCli) -> Result<(), Failure> {
     ))
 }
 
+/// Options for `lcmopt watch`.
+struct WatchCli {
+    file: String,
+    interval_ms: u64,
+    iterations: u64,
+    output: Option<String>,
+    placement: PreAlgorithm,
+    solver: SolveStrategy,
+    validate: ValidationLevel,
+}
+
+fn watch_usage() -> &'static str {
+    "usage: lcmopt watch [--interval-ms N] [--iterations N] [-o|--output \
+     PATH] [--placement lcm|bcm|spec] [--solver rr|wl|scc] \
+     [--validate[=off|fast|full]] <FILE>\n\
+     Optimizes the module in FILE, then polls it and re-optimizes on every \
+     change. Each function's AVAIL/ANTIC/LATER fixpoints are retained \
+     between revisions, so an edit is answered by an SCC-scoped delta \
+     solve that charges only for the blocks it can reach (a CFG-shape or \
+     universe change falls back to a full solve). Output is byte-identical \
+     to `lcmopt batch` on the same revision.\n\
+     The optimized module goes to stdout after every run, or to PATH with \
+     --output (rewritten in place). Per-iteration stats — fresh/delta/\
+     fallback per function, dirty blocks, block rows re-solved — go to \
+     stderr.\n\
+     --iterations N exits after N re-optimizations beyond the initial one \
+     (0, the default, watches until interrupted); a transiently unreadable \
+     or unparseable save is reported and skipped, not fatal.\n\
+     exit codes: 0 ok, 1 internal error, 2 usage, 3 the initial module \
+     failed to parse, 5 any unit of the last completed run failed"
+}
+
+/// `Ok(None)` means help was requested (print watch usage, exit 0).
+fn parse_watch_args(mut args: impl Iterator<Item = String>) -> Result<Option<WatchCli>, Failure> {
+    let mut file: Option<String> = None;
+    let mut opts = WatchCli {
+        file: String::new(),
+        interval_ms: 50,
+        iterations: 0,
+        output: None,
+        placement: PreAlgorithm::LazyEdge,
+        solver: SolveStrategy::default(),
+        validate: ValidationLevel::Fast,
+    };
+    let usage_err = |msg: String| Failure::new(EXIT_USAGE, format!("{msg}\n{}", watch_usage()));
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--interval-ms" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--interval-ms needs an argument".into()))?;
+                opts.interval_ms = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad interval `{n}`")))?;
+            }
+            "--iterations" => {
+                let n = args
+                    .next()
+                    .ok_or_else(|| usage_err("--iterations needs an argument".into()))?;
+                opts.iterations = n
+                    .parse()
+                    .map_err(|_| usage_err(format!("bad iteration count `{n}`")))?;
+            }
+            "-o" | "--output" => {
+                let p = args
+                    .next()
+                    .ok_or_else(|| usage_err("--output needs a path".into()))?;
+                opts.output = Some(p);
+            }
+            "--placement" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--placement needs lcm|bcm|spec".into()))?;
+                opts.placement = parse_placement(&v).map_err(usage_err)?;
+            }
+            "--solver" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_err("--solver needs rr|wl|scc".into()))?;
+                opts.solver = v.parse().map_err(|e: String| usage_err(e))?;
+            }
+            "--validate" => opts.validate = ValidationLevel::Fast,
+            other if other.starts_with("--validate=") => {
+                let level = &other["--validate=".len()..];
+                opts.validate = level.parse().map_err(usage_err)?;
+            }
+            other if other.starts_with('-') => {
+                return Err(usage_err(format!("unknown watch argument `{other}`")));
+            }
+            p => {
+                if file.is_some() {
+                    return Err(usage_err("more than one input file".into()));
+                }
+                file = Some(p.to_string());
+            }
+        }
+    }
+    opts.file = file.ok_or_else(|| usage_err("watch needs an input FILE".into()))?;
+    Ok(Some(opts))
+}
+
+/// One watched re-optimization: runs the module through the engine's
+/// incremental path, emits per-function stats on stderr and the optimized
+/// module on stdout (or into `--output`). Returns how many units failed.
+fn watch_once(
+    engine: &mut BatchEngine,
+    module: &Module,
+    iteration: u64,
+    output: &Option<String>,
+) -> Result<usize, Failure> {
+    let start = std::time::Instant::now();
+    let units = engine.run_module_incremental(module);
+    let mut failed = 0usize;
+    for u in &units {
+        match u.mode {
+            IncrementalMode::Delta | IncrementalMode::Fallback => eprintln!(
+                "lcmopt watch[{iteration}]: fn {}: {}, {} dirty, {} of {} block rows re-solved",
+                u.name,
+                u.mode.name(),
+                u.stats.dirty_blocks,
+                u.stats.delta_blocks_resolved,
+                3 * u.blocks,
+            ),
+            IncrementalMode::Fresh | IncrementalMode::OneShot => {
+                eprintln!(
+                    "lcmopt watch[{iteration}]: fn {}: {}",
+                    u.name,
+                    u.mode.name()
+                );
+            }
+        }
+        if let Err(e) = &u.outcome {
+            failed += 1;
+            eprintln!(
+                "lcmopt watch[{iteration}]: fn {}: FAILED ({}): {}",
+                u.name,
+                e.kind.name(),
+                e.message
+            );
+        }
+    }
+    let (hits, delta_blocks) = engine.incremental_session();
+    eprintln!(
+        "lcmopt watch[{iteration}]: {} ok, {failed} failed; session: {hits} incremental hits, \
+         {delta_blocks} delta block rows; {:.3?}",
+        units.len() - failed,
+        start.elapsed()
+    );
+    let text = batch_report::render_incremental_text(&units);
+    match output {
+        Some(path) => std::fs::write(path, &text)
+            .map_err(|e| Failure::new(EXIT_USAGE, format!("writing {path}: {e}")))?,
+        None => print!("{text}"),
+    }
+    Ok(failed)
+}
+
+fn run_watch(cli: WatchCli) -> Result<(), Failure> {
+    let opts = BatchOptions {
+        jobs: 1,
+        placement: cli.placement,
+        validate: cli.validate,
+        seed: VALIDATION_SEED,
+        use_cache: true,
+        cache_capacity: 4096,
+        strategy: cli.solver,
+    };
+    let mut engine = BatchEngine::new(opts);
+    // The initial revision must load: a watch on a missing or broken file
+    // is a usage/parse error, not an empty vigil.
+    let mut last = std::fs::read(&cli.file)
+        .map_err(|e| Failure::new(EXIT_USAGE, format!("reading {}: {e}", cli.file)))?;
+    let parse = |bytes: Vec<u8>, file: &str| -> Result<Module, Failure> {
+        let text = text_from_bytes(bytes).map_err(|e| {
+            Failure::new(
+                EXIT_PARSE,
+                format!("{file}:{}:{}: {}", e.line, e.col, e.message),
+            )
+        })?;
+        parse_module(&text).map_err(|e| {
+            Failure::new(
+                EXIT_PARSE,
+                format!("{file}:{}:{}: {}", e.line, e.col, e.message),
+            )
+        })
+    };
+    let module = parse(last.clone(), &cli.file)?;
+    let mut failed = watch_once(&mut engine, &module, 0, &cli.output)?;
+    let mut done = 0u64;
+    while cli.iterations == 0 || done < cli.iterations {
+        std::thread::sleep(std::time::Duration::from_millis(cli.interval_ms));
+        // Content comparison, not just mtime: editors and scripted smoke
+        // tests can rewrite within the filesystem's mtime granularity.
+        let bytes = match std::fs::read(&cli.file) {
+            Ok(b) => b,
+            Err(e) => {
+                // A vanished file is usually an editor's save-by-rename
+                // mid-flight; report and keep polling.
+                eprintln!("lcmopt watch: reading {}: {e}", cli.file);
+                continue;
+            }
+        };
+        if bytes == last {
+            continue;
+        }
+        last = bytes.clone();
+        let module = match parse(bytes, &cli.file) {
+            Ok(m) => m,
+            Err(e) => {
+                // Half-saved revisions happen; they cost a diagnostic, not
+                // the watch.
+                eprintln!("lcmopt watch: {}", e.message);
+                continue;
+            }
+        };
+        done += 1;
+        failed = watch_once(&mut engine, &module, done, &cli.output)?;
+    }
+    if failed > 0 {
+        return Err(Failure::new(
+            EXIT_PASS,
+            format!("{failed} functions failed in the last run"),
+        ));
+    }
+    Ok(())
+}
+
 fn read_input(file: &Option<String>) -> Result<String, Failure> {
     let bytes = match file.as_deref() {
         None | Some("-") => {
@@ -1145,6 +1378,15 @@ fn real_main() -> Result<(), Failure> {
                 Some(cli) => run_request(cli),
                 None => {
                     println!("{}", request_usage());
+                    Ok(())
+                }
+            };
+        }
+        Some("watch") => {
+            return match parse_watch_args(std::env::args().skip(2))? {
+                Some(cli) => run_watch(cli),
+                None => {
+                    println!("{}", watch_usage());
                     Ok(())
                 }
             };

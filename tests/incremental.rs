@@ -1,0 +1,170 @@
+//! The incremental re-optimization proof: across a seeded edit corpus
+//! (content edits and shape edits, hundreds of mutate steps), the delta
+//! path of `optimize_incremental` produces **bit-identical** output to a
+//! from-scratch solve — including the full-solve fallback on shape edits —
+//! and every result carries a fast-tier validation report.
+//!
+//! The corpus is the centerpiece evidence for the delta solver's
+//! correctness argument: monotone gen/kill systems have a unique fixpoint,
+//! so components outside the directional closure of an edit provably keep
+//! their values; these tests pin that theorem empirically, the way
+//! `tests/strategy_corpus.rs` pins strategy equivalence.
+
+use lcm::cfggen::{mutate_function, seeded, structured, GenOptions, MutationKind};
+use lcm::core::{
+    optimize, optimize_incremental, IncrementalOutcome, IncrementalState, Optimized, PreAlgorithm,
+    ValidationLevel,
+};
+use lcm::ir::{parse_function, Function};
+
+fn assert_bit_identical(out: &IncrementalOutcome, fresh: &Optimized, tag: &str) {
+    assert_eq!(
+        out.optimized.function.to_string(),
+        fresh.function.to_string(),
+        "output text diverged: {tag}"
+    );
+    assert_eq!(
+        out.optimized.plan.num_insertions(),
+        fresh.plan.num_insertions(),
+        "insertion count diverged: {tag}"
+    );
+    assert_eq!(
+        out.optimized.transform.stats, fresh.transform.stats,
+        "transform stats diverged: {tag}"
+    );
+    assert!(
+        out.report.level != ValidationLevel::Off,
+        "missing fast validation: {tag}"
+    );
+}
+
+/// ≥200 seeded mutate steps over evolving functions: every step's
+/// incremental result is bit-identical to a fresh solve, shape edits take
+/// the fallback, and non-fallback delta solves never visit more nodes
+/// than fresh ones (strictly fewer on most).
+#[test]
+fn edit_corpus_is_bit_identical_to_fresh_solves() {
+    let mut steps = 0usize;
+    let mut content_steps = 0usize;
+    let mut shape_steps = 0usize;
+    let mut delta_steps = 0usize;
+    let mut strictly_fewer = 0usize;
+
+    for seed in 0..10u64 {
+        let mut f = structured(seed, &GenOptions::default());
+        let (_, mut state) = IncrementalState::fresh(&f).unwrap();
+        let mut rng = seeded(seed ^ 0xED17_C0DE);
+        for step in 0..24 {
+            let mut next = f.clone();
+            let kind = mutate_function(&mut next, &mut rng, 0.2);
+            let tag = format!("seed {seed} step {step} ({kind:?})");
+
+            let out = optimize_incremental(&state, &next, 42).unwrap();
+            let fresh = optimize(&next, PreAlgorithm::LazyEdge).unwrap();
+            assert_bit_identical(&out, &fresh, &tag);
+
+            match kind {
+                MutationKind::Shape => {
+                    assert!(out.stats.full_fallback, "shape edit took delta path: {tag}");
+                    shape_steps += 1;
+                }
+                MutationKind::Content => content_steps += 1,
+            }
+            if !out.stats.full_fallback {
+                delta_steps += 1;
+                let delta = out.optimized.pipeline_stats.unwrap().total().node_visits;
+                let full = fresh.pipeline_stats.unwrap().total().node_visits;
+                assert!(delta <= full, "delta visited more than fresh: {tag}");
+                if delta < full {
+                    strictly_fewer += 1;
+                }
+            }
+
+            state = out.state;
+            f = next;
+            steps += 1;
+        }
+    }
+
+    assert!(steps >= 200, "corpus shrank to {steps} steps");
+    assert!(shape_steps >= 10, "only {shape_steps} shape edits");
+    assert!(content_steps >= 100, "only {content_steps} content edits");
+    assert!(delta_steps >= 50, "only {delta_steps} delta-path steps");
+    assert!(
+        strictly_fewer * 2 >= delta_steps,
+        "delta solves rarely cheaper: {strictly_fewer}/{delta_steps}"
+    );
+}
+
+fn run_pair(t1: &str, t2: &str) -> (IncrementalOutcome, Optimized, Function) {
+    let f1 = parse_function(t1).unwrap();
+    let f2 = parse_function(t2).unwrap();
+    let (_, state) = IncrementalState::fresh(&f1).unwrap();
+    let out = optimize_incremental(&state, &f2, 7).unwrap();
+    let fresh = optimize(&f2, PreAlgorithm::LazyEdge).unwrap();
+    (out, fresh, f2)
+}
+
+const BASE: &str = "fn g {
+    entry:
+      x = a + b
+      br c, mid, side
+    mid:
+      t = c + d
+      jmp join
+    side:
+      u = c + d
+      jmp join
+    join:
+      y = a + b
+      z = c + d
+      obs y
+      obs z
+      ret
+    }";
+
+/// An edit that only changes a block's kill set (no occurrence added or
+/// removed): appending `a = 1` to `mid` kills `a + b` through that arm.
+#[test]
+fn kill_set_only_edit_stays_on_the_delta_path() {
+    let edited = BASE.replace("t = c + d", "t = c + d\n      a = 1");
+    let (out, fresh, _) = run_pair(BASE, &edited);
+    assert!(!out.stats.full_fallback);
+    assert_eq!(out.stats.dirty_blocks, 1);
+    assert_bit_identical(&out, &fresh, "kill-set-only edit");
+}
+
+/// An edit that empties a block entirely. The expressions it computed
+/// still occur elsewhere, so the universe (and the delta path) survive.
+#[test]
+fn emptied_block_stays_on_the_delta_path() {
+    let edited = BASE.replace("t = c + d\n      jmp join", "jmp join");
+    let (out, fresh, _) = run_pair(BASE, &edited);
+    assert!(!out.stats.full_fallback);
+    assert_bit_identical(&out, &fresh, "emptied block");
+}
+
+/// An edit touching the entry block — the boundary row of the forward
+/// problems and the virtual-entry EARLIEST both sit there. (`a = 1` kills
+/// `a + b` out of the entry without disturbing variable interning.)
+#[test]
+fn entry_block_edit_stays_on_the_delta_path() {
+    let edited = BASE.replace("x = a + b\n      br", "x = a + b\n      a = 1\n      br");
+    let (out, fresh, _) = run_pair(BASE, &edited);
+    assert!(!out.stats.full_fallback);
+    assert_bit_identical(&out, &fresh, "entry-block edit");
+}
+
+/// A shape edit (extra block on an edge) must trigger the full-solve
+/// fallback — and still match a fresh solve bit for bit.
+#[test]
+fn shape_edit_takes_the_fallback_and_still_matches() {
+    let edited = BASE.replace(
+        "side:\n      u = c + d",
+        "side:\n      u = c + d\n      jmp hop\n    hop:",
+    );
+    let (out, fresh, _) = run_pair(BASE, &edited);
+    assert!(out.stats.full_fallback);
+    assert_eq!(out.stats.delta_blocks_resolved, 0);
+    assert_bit_identical(&out, &fresh, "shape edit");
+}

@@ -298,6 +298,40 @@ fn shutdown_frame_drains_with_bye() {
     d.shutdown().unwrap();
 }
 
+/// The daemon hot path: re-sending a module after a content edit must be
+/// answered from the retained fixpoints (a delta solve, not a from-scratch
+/// pipeline run), and the STATS text must say so.
+#[test]
+fn edited_module_resend_reports_incremental_hits() {
+    let d = daemon();
+    let mut input = optimize_request(MODULE);
+    // A content edit in one block of `d`: appending `a = 1` kills `a + b`
+    // through `join` without changing the CFG shape or the universe.
+    let edited = MODULE.replace("y = a + b", "y = a + b\n  a = 1");
+    input.extend_from_slice(&optimize_request(&edited));
+    write_request(&mut input, &Request::Stats).unwrap();
+    let (responses, end) = roundtrip(&d, &input);
+    assert_eq!(end, ConnectionEnd::Closed);
+    let dones = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Done { ok: 2, failed: 0 }))
+        .count();
+    assert_eq!(dones, 2, "{responses:?}");
+    let Some(Response::Stats { text }) = responses.last() else {
+        panic!("expected trailing STATS, got {responses:?}");
+    };
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("incremental: "))
+        .unwrap_or_else(|| panic!("no incremental line in stats:\n{text}"));
+    assert!(
+        !line.starts_with("incremental: 0 hits"),
+        "edited resend was not answered incrementally: {line}"
+    );
+    assert_eq!(d.panics_contained(), 0);
+    d.shutdown().unwrap();
+}
+
 #[test]
 fn response_tags_are_wire_stable() {
     // Pin the wire tags a client depends on; renumbering is a protocol
