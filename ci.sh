@@ -101,11 +101,32 @@ cargo run -q --release --bin lcmopt -- --validate=full \
 diff testdata/memory_alias.lcm "$SMOKE/memalias.out"
 
 # Watch smoke: an edit stream through `lcmopt watch` must track the file
-# and answer byte-identically to a one-shot batch of each revision, and a
-# pure content edit must take the delta path (reported on stderr).
-echo "==> watch smoke: scripted edit, output diffed vs one-shot batch"
+# and answer byte-identically to a one-shot batch of each revision. Three
+# scripted edits cover the incremental tiers: a pure content edit takes
+# the delta path, a byte-different parse-identical rewrite replays the
+# zero-dirty output memo ("0 dirty" on stderr, output bytes unchanged),
+# and a universe-growing edit (new expression) stays on the delta path
+# instead of falling back (PR 10 widening).
+echo "==> watch smoke: scripted edits, output diffed vs one-shot batch"
 LCMOPT="$(pwd)/target/release/lcmopt"
 WFILE="$SMOKE/watched.lcm"
+# Atomic publish (rename, not copy-in-place) so the watcher never reads a
+# half-written revision; then wait for iteration $1's session line.
+publish() { cp "$1" "$SMOKE/stage.tmp" && mv "$SMOKE/stage.tmp" "$WFILE"; }
+wait_iter() {
+  i=0
+  while ! grep -q "watch\[$1\]: [0-9]* ok," "$SMOKE/watch.log" \
+    && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+  grep -q "watch\[$1\]: [0-9]* ok," "$SMOKE/watch.log"
+}
+# The session line is logged just before the output file is rewritten;
+# poll until the output settles on the expected bytes.
+wait_out() {
+  i=0
+  while ! cmp -s "$SMOKE/watch.out" "$1" \
+    && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+  cmp -s "$SMOKE/watch.out" "$1"
+}
 cat > "$SMOKE/rev0.lcm" <<'EOT'
 fn d {
 entry:
@@ -133,22 +154,44 @@ EOT
 # delta-path edit, same pair tests/watch.rs pins.
 awk '{ print } /y = a \+ b/ { print "  a = 1" }' "$SMOKE/rev0.lcm" \
   > "$SMOKE/rev1.lcm"
+# Revision 2: byte-different but parse-identical (one trailing blank
+# line). Both functions must replay the zero-dirty output memo.
+{ cat "$SMOKE/rev1.lcm"; echo; } > "$SMOKE/rev2.lcm"
+# Revision 3: a universe-growing edit — `p + q` is a new expression in
+# `straight` — which PR 10's widening keeps on the delta path.
+awk '{ print } /x = p \* q/ { print "  w = p + q"; print "  obs w" }' \
+  "$SMOKE/rev2.lcm" > "$SMOKE/rev3.lcm"
 cp "$SMOKE/rev0.lcm" "$WFILE"
-"$LCMOPT" watch "$WFILE" --iterations 1 --interval-ms 20 \
+"$LCMOPT" watch "$WFILE" --iterations 3 --interval-ms 20 \
   -o "$SMOKE/watch.out" 2> "$SMOKE/watch.log" &
 WATCH_PID=$!
 # The initial revision's output appears before polling starts; edit only
-# after it exists so the watcher is guaranteed to see both revisions.
+# after it exists so the watcher is guaranteed to see every revision.
 i=0
 while [ ! -s "$SMOKE/watch.out" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
 [ -s "$SMOKE/watch.out" ]
 "$LCMOPT" batch "$SMOKE/rev0.lcm" --emit text > "$SMOKE/rev0.batch" 2>/dev/null
 diff "$SMOKE/watch.out" "$SMOKE/rev0.batch"
-cp "$SMOKE/rev1.lcm" "$WFILE"
-wait "$WATCH_PID"
 "$LCMOPT" batch "$SMOKE/rev1.lcm" --emit text > "$SMOKE/rev1.batch" 2>/dev/null
+"$LCMOPT" batch "$SMOKE/rev3.lcm" --emit text > "$SMOKE/rev3.batch" 2>/dev/null
+# Edit 1: content delta on fn d, memo replay on untouched fn straight.
+publish "$SMOKE/rev1.lcm"
+wait_iter 1
+wait_out "$SMOKE/rev1.batch"
+grep -q "watch\[1\]: fn d: delta, 1 dirty" "$SMOKE/watch.log"
+# Edit 2: no-op rewrite — both functions report "0 dirty" memo replays
+# and the output file stays byte-identical to revision 1's.
+publish "$SMOKE/rev2.lcm"
+wait_iter 2
+grep -q "watch\[2\]: fn d: zero-dirty, 0 dirty" "$SMOKE/watch.log"
+grep -q "watch\[2\]: fn straight: zero-dirty, 0 dirty" "$SMOKE/watch.log"
 diff "$SMOKE/watch.out" "$SMOKE/rev1.batch"
-grep -q "delta, 1 dirty" "$SMOKE/watch.log"
+# Edit 3: universe growth must be a delta solve, never a fallback.
+publish "$SMOKE/rev3.lcm"
+wait "$WATCH_PID"
+wait_out "$SMOKE/rev3.batch"
+grep -q "watch\[3\]: fn straight: delta, 1 dirty" "$SMOKE/watch.log"
+grep -q "watch\[3\]:.* 1 universe-grow, .* 0 fallback" "$SMOKE/watch.log"
 
 # Serve smoke: the daemon must answer byte-identically to batch, survive a
 # SIGKILL crash (the write-behind cache file either loads or quarantines,
@@ -179,11 +222,14 @@ grep -Eq "cache file (loaded|refused)" "$SMOKE/serve2.log"
 "$LCMOPT" request --socket "$SOCK" --stats | grep -q "^lifetime:"
 # The daemon's incremental hot path: re-sending an edited module must
 # delta-solve against the fixpoints retained from the previous revision
-# and report the hits, not pay a fresh solve.
+# and report the hits, not pay a fresh solve. The edit-class ledger in
+# --stats classifies the resend: fn d was a content edit, fn straight
+# was byte-identical and replayed the zero-dirty output memo.
 "$LCMOPT" request --socket "$SOCK" "$SMOKE/rev0.lcm" > /dev/null
 "$LCMOPT" request --socket "$SOCK" "$SMOKE/rev1.lcm" > /dev/null
-"$LCMOPT" request --socket "$SOCK" --stats \
-  | grep -Eq "^incremental: [1-9][0-9]* hits"
+"$LCMOPT" request --socket "$SOCK" --stats > "$SMOKE/serve.stats"
+grep -Eq "^incremental: [1-9][0-9]* hits" "$SMOKE/serve.stats"
+grep -Eq "^edit classes: 1 content, .* 1 zero-dirty$" "$SMOKE/serve.stats"
 "$LCMOPT" request --socket "$SOCK" --shutdown
 wait "$SERVE_PID"
 

@@ -1191,11 +1191,13 @@ fn bench(quick: bool) {
         units.len() as f64 / best
     };
     let batch_fps = throughput(cores);
-    let batch_fps_1 = throughput(1);
 
     // The multi-thread sweep: same corpus, cache off, fixed job counts so
     // the committed series tracks the scaling *shape* across PRs even when
-    // the machines differ.
+    // the machines differ. Its `j1` entry is the one canonical jobs=1
+    // throughput — PR 9 measured (and committed) the same configuration
+    // twice, once here and once as the batch row's
+    // `jobs1_functions_per_second`; the duplicate is retired.
     let sweep: Vec<(usize, f64)> = [1usize, 2, 4, 8]
         .iter()
         .map(|&jobs| (jobs, throughput(jobs)))
@@ -1205,101 +1207,174 @@ fn bench(quick: bool) {
         oln!("  jobs {jobs}: {fps:>10.1}");
     }
 
-    // Incremental vs fresh: every function edited once (content edits
-    // only — the mutator's shape probability is 0), then re-optimized
-    // either from scratch or by delta-solving against the fixpoints
-    // retained from the unedited revision. Same sequential runner both
-    // ways, so the ratio isolates the delta solve itself. Edits that
-    // shift the expression universe take the full-solve fallback, whose
-    // cost is simply the fresh column plus a diff — so the row keeps only
-    // the pairs that exercise the delta path (the daemon's hot-path
-    // scenario) and reports how many that is. The corpus is larger-bodied
-    // than the batch one: solver cost is what the delta path saves, and
-    // on small functions it vanishes under the pipeline's fixed tail
-    // (validation, cleanup, printing).
-    let (inc_block_size, inc_n_fns) = if quick { (120, 6) } else { (240, 24) };
+    // Incremental vs fresh on a *watch-shaped* workload: a module of K
+    // functions re-optimized across R revisions, each revision a seeded
+    // content edit to exactly one function. That is the shape `lcmopt
+    // watch` and the daemon actually see — one file changes, the rest of
+    // the module rides along — so the warm engine answers K-1 units per
+    // revision from the zero-dirty output memo and delta-solves the one
+    // edited function (widening through universe growth instead of
+    // falling back), while the cold baseline pays K fresh solves. The
+    // corpus is larger-bodied than the batch one: solver cost is what the
+    // delta path saves, and on small functions it vanishes under the
+    // pipeline's fixed tail (validation, cleanup, printing) — which the
+    // row now reports separately as solve vs tail nanoseconds.
+    let (inc_block_size, inc_n_fns, inc_revs) = if quick { (120, 6, 6) } else { (240, 24, 24) };
     let inc_corpus = sized_corpus(inc_block_size, inc_n_fns);
-    let mut base_fns = Vec::new();
-    let mut edited_fns = Vec::new();
-    for (i, f) in inc_corpus.iter().enumerate() {
-        let mut f = f.clone();
-        f.name = format!("f{i}");
-        let mut g = f.clone();
-        let mut rng = lcm_cfggen::seeded(0x1BC9 ^ i as u64);
-        lcm_cfggen::mutate_function(&mut g, &mut rng, 0.0);
-        base_fns.push(f);
-        edited_fns.push(g);
-    }
     let inc_opts = BatchOptions {
         jobs: 1,
         use_cache: false,
         ..BatchOptions::default()
     };
-    let (base_m, edited_m) = {
-        let mut probe = BatchEngine::new(inc_opts);
-        let mut all_base = lcm_ir::Module::default();
-        let mut all_edited = lcm_ir::Module::default();
-        for (f, g) in base_fns.iter().zip(&edited_fns) {
-            all_base.push(f.clone()).expect("unique names");
-            all_edited.push(g.clone()).expect("unique names");
+    let mut cur: Vec<_> = inc_corpus
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut f = f.clone();
+            f.name = format!("f{i}");
+            f
+        })
+        .collect();
+    let module_of = |fns: &[lcm_ir::Function]| {
+        let mut m = lcm_ir::Module::default();
+        for f in fns {
+            m.push(f.clone()).expect("unique names");
         }
-        probe.run_module_incremental(&all_base);
-        let modes = probe.run_module_incremental(&all_edited);
-        let mut base_m = lcm_ir::Module::default();
-        let mut edited_m = lcm_ir::Module::default();
-        for (i, u) in modes.iter().enumerate() {
-            if u.mode == lcm_driver::IncrementalMode::Delta && u.outcome.is_ok() {
-                base_m.push(base_fns[i].clone()).expect("unique names");
-                edited_m.push(edited_fns[i].clone()).expect("unique names");
-            }
-        }
-        (base_m, edited_m)
+        m
     };
-    let inc_fns = base_m.iter().count();
+    let base_m = module_of(&cur);
+    let mut rng = lcm_cfggen::seeded(0x1BC9);
+    let revisions: Vec<lcm_ir::Module> = (0..inc_revs)
+        .map(|r| {
+            lcm_cfggen::mutate_function(&mut cur[r % inc_n_fns], &mut rng, 0.0);
+            module_of(&cur)
+        })
+        .collect();
+    let inc_units = inc_revs * inc_n_fns;
     let mut fresh_best = f64::MAX;
     let mut delta_best = f64::MAX;
     let (mut delta_hits, mut delta_rows) = (0u64, 0u64);
+    let mut watch_classes = lcm_driver::EditClassCounters::default();
+    let mut phases = lcm_core::PhaseNanos::default();
     for _ in 0..batch_reps.max(2) {
-        let mut engine = BatchEngine::new(inc_opts);
         let t0 = Instant::now();
-        let r = engine.run_module_incremental(&edited_m);
-        assert!(r.iter().all(|u| u.outcome.is_ok()));
+        for m in &revisions {
+            let mut engine = BatchEngine::new(inc_opts);
+            let r = engine.run_module_incremental(m);
+            assert!(r.iter().all(|u| u.outcome.is_ok()));
+        }
         fresh_best = fresh_best.min(t0.elapsed().as_secs_f64());
 
         let mut engine = BatchEngine::new(inc_opts);
         engine.run_module_incremental(&base_m); // warm-up: retain fixpoints
         let t0 = Instant::now();
-        let r = engine.run_module_incremental(&edited_m);
-        assert!(r.iter().all(|u| u.outcome.is_ok()));
+        for m in &revisions {
+            let r = engine.run_module_incremental(m);
+            assert!(r.iter().all(|u| u.outcome.is_ok()));
+        }
         delta_best = delta_best.min(t0.elapsed().as_secs_f64());
         (delta_hits, delta_rows) = engine.incremental_session();
+        watch_classes = engine.edit_classes();
+        phases = engine.incremental_phases();
     }
-    // The answers must agree before the ratio means anything.
+    // The answers must agree, revision by revision, before the ratio
+    // means anything.
     {
-        let mut cold = BatchEngine::new(inc_opts);
-        let fresh_out = cold.run_module_incremental(&edited_m);
         let mut warm = BatchEngine::new(inc_opts);
         warm.run_module_incremental(&base_m);
-        let delta_out = warm.run_module_incremental(&edited_m);
-        assert_eq!(
-            lcm_driver::report::render_incremental_text(&fresh_out),
-            lcm_driver::report::render_incremental_text(&delta_out),
-            "delta re-optimization diverged from fresh"
-        );
+        for (r, m) in revisions.iter().enumerate() {
+            let mut cold = BatchEngine::new(inc_opts);
+            assert_eq!(
+                lcm_driver::report::render_incremental_text(&warm.run_module_incremental(m)),
+                lcm_driver::report::render_incremental_text(&cold.run_module_incremental(m)),
+                "delta re-optimization diverged from fresh at revision {r}"
+            );
+        }
     }
-    let inc_fresh_fps = inc_fns as f64 / fresh_best;
-    let inc_delta_fps = inc_fns as f64 / delta_best;
-    // The solver-row ledger is the row's real signal: the delta path pays
-    // the same transform/validate/print tail as a fresh solve, so wall
-    // clock can only move by the solver's share — but the rows it skips
-    // are exactly what the daemon's hot path stops charging for.
-    let full_rows: u64 = base_m.iter().map(|f| 3 * f.num_blocks() as u64).sum();
+    let inc_fresh_fps = inc_units as f64 / fresh_best;
+    let inc_delta_fps = inc_units as f64 / delta_best;
+    let full_rows: u64 = inc_revs as u64
+        * base_m
+            .iter()
+            .map(|f| 3 * f.num_blocks() as u64)
+            .sum::<u64>();
     oln!(
-        "incremental re-optimization ({inc_fns} of {} edits stay on the delta path): \
-         fresh {inc_fresh_fps:.1} fn/s vs delta {inc_delta_fps:.1} fn/s ({:.2}x); \
-         {delta_hits} delta hits, {delta_rows} of {full_rows} block rows re-solved",
-        inc_corpus.len(),
-        inc_delta_fps / inc_fresh_fps
+        "incremental re-optimization (watch-shaped, {inc_n_fns} functions x {inc_revs} revisions): \
+         fresh {inc_fresh_fps:.1} fn/s vs warm {inc_delta_fps:.1} fn/s ({:.2}x); \
+         {delta_hits} delta hits, {delta_rows} of {full_rows} block rows re-solved; \
+         warm split: solve {:.1} ms / tail {:.1} ms; edits: {watch_classes}",
+        inc_delta_fps / inc_fresh_fps,
+        phases.solve_ns as f64 / 1e6,
+        phases.tail_ns as f64 / 1e6,
+    );
+
+    // The edit-class ledger: a seeded random-edit sweep over one-function
+    // revisions with PR 9's edit mix (20% shape edits), classifying every
+    // edit by the path that answered it. PR 9 forced a full solve on
+    // every universe-shifting content edit *and* every shape edit (~25%
+    // of random edits); now only the unmapped shape edits (parallel-edge
+    // rewrites and multi-block changes) fall back, and the ledger is the
+    // honest measurement of that residue.
+    let sweep_fns = if quick { 8 } else { 16 };
+    let sweep_steps = if quick { 48 } else { 192 };
+    let mut sweep_engine = BatchEngine::new(inc_opts);
+    let mut sweep_cur: Vec<_> = sized_corpus(30, sweep_fns)
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut f = f.clone();
+            f.name = format!("s{i}");
+            f
+        })
+        .collect();
+    for f in &sweep_cur {
+        sweep_engine.run_module_incremental(&module_of(std::slice::from_ref(f)));
+    }
+    let mut rng = lcm_cfggen::seeded(0x5EE0_C1A5);
+    for step in 0..sweep_steps {
+        let idx = step % sweep_fns;
+        lcm_cfggen::mutate_function(&mut sweep_cur[idx], &mut rng, 0.2);
+        let r =
+            sweep_engine.run_module_incremental(&module_of(std::slice::from_ref(&sweep_cur[idx])));
+        assert!(r.iter().all(|u| u.outcome.is_ok()));
+    }
+    let classes = sweep_engine.edit_classes();
+    let edited = (classes.total() - classes.zero_dirty).max(1);
+    let fallback_rate = classes.fallback as f64 / edited as f64;
+    oln!(
+        "edit-class ledger ({edited} random edits, 20% shape): {classes}; \
+         fallback rate {:.1}% (PR 9 fell back on every universe shift and shape edit, ~25%)",
+        fallback_rate * 100.0
+    );
+
+    // The row-kernel split: per-word cost of the fused union kernel below
+    // and above the tiled-dispatch threshold. Narrow rows (the common
+    // case) take the plain 4-word unroll; wide rows (>= 2048-bit
+    // universes) take the tiled variant with per-lane change accumulators.
+    let kernel_ns = |words: usize| -> f64 {
+        let src: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut dst = vec![0u64; words];
+        let kernel_reps = 4_000_000 / words.max(1);
+        let mut samples = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut changed = 0u64;
+            for _ in 0..kernel_reps {
+                dst[0] = std::hint::black_box(0);
+                changed += u64::from(lcm_dataflow::union_rows(&mut dst, &src));
+            }
+            std::hint::black_box(changed);
+            samples.push(t0.elapsed().as_nanos() as f64 / (kernel_reps * words) as f64);
+        }
+        median_ns(samples)
+    };
+    let narrow_words = lcm_dataflow::WIDE_ROW_WORDS / 2;
+    let wide_words = lcm_dataflow::WIDE_ROW_WORDS * 8;
+    let kernel_narrow_ns = kernel_ns(narrow_words);
+    let kernel_wide_ns = kernel_ns(wide_words);
+    oln!(
+        "row kernel (ns/word): unrolled ({narrow_words} words) {kernel_narrow_ns:.3}, \
+         tiled ({wide_words} words) {kernel_wide_ns:.3}"
     );
 
     // The `--placement spec` row: the same corpus with synthetic profiles
@@ -1394,7 +1469,7 @@ fn bench(quick: bool) {
         per_fn[0]
     ));
     j.push_str(&format!(
-        "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1}, \"jobs1_functions_per_second\": {batch_fps_1:.1} }},\n"
+        "  \"batch\": {{ \"jobs\": {cores}, \"functions_per_second\": {batch_fps:.1} }},\n"
     ));
     j.push_str("  \"batch_sweep\": { ");
     for (i, (jobs, fps)) in sweep.iter().enumerate() {
@@ -1405,8 +1480,22 @@ fn bench(quick: bool) {
     }
     j.push_str(" },\n");
     j.push_str(&format!(
-        "  \"incremental\": {{ \"functions\": {inc_fns}, \"fresh_fps\": {inc_fresh_fps:.1}, \"delta_fps\": {inc_delta_fps:.1}, \"delta_speedup\": {:.2}, \"delta_hits\": {delta_hits}, \"delta_rows\": {delta_rows}, \"full_rows\": {full_rows} }},\n",
-        inc_delta_fps / inc_fresh_fps
+        "  \"incremental\": {{ \"functions\": {inc_n_fns}, \"revisions\": {inc_revs}, \"fresh_fps\": {inc_fresh_fps:.1}, \"delta_fps\": {inc_delta_fps:.1}, \"delta_speedup\": {:.2}, \"delta_hits\": {delta_hits}, \"delta_rows\": {delta_rows}, \"full_rows\": {full_rows}, \"solve_ns\": {}, \"tail_ns\": {}, \"zero_dirty\": {} }},\n",
+        inc_delta_fps / inc_fresh_fps,
+        phases.solve_ns,
+        phases.tail_ns,
+        watch_classes.zero_dirty
+    ));
+    j.push_str(&format!(
+        "  \"edit_classes\": {{ \"edited\": {edited}, \"content\": {}, \"universe_grow\": {}, \"universe_shrink\": {}, \"shape_mapped\": {}, \"fallback\": {}, \"fallback_rate\": {fallback_rate:.3} }},\n",
+        classes.content,
+        classes.universe_grow,
+        classes.universe_shrink,
+        classes.shape_mapped,
+        classes.fallback
+    ));
+    j.push_str(&format!(
+        "  \"row_kernel\": {{ \"unrolled_words\": {narrow_words}, \"unrolled_ns_per_word\": {kernel_narrow_ns:.3}, \"tiled_words\": {wide_words}, \"tiled_ns_per_word\": {kernel_wide_ns:.3} }},\n"
     ));
     j.push_str(&format!(
         "  \"speculative\": {{ \"jobs\": {cores}, \"functions_per_second\": {spec_fps:.1}, \"candidates\": {spec_candidates}, \"speculated\": {spec_speculated} }},\n"
@@ -1424,7 +1513,7 @@ fn bench(quick: bool) {
 /// series that `--check` validates as a whole. (PR 7 shipped no baseline
 /// — the daemon PR was perf-neutral on these metrics — so the series
 /// jumps PR 6 -> PR 8 and `--check` names the hole.)
-const BENCH_CURRENT: &str = "BENCH_PR9.json";
+const BENCH_CURRENT: &str = "BENCH_PR10.json";
 
 /// The committed baseline series: every `BENCH_PR<n>.json` in the working
 /// directory, sorted by PR number.
@@ -1486,7 +1575,6 @@ fn bench_check_file(name: &str, newest: bool) {
         "reused_scratch",
         "fresh_scratch",
         "functions_per_second",
-        "jobs1_functions_per_second",
         "reused_scratch_total",
         "fresh_scratch_total",
     ] {
@@ -1495,6 +1583,16 @@ fn bench_check_file(name: &str, newest: bool) {
             Some(v) => fail(format!("\"{key}\" must be positive, found {v}")),
             None => fail(format!("missing numeric \"{key}\"")),
         }
+    }
+    // The canonical jobs=1 throughput: `batch_sweep.j1` since PR 10.
+    // PR 9 carried it under both spellings; baselines before the sweep
+    // carry only the batch row's `jobs1_functions_per_second`.
+    match num_after(&text, "j1").or_else(|| num_after(&text, "jobs1_functions_per_second")) {
+        Some(v) if v > 0.0 => {}
+        other => fail(format!(
+            "jobs=1 throughput (\"j1\" or \"jobs1_functions_per_second\") \
+             must be positive, found {other:?}"
+        )),
     }
     match num_after(&text, "warm_floor_per_function") {
         Some(v) if (v - 6.0).abs() < f64::EPSILON => {}
@@ -1549,6 +1647,41 @@ fn bench_check_file(name: &str, newest: bool) {
         if num_after(&text, "delta_hits").is_none() {
             fail("missing numeric \"delta_hits\" in the incremental row".into());
         }
+        match num_after(&text, "delta_speedup") {
+            Some(v) if v > 0.0 => {}
+            other => fail(format!(
+                "\"delta_speedup\" must be positive in the incremental row, found {other:?}"
+            )),
+        }
+        for key in ["solve_ns", "tail_ns"] {
+            match num_after(&text, key) {
+                Some(v) if v > 0.0 => {}
+                other => fail(format!(
+                    "\"{key}\" must be positive in the incremental row, found {other:?}"
+                )),
+            }
+        }
+        if !text.contains("\"edit_classes\":") {
+            fail("newest baseline must carry the \"edit_classes\" ledger".into());
+        }
+        for key in ["edited", "fallback_rate"] {
+            if num_after(&text, key).is_none() {
+                fail(format!(
+                    "missing numeric \"{key}\" in the edit-class ledger"
+                ));
+            }
+        }
+        if !text.contains("\"row_kernel\":") {
+            fail("newest baseline must carry the \"row_kernel\" section".into());
+        }
+        for key in ["unrolled_ns_per_word", "tiled_ns_per_word"] {
+            match num_after(&text, key) {
+                Some(v) if v > 0.0 => {}
+                other => fail(format!(
+                    "\"{key}\" must be positive in the row-kernel section, found {other:?}"
+                )),
+            }
+        }
     }
 }
 
@@ -1598,15 +1731,40 @@ fn bench_check(gate: Option<f64>) {
                 absent.join(", ")
             );
         }
-        for key in [
-            "scc",
-            "reused_scratch",
-            "functions_per_second",
-            "jobs1_functions_per_second",
-        ] {
+        for key in ["scc", "reused_scratch", "functions_per_second"] {
             if let (Some(n), Some(p)) = (num_after(&new_text, key), num_after(&prev_text, key)) {
                 println!("  {key}: {p} -> {n} ({:+.1}%)", (n / p - 1.0) * 100.0);
             }
+        }
+        // jobs=1 is compared through its canonical spelling on each side.
+        let jobs1 =
+            |t: &str| num_after(t, "j1").or_else(|| num_after(t, "jobs1_functions_per_second"));
+        if let (Some(n), Some(p)) = (jobs1(&new_text), jobs1(&prev_text)) {
+            println!("  jobs=1 (j1): {p} -> {n} ({:+.1}%)", (n / p - 1.0) * 100.0);
+        }
+        if let (Some(n), Some(p)) = (
+            num_after(&new_text, "delta_speedup"),
+            num_after(&prev_text, "delta_speedup"),
+        ) {
+            println!(
+                "  delta_speedup: {p} -> {n} ({:+.1}%)",
+                (n / p - 1.0) * 100.0
+            );
+        }
+        if new_text.contains("\"edit_classes\":") {
+            let g = |k: &str| num_after(&new_text, k).unwrap_or(0.0);
+            println!(
+                "  edit classes ({} edited): {} content, {} universe-grow, \
+                 {} universe-shrink, {} shape-mapped, {} fallback \
+                 ({:.1}% fallback rate)",
+                g("edited"),
+                g("content"),
+                g("universe_grow"),
+                g("universe_shrink"),
+                g("shape_mapped"),
+                g("fallback"),
+                g("fallback_rate") * 100.0
+            );
         }
         if let Some(pct) = gate {
             let violations = lcm_bench::gate_regressions(&new_text, &prev_text, pct);

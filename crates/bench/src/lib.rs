@@ -142,7 +142,10 @@ const GATED_KEYS: [(&str, bool); 4] = [
     ("scc", true),
     ("reused_scratch", true),
     ("functions_per_second", false),
-    ("jobs1_functions_per_second", false),
+    // The canonical jobs=1 throughput lives in `batch_sweep.j1`; baselines
+    // up to PR 9 also carried a duplicate `jobs1_functions_per_second`
+    // measurement in the batch row, retired in PR 10.
+    ("j1", false),
 ];
 
 /// Compares the newest baseline's headline metrics against its
@@ -263,12 +266,14 @@ mod tests {
     fn gate_flags_only_metrics_past_the_threshold() {
         let prev = r#"{ "solve_ns_per_op": { "scc": 100.0 },
             "pipeline_ns_per_function": { "reused_scratch": 200.0 },
-            "batch": { "functions_per_second": 1000.0, "jobs1_functions_per_second": 400.0 } }"#;
+            "batch": { "functions_per_second": 1000.0 },
+            "batch_sweep": { "j1": 400.0 } }"#;
         // scc regressed 20% (latency up), batch throughput regressed 25%
-        // (fps down); reused_scratch improved; jobs1 within noise.
+        // (fps down); reused_scratch improved; jobs=1 within noise.
         let newest = r#"{ "solve_ns_per_op": { "scc": 120.0 },
             "pipeline_ns_per_function": { "reused_scratch": 150.0 },
-            "batch": { "functions_per_second": 800.0, "jobs1_functions_per_second": 396.0 } }"#;
+            "batch": { "functions_per_second": 800.0 },
+            "batch_sweep": { "j1": 396.0 } }"#;
 
         let v = gate_regressions(newest, prev, 10.0);
         let keys: Vec<&str> = v.iter().map(|g| g.key).collect();

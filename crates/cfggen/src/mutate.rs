@@ -10,7 +10,7 @@
 //! fallback contract. Every edit keeps the function well-formed
 //! ([`lcm_ir::verify`]-clean) and is deterministic in the RNG stream.
 
-use lcm_ir::{BlockId, Function, Instr, Operand, Rvalue, Terminator, Var};
+use lcm_ir::{BinOp, BlockId, Expr, Function, Instr, Operand, Rvalue, Terminator, Var};
 
 use crate::rng::Rng;
 
@@ -67,7 +67,7 @@ fn content_edit(f: &mut Function, rng: &mut Rng) -> MutationKind {
     for _ in 0..16 {
         let b = blocks[rng.gen_range(0..blocks.len())];
         let n = f.block(b).instrs.len();
-        match rng.gen_range(0..4usize) {
+        match rng.gen_range(0..5usize) {
             // Insert `v = <existing expr>` at a random position.
             0 if !exprs.is_empty() && !vars.is_empty() => {
                 let e = exprs[rng.gen_range(0..exprs.len())];
@@ -96,6 +96,25 @@ fn content_edit(f: &mut Function, rng: &mut Rng) -> MutationKind {
                     dst,
                     rv: Rvalue::Operand(Operand::Const(c)),
                 });
+                return MutationKind::Content;
+            }
+            // Compose `v = x <op> y` from pooled variables with a random
+            // operator — often a *brand-new* expression, growing the
+            // universe and exercising the incremental widening path. No
+            // new variables, so existing interning indices are stable.
+            3 if vars.len() >= 2 => {
+                let op = BinOp::ALL[rng.gen_range(0..BinOp::ALL.len())];
+                let x = vars[rng.gen_range(0..vars.len())];
+                let y = vars[rng.gen_range(0..vars.len())];
+                let dst = vars[rng.gen_range(0..vars.len())];
+                let at = rng.gen_range(0..=n);
+                f.block_mut(b).instrs.insert(
+                    at,
+                    Instr::Assign {
+                        dst,
+                        rv: Rvalue::Expr(Expr::Bin(op, Operand::Var(x), Operand::Var(y))),
+                    },
+                );
                 return MutationKind::Content;
             }
             // Replace a random assignment's right-hand side.

@@ -1,37 +1,51 @@
 //! Incremental re-optimization: delta-scoped LCM for edit streams.
 //!
 //! The full pipeline charges four passes per function per edit. This module
-//! keeps the previous fixpoints alive in an [`IncrementalState`] and, when
-//! the next revision of the function has the same CFG *shape* (blocks,
-//! successor lists, entry/exit) and the same expression universe, re-solves
-//! only what an edit can actually perturb:
+//! keeps the previous fixpoints alive in an [`IncrementalState`] and
+//! re-solves only what an edit can actually perturb:
 //!
-//! 1. **diff** — blocks whose instructions or terminator changed are
-//!    *dirty*; everything else keeps its local predicate rows verbatim;
-//! 2. **repair** — [`LocalPredicates::recompute_block`] rescans dirty
-//!    blocks only;
+//! 1. **classify** — the edit is mapped onto the retained state. The CFG
+//!    shape may be identical, or differ by one recognized cheap edit (a
+//!    single block split or a single inserted straight-line block), which
+//!    yields an old→new block-index map to permute the retained rows
+//!    through. The expression universe may be identical, *appended to*
+//!    (retained columns keep their indices; the solver widens rows in
+//!    place, new bits starting ⊥ — DESIGN.md §13 proves that exact per
+//!    problem direction), or generally re-indexed (retained columns are
+//!    rebuilt through an old→new index map). Anything more complex keeps
+//!    the strict full-solve fallback contract;
+//! 2. **diff + repair** — blocks whose instructions or terminator changed
+//!    under the block map are *dirty* and get their local predicates
+//!    rescanned ([`LocalPredicates::recompute_block`]); everything else
+//!    keeps its rows (remapped when the universe moved, with added
+//!    columns' transparency patched by a kill-mask scan);
 //! 3. **delta solve** — availability and anticipability re-drain just the
 //!    SCC components downstream (forward) or upstream (backward) of the
 //!    dirty blocks ([`Problem::try_delta_solve_with`]); EARLIEST is then
 //!    re-derived (linear in edges) and LATER re-solved with a changed set
-//!    of dirty blocks ∪ targets of edges whose EARLIEST moved ∪ the entry
-//!    block when the virtual-entry EARLIEST moved;
+//!    of dirty blocks ∪ targets of edges whose EARLIEST moved relative to
+//!    the remapped baseline ∪ the entry block when the virtual-entry
+//!    EARLIEST moved;
 //! 4. **verify** — the result goes through the fast-tier validator
-//!    *unconditionally*, so an unsound delta can never escape. Shape or
-//!    universe changes skip straight to a from-scratch solve (the
-//!    fallback contract).
+//!    *unconditionally*, so an unsound delta can never escape.
 //!
 //! Correctness rests on the framework's monotone-unique-fixpoint property:
 //! components not in the directional closure of the change provably keep
 //! their old values, so seeding them from the previous solution is exact,
-//! not heuristic. The seeded edit corpus in `tests/incremental.rs` pins the
-//! incremental and fresh pipelines bit-identical across hundreds of
-//! content and shape edits.
+//! not heuristic — and block/column remapping preserves that argument
+//! because fixpoints of a gen/kill system are equivariant under relabeling
+//! blocks and columns. The seeded edit corpus in `tests/incremental.rs`
+//! pins the incremental and fresh pipelines bit-identical across hundreds
+//! of content, universe and shape edits.
 //!
 //! [`Problem::try_delta_solve_with`]: lcm_dataflow::Problem::try_delta_solve_with
 
-use lcm_dataflow::{BitMatrix, BitSet, CfgView, Solution, SolveStrategy, SolverScratch};
-use lcm_ir::{BlockId, Function};
+use std::time::Instant;
+
+use lcm_dataflow::{
+    BitMatrix, BitSet, CfgView, Solution, SolveStats, SolveStrategy, SolverScratch,
+};
+use lcm_ir::{BlockId, Function, Terminator};
 
 use crate::analyses::{anticipability_problem, availability_problem, GlobalAnalyses};
 use crate::lcm_edge::{derive_placement, later_problem};
@@ -62,15 +76,44 @@ pub struct IncrementalState {
 /// What the incremental path did for one edit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct IncrementalStats {
-    /// The CFG shape or expression universe changed, so the whole pipeline
-    /// re-ran from scratch (the delta counters below stay zero).
+    /// The edit was too complex to map onto the retained state (an edge
+    /// retarget, a multi-block reshape, a block removal …), so the whole
+    /// pipeline re-ran from scratch (the delta counters below stay zero).
     pub full_fallback: bool,
     /// Blocks whose instructions or terminator differed from the previous
-    /// revision.
+    /// revision (under the block map, when the shape edit was mapped).
     pub dirty_blocks: usize,
     /// Blocks re-solved across the three delta solves (availability +
     /// anticipability + LATER) — the "what you paid for" number.
     pub delta_blocks_resolved: usize,
+    /// The expression universe gained at least one expression; retained
+    /// rows were widened in place (or column-remapped) instead of falling
+    /// back.
+    pub universe_grew: bool,
+    /// The expression universe lost at least one expression; retained
+    /// rows were column-remapped instead of falling back.
+    pub universe_shrunk: bool,
+    /// The CFG shape changed by one recognized cheap edit (single block
+    /// split or single inserted straight-line block); retained rows were
+    /// permuted through the old→new block map instead of falling back.
+    pub shape_mapped: bool,
+}
+
+/// Wall-clock phase split of one incremental call: the analysis phase
+/// (diff, predicate repair, remapping, the three fixpoint solves) versus
+/// the tail (placement derivation, rewrite, unconditional validation).
+/// Timings are measurement metadata and deliberately live outside
+/// [`IncrementalStats`], which is `Eq` and participates in determinism
+/// comparisons.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseNanos {
+    /// Nanoseconds from entry through the last fixpoint solve. The
+    /// fallback path cannot split its from-scratch pipeline, so its
+    /// rewrite cost lands here too (its tail is validation only).
+    pub solve_ns: u64,
+    /// Nanoseconds for everything after the solves: placement, rewrite,
+    /// and the fast validation tier.
+    pub tail_ns: u64,
 }
 
 /// Everything [`optimize_incremental`] returns: the optimized result, the
@@ -87,6 +130,8 @@ pub struct IncrementalOutcome {
     pub state: IncrementalState,
     /// Delta accounting for this edit.
     pub stats: IncrementalStats,
+    /// Wall-clock phase split (solve vs tail) of this call.
+    pub phases: PhaseNanos,
 }
 
 impl IncrementalState {
@@ -205,6 +250,226 @@ fn same_shape(prev: &Function, f: &Function) -> bool {
         })
 }
 
+/// How the new expression universe relates to the retained one.
+enum UniverseDelta {
+    /// Bit-identical: retained rows and predicates are column-correct.
+    Same,
+    /// The old universe is a prefix of the new one: retained rows keep
+    /// their column layout and the solver widens them in place.
+    Append,
+    /// General re-indexing: old column `i` lives at `old_to_new[i]` in the
+    /// new universe (or left it); retained rows are rebuilt column by
+    /// column.
+    Remap { old_to_new: Vec<Option<usize>> },
+}
+
+/// Classifies the universe edit and reports `(delta, grew, shrunk)`.
+fn universe_delta(old: &ExprUniverse, new: &ExprUniverse) -> (UniverseDelta, bool, bool) {
+    if old == new {
+        return (UniverseDelta::Same, false, false);
+    }
+    let old_to_new: Vec<Option<usize>> = old.exprs().iter().map(|&e| new.index_of(e)).collect();
+    let mapped = old_to_new.iter().filter(|m| m.is_some()).count();
+    let grew = new.len() > mapped;
+    let shrunk = mapped < old.len();
+    if !shrunk && old_to_new.iter().enumerate().all(|(i, m)| *m == Some(i)) {
+        (UniverseDelta::Append, grew, false)
+    } else {
+        (UniverseDelta::Remap { old_to_new }, grew, shrunk)
+    }
+}
+
+/// The mask of new-universe columns with no old counterpart — the
+/// expressions whose bits must start ⊥ in retained rows and whose
+/// transparency needs the kill patch below.
+fn added_columns(delta: &UniverseDelta, old_len: usize, new: &ExprUniverse) -> BitSet {
+    let mut added = new.empty_set();
+    match delta {
+        UniverseDelta::Same => {}
+        UniverseDelta::Append => {
+            for i in old_len..new.len() {
+                added.insert(i);
+            }
+        }
+        UniverseDelta::Remap { old_to_new } => {
+            added.insert_all();
+            for &m in old_to_new.iter().flatten() {
+                added.remove(m);
+            }
+        }
+    }
+    added
+}
+
+/// Carries a retained bit set into the new universe's column layout.
+fn remap_set(old: &BitSet, delta: &UniverseDelta, new_len: usize) -> BitSet {
+    match delta {
+        UniverseDelta::Same => old.clone(),
+        UniverseDelta::Append => {
+            let mut s = BitSet::new(new_len);
+            for b in old.iter() {
+                s.insert(b);
+            }
+            s
+        }
+        UniverseDelta::Remap { old_to_new } => {
+            let mut s = BitSet::new(new_len);
+            for b in old.iter() {
+                if let Some(nb) = old_to_new[b] {
+                    s.insert(nb);
+                }
+            }
+            s
+        }
+    }
+}
+
+/// The old→new block map of a recognized single-block shape edit, plus
+/// the one new block with no old counterpart.
+struct ShapeMap {
+    old_to_new: Vec<BlockId>,
+    new_block: BlockId,
+}
+
+/// Structural terminator equality under a block relabeling: same variant,
+/// same condition operand, successors equal after mapping.
+fn term_matches_mapped(old: &Terminator, new: &Terminator, m: &[BlockId]) -> bool {
+    match (old, new) {
+        (Terminator::Jump(a), Terminator::Jump(b)) => m[a.index()] == *b,
+        (
+            Terminator::Branch {
+                cond: c1,
+                then_to: t1,
+                else_to: e1,
+            },
+            Terminator::Branch {
+                cond: c2,
+                then_to: t2,
+                else_to: e2,
+            },
+        ) => c1 == c2 && m[t1.index()] == *t2 && m[e1.index()] == *e2,
+        (Terminator::Exit, Terminator::Exit) => true,
+        _ => false,
+    }
+}
+
+/// Recognizes the two cheap one-block CFG edits by diffing successor
+/// structure: a **single block split** (the anchor's tail moved into a new
+/// block carrying its old terminator) and a **single inserted
+/// straight-line block** on one edge (the anchor redirects exactly one
+/// successor to a new block that jumps straight on to the old target).
+/// Both leave every other block's terminator structurally intact under
+/// the insertion map `m(i) = i` for `i < p`, `i + 1` otherwise.
+///
+/// Returns `None` for anything else — block removal, multi-block edits,
+/// edge retargets, a new entry/exit — which keeps the full-solve fallback.
+/// Any consistent map is sound (fixpoints are equivariant under the
+/// relabeling and the dirty set re-checks content at mapped indices), so
+/// the first insertion position that validates wins.
+fn map_shape_edit(prev: &Function, f: &Function) -> Option<ShapeMap> {
+    let n_old = prev.num_blocks();
+    if f.num_blocks() != n_old + 1 {
+        return None;
+    }
+    'position: for p in 0..f.num_blocks() {
+        let m: Vec<BlockId> = (0..n_old)
+            .map(|i| BlockId::from_index(if i < p { i } else { i + 1 }))
+            .collect();
+        let nb = BlockId::from_index(p);
+        // Entry and exit must have old counterparts (a new entry or exit
+        // block changes the boundary rows in ways the map cannot carry).
+        if m[prev.entry().index()] != f.entry() || m[prev.exit().index()] != f.exit() {
+            continue;
+        }
+        // At most one old block — the anchor — may have a structurally
+        // different terminator under the map.
+        let mut anchor = None;
+        for i in 0..n_old {
+            let ob = BlockId::from_index(i);
+            if !term_matches_mapped(&prev.block(ob).term, &f.block(m[i]).term, &m)
+                && anchor.replace(i).is_some()
+            {
+                continue 'position;
+            }
+        }
+        // No anchor would leave the new block unreachable — not a valid
+        // verified function, so this position cannot be the edit.
+        let Some(a) = anchor else { continue };
+        let old_term = &prev.block(BlockId::from_index(a)).term;
+        let new_term = &f.block(m[a]).term;
+        // Pattern 1 — block split: the anchor now jumps to the new block,
+        // which carries the anchor's original terminator.
+        if *new_term == Terminator::Jump(nb) && term_matches_mapped(old_term, &f.block(nb).term, &m)
+        {
+            return Some(ShapeMap {
+                old_to_new: m,
+                new_block: nb,
+            });
+        }
+        // Pattern 2 — inserted straight-line block: same terminator with
+        // exactly one successor redirected to the new block, which jumps
+        // straight on to that successor's old target.
+        let cond_ok = match (old_term, new_term) {
+            (Terminator::Jump(_), Terminator::Jump(_)) => true,
+            (Terminator::Branch { cond: c1, .. }, Terminator::Branch { cond: c2, .. }) => c1 == c2,
+            _ => false,
+        };
+        if cond_ok {
+            let old_s: Vec<BlockId> = old_term.successors().map(|s| m[s.index()]).collect();
+            let new_s: Vec<BlockId> = new_term.successors().collect();
+            if old_s.len() == new_s.len() {
+                let diffs: Vec<usize> =
+                    (0..old_s.len()).filter(|&k| old_s[k] != new_s[k]).collect();
+                if let [k] = diffs[..] {
+                    if new_s[k] == nb && f.block(nb).term == Terminator::Jump(old_s[k]) {
+                        return Some(ShapeMap {
+                            old_to_new: m,
+                            new_block: nb,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Rebuilds a retained solution matrix in the new layout: rows permuted
+/// through the block map, columns carried by the universe delta. With
+/// `Same`/`Append` columns the old layout survives verbatim (word copy;
+/// `Append` stays at the old width and rides the solver's in-place
+/// widening); `Remap` rebuilds bit by bit. The unmapped new block's row
+/// stays zero — it is always dirty, so the solver reinitialises it.
+fn remap_matrix(
+    src: &BitMatrix,
+    map_row: impl Fn(usize) -> usize,
+    n_new: usize,
+    udelta: &UniverseDelta,
+    new_len: usize,
+) -> BitMatrix {
+    match udelta {
+        UniverseDelta::Same | UniverseDelta::Append => {
+            let mut m = BitMatrix::new(n_new, src.nbits());
+            for r in 0..src.n_rows() {
+                m.row_mut(map_row(r)).copy_from_slice(src.row(r));
+            }
+            m
+        }
+        UniverseDelta::Remap { old_to_new } => {
+            let mut m = BitMatrix::new(n_new, new_len);
+            for r in 0..src.n_rows() {
+                let nr = map_row(r);
+                for bit in src.row_iter(r) {
+                    if let Some(nb) = old_to_new[bit] {
+                        m.set(nr, nb);
+                    }
+                }
+            }
+            m
+        }
+    }
+}
+
 /// [`optimize_incremental_checked`] at the fast validation tier — the
 /// daemon's hot path.
 ///
@@ -227,8 +492,11 @@ pub fn optimize_incremental(
 /// The validation floor is [`ValidationLevel::Fast`]: passing
 /// [`ValidationLevel::Off`] is silently promoted, because the delta path's
 /// soundness argument *is* the validator (cf. translation validation).
-/// Shape or universe changes fall back to a from-scratch pipeline —
-/// still validated — and report [`IncrementalStats::full_fallback`].
+/// Universe changes are remapped (growth rides the solver's in-place row
+/// widening) and the two recognized one-block shape edits are carried by
+/// an old→new block map; anything more complex falls back to a
+/// from-scratch pipeline — still validated — and reports
+/// [`IncrementalStats::full_fallback`].
 ///
 /// # Errors
 ///
@@ -265,85 +533,222 @@ pub fn optimize_incremental_checked_with(
     strategy: SolveStrategy,
     scratch: &mut SolverScratch,
 ) -> Result<IncrementalOutcome, PipelineError> {
+    let t_start = Instant::now();
     let level = if level == ValidationLevel::Off {
         ValidationLevel::Fast
     } else {
         level
     };
     let uni = ExprUniverse::of(f);
-    if !same_shape(&prev.function, f) || uni != prev.universe {
-        let (optimized, state) = IncrementalState::fresh_with(f, strategy, scratch)?;
-        let report = validate_optimized(f, &optimized, level, seed)?;
-        return Ok(IncrementalOutcome {
-            optimized,
-            report,
-            state,
-            stats: IncrementalStats {
-                full_fallback: true,
-                ..IncrementalStats::default()
-            },
-        });
-    }
 
-    // Same shape, same universe: diff block contents. Instruction equality
-    // is variable-index equality, which is exactly the granularity the
+    // Classify the shape edit: identity, one recognized cheap edit (block
+    // map), or too complex — the strict fallback contract.
+    let shape_map: Option<ShapeMap> = if same_shape(&prev.function, f) {
+        None
+    } else {
+        match map_shape_edit(&prev.function, f) {
+            Some(sm) => Some(sm),
+            None => {
+                let (optimized, state) = IncrementalState::fresh_with(f, strategy, scratch)?;
+                let solve_ns = t_start.elapsed().as_nanos() as u64;
+                let report = validate_optimized(f, &optimized, level, seed)?;
+                let tail_ns = (t_start.elapsed().as_nanos() as u64).saturating_sub(solve_ns);
+                return Ok(IncrementalOutcome {
+                    optimized,
+                    report,
+                    state,
+                    stats: IncrementalStats {
+                        full_fallback: true,
+                        ..IncrementalStats::default()
+                    },
+                    phases: PhaseNanos { solve_ns, tail_ns },
+                });
+            }
+        }
+    };
+    let shape_mapped = shape_map.is_some();
+    let (udelta, universe_grew, universe_shrunk) = universe_delta(&prev.universe, &uni);
+    let map_block = |i: usize| shape_map.as_ref().map_or(i, |sm| sm.old_to_new[i].index());
+    let n_old = prev.function.num_blocks();
+    let n_new = f.num_blocks();
+
+    // Diff block contents under the block map. Instruction equality is
+    // variable-index equality, which is exactly the granularity the
     // analyses see — an index-identical block has index-identical transfer
     // functions, and any renumbering shows up as an inequality (dirty is
-    // conservative, never unsound).
-    let dirty: Vec<BlockId> = f
-        .block_ids()
-        .filter(|&b| {
-            let pb = prev.function.block(b);
-            let nb = f.block(b);
-            pb.instrs != nb.instrs || pb.term != nb.term
-        })
-        .collect();
+    // conservative, never unsound). The new block of a mapped shape edit
+    // has no old counterpart and is always dirty.
+    let mut is_dirty = vec![false; n_new];
+    for i in 0..n_old {
+        let ob = BlockId::from_index(i);
+        let nb = BlockId::from_index(map_block(i));
+        let term_same = match &shape_map {
+            None => prev.function.block(ob).term == f.block(nb).term,
+            Some(sm) => term_matches_mapped(
+                &prev.function.block(ob).term,
+                &f.block(nb).term,
+                &sm.old_to_new,
+            ),
+        };
+        if prev.function.block(ob).instrs != f.block(nb).instrs || !term_same {
+            is_dirty[nb.index()] = true;
+        }
+    }
+    if let Some(sm) = &shape_map {
+        is_dirty[sm.new_block.index()] = true;
+    }
+    let dirty: Vec<BlockId> = f.block_ids().filter(|b| is_dirty[b.index()]).collect();
 
-    let mut local = prev.local.clone();
+    // Local predicates: verbatim clone in the common case, otherwise carried
+    // through both maps. Added columns are antloc/comp-zero at every
+    // non-dirty block — a new expression can only enter through an
+    // index-changed (hence dirty) block — but default transparent, so each
+    // retained block's kills are re-scanned restricted to the added mask.
+    let mut local = match (&shape_map, &udelta) {
+        (None, UniverseDelta::Same) => prev.local.clone(),
+        _ => {
+            let added = added_columns(&udelta, prev.universe.len(), &uni);
+            let mut lp = LocalPredicates {
+                antloc: vec![uni.empty_set(); n_new],
+                comp: vec![uni.empty_set(); n_new],
+                transp: vec![uni.full_set(); n_new],
+                kill: vec![uni.empty_set(); n_new],
+            };
+            let mut killed = uni.empty_set();
+            for i in 0..n_old {
+                let j = map_block(i);
+                if is_dirty[j] {
+                    continue; // recomputed below
+                }
+                lp.antloc[j] = remap_set(&prev.local.antloc[i], &udelta, uni.len());
+                lp.comp[j] = remap_set(&prev.local.comp[i], &udelta, uni.len());
+                let mut t = remap_set(&prev.local.transp[i], &udelta, uni.len());
+                if !added.is_empty() {
+                    t.union_with(&added);
+                    killed.clear();
+                    for instr in &f.block(BlockId::from_index(j)).instrs {
+                        if let Some(dst) = instr.def() {
+                            if let Some(mask) = uni.kill_mask(dst) {
+                                killed.union_with(mask);
+                            }
+                        }
+                        if instr.kills_memory() {
+                            killed.union_with(uni.mem_mask());
+                        }
+                    }
+                    killed.intersect_with(&added);
+                    t.difference_with(&killed);
+                }
+                let mut k = t.clone();
+                k.complement();
+                lp.transp[j] = t;
+                lp.kill[j] = k;
+            }
+            lp
+        }
+    };
     for &b in &dirty {
         local.recompute_block(f, &uni, b);
     }
 
+    // Retained solutions: borrowed verbatim when the layout survives
+    // (identity shape × Same/Append columns — Append rides the solver's
+    // in-place row widening), otherwise rebuilt through both maps.
+    let needs_matrix_remap = shape_mapped || matches!(udelta, UniverseDelta::Remap { .. });
+    let remapped: Option<(Solution, Solution, Solution)> = if needs_matrix_remap {
+        let remap_solution = |s: &Solution| Solution {
+            ins: remap_matrix(&s.ins, map_block, n_new, &udelta, uni.len()),
+            outs: remap_matrix(&s.outs, map_block, n_new, &udelta, uni.len()),
+            stats: SolveStats::new(),
+        };
+        Some((
+            remap_solution(&prev.ga.avail),
+            remap_solution(&prev.ga.antic),
+            remap_solution(&prev.later),
+        ))
+    } else {
+        None
+    };
+    let (prev_avail, prev_antic, prev_later) = match &remapped {
+        Some((a, n, l)) => (a, n, l),
+        None => (&prev.ga.avail, &prev.ga.antic, &prev.later),
+    };
+
     let view = CfgView::new(f);
-    let (avail, avail_info) = availability_problem(f, &uni, &local).try_delta_solve_with(
-        &view,
-        scratch,
-        &prev.ga.avail,
-        &dirty,
-    )?;
-    let (antic, antic_info) = anticipability_problem(f, &uni, &local).try_delta_solve_with(
-        &view,
-        scratch,
-        &prev.ga.antic,
-        &dirty,
-    )?;
+    let (avail, avail_info) = availability_problem(f, &uni, &local)
+        .try_delta_solve_with(&view, scratch, prev_avail, &dirty)?;
+    let (antic, antic_info) = anticipability_problem(f, &uni, &local)
+        .try_delta_solve_with(&view, scratch, prev_antic, &dirty)?;
 
     // EARLIEST is a per-edge derivation, linear and allocation-light —
     // recompute it wholesale and *diff* it against the previous revision
-    // to scope the LATER delta: an edge whose gen set moved invalidates
-    // its target, and a moved virtual-entry EARLIEST invalidates the
-    // LATER boundary at the entry block.
+    // (carried through both maps) to scope the LATER delta: an edge whose
+    // gen set moved invalidates its target, a moved virtual-entry EARLIEST
+    // invalidates the LATER boundary at the entry block, and an edge with
+    // no old counterpart (the new block's edges, the anchor's edges)
+    // invalidates its target unconditionally.
     let ga = GlobalAnalyses::derive(f, &uni, &local, avail, antic);
-    let mut later_dirty = vec![false; f.num_blocks()];
+    let mut later_dirty = vec![false; n_new];
     for &b in &dirty {
         later_dirty[b.index()] = true;
     }
-    for (eid, edge) in ga.edges.iter() {
-        if ga.earliest[eid.index()] != prev.ga.earliest[eid.index()] {
-            later_dirty[edge.to.index()] = true;
+    if !shape_mapped && matches!(udelta, UniverseDelta::Same) {
+        for (eid, edge) in ga.edges.iter() {
+            if ga.earliest[eid.index()] != prev.ga.earliest[eid.index()] {
+                later_dirty[edge.to.index()] = true;
+            }
         }
-    }
-    if ga.earliest_entry != prev.ga.earliest_entry {
-        later_dirty[f.entry().index()] = true;
+        if ga.earliest_entry != prev.ga.earliest_entry {
+            later_dirty[f.entry().index()] = true;
+        }
+    } else {
+        let mut pre_of_new: Vec<Option<BlockId>> = vec![None; n_new];
+        for i in 0..n_old {
+            pre_of_new[map_block(i)] = Some(BlockId::from_index(i));
+        }
+        for (eid, edge) in ga.edges.iter() {
+            let mapped_old = pre_of_new[edge.from.index()].and_then(|o| {
+                let term_ok = match &shape_map {
+                    None => prev.function.block(o).term == f.block(edge.from).term,
+                    Some(sm) => term_matches_mapped(
+                        &prev.function.block(o).term,
+                        &f.block(edge.from).term,
+                        &sm.old_to_new,
+                    ),
+                };
+                if !term_ok {
+                    return None; // the anchor's edges count as changed
+                }
+                prev.ga
+                    .edges
+                    .outgoing(o)
+                    .get(edge.succ_index as usize)
+                    .copied()
+            });
+            let changed = match mapped_old {
+                None => true,
+                Some(old_eid) => {
+                    ga.earliest[eid.index()]
+                        != remap_set(&prev.ga.earliest[old_eid.index()], &udelta, uni.len())
+                }
+            };
+            if changed {
+                later_dirty[edge.to.index()] = true;
+            }
+        }
+        if ga.earliest_entry != remap_set(&prev.ga.earliest_entry, &udelta, uni.len()) {
+            later_dirty[f.entry().index()] = true;
+        }
     }
     let later_changed: Vec<BlockId> = f.block_ids().filter(|b| later_dirty[b.index()]).collect();
 
     let (later, later_info) = later_problem(f, &uni, &local, &ga).try_delta_solve_with(
         &view,
         scratch,
-        &prev.later,
+        prev_later,
         &later_changed,
     )?;
+    let solve_ns = t_start.elapsed().as_nanos() as u64;
     let lazy = derive_placement(f, &uni, &local, &ga, later.clone());
     let pipeline_stats = Some(PipelineStats {
         avail: ga.avail.stats,
@@ -361,6 +766,7 @@ pub fn optimize_incremental_checked_with(
         spec: None,
     };
     let report = validate_optimized(f, &optimized, level, seed)?;
+    let tail_ns = (t_start.elapsed().as_nanos() as u64).saturating_sub(solve_ns);
     let stats = IncrementalStats {
         full_fallback: avail_info.full_fallback
             || antic_info.full_fallback
@@ -369,6 +775,9 @@ pub fn optimize_incremental_checked_with(
         delta_blocks_resolved: avail_info.blocks_resolved
             + antic_info.blocks_resolved
             + later_info.blocks_resolved,
+        universe_grew,
+        universe_shrunk,
+        shape_mapped,
     };
     let state = IncrementalState {
         function: f.clone(),
@@ -382,6 +791,7 @@ pub fn optimize_incremental_checked_with(
         report,
         state,
         stats,
+        phases: PhaseNanos { solve_ns, tail_ns },
     })
 }
 
@@ -494,12 +904,67 @@ mod tests {
     }
 
     #[test]
-    fn universe_change_falls_back_to_full_solve() {
+    fn universe_growth_stays_on_the_delta_path() {
         let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        // `a * b` appends one expression to the universe: retained rows
+        // widen in place instead of falling back.
         let f2 = parse_function(&chain_text("t1 = a * b")).unwrap();
         let (_, state) = IncrementalState::fresh(&f1).unwrap();
         let out = optimize_incremental(&state, &f2, 7).unwrap();
-        assert!(out.stats.full_fallback);
+        assert!(!out.stats.full_fallback);
+        assert!(out.stats.universe_grew);
+        assert!(!out.stats.universe_shrunk && !out.stats.shape_mapped);
+        assert_eq!(out.stats.dirty_blocks, 1);
+        assert_same_result(&out, &f2);
+    }
+
+    #[test]
+    fn universe_shrink_remaps_and_stays_on_the_delta_path() {
+        let f1 = parse_function(&chain_text("t1 = a * b")).unwrap();
+        // Dropping the only `a * b` occurrence shrinks the universe; the
+        // retained columns are remapped (here: a prefix) rather than
+        // forcing a full solve.
+        let f2 = parse_function(&chain_text("t1 = a")).unwrap();
+        let (_, state) = IncrementalState::fresh(&f1).unwrap();
+        let out = optimize_incremental(&state, &f2, 7).unwrap();
+        assert!(!out.stats.full_fallback);
+        assert!(out.stats.universe_shrunk);
+        assert!(!out.stats.universe_grew);
+        assert_same_result(&out, &f2);
+    }
+
+    #[test]
+    fn inserted_block_is_mapped_and_stays_on_the_delta_path() {
+        let f1 = parse_function(&chain_text("t1 = a + b")).unwrap();
+        // A straight-line block inserted on the b1 → b2 edge: recognized
+        // by the shape mapper, rows permuted, no fallback.
+        let f2 = parse_function(
+            "fn chain {
+             entry:
+               x = a + b
+               jmp b0
+             b0:
+               t0 = a + b
+               jmp b1
+             b1:
+               t1 = a + b
+               jmp hop
+             hop:
+               jmp b2
+             b2:
+               t2 = a + b
+               jmp end
+             end:
+               y = a + b
+               obs y
+               ret
+             }",
+        )
+        .unwrap();
+        let (_, state) = IncrementalState::fresh(&f1).unwrap();
+        let out = optimize_incremental(&state, &f2, 7).unwrap();
+        assert!(!out.stats.full_fallback);
+        assert!(out.stats.shape_mapped);
         assert_same_result(&out, &f2);
     }
 

@@ -85,7 +85,7 @@ pub use bcm::busy_plan;
 pub use budget::{CancelReason, Cancelled, OptimizeBudget};
 pub use incremental::{
     optimize_incremental, optimize_incremental_checked, optimize_incremental_checked_with,
-    IncrementalOutcome, IncrementalState, IncrementalStats,
+    IncrementalOutcome, IncrementalState, IncrementalStats, PhaseNanos,
 };
 pub use lcm_edge::{
     later_problem, lazy_edge_plan, lazy_edge_plan_in, lazy_edge_plan_with, LazyEdgeResult,

@@ -73,7 +73,7 @@ pub mod bitset;
 pub use bitmatrix::BitMatrix;
 pub use bitset::{
     copy_row_changed, count_row, difference_rows, intersect_rows, row_contains, row_is_empty,
-    union_rows, BitIter, BitSet,
+    union_rows, BitIter, BitSet, WIDE_ROW_WORDS,
 };
 pub use error::{ShapeMismatch, SolverDiverged};
 pub use problem::{Confluence, Direction, Problem, Solution, Transfer};

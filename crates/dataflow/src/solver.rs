@@ -190,14 +190,21 @@ impl SolverScratch {
     /// reinitialised afterwards by the caller; every other row keeps its
     /// (already final) previous value.
     ///
+    /// `prev` may carry *fewer* columns than `p` (a universe that grew
+    /// between revisions): retained rows are widened in place and the new
+    /// expression bits start absent — ⊥ for the zero-extension, which
+    /// DESIGN.md §13 proves is the exact fixpoint value outside the dirty
+    /// closure for every must-problem in the cascade.
+    ///
     /// # Panics
     ///
-    /// Panics if `prev` is shaped differently from `p` (the delta entry
-    /// point checks this and falls back to a full solve instead).
+    /// Panics if `prev` has a different row count or *more* columns than
+    /// `p` (the delta entry point checks this and falls back to a full
+    /// solve instead).
     fn prepare_delta(&mut self, p: &Problem<'_>, view: &CfgView, prev: &Solution) -> u64 {
         let (grew, _) = self.prepare_structures(p, view);
-        self.ins.copy_from(&prev.ins);
-        self.outs.copy_from(&prev.outs);
+        self.ins.copy_from_widened(&prev.ins);
+        self.outs.copy_from_widened(&prev.outs);
         grew
     }
 
@@ -256,6 +263,9 @@ pub struct DeltaSolveInfo {
     pub components_resolved: usize,
     /// Blocks whose values were re-solved (members of those components).
     pub blocks_resolved: usize,
+    /// The previous fixpoint carried fewer columns than the problem and
+    /// retained rows were zero-extended in place (universe growth).
+    pub widened: bool,
 }
 
 impl Problem<'_> {
@@ -354,10 +364,18 @@ impl Problem<'_> {
     /// over verbatim, so the result is bit-identical to a full solve at a
     /// cost proportional to the affected region.
     ///
+    /// `prev` may be *narrower* than the problem (fewer columns): retained
+    /// rows are widened in place with the new bits starting ⊥, which is the
+    /// exact fixpoint for new expression columns outside the dirty closure
+    /// of a must-problem (DESIGN.md §13 has the per-direction argument).
+    /// The caller remains responsible for listing every block whose local
+    /// predicates gained a new-column bit as `changed`.
+    ///
     /// Falls back to a full [`SolveStrategy::SccPriority`] solve (reported
     /// via [`DeltaSolveInfo::full_fallback`]) whenever `prev` is shaped for
-    /// a different CFG or bit width — the shape-change contract: callers
-    /// that added or removed blocks or edges must not pretend otherwise.
+    /// a different CFG or is *wider* than the problem — the shape-change
+    /// contract: callers that added or removed blocks or edges must not
+    /// pretend otherwise (column shrink is handled upstream by remapping).
     ///
     /// The caller owns the completeness of `changed`: a block whose
     /// transfer, incoming edge gen (for [`with_edge_gen`]
@@ -383,8 +401,8 @@ impl Problem<'_> {
         let n = self.fun.num_blocks();
         let shape_ok = prev.ins.n_rows() == n
             && prev.outs.n_rows() == n
-            && prev.ins.nbits() == self.nbits
-            && prev.outs.nbits() == self.nbits
+            && prev.ins.nbits() <= self.nbits
+            && prev.outs.nbits() == prev.ins.nbits()
             && changed.iter().all(|b| b.index() < n);
         if !shape_ok {
             let solution = self.try_solve_with(SolveStrategy::SccPriority, view, scratch)?;
@@ -392,9 +410,11 @@ impl Problem<'_> {
                 full_fallback: true,
                 components_resolved: view.num_sccs(),
                 blocks_resolved: n,
+                widened: false,
             };
             return Ok((solution, info));
         }
+        let widened = prev.ins.nbits() < self.nbits;
 
         // Mark the affected components. Component ids are topological
         // (every cross-component edge goes low → high), so one ordered
@@ -489,6 +509,7 @@ impl Problem<'_> {
                 full_fallback: false,
                 components_resolved,
                 blocks_resolved,
+                widened,
             },
         ))
     }
@@ -1383,7 +1404,11 @@ mod tests {
         assert_eq!(fresh.ins, delta.ins);
         assert_eq!(fresh.outs, delta.outs);
 
-        // A bit-width change likewise falls back.
+        // A *narrower* previous fixpoint no longer falls back: retained
+        // rows widen in place. The seeded transfers gain arbitrary bits in
+        // the new columns at every block, so every block is changed — the
+        // caller's completeness contract — and the result still matches a
+        // fresh wide solve bit for bit.
         let wide = Problem::new(
             &f,
             16,
@@ -1391,15 +1416,33 @@ mod tests {
             Confluence::Must,
             seeded_transfers(f.num_blocks(), 16, 0),
         );
+        let all: Vec<BlockId> = (0..f.num_blocks()).map(BlockId::from_index).collect();
         let (w, info) = wide
-            .try_delta_solve_with(&view, &mut scratch, &fresh, &[f.entry()])
+            .try_delta_solve_with(&view, &mut scratch, &fresh, &all)
             .unwrap();
-        assert!(info.full_fallback);
+        assert!(!info.full_fallback);
+        assert!(info.widened);
         assert_eq!(
             w.ins,
             wide.solve_with(SolveStrategy::SccPriority, &view, &mut scratch)
                 .ins
         );
+
+        // A *wider* previous fixpoint still falls back: columns cannot be
+        // dropped in place, shrink is the caller's remapping job.
+        let narrow = Problem::new(
+            &f,
+            8,
+            Direction::Forward,
+            Confluence::Must,
+            seeded_transfers(f.num_blocks(), 8, 0),
+        );
+        let (nw, info) = narrow
+            .try_delta_solve_with(&view, &mut scratch, &w, &[f.entry()])
+            .unwrap();
+        assert!(info.full_fallback);
+        assert!(!info.widened);
+        assert_eq!(nw.ins, fresh.ins);
     }
 
     #[test]

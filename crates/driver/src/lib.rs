@@ -58,14 +58,16 @@ pub use persist::{
 };
 
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use lcm_core::transform::TransformStats;
 use lcm_core::validate::{sample_inputs, validate_optimized, ValidationLevel};
 use lcm_core::{
     optimize_checked_budgeted, optimize_incremental_checked_with,
     optimize_speculative_checked_budgeted, passes, EdgeWeights, IncrementalState, IncrementalStats,
-    OptimizeBudget, PipelineError, PipelineStats, PreAlgorithm, SpecStats,
+    OptimizeBudget, PhaseNanos, PipelineError, PipelineStats, PreAlgorithm, SpecStats,
 };
 use lcm_dataflow::{SolveStrategy, SolverScratch};
 use lcm_ir::{parse_function, simplify_cfg, verify, Function, Module, Profile};
@@ -325,6 +327,95 @@ pub struct PrevSolve {
     /// The retained universe, local predicates, and AVAIL/ANTIC/LATER
     /// fixpoints over the post-LCSE canonical function.
     pub state: IncrementalState,
+    /// The canonical printed output the state produced — the zero-dirty
+    /// memo. A revision whose fingerprint equals `key` under the same
+    /// `opts_tag` replays this text verbatim, skipping plan, rewrite,
+    /// validation, and printing entirely.
+    pub output_text: String,
+    /// Fingerprint of every output-affecting engine option
+    /// ([`options_tag`]) at the time the memo was recorded. Any placement,
+    /// validation, seed, or solver change invalidates the memo — the next
+    /// revision recomputes even on identical input.
+    pub opts_tag: String,
+}
+
+/// The output-affecting option fingerprint a [`PrevSolve`] memo is keyed
+/// under. Deliberately includes the validation tier and seed even though
+/// they cannot change the output text: a flag change must force a real
+/// run, never a memo replay recorded under different settings.
+pub fn options_tag(opts: &BatchOptions) -> String {
+    format!(
+        "{}|{:?}|{:#x}|{:?}",
+        opts.placement.name(),
+        opts.validate,
+        opts.seed,
+        opts.strategy
+    )
+}
+
+/// Per-class counts of what the edits a daemon or watch session saw
+/// actually were — the honest ledger behind any "delta path" speedup
+/// claim. One class per revision-with-retained-state, by priority:
+/// zero-dirty (memo replay), fallback, shape-mapped, universe-grow,
+/// universe-shrink, plain content.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct EditClassCounters {
+    /// Same-shape, same-universe content edits answered by a delta solve.
+    pub content: u64,
+    /// Edits that grew the expression universe (columns widened in place).
+    pub universe_grow: u64,
+    /// Edits that shrank the universe (columns remapped).
+    pub universe_shrink: u64,
+    /// One-block shape edits mapped onto the delta path (rows permuted).
+    pub shape_mapped: u64,
+    /// Edits beyond the mapped shapes: the full-solve fallback.
+    pub fallback: u64,
+    /// Identical revisions answered by the output memo with no solve at
+    /// all.
+    pub zero_dirty: u64,
+}
+
+impl EditClassCounters {
+    /// Classifies one non-memo revision that had retained state.
+    fn note(&mut self, stats: &IncrementalStats) {
+        if stats.full_fallback {
+            self.fallback += 1;
+        } else if stats.shape_mapped {
+            self.shape_mapped += 1;
+        } else if stats.universe_grew {
+            self.universe_grow += 1;
+        } else if stats.universe_shrunk {
+            self.universe_shrink += 1;
+        } else {
+            self.content += 1;
+        }
+    }
+
+    /// Total classified revisions.
+    pub fn total(&self) -> u64 {
+        self.content
+            + self.universe_grow
+            + self.universe_shrink
+            + self.shape_mapped
+            + self.fallback
+            + self.zero_dirty
+    }
+}
+
+impl fmt::Display for EditClassCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} content, {} universe-grow, {} universe-shrink, \
+             {} shape-mapped, {} fallback, {} zero-dirty",
+            self.content,
+            self.universe_grow,
+            self.universe_shrink,
+            self.shape_mapped,
+            self.fallback,
+            self.zero_dirty
+        )
+    }
 }
 
 /// Which path answered one unit of
@@ -337,10 +428,14 @@ pub enum IncrementalMode {
     /// Delta-solved against the retained fixpoints — only the SCC
     /// components the edit can reach were re-solved.
     Delta,
-    /// Retained state existed, but the CFG shape or expression universe
-    /// changed, forcing the full-solve fallback (the state was refreshed
+    /// Retained state existed, but the CFG shape changed beyond the mapped
+    /// edits, forcing the full-solve fallback (the state was refreshed
     /// either way).
     Fallback,
+    /// The revision is byte-identical (same fingerprint, same options) to
+    /// the one the retained state answered: the output memo was replayed
+    /// with no solve, rewrite, validation, or printing work at all.
+    ZeroDirty,
     /// The placement is not [`incremental_eligible`]; the unit ran the
     /// ordinary one-shot pipeline with no state retention.
     OneShot,
@@ -353,6 +448,7 @@ impl IncrementalMode {
             IncrementalMode::Fresh => "fresh",
             IncrementalMode::Delta => "delta",
             IncrementalMode::Fallback => "fallback",
+            IncrementalMode::ZeroDirty => "zero-dirty",
             IncrementalMode::OneShot => "one-shot",
         }
     }
@@ -376,6 +472,11 @@ pub struct IncrementalUnit {
     /// `stats.delta_blocks_resolved` (a from-scratch solve pays one row
     /// per block in each of the three analyses, i.e. `3 * blocks`).
     pub blocks: usize,
+    /// Wall-clock split of this unit's work into the solve phase (LCSE +
+    /// fixpoints) and the tail (plan, rewrite, cleanup passes,
+    /// validation, print). Both zero for a memo replay — that is the
+    /// point.
+    pub phases: PhaseNanos,
 }
 
 /// The batch engine: a [`BatchOptions`] plus a [`PlanCache`] that persists
@@ -395,6 +496,11 @@ pub struct BatchEngine {
     /// [`LifetimeCounters::delta_blocks_resolved`] (no [`CacheStats`] twin).
     incremental_hits: u64,
     delta_blocks_resolved: u64,
+    /// Per-class edit ledger for this process's incremental revisions.
+    edit_classes: EditClassCounters,
+    /// Accumulated solve/tail wall-clock over this process's incremental
+    /// units (memo replays contribute nothing — again, the point).
+    phases: PhaseNanos,
 }
 
 impl BatchEngine {
@@ -407,6 +513,8 @@ impl BatchEngine {
             prev_solves: HashMap::new(),
             incremental_hits: 0,
             delta_blocks_resolved: 0,
+            edit_classes: EditClassCounters::default(),
+            phases: PhaseNanos::default(),
         }
     }
 
@@ -429,6 +537,8 @@ impl BatchEngine {
             prev_solves: HashMap::new(),
             incremental_hits: 0,
             delta_blocks_resolved: 0,
+            edit_classes: EditClassCounters::default(),
+            phases: PhaseNanos::default(),
         }
     }
 
@@ -440,12 +550,22 @@ impl BatchEngine {
     /// Lifetime cache counters — the persisted footer's totals plus this
     /// process's session; `None` for an in-memory engine.
     pub fn lifetime(&self) -> Option<LifetimeCounters> {
-        self.persisted.as_ref().map(|p| {
-            let mut l = p.base.plus_session(self.cache.stats());
-            l.incremental_hits += self.incremental_hits;
-            l.delta_blocks_resolved += self.delta_blocks_resolved;
-            l
-        })
+        self.persisted.as_ref().map(|p| self.session_totals(p.base))
+    }
+
+    /// `base` plus everything this process has counted so far.
+    fn session_totals(&self, base: LifetimeCounters) -> LifetimeCounters {
+        let mut l = base.plus_session(self.cache.stats());
+        l.incremental_hits += self.incremental_hits;
+        l.delta_blocks_resolved += self.delta_blocks_resolved;
+        let e = &self.edit_classes;
+        l.zero_dirty_hits += e.zero_dirty;
+        l.content_edits += e.content;
+        l.universe_grow_edits += e.universe_grow;
+        l.universe_shrink_edits += e.universe_shrink;
+        l.shape_mapped_edits += e.shape_mapped;
+        l.fallback_edits += e.fallback;
+        l
     }
 
     /// Removes and returns the retained fixpoint for `name`, if any. The
@@ -474,10 +594,38 @@ impl BatchEngine {
         self.delta_blocks_resolved += delta_blocks;
     }
 
+    /// Counts one identical revision answered by the zero-dirty memo.
+    pub fn note_zero_dirty(&mut self) {
+        self.edit_classes.zero_dirty += 1;
+    }
+
+    /// Classifies one non-memo revision that had retained state into the
+    /// edit-class ledger.
+    pub fn note_edit_class(&mut self, stats: &IncrementalStats) {
+        self.edit_classes.note(stats);
+    }
+
+    /// Accumulates one incremental unit's solve/tail wall-clock split.
+    pub fn note_phases(&mut self, phases: PhaseNanos) {
+        self.phases.solve_ns += phases.solve_ns;
+        self.phases.tail_ns += phases.tail_ns;
+    }
+
     /// This process's incremental counters so far:
     /// `(incremental_hits, delta_blocks_resolved)`.
     pub fn incremental_session(&self) -> (u64, u64) {
         (self.incremental_hits, self.delta_blocks_resolved)
+    }
+
+    /// This process's per-class edit ledger so far.
+    pub fn edit_classes(&self) -> EditClassCounters {
+        self.edit_classes
+    }
+
+    /// Accumulated solve/tail wall-clock over this process's incremental
+    /// units.
+    pub fn incremental_phases(&self) -> PhaseNanos {
+        self.phases
     }
 
     /// Counts a quarantined *entry*: a persisted entry that failed
@@ -500,10 +648,7 @@ impl BatchEngine {
         let Some(p) = &self.persisted else {
             return Ok(());
         };
-        let mut totals = p.base.plus_session(self.cache.stats());
-        totals.incremental_hits += self.incremental_hits;
-        totals.delta_blocks_resolved += self.delta_blocks_resolved;
-        persist::save_cache(&p.path, &self.cache, totals)
+        persist::save_cache(&p.path, &self.cache, self.session_totals(p.base))
     }
 
     /// The configuration.
@@ -562,12 +707,13 @@ impl BatchEngine {
         scratch: &mut SolverScratch,
     ) -> IncrementalUnit {
         let blocks = f.num_blocks();
-        let unit = |outcome, mode, stats| IncrementalUnit {
+        let unit = |outcome, mode, stats, phases| IncrementalUnit {
             name: f.name.clone(),
             outcome,
             mode,
             stats,
             blocks,
+            phases,
         };
         if let Err(e) = verify(f) {
             let err = UnitError {
@@ -578,6 +724,7 @@ impl BatchEngine {
                 Err(err),
                 IncrementalMode::OneShot,
                 IncrementalStats::default(),
+                PhaseNanos::default(),
             );
         }
         let weights = if self.opts.placement == PreAlgorithm::Speculative {
@@ -601,10 +748,30 @@ impl BatchEngine {
                 computed.map(|e| cache::with_name(&e.output_text, &f.name)),
                 IncrementalMode::OneShot,
                 IncrementalStats::default(),
+                PhaseNanos::default(),
             );
         }
         let key = fingerprint_with_context(f, &context).0;
+        let tag = options_tag(&self.opts);
         let prev = self.take_prev_solve(&f.name);
+        // The zero-dirty memo: an identical revision under identical
+        // options replays the retained output with no solve, rewrite,
+        // validation, or printing at all. A *dirty* function can never
+        // match — the fingerprint covers the whole canonical body — and an
+        // option change invalidates via the tag.
+        if let Some(p) = &prev {
+            if p.key == key && p.opts_tag == tag {
+                let output = cache::with_name(&p.output_text, &f.name);
+                self.edit_classes.zero_dirty += 1;
+                self.put_prev_solve(&f.name, prev.expect("checked above"));
+                return unit(
+                    Ok(output),
+                    IncrementalMode::ZeroDirty,
+                    IncrementalStats::default(),
+                    PhaseNanos::default(),
+                );
+            }
+        }
         let had_prev = prev.is_some();
         let computed = isolate(AssertUnwindSafe(|| {
             optimize_unit_incremental(
@@ -616,7 +783,7 @@ impl BatchEngine {
             )
         }));
         match computed {
-            Ok((entry, state, stats)) => {
+            Ok((entry, state, stats, phases)) => {
                 let mode = match (had_prev, stats.full_fallback) {
                     (false, _) => IncrementalMode::Fresh,
                     (true, true) => IncrementalMode::Fallback,
@@ -625,14 +792,32 @@ impl BatchEngine {
                 if mode == IncrementalMode::Delta {
                     self.note_incremental_hit(stats.delta_blocks_resolved as u64);
                 }
+                if had_prev {
+                    self.edit_classes.note(&stats);
+                }
+                self.phases.solve_ns += phases.solve_ns;
+                self.phases.tail_ns += phases.tail_ns;
                 let output = cache::with_name(&entry.output_text, &f.name);
-                self.put_prev_solve(&f.name, PrevSolve { key, state });
+                self.put_prev_solve(
+                    &f.name,
+                    PrevSolve {
+                        key,
+                        state,
+                        output_text: entry.output_text.clone(),
+                        opts_tag: tag,
+                    },
+                );
                 if self.opts.use_cache {
                     self.cache.insert(key, entry);
                 }
-                unit(Ok(output), mode, stats)
+                unit(Ok(output), mode, stats, phases)
             }
-            Err(e) => unit(Err(e), IncrementalMode::Fresh, IncrementalStats::default()),
+            Err(e) => unit(
+                Err(e),
+                IncrementalMode::Fresh,
+                IncrementalStats::default(),
+                PhaseNanos::default(),
+            ),
         }
     }
 
@@ -1027,17 +1212,18 @@ pub fn incremental_eligible(placement: PreAlgorithm, weights: Option<&EdgeWeight
 /// or corrupted `prev` costs a typed unit failure, never wrong code.
 ///
 /// Returns the cache entry, the new [`IncrementalState`] to retain for the
-/// function's next revision, and what the delta path did. [`IncrementalStats`]
-/// is all-default when `prev` was `None` (there was nothing to be
-/// incremental against).
+/// function's next revision, what the delta path did, and the wall-clock
+/// solve/tail phase split. [`IncrementalStats`] is all-default when `prev`
+/// was `None` (there was nothing to be incremental against).
 pub fn optimize_unit_incremental(
     f: &Function,
     opts: &BatchOptions,
     context: &str,
     prev: Option<&IncrementalState>,
     scratch: &mut SolverScratch,
-) -> Result<(CacheEntry, IncrementalState, IncrementalStats), UnitError> {
+) -> Result<(CacheEntry, IncrementalState, IncrementalStats, PhaseNanos), UnitError> {
     let (level, seed, strategy) = (opts.validate, opts.seed, opts.strategy);
+    let t_start = Instant::now();
     let mut g = f.clone();
     g.name = CANONICAL_NAME.to_string();
     let canonical_input = cache::contextual_text(&g.to_string(), context);
@@ -1046,15 +1232,20 @@ pub fn optimize_unit_incremental(
         kind: FailureKind::Pipeline,
         message: e.to_string(),
     };
-    let (opt, report, state, stats) = match prev {
+    let (opt, report, state, stats, mut phases) = match prev {
         Some(prev) => {
             let out = optimize_incremental_checked_with(prev, &g, level, seed, strategy, scratch)
                 .map_err(pipeline_err)?;
-            (out.optimized, out.report, out.state, out.stats)
+            let mut phases = out.phases;
+            // Charge cloning + LCSE to the solve phase so the two phases
+            // still sum to this function's whole wall-clock.
+            phases.solve_ns = (t_start.elapsed().as_nanos() as u64).saturating_sub(phases.tail_ns);
+            (out.optimized, out.report, out.state, out.stats, phases)
         }
         None => {
             let (opt, state) =
                 IncrementalState::fresh_with(&g, strategy, scratch).map_err(pipeline_err)?;
+            let solve_ns = t_start.elapsed().as_nanos() as u64;
             let effective = if level == ValidationLevel::Off {
                 ValidationLevel::Fast
             } else {
@@ -1064,9 +1255,14 @@ pub fn optimize_unit_incremental(
                 kind: FailureKind::Pipeline,
                 message: e.to_string(),
             })?;
-            (opt, report, state, IncrementalStats::default())
+            let phases = PhaseNanos {
+                solve_ns,
+                tail_ns: (t_start.elapsed().as_nanos() as u64).saturating_sub(solve_ns),
+            };
+            (opt, report, state, IncrementalStats::default(), phases)
         }
     };
+    let t_tail = Instant::now();
     let mut out = opt.function.clone();
     passes::copy_propagation(&mut out);
     passes::dce(&mut out);
@@ -1081,18 +1277,22 @@ pub fn optimize_unit_incremental(
     pipeline.avail.allocations = 0;
     pipeline.antic.allocations = 0;
     pipeline.later.allocations = 0;
+    let output_text = out.to_string();
+    // The driver's cleanup passes and printing are tail work too.
+    phases.tail_ns += t_tail.elapsed().as_nanos() as u64;
     Ok((
         CacheEntry {
             canonical_input,
             pipeline,
             transform: opt.transform.stats,
-            output_text: out.to_string(),
+            output_text,
             origin: Some(Box::new(ComputedOrigin { pre_input: g, opt })),
             validation_checks: report.checks_run,
             inputs_sampled: report.inputs_sampled,
         },
         state,
         stats,
+        phases,
     ))
 }
 

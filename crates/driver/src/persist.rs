@@ -23,7 +23,7 @@
 //!
 //! ```text
 //! "LCMCACHE"  8 bytes   magic
-//! version     u32       format version (currently 2)
+//! version     u32       format version (currently 3)
 //! count       u64       number of entries
 //! count × entry:
 //!   key         u128    content fingerprint
@@ -34,8 +34,11 @@
 //!   stats       22×u64  pipeline (3×5), transform (5), checks, inputs
 //!   checksum    u64     FNV-1a-64 over this entry's preceding bytes
 //! "LCMSTATS"  8 bytes   footer magic
-//! counters    6×u64     lifetime hits, misses, evictions, quarantines,
-//!                       incremental hits, delta blocks resolved
+//! counters    12×u64    lifetime hits, misses, evictions, quarantines,
+//!                       incremental hits, delta blocks resolved,
+//!                       zero-dirty hits, and the five edit-class
+//!                       counters (content, universe-grow,
+//!                       universe-shrink, shape-mapped, fallback)
 //! checksum    u64       FNV-1a-64 over footer magic + counters
 //! <end of file — trailing bytes are an error>
 //! ```
@@ -57,9 +60,11 @@ pub const CACHE_MAGIC: &[u8; 8] = b"LCMCACHE";
 pub const STATS_MAGIC: &[u8; 8] = b"LCMSTATS";
 /// The format version this build reads and writes. Version 2 widened the
 /// counter footer from 4 to 6 u64s (incremental hits, delta blocks
-/// resolved); version-1 files are refused with [`CacheFileError::VersionSkew`]
-/// and quarantined, costing warmth once, never correctness.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// resolved); version 3 widened it again to 12 (zero-dirty memo hits and
+/// the per-class edit ledger). Older files are refused with
+/// [`CacheFileError::VersionSkew`] and quarantined, costing warmth once,
+/// never correctness.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// u64 stat fields per entry: 15 pipeline + 5 transform + 2 validation.
 const STAT_FIELDS: usize = 22;
@@ -90,6 +95,20 @@ pub struct LifetimeCounters {
     /// Blocks actually re-solved across those incremental hits — the
     /// "charged only for what changed" bill, lifetime.
     pub delta_blocks_resolved: u64,
+    /// Identical revisions answered by the zero-dirty output memo (no
+    /// solve, rewrite, validation, or print work at all), lifetime.
+    pub zero_dirty_hits: u64,
+    /// Same-shape, same-universe content edits delta-solved, lifetime.
+    pub content_edits: u64,
+    /// Universe-growing edits answered by in-place column widening,
+    /// lifetime.
+    pub universe_grow_edits: u64,
+    /// Universe-shrinking edits answered by column remapping, lifetime.
+    pub universe_shrink_edits: u64,
+    /// One-block shape edits mapped onto the delta path, lifetime.
+    pub shape_mapped_edits: u64,
+    /// Edits that forced the full-solve fallback, lifetime.
+    pub fallback_edits: u64,
 }
 
 impl LifetimeCounters {
@@ -109,13 +128,22 @@ impl fmt::Display for LifetimeCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits, {} misses, {} evictions, {} quarantines, {} incremental hits, {} delta blocks",
+            "{} hits, {} misses, {} evictions, {} quarantines, \
+             {} incremental hits, {} delta blocks, {} zero-dirty hits; \
+             edits: {} content, {} universe-grow, {} universe-shrink, \
+             {} shape-mapped, {} fallback",
             self.hits,
             self.misses,
             self.evictions,
             self.quarantines,
             self.incremental_hits,
-            self.delta_blocks_resolved
+            self.delta_blocks_resolved,
+            self.zero_dirty_hits,
+            self.content_edits,
+            self.universe_grow_edits,
+            self.universe_shrink_edits,
+            self.shape_mapped_edits,
+            self.fallback_edits
         )
     }
 }
@@ -243,6 +271,12 @@ pub fn save_cache(path: &Path, cache: &PlanCache, counters: LifetimeCounters) ->
         counters.quarantines,
         counters.incremental_hits,
         counters.delta_blocks_resolved,
+        counters.zero_dirty_hits,
+        counters.content_edits,
+        counters.universe_grow_edits,
+        counters.universe_shrink_edits,
+        counters.shape_mapped_edits,
+        counters.fallback_edits,
     ] {
         buf.extend_from_slice(&c.to_le_bytes());
     }
@@ -322,7 +356,7 @@ pub fn load_cache(
         return Err(CacheFileError::BadFooter);
     }
     let footer_start = r.pos - 8;
-    let mut counters = [0u64; 6];
+    let mut counters = [0u64; 12];
     for c in &mut counters {
         *c = u64::from_le_bytes(r.take(8, "footer counters")?.try_into().unwrap());
     }
@@ -346,6 +380,12 @@ pub fn load_cache(
             quarantines: counters[3],
             incremental_hits: counters[4],
             delta_blocks_resolved: counters[5],
+            zero_dirty_hits: counters[6],
+            content_edits: counters[7],
+            universe_grow_edits: counters[8],
+            universe_shrink_edits: counters[9],
+            shape_mapped_edits: counters[10],
+            fallback_edits: counters[11],
         },
     ))
 }
@@ -541,6 +581,12 @@ mod tests {
             quarantines: 1,
             incremental_hits: 5,
             delta_blocks_resolved: 42,
+            zero_dirty_hits: 9,
+            content_edits: 13,
+            universe_grow_edits: 3,
+            universe_shrink_edits: 2,
+            shape_mapped_edits: 4,
+            fallback_edits: 1,
         };
         save_cache(&path, engine.cache(), counters).unwrap();
 

@@ -53,8 +53,8 @@ use crate::protocol::{
 };
 use crate::{
     cache, fingerprint_with_context, incremental_eligible, isolate, optimize_unit,
-    optimize_unit_incremental, resolve_jobs, unit_context, BatchEngine, BatchOptions, CacheEntry,
-    FailureKind, LoadStatus, PrevSolve, UnitError,
+    optimize_unit_incremental, options_tag, resolve_jobs, unit_context, BatchEngine, BatchOptions,
+    CacheEntry, FailureKind, LoadStatus, PrevSolve, UnitError,
 };
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -188,6 +188,7 @@ impl Core {
             "incremental: {inc_hits} hits, {delta_blocks} delta blocks resolved, {} states retained\n",
             engine.prev_solves_len()
         ));
+        out.push_str(&format!("edit classes: {}\n", engine.edit_classes()));
         if let Some(l) = engine.lifetime() {
             out.push_str(&format!("lifetime: {l}\n"));
         }
@@ -405,8 +406,40 @@ fn process_job(core: &Arc<Core>, scratch: &mut SolverScratch, job: UnitJob) -> R
     }
 
     let opts = core.opts.batch;
-    let cached: Option<(u128, String, Option<CacheEntry>)> = if opts.use_cache {
+    let incremental = incremental_eligible(opts.placement, job.weights.as_ref())
+        && job.deadline.is_none()
+        && job.fuel == 0;
+
+    // The zero-dirty memo: an identical revision of a function we hold
+    // retained state for replays the memoized output verbatim — checked
+    // *before* the plan cache because the memo was validated when it was
+    // produced in this very process, so a hit skips even re-validation.
+    // Any edit changes the fingerprint and any option change breaks the
+    // tag, so a dirty function can never match.
+    let mut fp: Option<(u128, String)> = None;
+    if incremental {
         let (key, text) = fingerprint_with_context(&job.function, &job.context);
+        let tag = options_tag(&opts);
+        let mut engine = core.engine.lock().expect("engine lock");
+        if let Some(p) = engine.take_prev_solve(&job.name) {
+            if p.key == key && p.opts_tag == tag {
+                let output = cache::with_name(&p.output_text, &job.name);
+                engine.note_zero_dirty();
+                engine.put_prev_solve(&job.name, p);
+                return Response::UnitOk {
+                    index: job.index,
+                    output,
+                };
+            }
+            engine.put_prev_solve(&job.name, p);
+        }
+        fp = Some((key, text));
+    }
+
+    let cached: Option<(u128, String, Option<CacheEntry>)> = if opts.use_cache {
+        let (key, text) = fp
+            .take()
+            .unwrap_or_else(|| fingerprint_with_context(&job.function, &job.context));
         let mut engine = core.engine.lock().expect("engine lock");
         let entry = engine.cache().get(key, &text).cloned();
         if entry.is_some() {
@@ -454,13 +487,11 @@ fn process_job(core: &Arc<Core>, scratch: &mut SolverScratch, job: UnitJob) -> R
     // only for the blocks the edit can reach. Budgeted units keep the
     // budget-enforcing pipeline; output text is bit-identical either way
     // (pinned by `tests/incremental.rs` and the serve smoke in ci.sh).
-    if incremental_eligible(opts.placement, job.weights.as_ref())
-        && job.deadline.is_none()
-        && job.fuel == 0
-    {
-        let key = match &cached {
-            Some((key, _, _)) => *key,
-            None => fingerprint_with_context(&job.function, &job.context).0,
+    if incremental {
+        let key = match (&cached, &fp) {
+            (Some((key, _, _)), _) => *key,
+            (None, Some((key, _))) => *key,
+            (None, None) => fingerprint_with_context(&job.function, &job.context).0,
         };
         let prev = {
             let mut engine = core.engine.lock().expect("engine lock");
@@ -477,13 +508,25 @@ fn process_job(core: &Arc<Core>, scratch: &mut SolverScratch, job: UnitJob) -> R
             )
         }));
         return match computed {
-            Ok((entry, state, stats)) => {
+            Ok((entry, state, stats, phases)) => {
                 let output = cache::with_name(&entry.output_text, &job.name);
                 let mut engine = core.engine.lock().expect("engine lock");
                 if had_prev && !stats.full_fallback {
                     engine.note_incremental_hit(stats.delta_blocks_resolved as u64);
                 }
-                engine.put_prev_solve(&job.name, PrevSolve { key, state });
+                if had_prev {
+                    engine.note_edit_class(&stats);
+                }
+                engine.note_phases(phases);
+                engine.put_prev_solve(
+                    &job.name,
+                    PrevSolve {
+                        key,
+                        state,
+                        output_text: entry.output_text.clone(),
+                        opts_tag: options_tag(&opts),
+                    },
+                );
                 if cached.is_some() {
                     engine.cache_mut().insert(key, entry);
                 }

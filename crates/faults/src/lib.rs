@@ -502,6 +502,22 @@ pub fn poison_prev_solve(state: &mut IncrementalState, seed: u64) {
     state.poison_solutions(seed);
 }
 
+/// Corrupts a retained zero-dirty output memo in place — seeded garbage
+/// over the memoized output text and, when `stale_key`, a flipped
+/// fingerprint key, modelling a memo that outlived the revision it was
+/// minted for. The driver's defense is *keying*, not re-validation: a memo
+/// is replayed only when the function's content fingerprint and options
+/// tag both match exactly, so a dirty function can never meet the garbage
+/// (its fingerprint differs) and a stale key can never be served (nothing
+/// fingerprints to it). The faults suite pins both halves.
+pub fn poison_output_memo(prev: &mut lcm_driver::PrevSolve, seed: u64, stale_key: bool) {
+    let mut state = seed ^ 0x5EED_FA17_u64;
+    prev.output_text = format!("; poisoned memo {:016x}\n", splitmix64(&mut state));
+    if stale_key {
+        prev.key ^= 1 | (u128::from(splitmix64(&mut state)) << 64);
+    }
+}
+
 /// Corrupts one weight of an edge profile in place — modelling bit-rot or
 /// a buggy profiler writing the textual profile section the driver later
 /// trusts. The perturbation is seeded and always *lands* (the chosen
@@ -839,6 +855,55 @@ mod tests {
         assert!(optimize_with_dropped_store_kill(&pure, 0)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn stale_output_memo_is_never_replayed() {
+        use lcm_driver::{BatchEngine, BatchOptions, IncrementalMode};
+        use lcm_ir::parse_module;
+
+        let edited = DIAMOND.replace("y = a + b", "y = a + b\n          a = 1");
+        let m0 = parse_module(DIAMOND).unwrap();
+        let m1 = parse_module(&edited).unwrap();
+        let want = {
+            let mut fresh = BatchEngine::new(BatchOptions::default());
+            fresh.run_module_incremental(&m1)[0]
+                .outcome
+                .clone()
+                .unwrap()
+        };
+
+        // A dirty function with a poisoned memo (key intact): the edit
+        // changes the fingerprint, so the memo is bypassed, the unit
+        // delta-solves, and the garbage text never surfaces.
+        let mut engine = BatchEngine::new(BatchOptions::default());
+        engine.run_module_incremental(&m0);
+        let mut prev = engine.take_prev_solve("d").unwrap();
+        poison_output_memo(&mut prev, 3, false);
+        engine.put_prev_solve("d", prev);
+        let units = engine.run_module_incremental(&m1);
+        assert_ne!(units[0].mode, IncrementalMode::ZeroDirty);
+        assert_eq!(units[0].outcome.clone().unwrap(), want);
+
+        // An *identical* revision against a memo whose key rotted: nothing
+        // fingerprints to the stale key, so the memo is bypassed and the
+        // unit recomputes (and re-memoizes) the honest answer.
+        let mut engine = BatchEngine::new(BatchOptions::default());
+        let first = engine.run_module_incremental(&m0)[0]
+            .outcome
+            .clone()
+            .unwrap();
+        let mut prev = engine.take_prev_solve("d").unwrap();
+        poison_output_memo(&mut prev, 4, true);
+        engine.put_prev_solve("d", prev);
+        let units = engine.run_module_incremental(&m0);
+        assert_ne!(units[0].mode, IncrementalMode::ZeroDirty);
+        assert_eq!(units[0].outcome.clone().unwrap(), first);
+        // ... after which the honest memo is back: the next identical
+        // revision replays it.
+        let units = engine.run_module_incremental(&m0);
+        assert_eq!(units[0].mode, IncrementalMode::ZeroDirty);
+        assert_eq!(units[0].outcome.clone().unwrap(), first);
     }
 
     #[test]

@@ -1071,6 +1071,10 @@ fn watch_once(
                 u.stats.delta_blocks_resolved,
                 3 * u.blocks,
             ),
+            IncrementalMode::ZeroDirty => eprintln!(
+                "lcmopt watch[{iteration}]: fn {}: zero-dirty, 0 dirty, output memo replayed",
+                u.name,
+            ),
             IncrementalMode::Fresh | IncrementalMode::OneShot => {
                 eprintln!(
                     "lcmopt watch[{iteration}]: fn {}: {}",
@@ -1090,10 +1094,14 @@ fn watch_once(
         }
     }
     let (hits, delta_blocks) = engine.incremental_session();
+    let phases = engine.incremental_phases();
     eprintln!(
         "lcmopt watch[{iteration}]: {} ok, {failed} failed; session: {hits} incremental hits, \
-         {delta_blocks} delta block rows; {:.3?}",
+         {delta_blocks} delta block rows; edits: {}; solve {:.3?} / tail {:.3?}; {:.3?}",
         units.len() - failed,
+        engine.edit_classes(),
+        std::time::Duration::from_nanos(phases.solve_ns),
+        std::time::Duration::from_nanos(phases.tail_ns),
         start.elapsed()
     );
     let text = batch_report::render_incremental_text(&units);

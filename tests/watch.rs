@@ -3,9 +3,10 @@
 //! batch on the same revision, while its mode accounting tracks what
 //! actually changed — fresh on first sight, an SCC-scoped delta on a
 //! content edit (re-solving strictly fewer block rows than a full solve),
-//! and the full-solve fallback on a CFG shape change.
+//! a *mapped* delta on a recognized one-block shape edit, and a zero-dirty
+//! memo replay for functions the revision didn't touch at all.
 
-use lcm::driver::{report, BatchEngine, BatchOptions, IncrementalMode};
+use lcm::driver::{report, BatchEngine, BatchOptions, EditClassCounters, IncrementalMode};
 use lcm::ir::parse_module;
 
 /// Revision 0: the classic diamond, plus a straight-line function that
@@ -38,8 +39,9 @@ fn rev1() -> String {
     REV0.replace("y = a + b", "y = a + b\n  a = 1")
 }
 
-/// A shape edit: `r` now reaches `join` through a fresh block, so the
-/// incremental path must fall back to a full solve.
+/// A shape edit: `r` now reaches `join` through a fresh straight-line
+/// block — the inserted-block pattern the shape mapper recognizes, so the
+/// delta path survives with permuted rows instead of falling back.
 fn rev2() -> String {
     rev1().replace("r:\n  jmp join", "r:\n  jmp detour\ndetour:\n  jmp join")
 }
@@ -76,9 +78,11 @@ fn modes_and_delta_accounting_track_what_changed() {
         "first sight must solve fresh"
     );
     assert_eq!(watch.incremental_session(), (0, 0));
+    assert_eq!(watch.edit_classes(), EditClassCounters::default());
 
     // Content edit: `d` delta-solves strictly fewer rows than a full
-    // solve would pay; untouched `straight` delta-solves zero rows.
+    // solve would pay; byte-identical `straight` never reaches the solver
+    // at all — its memoized output is replayed.
     let m1 = parse_module(&rev1()).unwrap();
     let units = watch.run_module_incremental(&m1);
     let d = &units[0];
@@ -91,19 +95,26 @@ fn modes_and_delta_accounting_track_what_changed() {
         3 * d.blocks
     );
     let s = &units[1];
-    assert_eq!(s.mode, IncrementalMode::Delta);
+    assert_eq!(s.mode, IncrementalMode::ZeroDirty);
     assert_eq!(s.stats.dirty_blocks, 0);
     assert_eq!(s.stats.delta_blocks_resolved, 0);
     let (hits, _) = watch.incremental_session();
-    assert_eq!(hits, 2);
+    assert_eq!(hits, 1, "a memo replay is not a delta solve");
+    assert_eq!(watch.edit_classes().content, 1);
+    assert_eq!(watch.edit_classes().zero_dirty, 1);
 
-    // Shape edit: the fallback is taken, honestly reported, and the
-    // incremental-hit counter does not move.
+    // Shape edit: the inserted `detour` block is one of the two mapped
+    // patterns, so the delta path survives (no fallback) and the edit
+    // ledger records it; `straight` replays its memo again.
     let m2 = parse_module(&rev2()).unwrap();
     let units = watch.run_module_incremental(&m2);
-    assert_eq!(units[0].mode, IncrementalMode::Fallback);
-    assert!(units[0].stats.full_fallback);
-    assert_eq!(units[1].mode, IncrementalMode::Delta);
+    assert_eq!(units[0].mode, IncrementalMode::Delta);
+    assert!(units[0].stats.shape_mapped);
+    assert!(!units[0].stats.full_fallback);
+    assert_eq!(units[1].mode, IncrementalMode::ZeroDirty);
     let (hits, _) = watch.incremental_session();
-    assert_eq!(hits, 3, "a fallback is not an incremental hit");
+    assert_eq!(hits, 2, "the mapped shape edit is a delta hit");
+    assert_eq!(watch.edit_classes().shape_mapped, 1);
+    assert_eq!(watch.edit_classes().zero_dirty, 2);
+    assert_eq!(watch.edit_classes().fallback, 0);
 }
